@@ -1,0 +1,5 @@
+//! Regenerates the key-space scaling ablation.
+
+fn main() {
+    print!("{}", obfuscade_bench::experiments::ablation_multikey());
+}

@@ -1,0 +1,5 @@
+//! Regenerates one paper artifact; see `obfuscade_bench::experiments`.
+
+fn main() {
+    print!("{}", obfuscade_bench::experiments::ablation_repair());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the sparse-infill corner-cutting ablation.
+
+fn main() {
+    print!("{}", obfuscade_bench::experiments::ablation_sparse_infill());
+}

@@ -1,0 +1,33 @@
+//! Runs every experiment in paper order and prints the full report.
+
+use obfuscade_bench::experiments as e;
+
+fn main() {
+    let replicates = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let sections: Vec<String> = vec![
+        e::table1_risks(),
+        e::fig3_stages(),
+        e::fig4_gaps(),
+        e::fig5_resolution(),
+        e::fig7_slicing(),
+        e::fig8_surface(),
+        e::table2_tensile(replicates),
+        e::fig9_fracture(),
+        e::table3_printing(),
+        e::sidechannel_recon(),
+        e::ablation_keyspace(),
+        e::ablation_multikey(),
+        e::ablation_sparse_infill(),
+        e::ablation_repair(),
+        e::authentication_demo(),
+    ];
+    for (i, s) in sections.iter().enumerate() {
+        if i > 0 {
+            println!("\n{}\n", "=".repeat(100));
+        }
+        print!("{s}");
+    }
+}

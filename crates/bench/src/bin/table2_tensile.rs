@@ -1,0 +1,9 @@
+//! Regenerates Table 2 (virtual tensile tests, 5 replicates by default).
+
+fn main() {
+    let replicates = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    print!("{}", obfuscade_bench::experiments::table2_tensile(replicates));
+}

@@ -1,0 +1,16 @@
+//! Experiment harness for the ObfusCADe reproduction.
+//!
+//! Each function in [`experiments`] regenerates one table or figure of the
+//! paper as printable text; the binaries in `src/bin/` are thin wrappers
+//! (run `cargo run --release -p obfuscade-bench --bin all_experiments` for
+//! everything), and `benches/` holds the Criterion performance benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+/// Formats a `mean ± std` cell.
+pub fn pm(mean: f64, std: f64, prec: usize) -> String {
+    format!("{mean:.prec$}±{std:.prec$}")
+}

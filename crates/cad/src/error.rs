@@ -1,0 +1,103 @@
+//! Error types for the CAD kernel.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while constructing or resolving CAD models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CadError {
+    /// A profile's edges do not form a closed loop.
+    OpenProfile {
+        /// Index of the edge whose end does not meet the next edge's start.
+        edge: usize,
+        /// Gap distance between the mismatched endpoints.
+        gap: f64,
+    },
+    /// A profile has fewer than three distinct vertices.
+    DegenerateProfile,
+    /// An operation that requires straight profile edges met a curved one.
+    CurvedEdgeUnsupported {
+        /// Index of the offending edge.
+        edge: usize,
+    },
+    /// A split spline endpoint does not lie on the profile boundary.
+    SplineEndpointOffBoundary {
+        /// Distance from the endpoint to the nearest boundary point.
+        distance: f64,
+    },
+    /// A split spline must have distinct endpoints on the boundary.
+    SplineEndpointsCoincide,
+    /// A part was resolved without a base feature.
+    MissingBase,
+    /// A second base feature was added to a part.
+    BaseAlreadySet,
+    /// A spline-split feature was applied to a non-extrusion base.
+    SplitRequiresExtrusion,
+    /// A through-hole was applied to a base with no prismatic height.
+    HoleRequiresPrismaticBase,
+    /// An embedded feature lies (partly) outside the base solid's bounds.
+    FeatureOutsideBase,
+    /// An invalid dimension (non-positive or non-finite) was supplied.
+    InvalidDimension {
+        /// Name of the offending dimension.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for CadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CadError::OpenProfile { edge, gap } => {
+                write!(f, "profile is not closed: edge {edge} ends {gap} mm from the next edge")
+            }
+            CadError::DegenerateProfile => write!(f, "profile has fewer than three distinct vertices"),
+            CadError::CurvedEdgeUnsupported { edge } => {
+                write!(f, "operation requires straight profile edges but edge {edge} is curved")
+            }
+            CadError::SplineEndpointOffBoundary { distance } => {
+                write!(f, "split spline endpoint is {distance} mm off the profile boundary")
+            }
+            CadError::SplineEndpointsCoincide => {
+                write!(f, "split spline endpoints coincide on the boundary")
+            }
+            CadError::MissingBase => write!(f, "part has no base feature"),
+            CadError::BaseAlreadySet => write!(f, "part already has a base feature"),
+            CadError::SplitRequiresExtrusion => {
+                write!(f, "spline split requires an extrusion base")
+            }
+            CadError::HoleRequiresPrismaticBase => {
+                write!(f, "through holes require an extrusion or cuboid base")
+            }
+            CadError::FeatureOutsideBase => {
+                write!(f, "embedded feature extends outside the base solid")
+            }
+            CadError::InvalidDimension { name, value } => {
+                write!(f, "invalid dimension {name} = {value}")
+            }
+        }
+    }
+}
+
+impl Error for CadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = CadError::SplineEndpointOffBoundary { distance: 0.5 };
+        let msg = e.to_string();
+        assert!(msg.contains("0.5"));
+        assert!(msg.starts_with("split spline"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error>(_: &E) {}
+        assert_error(&CadError::MissingBase);
+    }
+}

@@ -1,0 +1,138 @@
+//! The feature history of a CAD part.
+
+use std::fmt;
+
+use am_geom::{CatmullRom, Point3};
+
+use crate::{Profile, SolidShape};
+
+/// Whether an embedded feature body is a **solid** or a **surface** body.
+///
+/// The paper's §3.2 experiment turns on this distinction: a solid and a
+/// surface sphere look identical in both the CAD viewport and the exported
+/// STL, yet (combined with the material-removal choice) print differently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BodyKind {
+    /// A solid body: encloses material.
+    Solid,
+    /// A surface body: infinitely thin shell, encloses nothing.
+    Surface,
+}
+
+impl fmt::Display for BodyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BodyKind::Solid => write!(f, "solid"),
+            BodyKind::Surface => write!(f, "surface"),
+        }
+    }
+}
+
+/// Whether the embedding operation first removed material (cut a cavity)
+/// before placing the embedded body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MaterialRemoval {
+    /// A cavity of the feature's size is cut first, then the body placed in
+    /// it.
+    With,
+    /// The body is embedded directly inside the solid, with no cut.
+    Without,
+}
+
+impl fmt::Display for MaterialRemoval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MaterialRemoval::With => write!(f, "with material removal"),
+            MaterialRemoval::Without => write!(f, "without material removal"),
+        }
+    }
+}
+
+/// One step in a part's ordered feature history.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Feature {
+    /// The base solid every later feature modifies.
+    Base(SolidShape),
+    /// A spline split: a massless separation across the base extrusion
+    /// (§3.1). The spline is drawn on the xy profile plane and swept through
+    /// the full extrusion thickness.
+    SplineSplit {
+        /// The split curve; endpoints must lie on the profile boundary.
+        spline: CatmullRom,
+    },
+    /// A sphere embedded inside the base solid (§3.2).
+    EmbedSphere {
+        /// Sphere centre.
+        center: Point3,
+        /// Sphere radius (mm).
+        radius: f64,
+        /// Solid or surface body.
+        kind: BodyKind,
+        /// Whether material was removed first.
+        removal: MaterialRemoval,
+    },
+    /// A through-hole cut through the full height of the base extrusion —
+    /// ordinary design geometry (bolt holes, lightening holes). The paper
+    /// notes industrial parts are full of such features, which is exactly
+    /// where ObfusCADe features hide best.
+    CutHole {
+        /// Hole cross-section in the xy plane (must lie inside the base
+        /// profile).
+        profile: Profile,
+    },
+}
+
+impl Feature {
+    /// A short human-readable label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            Feature::Base(SolidShape::Extrusion { .. }) => "base extrusion".to_string(),
+            Feature::Base(SolidShape::Cuboid(_)) => "base cuboid".to_string(),
+            Feature::Base(SolidShape::Sphere { .. }) => "base sphere".to_string(),
+            Feature::SplineSplit { .. } => "spline split".to_string(),
+            Feature::EmbedSphere { kind, removal, .. } => {
+                format!("embedded {kind} sphere {removal}")
+            }
+            Feature::CutHole { .. } => "through hole".to_string(),
+        }
+    }
+
+    /// `true` for features that ObfusCADe plants for protection (ordinary
+    /// design geometry — the base and plain holes — is not).
+    pub fn is_security_feature(&self) -> bool {
+        !matches!(self, Feature::Base(_) | Feature::CutHole { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use am_geom::Point2;
+
+    #[test]
+    fn labels_are_descriptive() {
+        let f = Feature::EmbedSphere {
+            center: Point3::ZERO,
+            radius: 1.0,
+            kind: BodyKind::Surface,
+            removal: MaterialRemoval::With,
+        };
+        assert_eq!(f.label(), "embedded surface sphere with material removal");
+    }
+
+    #[test]
+    fn base_is_not_a_security_feature() {
+        let base = Feature::Base(SolidShape::sphere(Point3::ZERO, 1.0).unwrap());
+        assert!(!base.is_security_feature());
+        let split = Feature::SplineSplit {
+            spline: CatmullRom::new(vec![Point2::ZERO, Point2::new(1.0, 0.0)]).unwrap(),
+        };
+        assert!(split.is_security_feature());
+    }
+
+    #[test]
+    fn display_of_enums() {
+        assert_eq!(BodyKind::Solid.to_string(), "solid");
+        assert_eq!(MaterialRemoval::Without.to_string(), "without material removal");
+    }
+}

@@ -1,0 +1,51 @@
+//! A feature-based CAD kernel for the ObfusCADe toolchain.
+//!
+//! This crate is the SolidWorks stand-in of the reproduction: it models
+//! parts as ordered **feature histories** ([`Part`]) over a small solid
+//! vocabulary ([`SolidShape`]: extrusions, cuboids, spheres) and resolves
+//! them into normal-oriented [shells](Shell) that `am-mesh` tessellates to
+//! STL.
+//!
+//! The two ObfusCADe protection features live here:
+//!
+//! * [`Feature::SplineSplit`] — a massless separation across a tensile bar
+//!   (§3.1 of the paper), implemented by [`split_profile`]: the two
+//!   resulting bodies share the spline boundary but traverse it in opposite
+//!   directions, which is what makes their tessellations mismatch.
+//! * [`Feature::EmbedSphere`] — a solid or surface sphere embedded in a
+//!   prism with or without material removal (§3.2), whose resolved shell
+//!   orientations reproduce the paper's Table 3 print outcomes.
+//!
+//! Standard experiment parts are in [`parts`]; the CAD file-size model used
+//! by the §3.2 file observations is in [`cad_file_size`].
+//!
+//! # Examples
+//!
+//! ```
+//! use am_cad::parts::{tensile_bar_with_spline, TensileBarDims};
+//!
+//! let part = tensile_bar_with_spline(&TensileBarDims::default())?;
+//! let resolved = part.resolve()?;
+//! assert_eq!(resolved.shells().len(), 2); // split into two bodies
+//! # Ok::<(), am_cad::CadError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod feature;
+mod filesize;
+mod part;
+pub mod parts;
+mod profile;
+mod solid;
+mod split;
+
+pub use error::CadError;
+pub use feature::{BodyKind, Feature, MaterialRemoval};
+pub use filesize::{cad_file_size, feature_size, CAD_CONTAINER_OVERHEAD};
+pub use part::{Part, ResolvedPart, Shell};
+pub use profile::{Profile, ProfileEdge};
+pub use solid::{ShellOrientation, SolidShape};
+pub use split::split_profile;

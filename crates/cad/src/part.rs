@@ -1,0 +1,481 @@
+//! Parts: named feature histories, and their resolution into shells.
+
+use am_geom::{Aabb3, SubdivisionParams, Tolerance, Vec3};
+
+use crate::{
+    split_profile, BodyKind, CadError, Feature, MaterialRemoval, ShellOrientation, SolidShape,
+};
+
+/// A CAD part: a name plus an ordered feature history, SolidWorks-style.
+///
+/// Build a part with [`Part::new`] and [`Part::add_feature`] (or the
+/// convenience constructors in [`crate::parts`]), then [resolve](Part::resolve)
+/// it into the [shells](Shell) the STL exporter tessellates.
+///
+/// # Examples
+///
+/// ```
+/// use am_cad::{Part, Profile, SolidShape};
+/// use am_geom::Point2;
+///
+/// let profile = Profile::rectangle(Point2::new(0.0, 0.0), Point2::new(25.4, 12.7))?;
+/// let base = SolidShape::extrusion(profile, 0.0, 12.7)?;
+/// let part = Part::new("prism").with_feature(am_cad::Feature::Base(base))?;
+/// let resolved = part.resolve()?;
+/// assert_eq!(resolved.shells().len(), 1);
+/// # Ok::<(), am_cad::CadError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Part {
+    name: String,
+    features: Vec<Feature>,
+}
+
+impl Part {
+    /// Creates an empty part with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Part { name: name.into(), features: Vec::new() }
+    }
+
+    /// The part name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The ordered feature history.
+    pub fn features(&self) -> &[Feature] {
+        &self.features
+    }
+
+    /// Appends a feature, validating ordering rules.
+    ///
+    /// # Errors
+    ///
+    /// * [`CadError::BaseAlreadySet`] on a second base feature.
+    /// * [`CadError::MissingBase`] if a non-base feature precedes the base.
+    pub fn add_feature(&mut self, feature: Feature) -> Result<(), CadError> {
+        match (&feature, self.features.first()) {
+            (Feature::Base(_), Some(_)) => return Err(CadError::BaseAlreadySet),
+            (Feature::Base(_), None) => {}
+            (_, None) => return Err(CadError::MissingBase),
+            _ => {}
+        }
+        self.features.push(feature);
+        Ok(())
+    }
+
+    /// Builder-style [`add_feature`](Part::add_feature).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`add_feature`](Part::add_feature).
+    pub fn with_feature(mut self, feature: Feature) -> Result<Self, CadError> {
+        self.add_feature(feature)?;
+        Ok(self)
+    }
+
+    /// Number of security features (everything except the base).
+    pub fn security_feature_count(&self) -> usize {
+        self.features.iter().filter(|f| f.is_security_feature()).count()
+    }
+
+    /// Resolves the feature history into tessellation-ready [shells](Shell).
+    ///
+    /// This is where ObfusCADe's embedded-feature semantics live (see
+    /// DESIGN.md §4 and the paper's Table 3):
+    ///
+    /// * A **spline split** replaces the base extrusion with two extrusions
+    ///   whose shared boundary is the spline, traversed in opposite
+    ///   directions.
+    /// * An embedded sphere **without removal** exports one interior shell
+    ///   oriented as a separation (inward) — the enclosed region reads as
+    ///   outside the model.
+    /// * **With removal**, the cavity cut exports an inward shell; a
+    ///   re-embedded **solid** body adds an outward shell that cancels it,
+    ///   while a **surface** body adds a second inward shell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CadError::MissingBase`], [`CadError::SplitRequiresExtrusion`],
+    /// [`CadError::FeatureOutsideBase`], or any profile-splitting error.
+    pub fn resolve(&self) -> Result<ResolvedPart, CadError> {
+        let tol = Tolerance::new(1e-6);
+        let mut features = self.features.iter();
+        let base = match features.next() {
+            Some(Feature::Base(s)) => s.clone(),
+            _ => return Err(CadError::MissingBase),
+        };
+        let coarse = SubdivisionParams::default();
+        let base_bounds = base.aabb(&coarse);
+        let mut body_shells: Vec<Shell> = vec![Shell {
+            shape: base.clone(),
+            orientation: ShellOrientation::Outward,
+        }];
+        let mut seams: Vec<am_geom::CatmullRom> = Vec::new();
+
+        for feature in features {
+            match feature {
+                Feature::Base(_) => return Err(CadError::BaseAlreadySet),
+                Feature::SplineSplit { spline } => {
+                    // Find the (single) outward extrusion to split.
+                    let idx = body_shells
+                        .iter()
+                        .position(|s| {
+                            s.orientation == ShellOrientation::Outward
+                                && matches!(s.shape, SolidShape::Extrusion { .. })
+                        })
+                        .ok_or(CadError::SplitRequiresExtrusion)?;
+                    let (profile, z_min, z_max) = match &body_shells[idx].shape {
+                        SolidShape::Extrusion { profile, z_min, z_max } => {
+                            (profile.clone(), *z_min, *z_max)
+                        }
+                        _ => unreachable!("position() matched an extrusion"),
+                    };
+                    let (left, right) = split_profile(&profile, spline, tol)?;
+                    body_shells.remove(idx);
+                    body_shells.push(Shell {
+                        shape: SolidShape::extrusion(left, z_min, z_max)?,
+                        orientation: ShellOrientation::Outward,
+                    });
+                    body_shells.push(Shell {
+                        shape: SolidShape::extrusion(right, z_min, z_max)?,
+                        orientation: ShellOrientation::Outward,
+                    });
+                    seams.push(spline.clone());
+                }
+                Feature::CutHole { profile } => {
+                    // Validate the hole sits inside the base footprint and
+                    // cut it through the full base height as a cavity shell.
+                    let (z_min, z_max) = match &base {
+                        SolidShape::Extrusion { z_min, z_max, .. } => (*z_min, *z_max),
+                        SolidShape::Cuboid(b) => (b.min.z, b.max.z),
+                        SolidShape::Sphere { .. } => {
+                            return Err(CadError::HoleRequiresPrismaticBase)
+                        }
+                    };
+                    let hole_bounds = profile.aabb(&coarse);
+                    let base2 = am_geom::Aabb2::new(
+                        am_geom::Point2::new(base_bounds.min.x, base_bounds.min.y),
+                        am_geom::Point2::new(base_bounds.max.x, base_bounds.max.y),
+                    );
+                    if !(base2.contains(hole_bounds.min) && base2.contains(hole_bounds.max)) {
+                        return Err(CadError::FeatureOutsideBase);
+                    }
+                    body_shells.push(Shell {
+                        shape: SolidShape::extrusion(profile.clone(), z_min, z_max)?,
+                        orientation: ShellOrientation::Inward,
+                    });
+                }
+                Feature::EmbedSphere { center, radius, kind, removal } => {
+                    let sphere = SolidShape::sphere(*center, *radius)?;
+                    let sphere_bounds = sphere.aabb(&coarse);
+                    if !(base_bounds.contains(sphere_bounds.min)
+                        && base_bounds.contains(sphere_bounds.max))
+                    {
+                        return Err(CadError::FeatureOutsideBase);
+                    }
+                    match removal {
+                        MaterialRemoval::Without => {
+                            // The embedded boundary exports as a separation
+                            // surface regardless of body kind.
+                            body_shells.push(Shell {
+                                shape: sphere,
+                                orientation: ShellOrientation::Inward,
+                            });
+                        }
+                        MaterialRemoval::With => {
+                            // Cavity cut…
+                            body_shells.push(Shell {
+                                shape: sphere.clone(),
+                                orientation: ShellOrientation::Inward,
+                            });
+                            // …then the re-embedded body.
+                            let orientation = match kind {
+                                BodyKind::Solid => ShellOrientation::Outward,
+                                BodyKind::Surface => ShellOrientation::Inward,
+                            };
+                            body_shells.push(Shell { shape: sphere, orientation });
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(ResolvedPart { name: self.name.clone(), shells: body_shells, seams })
+    }
+}
+
+/// One tessellation-ready shell: a closed surface plus a normal orientation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Shell {
+    /// The shell geometry.
+    pub shape: SolidShape,
+    /// Facet-normal orientation the tessellator must emit.
+    pub orientation: ShellOrientation,
+}
+
+/// The result of resolving a [`Part`]'s feature history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedPart {
+    name: String,
+    shells: Vec<Shell>,
+    seams: Vec<am_geom::CatmullRom>,
+}
+
+impl ResolvedPart {
+    /// The part name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The shells to tessellate.
+    pub fn shells(&self) -> &[Shell] {
+        &self.shells
+    }
+
+    /// Split seams planted in the part (one spline per spline-split
+    /// feature) — used by downstream inspection and authentication.
+    pub fn seams(&self) -> &[am_geom::CatmullRom] {
+        &self.seams
+    }
+
+    /// Bounding box over all shells at the given resolution.
+    pub fn aabb(&self, params: &SubdivisionParams) -> Option<Aabb3> {
+        let mut it = self.shells.iter().map(|s| s.shape.aabb(params));
+        let first = it.next()?;
+        Some(it.fold(first, |acc, b| acc.union(&b)))
+    }
+
+    /// Net material volume: outward shells add, inward shells subtract,
+    /// except that exactly-cancelling shell pairs contribute zero.
+    pub fn net_volume(&self, params: &SubdivisionParams) -> f64 {
+        self.shells
+            .iter()
+            .map(|s| s.orientation.winding_sign() as f64 * s.shape.volume(params))
+            .sum::<f64>()
+            .max(0.0)
+    }
+
+    /// Moves every shell by `offset` (placement on the build plate is done
+    /// by the slicer; this helper exists for scene composition).
+    pub fn translated(&self, offset: Vec3) -> ResolvedPart {
+        let shells = self
+            .shells
+            .iter()
+            .map(|s| Shell {
+                shape: match &s.shape {
+                    SolidShape::Extrusion { profile, z_min, z_max } => {
+                        // Translating a profile solid in x/y would require
+                        // rebuilding the profile; only z offsets are exact.
+                        // For general offsets downstream code transforms the
+                        // tessellated mesh instead, so restrict to z here.
+                        assert!(
+                            offset.x == 0.0 && offset.y == 0.0,
+                            "extrusion shells only support z translation; transform the mesh instead"
+                        );
+                        SolidShape::Extrusion {
+                            profile: profile.clone(),
+                            z_min: z_min + offset.z,
+                            z_max: z_max + offset.z,
+                        }
+                    }
+                    SolidShape::Cuboid(b) => {
+                        SolidShape::Cuboid(Aabb3::new(b.min + offset, b.max + offset))
+                    }
+                    SolidShape::Sphere { center, radius } => {
+                        SolidShape::Sphere { center: *center + offset, radius: *radius }
+                    }
+                },
+                orientation: s.orientation,
+            })
+            .collect();
+        ResolvedPart { name: self.name.clone(), shells, seams: self.seams.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Profile;
+    use am_geom::{CatmullRom, Point2, Point3};
+
+    fn base_extrusion() -> SolidShape {
+        let profile = Profile::rectangle(Point2::new(0.0, 0.0), Point2::new(10.0, 4.0)).unwrap();
+        SolidShape::extrusion(profile, 0.0, 3.0).unwrap()
+    }
+
+    fn base_cuboid() -> SolidShape {
+        SolidShape::Cuboid(Aabb3::new(Point3::ZERO, Point3::new(25.4, 12.7, 12.7)))
+    }
+
+    #[test]
+    fn feature_ordering_enforced() {
+        let mut p = Part::new("t");
+        let split = Feature::SplineSplit {
+            spline: CatmullRom::new(vec![Point2::ZERO, Point2::new(1.0, 0.0)]).unwrap(),
+        };
+        assert_eq!(p.add_feature(split).unwrap_err(), CadError::MissingBase);
+        p.add_feature(Feature::Base(base_extrusion())).unwrap();
+        assert_eq!(
+            p.add_feature(Feature::Base(base_extrusion())).unwrap_err(),
+            CadError::BaseAlreadySet
+        );
+    }
+
+    #[test]
+    fn resolve_plain_base() {
+        let p = Part::new("bar").with_feature(Feature::Base(base_extrusion())).unwrap();
+        let r = p.resolve().unwrap();
+        assert_eq!(r.shells().len(), 1);
+        assert_eq!(r.shells()[0].orientation, ShellOrientation::Outward);
+        assert!(r.seams().is_empty());
+    }
+
+    #[test]
+    fn resolve_spline_split_gives_two_bodies() {
+        let spline = CatmullRom::new(vec![
+            Point2::new(3.0, 4.0),
+            Point2::new(5.0, 2.0),
+            Point2::new(7.0, 0.0),
+        ])
+        .unwrap();
+        let p = Part::new("bar")
+            .with_feature(Feature::Base(base_extrusion()))
+            .unwrap()
+            .with_feature(Feature::SplineSplit { spline })
+            .unwrap();
+        let r = p.resolve().unwrap();
+        assert_eq!(r.shells().len(), 2);
+        assert_eq!(r.seams().len(), 1);
+        // Volume is conserved by the massless split.
+        let params = SubdivisionParams::new(0.05, 0.005);
+        assert!((r.net_volume(&params) - 120.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn embed_without_removal_gives_inward_shell() {
+        for kind in [BodyKind::Solid, BodyKind::Surface] {
+            let p = Part::new("prism")
+                .with_feature(Feature::Base(base_cuboid()))
+                .unwrap()
+                .with_feature(Feature::EmbedSphere {
+                    center: Point3::new(12.7, 6.35, 6.35),
+                    radius: 3.175,
+                    kind,
+                    removal: MaterialRemoval::Without,
+                })
+                .unwrap();
+            let r = p.resolve().unwrap();
+            assert_eq!(r.shells().len(), 2);
+            assert_eq!(r.shells()[1].orientation, ShellOrientation::Inward);
+        }
+    }
+
+    #[test]
+    fn embed_with_removal_orientation_depends_on_kind() {
+        let resolve = |kind| {
+            Part::new("prism")
+                .with_feature(Feature::Base(base_cuboid()))
+                .unwrap()
+                .with_feature(Feature::EmbedSphere {
+                    center: Point3::new(12.7, 6.35, 6.35),
+                    radius: 3.175,
+                    kind,
+                    removal: MaterialRemoval::With,
+                })
+                .unwrap()
+                .resolve()
+                .unwrap()
+        };
+        let solid = resolve(BodyKind::Solid);
+        assert_eq!(solid.shells().len(), 3);
+        assert_eq!(solid.shells()[1].orientation, ShellOrientation::Inward);
+        assert_eq!(solid.shells()[2].orientation, ShellOrientation::Outward);
+
+        let surface = resolve(BodyKind::Surface);
+        assert_eq!(surface.shells().len(), 3);
+        assert_eq!(surface.shells()[2].orientation, ShellOrientation::Inward);
+    }
+
+    #[test]
+    fn net_volume_reflects_winding() {
+        // Without removal: sphere subtracts (reads as void).
+        let p = Part::new("prism")
+            .with_feature(Feature::Base(base_cuboid()))
+            .unwrap()
+            .with_feature(Feature::EmbedSphere {
+                center: Point3::new(12.7, 6.35, 6.35),
+                radius: 3.0,
+                kind: BodyKind::Solid,
+                removal: MaterialRemoval::Without,
+            })
+            .unwrap()
+            .resolve()
+            .unwrap();
+        let params = SubdivisionParams::default();
+        let prism_vol = 25.4 * 12.7 * 12.7;
+        let sphere_vol = 4.0 / 3.0 * std::f64::consts::PI * 27.0;
+        assert!((p.net_volume(&params) - (prism_vol - sphere_vol)).abs() < 1e-6);
+
+        // With removal + solid: cancels, full prism volume.
+        let q = Part::new("prism")
+            .with_feature(Feature::Base(base_cuboid()))
+            .unwrap()
+            .with_feature(Feature::EmbedSphere {
+                center: Point3::new(12.7, 6.35, 6.35),
+                radius: 3.0,
+                kind: BodyKind::Solid,
+                removal: MaterialRemoval::With,
+            })
+            .unwrap()
+            .resolve()
+            .unwrap();
+        assert!((q.net_volume(&params) - prism_vol).abs() < 1e-6);
+    }
+
+    #[test]
+    fn feature_outside_base_rejected() {
+        let err = Part::new("prism")
+            .with_feature(Feature::Base(base_cuboid()))
+            .unwrap()
+            .with_feature(Feature::EmbedSphere {
+                center: Point3::new(0.0, 0.0, 0.0),
+                radius: 3.0,
+                kind: BodyKind::Solid,
+                removal: MaterialRemoval::Without,
+            })
+            .unwrap()
+            .resolve()
+            .unwrap_err();
+        assert_eq!(err, CadError::FeatureOutsideBase);
+    }
+
+    #[test]
+    fn split_on_cuboid_base_rejected() {
+        let err = Part::new("prism")
+            .with_feature(Feature::Base(base_cuboid()))
+            .unwrap()
+            .with_feature(Feature::SplineSplit {
+                spline: CatmullRom::new(vec![Point2::ZERO, Point2::new(1.0, 0.0)]).unwrap(),
+            })
+            .unwrap()
+            .resolve()
+            .unwrap_err();
+        assert_eq!(err, CadError::SplitRequiresExtrusion);
+    }
+
+    #[test]
+    fn security_feature_count() {
+        let p = Part::new("prism")
+            .with_feature(Feature::Base(base_cuboid()))
+            .unwrap()
+            .with_feature(Feature::EmbedSphere {
+                center: Point3::new(12.7, 6.35, 6.35),
+                radius: 3.0,
+                kind: BodyKind::Solid,
+                removal: MaterialRemoval::Without,
+            })
+            .unwrap();
+        assert_eq!(p.security_feature_count(), 1);
+    }
+}

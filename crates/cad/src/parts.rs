@@ -1,0 +1,472 @@
+//! Standard parts used by the paper's experiments.
+//!
+//! * A tensile test specimen (ASTM D638 Type-IV-like dogbone with the
+//!   paper's 6 mm gauge width), intact or with the §3.1 spline-split
+//!   feature whose spline is ~3.5× the gauge width in arc length.
+//! * The §3.2 rectangular prism (1 × 0.5 × 0.5 in³ = 25.4 × 12.7 × 12.7 mm³)
+//!   with an embedded sphere of radius 0.3175 cm = 3.175 mm.
+
+use am_geom::{Aabb3, CatmullRom, Point2, Point3};
+
+use crate::{BodyKind, CadError, Feature, MaterialRemoval, Part, Profile, SolidShape};
+
+/// Dimensions of the dogbone tensile specimen (millimetres).
+///
+/// Defaults follow ASTM D638 Type IV, which matches the paper's 6 mm gauge
+/// width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TensileBarDims {
+    /// Overall specimen length.
+    pub overall_length: f64,
+    /// Width of the grip ends.
+    pub grip_width: f64,
+    /// Width of the gauge (narrow) section — 6 mm in the paper.
+    pub gauge_width: f64,
+    /// Length of the straight gauge section.
+    pub gauge_length: f64,
+    /// Length of each linear taper between grip and gauge.
+    pub taper_length: f64,
+    /// Specimen thickness (extrusion height).
+    pub thickness: f64,
+}
+
+impl Default for TensileBarDims {
+    fn default() -> Self {
+        TensileBarDims {
+            overall_length: 115.0,
+            grip_width: 19.0,
+            gauge_width: 6.0,
+            gauge_length: 33.0,
+            taper_length: 25.0,
+            thickness: 3.2,
+        }
+    }
+}
+
+impl TensileBarDims {
+    /// Validates that all dimensions are positive and mutually consistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CadError::InvalidDimension`] naming the offending value.
+    pub fn validate(&self) -> Result<(), CadError> {
+        let checks = [
+            ("overall_length", self.overall_length),
+            ("grip_width", self.grip_width),
+            ("gauge_width", self.gauge_width),
+            ("gauge_length", self.gauge_length),
+            ("taper_length", self.taper_length),
+            ("thickness", self.thickness),
+        ];
+        for (name, value) in checks {
+            if !(value > 0.0) || !value.is_finite() {
+                return Err(CadError::InvalidDimension { name, value });
+            }
+        }
+        if self.gauge_width >= self.grip_width {
+            return Err(CadError::InvalidDimension {
+                name: "gauge_width (must be below grip_width)",
+                value: self.gauge_width,
+            });
+        }
+        if self.grip_length() <= 0.0 {
+            return Err(CadError::InvalidDimension {
+                name: "overall_length (too short for gauge + tapers)",
+                value: self.overall_length,
+            });
+        }
+        Ok(())
+    }
+
+    /// Length of each grip end.
+    pub fn grip_length(&self) -> f64 {
+        (self.overall_length - self.gauge_length - 2.0 * self.taper_length) / 2.0
+    }
+
+    /// The dogbone outline, counter-clockwise, centred on the origin.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CadError::InvalidDimension`] from validation.
+    pub fn profile(&self) -> Result<Profile, CadError> {
+        self.validate()?;
+        let xl = self.overall_length / 2.0;
+        let xt = self.gauge_length / 2.0 + self.taper_length;
+        let xg = self.gauge_length / 2.0;
+        let yg = self.grip_width / 2.0;
+        let yn = self.gauge_width / 2.0;
+        Profile::polygon(vec![
+            Point2::new(-xl, -yg),
+            Point2::new(-xt, -yg),
+            Point2::new(-xg, -yn),
+            Point2::new(xg, -yn),
+            Point2::new(xt, -yg),
+            Point2::new(xl, -yg),
+            Point2::new(xl, yg),
+            Point2::new(xt, yg),
+            Point2::new(xg, yn),
+            Point2::new(-xg, yn),
+            Point2::new(-xt, yg),
+            Point2::new(-xl, yg),
+        ])
+    }
+}
+
+/// The paper's spline split curve for a given bar: a wavy S-curve crossing
+/// the gauge section diagonally, entering on the top edge and exiting on the
+/// bottom edge, with arc length ≈ 3.5 × the gauge width (21 mm for the
+/// default 6 mm gauge).
+///
+/// # Errors
+///
+/// Propagates [`CadError::InvalidDimension`] from validation.
+pub fn standard_split_spline(dims: &TensileBarDims) -> Result<CatmullRom, CadError> {
+    dims.validate()?;
+    // Scale the canonical control polygon (half-width 3, x span ±9 for the
+    // default bar) to this bar's gauge section.
+    let x_span = (9.0 * dims.gauge_width / 6.0).min(dims.gauge_length / 2.0 * 0.6);
+    let y = dims.gauge_width / 2.0;
+    let pts = vec![
+        Point2::new(-x_span, y),
+        Point2::new(-x_span * 5.0 / 9.0, y * 0.5 / 3.0),
+        Point2::new(-x_span * 1.0 / 9.0, y * 1.5 / 3.0),
+        Point2::new(x_span * 1.0 / 9.0, -y * 1.5 / 3.0),
+        Point2::new(x_span * 5.0 / 9.0, -y * 0.5 / 3.0),
+        Point2::new(x_span, -y),
+    ];
+    Ok(CatmullRom::new(pts).expect("six points"))
+}
+
+/// An intact tensile bar (no security features).
+///
+/// # Errors
+///
+/// Propagates dimension-validation errors.
+pub fn tensile_bar(dims: &TensileBarDims) -> Result<Part, CadError> {
+    let profile = dims.profile()?;
+    let base = SolidShape::extrusion(profile, 0.0, dims.thickness)?;
+    Part::new("tensile-bar-intact").with_feature(Feature::Base(base))
+}
+
+/// A tensile bar protected with the §3.1 spline split feature.
+///
+/// # Errors
+///
+/// Propagates dimension-validation errors.
+pub fn tensile_bar_with_spline(dims: &TensileBarDims) -> Result<Part, CadError> {
+    let profile = dims.profile()?;
+    let base = SolidShape::extrusion(profile, 0.0, dims.thickness)?;
+    Part::new("tensile-bar-spline")
+        .with_feature(Feature::Base(base))?
+        .with_feature(Feature::SplineSplit { spline: standard_split_spline(dims)? })
+}
+
+/// Dimensions of the §3.2 rectangular prism experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrismDims {
+    /// Prism edge lengths (mm). Paper: 25.4 × 12.7 × 12.7.
+    pub size: Point3,
+    /// Embedded sphere radius (mm). Paper: 3.175.
+    pub sphere_radius: f64,
+}
+
+impl Default for PrismDims {
+    fn default() -> Self {
+        PrismDims { size: Point3::new(25.4, 12.7, 12.7), sphere_radius: 3.175 }
+    }
+}
+
+impl PrismDims {
+    fn cuboid(&self) -> SolidShape {
+        SolidShape::Cuboid(Aabb3::new(Point3::ZERO, self.size))
+    }
+
+    fn center(&self) -> Point3 {
+        self.size * 0.5
+    }
+}
+
+/// The intact rectangular prism (reference model of §3.2).
+pub fn intact_prism(dims: &PrismDims) -> Part {
+    Part::new("prism-intact")
+        .with_feature(Feature::Base(dims.cuboid()))
+        .expect("base feature on empty part")
+}
+
+/// The rectangular prism with an embedded sphere, in any of the four §3.2
+/// configurations (solid/surface × with/without material removal).
+///
+/// # Errors
+///
+/// Returns [`CadError::InvalidDimension`] if the sphere does not fit.
+pub fn prism_with_sphere(
+    dims: &PrismDims,
+    kind: BodyKind,
+    removal: MaterialRemoval,
+) -> Result<Part, CadError> {
+    let min_half = dims.size.x.min(dims.size.y).min(dims.size.z) / 2.0;
+    if !(dims.sphere_radius > 0.0) || dims.sphere_radius >= min_half {
+        return Err(CadError::InvalidDimension {
+            name: "sphere_radius",
+            value: dims.sphere_radius,
+        });
+    }
+    let name = format!(
+        "prism-sphere-{}-{}",
+        match kind {
+            BodyKind::Solid => "solid",
+            BodyKind::Surface => "surface",
+        },
+        match removal {
+            MaterialRemoval::With => "removal",
+            MaterialRemoval::Without => "noremoval",
+        }
+    );
+    let mut part = Part::new(name);
+    part.add_feature(Feature::Base(dims.cuboid()))?;
+    part.add_feature(Feature::EmbedSphere {
+        center: dims.center(),
+        radius: dims.sphere_radius,
+        kind,
+        removal,
+    })?;
+    Ok(part)
+}
+
+/// Dimensions of the mounting-bracket demo part: a plate with bolt holes
+/// and a large centre cut-out — the "complex engineering design" setting
+/// the paper argues ObfusCADe features hide in best.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BracketDims {
+    /// Plate length (x, mm).
+    pub length: f64,
+    /// Plate width (y, mm).
+    pub width: f64,
+    /// Plate thickness (mm).
+    pub thickness: f64,
+    /// Corner bolt-hole radius (mm).
+    pub bolt_radius: f64,
+    /// Centre lightening-hole radius (mm).
+    pub center_radius: f64,
+}
+
+impl Default for BracketDims {
+    fn default() -> Self {
+        BracketDims {
+            length: 60.0,
+            width: 40.0,
+            thickness: 4.0,
+            bolt_radius: 3.0,
+            center_radius: 8.0,
+        }
+    }
+}
+
+impl BracketDims {
+    fn hole_centers(&self) -> [Point2; 4] {
+        let inset = 4.0 * self.bolt_radius / 1.5;
+        [
+            Point2::new(inset, inset),
+            Point2::new(self.length - inset, inset),
+            Point2::new(self.length - inset, self.width - inset),
+            Point2::new(inset, self.width - inset),
+        ]
+    }
+}
+
+/// An intact mounting bracket: plate + four bolt holes + a centre cut-out.
+///
+/// # Errors
+///
+/// Returns [`CadError::InvalidDimension`] for inconsistent dimensions.
+pub fn bracket(dims: &BracketDims) -> Result<Part, CadError> {
+    if !(dims.length > 4.0 * dims.bolt_radius && dims.width > 4.0 * dims.bolt_radius) {
+        return Err(CadError::InvalidDimension { name: "bolt_radius", value: dims.bolt_radius });
+    }
+    if dims.center_radius * 2.5 >= dims.width.min(dims.length) {
+        return Err(CadError::InvalidDimension {
+            name: "center_radius",
+            value: dims.center_radius,
+        });
+    }
+    let plate = Profile::rectangle(Point2::ZERO, Point2::new(dims.length, dims.width))?;
+    let mut part = Part::new("bracket-intact");
+    part.add_feature(Feature::Base(SolidShape::extrusion(plate, 0.0, dims.thickness)?))?;
+    for center in dims.hole_centers() {
+        let circle = am_geom::Polygon2::circle(center, dims.bolt_radius, 24);
+        part.add_feature(Feature::CutHole {
+            profile: Profile::polygon(circle.vertices().to_vec())?,
+        })?;
+    }
+    let center_hole = am_geom::Polygon2::circle(
+        Point2::new(dims.length / 2.0, dims.width / 2.0),
+        dims.center_radius,
+        48,
+    );
+    part.add_feature(Feature::CutHole {
+        profile: Profile::polygon(center_hole.vertices().to_vec())?,
+    })?;
+    Ok(part)
+}
+
+/// The bracket protected with a spline split weaving between the centre
+/// cut-out and a bolt hole — the kind of feature "overlap" the paper says
+/// makes detection in complex models unlikely.
+///
+/// # Errors
+///
+/// Propagates dimension and geometry errors.
+pub fn bracket_with_spline(dims: &BracketDims) -> Result<Part, CadError> {
+    let mut part = bracket(dims)?;
+    // A wavy split from the bottom edge to the top edge, passing between
+    // the centre hole and the right bolt holes.
+    let x0 = dims.length * 0.62;
+    let spline = CatmullRom::new(vec![
+        Point2::new(x0, dims.width),
+        Point2::new(x0 + dims.length * 0.06, dims.width * 0.7),
+        Point2::new(x0 - dims.length * 0.05, dims.width * 0.42),
+        Point2::new(x0 + dims.length * 0.03, 0.0),
+    ])
+    .expect("four points");
+    part.add_feature(Feature::SplineSplit { spline })?;
+    // Renaming keeps reports readable.
+    let mut renamed = Part::new("bracket-spline");
+    for f in part.features() {
+        renamed.add_feature(f.clone())?;
+    }
+    Ok(renamed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use am_geom::SubdivisionParams;
+
+    #[test]
+    fn default_dims_validate() {
+        TensileBarDims::default().validate().unwrap();
+    }
+
+    #[test]
+    fn dogbone_profile_is_ccw_with_correct_area() {
+        let dims = TensileBarDims::default();
+        let p = dims.profile().unwrap();
+        assert!(p.is_ccw());
+        let area = p.signed_area(&SubdivisionParams::default());
+        // grips: 2 × 16 × 19; gauge: 33 × 6; tapers: 2 × trapezoid 25 × (19+6)/2
+        let expected = 2.0 * 16.0 * 19.0 + 33.0 * 6.0 + 2.0 * 25.0 * 12.5;
+        assert!((area - expected).abs() < 1e-9, "area = {area}, expected {expected}");
+    }
+
+    #[test]
+    fn spline_arc_length_matches_paper() {
+        // Paper: spline length 21 mm = 3.5 × the 6 mm gauge width.
+        let spline = standard_split_spline(&TensileBarDims::default()).unwrap();
+        let len = spline.arc_length();
+        assert!((len - 21.0).abs() < 2.5, "arc length = {len}");
+    }
+
+    #[test]
+    fn spline_endpoints_on_gauge_edges() {
+        let dims = TensileBarDims::default();
+        let spline = standard_split_spline(&dims).unwrap();
+        let first = spline.through_points()[0];
+        let last = *spline.through_points().last().unwrap();
+        assert_eq!(first.y, dims.gauge_width / 2.0);
+        assert_eq!(last.y, -dims.gauge_width / 2.0);
+        assert!(first.x.abs() <= dims.gauge_length / 2.0);
+        assert!(last.x.abs() <= dims.gauge_length / 2.0);
+    }
+
+    #[test]
+    fn split_bar_resolves_to_two_bodies() {
+        let part = tensile_bar_with_spline(&TensileBarDims::default()).unwrap();
+        let r = part.resolve().unwrap();
+        assert_eq!(r.shells().len(), 2);
+        assert_eq!(r.seams().len(), 1);
+    }
+
+    #[test]
+    fn split_conserves_volume() {
+        let dims = TensileBarDims::default();
+        let intact = tensile_bar(&dims).unwrap().resolve().unwrap();
+        let split = tensile_bar_with_spline(&dims).unwrap().resolve().unwrap();
+        let params = SubdivisionParams::new(0.02, 0.002);
+        let vi = intact.net_volume(&params);
+        let vs = split.net_volume(&params);
+        assert!((vi - vs).abs() / vi < 1e-3, "intact {vi} vs split {vs}");
+    }
+
+    #[test]
+    fn prism_variants_resolve() {
+        let dims = PrismDims::default();
+        for kind in [BodyKind::Solid, BodyKind::Surface] {
+            for removal in [MaterialRemoval::With, MaterialRemoval::Without] {
+                let part = prism_with_sphere(&dims, kind, removal).unwrap();
+                let r = part.resolve().unwrap();
+                let expected_shells = match removal {
+                    MaterialRemoval::With => 3,
+                    MaterialRemoval::Without => 2,
+                };
+                assert_eq!(r.shells().len(), expected_shells, "{}", part.name());
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_sphere_rejected() {
+        let dims = PrismDims { sphere_radius: 7.0, ..PrismDims::default() };
+        assert!(prism_with_sphere(&dims, BodyKind::Solid, MaterialRemoval::Without).is_err());
+    }
+
+    #[test]
+    fn bracket_resolves_with_holes_as_cavity_shells() {
+        let part = bracket(&BracketDims::default()).unwrap();
+        let r = part.resolve().unwrap();
+        // 1 plate + 4 bolt holes + 1 centre hole.
+        assert_eq!(r.shells().len(), 6);
+        assert_eq!(
+            r.shells().iter().filter(|s| s.orientation == crate::ShellOrientation::Inward).count(),
+            5
+        );
+        assert_eq!(part.security_feature_count(), 0, "holes are ordinary geometry");
+        // Net volume = plate − holes.
+        let dims = BracketDims::default();
+        let params = SubdivisionParams::default();
+        let plate = dims.length * dims.width * dims.thickness;
+        let holes = (4.0 * std::f64::consts::PI * dims.bolt_radius.powi(2)
+            + std::f64::consts::PI * dims.center_radius.powi(2))
+            * dims.thickness;
+        let v = r.net_volume(&params);
+        assert!((v - (plate - holes)).abs() / plate < 0.02, "v = {v}");
+    }
+
+    #[test]
+    fn protected_bracket_splits_cleanly_around_holes() {
+        let part = bracket_with_spline(&BracketDims::default()).unwrap();
+        assert_eq!(part.security_feature_count(), 1);
+        let r = part.resolve().unwrap();
+        // Two plate halves + 5 hole shells.
+        assert_eq!(r.shells().len(), 7);
+        assert_eq!(r.seams().len(), 1);
+        // Volume conserved by the massless split.
+        let intact = bracket(&BracketDims::default()).unwrap().resolve().unwrap();
+        let params = SubdivisionParams::new(0.05, 0.01);
+        let (vi, vs) = (intact.net_volume(&params), r.net_volume(&params));
+        assert!((vi - vs).abs() / vi < 0.01, "{vi} vs {vs}");
+    }
+
+    #[test]
+    fn oversized_bracket_holes_rejected() {
+        let dims = BracketDims { center_radius: 30.0, ..BracketDims::default() };
+        assert!(bracket(&dims).is_err());
+    }
+
+    #[test]
+    fn invalid_dims_rejected() {
+        let dims = TensileBarDims { gauge_width: 25.0, ..TensileBarDims::default() };
+        assert!(matches!(dims.validate(), Err(CadError::InvalidDimension { .. })));
+        let dims2 = TensileBarDims { overall_length: 50.0, ..TensileBarDims::default() };
+        assert!(dims2.validate().is_err());
+    }
+}

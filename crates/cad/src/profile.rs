@@ -1,0 +1,301 @@
+//! Planar profiles: closed loops of straight and spline edges.
+
+use am_geom::{Aabb2, CatmullRom, Point2, Polygon2, Segment2, SubdivisionParams, Tolerance};
+
+use crate::CadError;
+
+/// One edge of a [`Profile`] boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProfileEdge {
+    /// A straight edge.
+    Line(Segment2),
+    /// A free-form spline edge, traversed from its first through-point to
+    /// its last. Traversal direction matters: it decides which way the STL
+    /// tessellator walks the curve, which is the root of the ObfusCADe
+    /// vertex-mismatch exploit (Fig. 4 of the paper).
+    Spline(CatmullRom),
+}
+
+impl ProfileEdge {
+    /// Start point of the edge.
+    pub fn start(&self) -> Point2 {
+        match self {
+            ProfileEdge::Line(s) => s.start,
+            ProfileEdge::Spline(c) => c.through_points()[0],
+        }
+    }
+
+    /// End point of the edge.
+    pub fn end(&self) -> Point2 {
+        match self {
+            ProfileEdge::Line(s) => s.end,
+            ProfileEdge::Spline(c) => *c.through_points().last().expect("spline has points"),
+        }
+    }
+
+    /// `true` if the edge is curved.
+    pub fn is_curved(&self) -> bool {
+        matches!(self, ProfileEdge::Spline(_))
+    }
+
+    /// Polygonizes the edge into a chain including both endpoints.
+    pub fn polygonize(&self, params: &SubdivisionParams) -> Vec<Point2> {
+        match self {
+            ProfileEdge::Line(s) => vec![s.start, s.end],
+            ProfileEdge::Spline(c) => c.subdivide(params),
+        }
+    }
+
+    /// Arc length of the edge (exact for lines, numeric for splines).
+    pub fn length(&self) -> f64 {
+        match self {
+            ProfileEdge::Line(s) => s.length(),
+            ProfileEdge::Spline(c) => c.arc_length(),
+        }
+    }
+}
+
+/// A closed planar profile: an ordered loop of [`ProfileEdge`]s, wound
+/// counter-clockwise around material.
+///
+/// # Examples
+///
+/// ```
+/// use am_cad::Profile;
+/// use am_geom::Point2;
+///
+/// let p = Profile::polygon(vec![
+///     Point2::new(0.0, 0.0),
+///     Point2::new(4.0, 0.0),
+///     Point2::new(4.0, 2.0),
+///     Point2::new(0.0, 2.0),
+/// ])?;
+/// assert_eq!(p.edge_count(), 4);
+/// # Ok::<(), am_cad::CadError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    edges: Vec<ProfileEdge>,
+}
+
+impl Profile {
+    /// Creates a profile from an edge loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CadError::OpenProfile`] if consecutive edges (including
+    /// last→first) do not meet within the default [`Tolerance`], or
+    /// [`CadError::DegenerateProfile`] for fewer than three distinct
+    /// vertices.
+    pub fn new(edges: Vec<ProfileEdge>) -> Result<Self, CadError> {
+        let tol = Tolerance::new(1e-6);
+        if edges.len() < 2 {
+            return Err(CadError::DegenerateProfile);
+        }
+        for i in 0..edges.len() {
+            let next = (i + 1) % edges.len();
+            let gap = edges[i].end().distance(edges[next].start());
+            if gap > tol.value() {
+                return Err(CadError::OpenProfile { edge: i, gap });
+            }
+        }
+        let profile = Profile { edges };
+        // A loop of two straight edges is degenerate; a loop containing a
+        // spline can be valid with two edges.
+        let poly = profile.polygonize(&SubdivisionParams::default());
+        if poly.len() < 3 {
+            return Err(CadError::DegenerateProfile);
+        }
+        Ok(profile)
+    }
+
+    /// Creates a straight-edged profile from a vertex loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CadError::DegenerateProfile`] for fewer than three vertices.
+    pub fn polygon(vertices: Vec<Point2>) -> Result<Self, CadError> {
+        if vertices.len() < 3 {
+            return Err(CadError::DegenerateProfile);
+        }
+        let n = vertices.len();
+        let edges = (0..n)
+            .map(|i| ProfileEdge::Line(Segment2::new(vertices[i], vertices[(i + 1) % n])))
+            .collect();
+        Profile::new(edges)
+    }
+
+    /// Axis-aligned rectangle profile (counter-clockwise).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CadError::InvalidDimension`] if the rectangle is empty.
+    pub fn rectangle(min: Point2, max: Point2) -> Result<Self, CadError> {
+        if !(max.x > min.x) {
+            return Err(CadError::InvalidDimension { name: "rectangle width", value: max.x - min.x });
+        }
+        if !(max.y > min.y) {
+            return Err(CadError::InvalidDimension { name: "rectangle height", value: max.y - min.y });
+        }
+        Profile::polygon(vec![
+            min,
+            Point2::new(max.x, min.y),
+            max,
+            Point2::new(min.x, max.y),
+        ])
+    }
+
+    /// The edges of the profile.
+    pub fn edges(&self) -> &[ProfileEdge] {
+        &self.edges
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` if any edge is a spline.
+    pub fn has_curved_edges(&self) -> bool {
+        self.edges.iter().any(ProfileEdge::is_curved)
+    }
+
+    /// Polygonizes the boundary at the given resolution into a vertex loop
+    /// (no repeated closing vertex).
+    pub fn polygonize(&self, params: &SubdivisionParams) -> Vec<Point2> {
+        let tol = Tolerance::new(1e-9);
+        let mut out: Vec<Point2> = Vec::new();
+        for edge in &self.edges {
+            let pts = edge.polygonize(params);
+            for p in pts {
+                if out.last().map_or(true, |q| !q.approx_eq(p, tol)) {
+                    out.push(p);
+                }
+            }
+        }
+        // Drop the closing duplicate of the first vertex, if present.
+        if out.len() > 1 && out[0].approx_eq(*out.last().expect("non-empty"), tol) {
+            out.pop();
+        }
+        out
+    }
+
+    /// The profile as a [`Polygon2`] at the given resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if polygonization yields fewer than three vertices (prevented
+    /// by construction-time validation).
+    pub fn to_polygon(&self, params: &SubdivisionParams) -> Polygon2 {
+        Polygon2::new(self.polygonize(params))
+    }
+
+    /// Enclosed area at the given resolution (positive for CCW profiles).
+    pub fn signed_area(&self, params: &SubdivisionParams) -> f64 {
+        self.to_polygon(params).signed_area()
+    }
+
+    /// `true` if the profile winds counter-clockwise.
+    pub fn is_ccw(&self) -> bool {
+        self.signed_area(&SubdivisionParams::default()) > 0.0
+    }
+
+    /// Bounding box at the given resolution.
+    pub fn aabb(&self, params: &SubdivisionParams) -> Aabb2 {
+        self.to_polygon(params).aabb()
+    }
+
+    /// Total boundary length.
+    pub fn perimeter(&self) -> f64 {
+        self.edges.iter().map(ProfileEdge::length).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangle_round_trip() {
+        let p = Profile::rectangle(Point2::ZERO, Point2::new(4.0, 2.0)).unwrap();
+        assert_eq!(p.edge_count(), 4);
+        assert!(p.is_ccw());
+        assert!((p.signed_area(&SubdivisionParams::default()) - 8.0).abs() < 1e-12);
+        assert!(!p.has_curved_edges());
+        assert_eq!(p.perimeter(), 12.0);
+    }
+
+    #[test]
+    fn open_loop_rejected() {
+        let e = Profile::new(vec![
+            ProfileEdge::Line(Segment2::new(Point2::ZERO, Point2::new(1.0, 0.0))),
+            ProfileEdge::Line(Segment2::new(Point2::new(1.0, 0.0), Point2::new(1.0, 1.0))),
+            ProfileEdge::Line(Segment2::new(Point2::new(1.0, 1.0), Point2::new(0.5, 0.5))),
+        ])
+        .unwrap_err();
+        assert!(matches!(e, CadError::OpenProfile { edge: 2, .. }));
+    }
+
+    #[test]
+    fn degenerate_profile_rejected() {
+        assert_eq!(
+            Profile::polygon(vec![Point2::ZERO, Point2::X]).unwrap_err(),
+            CadError::DegenerateProfile
+        );
+    }
+
+    #[test]
+    fn empty_rectangle_rejected() {
+        assert!(matches!(
+            Profile::rectangle(Point2::ZERO, Point2::new(0.0, 1.0)),
+            Err(CadError::InvalidDimension { .. })
+        ));
+    }
+
+    #[test]
+    fn profile_with_spline_edge() {
+        // A half-disc-ish shape: straight base + arced spline back.
+        let spline = CatmullRom::new(vec![
+            Point2::new(4.0, 0.0),
+            Point2::new(2.0, 2.0),
+            Point2::new(0.0, 0.0),
+        ])
+        .unwrap();
+        let p = Profile::new(vec![
+            ProfileEdge::Line(Segment2::new(Point2::ZERO, Point2::new(4.0, 0.0))),
+            ProfileEdge::Spline(spline),
+        ])
+        .unwrap();
+        assert!(p.has_curved_edges());
+        let area = p.signed_area(&SubdivisionParams::default());
+        assert!(area > 2.0 && area < 8.0, "area = {area}");
+    }
+
+    #[test]
+    fn finer_resolution_gives_more_vertices_with_curves() {
+        let spline = CatmullRom::new(vec![
+            Point2::new(4.0, 0.0),
+            Point2::new(2.0, 2.0),
+            Point2::new(0.0, 0.0),
+        ])
+        .unwrap();
+        let p = Profile::new(vec![
+            ProfileEdge::Line(Segment2::new(Point2::ZERO, Point2::new(4.0, 0.0))),
+            ProfileEdge::Spline(spline),
+        ])
+        .unwrap();
+        let coarse = p.polygonize(&SubdivisionParams::new(0.6, 0.5)).len();
+        let fine = p.polygonize(&SubdivisionParams::new(0.02, 0.002)).len();
+        assert!(fine > coarse);
+    }
+
+    #[test]
+    fn polygonize_has_no_duplicate_joint_points() {
+        let p = Profile::rectangle(Point2::ZERO, Point2::new(1.0, 1.0)).unwrap();
+        let pts = p.polygonize(&SubdivisionParams::default());
+        assert_eq!(pts.len(), 4);
+        for w in pts.windows(2) {
+            assert!(w[0].distance(w[1]) > 1e-9);
+        }
+    }
+}

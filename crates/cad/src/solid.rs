@@ -1,0 +1,171 @@
+//! Solid shapes: the geometry a resolved CAD body can take.
+
+use am_geom::{Aabb3, Point3, SubdivisionParams, Vec3};
+
+use crate::{CadError, Profile};
+
+/// The geometry of a resolved CAD body.
+///
+/// The kernel is deliberately small: the ObfusCADe experiments need
+/// extrusions (tensile bars and their spline-split halves), cuboids
+/// (the §3.2 rectangular prism) and spheres (the embedded feature). A
+/// general B-rep is out of scope, but the semantics — per-body tessellation
+/// and normal-oriented shells — are faithful to how production CAD behaves.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolidShape {
+    /// A planar [`Profile`] extruded along +z from `z_min` to `z_max`.
+    Extrusion {
+        /// Cross-section profile in the xy-plane.
+        profile: Profile,
+        /// Bottom of the extrusion.
+        z_min: f64,
+        /// Top of the extrusion.
+        z_max: f64,
+    },
+    /// An axis-aligned rectangular prism.
+    Cuboid(Aabb3),
+    /// A sphere.
+    Sphere {
+        /// Centre point.
+        center: Point3,
+        /// Radius (mm).
+        radius: f64,
+    },
+}
+
+impl SolidShape {
+    /// Creates an extrusion, validating the height.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CadError::InvalidDimension`] if `z_max <= z_min`.
+    pub fn extrusion(profile: Profile, z_min: f64, z_max: f64) -> Result<Self, CadError> {
+        if !(z_max > z_min) {
+            return Err(CadError::InvalidDimension { name: "extrusion height", value: z_max - z_min });
+        }
+        Ok(SolidShape::Extrusion { profile, z_min, z_max })
+    }
+
+    /// Creates a sphere, validating the radius.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CadError::InvalidDimension`] if `radius` is not positive
+    /// and finite.
+    pub fn sphere(center: Point3, radius: f64) -> Result<Self, CadError> {
+        if !(radius > 0.0) || !radius.is_finite() {
+            return Err(CadError::InvalidDimension { name: "sphere radius", value: radius });
+        }
+        Ok(SolidShape::Sphere { center, radius })
+    }
+
+    /// Bounding box of the shape at the given tessellation resolution
+    /// (the resolution only matters for curved extrusion profiles).
+    pub fn aabb(&self, params: &SubdivisionParams) -> Aabb3 {
+        match self {
+            SolidShape::Extrusion { profile, z_min, z_max } => {
+                let b2 = profile.aabb(params);
+                Aabb3::new(b2.min.to_3d(*z_min), b2.max.to_3d(*z_max))
+            }
+            SolidShape::Cuboid(b) => *b,
+            SolidShape::Sphere { center, radius } => Aabb3::new(
+                *center - Vec3::new(*radius, *radius, *radius),
+                *center + Vec3::new(*radius, *radius, *radius),
+            ),
+        }
+    }
+
+    /// Volume of the shape (numeric for curved profiles, exact otherwise).
+    pub fn volume(&self, params: &SubdivisionParams) -> f64 {
+        match self {
+            SolidShape::Extrusion { profile, z_min, z_max } => {
+                profile.signed_area(params).abs() * (z_max - z_min)
+            }
+            SolidShape::Cuboid(b) => b.volume(),
+            SolidShape::Sphere { radius, .. } => {
+                4.0 / 3.0 * std::f64::consts::PI * radius.powi(3)
+            }
+        }
+    }
+}
+
+/// Orientation of a tessellated shell's facet normals.
+///
+/// This single bit is what the paper's Table 3 turns on: an STL file
+/// "stores a normal direction for each triangle to determine the boundary
+/// between the outside and inside of the model", and the printer lays
+/// material accordingly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShellOrientation {
+    /// Normals point away from enclosed material (a solid boundary).
+    Outward,
+    /// Normals point toward the enclosed region (a cavity or separation
+    /// boundary: the enclosed region reads as *outside* the model).
+    Inward,
+}
+
+impl ShellOrientation {
+    /// The opposite orientation.
+    pub fn flipped(self) -> Self {
+        match self {
+            ShellOrientation::Outward => ShellOrientation::Inward,
+            ShellOrientation::Inward => ShellOrientation::Outward,
+        }
+    }
+
+    /// Winding contribution of a shell with this orientation: `+1` for
+    /// outward (adds material), `-1` for inward (subtracts).
+    pub fn winding_sign(self) -> i32 {
+        match self {
+            ShellOrientation::Outward => 1,
+            ShellOrientation::Inward => -1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use am_geom::Point2;
+
+    #[test]
+    fn extrusion_volume_is_area_times_height() {
+        let profile = Profile::rectangle(Point2::ZERO, Point2::new(4.0, 2.0)).unwrap();
+        let solid = SolidShape::extrusion(profile, 0.0, 3.0).unwrap();
+        assert!((solid.volume(&SubdivisionParams::default()) - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extrusion_flat_height_rejected() {
+        let profile = Profile::rectangle(Point2::ZERO, Point2::new(1.0, 1.0)).unwrap();
+        assert!(SolidShape::extrusion(profile, 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn sphere_volume() {
+        let s = SolidShape::sphere(Point3::ZERO, 2.0).unwrap();
+        let expected = 4.0 / 3.0 * std::f64::consts::PI * 8.0;
+        assert!((s.volume(&SubdivisionParams::default()) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sphere_bad_radius_rejected() {
+        assert!(SolidShape::sphere(Point3::ZERO, 0.0).is_err());
+        assert!(SolidShape::sphere(Point3::ZERO, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn sphere_aabb_centered() {
+        let s = SolidShape::sphere(Point3::new(1.0, 2.0, 3.0), 0.5).unwrap();
+        let b = s.aabb(&SubdivisionParams::default());
+        assert_eq!(b.center(), Point3::new(1.0, 2.0, 3.0));
+        assert_eq!(b.size(), Vec3::new(1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn orientation_flip_and_sign() {
+        assert_eq!(ShellOrientation::Outward.flipped(), ShellOrientation::Inward);
+        assert_eq!(ShellOrientation::Outward.winding_sign(), 1);
+        assert_eq!(ShellOrientation::Inward.winding_sign(), -1);
+    }
+}

@@ -1,0 +1,278 @@
+//! The spline-split operation (§3.1 of the paper).
+//!
+//! A spline split creates a **massless separation** inside a single solid:
+//! two bodies that together occupy exactly the original volume, separated by
+//! zero distance along the shared spline boundary. Each resulting body owns
+//! the spline as one of its profile edges — traversed in *opposite
+//! directions*, the way CAD kernels parameterize the two opposed face loops
+//! of a split surface. Because STL tessellation walks each body's boundary
+//! independently, the chord breakpoints along the spline disagree between
+//! the two bodies, producing the tessellation-induced gaps of Fig. 4.
+
+use am_geom::{CatmullRom, Point2, Tolerance};
+
+use crate::{CadError, Profile, ProfileEdge};
+use am_geom::Segment2;
+
+/// Splits a straight-edged, counter-clockwise profile along `spline`.
+///
+/// The spline's endpoints must lie on the profile boundary (within `tol`).
+/// Returns the two resulting profiles `(left, right)`:
+///
+/// * `left` — boundary from the spline's **end** point forward (CCW) to its
+///   **start** point, closed by the spline traversed *forward*;
+/// * `right` — boundary from the spline's start forward (CCW) to its end,
+///   closed by the spline traversed *in reverse*.
+///
+/// Both outputs wind counter-clockwise and share the spline geometry
+/// exactly; only the traversal direction differs.
+///
+/// # Errors
+///
+/// * [`CadError::CurvedEdgeUnsupported`] if the profile has spline edges.
+/// * [`CadError::SplineEndpointOffBoundary`] if an endpoint misses the
+///   boundary by more than `tol`.
+/// * [`CadError::SplineEndpointsCoincide`] if both endpoints land on the
+///   same boundary point.
+///
+/// # Examples
+///
+/// ```
+/// use am_cad::{split_profile, Profile};
+/// use am_geom::{CatmullRom, Point2, SubdivisionParams, Tolerance};
+///
+/// let bar = Profile::rectangle(Point2::new(0.0, 0.0), Point2::new(10.0, 4.0))?;
+/// let spline = CatmullRom::new(vec![
+///     Point2::new(3.0, 4.0),  // on the top edge
+///     Point2::new(5.0, 2.0),
+///     Point2::new(7.0, 0.0),  // on the bottom edge
+/// ]).unwrap();
+/// let (a, b) = split_profile(&bar, &spline, Tolerance::new(1e-6))?;
+/// let params = SubdivisionParams::default();
+/// let total = a.signed_area(&params) + b.signed_area(&params);
+/// assert!((total - 40.0).abs() < 1e-6); // areas sum to the original
+/// # Ok::<(), am_cad::CadError>(())
+/// ```
+pub fn split_profile(
+    profile: &Profile,
+    spline: &CatmullRom,
+    tol: Tolerance,
+) -> Result<(Profile, Profile), CadError> {
+    // Collect the straight-edge vertex loop.
+    let mut verts: Vec<Point2> = Vec::with_capacity(profile.edge_count());
+    for (i, e) in profile.edges().iter().enumerate() {
+        match e {
+            ProfileEdge::Line(s) => verts.push(s.start),
+            ProfileEdge::Spline(_) => return Err(CadError::CurvedEdgeUnsupported { edge: i }),
+        }
+    }
+
+    let e_start = spline.through_points()[0];
+    let e_end = *spline.through_points().last().expect("spline has points");
+
+    let loc_start = locate_on_loop(&verts, e_start, tol)?;
+    let loc_end = locate_on_loop(&verts, e_end, tol)?;
+    if e_start.approx_eq(e_end, tol) {
+        return Err(CadError::SplineEndpointsCoincide);
+    }
+
+    // Boundary chains: start→end (CCW) and end→start (CCW).
+    let chain_se = walk(&verts, loc_start, loc_end, e_start, e_end);
+    let chain_es = walk(&verts, loc_end, loc_start, e_end, e_start);
+
+    // right: boundary start→end, closed by the spline reversed (end→start).
+    let right = assemble(chain_se, ProfileEdge::Spline(spline.reversed()))?;
+    // left: boundary end→start, closed by the spline forward (start→end).
+    let left = assemble(chain_es, ProfileEdge::Spline(spline.clone()))?;
+    Ok((left, right))
+}
+
+/// Location of a point on a vertex loop: the edge index and parameter.
+#[derive(Debug, Clone, Copy)]
+struct LoopLocation {
+    edge: usize,
+    t: f64,
+}
+
+fn locate_on_loop(verts: &[Point2], p: Point2, tol: Tolerance) -> Result<LoopLocation, CadError> {
+    let n = verts.len();
+    let mut best = (f64::INFINITY, LoopLocation { edge: 0, t: 0.0 });
+    for i in 0..n {
+        let seg = Segment2::new(verts[i], verts[(i + 1) % n]);
+        let d = seg.direction();
+        let len2 = d.length_squared();
+        let t = if len2 == 0.0 { 0.0 } else { ((p - seg.start).dot(d) / len2).clamp(0.0, 1.0) };
+        let dist = seg.point_at(t).distance(p);
+        if dist < best.0 {
+            best = (dist, LoopLocation { edge: i, t });
+        }
+    }
+    if best.0 > tol.value() {
+        return Err(CadError::SplineEndpointOffBoundary { distance: best.0 });
+    }
+    Ok(best.1)
+}
+
+/// Walks the loop CCW from `from` to `to`, returning the chain of points
+/// including both endpoints.
+fn walk(
+    verts: &[Point2],
+    from: LoopLocation,
+    to: LoopLocation,
+    p_from: Point2,
+    p_to: Point2,
+) -> Vec<Point2> {
+    let n = verts.len();
+    let mut chain = vec![p_from];
+    if from.edge == to.edge && to.t > from.t {
+        chain.push(p_to);
+        return chain;
+    }
+    // Advance to the end vertex of the starting edge, then vertex by vertex.
+    let mut k = (from.edge + 1) % n;
+    loop {
+        push_if_distinct(&mut chain, verts[k]);
+        if k == to.edge {
+            break;
+        }
+        k = (k + 1) % n;
+        // The loop is finite: `k` returns to `to.edge` within n steps.
+    }
+    push_if_distinct(&mut chain, p_to);
+    chain
+}
+
+fn push_if_distinct(chain: &mut Vec<Point2>, p: Point2) {
+    let tol = Tolerance::new(1e-9);
+    if chain.last().map_or(true, |q| !q.approx_eq(p, tol)) {
+        chain.push(p);
+    }
+}
+
+/// Builds a profile from a straight chain plus a closing edge.
+fn assemble(chain: Vec<Point2>, closing: ProfileEdge) -> Result<Profile, CadError> {
+    let mut edges: Vec<ProfileEdge> = chain
+        .windows(2)
+        .map(|w| ProfileEdge::Line(Segment2::new(w[0], w[1])))
+        .collect();
+    edges.push(closing);
+    Profile::new(edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use am_geom::SubdivisionParams;
+
+    fn rect() -> Profile {
+        Profile::rectangle(Point2::new(0.0, 0.0), Point2::new(10.0, 4.0)).unwrap()
+    }
+
+    fn diagonal_spline() -> CatmullRom {
+        CatmullRom::new(vec![
+            Point2::new(3.0, 4.0),
+            Point2::new(5.0, 2.0),
+            Point2::new(7.0, 0.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn split_areas_sum_to_original() {
+        let (a, b) = split_profile(&rect(), &diagonal_spline(), Tolerance::new(1e-6)).unwrap();
+        let params = SubdivisionParams::new(0.05, 0.005);
+        let sum = a.signed_area(&params) + b.signed_area(&params);
+        assert!((sum - 40.0).abs() < 0.05, "sum = {sum}");
+    }
+
+    #[test]
+    fn both_halves_are_ccw() {
+        let (a, b) = split_profile(&rect(), &diagonal_spline(), Tolerance::new(1e-6)).unwrap();
+        assert!(a.is_ccw(), "left half should be CCW");
+        assert!(b.is_ccw(), "right half should be CCW");
+    }
+
+    #[test]
+    fn halves_traverse_spline_in_opposite_directions() {
+        let (a, b) = split_profile(&rect(), &diagonal_spline(), Tolerance::new(1e-6)).unwrap();
+        let spline_edge = |p: &Profile| {
+            p.edges()
+                .iter()
+                .find_map(|e| match e {
+                    ProfileEdge::Spline(c) => Some(c.clone()),
+                    _ => None,
+                })
+                .expect("half has a spline edge")
+        };
+        let sa = spline_edge(&a);
+        let sb = spline_edge(&b);
+        assert_eq!(sa.through_points()[0], sb.through_points()[sb.through_points().len() - 1]);
+        assert_eq!(sb.through_points()[0], sa.through_points()[sa.through_points().len() - 1]);
+    }
+
+    #[test]
+    fn endpoint_off_boundary_rejected() {
+        let bad = CatmullRom::new(vec![
+            Point2::new(3.0, 5.0), // 1 mm above the top edge
+            Point2::new(7.0, 0.0),
+        ])
+        .unwrap();
+        let err = split_profile(&rect(), &bad, Tolerance::new(1e-6)).unwrap_err();
+        assert!(matches!(err, CadError::SplineEndpointOffBoundary { .. }));
+    }
+
+    #[test]
+    fn coincident_endpoints_rejected() {
+        let degenerate = CatmullRom::new(vec![
+            Point2::new(3.0, 4.0),
+            Point2::new(5.0, 2.0),
+            Point2::new(3.0, 4.0),
+        ])
+        .unwrap();
+        let err = split_profile(&rect(), &degenerate, Tolerance::new(1e-6)).unwrap_err();
+        assert_eq!(err, CadError::SplineEndpointsCoincide);
+    }
+
+    #[test]
+    fn curved_profile_rejected() {
+        let spline = CatmullRom::new(vec![
+            Point2::new(4.0, 0.0),
+            Point2::new(2.0, 2.0),
+            Point2::new(0.0, 0.0),
+        ])
+        .unwrap();
+        let curved = Profile::new(vec![
+            ProfileEdge::Line(Segment2::new(Point2::ZERO, Point2::new(4.0, 0.0))),
+            ProfileEdge::Spline(spline.clone()),
+        ])
+        .unwrap();
+        let err = split_profile(&curved, &spline, Tolerance::new(1e-6)).unwrap_err();
+        assert!(matches!(err, CadError::CurvedEdgeUnsupported { .. }));
+    }
+
+    #[test]
+    fn split_across_same_edge() {
+        // Spline entering and leaving through the same (bottom) edge.
+        let u_spline = CatmullRom::new(vec![
+            Point2::new(2.0, 0.0),
+            Point2::new(5.0, 3.0),
+            Point2::new(8.0, 0.0),
+        ])
+        .unwrap();
+        let (a, b) = split_profile(&rect(), &u_spline, Tolerance::new(1e-6)).unwrap();
+        let params = SubdivisionParams::new(0.05, 0.005);
+        let sum = a.signed_area(&params) + b.signed_area(&params);
+        assert!((sum - 40.0).abs() < 0.05, "sum = {sum}");
+        assert!(a.is_ccw() && b.is_ccw());
+    }
+
+    #[test]
+    fn vertical_split_line() {
+        // A straight "spline" down the middle.
+        let line = CatmullRom::new(vec![Point2::new(5.0, 4.0), Point2::new(5.0, 0.0)]).unwrap();
+        let (a, b) = split_profile(&rect(), &line, Tolerance::new(1e-6)).unwrap();
+        let params = SubdivisionParams::default();
+        assert!((a.signed_area(&params) - 20.0).abs() < 1e-6);
+        assert!((b.signed_area(&params) - 20.0).abs() < 1e-6);
+    }
+}

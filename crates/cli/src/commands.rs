@@ -1,0 +1,428 @@
+//! Command implementations and flag parsing for the `obfuscade` CLI.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write as _};
+
+use am_cad::parts::{
+    bracket, bracket_with_spline, intact_prism, prism_with_sphere, tensile_bar,
+    tensile_bar_with_spline, BracketDims, PrismDims, TensileBarDims,
+};
+use am_cad::{BodyKind, MaterialRemoval};
+use am_mesh::{
+    analyze_topology, read_stl, t_junction_count, tessellate_part, write_binary_stl, Resolution,
+};
+use am_printer::{check_limits, BuildEnvelope, PrintedPart, PrinterProfile};
+use am_slicer::{
+    generate_toolpath, orient_shells, parse_gcode, slice_shells, to_gcode, Orientation,
+    SlicerConfig,
+};
+
+/// CLI usage text.
+pub const USAGE: &str = "\
+obfuscade — CAD-model obfuscation against AM counterfeiting (DAC'17 reproduction)
+
+USAGE:
+    obfuscade <command> [options]
+
+COMMANDS:
+    protect        build a (protected) demo part and export it as binary STL
+                     --part bar|bracket|prism   (default bar)
+                     --out FILE.stl             (required)
+                     --resolution coarse|fine|custom   (default fine)
+                     --intact                   export without the security feature
+    inspect        geometry review of an STL file (Table 1, STL stage)
+                     <FILE.stl>
+    slice          slice an STL into a G-code part program
+                     <FILE.stl> --orientation xy|xz --out FILE.gcode [--layer MM]
+    print          simulate printing a G-code file and scan the artifact
+                     <FILE.gcode> [--machine fdm|polyjet] [--seed N]
+    authenticate   print a G-code file and classify the artifact genuine/counterfeit
+                     <FILE.gcode> [--reference GENUINE.gcode]
+                     (absolute thresholds without --reference; with it, the
+                      verdict uses the *excess* defect signature)
+    preview        render one sliced layer as ASCII art (the CatalystEX
+                   preview of Fig. 7a; seam gaps highlighted with '!')
+                     <FILE.stl> --orientation xy|xz [--layer-index N] [--layer MM]
+    audit          print the AM supply-chain risk table (paper Table 1 / Fig. 2)
+    report         regenerate a paper artifact:
+                     table1|fig3|fig4|fig5|fig7|fig8|fig9|table2|table3|
+                     sidechannel|keyspace|multikey|sparse|repair|auth|all
+    help           show this text
+";
+
+type CliResult = Result<(), String>;
+
+/// Parses `--flag value` pairs and positionals.
+fn parse_flags(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().cloned().unwrap_or_default(),
+                _ => String::from("true"),
+            };
+            flags.insert(name.to_string(), value);
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    (positional, flags)
+}
+
+fn resolution_flag(flags: &HashMap<String, String>) -> Result<Resolution, String> {
+    match flags.get("resolution").map(String::as_str).unwrap_or("fine") {
+        "coarse" => Ok(Resolution::Coarse),
+        "fine" => Ok(Resolution::Fine),
+        "custom" => Ok(Resolution::Custom),
+        other => Err(format!("unknown resolution `{other}` (coarse|fine|custom)")),
+    }
+}
+
+fn orientation_flag(flags: &HashMap<String, String>) -> Result<Orientation, String> {
+    match flags.get("orientation").map(String::as_str).unwrap_or("xy") {
+        "xy" | "x-y" => Ok(Orientation::Xy),
+        "xz" | "x-z" => Ok(Orientation::Xz),
+        other => Err(format!("unknown orientation `{other}` (xy|xz)")),
+    }
+}
+
+/// `obfuscade protect` — build and export a demo part.
+pub fn protect(args: &[String]) -> CliResult {
+    let (_, flags) = parse_flags(args);
+    let out = flags.get("out").ok_or("protect requires --out FILE.stl")?;
+    let resolution = resolution_flag(&flags)?;
+    let intact = flags.contains_key("intact");
+    let part = match flags.get("part").map(String::as_str).unwrap_or("bar") {
+        "bar" => {
+            let dims = TensileBarDims::default();
+            if intact { tensile_bar(&dims) } else { tensile_bar_with_spline(&dims) }
+        }
+        "bracket" => {
+            let dims = BracketDims::default();
+            if intact { bracket(&dims) } else { bracket_with_spline(&dims) }
+        }
+        "prism" => {
+            let dims = PrismDims::default();
+            if intact {
+                Ok(intact_prism(&dims))
+            } else {
+                prism_with_sphere(&dims, BodyKind::Solid, MaterialRemoval::Without)
+            }
+        }
+        other => return Err(format!("unknown part `{other}` (bar|bracket|prism)")),
+    }
+    .map_err(|e| e.to_string())?;
+
+    let resolved = part.resolve().map_err(|e| e.to_string())?;
+    let mesh = tessellate_part(&resolved, &resolution.params());
+    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    let mut writer = BufWriter::new(file);
+    write_binary_stl(&mesh, &mut writer).map_err(|e| e.to_string())?;
+    writer.flush().map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out}: {} ({} security features), {} triangles at {resolution} resolution",
+        part.name(),
+        part.security_feature_count(),
+        mesh.triangle_count()
+    );
+    Ok(())
+}
+
+/// `obfuscade inspect` — geometry review of an STL file.
+pub fn inspect(args: &[String]) -> CliResult {
+    let (positional, _) = parse_flags(args);
+    let path = positional.first().ok_or("inspect requires an STL file argument")?;
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mesh = read_stl(BufReader::new(file)).map_err(|e| e.to_string())?;
+    let topo = analyze_topology(&mesh);
+    println!("file            : {path}");
+    println!("triangles       : {}", mesh.triangle_count());
+    println!("vertices        : {}", mesh.vertex_count());
+    println!("edges           : {}", topo.edges);
+    println!("watertight      : {}", topo.is_watertight());
+    println!("boundary edges  : {}", topo.boundary_edges);
+    println!("non-manifold    : {}", topo.non_manifold_edges);
+    println!("misoriented     : {}", topo.misoriented_edges);
+    println!("T-junctions     : {}", t_junction_count(&mesh, am_geom::Tolerance::new(1e-6)));
+    println!("enclosed volume : {:.1} mm³", mesh.signed_volume());
+    println!("surface area    : {:.1} mm²", mesh.surface_area());
+    let fp = am_mesh::fingerprint(&mesh);
+    println!("fingerprint     : {:016x} ({} bytes)", fp.hash, fp.bytes);
+    println!("bodies          : {}", mesh.connected_components().len());
+    Ok(())
+}
+
+/// `obfuscade slice` — slice an STL into G-code.
+pub fn slice(args: &[String]) -> CliResult {
+    let (positional, flags) = parse_flags(args);
+    let path = positional.first().ok_or("slice requires an STL file argument")?;
+    let out = flags.get("out").ok_or("slice requires --out FILE.gcode")?;
+    let orientation = orientation_flag(&flags)?;
+    let layer: f64 = flags
+        .get("layer")
+        .map(|v| v.parse().map_err(|_| format!("bad --layer value `{v}`")))
+        .transpose()?
+        .unwrap_or(0.1778);
+
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mesh = read_stl(BufReader::new(file)).map_err(|e| e.to_string())?;
+    // Recover the bodies of a multi-body STL (disjoint shells slice as
+    // separate bodies, exactly like CatalystEX) before slicing.
+    let shells = mesh.connected_components();
+    let oriented = orient_shells(&shells, orientation);
+    // Place the part away from the bed corner (perimeter insets may
+    // overshoot the footprint by a fraction of a road width).
+    let margin = am_geom::Transform3::translation(am_geom::Vec3::new(5.0, 5.0, 0.0));
+    let placed: Vec<_> = oriented.iter().map(|m| m.transformed(&margin)).collect();
+    let sliced = slice_shells(&placed, layer);
+    let toolpath = generate_toolpath(&sliced, &SlicerConfig { layer_height: layer, ..SlicerConfig::default() });
+    let gcode = to_gcode(&toolpath);
+    std::fs::write(out, &gcode).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "wrote {out}: {} bodies, {} layers, {} roads, {:.0} mm of extrusion ({orientation} orientation)",
+        shells.len(),
+        sliced.layer_count(),
+        toolpath.roads.len(),
+        toolpath.roads.iter().map(|r| r.length()).sum::<f64>()
+    );
+    Ok(())
+}
+
+fn print_gcode(path: &str, flags: &HashMap<String, String>) -> Result<PrintedPart, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let toolpath = parse_gcode(&text).map_err(|e| e.to_string())?;
+    let (profile, envelope) = match flags.get("machine").map(String::as_str).unwrap_or("fdm") {
+        "fdm" => (PrinterProfile::dimension_elite(), BuildEnvelope::dimension_elite()),
+        "polyjet" => (PrinterProfile::objet30_pro(), BuildEnvelope::objet30_pro()),
+        other => return Err(format!("unknown machine `{other}` (fdm|polyjet)")),
+    };
+    let violations = check_limits(&toolpath, &envelope);
+    if !violations.is_empty() {
+        return Err(format!(
+            "firmware rejected the part program: {} (and {} more)",
+            violations[0],
+            violations.len().saturating_sub(1)
+        ));
+    }
+    let seed: u64 = flags
+        .get("seed")
+        .map(|v| v.parse().map_err(|_| format!("bad --seed value `{v}`")))
+        .transpose()?
+        .unwrap_or(1);
+    let mut printed = PrintedPart::from_toolpath(
+        &toolpath,
+        &profile,
+        am_geom::Transform3::identity(),
+        seed,
+    );
+    printed.dissolve_support();
+    Ok(printed)
+}
+
+/// `obfuscade print` — simulate a print and report the artifact scan.
+pub fn print(args: &[String]) -> CliResult {
+    let (positional, flags) = parse_flags(args);
+    let path = positional.first().ok_or("print requires a G-code file argument")?;
+    let printed = print_gcode(path, &flags)?;
+    let scan = am_printer::scan(&printed);
+    let (nx, ny, nz) = printed.dims();
+    println!("machine         : {}", printed.profile().name);
+    println!("voxel grid      : {nx} × {ny} × {nz}");
+    println!("part weight     : {:.2} g", printed.weight_g());
+    println!("internal voids  : {:.1} mm³", scan.internal_void_volume);
+    println!("trapped support : {} voxels", scan.internal_support_voxels);
+    println!("cold joints     : {:.1} mm²", scan.cold_joint_area);
+    Ok(())
+}
+
+/// `obfuscade authenticate` — classify a printed artifact.
+///
+/// Without `--reference`, absolute thresholds are used (fine for simple
+/// solids); with `--reference GENUINE.gcode`, the verdict is based on the
+/// defect signature *in excess of* the genuine part's — which is what a
+/// real inspection lab does, since legitimate geometry (through-holes,
+/// lattices) also scans as internal structure.
+pub fn authenticate(args: &[String]) -> CliResult {
+    let (positional, flags) = parse_flags(args);
+    let path = positional.first().ok_or("authenticate requires a G-code file argument")?;
+    let printed = print_gcode(path, &flags)?;
+    let scan = am_printer::scan(&printed);
+    let (ref_joints, ref_voids) = match flags.get("reference") {
+        Some(ref_path) => {
+            let reference = print_gcode(ref_path, &flags)?;
+            let ref_scan = am_printer::scan(&reference);
+            (ref_scan.cold_joint_area, ref_scan.internal_void_volume)
+        }
+        None => (0.0, 0.0),
+    };
+    let joints = (scan.cold_joint_area - ref_joints).max(0.0);
+    let voids = (scan.internal_void_volume - ref_voids).max(0.0);
+    println!("cold-joint area : {:.1} mm² (excess {joints:.1})", scan.cold_joint_area);
+    println!("internal voids  : {:.1} mm³ (excess {voids:.1})", scan.internal_void_volume);
+    let verdict = if joints > 10.0 || voids > 20.0 {
+        "COUNTERFEIT — planted-feature signature present"
+    } else {
+        "genuine — no planted-feature signature beyond the reference design"
+    };
+    println!("verdict         : {verdict}");
+    Ok(())
+}
+
+/// `obfuscade preview` — ASCII rendering of one sliced layer.
+pub fn preview(args: &[String]) -> CliResult {
+    let (positional, flags) = parse_flags(args);
+    let path = positional.first().ok_or("preview requires an STL file argument")?;
+    let orientation = orientation_flag(&flags)?;
+    let layer_height: f64 = flags
+        .get("layer")
+        .map(|v| v.parse().map_err(|_| format!("bad --layer value `{v}`")))
+        .transpose()?
+        .unwrap_or(0.1778);
+
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mesh = read_stl(BufReader::new(file)).map_err(|e| e.to_string())?;
+    let shells = mesh.connected_components();
+    let oriented = orient_shells(&shells, orientation);
+    let sliced = slice_shells(&oriented, layer_height);
+    if sliced.layers.is_empty() {
+        return Err("the model sliced to zero layers".into());
+    }
+    let index: usize = flags
+        .get("layer-index")
+        .map(|v| v.parse().map_err(|_| format!("bad --layer-index value `{v}`")))
+        .transpose()?
+        .unwrap_or(sliced.layers.len() / 2)
+        .min(sliced.layers.len() - 1);
+    let layer = &sliced.layers[index];
+    let bounds = am_geom::Aabb2::new(
+        am_geom::Point2::new(sliced.bounds.min.x, sliced.bounds.min.y),
+        am_geom::Point2::new(sliced.bounds.max.x, sliced.bounds.max.y),
+    )
+    .inflated(0.5);
+    let raster = am_slicer::rasterize_layer(layer, bounds, 0.1, true);
+    println!(
+        "layer {index}/{} at z = {:.3} mm ({} contours) — '#' model, '.' support, '!' seam gap",
+        sliced.layers.len() - 1,
+        layer.z,
+        layer.loops.len()
+    );
+    print!("{}", am_slicer::render_layer_with_seam(&raster, 110, 1.0));
+    Ok(())
+}
+
+/// `obfuscade audit` — the paper's Table 1 / Fig. 2.
+pub fn audit(_args: &[String]) -> CliResult {
+    print!("{}", obfuscade::risk::render_risk_table());
+    println!();
+    for a in obfuscade::risk::attack_taxonomy() {
+        println!("  [{:<17}] {:<45} → {}", a.level.to_string(), a.name, a.goal);
+    }
+    Ok(())
+}
+
+/// `obfuscade report` — regenerate paper artifacts.
+pub fn report(args: &[String]) -> CliResult {
+    use obfuscade_bench::experiments as e;
+    let (positional, flags) = parse_flags(args);
+    let which = positional.first().map(String::as_str).unwrap_or("all");
+    let replicates: usize = flags
+        .get("replicates")
+        .map(|v| v.parse().map_err(|_| format!("bad --replicates value `{v}`")))
+        .transpose()?
+        .unwrap_or(3);
+    let sections: Vec<String> = match which {
+        "table1" => vec![e::table1_risks()],
+        "fig3" => vec![e::fig3_stages()],
+        "fig4" => vec![e::fig4_gaps()],
+        "fig5" => vec![e::fig5_resolution()],
+        "fig7" => vec![e::fig7_slicing()],
+        "fig8" => vec![e::fig8_surface()],
+        "fig9" => vec![e::fig9_fracture()],
+        "table2" => vec![e::table2_tensile(replicates)],
+        "table3" => vec![e::table3_printing()],
+        "sidechannel" => vec![e::sidechannel_recon()],
+        "keyspace" => vec![e::ablation_keyspace()],
+        "multikey" => vec![e::ablation_multikey()],
+        "sparse" => vec![e::ablation_sparse_infill()],
+        "repair" => vec![e::ablation_repair()],
+        "auth" => vec![e::authentication_demo()],
+        "all" => vec![
+            e::table1_risks(),
+            e::fig3_stages(),
+            e::fig4_gaps(),
+            e::fig5_resolution(),
+            e::fig7_slicing(),
+            e::fig8_surface(),
+            e::table2_tensile(replicates),
+            e::fig9_fracture(),
+            e::table3_printing(),
+            e::sidechannel_recon(),
+            e::ablation_keyspace(),
+            e::ablation_multikey(),
+            e::ablation_sparse_infill(),
+            e::ablation_repair(),
+            e::authentication_demo(),
+        ],
+        other => return Err(format!("unknown report `{other}`")),
+    };
+    for (i, s) in sections.iter().enumerate() {
+        if i > 0 {
+            println!("\n{}\n", "=".repeat(100));
+        }
+        print!("{s}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_parser_splits_positionals_and_flags() {
+        let args: Vec<String> =
+            ["file.stl", "--out", "x.gcode", "--intact"].iter().map(|s| s.to_string()).collect();
+        let (pos, flags) = parse_flags(&args);
+        assert_eq!(pos, vec!["file.stl"]);
+        assert_eq!(flags.get("out").map(String::as_str), Some("x.gcode"));
+        assert_eq!(flags.get("intact").map(String::as_str), Some("true"));
+    }
+
+    #[test]
+    fn resolution_and_orientation_flags_validate() {
+        let mut flags = HashMap::new();
+        assert_eq!(resolution_flag(&flags).unwrap(), Resolution::Fine);
+        assert_eq!(orientation_flag(&flags).unwrap(), Orientation::Xy);
+        flags.insert("resolution".into(), "bogus".into());
+        assert!(resolution_flag(&flags).is_err());
+        flags.insert("orientation".into(), "xz".into());
+        assert_eq!(orientation_flag(&flags).unwrap(), Orientation::Xz);
+    }
+
+    #[test]
+    fn protect_inspect_slice_print_round_trip() {
+        let dir = std::env::temp_dir().join(format!("obfuscade-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let stl = dir.join("bar.stl").to_string_lossy().to_string();
+        let gcode = dir.join("bar.gcode").to_string_lossy().to_string();
+
+        protect(&["--part".into(), "bar".into(), "--out".into(), stl.clone()]).unwrap();
+        inspect(&[stl.clone()]).unwrap();
+        slice(&[stl, "--orientation".into(), "xz".into(), "--out".into(), gcode.clone()])
+            .unwrap();
+        print(&[gcode.clone()]).unwrap();
+        authenticate(&[gcode.clone()]).unwrap();
+        authenticate(&[gcode.clone(), "--reference".into(), gcode]).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_flags_are_reported() {
+        assert!(protect(&["--out".into(), "/nonexistent-dir-xyz/o.stl".into()]).is_err());
+        assert!(inspect(&[]).is_err());
+        assert!(slice(&[]).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! `obfuscade` — the command-line front end of the ObfusCADe toolchain.
+//!
+//! ```text
+//! obfuscade protect --part bar --out protected.stl [--resolution fine] [--intact]
+//! obfuscade inspect protected.stl
+//! obfuscade slice protected.stl --orientation xz --out part.gcode
+//! obfuscade print part.gcode [--machine fdm|polyjet] [--seed 1]
+//! obfuscade authenticate part.gcode
+//! obfuscade audit
+//! obfuscade report <experiment>|all
+//! ```
+
+use std::process::ExitCode;
+
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, rest) = match args.split_first() {
+        Some((c, rest)) => (c.as_str(), rest),
+        None => {
+            eprint!("{}", commands::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command {
+        "protect" => commands::protect(rest),
+        "inspect" => commands::inspect(rest),
+        "slice" => commands::slice(rest),
+        "print" => commands::print(rest),
+        "preview" => commands::preview(rest),
+        "authenticate" => commands::authenticate(rest),
+        "audit" => commands::audit(rest),
+        "report" => commands::report(rest),
+        "help" | "--help" | "-h" => {
+            print!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{}", commands::USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

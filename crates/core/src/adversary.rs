@@ -1,0 +1,213 @@
+//! Counterfeiter models: adversaries manufacturing from stolen files.
+//!
+//! This module quantifies the paper's logic-locking analogy: the protected
+//! model prints correctly only under the owner's process key, so a
+//! counterfeiter must search the key space — paying one physical print (and
+//! one destructive test, if they want certainty) per candidate.
+
+use am_cad::Part;
+use am_mesh::weld_vertices;
+use am_mesh::Resolution;
+use am_slicer::Orientation;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::{
+    assess_quality, run_pipeline, CadRecipe, EmbeddedSphereScheme, PipelineError,
+    PipelineOutput, ProcessKey, ProcessPlan, QualityThresholds, SplineSplitScheme, Verdict,
+};
+
+/// One counterfeiting attempt: the key tried and the quality obtained.
+#[derive(Debug, Clone)]
+pub struct Attempt {
+    /// The process key the adversary tried.
+    pub key: ProcessKey,
+    /// The quality verdict of the resulting part.
+    pub verdict: Verdict,
+}
+
+/// Result of a key-space search by a counterfeiter.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Every attempt made, in order.
+    pub attempts: Vec<Attempt>,
+    /// Number of prints before the first [`Verdict::Good`] part (`None` if
+    /// the search never succeeded).
+    pub prints_to_success: Option<usize>,
+}
+
+impl SearchOutcome {
+    /// Fraction of attempts that passed quality control.
+    pub fn success_rate(&self) -> f64 {
+        if self.attempts.is_empty() {
+            return 0.0;
+        }
+        let good = self.attempts.iter().filter(|a| a.verdict == Verdict::Good).count();
+        good as f64 / self.attempts.len() as f64
+    }
+}
+
+/// A counterfeiter working from the stolen **CAD** file of an
+/// [`EmbeddedSphereScheme`] part: they can re-run any CAD recipe but do not
+/// know which one the owner intends.
+///
+/// Exhaustively tries every key (in seeded random order, as a rational
+/// adversary without priors would).
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn search_sphere_scheme(
+    scheme: &EmbeddedSphereScheme,
+    thresholds: &QualityThresholds,
+    seed: u64,
+) -> Result<SearchOutcome, PipelineError> {
+    let mut keys = ProcessKey::key_space();
+    // The sphere scheme's observable is recipe-driven; resolution barely
+    // matters, so search over recipes × orientations at one resolution to
+    // keep each trial a distinct *print*.
+    keys.retain(|k| k.resolution == Resolution::Fine);
+    let mut rng = StdRng::seed_from_u64(seed);
+    keys.shuffle(&mut rng);
+
+    let reference = run_pipeline(
+        &scheme.reference_part(),
+        &ProcessPlan::fdm(Resolution::Fine, Orientation::Xy).with_seed(seed),
+    )?;
+
+    let mut attempts = Vec::new();
+    let mut prints_to_success = None;
+    for (i, key) in keys.iter().enumerate() {
+        let part = scheme.part_for_recipe(key.recipe)?;
+        let plan = ProcessPlan::fdm(key.resolution, key.orientation).with_seed(seed + i as u64);
+        let output = run_pipeline(&part, &plan)?;
+        let verdict = assess_quality(&output, &reference, thresholds).verdict;
+        attempts.push(Attempt { key: *key, verdict });
+        if verdict == Verdict::Good && prints_to_success.is_none() {
+            prints_to_success = Some(i + 1);
+        }
+    }
+    Ok(SearchOutcome { attempts, prints_to_success })
+}
+
+/// A counterfeiter working from the stolen **STL** of a
+/// [`SplineSplitScheme`] part: the split is baked into the mesh, so only
+/// resolution and orientation can vary (re-export at another resolution
+/// requires the CAD file they do not have — resolution is fixed by the
+/// stolen file; we still let them try all orientations and report per-file
+/// results for each stolen resolution).
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn search_spline_scheme(
+    scheme: &SplineSplitScheme,
+    thresholds: &QualityThresholds,
+    with_tensile: bool,
+    seed: u64,
+) -> Result<SearchOutcome, PipelineError> {
+    let reference_plan =
+        ProcessPlan::fdm(Resolution::Fine, Orientation::Xy).with_seed(seed).with_tensile(with_tensile);
+    let reference = run_pipeline(&scheme.genuine_part()?, &reference_plan)?;
+    let protected = scheme.protected_part()?;
+
+    let mut attempts = Vec::new();
+    let mut prints_to_success = None;
+    let mut i = 0usize;
+    for resolution in Resolution::ALL {
+        for orientation in Orientation::ALL {
+            let plan = ProcessPlan::fdm(resolution, orientation)
+                .with_seed(seed + i as u64)
+                .with_tensile(with_tensile);
+            let output = run_pipeline(&protected, &plan)?;
+            let verdict = assess_quality(&output, &reference, thresholds).verdict;
+            let key = ProcessKey {
+                resolution,
+                orientation,
+                recipe: CadRecipe::ALL[0],
+            };
+            attempts.push(Attempt { key, verdict });
+            if verdict == Verdict::Good && prints_to_success.is_none() {
+                prints_to_success = Some(i + 1);
+            }
+            i += 1;
+        }
+    }
+    Ok(SearchOutcome { attempts, prints_to_success })
+}
+
+/// The mesh-repair attack: the adversary suspects a planted split and welds
+/// the stolen STL's vertices at `weld_tol` before printing, hoping to fuse
+/// the bodies back into one solid.
+///
+/// Returns the pipeline output of the repaired print — the ablation
+/// experiments compare its seam/quality metrics against the unrepaired one.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn repair_attack(
+    scheme: &SplineSplitScheme,
+    resolution: Resolution,
+    weld_tol: f64,
+) -> Result<RepairOutcome, PipelineError> {
+    use am_mesh::{analyze_topology, tessellate_part};
+
+    let protected = scheme.protected_part()?.resolve()?;
+    let mesh = tessellate_part(&protected, &resolution.params());
+    let before = analyze_topology(&mesh);
+    let (welded, report) = weld_vertices(&mesh, am_geom::Tolerance::new(weld_tol));
+    let after = analyze_topology(&welded);
+
+    Ok(RepairOutcome {
+        vertices_merged: report.vertices_before - report.vertices_after,
+        triangles_dropped: report.triangles_dropped,
+        watertight_before: before.is_watertight(),
+        watertight_after: after.is_watertight(),
+        non_manifold_after: after.non_manifold_edges,
+    })
+}
+
+/// Outcome of a mesh-repair attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairOutcome {
+    /// Vertices the weld merged.
+    pub vertices_merged: usize,
+    /// Triangles the weld collapsed.
+    pub triangles_dropped: usize,
+    /// Whether the stolen mesh was watertight before (it is: two disjoint
+    /// closed bodies).
+    pub watertight_before: bool,
+    /// Whether the welded mesh is still watertight.
+    pub watertight_after: bool,
+    /// Non-manifold edges the weld introduced (topological scars).
+    pub non_manifold_after: usize,
+}
+
+impl RepairOutcome {
+    /// `true` if the repair left the mesh broken (non-manifold) — the
+    /// usual outcome: welding fuses vertices but cannot remove the interior
+    /// separation wall.
+    pub fn repair_backfired(&self) -> bool {
+        !self.watertight_after || self.non_manifold_after > 0
+    }
+}
+
+/// Convenience: the output a licensed manufacturer gets (genuine part,
+/// keyed plan).
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn genuine_production(
+    scheme: &SplineSplitScheme,
+    seed: u64,
+    with_tensile: bool,
+) -> Result<PipelineOutput, PipelineError> {
+    let plan = ProcessPlan::fdm(Resolution::Fine, Orientation::Xy)
+        .with_seed(seed)
+        .with_tensile(with_tensile);
+    let part: Part = scheme.genuine_part()?;
+    run_pipeline(&part, &plan)
+}

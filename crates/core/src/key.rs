@@ -1,0 +1,123 @@
+//! The ObfusCADe process key: the unique combination of processing settings
+//! under which a protected model manufactures correctly.
+
+use std::fmt;
+
+use am_cad::{BodyKind, MaterialRemoval};
+use am_mesh::Resolution;
+use am_slicer::Orientation;
+
+/// How embedded features must be handled during CAD processing — the
+/// "certain conditions of processing the CAD files" part of the key
+/// (§3.2 of the paper): re-embedding a **solid** body after **material
+/// removal** is the only recipe that prints the feature as model material.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CadRecipe {
+    /// Whether material removal is performed before re-embedding.
+    pub removal: MaterialRemoval,
+    /// The body kind re-embedded into the cavity.
+    pub body: BodyKind,
+}
+
+impl CadRecipe {
+    /// All four §3.2 recipes.
+    pub const ALL: [CadRecipe; 4] = [
+        CadRecipe { removal: MaterialRemoval::Without, body: BodyKind::Solid },
+        CadRecipe { removal: MaterialRemoval::Without, body: BodyKind::Surface },
+        CadRecipe { removal: MaterialRemoval::With, body: BodyKind::Solid },
+        CadRecipe { removal: MaterialRemoval::With, body: BodyKind::Surface },
+    ];
+}
+
+impl fmt::Display for CadRecipe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} sphere {}", self.body, self.removal)
+    }
+}
+
+/// The full process key: one point in the space of processing settings a
+/// manufacturer must hit to obtain a high-quality part.
+///
+/// This is the AM analogue of a logic-locking key (the paper's comparison):
+/// the design owner knows the single correct setting; a counterfeiter with
+/// the stolen file must search the key space, paying one physical print per
+/// trial.
+///
+/// # Examples
+///
+/// ```
+/// use obfuscade::ProcessKey;
+///
+/// let keys = ProcessKey::key_space();
+/// assert_eq!(keys.len(), 24); // 3 resolutions × 2 orientations × 4 recipes
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProcessKey {
+    /// STL export resolution (Fig. 5).
+    pub resolution: Resolution,
+    /// Build orientation (Fig. 6).
+    pub orientation: Orientation,
+    /// Embedded-feature CAD recipe (§3.2).
+    pub recipe: CadRecipe,
+}
+
+impl ProcessKey {
+    /// Enumerates the full key space the paper's features span.
+    pub fn key_space() -> Vec<ProcessKey> {
+        let mut keys = Vec::new();
+        for resolution in Resolution::ALL {
+            for orientation in Orientation::ALL {
+                for recipe in CadRecipe::ALL {
+                    keys.push(ProcessKey { resolution, orientation, recipe });
+                }
+            }
+        }
+        keys
+    }
+
+    /// Number of key coordinates on which two keys differ (a Hamming-like
+    /// distance over the three fields).
+    pub fn distance(&self, other: &ProcessKey) -> u32 {
+        u32::from(self.resolution != other.resolution)
+            + u32::from(self.orientation != other.orientation)
+            + u32::from(self.recipe != other.recipe)
+    }
+}
+
+impl fmt::Display for ProcessKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} STL, {} orientation, {}]", self.resolution, self.orientation, self.recipe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_space_has_no_duplicates() {
+        let keys = ProcessKey::key_space();
+        let set: std::collections::HashSet<_> = keys.iter().collect();
+        assert_eq!(set.len(), keys.len());
+    }
+
+    #[test]
+    fn distance_is_metric_like() {
+        let keys = ProcessKey::key_space();
+        let a = keys[0];
+        assert_eq!(a.distance(&a), 0);
+        for b in &keys[1..] {
+            assert!(a.distance(b) >= 1);
+            assert_eq!(a.distance(b), b.distance(&a));
+            assert!(a.distance(b) <= 3);
+        }
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let k = ProcessKey::key_space()[0];
+        let s = k.to_string();
+        assert!(s.contains("STL"));
+        assert!(s.contains("orientation"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Multi-feature protection: composing several keyed features multiplies
+//! the key space — the quantitative version of the paper's logic-locking
+//! analogy ("we add extra design features" like logic locking "adds extra
+//! gates").
+
+use am_cad::{CadError, Feature, Part, SolidShape};
+use am_geom::{Aabb3, Point3};
+use am_printer::ScanReport;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Authenticity, CadRecipe};
+
+/// A prism protected with `n` embedded spheres, each requiring its own CAD
+/// recipe: the key space grows as `4^n` and a random counterfeiter's
+/// per-print success probability shrinks as `4^-n`.
+///
+/// # Examples
+///
+/// ```
+/// use obfuscade::MultiSphereScheme;
+///
+/// let scheme = MultiSphereScheme::new(3)?;
+/// assert_eq!(scheme.key_space_size(), 64);
+/// # Ok::<(), am_cad::CadError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiSphereScheme {
+    size: Point3,
+    centers: Vec<Point3>,
+    radius: f64,
+}
+
+impl MultiSphereScheme {
+    /// A scheme with `n` spheres spread along a 25.4 × 12.7 × 12.7 mm
+    /// prism (the §3.2 geometry, scaled in length for larger `n`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CadError::InvalidDimension`] if `n` is zero or the spheres
+    /// do not fit.
+    pub fn new(n: usize) -> Result<Self, CadError> {
+        if n == 0 {
+            return Err(CadError::InvalidDimension { name: "sphere count", value: 0.0 });
+        }
+        let radius = 2.5;
+        let pitch = 4.0 * radius;
+        let length = (n as f64 * pitch).max(25.4);
+        let size = Point3::new(length, 12.7, 12.7);
+        let centers = (0..n)
+            .map(|i| Point3::new((i as f64 + 0.5) * length / n as f64, 6.35, 6.35))
+            .collect();
+        Ok(MultiSphereScheme { size, centers, radius })
+    }
+
+    /// Number of planted spheres.
+    pub fn feature_count(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// Size of the CAD-recipe key space: `4^n`.
+    pub fn key_space_size(&self) -> u64 {
+        4u64.pow(self.feature_count() as u32)
+    }
+
+    /// The centres of the planted spheres.
+    pub fn centers(&self) -> &[Point3] {
+        &self.centers
+    }
+
+    /// Sphere radius.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// The part as manufactured under one recipe **per sphere**.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CadError::InvalidDimension`] if the recipe count does not
+    /// match the sphere count, or propagates CAD errors.
+    pub fn part_for_recipes(&self, recipes: &[CadRecipe]) -> Result<Part, CadError> {
+        if recipes.len() != self.centers.len() {
+            return Err(CadError::InvalidDimension {
+                name: "recipe count",
+                value: recipes.len() as f64,
+            });
+        }
+        let mut part = Part::new(format!("prism-{}-spheres", self.centers.len()));
+        part.add_feature(Feature::Base(SolidShape::Cuboid(Aabb3::new(
+            Point3::ZERO,
+            self.size,
+        ))))?;
+        for (center, recipe) in self.centers.iter().zip(recipes) {
+            part.add_feature(Feature::EmbedSphere {
+                center: *center,
+                radius: self.radius,
+                kind: recipe.body,
+                removal: recipe.removal,
+            })?;
+        }
+        Ok(part)
+    }
+
+    /// The genuine recipe vector (all spheres keyed correctly).
+    pub fn genuine_recipes(&self) -> Vec<CadRecipe> {
+        vec![crate::scheme::GENUINE_RECIPE; self.centers.len()]
+    }
+
+    /// A uniformly random recipe vector (a counterfeiter's guess).
+    pub fn random_recipes(&self, seed: u64) -> Vec<CadRecipe> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..self.centers.len())
+            .map(|_| CadRecipe::ALL[rng.gen_range(0..CadRecipe::ALL.len())])
+            .collect()
+    }
+
+    /// Authenticates a scanned part: genuine units are fully solid; any
+    /// mis-keyed sphere leaves a detectable hollow.
+    pub fn authenticate(&self, scan: &ScanReport) -> Authenticity {
+        let sphere = 4.0 / 3.0 * std::f64::consts::PI * self.radius.powi(3);
+        if scan.internal_support_voxels > 0 || scan.internal_void_volume > sphere * 0.4 {
+            Authenticity::Counterfeit
+        } else if scan.internal_void_volume < sphere * 0.1 {
+            Authenticity::Genuine
+        } else {
+            Authenticity::Inconclusive
+        }
+    }
+
+    /// Expected number of physical prints a random-guessing counterfeiter
+    /// needs before one comes out solid: `4^n` (geometric distribution).
+    pub fn expected_prints_to_success(&self) -> f64 {
+        self.key_space_size() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use am_cad::{BodyKind, MaterialRemoval};
+
+    #[test]
+    fn key_space_scales_exponentially() {
+        for n in 1..=5 {
+            let scheme = MultiSphereScheme::new(n).unwrap();
+            assert_eq!(scheme.key_space_size(), 4u64.pow(n as u32));
+            assert_eq!(scheme.feature_count(), n);
+        }
+    }
+
+    #[test]
+    fn zero_spheres_rejected() {
+        assert!(MultiSphereScheme::new(0).is_err());
+    }
+
+    #[test]
+    fn genuine_recipes_are_all_removal_solid() {
+        let scheme = MultiSphereScheme::new(3).unwrap();
+        for r in scheme.genuine_recipes() {
+            assert_eq!(r.removal, MaterialRemoval::With);
+            assert_eq!(r.body, BodyKind::Solid);
+        }
+    }
+
+    #[test]
+    fn part_construction_validates_recipe_count() {
+        let scheme = MultiSphereScheme::new(2).unwrap();
+        assert!(scheme.part_for_recipes(&[CadRecipe::ALL[0]]).is_err());
+        let part = scheme.part_for_recipes(&scheme.genuine_recipes()).unwrap();
+        // Base + per-sphere features; genuine recipe resolves to 1 + 2n shells.
+        assert_eq!(part.resolve().unwrap().shells().len(), 5);
+    }
+
+    #[test]
+    fn random_recipes_are_deterministic_per_seed() {
+        let scheme = MultiSphereScheme::new(4).unwrap();
+        assert_eq!(scheme.random_recipes(9), scheme.random_recipes(9));
+        // And not constant across seeds (with overwhelming probability).
+        let distinct: std::collections::HashSet<Vec<CadRecipe>> =
+            (0..16).map(|s| scheme.random_recipes(s)).collect();
+        assert!(distinct.len() > 4);
+    }
+}

@@ -1,0 +1,289 @@
+//! The end-to-end AM process chain (Fig. 1/3 of the paper): CAD → STL →
+//! slice → tool path → print → post-process → inspect → test.
+
+use std::error::Error;
+use std::fmt;
+
+use am_cad::{CadError, Part};
+use am_fea::{run_tensile_test, Lattice, TensileConfig, TensileResult};
+use am_mesh::{
+    binary_stl_size, seam_report, tessellate_shells, Resolution, SeamReport, TriMesh,
+};
+use am_printer::{check_limits, scan, BuildEnvelope, PrintedPart, PrinterProfile, Process, ScanReport};
+use am_slicer::{
+    build_transform, diagnose_slices, generate_toolpath, orient_shells, slice_shells,
+    Orientation, SliceReport, SlicerConfig, ToolMaterial,
+};
+
+/// A complete manufacturing plan: every processing choice from STL export
+/// to the machine. Together with the CAD recipe (applied at part
+/// construction) this realizes one [`crate::ProcessKey`].
+#[derive(Debug, Clone)]
+pub struct ProcessPlan {
+    /// STL export resolution.
+    pub resolution: Resolution,
+    /// Build orientation.
+    pub orientation: Orientation,
+    /// Slicer settings.
+    pub slicer: SlicerConfig,
+    /// Printer machine profile.
+    pub printer: PrinterProfile,
+    /// Process-noise / specimen seed.
+    pub seed: u64,
+    /// Whether to run the (comparatively costly) virtual tensile test.
+    pub tensile: bool,
+}
+
+impl ProcessPlan {
+    /// The paper's default chain: CatalystEX settings on the Dimension
+    /// Elite FDM printer.
+    pub fn fdm(resolution: Resolution, orientation: Orientation) -> Self {
+        ProcessPlan {
+            resolution,
+            orientation,
+            slicer: SlicerConfig::default(),
+            printer: PrinterProfile::dimension_elite(),
+            seed: 1,
+            tensile: false,
+        }
+    }
+
+    /// The PolyJet chain: Objet30 Pro with matching layer height.
+    ///
+    /// The 16 µm native layer would make simulation needlessly slow for
+    /// most experiments, so the slicer runs at a 89 µm "draft" setting
+    /// (still 2× finer than FDM); pass a custom [`SlicerConfig`] for the
+    /// native resolution.
+    pub fn polyjet(resolution: Resolution, orientation: Orientation) -> Self {
+        let printer = PrinterProfile::objet30_pro();
+        ProcessPlan {
+            resolution,
+            orientation,
+            slicer: SlicerConfig {
+                layer_height: 0.0889,
+                road_width: printer.road_width,
+                analysis_cell: 0.05,
+                ..SlicerConfig::default()
+            },
+            printer,
+            seed: 1,
+            tensile: false,
+        }
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style tensile-test toggle.
+    pub fn with_tensile(mut self, tensile: bool) -> Self {
+        self.tensile = tensile;
+        self
+    }
+}
+
+/// Errors from the manufacturing pipeline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PipelineError {
+    /// The CAD stage failed.
+    Cad(CadError),
+    /// The part produced no printable geometry.
+    EmptyBuild {
+        /// Name of the offending part.
+        part: String,
+    },
+    /// The printer firmware rejected the part program (limit switch).
+    FirmwareRejected {
+        /// Number of limit violations found.
+        violations: usize,
+        /// The first violation, rendered.
+        first: String,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Cad(e) => write!(f, "cad stage failed: {e}"),
+            PipelineError::EmptyBuild { part } => {
+                write!(f, "part {part} produced no printable geometry")
+            }
+            PipelineError::FirmwareRejected { violations, first } => {
+                write!(f, "printer firmware rejected the part program ({violations} violations; first: {first})")
+            }
+        }
+    }
+}
+
+impl Error for PipelineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PipelineError::Cad(e) => Some(e),
+            PipelineError::EmptyBuild { .. } | PipelineError::FirmwareRejected { .. } => None,
+        }
+    }
+}
+
+impl From<CadError> for PipelineError {
+    fn from(e: CadError) -> Self {
+        PipelineError::Cad(e)
+    }
+}
+
+/// Tool-path statistics recorded by the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ToolPathStats {
+    /// Model road length (mm).
+    pub model_mm: f64,
+    /// Support road length (mm).
+    pub support_mm: f64,
+    /// Layer count.
+    pub layers: usize,
+    /// Print-time estimate (s).
+    pub time_s: f64,
+}
+
+/// Everything one pipeline run produces.
+#[derive(Debug, Clone)]
+pub struct PipelineOutput {
+    /// Name of the manufactured part.
+    pub part_name: String,
+    /// Triangles in the exported STL.
+    pub mesh_triangles: usize,
+    /// Exact binary STL size (bytes).
+    pub stl_bytes: u64,
+    /// Seam tessellation-mismatch report (split parts only).
+    pub seam: Option<SeamReport>,
+    /// Slicing defect diagnosis (Fig. 7a observables).
+    pub slice_report: SliceReport,
+    /// Tool-path statistics.
+    pub toolpath: ToolPathStats,
+    /// The printed artifact, support already dissolved.
+    pub printed: PrintedPart,
+    /// Internal-structure scan of the finished part.
+    pub scan: ScanReport,
+    /// Virtual tensile test (if requested in the plan).
+    pub tensile: Option<TensileResult>,
+    /// The cold-joint contact fraction used for the tensile model.
+    pub joint_contact: f64,
+}
+
+/// Runs the full manufacturing chain on a part.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Cad`] if the feature history fails to resolve
+/// and [`PipelineError::EmptyBuild`] if no geometry reaches the printer.
+///
+/// # Examples
+///
+/// ```no_run
+/// use am_cad::parts::{tensile_bar_with_spline, TensileBarDims};
+/// use am_mesh::Resolution;
+/// use am_slicer::Orientation;
+/// use obfuscade::{run_pipeline, ProcessPlan};
+///
+/// let part = tensile_bar_with_spline(&TensileBarDims::default())?;
+/// let plan = ProcessPlan::fdm(Resolution::Coarse, Orientation::Xz).with_tensile(true);
+/// let output = run_pipeline(&part, &plan)?;
+/// assert!(output.slice_report.has_discontinuity()); // the planted seam shows
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn run_pipeline(part: &Part, plan: &ProcessPlan) -> Result<PipelineOutput, PipelineError> {
+    // CAD → shells.
+    let resolved = part.resolve()?;
+    let params = plan.resolution.params();
+
+    // STL export (per-body tessellation).
+    let shells: Vec<TriMesh> = tessellate_shells(&resolved, &params);
+    let mesh_triangles: usize = shells.iter().map(TriMesh::triangle_count).sum();
+    if mesh_triangles == 0 {
+        return Err(PipelineError::EmptyBuild { part: part.name().to_string() });
+    }
+    let stl_bytes = binary_stl_size(mesh_triangles);
+    let seam = seam_report(&resolved, &params);
+
+    // Orient, place on the bed (away from the corner — perimeter insets
+    // may overshoot the footprint by a fraction of a road width), slice.
+    let bed_margin = am_geom::Transform3::translation(am_geom::Vec3::new(5.0, 5.0, 0.0));
+    let oriented: Vec<TriMesh> = orient_shells(&shells, plan.orientation)
+        .iter()
+        .map(|m| m.transformed(&bed_margin))
+        .collect();
+    let to_build = build_transform(&shells, plan.orientation).then(&bed_margin);
+    let sliced = slice_shells(&oriented, plan.slicer.layer_height);
+    let slice_report = diagnose_slices(&sliced, plan.slicer.analysis_cell);
+
+    // Tool paths.
+    let toolpath = generate_toolpath(&sliced, &plan.slicer);
+    let toolpath_stats = ToolPathStats {
+        model_mm: toolpath.total_length(ToolMaterial::Model),
+        support_mm: toolpath.total_length(ToolMaterial::Support),
+        layers: toolpath.layer_count(),
+        time_s: toolpath.print_time_estimate(plan.printer.feed_mm_per_s),
+    };
+
+    // Firmware vetting (the Table 1 limit-switch mitigation), then print,
+    // dissolve, inspect.
+    let envelope = match plan.printer.process {
+        Process::Fdm => BuildEnvelope::dimension_elite(),
+        Process::PolyJet => BuildEnvelope::objet30_pro(),
+    };
+    let violations = check_limits(&toolpath, &envelope);
+    if !violations.is_empty() {
+        return Err(PipelineError::FirmwareRejected {
+            violations: violations.len(),
+            first: violations[0].to_string(),
+        });
+    }
+    let mut printed = PrintedPart::from_toolpath(&toolpath, &plan.printer, to_build, plan.seed);
+    printed.dissolve_support();
+    let scan_report = scan(&printed);
+
+    // Cold-joint contact: in x-y the seam's in-plane tessellation gaps
+    // reduce the bonded area (fraction of the seam left open by the chord
+    // mismatch); in x-z the gap opens across layers instead, measured by
+    // the fraction of discontinuous layers.
+    let joint_contact = match (&seam, plan.orientation) {
+        (Some(s), Orientation::Xy) => {
+            (1.0 - 1.5 * s.chain_mismatch / plan.slicer.road_width).clamp(0.3, 1.0)
+        }
+        (Some(_), Orientation::Xz) => {
+            let frac = if slice_report.layers == 0 {
+                0.0
+            } else {
+                slice_report.discontinuous_layers as f64 / slice_report.layers as f64
+            };
+            (1.0 - 0.5 * frac).clamp(0.3, 1.0)
+        }
+        (None, _) => 1.0,
+    };
+
+    // Virtual tensile test.
+    let tensile = if plan.tensile {
+        let config = TensileConfig {
+            joint_contact,
+            ..TensileConfig::fdm(plan.orientation)
+        };
+        let mut lattice = Lattice::from_printed(&printed, &config, plan.seed);
+        Some(run_tensile_test(&mut lattice, &config))
+    } else {
+        None
+    };
+
+    Ok(PipelineOutput {
+        part_name: part.name().to_string(),
+        mesh_triangles,
+        stl_bytes,
+        seam,
+        slice_report,
+        toolpath: toolpath_stats,
+        printed,
+        scan: scan_report,
+        tensile,
+        joint_contact,
+    })
+}

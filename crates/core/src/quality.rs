@@ -1,0 +1,188 @@
+//! Quality assessment of manufactured parts.
+
+use std::fmt;
+
+use crate::PipelineOutput;
+
+/// Verdict on a manufactured part's quality relative to a reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// Meets visual and mechanical expectations.
+    Good,
+    /// Visually acceptable but mechanically compromised (premature-failure
+    /// risk — the ObfusCADe design goal for counterfeits).
+    Degraded,
+    /// Visibly defective (discontinuities, voids, wrong structure).
+    Defective,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Good => write!(f, "good"),
+            Verdict::Degraded => write!(f, "degraded"),
+            Verdict::Defective => write!(f, "defective"),
+        }
+    }
+}
+
+/// Thresholds for the quality verdict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityThresholds {
+    /// Minimum toughness relative to the reference part.
+    pub min_toughness_ratio: f64,
+    /// Minimum failure strain relative to the reference part.
+    pub min_strain_ratio: f64,
+    /// Maximum internal void volume (mm³) tolerated before the part is
+    /// visibly/structurally defective.
+    pub max_internal_void_mm3: f64,
+    /// Maximum seam surface visibility (mm of tessellation mismatch) before
+    /// the surface counts as disrupted (Fig. 8 observable).
+    pub max_surface_mismatch_mm: f64,
+    /// Minimum part weight relative to the reference (the Table 1
+    /// "measurement of weight/density" check — catches sparse-infill
+    /// corner-cutting and large hidden voids alike).
+    pub min_weight_ratio: f64,
+}
+
+impl Default for QualityThresholds {
+    fn default() -> Self {
+        QualityThresholds {
+            min_toughness_ratio: 0.7,
+            min_strain_ratio: 0.7,
+            max_internal_void_mm3: 5.0,
+            max_surface_mismatch_mm: 0.05,
+            min_weight_ratio: 0.92,
+        }
+    }
+}
+
+/// A quality report: the verdict plus the reasons behind it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityReport {
+    /// Overall verdict.
+    pub verdict: Verdict,
+    /// Human-readable findings that led to the verdict.
+    pub findings: Vec<String>,
+    /// Toughness ratio vs. the reference (if both were tensile-tested).
+    pub toughness_ratio: Option<f64>,
+    /// Failure-strain ratio vs. the reference.
+    pub strain_ratio: Option<f64>,
+}
+
+/// Assesses a manufactured part against a reference run (typically the
+/// intact design manufactured under the same plan).
+///
+/// Visible defects (slicing discontinuity, internal voids, surface seam
+/// disruption) make the part [`Verdict::Defective`]; hidden mechanical
+/// degradation (toughness/strain below the thresholds) makes it
+/// [`Verdict::Degraded`]; otherwise it is [`Verdict::Good`].
+///
+/// # Examples
+///
+/// ```no_run
+/// use obfuscade::{assess_quality, QualityThresholds, PipelineOutput};
+/// # fn f(counterfeit: &PipelineOutput, reference: &PipelineOutput) {
+/// let report = assess_quality(counterfeit, reference, &QualityThresholds::default());
+/// println!("{}: {:?}", report.verdict, report.findings);
+/// # }
+/// ```
+pub fn assess_quality(
+    output: &PipelineOutput,
+    reference: &PipelineOutput,
+    thresholds: &QualityThresholds,
+) -> QualityReport {
+    let mut findings = Vec::new();
+    let mut verdict = Verdict::Good;
+
+    // Visible structure defects.
+    if output.slice_report.has_discontinuity() {
+        findings.push("sliced model shows a discontinuity around a planted feature".to_string());
+        verdict = Verdict::Defective;
+    }
+    let excess_void = output.scan.internal_void_volume
+        - reference.scan.internal_void_volume.max(0.0);
+    if excess_void > thresholds.max_internal_void_mm3 {
+        findings.push(format!(
+            "internal voids exceed reference by {excess_void:.1} mm³ (CT-detectable)"
+        ));
+        verdict = Verdict::Defective;
+    }
+    let ref_weight = reference.printed.weight_g();
+    if ref_weight > 0.0 {
+        let ratio = output.printed.weight_g() / ref_weight;
+        if ratio < thresholds.min_weight_ratio {
+            findings.push(format!(
+                "part weighs {:.0}% of the reference (density check)",
+                ratio * 100.0
+            ));
+            verdict = Verdict::Defective;
+        }
+    }
+    if let Some(seam) = &output.seam {
+        if seam.chain_mismatch > thresholds.max_surface_mismatch_mm {
+            findings.push(format!(
+                "surface seam disruption: {:.3} mm tessellation mismatch",
+                seam.chain_mismatch
+            ));
+            if verdict == Verdict::Good {
+                verdict = Verdict::Defective;
+            }
+        }
+    }
+
+    // Hidden mechanical degradation.
+    let (mut toughness_ratio, mut strain_ratio) = (None, None);
+    if let (Some(t), Some(r)) = (&output.tensile, &reference.tensile) {
+        if r.toughness_kj_m3 > 0.0 {
+            let ratio = t.toughness_kj_m3 / r.toughness_kj_m3;
+            toughness_ratio = Some(ratio);
+            if ratio < thresholds.min_toughness_ratio {
+                findings.push(format!(
+                    "toughness is {:.0}% of the reference part",
+                    ratio * 100.0
+                ));
+                if verdict == Verdict::Good {
+                    verdict = Verdict::Degraded;
+                }
+            }
+        }
+        if r.failure_strain > 0.0 {
+            let ratio = t.failure_strain / r.failure_strain;
+            strain_ratio = Some(ratio);
+            if ratio < thresholds.min_strain_ratio {
+                findings.push(format!(
+                    "failure strain is {:.0}% of the reference part",
+                    ratio * 100.0
+                ));
+                if verdict == Verdict::Good {
+                    verdict = Verdict::Degraded;
+                }
+            }
+        }
+    }
+
+    if findings.is_empty() {
+        findings.push("no defects found".to_string());
+    }
+    QualityReport { verdict, findings, toughness_ratio, strain_ratio }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_thresholds_are_sane() {
+        let t = QualityThresholds::default();
+        assert!(t.min_toughness_ratio > 0.0 && t.min_toughness_ratio < 1.0);
+        assert!(t.max_internal_void_mm3 > 0.0);
+    }
+
+    #[test]
+    fn verdict_display() {
+        assert_eq!(Verdict::Good.to_string(), "good");
+        assert_eq!(Verdict::Degraded.to_string(), "degraded");
+        assert_eq!(Verdict::Defective.to_string(), "defective");
+    }
+}

@@ -1,0 +1,372 @@
+//! The AM cybersecurity risk taxonomy (Fig. 2) and the per-stage risk /
+//! mitigation catalogue (Table 1 of the paper), as queryable data.
+
+use std::fmt;
+
+/// A stage of the additive-manufacturing supply chain (Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AmStage {
+    /// CAD modeling and finite-element optimization.
+    CadModelAndFea,
+    /// The exported STL file.
+    StlFile,
+    /// Slicing and G-code generation.
+    SlicingAndGcode,
+    /// The 3D printer and its firmware.
+    Printer,
+    /// Post-print testing and inspection.
+    Testing,
+}
+
+impl AmStage {
+    /// All stages in process order.
+    pub const ALL: [AmStage; 5] = [
+        AmStage::CadModelAndFea,
+        AmStage::StlFile,
+        AmStage::SlicingAndGcode,
+        AmStage::Printer,
+        AmStage::Testing,
+    ];
+}
+
+impl fmt::Display for AmStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AmStage::CadModelAndFea => write!(f, "CAD model & FEA"),
+            AmStage::StlFile => write!(f, "STL file"),
+            AmStage::SlicingAndGcode => write!(f, "Slicing & G-code"),
+            AmStage::Printer => write!(f, "3D Printer"),
+            AmStage::Testing => write!(f, "Testing"),
+        }
+    }
+}
+
+/// System abstraction level an attack operates on (Fig. 2's first axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackLevel {
+    /// Material composition and physical artifacts.
+    Physical,
+    /// Actuators, motors, sensors.
+    Electromechanical,
+    /// Firmware, files, software, cloud services.
+    Logical,
+}
+
+impl fmt::Display for AttackLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackLevel::Physical => write!(f, "physical"),
+            AttackLevel::Electromechanical => write!(f, "electromechanical"),
+            AttackLevel::Logical => write!(f, "logical"),
+        }
+    }
+}
+
+/// Attacker objective (Fig. 2's second axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackGoal {
+    /// Stealing designs, counterfeiting, overproduction.
+    IpTheft,
+    /// Quality degradation, defects, premature failure.
+    Sabotage,
+    /// Leaking design data through side channels.
+    InformationLeakage,
+    /// Damaging the machine itself.
+    EquipmentDamage,
+}
+
+impl fmt::Display for AttackGoal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackGoal::IpTheft => write!(f, "IP theft / counterfeiting"),
+            AttackGoal::Sabotage => write!(f, "sabotage"),
+            AttackGoal::InformationLeakage => write!(f, "information leakage"),
+            AttackGoal::EquipmentDamage => write!(f, "equipment damage"),
+        }
+    }
+}
+
+/// One attack class in the Fig. 2 taxonomy.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AttackClass {
+    /// Short name.
+    pub name: &'static str,
+    /// Abstraction level.
+    pub level: AttackLevel,
+    /// Primary goal.
+    pub goal: AttackGoal,
+    /// Supply-chain stage it targets.
+    pub stage: AmStage,
+}
+
+/// One risk entry of Table 1.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Risk {
+    /// Supply-chain stage.
+    pub stage: AmStage,
+    /// Description of the risk.
+    pub description: &'static str,
+    /// Applicable mitigation strategies.
+    pub mitigations: &'static [&'static str],
+    /// `true` if ObfusCADe itself addresses this risk.
+    pub addressed_by_obfuscade: bool,
+}
+
+/// The full Table 1: cybersecurity risks during different stages of the AM
+/// supply chain, with mitigation strategies.
+///
+/// # Examples
+///
+/// ```
+/// use obfuscade::risk::{risk_table, AmStage};
+///
+/// let table = risk_table();
+/// assert!(table.iter().any(|r| r.addressed_by_obfuscade));
+/// let cad_risks: Vec<_> = table.iter().filter(|r| r.stage == AmStage::CadModelAndFea).collect();
+/// assert!(!cad_risks.is_empty());
+/// ```
+pub fn risk_table() -> Vec<Risk> {
+    vec![
+        Risk {
+            stage: AmStage::CadModelAndFea,
+            description: "IP theft, ransomware, software Trojans, malware",
+            mitigations: &[
+                "data-loss-prevention software, code reviews, periodic backups",
+                "CAD-level design obfuscation for IP protection (ObfusCADe)",
+            ],
+            addressed_by_obfuscade: true,
+        },
+        Risk {
+            stage: AmStage::CadModelAndFea,
+            description: "CAD libraries & FEA databases corruption/modification",
+            mitigations: &["IP file access/integrity controls, entitlement reviews"],
+            addressed_by_obfuscade: false,
+        },
+        Risk {
+            stage: AmStage::CadModelAndFea,
+            description: "malicious insider corrupts CAD model, adds vulnerabilities",
+            mitigations: &["code reviews, entitlement reviews, periodic backups"],
+            addressed_by_obfuscade: false,
+        },
+        Risk {
+            stage: AmStage::StlFile,
+            description: "removal/addition of tetrahedrons (voids/protrusions)",
+            mitigations: &["review 3D rendering, file contents, manifold geometry errors"],
+            addressed_by_obfuscade: false,
+        },
+        Risk {
+            stage: AmStage::StlFile,
+            description: "dimension & ratio scaling, shape changes, end point changes",
+            mitigations: &["verification of digital signatures, file sizes and hashes"],
+            addressed_by_obfuscade: false,
+        },
+        Risk {
+            stage: AmStage::StlFile,
+            description: "file theft/loss/corruption, ransomware",
+            mitigations: &[
+                "strict access control to files, regular backups",
+                "stolen files print defectively without the process key (ObfusCADe)",
+            ],
+            addressed_by_obfuscade: true,
+        },
+        Risk {
+            stage: AmStage::SlicingAndGcode,
+            description: "orientation changes, addition of porosity/contaminants",
+            mitigations: &["simulation of generated G-code, code review"],
+            addressed_by_obfuscade: false,
+        },
+        Risk {
+            stage: AmStage::SlicingAndGcode,
+            description: "damage to printer actuators using malicious coordinates",
+            mitigations: &["actuator limit switch preventing physical damage"],
+            addressed_by_obfuscade: false,
+        },
+        Risk {
+            stage: AmStage::SlicingAndGcode,
+            description: "IP theft/reverse-engineering, reconstruction of CAD model",
+            mitigations: &[
+                "periodic review of printer parameters, strict access controls",
+                "reconstructed models inherit the planted defects (ObfusCADe)",
+            ],
+            addressed_by_obfuscade: true,
+        },
+        Risk {
+            stage: AmStage::Printer,
+            description: "malicious firmware updates, unauthorized remote access",
+            mitigations: &["strict access control, network firewalls, secure updates"],
+            addressed_by_obfuscade: false,
+        },
+        Risk {
+            stage: AmStage::Printer,
+            description: "activation of firmware Trojans, malicious operator",
+            mitigations: &["inspection of printed object, measurement of weight/density"],
+            addressed_by_obfuscade: false,
+        },
+        Risk {
+            stage: AmStage::Printer,
+            description: "acoustic/thermal side channels, IP theft, information leakage",
+            mitigations: &[
+                "side-channel shielding, noise emission, physical access controls",
+                "tensile strength test, X-ray/ultrasound/CT scan reconstruction",
+            ],
+            addressed_by_obfuscade: true,
+        },
+        Risk {
+            stage: AmStage::Printer,
+            description: "file parser/firmware zero-day, corrupted calibration files",
+            mitigations: &["secure updates, inspection of printed object"],
+            addressed_by_obfuscade: false,
+        },
+        Risk {
+            stage: AmStage::Testing,
+            description: "detection granularity versus test time trade-off",
+            mitigations: &["high-resolution CT/ultrasonic tests on random samples"],
+            addressed_by_obfuscade: false,
+        },
+        Risk {
+            stage: AmStage::Testing,
+            description: "low CT/ultrasonic equipment resolution",
+            mitigations: &["use higher resolution equipment, test over different angles"],
+            addressed_by_obfuscade: false,
+        },
+    ]
+}
+
+/// The Fig. 2 attack taxonomy as a flat class list.
+pub fn attack_taxonomy() -> Vec<AttackClass> {
+    vec![
+        AttackClass {
+            name: "design file exfiltration",
+            level: AttackLevel::Logical,
+            goal: AttackGoal::IpTheft,
+            stage: AmStage::CadModelAndFea,
+        },
+        AttackClass {
+            name: "counterfeiting from stolen STL",
+            level: AttackLevel::Logical,
+            goal: AttackGoal::IpTheft,
+            stage: AmStage::StlFile,
+        },
+        AttackClass {
+            name: "void/protrusion injection",
+            level: AttackLevel::Logical,
+            goal: AttackGoal::Sabotage,
+            stage: AmStage::StlFile,
+        },
+        AttackClass {
+            name: "tool-path tampering",
+            level: AttackLevel::Logical,
+            goal: AttackGoal::Sabotage,
+            stage: AmStage::SlicingAndGcode,
+        },
+        AttackClass {
+            name: "malicious actuator coordinates",
+            level: AttackLevel::Electromechanical,
+            goal: AttackGoal::EquipmentDamage,
+            stage: AmStage::SlicingAndGcode,
+        },
+        AttackClass {
+            name: "firmware Trojan",
+            level: AttackLevel::Logical,
+            goal: AttackGoal::Sabotage,
+            stage: AmStage::Printer,
+        },
+        AttackClass {
+            name: "acoustic side-channel reconstruction",
+            level: AttackLevel::Physical,
+            goal: AttackGoal::InformationLeakage,
+            stage: AmStage::Printer,
+        },
+        AttackClass {
+            name: "magnetic side-channel reconstruction",
+            level: AttackLevel::Physical,
+            goal: AttackGoal::InformationLeakage,
+            stage: AmStage::Printer,
+        },
+        AttackClass {
+            name: "feedstock contamination",
+            level: AttackLevel::Physical,
+            goal: AttackGoal::Sabotage,
+            stage: AmStage::Printer,
+        },
+        AttackClass {
+            name: "inspection evasion via sub-resolution defects",
+            level: AttackLevel::Physical,
+            goal: AttackGoal::Sabotage,
+            stage: AmStage::Testing,
+        },
+    ]
+}
+
+/// Renders Table 1 as aligned plain text (one row per risk).
+pub fn render_risk_table() -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<18} | {:<62} | mitigation\n", "AM stage", "risk"));
+    out.push_str(&format!("{:-<18}-+-{:-<62}-+-{:-<50}\n", "", "", ""));
+    for risk in risk_table() {
+        let mut first = true;
+        for m in risk.mitigations {
+            let stage = if first { risk.stage.to_string() } else { String::new() };
+            let desc = if first { risk.description } else { "" };
+            out.push_str(&format!("{stage:<18} | {desc:<62} | {m}\n"));
+            first = false;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_stage_has_risks() {
+        let table = risk_table();
+        for stage in AmStage::ALL {
+            assert!(
+                table.iter().any(|r| r.stage == stage),
+                "no risks recorded for stage {stage}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_risk_has_mitigations() {
+        for risk in risk_table() {
+            assert!(!risk.mitigations.is_empty(), "{}", risk.description);
+        }
+    }
+
+    #[test]
+    fn obfuscade_addresses_ip_theft_rows() {
+        let table = risk_table();
+        let addressed: Vec<_> = table.iter().filter(|r| r.addressed_by_obfuscade).collect();
+        assert!(addressed.len() >= 3);
+        // The headline row: CAD-level obfuscation at the design stage.
+        assert!(addressed.iter().any(|r| r.stage == AmStage::CadModelAndFea));
+    }
+
+    #[test]
+    fn taxonomy_covers_all_levels_and_goals() {
+        let taxonomy = attack_taxonomy();
+        for level in [AttackLevel::Physical, AttackLevel::Electromechanical, AttackLevel::Logical] {
+            assert!(taxonomy.iter().any(|a| a.level == level), "{level}");
+        }
+        for goal in [
+            AttackGoal::IpTheft,
+            AttackGoal::Sabotage,
+            AttackGoal::InformationLeakage,
+            AttackGoal::EquipmentDamage,
+        ] {
+            assert!(taxonomy.iter().any(|a| a.goal == goal), "{goal}");
+        }
+    }
+
+    #[test]
+    fn rendered_table_mentions_obfuscade() {
+        let text = render_risk_table();
+        assert!(text.contains("ObfusCADe"));
+        assert!(text.contains("CAD model & FEA"));
+        assert!(text.lines().count() > 15);
+    }
+}

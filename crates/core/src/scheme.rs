@@ -1,0 +1,232 @@
+//! Protection schemes: how ObfusCADe plants features in a design and how
+//! genuine parts are told from counterfeits afterwards.
+
+use am_cad::parts::{
+    intact_prism, prism_with_sphere, tensile_bar, tensile_bar_with_spline, PrismDims,
+    TensileBarDims,
+};
+use am_cad::{BodyKind, CadError, MaterialRemoval, Part};
+use am_printer::ScanReport;
+
+use crate::{CadRecipe, ProcessKey};
+
+/// The keyed recipe shared by the sphere-based schemes: material removal
+/// followed by re-embedding a solid body.
+pub(crate) const GENUINE_RECIPE: CadRecipe =
+    CadRecipe { removal: MaterialRemoval::With, body: BodyKind::Solid };
+
+/// Authentication outcome for a physically inspected part.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Authenticity {
+    /// The part carries the expected signature of the licensed process.
+    Genuine,
+    /// The part carries the planted defect signature — it was manufactured
+    /// from the protected file without the key.
+    Counterfeit,
+    /// The scan was inconclusive.
+    Inconclusive,
+}
+
+/// The §3.1 protection scheme: a spline split planted in a tensile-bar
+/// class part.
+///
+/// The *owner* holds the original CAD and suppresses the feature (or meets
+/// the exact process conditions) when manufacturing; anyone printing the
+/// stolen STL gets a part with a cold-joint seam that halves its service
+/// life — and whose presence authenticates the part as counterfeit.
+///
+/// # Examples
+///
+/// ```
+/// use obfuscade::SplineSplitScheme;
+///
+/// let scheme = SplineSplitScheme::default();
+/// let protected = scheme.protected_part()?;
+/// let genuine = scheme.genuine_part()?;
+/// assert_eq!(protected.security_feature_count(), 1);
+/// assert_eq!(genuine.security_feature_count(), 0);
+/// # Ok::<(), am_cad::CadError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplineSplitScheme {
+    dims: TensileBarDims,
+}
+
+impl SplineSplitScheme {
+    /// A scheme over a custom bar geometry.
+    pub fn new(dims: TensileBarDims) -> Self {
+        SplineSplitScheme { dims }
+    }
+
+    /// The bar geometry.
+    pub fn dims(&self) -> &TensileBarDims {
+        &self.dims
+    }
+
+    /// The protected (distributed) model: spline split embedded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CAD construction errors.
+    pub fn protected_part(&self) -> Result<Part, CadError> {
+        tensile_bar_with_spline(&self.dims)
+    }
+
+    /// The genuine manufacturing model: the owner suppresses the split.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CAD construction errors.
+    pub fn genuine_part(&self) -> Result<Part, CadError> {
+        tensile_bar(&self.dims)
+    }
+
+    /// Classifies a scanned part: a genuine print has no cold joints; a
+    /// print from the protected file carries a seam of roughly the split
+    /// surface's area.
+    pub fn authenticate(&self, scan: &ScanReport) -> Authenticity {
+        // Expected seam area ≈ spline arc length × thickness.
+        let expected = 21.0 * self.dims.thickness;
+        if scan.cold_joint_area > expected * 0.2 {
+            Authenticity::Counterfeit
+        } else if scan.cold_joint_area < expected * 0.05 {
+            Authenticity::Genuine
+        } else {
+            Authenticity::Inconclusive
+        }
+    }
+}
+
+impl Default for SplineSplitScheme {
+    fn default() -> Self {
+        SplineSplitScheme { dims: TensileBarDims::default() }
+    }
+}
+
+/// The §3.2 protection scheme: a sphere embedded in a solid, whose print
+/// outcome depends on the CAD processing recipe.
+///
+/// The distributed model reads identically in the CAD viewport and in STL
+/// file size for every recipe, but only the keyed recipe — material removal
+/// followed by re-embedding a **solid** body — prints the region as model
+/// material. Every other recipe leaves a support-filled (and after
+/// dissolution, hollow) core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbeddedSphereScheme {
+    dims: PrismDims,
+}
+
+impl EmbeddedSphereScheme {
+    /// A scheme over a custom prism geometry.
+    pub fn new(dims: PrismDims) -> Self {
+        EmbeddedSphereScheme { dims }
+    }
+
+    /// The prism geometry.
+    pub fn dims(&self) -> &PrismDims {
+        &self.dims
+    }
+
+    /// The part as manufactured under a given CAD recipe.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CAD construction errors.
+    pub fn part_for_recipe(&self, recipe: CadRecipe) -> Result<Part, CadError> {
+        prism_with_sphere(&self.dims, recipe.body, recipe.removal)
+    }
+
+    /// The unprotected reference part.
+    pub fn reference_part(&self) -> Part {
+        intact_prism(&self.dims)
+    }
+
+    /// The keyed recipe that manufactures correctly.
+    pub fn genuine_recipe(&self) -> CadRecipe {
+        GENUINE_RECIPE
+    }
+
+    /// The full process key for a correct print (resolution and orientation
+    /// are free for this scheme; the recipe is the secret).
+    pub fn genuine_keys(&self) -> Vec<ProcessKey> {
+        ProcessKey::key_space()
+            .into_iter()
+            .filter(|k| k.recipe == self.genuine_recipe())
+            .collect()
+    }
+
+    /// Classifies a scanned part: a hidden void (or trapped support) of the
+    /// sphere's volume marks a part printed without the key.
+    pub fn authenticate(&self, scan: &ScanReport) -> Authenticity {
+        let sphere = 4.0 / 3.0 * std::f64::consts::PI * self.dims.sphere_radius.powi(3);
+        // Undissolved support trapped inside reads as hollow too.
+        if scan.internal_support_voxels > 0 {
+            return Authenticity::Counterfeit;
+        }
+        if scan.internal_void_volume > sphere * 0.4 {
+            Authenticity::Counterfeit
+        } else if scan.internal_void_volume < sphere * 0.1 {
+            Authenticity::Genuine
+        } else {
+            Authenticity::Inconclusive
+        }
+    }
+}
+
+impl Default for EmbeddedSphereScheme {
+    fn default() -> Self {
+        EmbeddedSphereScheme { dims: PrismDims::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spline_scheme_parts_differ_only_by_feature() {
+        let scheme = SplineSplitScheme::default();
+        let p = scheme.protected_part().unwrap();
+        let g = scheme.genuine_part().unwrap();
+        assert_eq!(p.security_feature_count(), 1);
+        assert_eq!(g.security_feature_count(), 0);
+    }
+
+    #[test]
+    fn sphere_scheme_genuine_recipe_is_removal_plus_solid() {
+        let scheme = EmbeddedSphereScheme::default();
+        let r = scheme.genuine_recipe();
+        assert_eq!(r.removal, MaterialRemoval::With);
+        assert_eq!(r.body, BodyKind::Solid);
+        // A quarter of the recipe space, times all resolutions/orientations.
+        assert_eq!(scheme.genuine_keys().len(), 6);
+    }
+
+    #[test]
+    fn sphere_authentication_thresholds() {
+        let scheme = EmbeddedSphereScheme::default();
+        let sphere_vol = 4.0 / 3.0 * std::f64::consts::PI * 3.175f64.powi(3);
+        let hollow = ScanReport {
+            internal_void_voxels: 100,
+            internal_void_volume: sphere_vol * 0.9,
+            ..Default::default()
+        };
+        assert_eq!(scheme.authenticate(&hollow), Authenticity::Counterfeit);
+        let solid = ScanReport::default();
+        assert_eq!(scheme.authenticate(&solid), Authenticity::Genuine);
+        let ambiguous = ScanReport {
+            internal_void_volume: sphere_vol * 0.2,
+            ..Default::default()
+        };
+        assert_eq!(scheme.authenticate(&ambiguous), Authenticity::Inconclusive);
+    }
+
+    #[test]
+    fn spline_authentication_thresholds() {
+        let scheme = SplineSplitScheme::default();
+        let seamed = ScanReport { cold_joint_area: 60.0, ..Default::default() };
+        assert_eq!(scheme.authenticate(&seamed), Authenticity::Counterfeit);
+        let clean = ScanReport::default();
+        assert_eq!(scheme.authenticate(&clean), Authenticity::Genuine);
+    }
+}

@@ -1,0 +1,193 @@
+//! End-to-end tests of the ObfusCADe protection story.
+
+use am_mesh::Resolution;
+use am_slicer::Orientation;
+use obfuscade::{
+    assess_quality, repair_attack, run_pipeline, search_sphere_scheme, Authenticity, CadRecipe,
+    EmbeddedSphereScheme, ProcessPlan, QualityThresholds, SplineSplitScheme, Verdict,
+};
+
+#[test]
+fn counterfeit_xz_print_is_visibly_defective() {
+    let scheme = SplineSplitScheme::default();
+    let stolen = scheme.protected_part().unwrap();
+    for resolution in Resolution::ALL {
+        let plan = ProcessPlan::fdm(resolution, Orientation::Xz);
+        let output = run_pipeline(&stolen, &plan).unwrap();
+        assert!(
+            output.slice_report.has_discontinuity(),
+            "{resolution}: x-z counterfeit must show the seam"
+        );
+    }
+}
+
+#[test]
+fn counterfeit_xy_fine_print_hides_the_seam_visually() {
+    let scheme = SplineSplitScheme::default();
+    let stolen = scheme.protected_part().unwrap();
+    for resolution in [Resolution::Fine, Resolution::Custom] {
+        let plan = ProcessPlan::fdm(resolution, Orientation::Xy);
+        let output = run_pipeline(&stolen, &plan).unwrap();
+        assert!(!output.slice_report.has_discontinuity(), "{resolution}");
+        let seam = output.seam.expect("protected part has a seam");
+        assert!(seam.chain_mismatch < 0.05, "{resolution}: {}", seam.chain_mismatch);
+    }
+    // …but Coarse x-y shows surface disruption (Fig. 8a).
+    let coarse = run_pipeline(&stolen, &ProcessPlan::fdm(Resolution::Coarse, Orientation::Xy))
+        .unwrap();
+    assert!(coarse.seam.unwrap().chain_mismatch > 0.05);
+}
+
+#[test]
+fn hidden_seam_still_degrades_mechanics() {
+    let scheme = SplineSplitScheme::default();
+    let plan = ProcessPlan::fdm(Resolution::Fine, Orientation::Xy).with_tensile(true);
+    let counterfeit = run_pipeline(&scheme.protected_part().unwrap(), &plan).unwrap();
+    let genuine = run_pipeline(&scheme.genuine_part().unwrap(), &plan).unwrap();
+    let report = assess_quality(&counterfeit, &genuine, &QualityThresholds::default());
+    // Visually clean, mechanically compromised: the ObfusCADe design goal.
+    assert_eq!(report.verdict, Verdict::Degraded, "{:?}", report.findings);
+    assert!(report.toughness_ratio.unwrap() < 0.6);
+}
+
+#[test]
+fn authentication_separates_genuine_from_counterfeit() {
+    let scheme = SplineSplitScheme::default();
+    let plan = ProcessPlan::fdm(Resolution::Fine, Orientation::Xy);
+    let counterfeit = run_pipeline(&scheme.protected_part().unwrap(), &plan).unwrap();
+    let genuine = run_pipeline(&scheme.genuine_part().unwrap(), &plan).unwrap();
+    assert_eq!(scheme.authenticate(&counterfeit.scan), Authenticity::Counterfeit);
+    assert_eq!(scheme.authenticate(&genuine.scan), Authenticity::Genuine);
+}
+
+#[test]
+fn table3_outcomes_through_the_full_pipeline() {
+    let scheme = EmbeddedSphereScheme::default();
+    let sphere_vol = 4.0 / 3.0 * std::f64::consts::PI * scheme.dims().sphere_radius.powi(3);
+    for recipe in CadRecipe::ALL {
+        let part = scheme.part_for_recipe(recipe).unwrap();
+        let plan = ProcessPlan::fdm(Resolution::Fine, Orientation::Xy);
+        let output = run_pipeline(&part, &plan).unwrap();
+        let genuine = recipe == scheme.genuine_recipe();
+        if genuine {
+            assert!(
+                output.scan.internal_void_volume < sphere_vol * 0.2,
+                "{recipe}: keyed recipe prints solid, got {} mm³ void",
+                output.scan.internal_void_volume
+            );
+            assert_eq!(scheme.authenticate(&output.scan), Authenticity::Genuine);
+        } else {
+            assert!(
+                output.scan.internal_void_volume > sphere_vol * 0.4,
+                "{recipe}: unkeyed recipe must hide a void, got {} mm³",
+                output.scan.internal_void_volume
+            );
+            assert_eq!(scheme.authenticate(&output.scan), Authenticity::Counterfeit);
+        }
+    }
+}
+
+#[test]
+fn sphere_key_search_succeeds_only_on_genuine_recipe() {
+    let scheme = EmbeddedSphereScheme::default();
+    let outcome = search_sphere_scheme(&scheme, &QualityThresholds::default(), 7).unwrap();
+    assert_eq!(outcome.attempts.len(), 8); // 4 recipes × 2 orientations
+    for attempt in &outcome.attempts {
+        let genuine = attempt.key.recipe == scheme.genuine_recipe();
+        if genuine {
+            assert_eq!(attempt.verdict, Verdict::Good, "{}", attempt.key);
+        } else {
+            assert_ne!(attempt.verdict, Verdict::Good, "{}", attempt.key);
+        }
+    }
+    assert!((outcome.success_rate() - 0.25).abs() < 1e-9);
+    assert!(outcome.prints_to_success.is_some());
+}
+
+#[test]
+fn repair_attack_always_leaves_scars() {
+    let scheme = SplineSplitScheme::default();
+    // Even the gentlest weld (exact duplicates only) merges the two
+    // bodies' shared seam-endpoint vertices, whose vertical wall edges are
+    // then incident to four triangles — a non-manifold scar.
+    let gentle = repair_attack(&scheme, Resolution::Coarse, 1e-9).unwrap();
+    assert!(gentle.watertight_before, "the stolen export is two clean closed bodies");
+    assert!(gentle.repair_backfired(), "{gentle:?}");
+    // An aggressive weld fuses far more of the seam and corrupts more
+    // topology, not less.
+    let aggressive = repair_attack(&scheme, Resolution::Coarse, 0.5).unwrap();
+    assert!(aggressive.vertices_merged > gentle.vertices_merged);
+    assert!(aggressive.repair_backfired(), "{aggressive:?}");
+}
+
+#[test]
+fn complex_bracket_carries_the_protection_too() {
+    // The paper: "industrial component designs are often complex and
+    // integrating the proposed security features may be easier in complex
+    // geometries."
+    use am_cad::parts::{bracket, bracket_with_spline, BracketDims};
+    let dims = BracketDims::default();
+    let protected = bracket_with_spline(&dims).unwrap();
+    let intact = bracket(&dims).unwrap();
+
+    // x-z print of the stolen bracket shows the seam…
+    let xz = run_pipeline(&protected, &ProcessPlan::fdm(Resolution::Fine, Orientation::Xz))
+        .unwrap();
+    assert!(xz.slice_report.has_discontinuity());
+    // …while the intact bracket (holes and all) slices clean.
+    let ref_xz = run_pipeline(&intact, &ProcessPlan::fdm(Resolution::Fine, Orientation::Xz))
+        .unwrap();
+    assert!(!ref_xz.slice_report.has_discontinuity());
+
+    // The cold joint is CT-detectable in any orientation.
+    let xy = run_pipeline(&protected, &ProcessPlan::fdm(Resolution::Fine, Orientation::Xy))
+        .unwrap();
+    assert!(xy.scan.cold_joint_area > 20.0, "{}", xy.scan.cold_joint_area);
+    let ref_xy = run_pipeline(&intact, &ProcessPlan::fdm(Resolution::Fine, Orientation::Xy))
+        .unwrap();
+    assert_eq!(ref_xy.scan.cold_joint_area, 0.0);
+}
+
+#[test]
+fn multi_sphere_scheme_scales_the_key_space() {
+    use obfuscade::MultiSphereScheme;
+    let scheme = MultiSphereScheme::new(2).unwrap();
+    assert_eq!(scheme.key_space_size(), 16);
+
+    let plan = ProcessPlan::fdm(Resolution::Fine, Orientation::Xy);
+    // The keyed part prints fully solid.
+    let genuine = scheme.part_for_recipes(&scheme.genuine_recipes()).unwrap();
+    let output = run_pipeline(&genuine, &plan).unwrap();
+    assert_eq!(scheme.authenticate(&output.scan), Authenticity::Genuine);
+
+    // One mis-keyed sphere is enough to mark the part.
+    let mut recipes = scheme.genuine_recipes();
+    recipes[1] = CadRecipe::ALL[0]; // solid, no removal → void
+    let forged = scheme.part_for_recipes(&recipes).unwrap();
+    let output = run_pipeline(&forged, &plan).unwrap();
+    assert_eq!(scheme.authenticate(&output.scan), Authenticity::Counterfeit);
+    // The void sits at the mis-keyed sphere's centre.
+    assert_eq!(
+        output.printed.material_at_model(scheme.centers()[1]),
+        am_printer::Material::Empty
+    );
+    assert_eq!(
+        output.printed.material_at_model(scheme.centers()[0]),
+        am_printer::Material::Model
+    );
+}
+
+#[test]
+fn stl_file_observations_match_paper() {
+    // §3.2: CAD sizes differ between solid/surface; STL sizes identical;
+    // with-removal STL is larger than without.
+    let scheme = EmbeddedSphereScheme::default();
+    let plan = ProcessPlan::fdm(Resolution::Fine, Orientation::Xy);
+    let size = |recipe: CadRecipe| -> u64 {
+        run_pipeline(&scheme.part_for_recipe(recipe).unwrap(), &plan).unwrap().stl_bytes
+    };
+    let [no_solid, no_surface, with_solid, with_surface] = CadRecipe::ALL.map(size);
+    assert_eq!(no_solid, no_surface);
+    assert_eq!(with_solid, with_surface);
+    assert!(with_solid > no_solid);
+}

@@ -1,0 +1,148 @@
+//! Virtual tensile test configuration.
+
+use am_slicer::Orientation;
+
+/// Configuration of the virtual tensile test: gauge sampling geometry plus
+/// the bond-quality calibration of the deposition process.
+///
+/// The road/layer factors encode FDM meso-structure the 2-D lattice cannot
+/// resolve directly (road continuity along the load axis, inter-road joints
+/// in cross-hatched layers). They are calibrated once per process ×
+/// orientation against the paper's intact-specimen columns of Table 2 and
+/// then held fixed for every protected specimen — so the *spline* columns
+/// are predictions, not fits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensileConfig {
+    /// Lattice node spacing (mm).
+    pub node_spacing: f64,
+    /// Gauge length between grips (mm).
+    pub gauge_length: f64,
+    /// Gauge width (mm).
+    pub gauge_width: f64,
+    /// Specimen thickness (mm).
+    pub thickness: f64,
+    /// Maximum applied engineering strain.
+    pub max_strain: f64,
+    /// Strain increment per load step.
+    pub strain_step: f64,
+    /// Strength factor of in-plane (road) bonds.
+    pub road_strength: f64,
+    /// Ductility factor of in-plane (road) bonds.
+    pub road_ductility: f64,
+    /// Ductility factor of stacking-direction (layer) bonds.
+    pub layer_ductility: f64,
+    /// Cold-joint contact fraction (1.0 = perfect seam contact); supplied
+    /// by the pipeline from the tessellation-gap analysis.
+    pub joint_contact: f64,
+    /// Relative 1σ jitter applied to bond strength/ductility (specimen
+    /// scatter).
+    pub noise: f64,
+    /// Post-yield tangent stiffness as a fraction of the elastic stiffness
+    /// (linear hardening keeps plastic flow stable until bonds break).
+    pub hardening_ratio: f64,
+    /// Homogenization correction mapping bond yield level to the lattice's
+    /// engineering yield stress (calibrated once on the intact x-y
+    /// specimen).
+    pub yield_calibration: f64,
+    /// Homogenization correction mapping bond stiffness to the lattice's
+    /// engineering modulus (the sampled lattice is ~0.6× as stiff as the
+    /// continuum; calibrated once on the intact x-y specimen).
+    pub modulus_calibration: f64,
+}
+
+impl TensileConfig {
+    /// Calibration for FDM prints laid flat (x-y): every layer's roads lie
+    /// in the load plane, alternating 0°/90°, so the load path crosses
+    /// inter-road joints — moderate ductility.
+    pub fn fdm_xy() -> Self {
+        TensileConfig {
+            node_spacing: 0.4,
+            gauge_length: 33.0,
+            gauge_width: 6.0,
+            thickness: 3.2,
+            max_strain: 0.12,
+            strain_step: 0.0005,
+            road_strength: 0.88,
+            road_ductility: 0.48,
+            layer_ductility: 0.45,
+            joint_contact: 1.0,
+            noise: 0.04,
+            hardening_ratio: 0.02,
+            yield_calibration: 1.45,
+            modulus_calibration: 1.60,
+        }
+    }
+
+    /// Calibration for FDM prints standing on edge (x-z): the long roads
+    /// run along the load axis without cross-hatching joints — high
+    /// ductility; the width direction carries the (weaker) layer bonds.
+    pub fn fdm_xz() -> Self {
+        TensileConfig {
+            road_strength: 0.88,
+            road_ductility: 1.45,
+            layer_ductility: 0.70,
+            ..TensileConfig::fdm_xy()
+        }
+    }
+
+    /// Calibration for the given FDM orientation.
+    pub fn fdm(orientation: Orientation) -> Self {
+        match orientation {
+            Orientation::Xy => TensileConfig::fdm_xy(),
+            Orientation::Xz => TensileConfig::fdm_xz(),
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive geometry or out-of-range factors.
+    pub fn assert_valid(&self) {
+        for (name, v) in [
+            ("node_spacing", self.node_spacing),
+            ("gauge_length", self.gauge_length),
+            ("gauge_width", self.gauge_width),
+            ("thickness", self.thickness),
+            ("max_strain", self.max_strain),
+            ("strain_step", self.strain_step),
+        ] {
+            assert!(v > 0.0 && v.is_finite(), "{name} must be positive, got {v}");
+        }
+        for (name, v) in [
+            ("road_strength", self.road_strength),
+            ("road_ductility", self.road_ductility),
+            ("layer_ductility", self.layer_ductility),
+            ("joint_contact", self.joint_contact),
+        ] {
+            assert!(v > 0.0 && v <= 2.0, "{name} out of range: {v}");
+        }
+        assert!((0.0..0.5).contains(&self.noise), "noise out of range");
+        assert!((0.0..1.0).contains(&self.hardening_ratio), "hardening_ratio out of range");
+        assert!(self.yield_calibration > 0.0, "yield_calibration must be positive");
+        assert!(self.modulus_calibration > 0.0, "modulus_calibration must be positive");
+        assert!(self.node_spacing < self.gauge_width / 4.0, "lattice too coarse for the gauge");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        TensileConfig::fdm_xy().assert_valid();
+        TensileConfig::fdm_xz().assert_valid();
+    }
+
+    #[test]
+    fn xz_is_more_ductile_than_xy() {
+        assert!(TensileConfig::fdm_xz().road_ductility > TensileConfig::fdm_xy().road_ductility);
+    }
+
+    #[test]
+    #[should_panic(expected = "lattice too coarse")]
+    fn coarse_lattice_rejected() {
+        TensileConfig { node_spacing: 5.0, ..TensileConfig::fdm_xy() }.assert_valid();
+    }
+}

@@ -1,0 +1,236 @@
+//! Bond-lattice construction from a printed artifact.
+
+use am_geom::{Point2, Point3, Vec3};
+use am_printer::{Material, PrintedPart};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::TensileConfig;
+
+/// Grip condition of a lattice node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Grip {
+    /// Clamped in the fixed grip (zero displacement).
+    Fixed,
+    /// Clamped in the moving grip (prescribed displacement).
+    Moving,
+    /// Free interior node.
+    Free,
+}
+
+/// One lattice node.
+#[derive(Debug, Clone, Copy)]
+pub struct Node {
+    /// Reference (undeformed) position in the model frame, mm.
+    pub pos: Point2,
+    /// Grip condition.
+    pub grip: Grip,
+}
+
+/// Deformation state of a bond.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BondState {
+    /// Elastic (or plastic) and load-bearing.
+    Intact,
+    /// Broken — carries no load.
+    Broken,
+}
+
+/// One lattice bond: an elastic–perfectly-plastic–brittle spring.
+#[derive(Debug, Clone, Copy)]
+pub struct Bond {
+    /// Endpoint node indices.
+    pub nodes: [u32; 2],
+    /// Reference length (mm).
+    pub rest_length: f64,
+    /// Axial stiffness (N/mm per mm of thickness — scaled at solve time).
+    pub stiffness: f64,
+    /// Yield force cap, same units as `stiffness × strain`.
+    pub yield_force: f64,
+    /// Breaking strain of the bond.
+    pub breaking_strain: f64,
+    /// Post-yield tangent stiffness (fraction of `stiffness`).
+    pub hardening: f64,
+    /// Whether this bond crosses a cold joint between bodies.
+    pub is_joint: bool,
+    /// Current state.
+    pub state: BondState,
+}
+
+/// A 2-D bond lattice sampled from the mid-plane of a printed gauge
+/// section.
+#[derive(Debug, Clone)]
+pub struct Lattice {
+    /// Nodes in model-frame coordinates.
+    pub nodes: Vec<Node>,
+    /// Bonds (4-neighbour axial + diagonals).
+    pub bonds: Vec<Bond>,
+    /// Nominal cross-section area (mm²): gauge width × thickness.
+    pub section_area: f64,
+    /// Gauge length between the grips (mm).
+    pub gauge_length: f64,
+    /// Node spacing (mm).
+    pub spacing: f64,
+}
+
+impl Lattice {
+    /// Samples the printed part's gauge section at mid-thickness and builds
+    /// the bond lattice.
+    ///
+    /// Bond anisotropy comes from the printer profile and the **build
+    /// direction mapped into the model frame**: bonds aligned with the
+    /// build (stacking) direction get the profile's `layer_bond`; in-plane
+    /// bonds get `road_bond`-derived factors. Bonds whose endpoints carry
+    /// different body tags are cold joints: their strength is additionally
+    /// scaled by `joint_contact` (the seam contact fraction the tessellation
+    /// gaps left — see the pipeline crate) and their ductility drops to the
+    /// profile's `joint_ductility`.
+    ///
+    /// `seed` drives per-bond property jitter (specimen-to-specimen
+    /// scatter).
+    pub fn from_printed(printed: &PrintedPart, config: &TensileConfig, seed: u64) -> Lattice {
+        config.assert_valid();
+        let s = config.node_spacing;
+        let half_len = config.gauge_length / 2.0;
+        let half_width = config.gauge_width / 2.0 + s;
+        let z_mid = config.thickness / 2.0;
+
+        let nx = (config.gauge_length / s).round() as usize + 1;
+        let ny = (2.0 * half_width / s).round() as usize + 1;
+
+        // Sample nodes on the model-frame grid.
+        let mut index = vec![u32::MAX; nx * ny];
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut bodies: Vec<Option<u16>> = Vec::new();
+        for j in 0..ny {
+            for i in 0..nx {
+                let p = Point2::new(-half_len + i as f64 * s, -half_width + j as f64 * s);
+                let p3 = Point3::new(p.x, p.y, z_mid);
+                if printed.material_at_model(p3) != Material::Model {
+                    continue;
+                }
+                let grip = if i == 0 {
+                    Grip::Fixed
+                } else if i == nx - 1 {
+                    Grip::Moving
+                } else {
+                    Grip::Free
+                };
+                index[j * nx + i] = nodes.len() as u32;
+                nodes.push(Node { pos: p, grip });
+                bodies.push(printed.body_at_model(p3));
+            }
+        }
+
+        // Build direction in the model frame decides anisotropy axes.
+        let build_z_model = printed.to_build().inverse().apply_vector(Vec3::Z);
+        let profile = printed.profile();
+        let bulk = &profile.model_material;
+        // Force units: stress in MPa × area in mm² = N. Stiffness per bond:
+        // E (MPa) × s (mm) × t (mm) / rest_length — assembled per direction
+        // below with a lattice correction so the homogenized modulus is ~E.
+        let e_mpa = bulk.young_modulus_gpa * 1000.0;
+        let t = config.thickness;
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0bf5_cade);
+        let mut bonds: Vec<Bond> = Vec::new();
+        let push_bond = |a: u32, b: u32, dir: BondDir, bonds: &mut Vec<Bond>, rng: &mut StdRng| {
+            let (na, nb) = (nodes[a as usize], nodes[b as usize]);
+            let rest = na.pos.distance(nb.pos);
+            // Orientation-dependent bond quality: project the bond direction
+            // onto the build (stacking) axis.
+            let d = ((nb.pos - na.pos) / rest).to_3d(0.0);
+            let along_build = d.dot(build_z_model).abs();
+            // Interpolate between in-plane (road) and stacking (layer) bond
+            // quality.
+            let strength_aniso =
+                config.road_strength * (1.0 - along_build) + profile.layer_bond * along_build;
+            let ductility_aniso = config.road_ductility * (1.0 - along_build)
+                + config.layer_ductility * along_build;
+
+            let is_joint = match (bodies[a as usize], bodies[b as usize]) {
+                (Some(x), Some(y)) => x != y,
+                _ => false,
+            };
+            let (strength, ductility) = if is_joint {
+                (
+                    profile.joint_bond * config.joint_contact,
+                    profile.joint_ductility,
+                )
+            } else {
+                (strength_aniso, ductility_aniso)
+            };
+
+            let jitter = |rng: &mut StdRng| 1.0 + config.noise * rng.gen_range(-1.0..1.0f64);
+            // Diagonals are longer and shared: half the axial weight keeps
+            // the homogenized modulus close to E.
+            let k_geom = config.modulus_calibration
+                * match dir {
+                    BondDir::Axial => e_mpa * s * t / rest / 2.0,
+                    BondDir::Diagonal => e_mpa * s * t / rest / 4.0,
+                };
+            let sigma_y =
+                bulk.tensile_strength_mpa * strength * config.yield_calibration * jitter(rng);
+            let eps_y = sigma_y / e_mpa;
+            // Cold joints are elastic-brittle: reduced contact area lowers
+            // the strain they survive. Bulk bonds yield first and break
+            // plastically; joints may legitimately break below yield.
+            let contact = if is_joint { config.joint_contact } else { 1.0 };
+            let eps_b = (bulk.elongation_at_break * ductility * contact * jitter(rng)).max(1e-4);
+            let k_nominal = k_geom / config.modulus_calibration;
+            bonds.push(Bond {
+                nodes: [a, b],
+                rest_length: rest,
+                stiffness: k_geom,
+                yield_force: k_nominal * eps_y * rest,
+                breaking_strain: eps_b,
+                hardening: config.hardening_ratio,
+                is_joint,
+                state: BondState::Intact,
+            });
+        };
+
+        for j in 0..ny {
+            for i in 0..nx {
+                let a = index[j * nx + i];
+                if a == u32::MAX {
+                    continue;
+                }
+                let link = |ii: usize, jj: usize, dir: BondDir, bonds: &mut Vec<Bond>, rng: &mut StdRng| {
+                    if ii >= nx || jj >= ny {
+                        return;
+                    }
+                    let b = index[jj * nx + ii];
+                    if b != u32::MAX {
+                        push_bond(a, b, dir, bonds, rng);
+                    }
+                };
+                link(i + 1, j, BondDir::Axial, &mut bonds, &mut rng);
+                link(i, j + 1, BondDir::Axial, &mut bonds, &mut rng);
+                link(i + 1, j + 1, BondDir::Diagonal, &mut bonds, &mut rng);
+                if i > 0 {
+                    link(i - 1, j + 1, BondDir::Diagonal, &mut bonds, &mut rng);
+                }
+            }
+        }
+
+        Lattice {
+            nodes,
+            bonds,
+            section_area: config.gauge_width * config.thickness,
+            gauge_length: config.gauge_length,
+            spacing: s,
+        }
+    }
+
+    /// Number of cold-joint bonds.
+    pub fn joint_bond_count(&self) -> usize {
+        self.bonds.iter().filter(|b| b.is_joint).count()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BondDir {
+    Axial,
+    Diagonal,
+}

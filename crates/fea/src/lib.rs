@@ -1,0 +1,156 @@
+//! Virtual tensile testing of printed parts: a 2-D bond-lattice fracture
+//! simulator.
+//!
+//! This crate replaces the paper's physical tensile tests (Table 2, Fig. 9)
+//! with a transparent mechanical model:
+//!
+//! 1. [`Lattice::from_printed`] samples the printed artifact's gauge
+//!    section at mid-thickness into a node grid; bonds inherit strength and
+//!    ductility from the printer profile (road vs. layer anisotropy mapped
+//!    through the build orientation) and become brittle **cold joints**
+//!    wherever the voxels' body tags change — i.e. exactly along a planted
+//!    spline split.
+//! 2. [`run_tensile_test`] pulls the gauge apart in strain steps with
+//!    elastic–perfectly-plastic–brittle springs and damped dynamic
+//!    relaxation; breaking cascades propagate cracks.
+//! 3. [`TensileResult`] reports the stress–strain curve, Young's modulus,
+//!    UTS, failure strain, toughness, and the fracture origin.
+//!
+//! The mechanism the paper describes emerges rather than being scripted:
+//! after yield, deformation localizes in the weak seam bonds, which snap at
+//! their reduced ductility — so a protected specimen keeps its modulus and
+//! (mostly) its strength but loses half or more of its failure strain and
+//! toughness, with the crack starting at the spline tip.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod lattice;
+mod result;
+mod solve;
+
+pub use config::TensileConfig;
+pub use lattice::{Bond, BondState, Grip, Lattice, Node};
+pub use result::{Stat, TensileResult, TensileSummary};
+pub use solve::run_tensile_test;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use am_cad::parts::{tensile_bar, tensile_bar_with_spline, TensileBarDims};
+    use am_mesh::{tessellate_shells, Resolution};
+    use am_printer::{PrintedPart, PrinterProfile};
+    use am_slicer::{
+        build_transform, generate_toolpath, orient_shells, slice_shells, Orientation,
+        SlicerConfig,
+    };
+
+    fn print_bar(split: bool, orientation: Orientation, seed: u64) -> PrintedPart {
+        let dims = TensileBarDims::default();
+        let part = if split {
+            tensile_bar_with_spline(&dims).unwrap().resolve().unwrap()
+        } else {
+            tensile_bar(&dims).unwrap().resolve().unwrap()
+        };
+        let shells = tessellate_shells(&part, &Resolution::Coarse.params());
+        let oriented = orient_shells(&shells, orientation);
+        let to_build = build_transform(&shells, orientation);
+        let sliced = slice_shells(&oriented, 0.1778);
+        let toolpath = generate_toolpath(&sliced, &SlicerConfig::default());
+        PrintedPart::from_toolpath(&toolpath, &PrinterProfile::dimension_elite(), to_build, seed)
+    }
+
+    fn test_bar(split: bool, orientation: Orientation, seed: u64) -> TensileResult {
+        let printed = print_bar(split, orientation, seed);
+        // Coarser strain steps than the default keep the test suite quick;
+        // the experiment binaries use the fine default.
+        let config =
+            TensileConfig { strain_step: 0.0015, ..TensileConfig::fdm(orientation) };
+        let mut lattice = Lattice::from_printed(&printed, &config, seed);
+        run_tensile_test(&mut lattice, &config)
+    }
+
+    #[test]
+    fn intact_xy_is_in_calibration_band() {
+        let r = test_bar(false, Orientation::Xy, 1);
+        assert!((1.5..2.6).contains(&r.young_modulus_gpa), "E = {}", r.young_modulus_gpa);
+        assert!((24.0..36.0).contains(&r.uts_mpa), "UTS = {}", r.uts_mpa);
+        assert!((0.018..0.045).contains(&r.failure_strain), "εf = {}", r.failure_strain);
+    }
+
+    #[test]
+    fn intact_xz_is_most_ductile() {
+        let xz = test_bar(false, Orientation::Xz, 1);
+        let xy = test_bar(false, Orientation::Xy, 1);
+        assert!(
+            xz.failure_strain > 1.8 * xy.failure_strain,
+            "xz {} vs xy {}",
+            xz.failure_strain,
+            xy.failure_strain
+        );
+        assert!(xz.toughness_kj_m3 > 2.0 * xy.toughness_kj_m3);
+    }
+
+    #[test]
+    fn spline_split_halves_ductility() {
+        for orientation in Orientation::ALL {
+            let intact = test_bar(false, orientation, 2);
+            let spline = test_bar(true, orientation, 2);
+            // The paper's headline Table 2 shape: comparable stiffness,
+            // collapsed failure strain and toughness.
+            assert!(
+                (spline.young_modulus_gpa - intact.young_modulus_gpa).abs()
+                    < 0.35 * intact.young_modulus_gpa,
+                "{orientation}: E {} vs {}",
+                spline.young_modulus_gpa,
+                intact.young_modulus_gpa
+            );
+            assert!(
+                spline.failure_strain < 0.72 * intact.failure_strain,
+                "{orientation}: εf {} vs {}",
+                spline.failure_strain,
+                intact.failure_strain
+            );
+            assert!(
+                spline.toughness_kj_m3 < 0.55 * intact.toughness_kj_m3,
+                "{orientation}: U {} vs {}",
+                spline.toughness_kj_m3,
+                intact.toughness_kj_m3
+            );
+        }
+    }
+
+    #[test]
+    fn fracture_starts_at_the_seam() {
+        let dims = TensileBarDims::default();
+        let r = test_bar(true, Orientation::Xz, 3);
+        let origin = r.fracture_origin.expect("split specimen fractures");
+        // The seam spans x ∈ [−9, 9]; the fracture must start on it
+        // (within a lattice cell of the spline).
+        let spline = am_cad::parts::standard_split_spline(&dims).unwrap();
+        let d = (0..=64)
+            .map(|i| spline.point_at(i as f64 / 64.0).distance(origin))
+            .fold(f64::INFINITY, f64::min);
+        assert!(d < 1.5, "fracture origin {origin} is {d} mm from the seam");
+    }
+
+    #[test]
+    fn split_lattice_has_joint_bonds() {
+        let printed = print_bar(true, Orientation::Xy, 4);
+        let config = TensileConfig::fdm_xy();
+        let lattice = Lattice::from_printed(&printed, &config, 4);
+        assert!(lattice.joint_bond_count() > 10, "{}", lattice.joint_bond_count());
+        let intact = Lattice::from_printed(&print_bar(false, Orientation::Xy, 4), &config, 4);
+        assert_eq!(intact.joint_bond_count(), 0);
+    }
+
+    #[test]
+    fn replicates_scatter_but_agree() {
+        let results: Vec<TensileResult> =
+            (0..3).map(|s| test_bar(false, Orientation::Xy, 10 + s)).collect();
+        let summary = TensileSummary::from_results(&results);
+        assert_eq!(summary.specimens, 3);
+        assert!(summary.uts_mpa.std < 0.2 * summary.uts_mpa.mean);
+    }
+}

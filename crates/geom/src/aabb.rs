@@ -1,0 +1,251 @@
+//! Axis-aligned bounding boxes.
+
+use crate::{Point2, Point3, Vec2, Vec3};
+
+/// A 2-D axis-aligned bounding box.
+///
+/// # Examples
+///
+/// ```
+/// use am_geom::{Aabb2, Point2};
+///
+/// let b = Aabb2::from_points([Point2::new(1.0, 5.0), Point2::new(-2.0, 3.0)]).unwrap();
+/// assert_eq!(b.min, Point2::new(-2.0, 3.0));
+/// assert_eq!(b.max, Point2::new(1.0, 5.0));
+/// assert!(b.contains(Point2::new(0.0, 4.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb2 {
+    /// Minimum corner.
+    pub min: Point2,
+    /// Maximum corner.
+    pub max: Point2,
+}
+
+impl Aabb2 {
+    /// Creates a box from its corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component of `min` exceeds the matching component of
+    /// `max`.
+    pub fn new(min: Point2, max: Point2) -> Self {
+        assert!(min.x <= max.x && min.y <= max.y, "inverted Aabb2 corners");
+        Aabb2 { min, max }
+    }
+
+    /// Smallest box containing all `points`, or `None` for an empty iterator.
+    pub fn from_points<I: IntoIterator<Item = Point2>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut b = Aabb2 { min: first, max: first };
+        for p in it {
+            b.expand(p);
+        }
+        Some(b)
+    }
+
+    /// Grows the box to contain `p`.
+    pub fn expand(&mut self, p: Point2) {
+        self.min.x = self.min.x.min(p.x);
+        self.min.y = self.min.y.min(p.y);
+        self.max.x = self.max.x.max(p.x);
+        self.max.y = self.max.y.max(p.y);
+    }
+
+    /// Box extents (`max - min`).
+    pub fn size(&self) -> Vec2 {
+        self.max - self.min
+    }
+
+    /// Centre point.
+    pub fn center(&self) -> Point2 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// `true` if `p` lies inside or on the boundary.
+    pub fn contains(&self, p: Point2) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// `true` if the boxes overlap (touching counts).
+    pub fn intersects(&self, other: &Aabb2) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+    }
+
+    /// Box inflated by `margin` on every side.
+    pub fn inflated(&self, margin: f64) -> Aabb2 {
+        Aabb2 {
+            min: self.min - Vec2::new(margin, margin),
+            max: self.max + Vec2::new(margin, margin),
+        }
+    }
+}
+
+/// A 3-D axis-aligned bounding box.
+///
+/// # Examples
+///
+/// ```
+/// use am_geom::{Aabb3, Point3};
+///
+/// let b = Aabb3::from_points([
+///     Point3::new(0.0, 0.0, 0.0),
+///     Point3::new(25.4, 12.7, 12.7),
+/// ]).unwrap();
+/// assert_eq!(b.size(), Point3::new(25.4, 12.7, 12.7));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb3 {
+    /// Minimum corner.
+    pub min: Point3,
+    /// Maximum corner.
+    pub max: Point3,
+}
+
+impl Aabb3 {
+    /// Creates a box from its corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component of `min` exceeds the matching component of
+    /// `max`.
+    pub fn new(min: Point3, max: Point3) -> Self {
+        assert!(
+            min.x <= max.x && min.y <= max.y && min.z <= max.z,
+            "inverted Aabb3 corners"
+        );
+        Aabb3 { min, max }
+    }
+
+    /// Smallest box containing all `points`, or `None` for an empty iterator.
+    pub fn from_points<I: IntoIterator<Item = Point3>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut b = Aabb3 { min: first, max: first };
+        for p in it {
+            b.expand(p);
+        }
+        Some(b)
+    }
+
+    /// Grows the box to contain `p`.
+    pub fn expand(&mut self, p: Point3) {
+        self.min.x = self.min.x.min(p.x);
+        self.min.y = self.min.y.min(p.y);
+        self.min.z = self.min.z.min(p.z);
+        self.max.x = self.max.x.max(p.x);
+        self.max.y = self.max.y.max(p.y);
+        self.max.z = self.max.z.max(p.z);
+    }
+
+    /// Union with another box.
+    pub fn union(&self, other: &Aabb3) -> Aabb3 {
+        let mut b = *self;
+        b.expand(other.min);
+        b.expand(other.max);
+        b
+    }
+
+    /// Box extents (`max - min`).
+    pub fn size(&self) -> Vec3 {
+        self.max - self.min
+    }
+
+    /// Centre point.
+    pub fn center(&self) -> Point3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// `true` if `p` lies inside or on the boundary.
+    pub fn contains(&self, p: Point3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// `true` if the boxes overlap (touching counts).
+    pub fn intersects(&self, other: &Aabb3) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+            && self.min.z <= other.max.z
+            && self.max.z >= other.min.z
+    }
+
+    /// Volume of the box.
+    pub fn volume(&self) -> f64 {
+        let s = self.size();
+        s.x * s.y * s.z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aabb2_from_points_and_contains() {
+        let b = Aabb2::from_points([
+            Point2::new(1.0, 1.0),
+            Point2::new(-1.0, 2.0),
+            Point2::new(0.0, -3.0),
+        ])
+        .unwrap();
+        assert_eq!(b.min, Point2::new(-1.0, -3.0));
+        assert_eq!(b.max, Point2::new(1.0, 2.0));
+        assert!(b.contains(Point2::ZERO));
+        assert!(b.contains(b.min));
+        assert!(!b.contains(Point2::new(2.0, 0.0)));
+    }
+
+    #[test]
+    fn aabb2_empty_iterator() {
+        assert!(Aabb2::from_points(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn aabb2_intersects_touching() {
+        let a = Aabb2::new(Point2::ZERO, Point2::new(1.0, 1.0));
+        let b = Aabb2::new(Point2::new(1.0, 0.0), Point2::new(2.0, 1.0));
+        let c = Aabb2::new(Point2::new(1.5, 0.0), Point2::new(2.0, 1.0));
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn aabb2_inflate() {
+        let a = Aabb2::new(Point2::ZERO, Point2::new(1.0, 1.0)).inflated(0.5);
+        assert_eq!(a.min, Point2::new(-0.5, -0.5));
+        assert_eq!(a.max, Point2::new(1.5, 1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn aabb2_inverted_panics() {
+        let _ = Aabb2::new(Point2::new(1.0, 0.0), Point2::ZERO);
+    }
+
+    #[test]
+    fn aabb3_volume_and_center() {
+        let b = Aabb3::new(Point3::ZERO, Point3::new(2.0, 3.0, 4.0));
+        assert_eq!(b.volume(), 24.0);
+        assert_eq!(b.center(), Point3::new(1.0, 1.5, 2.0));
+    }
+
+    #[test]
+    fn aabb3_union_covers_both() {
+        let a = Aabb3::new(Point3::ZERO, Point3::new(1.0, 1.0, 1.0));
+        let b = Aabb3::new(Point3::new(2.0, -1.0, 0.5), Point3::new(3.0, 0.0, 2.0));
+        let u = a.union(&b);
+        assert!(u.contains(a.min) && u.contains(a.max));
+        assert!(u.contains(b.min) && u.contains(b.max));
+    }
+}

@@ -1,0 +1,59 @@
+//! Geometric foundation for the ObfusCADe additive-manufacturing toolchain.
+//!
+//! This crate provides the double-precision geometric primitives every other
+//! crate in the workspace builds on: [vectors](Vec3) and [points](Point3),
+//! [triangles](Triangle3), [segments](Segment2), [polylines](Polyline2) and
+//! [polygons](Polygon2), [parametric curves](spline::CubicBezier) with
+//! adaptive subdivision, [axis-aligned boxes](Aabb3) and rigid
+//! [transforms](Transform3).
+//!
+//! Two design points matter for the rest of the toolchain:
+//!
+//! * **Tolerance-aware comparisons.** Manufacturing geometry is full of
+//!   coincident-but-not-bitwise-equal coordinates (the whole ObfusCADe
+//!   exploit rides on tessellation mismatch), so approximate predicates take
+//!   an explicit [`Tolerance`].
+//! * **Angle + deviation curve subdivision.** STL exporters expose exactly
+//!   two resolution knobs — the maximum angle between adjacent facets and the
+//!   maximum chordal deviation from the true surface (Fig. 5 of the paper).
+//!   [`spline::SubdivisionParams`] models those knobs directly.
+//!
+//! # Examples
+//!
+//! ```
+//! use am_geom::{Point2, Polygon2};
+//!
+//! let square = Polygon2::new(vec![
+//!     Point2::new(0.0, 0.0),
+//!     Point2::new(2.0, 0.0),
+//!     Point2::new(2.0, 2.0),
+//!     Point2::new(0.0, 2.0),
+//! ]);
+//! assert_eq!(square.signed_area(), 4.0);
+//! assert!(square.contains(Point2::new(1.0, 1.0)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aabb;
+mod plane;
+mod polyline;
+mod segment;
+pub mod spline;
+mod tol;
+mod transform;
+mod tri;
+mod triangulate;
+mod vec;
+
+pub use aabb::{Aabb2, Aabb3};
+pub use plane::Plane;
+pub use polyline::{Polygon2, Polyline2};
+pub use segment::{Segment2, Segment3, SegmentIntersection2};
+pub use spline::{CatmullRom, CubicBezier, SubdivisionParams};
+pub use tol::{approx_eq, Tolerance};
+pub use transform::Transform3;
+pub use tri::Triangle3;
+pub use triangulate::triangulate_polygon;
+pub use vec::{Point2, Point3, Vec2, Vec3};

@@ -1,0 +1,94 @@
+//! Infinite planes.
+
+use crate::{Point3, Tolerance, Vec3};
+
+/// An infinite plane `n · p = d` with unit normal `n`.
+///
+/// # Examples
+///
+/// ```
+/// use am_geom::{Plane, Point3, Vec3};
+///
+/// let slice = Plane::z(2.0);
+/// assert_eq!(slice.signed_distance(Point3::new(5.0, 5.0, 3.5)), 1.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Plane {
+    normal: Vec3,
+    offset: f64,
+}
+
+impl Plane {
+    /// Creates a plane from a (not necessarily unit) normal and a point on
+    /// the plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `normal` has zero length.
+    pub fn from_point_normal(point: Point3, normal: Vec3) -> Self {
+        let n = normal.normalized().expect("plane normal must be non-zero");
+        Plane { normal: n, offset: n.dot(point) }
+    }
+
+    /// The horizontal plane `z = z0` (a slicing plane).
+    pub fn z(z0: f64) -> Self {
+        Plane { normal: Vec3::Z, offset: z0 }
+    }
+
+    /// Unit normal of the plane.
+    pub fn normal(&self) -> Vec3 {
+        self.normal
+    }
+
+    /// Offset `d` in `n · p = d`.
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Signed distance from `p` to the plane (positive on the normal side).
+    pub fn signed_distance(&self, p: Point3) -> f64 {
+        self.normal.dot(p) - self.offset
+    }
+
+    /// `true` if `p` lies on the plane within `tol`.
+    pub fn contains(&self, p: Point3, tol: Tolerance) -> bool {
+        tol.is_zero(self.signed_distance(p))
+    }
+
+    /// Orthogonal projection of `p` onto the plane.
+    pub fn project(&self, p: Point3) -> Point3 {
+        p - self.normal * self.signed_distance(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z_plane_distances() {
+        let p = Plane::z(1.0);
+        assert_eq!(p.signed_distance(Point3::new(0.0, 0.0, 3.0)), 2.0);
+        assert_eq!(p.signed_distance(Point3::new(0.0, 0.0, -1.0)), -2.0);
+    }
+
+    #[test]
+    fn from_point_normal_normalizes() {
+        let p = Plane::from_point_normal(Point3::new(0.0, 0.0, 5.0), Vec3::new(0.0, 0.0, 10.0));
+        assert_eq!(p.normal(), Vec3::Z);
+        assert_eq!(p.offset(), 5.0);
+    }
+
+    #[test]
+    fn projection_lands_on_plane() {
+        let p = Plane::from_point_normal(Point3::new(1.0, 1.0, 1.0), Vec3::new(1.0, 1.0, 1.0));
+        let q = p.project(Point3::new(4.0, -2.0, 7.0));
+        assert!(p.contains(q, Tolerance::new(1e-9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_normal_panics() {
+        let _ = Plane::from_point_normal(Point3::ZERO, Vec3::ZERO);
+    }
+}

@@ -1,0 +1,443 @@
+//! Open polylines and closed polygons in the plane.
+
+use std::fmt;
+
+use crate::{Aabb2, Point2, Segment2, Tolerance, Vec2};
+
+/// An open polyline: an ordered sequence of at least two points.
+///
+/// Sliced layer contours that fail to close (the discontinuities ObfusCADe
+/// plants — Fig. 7a of the paper) surface as `Polyline2`s rather than
+/// [`Polygon2`]s, which is exactly how the slicer detects them.
+///
+/// # Examples
+///
+/// ```
+/// use am_geom::{Point2, Polyline2};
+///
+/// let pl = Polyline2::new(vec![
+///     Point2::new(0.0, 0.0),
+///     Point2::new(3.0, 0.0),
+///     Point2::new(3.0, 4.0),
+/// ]);
+/// assert_eq!(pl.length(), 7.0);
+/// assert_eq!(pl.gap(), 5.0); // distance from last point back to first
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polyline2 {
+    points: Vec<Point2>,
+}
+
+impl Polyline2 {
+    /// Creates a polyline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two points are supplied.
+    pub fn new(points: Vec<Point2>) -> Self {
+        assert!(points.len() >= 2, "a polyline needs at least two points");
+        Polyline2 { points }
+    }
+
+    /// The points of the polyline.
+    pub fn points(&self) -> &[Point2] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Always `false`: construction requires two points.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// First point.
+    pub fn first(&self) -> Point2 {
+        self.points[0]
+    }
+
+    /// Last point.
+    pub fn last(&self) -> Point2 {
+        *self.points.last().expect("non-empty by construction")
+    }
+
+    /// Total arc length along the polyline.
+    pub fn length(&self) -> f64 {
+        self.points.windows(2).map(|w| w[0].distance(w[1])).sum()
+    }
+
+    /// Distance from the last point back to the first — zero for a closed
+    /// loop, positive for an open (discontinuous) contour.
+    pub fn gap(&self) -> f64 {
+        self.last().distance(self.first())
+    }
+
+    /// `true` if the endpoints coincide within `tol`.
+    pub fn is_closed(&self, tol: Tolerance) -> bool {
+        self.gap() <= tol.value()
+    }
+
+    /// Converts to a polygon by joining the endpoints, dropping the repeated
+    /// final vertex if present.
+    ///
+    /// Returns `None` if fewer than three distinct vertices remain.
+    pub fn into_polygon(mut self, tol: Tolerance) -> Option<Polygon2> {
+        if self.is_closed(tol) {
+            self.points.pop();
+        }
+        if self.points.len() < 3 {
+            return None;
+        }
+        Some(Polygon2::new(self.points))
+    }
+
+    /// Segments making up the polyline.
+    pub fn segments(&self) -> impl Iterator<Item = Segment2> + '_ {
+        self.points.windows(2).map(|w| Segment2::new(w[0], w[1]))
+    }
+
+    /// Bounding box of the polyline.
+    pub fn aabb(&self) -> Aabb2 {
+        Aabb2::from_points(self.points.iter().copied()).expect("non-empty by construction")
+    }
+}
+
+impl fmt::Display for Polyline2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "polyline[{} pts, len {:.3}]", self.len(), self.length())
+    }
+}
+
+/// A closed polygon: at least three vertices, implicitly joined last→first.
+///
+/// Vertex order determines orientation: counter-clockwise loops have
+/// positive [signed area](Polygon2::signed_area) and denote solid outlines;
+/// clockwise loops denote holes (the convention the slicer relies on).
+///
+/// # Examples
+///
+/// ```
+/// use am_geom::{Point2, Polygon2};
+///
+/// let tri = Polygon2::new(vec![
+///     Point2::new(0.0, 0.0),
+///     Point2::new(4.0, 0.0),
+///     Point2::new(0.0, 3.0),
+/// ]);
+/// assert_eq!(tri.signed_area(), 6.0);
+/// assert_eq!(tri.reversed().signed_area(), -6.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polygon2 {
+    vertices: Vec<Point2>,
+}
+
+impl Polygon2 {
+    /// Creates a polygon from its vertices (implicitly closed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than three vertices are supplied.
+    pub fn new(vertices: Vec<Point2>) -> Self {
+        assert!(vertices.len() >= 3, "a polygon needs at least three vertices");
+        Polygon2 { vertices }
+    }
+
+    /// Axis-aligned rectangle from corner points.
+    pub fn rectangle(min: Point2, max: Point2) -> Self {
+        Polygon2::new(vec![
+            min,
+            Point2::new(max.x, min.y),
+            max,
+            Point2::new(min.x, max.y),
+        ])
+    }
+
+    /// Regular n-gon approximating a circle, counter-clockwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sides < 3`.
+    pub fn circle(center: Point2, radius: f64, sides: usize) -> Self {
+        assert!(sides >= 3, "a circle approximation needs at least 3 sides");
+        let vertices = (0..sides)
+            .map(|i| {
+                let a = std::f64::consts::TAU * i as f64 / sides as f64;
+                center + Vec2::new(a.cos(), a.sin()) * radius
+            })
+            .collect();
+        Polygon2::new(vertices)
+    }
+
+    /// The vertices.
+    pub fn vertices(&self) -> &[Point2] {
+        &self.vertices
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Always `false`: construction requires three vertices.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Shoelace signed area — positive for counter-clockwise loops.
+    pub fn signed_area(&self) -> f64 {
+        let n = self.vertices.len();
+        let mut acc = 0.0;
+        for i in 0..n {
+            let p = self.vertices[i];
+            let q = self.vertices[(i + 1) % n];
+            acc += p.cross(q);
+        }
+        acc * 0.5
+    }
+
+    /// Absolute enclosed area.
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// `true` if the vertices wind counter-clockwise.
+    pub fn is_ccw(&self) -> bool {
+        self.signed_area() > 0.0
+    }
+
+    /// Perimeter length.
+    pub fn perimeter(&self) -> f64 {
+        self.segments().map(|s| s.length()).sum()
+    }
+
+    /// Area centroid of the polygon.
+    pub fn centroid(&self) -> Point2 {
+        let n = self.vertices.len();
+        let mut acc = Vec2::ZERO;
+        let mut area6 = 0.0;
+        for i in 0..n {
+            let p = self.vertices[i];
+            let q = self.vertices[(i + 1) % n];
+            let c = p.cross(q);
+            acc += (p + q) * c;
+            area6 += c;
+        }
+        if area6.abs() < f64::EPSILON {
+            // Degenerate: fall back to the vertex mean.
+            return self.vertices.iter().copied().sum::<Vec2>() / n as f64;
+        }
+        acc / (3.0 * area6)
+    }
+
+    /// The polygon with reversed winding.
+    pub fn reversed(&self) -> Polygon2 {
+        let mut v = self.vertices.clone();
+        v.reverse();
+        Polygon2 { vertices: v }
+    }
+
+    /// Edges of the polygon, including the closing edge.
+    pub fn segments(&self) -> impl Iterator<Item = Segment2> + '_ {
+        let n = self.vertices.len();
+        (0..n).map(move |i| Segment2::new(self.vertices[i], self.vertices[(i + 1) % n]))
+    }
+
+    /// Bounding box of the polygon.
+    pub fn aabb(&self) -> Aabb2 {
+        Aabb2::from_points(self.vertices.iter().copied()).expect("non-empty by construction")
+    }
+
+    /// Even-odd (parity) point-in-polygon test. Points on the boundary are
+    /// not guaranteed either way.
+    pub fn contains(&self, p: Point2) -> bool {
+        let mut inside = false;
+        let n = self.vertices.len();
+        let mut j = n - 1;
+        for i in 0..n {
+            let vi = self.vertices[i];
+            let vj = self.vertices[j];
+            if (vi.y > p.y) != (vj.y > p.y) {
+                let x_cross = vj.x + (p.y - vj.y) / (vi.y - vj.y) * (vi.x - vj.x);
+                if p.x < x_cross {
+                    inside = !inside;
+                }
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// Winding number of the polygon around `p` (0 for outside, ±1 for a
+    /// simple loop depending on orientation).
+    pub fn winding_number(&self, p: Point2) -> i32 {
+        let mut wn = 0i32;
+        let n = self.vertices.len();
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            if a.y <= p.y {
+                if b.y > p.y && (b - a).cross(p - a) > 0.0 {
+                    wn += 1;
+                }
+            } else if b.y <= p.y && (b - a).cross(p - a) < 0.0 {
+                wn -= 1;
+            }
+        }
+        wn
+    }
+
+    /// Shortest distance from `p` to the polygon boundary.
+    pub fn distance_to_boundary(&self, p: Point2) -> f64 {
+        self.segments()
+            .map(|s| s.distance_to_point(p))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Naive polygon offset: moves every vertex along its angle-bisector
+    /// normal by `delta` (positive = outward for CCW polygons).
+    ///
+    /// Suitable for the small insets used in perimeter tool paths on convex
+    /// or near-convex contours; not a general-purpose polygon offsetter
+    /// (self-intersections are not resolved).
+    pub fn offset(&self, delta: f64) -> Polygon2 {
+        let n = self.vertices.len();
+        let sign = if self.is_ccw() { 1.0 } else { -1.0 };
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let prev = self.vertices[(i + n - 1) % n];
+            let cur = self.vertices[i];
+            let next = self.vertices[(i + 1) % n];
+            let d1 = (cur - prev).normalized().unwrap_or(Vec2::X);
+            let d2 = (next - cur).normalized().unwrap_or(Vec2::X);
+            // Outward normals of the two adjacent edges (for CCW winding the
+            // outward normal is the clockwise perpendicular).
+            let n1 = -d1.perp() * sign;
+            let n2 = -d2.perp() * sign;
+            let bisector = (n1 + n2).normalized().unwrap_or(n1);
+            // Miter length correction.
+            let denom = bisector.dot(n1).max(0.1);
+            out.push(cur + bisector * (delta / denom));
+        }
+        Polygon2 { vertices: out }
+    }
+}
+
+impl fmt::Display for Polygon2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "polygon[{} verts, area {:.3}]", self.len(), self.area())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> Polygon2 {
+        Polygon2::rectangle(Point2::ZERO, Point2::new(2.0, 2.0))
+    }
+
+    #[test]
+    fn polyline_length_and_gap() {
+        let pl = Polyline2::new(vec![Point2::ZERO, Point2::new(1.0, 0.0), Point2::new(1.0, 1.0)]);
+        assert_eq!(pl.length(), 2.0);
+        assert!((pl.gap() - 2f64.sqrt()).abs() < 1e-12);
+        assert!(!pl.is_closed(Tolerance::default()));
+    }
+
+    #[test]
+    fn polyline_into_polygon_closes_loop() {
+        let pl = Polyline2::new(vec![
+            Point2::ZERO,
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::ZERO,
+        ]);
+        let poly = pl.into_polygon(Tolerance::default()).unwrap();
+        assert_eq!(poly.len(), 3);
+        assert_eq!(poly.signed_area(), 0.5);
+    }
+
+    #[test]
+    fn polyline_too_short_for_polygon() {
+        let pl = Polyline2::new(vec![Point2::ZERO, Point2::new(1.0, 0.0), Point2::ZERO]);
+        assert!(pl.into_polygon(Tolerance::default()).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn polyline_one_point_panics() {
+        let _ = Polyline2::new(vec![Point2::ZERO]);
+    }
+
+    #[test]
+    fn square_area_and_orientation() {
+        let s = square();
+        assert_eq!(s.signed_area(), 4.0);
+        assert!(s.is_ccw());
+        assert_eq!(s.reversed().signed_area(), -4.0);
+        assert_eq!(s.perimeter(), 8.0);
+    }
+
+    #[test]
+    fn centroid_of_square() {
+        assert_eq!(square().centroid(), Point2::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn contains_even_odd() {
+        let s = square();
+        assert!(s.contains(Point2::new(1.0, 1.0)));
+        assert!(!s.contains(Point2::new(3.0, 1.0)));
+        assert!(!s.contains(Point2::new(-0.5, 1.0)));
+    }
+
+    #[test]
+    fn winding_number_orientation() {
+        let s = square();
+        assert_eq!(s.winding_number(Point2::new(1.0, 1.0)), 1);
+        assert_eq!(s.reversed().winding_number(Point2::new(1.0, 1.0)), -1);
+        assert_eq!(s.winding_number(Point2::new(5.0, 5.0)), 0);
+    }
+
+    #[test]
+    fn circle_area_converges() {
+        let c = Polygon2::circle(Point2::ZERO, 1.0, 256);
+        assert!((c.area() - std::f64::consts::PI).abs() < 1e-3);
+        assert!(c.is_ccw());
+    }
+
+    #[test]
+    fn distance_to_boundary() {
+        let s = square();
+        assert!((s.distance_to_boundary(Point2::new(1.0, 1.0)) - 1.0).abs() < 1e-12);
+        assert!((s.distance_to_boundary(Point2::new(3.0, 1.0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn offset_shrinks_square() {
+        let inner = square().offset(-0.5);
+        assert!((inner.area() - 1.0).abs() < 1e-9, "area = {}", inner.area());
+        // Offsetting outward grows it.
+        let outer = square().offset(0.5);
+        assert!(outer.area() > 4.0);
+    }
+
+    #[test]
+    fn offset_respects_cw_winding() {
+        let hole = square().reversed(); // CW = hole
+        let grown = hole.offset(-0.5); // negative delta shrinks the solid, i.e. grows a hole's enclosed area? No:
+        // For a CW polygon, "outward" flips, so -0.5 still shrinks enclosed area.
+        assert!(grown.area() < 4.0);
+    }
+
+    #[test]
+    fn rectangle_helper() {
+        let r = Polygon2::rectangle(Point2::new(-1.0, -2.0), Point2::new(1.0, 2.0));
+        assert_eq!(r.area(), 8.0);
+        assert!(r.is_ccw());
+    }
+}

@@ -1,0 +1,251 @@
+//! Line segments in 2-D and 3-D, with intersection predicates.
+
+use crate::{Point2, Point3, Tolerance, Vec2};
+
+/// A 2-D line segment.
+///
+/// # Examples
+///
+/// ```
+/// use am_geom::{Point2, Segment2, SegmentIntersection2};
+///
+/// let a = Segment2::new(Point2::new(0.0, 0.0), Point2::new(2.0, 2.0));
+/// let b = Segment2::new(Point2::new(0.0, 2.0), Point2::new(2.0, 0.0));
+/// match a.intersect(&b, Default::default()) {
+///     SegmentIntersection2::Point(p) => assert_eq!(p, Point2::new(1.0, 1.0)),
+///     other => panic!("expected point intersection, got {other:?}"),
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment2 {
+    /// Start point.
+    pub start: Point2,
+    /// End point.
+    pub end: Point2,
+}
+
+/// Result of intersecting two 2-D segments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SegmentIntersection2 {
+    /// The segments do not touch.
+    None,
+    /// The segments meet at a single point.
+    Point(Point2),
+    /// The segments are collinear and overlap along a sub-segment.
+    Overlap(Segment2),
+}
+
+impl Segment2 {
+    /// Creates a segment from endpoints.
+    pub const fn new(start: Point2, end: Point2) -> Self {
+        Segment2 { start, end }
+    }
+
+    /// Direction vector (`end - start`), not normalized.
+    pub fn direction(&self) -> Vec2 {
+        self.end - self.start
+    }
+
+    /// Segment length.
+    pub fn length(&self) -> f64 {
+        self.direction().length()
+    }
+
+    /// Midpoint.
+    pub fn midpoint(&self) -> Point2 {
+        (self.start + self.end) * 0.5
+    }
+
+    /// Point at parameter `t` (`start` at 0, `end` at 1).
+    pub fn point_at(&self, t: f64) -> Point2 {
+        self.start.lerp(self.end, t)
+    }
+
+    /// Shortest distance from `p` to the segment.
+    pub fn distance_to_point(&self, p: Point2) -> f64 {
+        let d = self.direction();
+        let len2 = d.length_squared();
+        if len2 == 0.0 {
+            return self.start.distance(p);
+        }
+        let t = ((p - self.start).dot(d) / len2).clamp(0.0, 1.0);
+        self.point_at(t).distance(p)
+    }
+
+    /// Intersects two segments, honouring `tol` for endpoint coincidence.
+    pub fn intersect(&self, other: &Segment2, tol: Tolerance) -> SegmentIntersection2 {
+        let d1 = self.direction();
+        let d2 = other.direction();
+        let denom = d1.cross(d2);
+        let diff = other.start - self.start;
+        if tol.is_zero(denom) {
+            // Parallel. Collinear?
+            if !tol.is_zero(diff.cross(d1)) {
+                return SegmentIntersection2::None;
+            }
+            // Project other's endpoints onto self's parameterization.
+            let len2 = d1.length_squared();
+            if len2 == 0.0 {
+                // self is a point.
+                return if other.distance_to_point(self.start) <= tol.value() {
+                    SegmentIntersection2::Point(self.start)
+                } else {
+                    SegmentIntersection2::None
+                };
+            }
+            let t0 = (other.start - self.start).dot(d1) / len2;
+            let t1 = (other.end - self.start).dot(d1) / len2;
+            let (lo, hi) = if t0 <= t1 { (t0, t1) } else { (t1, t0) };
+            let lo_c = lo.max(0.0);
+            let hi_c = hi.min(1.0);
+            if lo_c > hi_c {
+                return SegmentIntersection2::None;
+            }
+            let a = self.point_at(lo_c);
+            let b = self.point_at(hi_c);
+            if a.approx_eq(b, tol) {
+                SegmentIntersection2::Point(a)
+            } else {
+                SegmentIntersection2::Overlap(Segment2::new(a, b))
+            }
+        } else {
+            let t = diff.cross(d2) / denom;
+            let u = diff.cross(d1) / denom;
+            let eps = tol.value();
+            if t >= -eps && t <= 1.0 + eps && u >= -eps && u <= 1.0 + eps {
+                SegmentIntersection2::Point(self.point_at(t.clamp(0.0, 1.0)))
+            } else {
+                SegmentIntersection2::None
+            }
+        }
+    }
+}
+
+/// A 3-D line segment.
+///
+/// # Examples
+///
+/// ```
+/// use am_geom::{Point3, Segment3};
+///
+/// let s = Segment3::new(Point3::new(0.0, 0.0, 0.0), Point3::new(0.0, 0.0, 4.0));
+/// assert_eq!(s.length(), 4.0);
+/// assert_eq!(s.point_at(0.25), Point3::new(0.0, 0.0, 1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment3 {
+    /// Start point.
+    pub start: Point3,
+    /// End point.
+    pub end: Point3,
+}
+
+impl Segment3 {
+    /// Creates a segment from endpoints.
+    pub const fn new(start: Point3, end: Point3) -> Self {
+        Segment3 { start, end }
+    }
+
+    /// Segment length.
+    pub fn length(&self) -> f64 {
+        (self.end - self.start).length()
+    }
+
+    /// Point at parameter `t` (`start` at 0, `end` at 1).
+    pub fn point_at(&self, t: f64) -> Point3 {
+        self.start.lerp(self.end, t)
+    }
+
+    /// Midpoint.
+    pub fn midpoint(&self) -> Point3 {
+        (self.start + self.end) * 0.5
+    }
+
+    /// Parameter `t` where the segment crosses the plane `z = z0`, if the
+    /// segment endpoints straddle it (inclusive).
+    pub fn z_crossing(&self, z0: f64) -> Option<f64> {
+        let dz = self.end.z - self.start.z;
+        if dz == 0.0 {
+            return None;
+        }
+        let t = (z0 - self.start.z) / dz;
+        (0.0..=1.0).contains(&t).then_some(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_measures() {
+        let s = Segment2::new(Point2::ZERO, Point2::new(3.0, 4.0));
+        assert_eq!(s.length(), 5.0);
+        assert_eq!(s.midpoint(), Point2::new(1.5, 2.0));
+        assert!(s.point_at(0.2).approx_eq(Point2::new(0.6, 0.8), Tolerance::new(1e-12)));
+    }
+
+    #[test]
+    fn distance_to_point_clamps_to_endpoints() {
+        let s = Segment2::new(Point2::ZERO, Point2::new(1.0, 0.0));
+        assert_eq!(s.distance_to_point(Point2::new(0.5, 2.0)), 2.0);
+        assert_eq!(s.distance_to_point(Point2::new(-3.0, 4.0)), 5.0);
+        assert_eq!(s.distance_to_point(Point2::new(2.0, 0.0)), 1.0);
+    }
+
+    #[test]
+    fn crossing_segments_intersect_at_point() {
+        let a = Segment2::new(Point2::new(0.0, 0.0), Point2::new(4.0, 4.0));
+        let b = Segment2::new(Point2::new(0.0, 4.0), Point2::new(4.0, 0.0));
+        assert_eq!(
+            a.intersect(&b, Tolerance::default()),
+            SegmentIntersection2::Point(Point2::new(2.0, 2.0))
+        );
+    }
+
+    #[test]
+    fn parallel_disjoint_segments_do_not_intersect() {
+        let a = Segment2::new(Point2::new(0.0, 0.0), Point2::new(1.0, 0.0));
+        let b = Segment2::new(Point2::new(0.0, 1.0), Point2::new(1.0, 1.0));
+        assert_eq!(a.intersect(&b, Tolerance::default()), SegmentIntersection2::None);
+    }
+
+    #[test]
+    fn collinear_overlap_returns_overlap_segment() {
+        let a = Segment2::new(Point2::new(0.0, 0.0), Point2::new(2.0, 0.0));
+        let b = Segment2::new(Point2::new(1.0, 0.0), Point2::new(3.0, 0.0));
+        match a.intersect(&b, Tolerance::default()) {
+            SegmentIntersection2::Overlap(s) => {
+                assert_eq!(s.start, Point2::new(1.0, 0.0));
+                assert_eq!(s.end, Point2::new(2.0, 0.0));
+            }
+            other => panic!("expected overlap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn collinear_touching_at_endpoint_is_point() {
+        let a = Segment2::new(Point2::new(0.0, 0.0), Point2::new(1.0, 0.0));
+        let b = Segment2::new(Point2::new(1.0, 0.0), Point2::new(2.0, 0.0));
+        assert_eq!(
+            a.intersect(&b, Tolerance::default()),
+            SegmentIntersection2::Point(Point2::new(1.0, 0.0))
+        );
+    }
+
+    #[test]
+    fn non_parallel_but_disjoint() {
+        let a = Segment2::new(Point2::new(0.0, 0.0), Point2::new(1.0, 0.0));
+        let b = Segment2::new(Point2::new(2.0, 1.0), Point2::new(2.0, -1.0));
+        assert_eq!(a.intersect(&b, Tolerance::default()), SegmentIntersection2::None);
+    }
+
+    #[test]
+    fn segment3_z_crossing() {
+        let s = Segment3::new(Point3::new(0.0, 0.0, -1.0), Point3::new(0.0, 0.0, 3.0));
+        assert_eq!(s.z_crossing(1.0), Some(0.5));
+        assert_eq!(s.z_crossing(5.0), None);
+        let flat = Segment3::new(Point3::ZERO, Point3::X);
+        assert_eq!(flat.z_crossing(0.0), None);
+    }
+}

@@ -1,0 +1,508 @@
+//! Parametric curves with STL-style adaptive subdivision.
+//!
+//! STL export approximates every curved edge by a chain of chords. CAD
+//! packages expose two tolerances for this (Fig. 5 of the ObfusCADe paper):
+//! the maximum **angle** between adjacent chords and the maximum **deviation**
+//! (chordal distance) from the true curve. [`SubdivisionParams`] captures both.
+//!
+//! Crucially for ObfusCADe, two bodies that share the same spline boundary
+//! tessellate it **independently** — typically with opposite parameter
+//! directions, because the shared curve bounds opposed face loops. The
+//! resulting chord breakpoints differ, so triangle corners across the split
+//! do not coincide (Fig. 4). [`CubicBezier::subdivide`] reproduces this:
+//! subdividing the [reversed](CubicBezier::reversed) curve yields a different
+//! point set whenever the curve is asymmetric.
+
+use crate::{Point2, Tolerance, Vec2};
+
+/// Tolerances controlling adaptive curve subdivision (the STL export knobs).
+///
+/// # Examples
+///
+/// ```
+/// use am_geom::{Point2, CubicBezier, SubdivisionParams};
+///
+/// let curve = CubicBezier::new(
+///     Point2::new(0.0, 0.0),
+///     Point2::new(1.0, 2.0),
+///     Point2::new(3.0, -2.0),
+///     Point2::new(4.0, 0.0),
+/// );
+/// let coarse = curve.subdivide(&SubdivisionParams::new(30f64.to_radians(), 0.5));
+/// let fine = curve.subdivide(&SubdivisionParams::new(5f64.to_radians(), 0.01));
+/// assert!(fine.len() > coarse.len());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubdivisionParams {
+    max_angle: f64,
+    max_deviation: f64,
+}
+
+impl SubdivisionParams {
+    /// Creates subdivision parameters.
+    ///
+    /// `max_angle` is in radians; `max_deviation` in millimetres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tolerance is non-positive or not finite.
+    pub fn new(max_angle: f64, max_deviation: f64) -> Self {
+        assert!(
+            max_angle.is_finite() && max_angle > 0.0,
+            "max_angle must be positive and finite"
+        );
+        assert!(
+            max_deviation.is_finite() && max_deviation > 0.0,
+            "max_deviation must be positive and finite"
+        );
+        SubdivisionParams { max_angle, max_deviation }
+    }
+
+    /// Maximum angle between adjacent chords, radians.
+    pub fn max_angle(&self) -> f64 {
+        self.max_angle
+    }
+
+    /// Maximum chordal deviation from the true curve, millimetres.
+    pub fn max_deviation(&self) -> f64 {
+        self.max_deviation
+    }
+}
+
+impl Default for SubdivisionParams {
+    /// A mid-grade default: 10° angle, 0.05 mm deviation.
+    fn default() -> Self {
+        SubdivisionParams::new(10f64.to_radians(), 0.05)
+    }
+}
+
+/// A planar cubic Bézier curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CubicBezier {
+    /// Control points `p0..p3`; the curve runs from `p0` to `p3`.
+    pub control: [Point2; 4],
+}
+
+impl CubicBezier {
+    /// Creates a cubic Bézier from its four control points.
+    pub const fn new(p0: Point2, p1: Point2, p2: Point2, p3: Point2) -> Self {
+        CubicBezier { control: [p0, p1, p2, p3] }
+    }
+
+    /// Curve start (`t = 0`).
+    pub fn start(&self) -> Point2 {
+        self.control[0]
+    }
+
+    /// Curve end (`t = 1`).
+    pub fn end(&self) -> Point2 {
+        self.control[3]
+    }
+
+    /// Evaluates the curve at parameter `t ∈ [0, 1]`.
+    pub fn point_at(&self, t: f64) -> Point2 {
+        let [p0, p1, p2, p3] = self.control;
+        let u = 1.0 - t;
+        p0 * (u * u * u) + p1 * (3.0 * u * u * t) + p2 * (3.0 * u * t * t) + p3 * (t * t * t)
+    }
+
+    /// First derivative at parameter `t`.
+    pub fn derivative_at(&self, t: f64) -> Vec2 {
+        let [p0, p1, p2, p3] = self.control;
+        let u = 1.0 - t;
+        (p1 - p0) * (3.0 * u * u) + (p2 - p1) * (6.0 * u * t) + (p3 - p2) * (3.0 * t * t)
+    }
+
+    /// The same geometric curve traversed in the opposite direction.
+    pub fn reversed(&self) -> CubicBezier {
+        let [p0, p1, p2, p3] = self.control;
+        CubicBezier::new(p3, p2, p1, p0)
+    }
+
+    /// De Casteljau split at `t`, returning the two halves.
+    pub fn split(&self, t: f64) -> (CubicBezier, CubicBezier) {
+        let [p0, p1, p2, p3] = self.control;
+        let p01 = p0.lerp(p1, t);
+        let p12 = p1.lerp(p2, t);
+        let p23 = p2.lerp(p3, t);
+        let p012 = p01.lerp(p12, t);
+        let p123 = p12.lerp(p23, t);
+        let p = p012.lerp(p123, t);
+        (
+            CubicBezier::new(p0, p01, p012, p),
+            CubicBezier::new(p, p123, p23, p3),
+        )
+    }
+
+    /// Maximum distance of the inner control points from the chord `p0p3` —
+    /// an upper bound on the curve's chordal deviation (convex-hull
+    /// property).
+    pub fn flatness(&self) -> f64 {
+        let [p0, p1, p2, p3] = self.control;
+        let chord = crate::Segment2::new(p0, p3);
+        chord.distance_to_point(p1).max(chord.distance_to_point(p2))
+    }
+
+    /// Turn angle between the start and end tangents, radians.
+    pub fn turn_angle(&self) -> f64 {
+        let d0 = self.derivative_at(0.0);
+        let d1 = self.derivative_at(1.0);
+        match (d0.normalized(), d1.normalized()) {
+            (Some(a), Some(b)) => a.dot(b).clamp(-1.0, 1.0).acos(),
+            _ => 0.0,
+        }
+    }
+
+    /// Adaptively subdivides the curve into a chord chain satisfying
+    /// `params`, returning the breakpoints including both endpoints.
+    ///
+    /// The subdivision is **direction-sensitive**: `self.subdivide(p)` and
+    /// `self.reversed().subdivide(p)` generally return different interior
+    /// breakpoints for asymmetric curves. This models how two CAD bodies
+    /// sharing a spline boundary tessellate it with mismatched vertices.
+    pub fn subdivide(&self, params: &SubdivisionParams) -> Vec<Point2> {
+        let mut out = vec![self.start()];
+        self.subdivide_into(params, 0, &mut out);
+        out.push(self.end());
+        out
+    }
+
+    fn subdivide_into(&self, params: &SubdivisionParams, depth: u32, out: &mut Vec<Point2>) {
+        const MAX_DEPTH: u32 = 24;
+        let flat_enough =
+            self.flatness() <= params.max_deviation && self.turn_angle() <= params.max_angle;
+        if flat_enough || depth >= MAX_DEPTH {
+            return;
+        }
+        // Split off-centre: real tessellators bias the split towards the
+        // parameter start, which is what makes the breakpoint set depend on
+        // traversal direction.
+        let (a, b) = self.split(0.45);
+        a.subdivide_into(params, depth + 1, out);
+        out.push(a.end());
+        b.subdivide_into(params, depth + 1, out);
+    }
+
+    /// Uniform sampling at `n + 1` parameter values (including endpoints).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn sample_uniform(&self, n: usize) -> Vec<Point2> {
+        assert!(n > 0, "need at least one interval");
+        (0..=n).map(|i| self.point_at(i as f64 / n as f64)).collect()
+    }
+
+    /// Approximate arc length by dense uniform sampling.
+    pub fn arc_length(&self) -> f64 {
+        let pts = self.sample_uniform(256);
+        pts.windows(2).map(|w| w[0].distance(w[1])).sum()
+    }
+}
+
+/// A Catmull–Rom spline through a sequence of points, evaluated as a chain
+/// of cubic Bézier segments.
+///
+/// This is the curve type used for the ObfusCADe *spline split feature*
+/// (§3.1): designers sketch a free-form curve through a handful of points
+/// across the part.
+///
+/// # Examples
+///
+/// ```
+/// use am_geom::{CatmullRom, Point2};
+///
+/// let spline = CatmullRom::new(vec![
+///     Point2::new(0.0, 0.0),
+///     Point2::new(5.0, 2.0),
+///     Point2::new(10.0, -2.0),
+///     Point2::new(15.0, 0.0),
+/// ]).unwrap();
+/// let pts = spline.subdivide(&Default::default());
+/// assert_eq!(pts.first().copied(), Some(Point2::new(0.0, 0.0)));
+/// assert_eq!(pts.last().copied(), Some(Point2::new(15.0, 0.0)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatmullRom {
+    through: Vec<Point2>,
+}
+
+impl CatmullRom {
+    /// Creates a spline through `points`.
+    ///
+    /// Returns `None` if fewer than two points are supplied.
+    pub fn new(points: Vec<Point2>) -> Option<Self> {
+        (points.len() >= 2).then_some(CatmullRom { through: points })
+    }
+
+    /// The interpolated points.
+    pub fn through_points(&self) -> &[Point2] {
+        &self.through
+    }
+
+    /// The spline's Bézier segments (one per consecutive point pair).
+    pub fn segments(&self) -> Vec<CubicBezier> {
+        let p = &self.through;
+        let n = p.len();
+        let mut out = Vec::with_capacity(n - 1);
+        for i in 0..n - 1 {
+            let p0 = if i == 0 { p[0] } else { p[i - 1] };
+            let p1 = p[i];
+            let p2 = p[i + 1];
+            let p3 = if i + 2 < n { p[i + 2] } else { p[n - 1] };
+            // Standard Catmull-Rom to Bézier conversion (tension 0.5).
+            let c1 = p1 + (p2 - p0) / 6.0;
+            let c2 = p2 - (p3 - p1) / 6.0;
+            out.push(CubicBezier::new(p1, c1, c2, p2));
+        }
+        out
+    }
+
+    /// The same spline traversed in the opposite direction.
+    pub fn reversed(&self) -> CatmullRom {
+        let mut pts = self.through.clone();
+        pts.reverse();
+        CatmullRom { through: pts }
+    }
+
+    /// Adaptive subdivision of the whole spline (see
+    /// [`CubicBezier::subdivide`]); returns breakpoints including both ends.
+    pub fn subdivide(&self, params: &SubdivisionParams) -> Vec<Point2> {
+        let mut out = Vec::new();
+        for (i, seg) in self.segments().iter().enumerate() {
+            let pts = seg.subdivide(params);
+            if i == 0 {
+                out.extend(pts);
+            } else {
+                out.extend(pts.into_iter().skip(1));
+            }
+        }
+        out
+    }
+
+    /// Total arc length (sum of segment arc lengths).
+    pub fn arc_length(&self) -> f64 {
+        self.segments().iter().map(CubicBezier::arc_length).sum()
+    }
+
+    /// Evaluates the spline at global parameter `t ∈ [0, 1]` (uniform over
+    /// segments).
+    pub fn point_at(&self, t: f64) -> Point2 {
+        let segs = self.segments();
+        let scaled = t.clamp(0.0, 1.0) * segs.len() as f64;
+        let idx = (scaled.floor() as usize).min(segs.len() - 1);
+        segs[idx].point_at(scaled - idx as f64)
+    }
+}
+
+/// Measures the worst mismatch between two chord chains that approximate the
+/// same curve: for every breakpoint of `a`, the distance to the nearest point
+/// on the chain `b` (and vice versa), maximized.
+///
+/// This is the quantity plotted along the spline in Fig. 4 of the paper —
+/// the size of the tessellation-induced gap between the two bodies.
+///
+/// # Panics
+///
+/// Panics if either chain has fewer than two points.
+pub fn chain_mismatch(a: &[Point2], b: &[Point2]) -> f64 {
+    assert!(a.len() >= 2 && b.len() >= 2, "chains need at least two points");
+    let one_way = |from: &[Point2], to: &[Point2]| -> f64 {
+        from.iter()
+            .map(|&p| {
+                to.windows(2)
+                    .map(|w| crate::Segment2::new(w[0], w[1]).distance_to_point(p))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .fold(0.0, f64::max)
+    };
+    one_way(a, b).max(one_way(b, a))
+}
+
+/// Measures the worst *vertex* mismatch: for every breakpoint of `a`, the
+/// distance to the nearest breakpoint of `b`, maximized over `a` (and
+/// symmetrically). Unlike [`chain_mismatch`] this captures T-junction
+/// severity even when the chains lie on top of each other.
+///
+/// # Panics
+///
+/// Panics if either chain is empty.
+pub fn vertex_mismatch(a: &[Point2], b: &[Point2]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "chains must be non-empty");
+    let one_way = |from: &[Point2], to: &[Point2]| -> f64 {
+        from.iter()
+            .map(|&p| to.iter().map(|&q| p.distance(q)).fold(f64::INFINITY, f64::min))
+            .fold(0.0, f64::max)
+    };
+    one_way(a, b).max(one_way(b, a))
+}
+
+/// Returns `true` if two chord chains share every breakpoint (within `tol`),
+/// i.e. the tessellations across the boundary are conforming.
+pub fn chains_conforming(a: &[Point2], b: &[Point2], tol: Tolerance) -> bool {
+    if a.is_empty() || b.is_empty() {
+        return a.is_empty() && b.is_empty();
+    }
+    vertex_mismatch(a, b) <= tol.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s_curve() -> CubicBezier {
+        CubicBezier::new(
+            Point2::new(0.0, 0.0),
+            Point2::new(2.0, 3.0),
+            Point2::new(5.0, -3.0),
+            Point2::new(7.0, 0.0),
+        )
+    }
+
+    #[test]
+    fn endpoints_are_exact() {
+        let c = s_curve();
+        assert_eq!(c.point_at(0.0), c.start());
+        assert_eq!(c.point_at(1.0), c.end());
+    }
+
+    #[test]
+    fn split_is_continuous() {
+        let c = s_curve();
+        let (a, b) = c.split(0.3);
+        assert!(a.end().approx_eq(b.start(), Tolerance::new(1e-12)));
+        assert!(a.end().approx_eq(c.point_at(0.3), Tolerance::new(1e-12)));
+    }
+
+    #[test]
+    fn subdivision_respects_deviation_bound() {
+        let c = s_curve();
+        let params = SubdivisionParams::new(60f64.to_radians(), 0.05);
+        let pts = c.subdivide(&params);
+        // Every true curve point must be within the deviation of the chain.
+        for i in 0..=200 {
+            let p = c.point_at(i as f64 / 200.0);
+            let d = pts
+                .windows(2)
+                .map(|w| crate::Segment2::new(w[0], w[1]).distance_to_point(p))
+                .fold(f64::INFINITY, f64::min);
+            assert!(d <= 0.05 + 1e-9, "deviation {d} at sample {i}");
+        }
+    }
+
+    #[test]
+    fn finer_params_give_more_points() {
+        let c = s_curve();
+        let coarse = c.subdivide(&SubdivisionParams::new(0.5, 0.5)).len();
+        let fine = c.subdivide(&SubdivisionParams::new(0.02, 0.002)).len();
+        assert!(fine > coarse, "fine {fine} vs coarse {coarse}");
+    }
+
+    #[test]
+    fn reverse_subdivision_mismatches_forward() {
+        // The heart of the ObfusCADe exploit: opposite traversal directions
+        // give different interior breakpoints.
+        let c = s_curve();
+        let params = SubdivisionParams::new(20f64.to_radians(), 0.2);
+        let fwd = c.subdivide(&params);
+        let mut rev = c.reversed().subdivide(&params);
+        rev.reverse();
+        assert!(!chains_conforming(&fwd, &rev, Tolerance::new(1e-9)));
+        assert!(vertex_mismatch(&fwd, &rev) > 0.01);
+    }
+
+    #[test]
+    fn symmetric_line_conforms() {
+        // A straight "curve" never subdivides, so both directions agree.
+        let line = CubicBezier::new(
+            Point2::ZERO,
+            Point2::new(1.0, 0.0),
+            Point2::new(2.0, 0.0),
+            Point2::new(3.0, 0.0),
+        );
+        let params = SubdivisionParams::default();
+        let fwd = line.subdivide(&params);
+        let mut rev = line.reversed().subdivide(&params);
+        rev.reverse();
+        assert!(chains_conforming(&fwd, &rev, Tolerance::new(1e-9)));
+    }
+
+    #[test]
+    fn catmull_rom_interpolates() {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(5.0, 2.0),
+            Point2::new(10.0, -1.0),
+        ];
+        let spline = CatmullRom::new(pts.clone()).unwrap();
+        let segs = spline.segments();
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].start(), pts[0]);
+        assert_eq!(segs[0].end(), pts[1]);
+        assert_eq!(segs[1].end(), pts[2]);
+    }
+
+    #[test]
+    fn catmull_rom_needs_two_points() {
+        assert!(CatmullRom::new(vec![Point2::ZERO]).is_none());
+        assert!(CatmullRom::new(vec![Point2::ZERO, Point2::X]).is_some());
+    }
+
+    #[test]
+    fn catmull_rom_subdivide_covers_ends() {
+        let spline = CatmullRom::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(7.0, 3.0),
+            Point2::new(14.0, -3.0),
+            Point2::new(21.0, 0.0),
+        ])
+        .unwrap();
+        let pts = spline.subdivide(&SubdivisionParams::default());
+        assert_eq!(pts[0], Point2::new(0.0, 0.0));
+        assert_eq!(*pts.last().unwrap(), Point2::new(21.0, 0.0));
+        // Interior through-points are present.
+        assert!(pts.iter().any(|p| p.approx_eq(Point2::new(7.0, 3.0), Tolerance::new(1e-9))));
+    }
+
+    #[test]
+    fn arc_length_exceeds_chord() {
+        let c = s_curve();
+        assert!(c.arc_length() > c.start().distance(c.end()));
+    }
+
+    #[test]
+    fn chain_mismatch_zero_for_identical() {
+        let pts = s_curve().sample_uniform(16);
+        assert_eq!(chain_mismatch(&pts, &pts), 0.0);
+        assert_eq!(vertex_mismatch(&pts, &pts), 0.0);
+    }
+
+    #[test]
+    fn vertex_mismatch_detects_t_junctions() {
+        // Same chain, one with an extra midpoint: chain distance 0 but
+        // vertex mismatch is half the segment length.
+        let a = vec![Point2::ZERO, Point2::new(2.0, 0.0)];
+        let b = vec![Point2::ZERO, Point2::new(1.0, 0.0), Point2::new(2.0, 0.0)];
+        assert_eq!(chain_mismatch(&a, &b), 0.0);
+        assert_eq!(vertex_mismatch(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn point_at_spline_global_parameter() {
+        let spline = CatmullRom::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(2.0, 0.0),
+        ])
+        .unwrap();
+        assert!(spline.point_at(0.0).approx_eq(Point2::ZERO, Tolerance::new(1e-12)));
+        assert!(spline.point_at(0.5).approx_eq(Point2::new(1.0, 0.0), Tolerance::new(1e-9)));
+        assert!(spline.point_at(1.0).approx_eq(Point2::new(2.0, 0.0), Tolerance::new(1e-12)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_angle_params_panic() {
+        let _ = SubdivisionParams::new(0.0, 0.1);
+    }
+}

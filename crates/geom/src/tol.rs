@@ -1,0 +1,139 @@
+//! Tolerance-aware floating-point comparison.
+
+use std::fmt;
+
+/// An absolute length tolerance used by approximate geometric predicates.
+///
+/// All coordinates in the toolchain are in **millimetres**, so the default
+/// tolerance of `1e-9` mm is far below any manufacturable feature while still
+/// absorbing accumulated floating-point error.
+///
+/// # Examples
+///
+/// ```
+/// use am_geom::Tolerance;
+///
+/// let tol = Tolerance::default();
+/// assert!(tol.eq(1.0, 1.0 + 1e-12));
+/// assert!(!tol.eq(1.0, 1.0 + 1e-6));
+///
+/// let loose = Tolerance::new(1e-3);
+/// assert!(loose.eq(1.0, 1.0 + 1e-6));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Tolerance(f64);
+
+impl Tolerance {
+    /// Creates a tolerance of `eps` millimetres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` is negative or not finite.
+    pub fn new(eps: f64) -> Self {
+        assert!(eps.is_finite() && eps >= 0.0, "tolerance must be finite and non-negative");
+        Tolerance(eps)
+    }
+
+    /// The tolerance value in millimetres.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Returns `true` if `a` and `b` differ by at most the tolerance.
+    pub fn eq(self, a: f64, b: f64) -> bool {
+        (a - b).abs() <= self.0
+    }
+
+    /// Returns `true` if `a` is within the tolerance of zero.
+    pub fn is_zero(self, a: f64) -> bool {
+        a.abs() <= self.0
+    }
+
+    /// Returns `true` if `a` is less than `b` by more than the tolerance.
+    pub fn lt(self, a: f64, b: f64) -> bool {
+        b - a > self.0
+    }
+
+    /// Returns `true` if `a` exceeds `b` by more than the tolerance.
+    pub fn gt(self, a: f64, b: f64) -> bool {
+        a - b > self.0
+    }
+}
+
+impl Default for Tolerance {
+    /// The default geometric tolerance: `1e-9` mm.
+    fn default() -> Self {
+        Tolerance(1e-9)
+    }
+}
+
+impl fmt::Display for Tolerance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "±{} mm", self.0)
+    }
+}
+
+impl From<f64> for Tolerance {
+    fn from(eps: f64) -> Self {
+        Tolerance::new(eps)
+    }
+}
+
+/// Convenience free function: `a` and `b` are equal under the default
+/// [`Tolerance`].
+///
+/// # Examples
+///
+/// ```
+/// assert!(am_geom::approx_eq(0.1 + 0.2, 0.3));
+/// ```
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    Tolerance::default().eq(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_tight() {
+        let t = Tolerance::default();
+        assert!(t.eq(1.0, 1.0));
+        assert!(t.eq(1.0, 1.0 + 5e-10));
+        assert!(!t.eq(1.0, 1.0 + 2e-9));
+    }
+
+    #[test]
+    fn ordering_predicates_respect_band() {
+        let t = Tolerance::new(0.01);
+        assert!(t.lt(1.0, 1.1));
+        assert!(!t.lt(1.0, 1.005));
+        assert!(t.gt(1.1, 1.0));
+        assert!(!t.gt(1.005, 1.0));
+    }
+
+    #[test]
+    fn is_zero_symmetric() {
+        let t = Tolerance::new(1e-6);
+        assert!(t.is_zero(5e-7));
+        assert!(t.is_zero(-5e-7));
+        assert!(!t.is_zero(2e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance must be finite")]
+    fn negative_tolerance_panics() {
+        let _ = Tolerance::new(-1.0);
+    }
+
+    #[test]
+    fn from_f64() {
+        let t: Tolerance = 0.5.into();
+        assert_eq!(t.value(), 0.5);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Tolerance::new(0.001).to_string(), "±0.001 mm");
+    }
+}

@@ -1,0 +1,221 @@
+//! Rigid-body transforms (rotation + translation).
+
+use crate::{Point3, Vec3};
+
+/// A rigid transform: a 3×3 rotation matrix followed by a translation.
+///
+/// Print orientations (Fig. 6 of the paper) are modeled as rigid transforms
+/// applied to a mesh before slicing, so this type deliberately supports only
+/// rotations and translations — no scaling or shear, which would alter part
+/// dimensions.
+///
+/// # Examples
+///
+/// ```
+/// use am_geom::{Transform3, Vec3};
+///
+/// // The x-z print orientation: stand the part on its long edge by
+/// // rotating 90° about the x axis.
+/// let t = Transform3::rotation_x(std::f64::consts::FRAC_PI_2);
+/// let p = t.apply(Vec3::new(0.0, 1.0, 0.0));
+/// assert!(p.approx_eq(Vec3::new(0.0, 0.0, 1.0), 1e-12.into()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transform3 {
+    /// Row-major 3×3 rotation matrix.
+    rows: [Vec3; 3],
+    /// Translation applied after rotation.
+    translation: Vec3,
+}
+
+impl Transform3 {
+    /// The identity transform.
+    pub fn identity() -> Self {
+        Transform3 {
+            rows: [Vec3::X, Vec3::Y, Vec3::Z],
+            translation: Vec3::ZERO,
+        }
+    }
+
+    /// Pure translation by `t`.
+    pub fn translation(t: Vec3) -> Self {
+        Transform3 { translation: t, ..Transform3::identity() }
+    }
+
+    /// Rotation by `angle` radians about the +x axis (right-hand rule).
+    pub fn rotation_x(angle: f64) -> Self {
+        let (s, c) = angle.sin_cos();
+        Transform3 {
+            rows: [
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::new(0.0, c, -s),
+                Vec3::new(0.0, s, c),
+            ],
+            translation: Vec3::ZERO,
+        }
+    }
+
+    /// Rotation by `angle` radians about the +y axis (right-hand rule).
+    pub fn rotation_y(angle: f64) -> Self {
+        let (s, c) = angle.sin_cos();
+        Transform3 {
+            rows: [
+                Vec3::new(c, 0.0, s),
+                Vec3::new(0.0, 1.0, 0.0),
+                Vec3::new(-s, 0.0, c),
+            ],
+            translation: Vec3::ZERO,
+        }
+    }
+
+    /// Rotation by `angle` radians about the +z axis (right-hand rule).
+    pub fn rotation_z(angle: f64) -> Self {
+        let (s, c) = angle.sin_cos();
+        Transform3 {
+            rows: [
+                Vec3::new(c, -s, 0.0),
+                Vec3::new(s, c, 0.0),
+                Vec3::new(0.0, 0.0, 1.0),
+            ],
+            translation: Vec3::ZERO,
+        }
+    }
+
+    /// Applies the transform to a point.
+    pub fn apply(&self, p: Point3) -> Point3 {
+        Vec3::new(self.rows[0].dot(p), self.rows[1].dot(p), self.rows[2].dot(p))
+            + self.translation
+    }
+
+    /// Applies only the rotation part (correct for direction vectors and
+    /// normals, since the transform is rigid).
+    pub fn apply_vector(&self, v: Vec3) -> Vec3 {
+        Vec3::new(self.rows[0].dot(v), self.rows[1].dot(v), self.rows[2].dot(v))
+    }
+
+    /// Composition: `self.then(&b)` applies `self` first, then `b`.
+    pub fn then(&self, b: &Transform3) -> Transform3 {
+        // Rows of the combined rotation: b.R * self.R.
+        let col = |j: usize| {
+            Vec3::new(
+                match j {
+                    0 => self.rows[0].x,
+                    1 => self.rows[0].y,
+                    _ => self.rows[0].z,
+                },
+                match j {
+                    0 => self.rows[1].x,
+                    1 => self.rows[1].y,
+                    _ => self.rows[1].z,
+                },
+                match j {
+                    0 => self.rows[2].x,
+                    1 => self.rows[2].y,
+                    _ => self.rows[2].z,
+                },
+            )
+        };
+        let rows = [
+            Vec3::new(b.rows[0].dot(col(0)), b.rows[0].dot(col(1)), b.rows[0].dot(col(2))),
+            Vec3::new(b.rows[1].dot(col(0)), b.rows[1].dot(col(1)), b.rows[1].dot(col(2))),
+            Vec3::new(b.rows[2].dot(col(0)), b.rows[2].dot(col(1)), b.rows[2].dot(col(2))),
+        ];
+        Transform3 { rows, translation: b.apply(self.translation) }
+    }
+
+    /// The inverse transform (cheap: the rotation is orthonormal).
+    pub fn inverse(&self) -> Transform3 {
+        // R⁻¹ = Rᵀ; rows of Rᵀ are columns of R.
+        let rows = [
+            Vec3::new(self.rows[0].x, self.rows[1].x, self.rows[2].x),
+            Vec3::new(self.rows[0].y, self.rows[1].y, self.rows[2].y),
+            Vec3::new(self.rows[0].z, self.rows[1].z, self.rows[2].z),
+        ];
+        let inv = Transform3 { rows, translation: Vec3::ZERO };
+        let t = inv.apply_vector(-self.translation);
+        Transform3 { rows, translation: t }
+    }
+}
+
+impl Default for Transform3 {
+    fn default() -> Self {
+        Transform3::identity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tolerance;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn assert_close(a: Vec3, b: Vec3) {
+        assert!(a.approx_eq(b, Tolerance::new(1e-12)), "{a} != {b}");
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let p = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(Transform3::identity().apply(p), p);
+    }
+
+    #[test]
+    fn rotation_x_quarter_turn() {
+        let t = Transform3::rotation_x(FRAC_PI_2);
+        assert_close(t.apply(Vec3::Y), Vec3::Z);
+        assert_close(t.apply(Vec3::Z), -Vec3::Y);
+        assert_close(t.apply(Vec3::X), Vec3::X);
+    }
+
+    #[test]
+    fn rotation_y_quarter_turn() {
+        let t = Transform3::rotation_y(FRAC_PI_2);
+        assert_close(t.apply(Vec3::Z), Vec3::X);
+        assert_close(t.apply(Vec3::X), -Vec3::Z);
+    }
+
+    #[test]
+    fn rotation_z_quarter_turn() {
+        let t = Transform3::rotation_z(FRAC_PI_2);
+        assert_close(t.apply(Vec3::X), Vec3::Y);
+        assert_close(t.apply(Vec3::Y), -Vec3::X);
+    }
+
+    #[test]
+    fn translation_moves_points_not_vectors() {
+        let t = Transform3::translation(Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(t.apply(Vec3::ZERO), Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(t.apply_vector(Vec3::X), Vec3::X);
+    }
+
+    #[test]
+    fn composition_order() {
+        // Rotate 90° about z, then translate +x.
+        let t = Transform3::rotation_z(FRAC_PI_2).then(&Transform3::translation(Vec3::X));
+        assert_close(t.apply(Vec3::X), Vec3::new(1.0, 1.0, 0.0));
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let t = Transform3::rotation_x(0.3)
+            .then(&Transform3::rotation_z(1.1))
+            .then(&Transform3::translation(Vec3::new(4.0, -2.0, 0.5)));
+        let p = Vec3::new(1.0, 2.0, 3.0);
+        assert_close(t.inverse().apply(t.apply(p)), p);
+        assert_close(t.apply(t.inverse().apply(p)), p);
+    }
+
+    #[test]
+    fn full_turn_is_identity() {
+        let t = Transform3::rotation_y(2.0 * PI);
+        let p = Vec3::new(0.1, 0.2, 0.3);
+        assert_close(t.apply(p), p);
+    }
+
+    #[test]
+    fn rigid_transform_preserves_length() {
+        let t = Transform3::rotation_x(0.7).then(&Transform3::rotation_y(-1.2));
+        let v = Vec3::new(3.0, -1.0, 2.0);
+        assert!((t.apply_vector(v).length() - v.length()).abs() < 1e-12);
+    }
+}

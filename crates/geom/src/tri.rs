@@ -1,0 +1,255 @@
+//! 3-D triangles — the unit of STL tessellation.
+
+use crate::{Aabb3, Point3, Tolerance, Transform3, Vec3};
+
+/// A triangle in 3-D space, stored as three vertices in counter-clockwise
+/// order when viewed from the outside (the STL facet convention: the
+/// right-hand-rule normal points out of the solid).
+///
+/// # Examples
+///
+/// ```
+/// use am_geom::{Point3, Triangle3, Vec3};
+///
+/// let t = Triangle3::new(
+///     Point3::new(0.0, 0.0, 0.0),
+///     Point3::new(1.0, 0.0, 0.0),
+///     Point3::new(0.0, 1.0, 0.0),
+/// );
+/// assert_eq!(t.normal().unwrap(), Vec3::Z);
+/// assert_eq!(t.area(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triangle3 {
+    /// The three vertices, counter-clockwise seen from outside.
+    pub vertices: [Point3; 3],
+}
+
+impl Triangle3 {
+    /// Creates a triangle from three vertices.
+    pub const fn new(a: Point3, b: Point3, c: Point3) -> Self {
+        Triangle3 { vertices: [a, b, c] }
+    }
+
+    /// First vertex.
+    pub fn a(&self) -> Point3 {
+        self.vertices[0]
+    }
+
+    /// Second vertex.
+    pub fn b(&self) -> Point3 {
+        self.vertices[1]
+    }
+
+    /// Third vertex.
+    pub fn c(&self) -> Point3 {
+        self.vertices[2]
+    }
+
+    /// The (non-normalized) area vector `(b-a) × (c-a)`; its length is twice
+    /// the triangle area and its direction is the facet normal.
+    pub fn area_vector(&self) -> Vec3 {
+        (self.b() - self.a()).cross(self.c() - self.a())
+    }
+
+    /// Triangle area.
+    pub fn area(&self) -> f64 {
+        self.area_vector().length() * 0.5
+    }
+
+    /// Unit facet normal by the right-hand rule, or `None` if the triangle
+    /// is degenerate (zero area).
+    pub fn normal(&self) -> Option<Vec3> {
+        self.area_vector().normalized()
+    }
+
+    /// Centroid of the triangle.
+    pub fn centroid(&self) -> Point3 {
+        (self.a() + self.b() + self.c()) / 3.0
+    }
+
+    /// `true` if the triangle's area is below `tol`² (degenerate sliver or
+    /// repeated vertices).
+    pub fn is_degenerate(&self, tol: Tolerance) -> bool {
+        self.area() <= tol.value() * tol.value()
+    }
+
+    /// The triangle with reversed winding (flipped normal).
+    ///
+    /// Used when emitting cavity-oriented shells: the paper's Table 3
+    /// observation hinges entirely on facet-normal orientation.
+    pub fn flipped(&self) -> Triangle3 {
+        Triangle3::new(self.a(), self.c(), self.b())
+    }
+
+    /// Bounding box of the triangle.
+    pub fn aabb(&self) -> Aabb3 {
+        Aabb3::from_points(self.vertices).expect("triangle has vertices")
+    }
+
+    /// The triangle transformed by a rigid transform.
+    pub fn transformed(&self, t: &Transform3) -> Triangle3 {
+        Triangle3::new(t.apply(self.a()), t.apply(self.b()), t.apply(self.c()))
+    }
+
+    /// Signed volume of the tetrahedron (origin, a, b, c) — summing this over
+    /// a closed, consistently outward-oriented mesh gives the solid volume.
+    pub fn signed_volume(&self) -> f64 {
+        self.a().dot(self.b().cross(self.c())) / 6.0
+    }
+
+    /// Intersects the triangle with the horizontal plane `z = z0`.
+    ///
+    /// Returns the segment of intersection as a pair of points, or `None`
+    /// if the plane misses the triangle or only touches a vertex/edge in a
+    /// degenerate way. Triangles lying entirely in the plane return `None`
+    /// (slicers handle coplanar facets via the neighbouring geometry).
+    pub fn intersect_z_plane(&self, z0: f64) -> Option<(Point3, Point3)> {
+        let d: Vec<f64> = self.vertices.iter().map(|v| v.z - z0).collect();
+        // All on one side (strictly): no intersection.
+        if d.iter().all(|&x| x > 0.0) || d.iter().all(|&x| x < 0.0) {
+            return None;
+        }
+        // Coplanar triangle: skip.
+        if d.iter().all(|&x| x == 0.0) {
+            return None;
+        }
+        let mut pts: Vec<Point3> = Vec::with_capacity(2);
+        for i in 0..3 {
+            let j = (i + 1) % 3;
+            let (di, dj) = (d[i], d[j]);
+            let (pi, pj) = (self.vertices[i], self.vertices[j]);
+            if di == 0.0 {
+                push_unique(&mut pts, pi);
+            }
+            if (di > 0.0 && dj < 0.0) || (di < 0.0 && dj > 0.0) {
+                let t = di / (di - dj);
+                push_unique(&mut pts, pi.lerp(pj, t));
+            }
+        }
+        if pts.len() == 2 {
+            let (p, q) = (pts[0], pts[1]);
+            if p.approx_eq(q, Tolerance::default()) {
+                None
+            } else {
+                Some((p, q))
+            }
+        } else {
+            None
+        }
+    }
+}
+
+fn push_unique(pts: &mut Vec<Point3>, p: Point3) {
+    if !pts.iter().any(|q| q.approx_eq(p, Tolerance::default())) {
+        pts.push(p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_tri() -> Triangle3 {
+        Triangle3::new(
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(1.0, 0.0, 0.0),
+            Point3::new(0.0, 1.0, 0.0),
+        )
+    }
+
+    #[test]
+    fn normal_follows_right_hand_rule() {
+        assert_eq!(unit_tri().normal().unwrap(), Vec3::Z);
+        assert_eq!(unit_tri().flipped().normal().unwrap(), -Vec3::Z);
+    }
+
+    #[test]
+    fn area_and_centroid() {
+        let t = unit_tri();
+        assert_eq!(t.area(), 0.5);
+        let c = t.centroid();
+        assert!(c.approx_eq(Point3::new(1.0 / 3.0, 1.0 / 3.0, 0.0), Tolerance::new(1e-12)));
+    }
+
+    #[test]
+    fn degenerate_detection() {
+        let t = Triangle3::new(Point3::ZERO, Point3::X, Point3::new(2.0, 0.0, 0.0));
+        assert!(t.is_degenerate(Tolerance::new(1e-6)));
+        assert!(!unit_tri().is_degenerate(Tolerance::new(1e-6)));
+        assert!(t.normal().is_none());
+    }
+
+    #[test]
+    fn flipping_preserves_area() {
+        let t = unit_tri();
+        assert_eq!(t.area(), t.flipped().area());
+    }
+
+    #[test]
+    fn signed_volume_of_closed_tetrahedron() {
+        // Tetrahedron with vertices at origin and unit axes: volume 1/6.
+        let a = Point3::ZERO;
+        let b = Point3::X;
+        let c = Point3::Y;
+        let d = Point3::Z;
+        // Outward-oriented faces.
+        let faces = [
+            Triangle3::new(a, c, b),
+            Triangle3::new(a, b, d),
+            Triangle3::new(a, d, c),
+            Triangle3::new(b, c, d),
+        ];
+        let vol: f64 = faces.iter().map(Triangle3::signed_volume).sum();
+        assert!((vol - 1.0 / 6.0).abs() < 1e-12, "vol = {vol}");
+    }
+
+    #[test]
+    fn z_plane_slice_through_middle() {
+        let t = Triangle3::new(
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(2.0, 0.0, 2.0),
+            Point3::new(0.0, 2.0, 2.0),
+        );
+        let (p, q) = t.intersect_z_plane(1.0).unwrap();
+        assert!((p.z - 1.0).abs() < 1e-12);
+        assert!((q.z - 1.0).abs() < 1e-12);
+        // The chord at z=1 connects (1,0,1) and (0,1,1).
+        let expected = [Point3::new(1.0, 0.0, 1.0), Point3::new(0.0, 1.0, 1.0)];
+        assert!(
+            (p.approx_eq(expected[0], Tolerance::new(1e-9)) && q.approx_eq(expected[1], Tolerance::new(1e-9)))
+                || (p.approx_eq(expected[1], Tolerance::new(1e-9)) && q.approx_eq(expected[0], Tolerance::new(1e-9)))
+        );
+    }
+
+    #[test]
+    fn z_plane_misses_triangle() {
+        assert!(unit_tri().intersect_z_plane(1.0).is_none());
+        assert!(unit_tri().intersect_z_plane(-1.0).is_none());
+    }
+
+    #[test]
+    fn z_plane_coplanar_returns_none() {
+        assert!(unit_tri().intersect_z_plane(0.0).is_none());
+    }
+
+    #[test]
+    fn z_plane_through_vertex_and_opposite_edge() {
+        let t = Triangle3::new(
+            Point3::new(0.0, 0.0, 1.0),
+            Point3::new(1.0, 0.0, -1.0),
+            Point3::new(-1.0, 0.0, -1.0),
+        );
+        let (p, q) = t.intersect_z_plane(0.0).unwrap();
+        assert!((p.z).abs() < 1e-12 && (q.z).abs() < 1e-12);
+        assert!((p.distance(q) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transform_preserves_area() {
+        let t = unit_tri().transformed(
+            &Transform3::rotation_x(0.5).then(&Transform3::translation(Vec3::new(1.0, 2.0, 3.0))),
+        );
+        assert!((t.area() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,207 @@
+//! Ear-clipping triangulation of simple polygons.
+
+use crate::{Point2, Polygon2};
+
+/// Triangulates a simple polygon by ear clipping, returning index triples
+/// into `points` with counter-clockwise winding.
+///
+/// Works for arbitrary simple (non-self-intersecting) polygons in either
+/// winding; the result triangles are always counter-clockwise. Collinear
+/// runs are tolerated. Behaviour on self-intersecting input is best-effort
+/// (remaining vertices are fan-filled).
+///
+/// # Examples
+///
+/// ```
+/// use am_geom::{triangulate_polygon, Point2};
+///
+/// let square = [
+///     Point2::new(0.0, 0.0),
+///     Point2::new(1.0, 0.0),
+///     Point2::new(1.0, 1.0),
+///     Point2::new(0.0, 1.0),
+/// ];
+/// let tris = triangulate_polygon(&square);
+/// assert_eq!(tris.len(), 2);
+/// ```
+///
+/// # Panics
+///
+/// Panics if fewer than three points are supplied.
+pub fn triangulate_polygon(points: &[Point2]) -> Vec<[usize; 3]> {
+    assert!(points.len() >= 3, "triangulation needs at least three points");
+    let n = points.len();
+    if n == 3 {
+        return vec![ensure_ccw(points, [0, 1, 2])];
+    }
+
+    // Work on a CCW copy of the index list.
+    let ccw = Polygon2::new(points.to_vec()).is_ccw();
+    let mut idx: Vec<usize> = if ccw {
+        (0..n).collect()
+    } else {
+        (0..n).rev().collect()
+    };
+
+    let mut out = Vec::with_capacity(n - 2);
+    let mut guard = 0usize;
+    while idx.len() > 3 {
+        let m = idx.len();
+        let mut clipped = false;
+        for i in 0..m {
+            let prev = points[idx[(i + m - 1) % m]];
+            let cur = points[idx[i]];
+            let next = points[idx[(i + 1) % m]];
+            let cross = (cur - prev).cross(next - cur);
+            if cross <= 1e-12 {
+                continue; // reflex or collinear vertex: not an ear tip
+            }
+            // No other polygon vertex may lie inside the candidate ear.
+            let mut blocked = false;
+            for (j, &vj) in idx.iter().enumerate() {
+                if j == (i + m - 1) % m || j == i || j == (i + 1) % m {
+                    continue;
+                }
+                if point_in_triangle(points[vj], prev, cur, next) {
+                    blocked = true;
+                    break;
+                }
+            }
+            if !blocked {
+                out.push([idx[(i + m - 1) % m], idx[i], idx[(i + 1) % m]]);
+                idx.remove(i);
+                clipped = true;
+                break;
+            }
+        }
+        if !clipped {
+            guard += 1;
+            if guard > 2 {
+                // Degenerate input: fan-fill the rest so callers still get a
+                // covering set rather than an infinite loop.
+                for i in 1..idx.len() - 1 {
+                    out.push([idx[0], idx[i], idx[i + 1]]);
+                }
+                idx.truncate(3);
+                break;
+            }
+            // Perturb by rotating the index list and retrying.
+            idx.rotate_left(1);
+        }
+    }
+    out.push([idx[0], idx[1], idx[2]]);
+    out.into_iter().map(|t| ensure_ccw(points, t)).collect()
+}
+
+fn ensure_ccw(points: &[Point2], t: [usize; 3]) -> [usize; 3] {
+    let [a, b, c] = t;
+    if (points[b] - points[a]).cross(points[c] - points[a]) < 0.0 {
+        [a, c, b]
+    } else {
+        t
+    }
+}
+
+fn point_in_triangle(p: Point2, a: Point2, b: Point2, c: Point2) -> bool {
+    let d1 = (b - a).cross(p - a);
+    let d2 = (c - b).cross(p - b);
+    let d3 = (a - c).cross(p - c);
+    let has_neg = d1 < -1e-12 || d2 < -1e-12 || d3 < -1e-12;
+    let has_pos = d1 > 1e-12 || d2 > 1e-12 || d3 > 1e-12;
+    !(has_neg && has_pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total_area(points: &[Point2], tris: &[[usize; 3]]) -> f64 {
+        tris.iter()
+            .map(|&[a, b, c]| 0.5 * (points[b] - points[a]).cross(points[c] - points[a]))
+            .sum()
+    }
+
+    #[test]
+    fn square_two_triangles() {
+        let pts = [
+            Point2::new(0.0, 0.0),
+            Point2::new(2.0, 0.0),
+            Point2::new(2.0, 2.0),
+            Point2::new(0.0, 2.0),
+        ];
+        let tris = triangulate_polygon(&pts);
+        assert_eq!(tris.len(), 2);
+        assert!((total_area(&pts, &tris) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clockwise_input_still_ccw_output() {
+        let pts = [
+            Point2::new(0.0, 2.0),
+            Point2::new(2.0, 2.0),
+            Point2::new(2.0, 0.0),
+            Point2::new(0.0, 0.0),
+        ];
+        let tris = triangulate_polygon(&pts);
+        assert!((total_area(&pts, &tris) - 4.0).abs() < 1e-12);
+        for &[a, b, c] in &tris {
+            assert!((pts[b] - pts[a]).cross(pts[c] - pts[a]) > 0.0);
+        }
+    }
+
+    #[test]
+    fn concave_l_shape() {
+        let pts = [
+            Point2::new(0.0, 0.0),
+            Point2::new(3.0, 0.0),
+            Point2::new(3.0, 1.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(1.0, 3.0),
+            Point2::new(0.0, 3.0),
+        ];
+        let tris = triangulate_polygon(&pts);
+        assert_eq!(tris.len(), 4);
+        assert!((total_area(&pts, &tris) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn star_polygon_area_preserved() {
+        // A 5-pointed star outline (concave at every other vertex).
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            let r = if i % 2 == 0 { 2.0 } else { 0.8 };
+            let a = std::f64::consts::TAU * i as f64 / 10.0;
+            pts.push(Point2::new(r * a.cos(), r * a.sin()));
+        }
+        let poly_area = Polygon2::new(pts.clone()).area();
+        let tris = triangulate_polygon(&pts);
+        assert_eq!(tris.len(), 8);
+        assert!((total_area(&pts, &tris) - poly_area).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triangle_passthrough() {
+        let pts = [Point2::ZERO, Point2::new(1.0, 0.0), Point2::new(0.0, 1.0)];
+        assert_eq!(triangulate_polygon(&pts), vec![[0, 1, 2]]);
+    }
+
+    #[test]
+    fn polygon_with_collinear_points() {
+        let pts = [
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(2.0, 0.0),
+            Point2::new(2.0, 2.0),
+            Point2::new(0.0, 2.0),
+        ];
+        let tris = triangulate_polygon(&pts);
+        assert_eq!(tris.len(), 3);
+        assert!((total_area(&pts, &tris) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three")]
+    fn two_points_panics() {
+        let _ = triangulate_polygon(&[Point2::ZERO, Point2::X]);
+    }
+}

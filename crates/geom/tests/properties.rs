@@ -1,0 +1,167 @@
+//! Property-based tests for the geometric foundation.
+
+use am_geom::spline::{chain_mismatch, vertex_mismatch};
+use am_geom::{
+    CubicBezier, Point2, Point3, Polygon2, Segment2, SubdivisionParams, Tolerance, Transform3,
+    Triangle3, Vec2, Vec3,
+};
+use proptest::prelude::*;
+
+fn finite_coord() -> impl Strategy<Value = f64> {
+    -100.0..100.0f64
+}
+
+fn vec2() -> impl Strategy<Value = Vec2> {
+    (finite_coord(), finite_coord()).prop_map(|(x, y)| Vec2::new(x, y))
+}
+
+fn vec3() -> impl Strategy<Value = Vec3> {
+    (finite_coord(), finite_coord(), finite_coord()).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+proptest! {
+    #[test]
+    fn vec3_cross_is_orthogonal(a in vec3(), b in vec3()) {
+        let c = a.cross(b);
+        prop_assert!(c.dot(a).abs() < 1e-6 * (1.0 + a.length() * b.length() * a.length()));
+        prop_assert!(c.dot(b).abs() < 1e-6 * (1.0 + a.length() * b.length() * b.length()));
+    }
+
+    #[test]
+    fn vec2_cross_antisymmetric(a in vec2(), b in vec2()) {
+        prop_assert!((a.cross(b) + b.cross(a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rigid_transform_preserves_distance(
+        p in vec3(), q in vec3(),
+        ax in -3.0..3.0f64, az in -3.0..3.0f64, t in vec3(),
+    ) {
+        let m = Transform3::rotation_x(ax)
+            .then(&Transform3::rotation_z(az))
+            .then(&Transform3::translation(t));
+        let d0 = p.distance(q);
+        let d1 = m.apply(p).distance(m.apply(q));
+        prop_assert!((d0 - d1).abs() < 1e-9 * (1.0 + d0));
+    }
+
+    #[test]
+    fn transform_inverse_round_trip(
+        p in vec3(), ax in -3.0..3.0f64, ay in -3.0..3.0f64, t in vec3(),
+    ) {
+        let m = Transform3::rotation_x(ax)
+            .then(&Transform3::rotation_y(ay))
+            .then(&Transform3::translation(t));
+        let back = m.inverse().apply(m.apply(p));
+        prop_assert!(back.approx_eq(p, Tolerance::new(1e-6)));
+    }
+
+    #[test]
+    fn triangle_flip_negates_normal(a in vec3(), b in vec3(), c in vec3()) {
+        let t = Triangle3::new(a, b, c);
+        if let (Some(n), Some(m)) = (t.normal(), t.flipped().normal()) {
+            prop_assert!(n.approx_eq(-m, Tolerance::new(1e-6)));
+        }
+    }
+
+    #[test]
+    fn triangle_area_invariant_under_rotation(
+        a in vec3(), b in vec3(), c in vec3(), angle in -3.0..3.0f64,
+    ) {
+        let t = Triangle3::new(a, b, c);
+        let r = t.transformed(&Transform3::rotation_z(angle));
+        prop_assert!((t.area() - r.area()).abs() < 1e-6 * (1.0 + t.area()));
+    }
+
+    #[test]
+    fn polygon_reversal_negates_signed_area(
+        pts in proptest::collection::vec(vec2(), 3..12),
+    ) {
+        let poly = Polygon2::new(pts);
+        let rev = poly.reversed();
+        prop_assert!((poly.signed_area() + rev.signed_area()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn polygon_translation_preserves_area(
+        pts in proptest::collection::vec(vec2(), 3..12), d in vec2(),
+    ) {
+        let poly = Polygon2::new(pts.clone());
+        let moved = Polygon2::new(pts.into_iter().map(|p| p + d).collect());
+        prop_assert!((poly.signed_area() - moved.signed_area()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn segment_distance_is_symmetric_under_reversal(s0 in vec2(), s1 in vec2(), p in vec2()) {
+        let a = Segment2::new(s0, s1);
+        let b = Segment2::new(s1, s0);
+        prop_assert!((a.distance_to_point(p) - b.distance_to_point(p)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bezier_subdivision_stays_within_deviation(
+        p0 in vec2(), p1 in vec2(), p2 in vec2(), p3 in vec2(),
+        dev in 0.01..1.0f64,
+    ) {
+        let c = CubicBezier::new(p0, p1, p2, p3);
+        let params = SubdivisionParams::new(1.0, dev);
+        let chain = c.subdivide(&params);
+        prop_assert!(chain.len() >= 2);
+        // Every sampled curve point lies within `dev` of the chain.
+        for i in 0..=64 {
+            let p = c.point_at(i as f64 / 64.0);
+            let d = chain
+                .windows(2)
+                .map(|w| Segment2::new(w[0], w[1]).distance_to_point(p))
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!(d <= dev + 1e-6, "deviation {d} > {dev}");
+        }
+    }
+
+    #[test]
+    fn bezier_split_preserves_endpoints(
+        p0 in vec2(), p1 in vec2(), p2 in vec2(), p3 in vec2(), t in 0.05..0.95f64,
+    ) {
+        let c = CubicBezier::new(p0, p1, p2, p3);
+        let (a, b) = c.split(t);
+        prop_assert!(a.start().approx_eq(c.start(), Tolerance::new(1e-9)));
+        prop_assert!(b.end().approx_eq(c.end(), Tolerance::new(1e-9)));
+        prop_assert!(a.end().approx_eq(c.point_at(t), Tolerance::new(1e-6)));
+    }
+
+    #[test]
+    fn mismatch_metrics_are_symmetric(
+        a in proptest::collection::vec(vec2(), 2..10),
+        b in proptest::collection::vec(vec2(), 2..10),
+    ) {
+        prop_assert!((chain_mismatch(&a, &b) - chain_mismatch(&b, &a)).abs() < 1e-12);
+        prop_assert!((vertex_mismatch(&a, &b) - vertex_mismatch(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_plane_intersection_points_lie_on_plane(
+        a in vec3(), b in vec3(), c in vec3(), z in -50.0..50.0f64,
+    ) {
+        let t = Triangle3::new(a, b, c);
+        if let Some((p, q)) = t.intersect_z_plane(z) {
+            prop_assert!((p.z - z).abs() < 1e-9);
+            prop_assert!((q.z - z).abs() < 1e-9);
+            prop_assert!(p.distance(q) > 0.0);
+        }
+    }
+
+    #[test]
+    fn aabb_contains_its_generators(pts in proptest::collection::vec(vec3(), 1..16)) {
+        let b = am_geom::Aabb3::from_points(pts.iter().copied()).unwrap();
+        for p in &pts {
+            prop_assert!(b.contains(*p));
+        }
+    }
+}
+
+#[test]
+fn point2_is_point3_projection_consistency() {
+    let p = Point3::new(1.0, 2.0, 3.0);
+    let q: Point2 = p.to_2d();
+    assert_eq!(q.to_3d(3.0), p);
+}

@@ -1,0 +1,382 @@
+//! Mesh diagnostics: topology checks, T-junctions and seam-gap measurement.
+//!
+//! Table 1 of the paper lists "review 3D rendering / file contents /
+//! manifold geometry errors" as the defender-side mitigation at the STL
+//! stage. This module is that reviewer's toolbox — and it also quantifies
+//! the tessellation-induced gaps of Fig. 4 that ObfusCADe plants on purpose.
+
+use std::collections::HashMap;
+
+use am_cad::{ProfileEdge, ResolvedPart, SolidShape};
+use am_geom::spline::{chain_mismatch, chains_conforming, vertex_mismatch};
+use am_geom::{Point2, Segment2, SubdivisionParams, Tolerance};
+
+use crate::TriMesh;
+
+/// Summary of a mesh's edge topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TopologyReport {
+    /// Distinct undirected edges.
+    pub edges: usize,
+    /// Edges used by exactly one triangle (holes in the surface).
+    pub boundary_edges: usize,
+    /// Edges used by three or more triangles.
+    pub non_manifold_edges: usize,
+    /// Edges used twice but in the same direction (inconsistent winding).
+    pub misoriented_edges: usize,
+}
+
+impl TopologyReport {
+    /// `true` if the mesh is a closed, consistently oriented 2-manifold.
+    pub fn is_watertight(&self) -> bool {
+        self.boundary_edges == 0 && self.non_manifold_edges == 0 && self.misoriented_edges == 0
+    }
+}
+
+/// Analyzes the edge topology of a mesh.
+///
+/// # Examples
+///
+/// ```
+/// use am_cad::parts::{intact_prism, PrismDims};
+/// use am_mesh::{analyze_topology, tessellate_part, Resolution};
+///
+/// let part = intact_prism(&PrismDims::default()).resolve()?;
+/// let mesh = tessellate_part(&part, &Resolution::Fine.params());
+/// assert!(analyze_topology(&mesh).is_watertight());
+/// # Ok::<(), am_cad::CadError>(())
+/// ```
+pub fn analyze_topology(mesh: &TriMesh) -> TopologyReport {
+    // For each undirected edge: (forward uses, backward uses).
+    let mut edges: HashMap<(u32, u32), (u32, u32)> = HashMap::new();
+    for &[a, b, c] in mesh.indices() {
+        for (u, v) in [(a, b), (b, c), (c, a)] {
+            let (key, forward) = if u < v { ((u, v), true) } else { ((v, u), false) };
+            let entry = edges.entry(key).or_insert((0, 0));
+            if forward {
+                entry.0 += 1;
+            } else {
+                entry.1 += 1;
+            }
+        }
+    }
+    let mut report = TopologyReport { edges: edges.len(), ..TopologyReport::default() };
+    for &(f, r) in edges.values() {
+        let total = f + r;
+        match total {
+            1 => report.boundary_edges += 1,
+            2 => {
+                if f != 1 {
+                    report.misoriented_edges += 1;
+                }
+            }
+            _ => report.non_manifold_edges += 1,
+        }
+    }
+    report
+}
+
+/// `true` if the mesh is a closed, consistently oriented 2-manifold.
+pub fn is_watertight(mesh: &TriMesh) -> bool {
+    analyze_topology(mesh).is_watertight()
+}
+
+/// Counts T-junctions: mesh vertices lying strictly inside another
+/// triangle's edge (within `tol`), the signature defect of non-conforming
+/// tessellations across a split boundary.
+pub fn t_junction_count(mesh: &TriMesh, tol: Tolerance) -> usize {
+    let verts = mesh.vertices();
+    if verts.is_empty() {
+        return 0;
+    }
+    // Spatial hash of vertices for near-edge lookup.
+    let cell = 1.0f64;
+    let key = |x: f64, y: f64, z: f64| {
+        ((x / cell).floor() as i64, (y / cell).floor() as i64, (z / cell).floor() as i64)
+    };
+    let mut grid: HashMap<(i64, i64, i64), Vec<u32>> = HashMap::new();
+    for (i, v) in verts.iter().enumerate() {
+        grid.entry(key(v.x, v.y, v.z)).or_default().push(i as u32);
+    }
+
+    let mut hits: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    let mut seen_edges: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+    for &[a, b, c] in mesh.indices() {
+        for (u, v) in [(a, b), (b, c), (c, a)] {
+            let ekey = if u < v { (u, v) } else { (v, u) };
+            if !seen_edges.insert(ekey) {
+                continue;
+            }
+            let p = verts[u as usize];
+            let q = verts[v as usize];
+            let lo = key(p.x.min(q.x) - tol.value(), p.y.min(q.y) - tol.value(), p.z.min(q.z) - tol.value());
+            let hi = key(p.x.max(q.x) + tol.value(), p.y.max(q.y) + tol.value(), p.z.max(q.z) + tol.value());
+            for gx in lo.0..=hi.0 {
+                for gy in lo.1..=hi.1 {
+                    for gz in lo.2..=hi.2 {
+                        let Some(bucket) = grid.get(&(gx, gy, gz)) else { continue };
+                        for &w in bucket {
+                            if w == u || w == v {
+                                continue;
+                            }
+                            let x = verts[w as usize];
+                            if x.distance(p) <= tol.value() || x.distance(q) <= tol.value() {
+                                continue;
+                            }
+                            // Distance from x to segment pq.
+                            let d = q - p;
+                            let len2 = d.length_squared();
+                            if len2 == 0.0 {
+                                continue;
+                            }
+                            let t = ((x - p).dot(d) / len2).clamp(0.0, 1.0);
+                            if t <= 0.0 || t >= 1.0 {
+                                continue;
+                            }
+                            if (p + d * t).distance(x) <= tol.value() {
+                                hits.insert(w);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    hits.len()
+}
+
+/// Quantification of the tessellation mismatch along a planted split seam
+/// (the gaps of Fig. 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeamReport {
+    /// Worst distance between seam breakpoints of the two bodies (T-junction
+    /// severity).
+    pub vertex_mismatch: f64,
+    /// Worst geometric distance between the two chord chains (open-gap
+    /// width).
+    pub chain_mismatch: f64,
+    /// Breakpoints on the first body's side of the seam.
+    pub chain_a_points: usize,
+    /// Breakpoints on the second body's side of the seam.
+    pub chain_b_points: usize,
+    /// `true` if the two tessellations share every breakpoint (conforming —
+    /// no gap).
+    pub conforming: bool,
+    /// Gap samples along the seam: (normalized arc position, local gap).
+    pub profile: Vec<(f64, f64)>,
+}
+
+/// Measures the seam mismatch of a spline-split part at the given
+/// resolution.
+///
+/// Returns `None` if the part has no split seam (e.g. an intact bar).
+///
+/// # Examples
+///
+/// ```
+/// use am_cad::parts::{tensile_bar_with_spline, TensileBarDims};
+/// use am_mesh::{seam_report, Resolution};
+///
+/// let part = tensile_bar_with_spline(&TensileBarDims::default())?.resolve()?;
+/// let coarse = seam_report(&part, &Resolution::Coarse.params()).unwrap();
+/// let fine = seam_report(&part, &Resolution::Fine.params()).unwrap();
+/// assert!(fine.chain_mismatch < coarse.chain_mismatch);
+/// # Ok::<(), am_cad::CadError>(())
+/// ```
+pub fn seam_report(part: &ResolvedPart, params: &SubdivisionParams) -> Option<SeamReport> {
+    let seam = part.seams().first()?;
+    // Collect the spline chains of the two split bodies. Each split body's
+    // profile has exactly one spline edge (the seam).
+    let mut chains: Vec<Vec<Point2>> = Vec::new();
+    for shell in part.shells() {
+        if let SolidShape::Extrusion { profile, .. } = &shell.shape {
+            for edge in profile.edges() {
+                if let ProfileEdge::Spline(c) = edge {
+                    chains.push(c.subdivide(params));
+                }
+            }
+        }
+    }
+    if chains.len() < 2 {
+        return None;
+    }
+    let a = &chains[0];
+    let mut b = chains[1].clone();
+    // Align traversal directions before comparing (the two bodies walk the
+    // seam in opposite directions).
+    let a0 = a[0];
+    if a0.distance(b[0]) > a0.distance(*b.last().expect("chains are non-empty")) {
+        b.reverse();
+    }
+
+    // Local gap profile along the true seam curve.
+    let samples = 64;
+    let profile: Vec<(f64, f64)> = (0..=samples)
+        .map(|i| {
+            let t = i as f64 / samples as f64;
+            let p = seam.point_at(t);
+            let d_a = chain_distance(a, p);
+            let d_b = chain_distance(&b, p);
+            (t, d_a + d_b)
+        })
+        .collect();
+
+    Some(SeamReport {
+        vertex_mismatch: vertex_mismatch(a, &b),
+        chain_mismatch: chain_mismatch(a, &b),
+        chain_a_points: a.len(),
+        chain_b_points: b.len(),
+        conforming: chains_conforming(a, &b, Tolerance::new(1e-9)),
+        profile,
+    })
+}
+
+fn chain_distance(chain: &[Point2], p: Point2) -> f64 {
+    chain
+        .windows(2)
+        .map(|w| Segment2::new(w[0], w[1]).distance_to_point(p))
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{tessellate_part, tessellate_shells, Resolution};
+    use am_cad::parts::{
+        intact_prism, prism_with_sphere, tensile_bar, tensile_bar_with_spline, PrismDims,
+        TensileBarDims,
+    };
+    use am_cad::{BodyKind, MaterialRemoval};
+
+    #[test]
+    fn prism_mesh_is_watertight() {
+        let part = intact_prism(&PrismDims::default()).resolve().unwrap();
+        let mesh = tessellate_part(&part, &Resolution::Fine.params());
+        let report = analyze_topology(&mesh);
+        assert!(report.is_watertight(), "{report:?}");
+        // Euler characteristic of a sphere-topology mesh: V − E + F = 2.
+        let euler =
+            mesh.vertex_count() as i64 - report.edges as i64 + mesh.triangle_count() as i64;
+        assert_eq!(euler, 2);
+    }
+
+    #[test]
+    fn every_shell_of_every_experiment_part_is_watertight() {
+        let dims = PrismDims::default();
+        for kind in [BodyKind::Solid, BodyKind::Surface] {
+            for removal in [MaterialRemoval::With, MaterialRemoval::Without] {
+                let part = prism_with_sphere(&dims, kind, removal).unwrap().resolve().unwrap();
+                for (i, mesh) in
+                    tessellate_shells(&part, &Resolution::Coarse.params()).iter().enumerate()
+                {
+                    assert!(is_watertight(mesh), "shell {i} of {}", part.name());
+                }
+            }
+        }
+        let bar = tensile_bar_with_spline(&TensileBarDims::default()).unwrap().resolve().unwrap();
+        for (i, mesh) in tessellate_shells(&bar, &Resolution::Coarse.params()).iter().enumerate() {
+            assert!(is_watertight(mesh), "bar shell {i}");
+        }
+    }
+
+    #[test]
+    fn merged_split_export_is_not_conforming() {
+        // Each body is watertight alone, but the merged export keeps two
+        // independent boundaries along the seam — no shared edges between
+        // bodies, which is how the defect hides from naive volume checks.
+        let part = tensile_bar_with_spline(&TensileBarDims::default()).unwrap().resolve().unwrap();
+        let merged = tessellate_part(&part, &Resolution::Coarse.params());
+        let report = analyze_topology(&merged);
+        assert!(report.is_watertight(), "two disjoint watertight bodies: {report:?}");
+        let shells = tessellate_shells(&part, &Resolution::Coarse.params());
+        assert!(shells.iter().all(is_watertight));
+    }
+
+    #[test]
+    fn open_mesh_reports_boundary_edges() {
+        use crate::MeshBuilder;
+        use am_geom::{Point3, Triangle3};
+        let mut b = MeshBuilder::new();
+        b.push(Triangle3::new(Point3::ZERO, Point3::X, Point3::Y));
+        let report = analyze_topology(&b.build());
+        assert_eq!(report.boundary_edges, 3);
+        assert!(!report.is_watertight());
+    }
+
+    #[test]
+    fn misoriented_edge_detected() {
+        use crate::MeshBuilder;
+        use am_geom::{Point3, Triangle3};
+        let mut b = MeshBuilder::new();
+        // Two triangles sharing edge (0,0,0)-(1,0,0) traversed the same way.
+        b.push(Triangle3::new(Point3::ZERO, Point3::X, Point3::Y));
+        b.push(Triangle3::new(Point3::ZERO, Point3::X, Point3::new(0.0, 0.0, -1.0)));
+        let report = analyze_topology(&b.build());
+        assert_eq!(report.misoriented_edges, 1);
+    }
+
+    #[test]
+    fn seam_mismatch_shrinks_with_resolution_but_never_conforms() {
+        let part = tensile_bar_with_spline(&TensileBarDims::default()).unwrap().resolve().unwrap();
+        let reports: Vec<SeamReport> = Resolution::ALL
+            .iter()
+            .map(|r| seam_report(&part, &r.params()).unwrap())
+            .collect();
+        // The open-gap width shrinks with finer resolution…
+        assert!(reports[0].chain_mismatch > reports[1].chain_mismatch);
+        assert!(reports[1].chain_mismatch > reports[2].chain_mismatch);
+        // …and T-junction severity is worst at Coarse.
+        assert!(reports[0].vertex_mismatch >= reports[2].vertex_mismatch);
+        // …but the split itself survives every resolution (the zero-volume
+        // separation is exact), and the chains never fully conform.
+        for r in &reports {
+            assert!(!r.conforming, "{r:?}");
+            assert!(r.vertex_mismatch > 0.0);
+        }
+    }
+
+    #[test]
+    fn intact_bar_has_no_seam() {
+        let part = tensile_bar(&TensileBarDims::default()).unwrap().resolve().unwrap();
+        assert!(seam_report(&part, &Resolution::Coarse.params()).is_none());
+    }
+
+    #[test]
+    fn seam_profile_covers_whole_seam() {
+        let part = tensile_bar_with_spline(&TensileBarDims::default()).unwrap().resolve().unwrap();
+        let report = seam_report(&part, &Resolution::Coarse.params()).unwrap();
+        assert_eq!(report.profile.len(), 65);
+        assert_eq!(report.profile[0].0, 0.0);
+        assert_eq!(report.profile.last().unwrap().0, 1.0);
+        // Endpoints are shared exactly (both chains start/end on the
+        // boundary), so the gap vanishes there.
+        assert!(report.profile[0].1 < 1e-9);
+        assert!(report.profile.last().unwrap().1 < 1e-9);
+        // Somewhere in the middle the gap is non-trivial at Coarse.
+        let max_gap = report.profile.iter().map(|&(_, g)| g).fold(0.0, f64::max);
+        assert!(max_gap > 0.01, "max gap {max_gap}");
+    }
+
+    #[test]
+    fn t_junctions_absent_in_clean_mesh() {
+        let part = intact_prism(&PrismDims::default()).resolve().unwrap();
+        let mesh = tessellate_part(&part, &Resolution::Fine.params());
+        assert_eq!(t_junction_count(&mesh, Tolerance::new(1e-6)), 0);
+    }
+
+    #[test]
+    fn t_junction_detected_in_constructed_case() {
+        use crate::MeshBuilder;
+        use am_geom::{Point3, Triangle3};
+        let mut b = MeshBuilder::new();
+        // Edge from (0,0,0) to (2,0,0); a second triangle's vertex sits at
+        // the midpoint (1,0,0) without splitting the edge.
+        b.push(Triangle3::new(Point3::ZERO, Point3::new(2.0, 0.0, 0.0), Point3::Y));
+        b.push(Triangle3::new(
+            Point3::new(1.0, 0.0, 0.0),
+            Point3::new(3.0, 0.0, -1.0),
+            Point3::new(1.0, 0.0, -1.0),
+        ));
+        assert_eq!(t_junction_count(&b.build(), Tolerance::new(1e-9)), 1);
+    }
+}

@@ -1,0 +1,59 @@
+//! Triangle meshes, resolution-controlled tessellation, STL I/O and mesh
+//! diagnostics for the ObfusCADe toolchain.
+//!
+//! This crate is the STL-export stage of the paper's process chain (Fig. 1):
+//!
+//! * [`TriMesh`]/[`MeshBuilder`] — indexed triangle meshes with on-the-fly
+//!   vertex welding.
+//! * [`Resolution`] — the Coarse/Fine/Custom export presets of Fig. 5,
+//!   mapping to angle + deviation subdivision tolerances.
+//! * [`tessellate_part`]/[`tessellate_shell`] — per-body tessellation of
+//!   resolved CAD parts; bodies sharing a spline boundary tessellate it
+//!   independently, producing the mismatched seams of Fig. 4.
+//! * [`write_binary_stl`]/[`write_ascii_stl`]/[`read_stl`] — STL I/O with
+//!   [exact file sizes](binary_stl_size).
+//! * [`analyze_topology`]/[`seam_report`]/[`t_junction_count`] — the
+//!   defender's STL-stage review toolbox (Table 1) and the Fig. 4 gap
+//!   metrics.
+//! * [`weld_vertices`] — the attacker's repair tool, used by the ablation
+//!   experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use am_cad::parts::{tensile_bar_with_spline, TensileBarDims};
+//! use am_mesh::{seam_report, tessellate_part, Resolution};
+//!
+//! let part = tensile_bar_with_spline(&TensileBarDims::default())?.resolve()?;
+//! let mesh = tessellate_part(&part, &Resolution::Coarse.params());
+//! assert!(mesh.triangle_count() > 0);
+//!
+//! // The planted seam never tessellates conformingly.
+//! let seam = seam_report(&part, &Resolution::Coarse.params()).unwrap();
+//! assert!(!seam.conforming);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod diagnostics;
+mod mesh;
+mod repair;
+mod resolution;
+mod stl;
+mod tamper;
+mod tessellate;
+
+pub use diagnostics::{
+    analyze_topology, is_watertight, seam_report, t_junction_count, SeamReport, TopologyReport,
+};
+pub use mesh::{MeshBuilder, TriMesh};
+pub use repair::{weld_vertices, WeldReport};
+pub use resolution::Resolution;
+pub use stl::{binary_stl_size, read_stl, write_ascii_stl, write_binary_stl, StlError};
+pub use tamper::{
+    endpoint_attack, fingerprint, scale_attack, verify_fingerprint, void_attack, Fingerprint,
+    TamperEvidence,
+};
+pub use tessellate::{tessellate_part, tessellate_shell, tessellate_shells};

@@ -1,0 +1,433 @@
+//! Indexed triangle meshes.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use am_geom::{Aabb3, Point3, Tolerance, Transform3, Triangle3};
+
+/// An indexed triangle mesh: shared vertices plus index triples.
+///
+/// Triangles follow the STL convention — counter-clockwise winding seen from
+/// outside the solid, so the right-hand-rule normal points outward.
+///
+/// # Examples
+///
+/// ```
+/// use am_mesh::MeshBuilder;
+/// use am_geom::{Point3, Triangle3};
+///
+/// let mut b = MeshBuilder::new();
+/// b.push(Triangle3::new(
+///     Point3::new(0.0, 0.0, 0.0),
+///     Point3::new(1.0, 0.0, 0.0),
+///     Point3::new(0.0, 1.0, 0.0),
+/// ));
+/// let mesh = b.build();
+/// assert_eq!(mesh.triangle_count(), 1);
+/// assert_eq!(mesh.vertex_count(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TriMesh {
+    vertices: Vec<Point3>,
+    triangles: Vec<[u32; 3]>,
+}
+
+impl TriMesh {
+    /// An empty mesh.
+    pub fn new() -> Self {
+        TriMesh::default()
+    }
+
+    /// Creates a mesh from raw vertex and index arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn from_raw(vertices: Vec<Point3>, triangles: Vec<[u32; 3]>) -> Self {
+        let n = vertices.len() as u32;
+        for t in &triangles {
+            assert!(t.iter().all(|&i| i < n), "triangle index out of bounds");
+        }
+        TriMesh { vertices, triangles }
+    }
+
+    /// The shared vertices.
+    pub fn vertices(&self) -> &[Point3] {
+        &self.vertices
+    }
+
+    /// The triangle index triples.
+    pub fn indices(&self) -> &[[u32; 3]] {
+        &self.triangles
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of triangles.
+    pub fn triangle_count(&self) -> usize {
+        self.triangles.len()
+    }
+
+    /// `true` if the mesh has no triangles.
+    pub fn is_empty(&self) -> bool {
+        self.triangles.is_empty()
+    }
+
+    /// The `i`-th triangle as geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn triangle(&self, i: usize) -> Triangle3 {
+        let [a, b, c] = self.triangles[i];
+        Triangle3::new(
+            self.vertices[a as usize],
+            self.vertices[b as usize],
+            self.vertices[c as usize],
+        )
+    }
+
+    /// Iterates over triangles as geometry.
+    pub fn triangles(&self) -> impl Iterator<Item = Triangle3> + '_ {
+        (0..self.triangle_count()).map(|i| self.triangle(i))
+    }
+
+    /// Bounding box, or `None` for an empty mesh.
+    pub fn aabb(&self) -> Option<Aabb3> {
+        Aabb3::from_points(self.vertices.iter().copied())
+    }
+
+    /// Total surface area.
+    pub fn surface_area(&self) -> f64 {
+        self.triangles().map(|t| t.area()).sum()
+    }
+
+    /// Signed enclosed volume (meaningful for closed, consistently oriented
+    /// meshes; positive when normals point outward).
+    pub fn signed_volume(&self) -> f64 {
+        self.triangles().map(|t| t.signed_volume()).sum()
+    }
+
+    /// The mesh with every triangle's winding reversed (normals flipped).
+    pub fn flipped(&self) -> TriMesh {
+        TriMesh {
+            vertices: self.vertices.clone(),
+            triangles: self.triangles.iter().map(|&[a, b, c]| [a, c, b]).collect(),
+        }
+    }
+
+    /// The mesh transformed by a rigid transform.
+    pub fn transformed(&self, t: &Transform3) -> TriMesh {
+        TriMesh {
+            vertices: self.vertices.iter().map(|&v| t.apply(v)).collect(),
+            triangles: self.triangles.clone(),
+        }
+    }
+
+    /// Appends all triangles of `other` (vertices are copied, not welded;
+    /// use [`crate::weld_vertices`] afterwards if welding is wanted).
+    pub fn merge(&mut self, other: &TriMesh) {
+        let offset = self.vertices.len() as u32;
+        self.vertices.extend_from_slice(&other.vertices);
+        self.triangles.extend(
+            other.triangles.iter().map(|&[a, b, c]| [a + offset, b + offset, c + offset]),
+        );
+    }
+
+    /// Number of degenerate (zero-area) triangles under `tol`.
+    pub fn degenerate_count(&self, tol: Tolerance) -> usize {
+        self.triangles().filter(|t| t.is_degenerate(tol)).count()
+    }
+
+    /// Splits the mesh into edge-connected components (shells).
+    ///
+    /// Connectivity is by **shared edges**, not shared vertices: two closed
+    /// bodies that merely touch at isolated points (e.g. the two halves of
+    /// a spline-split part, which share the seam's endpoints after STL
+    /// vertex welding) remain separate components. This is how a slicer
+    /// recovers the bodies of a multi-body STL file.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use am_cad::parts::{tensile_bar_with_spline, TensileBarDims};
+    /// use am_mesh::{tessellate_part, Resolution};
+    ///
+    /// let part = tensile_bar_with_spline(&TensileBarDims::default())?.resolve()?;
+    /// let merged = tessellate_part(&part, &Resolution::Coarse.params());
+    /// assert_eq!(merged.connected_components().len(), 2); // the two split bodies
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn connected_components(&self) -> Vec<TriMesh> {
+        use std::collections::HashMap;
+        let n = self.triangles.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Union-find over triangles, joined through shared undirected edges.
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], mut i: u32) -> u32 {
+            while parent[i as usize] != i {
+                parent[i as usize] = parent[parent[i as usize] as usize];
+                i = parent[i as usize];
+            }
+            i
+        }
+        // Collect triangle incidences per undirected edge, then union only
+        // through *manifold* edges (exactly two incident triangles): where
+        // two bodies touch along a coincident wall edge — e.g. the welded
+        // seam endpoints of a split part — the edge has four incidences and
+        // must not join the bodies.
+        let mut edge_tris: HashMap<(u32, u32), Vec<u32>> = HashMap::new();
+        for (t, &[a, b, c]) in self.triangles.iter().enumerate() {
+            for (u, v) in [(a, b), (b, c), (c, a)] {
+                let key = if u < v { (u, v) } else { (v, u) };
+                edge_tris.entry(key).or_default().push(t as u32);
+            }
+        }
+        for tris in edge_tris.values() {
+            if tris.len() == 2 {
+                let (ra, rb) = (find(&mut parent, tris[0]), find(&mut parent, tris[1]));
+                if ra != rb {
+                    parent[ra as usize] = rb;
+                }
+            }
+        }
+        // Group triangles by root and rebuild per-component meshes.
+        let mut groups: HashMap<u32, Vec<usize>> = HashMap::new();
+        for t in 0..n {
+            groups.entry(find(&mut parent, t as u32)).or_default().push(t);
+        }
+        let mut components: Vec<TriMesh> = groups
+            .into_values()
+            .map(|tris| {
+                let mut b = MeshBuilder::new();
+                for t in tris {
+                    b.push(self.triangle(t));
+                }
+                b.build()
+            })
+            .collect();
+        // Deterministic order: largest first, then by bounding box corner.
+        components.sort_by(|a, b| {
+            b.triangle_count()
+                .cmp(&a.triangle_count())
+                .then_with(|| {
+                    let (ba, bb) = (a.aabb(), b.aabb());
+                    match (ba, bb) {
+                        (Some(x), Some(y)) => x
+                            .min
+                            .x
+                            .partial_cmp(&y.min.x)
+                            .unwrap_or(std::cmp::Ordering::Equal),
+                        _ => std::cmp::Ordering::Equal,
+                    }
+                })
+        });
+        components
+    }
+}
+
+impl fmt::Display for TriMesh {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mesh[{} verts, {} tris]", self.vertex_count(), self.triangle_count())
+    }
+}
+
+/// Incrementally builds a [`TriMesh`], welding coincident vertices on the
+/// fly by quantized coordinates.
+#[derive(Debug, Clone)]
+pub struct MeshBuilder {
+    quantum: f64,
+    map: HashMap<(i64, i64, i64), u32>,
+    vertices: Vec<Point3>,
+    triangles: Vec<[u32; 3]>,
+}
+
+impl MeshBuilder {
+    /// A builder with the default weld quantum (1e-7 mm).
+    pub fn new() -> Self {
+        MeshBuilder::with_quantum(1e-7)
+    }
+
+    /// A builder welding vertices that agree within `quantum` in each
+    /// coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum` is not positive and finite.
+    pub fn with_quantum(quantum: f64) -> Self {
+        assert!(quantum.is_finite() && quantum > 0.0, "quantum must be positive");
+        MeshBuilder { quantum, map: HashMap::new(), vertices: Vec::new(), triangles: Vec::new() }
+    }
+
+    fn key(&self, p: Point3) -> (i64, i64, i64) {
+        let q = self.quantum;
+        ((p.x / q).round() as i64, (p.y / q).round() as i64, (p.z / q).round() as i64)
+    }
+
+    /// Interns a vertex, returning its index.
+    pub fn vertex(&mut self, p: Point3) -> u32 {
+        let key = self.key(p);
+        if let Some(&i) = self.map.get(&key) {
+            return i;
+        }
+        let i = self.vertices.len() as u32;
+        self.vertices.push(p);
+        self.map.insert(key, i);
+        i
+    }
+
+    /// Adds a triangle (skipping exact point-repeats).
+    pub fn push(&mut self, t: Triangle3) {
+        let a = self.vertex(t.a());
+        let b = self.vertex(t.b());
+        let c = self.vertex(t.c());
+        if a != b && b != c && a != c {
+            self.triangles.push([a, b, c]);
+        }
+    }
+
+    /// Adds a triangle by vertex indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds or the triangle is degenerate in
+    /// indices.
+    pub fn push_indices(&mut self, tri: [u32; 3]) {
+        let n = self.vertices.len() as u32;
+        assert!(tri.iter().all(|&i| i < n), "index out of bounds");
+        assert!(tri[0] != tri[1] && tri[1] != tri[2] && tri[0] != tri[2], "degenerate triangle");
+        self.triangles.push(tri);
+    }
+
+    /// Finishes the mesh.
+    pub fn build(self) -> TriMesh {
+        TriMesh { vertices: self.vertices, triangles: self.triangles }
+    }
+}
+
+impl Default for MeshBuilder {
+    fn default() -> Self {
+        MeshBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use am_geom::Vec3;
+
+    fn quad_mesh() -> TriMesh {
+        let mut b = MeshBuilder::new();
+        let p = [
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(1.0, 0.0, 0.0),
+            Point3::new(1.0, 1.0, 0.0),
+            Point3::new(0.0, 1.0, 0.0),
+        ];
+        b.push(Triangle3::new(p[0], p[1], p[2]));
+        b.push(Triangle3::new(p[0], p[2], p[3]));
+        b.build()
+    }
+
+    #[test]
+    fn builder_welds_shared_vertices() {
+        let m = quad_mesh();
+        assert_eq!(m.vertex_count(), 4);
+        assert_eq!(m.triangle_count(), 2);
+        assert!((m.surface_area() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_skips_degenerate() {
+        let mut b = MeshBuilder::new();
+        b.push(Triangle3::new(Point3::ZERO, Point3::ZERO, Point3::X));
+        assert_eq!(b.build().triangle_count(), 0);
+    }
+
+    #[test]
+    fn flipped_negates_volume() {
+        // A closed tetrahedron.
+        let mut b = MeshBuilder::new();
+        let (o, x, y, z) = (Point3::ZERO, Point3::X, Point3::Y, Point3::Z);
+        b.push(Triangle3::new(o, y, x));
+        b.push(Triangle3::new(o, x, z));
+        b.push(Triangle3::new(o, z, y));
+        b.push(Triangle3::new(x, y, z));
+        let m = b.build();
+        let v = m.signed_volume();
+        assert!((v - 1.0 / 6.0).abs() < 1e-12);
+        assert!((m.flipped().signed_volume() + v).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_offsets_indices() {
+        let mut m = quad_mesh();
+        let other = quad_mesh().transformed(&Transform3::translation(Vec3::new(5.0, 0.0, 0.0)));
+        m.merge(&other);
+        assert_eq!(m.triangle_count(), 4);
+        assert_eq!(m.vertex_count(), 8);
+        assert!((m.surface_area() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transform_preserves_topology_and_area() {
+        let m = quad_mesh();
+        let t = m.transformed(&Transform3::rotation_x(1.0));
+        assert_eq!(t.triangle_count(), m.triangle_count());
+        assert!((t.surface_area() - m.surface_area()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aabb_of_empty_mesh_is_none() {
+        assert!(TriMesh::new().aabb().is_none());
+        assert!(TriMesh::new().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn from_raw_validates_indices() {
+        let _ = TriMesh::from_raw(vec![Point3::ZERO], vec![[0, 1, 2]]);
+    }
+
+    #[test]
+    fn components_of_disjoint_quads() {
+        let mut m = quad_mesh();
+        let far = quad_mesh().transformed(&Transform3::translation(Vec3::new(10.0, 0.0, 0.0)));
+        m.merge(&far);
+        let parts = m.connected_components();
+        assert_eq!(parts.len(), 2);
+        assert!(parts.iter().all(|p| p.triangle_count() == 2));
+    }
+
+    #[test]
+    fn vertex_touching_bodies_stay_separate() {
+        // Two triangles sharing a single vertex but no edge.
+        let mut b = MeshBuilder::new();
+        b.push(Triangle3::new(Point3::ZERO, Point3::X, Point3::Y));
+        b.push(Triangle3::new(Point3::ZERO, -Point3::X, -Point3::Y));
+        assert_eq!(b.build().connected_components().len(), 2);
+    }
+
+    #[test]
+    fn single_component_round_trips() {
+        let m = quad_mesh();
+        let parts = m.connected_components();
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].triangle_count(), 2);
+        assert!((parts[0].surface_area() - m.surface_area()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_count() {
+        let mut b = MeshBuilder::new();
+        b.push(Triangle3::new(Point3::ZERO, Point3::X, Point3::new(2.0, 0.0, 0.0)));
+        b.push(Triangle3::new(Point3::ZERO, Point3::X, Point3::Y));
+        let m = b.build();
+        assert_eq!(m.degenerate_count(Tolerance::new(1e-6)), 1);
+    }
+}

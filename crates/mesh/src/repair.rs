@@ -1,0 +1,170 @@
+//! Mesh repair: tolerance-based vertex welding.
+//!
+//! This is the *attacker's* tool in the ObfusCADe threat model: a
+//! counterfeiter who suspects a planted split might try to weld the stolen
+//! STL back into a single solid. The ablation experiments use this module to
+//! show what welding can and cannot undo — welding closes the micro-gaps of
+//! Fig. 4 only if the weld tolerance exceeds the tessellation mismatch, and
+//! even then the interior separation wall remains unless the faces are also
+//! removed.
+
+use std::collections::HashMap;
+
+use am_geom::Tolerance;
+
+use crate::TriMesh;
+
+/// Statistics from a welding pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WeldReport {
+    /// Vertices before welding.
+    pub vertices_before: usize,
+    /// Vertices after welding.
+    pub vertices_after: usize,
+    /// Triangles dropped because welding made them degenerate.
+    pub triangles_dropped: usize,
+}
+
+/// Welds all vertices closer than `tol` together and drops triangles that
+/// collapse in the process. Returns the repaired mesh and a report.
+///
+/// Welding uses a quantized grid of cell size `tol`, checking the 27
+/// neighbouring cells, so vertices within `tol` of each other always merge
+/// (and some up to `2·tol·√3` apart may merge — standard for weld filters).
+///
+/// # Examples
+///
+/// ```
+/// use am_mesh::{weld_vertices, MeshBuilder};
+/// use am_geom::{Point3, Tolerance, Triangle3};
+///
+/// let mut b = MeshBuilder::with_quantum(1e-12);
+/// b.push(Triangle3::new(Point3::new(0.0, 0.0, 0.0), Point3::new(1.0, 0.0, 0.0), Point3::new(0.0, 1.0, 0.0)));
+/// // A second triangle whose shared edge is off by 1 µm.
+/// b.push(Triangle3::new(Point3::new(1e-6, 1e-6, 0.0), Point3::new(0.0, 1.0, 0.0), Point3::new(-1.0, 0.0, 0.0)));
+/// let (welded, report) = weld_vertices(&b.build(), Tolerance::new(1e-3));
+/// assert_eq!(report.vertices_after, 4);
+/// assert_eq!(welded.triangle_count(), 2);
+/// ```
+pub fn weld_vertices(mesh: &TriMesh, tol: Tolerance) -> (TriMesh, WeldReport) {
+    let eps = tol.value().max(1e-12);
+    let key = |x: f64| (x / eps).round() as i64;
+
+    let verts = mesh.vertices();
+    let mut grid: HashMap<(i64, i64, i64), Vec<u32>> = HashMap::new();
+    // representative[i] = canonical vertex index for original vertex i.
+    let mut representative: Vec<u32> = Vec::with_capacity(verts.len());
+
+    for (i, v) in verts.iter().enumerate() {
+        let (kx, ky, kz) = (key(v.x), key(v.y), key(v.z));
+        let mut rep: Option<u32> = None;
+        'search: for dx in -1..=1 {
+            for dy in -1..=1 {
+                for dz in -1..=1 {
+                    let Some(bucket) = grid.get(&(kx + dx, ky + dy, kz + dz)) else { continue };
+                    for &j in bucket {
+                        if verts[j as usize].distance(*v) <= eps {
+                            rep = Some(representative[j as usize]);
+                            break 'search;
+                        }
+                    }
+                }
+            }
+        }
+        let canon = rep.unwrap_or(i as u32);
+        representative.push(canon);
+        grid.entry((kx, ky, kz)).or_default().push(i as u32);
+    }
+
+    // Compact: keep only canonical vertices.
+    let mut remap: HashMap<u32, u32> = HashMap::new();
+    let mut new_verts = Vec::new();
+    for (i, &rep) in representative.iter().enumerate() {
+        if rep == i as u32 {
+            remap.insert(rep, new_verts.len() as u32);
+            new_verts.push(verts[i]);
+        }
+    }
+
+    let mut dropped = 0usize;
+    let mut new_tris = Vec::with_capacity(mesh.triangle_count());
+    for &[a, b, c] in mesh.indices() {
+        let (na, nb, nc) = (
+            remap[&representative[a as usize]],
+            remap[&representative[b as usize]],
+            remap[&representative[c as usize]],
+        );
+        if na == nb || nb == nc || na == nc {
+            dropped += 1;
+        } else {
+            new_tris.push([na, nb, nc]);
+        }
+    }
+
+    let report = WeldReport {
+        vertices_before: verts.len(),
+        vertices_after: new_verts.len(),
+        triangles_dropped: dropped,
+    };
+    (TriMesh::from_raw(new_verts, new_tris), report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze_topology, tessellate_part, Resolution};
+    use am_cad::parts::{tensile_bar_with_spline, TensileBarDims};
+
+    #[test]
+    fn welding_is_idempotent() {
+        let part = tensile_bar_with_spline(&TensileBarDims::default()).unwrap().resolve().unwrap();
+        let mesh = tessellate_part(&part, &Resolution::Coarse.params());
+        let tol = Tolerance::new(1e-4);
+        let (once, _) = weld_vertices(&mesh, tol);
+        let (twice, report) = weld_vertices(&once, tol);
+        assert_eq!(once.vertex_count(), twice.vertex_count());
+        assert_eq!(report.triangles_dropped, 0);
+    }
+
+    #[test]
+    fn tight_weld_does_not_merge_distinct_bodies() {
+        let part = tensile_bar_with_spline(&TensileBarDims::default()).unwrap().resolve().unwrap();
+        let mesh = tessellate_part(&part, &Resolution::Coarse.params());
+        // The seam mismatch at Coarse is ≳0.01 mm, far above this weld tol,
+        // so only exactly-coincident vertices (the shared seam endpoints and
+        // duplicated boundary corners of the two bodies) merge — the same
+        // set a zero-tolerance weld would merge.
+        let (welded, report) = weld_vertices(&mesh, Tolerance::new(1e-7));
+        let (_, exact) = weld_vertices(&mesh, Tolerance::new(1e-12));
+        assert_eq!(report.vertices_after, exact.vertices_after);
+        assert_eq!(report.triangles_dropped, 0);
+        assert_eq!(welded.triangle_count(), mesh.triangle_count());
+    }
+
+    #[test]
+    fn aggressive_weld_fuses_seam_vertices() {
+        let part = tensile_bar_with_spline(&TensileBarDims::default()).unwrap().resolve().unwrap();
+        let mesh = tessellate_part(&part, &Resolution::Coarse.params());
+        // Weld at 0.5 mm — wider than the Coarse seam mismatch.
+        let (welded, report) = weld_vertices(&mesh, Tolerance::new(0.5));
+        assert!(report.vertices_after < report.vertices_before);
+        // Fusing seam vertices creates shared (now non-manifold) interior
+        // walls: the weld *changes the topology*, it does not restore the
+        // intact part.
+        let topo = analyze_topology(&welded);
+        assert!(
+            topo.non_manifold_edges > 0 || topo.misoriented_edges > 0 || topo.boundary_edges > 0,
+            "weld should leave topological scars: {topo:?}"
+        );
+    }
+
+    #[test]
+    fn welding_preserves_volume_of_clean_mesh() {
+        use am_cad::parts::{intact_prism, PrismDims};
+        let part = intact_prism(&PrismDims::default()).resolve().unwrap();
+        let mesh = tessellate_part(&part, &Resolution::Fine.params());
+        let (welded, report) = weld_vertices(&mesh, Tolerance::new(1e-6));
+        assert_eq!(report.triangles_dropped, 0);
+        assert!((welded.signed_volume() - mesh.signed_volume()).abs() < 1e-9);
+    }
+}

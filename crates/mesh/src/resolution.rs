@@ -1,0 +1,92 @@
+//! STL export resolution presets (Fig. 5 of the paper).
+
+use std::fmt;
+
+use am_geom::SubdivisionParams;
+
+/// An STL export resolution: the *Coarse* and *Fine* presets plus the
+/// *Custom* setting the paper obtains by "manually adjusting the Angle and
+/// Deviation permitted for a curve to the smallest possible values".
+///
+/// Each resolution maps to a pair of curve-subdivision tolerances
+/// ([`SubdivisionParams`]): maximum facet angle and maximum chordal
+/// deviation.
+///
+/// # Examples
+///
+/// ```
+/// use am_mesh::Resolution;
+///
+/// let coarse = Resolution::Coarse.params();
+/// let fine = Resolution::Fine.params();
+/// assert!(fine.max_deviation() < coarse.max_deviation());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resolution {
+    /// The preset "Coarse" export setting: 30° angle, 0.25 mm deviation.
+    Coarse,
+    /// The preset "Fine" export setting: 10° angle, 0.05 mm deviation.
+    Fine,
+    /// The manually-maximized "Custom" setting: 2° angle, 0.002 mm
+    /// deviation.
+    Custom,
+}
+
+impl Resolution {
+    /// All three resolutions in paper order.
+    pub const ALL: [Resolution; 3] = [Resolution::Coarse, Resolution::Fine, Resolution::Custom];
+
+    /// The subdivision tolerances for this resolution.
+    pub fn params(self) -> SubdivisionParams {
+        match self {
+            Resolution::Coarse => SubdivisionParams::new(30f64.to_radians(), 0.25),
+            Resolution::Fine => SubdivisionParams::new(10f64.to_radians(), 0.05),
+            Resolution::Custom => SubdivisionParams::new(2f64.to_radians(), 0.002),
+        }
+    }
+
+    /// Angle tolerance in degrees (for reports).
+    pub fn angle_degrees(self) -> f64 {
+        self.params().max_angle().to_degrees()
+    }
+
+    /// Deviation tolerance in millimetres (for reports).
+    pub fn deviation_mm(self) -> f64 {
+        self.params().max_deviation()
+    }
+}
+
+impl fmt::Display for Resolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Resolution::Coarse => write!(f, "Coarse"),
+            Resolution::Fine => write!(f, "Fine"),
+            Resolution::Custom => write!(f, "Custom"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_strictly_ordered() {
+        let [c, f, x] = Resolution::ALL.map(Resolution::params);
+        assert!(c.max_angle() > f.max_angle() && f.max_angle() > x.max_angle());
+        assert!(c.max_deviation() > f.max_deviation() && f.max_deviation() > x.max_deviation());
+    }
+
+    #[test]
+    fn display_matches_paper_names() {
+        assert_eq!(Resolution::Coarse.to_string(), "Coarse");
+        assert_eq!(Resolution::Fine.to_string(), "Fine");
+        assert_eq!(Resolution::Custom.to_string(), "Custom");
+    }
+
+    #[test]
+    fn report_units() {
+        assert!((Resolution::Coarse.angle_degrees() - 30.0).abs() < 1e-9);
+        assert_eq!(Resolution::Fine.deviation_mm(), 0.05);
+    }
+}

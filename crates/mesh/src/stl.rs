@@ -1,0 +1,294 @@
+//! STL reading and writing (binary and ASCII), with exact file sizes.
+//!
+//! STL is the interchange format at the heart of the paper's process chain
+//! (Fig. 1): every facet carries a normal that tells the printer which side
+//! of the surface is solid. File sizes are part of the §3.2 evidence, so
+//! [`binary_stl_size`] is exact: `84 + 50 × triangles` bytes.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use am_geom::{Point3, Triangle3, Vec3};
+
+use crate::{MeshBuilder, TriMesh};
+
+/// Errors from STL parsing.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StlError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The data is not a valid STL file.
+    Malformed {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for StlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StlError::Io(e) => write!(f, "stl i/o error: {e}"),
+            StlError::Malformed { reason } => write!(f, "malformed stl: {reason}"),
+        }
+    }
+}
+
+impl Error for StlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StlError::Io(e) => Some(e),
+            StlError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for StlError {
+    fn from(e: io::Error) -> Self {
+        StlError::Io(e)
+    }
+}
+
+/// Exact size in bytes of a binary STL with `triangles` facets.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(am_mesh::binary_stl_size(0), 84);
+/// assert_eq!(am_mesh::binary_stl_size(12), 684);
+/// ```
+pub fn binary_stl_size(triangles: usize) -> u64 {
+    84 + 50 * triangles as u64
+}
+
+/// Writes `mesh` as binary STL. Facet normals are recomputed from geometry;
+/// degenerate facets get a zero normal.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_binary_stl<W: Write>(mesh: &TriMesh, mut writer: W) -> Result<(), StlError> {
+    let mut header = [0u8; 80];
+    let tag = b"obfuscade binary stl";
+    header[..tag.len()].copy_from_slice(tag);
+    writer.write_all(&header)?;
+    writer.write_all(&(mesh.triangle_count() as u32).to_le_bytes())?;
+    for tri in mesh.triangles() {
+        let n = tri.normal().unwrap_or(Vec3::ZERO);
+        write_vec_f32(&mut writer, n)?;
+        for v in tri.vertices {
+            write_vec_f32(&mut writer, v)?;
+        }
+        writer.write_all(&0u16.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Writes `mesh` as ASCII STL under the given solid `name`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_ascii_stl<W: Write>(mesh: &TriMesh, name: &str, mut writer: W) -> Result<(), StlError> {
+    writeln!(writer, "solid {name}")?;
+    for tri in mesh.triangles() {
+        let n = tri.normal().unwrap_or(Vec3::ZERO);
+        writeln!(writer, "  facet normal {:e} {:e} {:e}", n.x, n.y, n.z)?;
+        writeln!(writer, "    outer loop")?;
+        for v in tri.vertices {
+            writeln!(writer, "      vertex {:e} {:e} {:e}", v.x, v.y, v.z)?;
+        }
+        writeln!(writer, "    endloop")?;
+        writeln!(writer, "  endfacet")?;
+    }
+    writeln!(writer, "endsolid {name}")?;
+    Ok(())
+}
+
+/// Reads an STL file, auto-detecting ASCII vs binary.
+///
+/// # Errors
+///
+/// Returns [`StlError::Malformed`] for structurally invalid data and
+/// [`StlError::Io`] for read failures. Note that a `mut` reference to a
+/// reader can be passed where `R: Read` is expected.
+pub fn read_stl<R: Read>(mut reader: R) -> Result<TriMesh, StlError> {
+    let mut data = Vec::new();
+    reader.read_to_end(&mut data)?;
+    // ASCII files start with "solid" *and* contain "facet"; binary files may
+    // also start with "solid" in the header, so require both.
+    let looks_ascii = data.len() >= 5
+        && &data[..5] == b"solid"
+        && data
+            .windows(5)
+            .take(4096.min(data.len()))
+            .any(|w| w == b"facet");
+    if looks_ascii {
+        parse_ascii(&data)
+    } else {
+        parse_binary(&data)
+    }
+}
+
+fn write_vec_f32<W: Write>(writer: &mut W, v: Point3) -> io::Result<()> {
+    writer.write_all(&(v.x as f32).to_le_bytes())?;
+    writer.write_all(&(v.y as f32).to_le_bytes())?;
+    writer.write_all(&(v.z as f32).to_le_bytes())
+}
+
+fn parse_binary(data: &[u8]) -> Result<TriMesh, StlError> {
+    if data.len() < 84 {
+        return Err(StlError::Malformed { reason: "binary stl shorter than 84-byte preamble".into() });
+    }
+    let count = u32::from_le_bytes([data[80], data[81], data[82], data[83]]) as usize;
+    let expected = 84 + 50 * count;
+    if data.len() < expected {
+        return Err(StlError::Malformed {
+            reason: format!("binary stl truncated: {} bytes for {count} facets", data.len()),
+        });
+    }
+    let mut b = MeshBuilder::new();
+    for i in 0..count {
+        let off = 84 + 50 * i;
+        let f = |k: usize| -> f64 {
+            let o = off + 4 * k;
+            f32::from_le_bytes([data[o], data[o + 1], data[o + 2], data[o + 3]]) as f64
+        };
+        // Fields 0..2 are the stored normal (ignored: recomputed), 3..11 the
+        // vertices.
+        let tri = Triangle3::new(
+            Point3::new(f(3), f(4), f(5)),
+            Point3::new(f(6), f(7), f(8)),
+            Point3::new(f(9), f(10), f(11)),
+        );
+        b.push(tri);
+    }
+    Ok(b.build())
+}
+
+fn parse_ascii(data: &[u8]) -> Result<TriMesh, StlError> {
+    let text = std::str::from_utf8(data)
+        .map_err(|_| StlError::Malformed { reason: "ascii stl is not valid utf-8".into() })?;
+    let mut b = MeshBuilder::new();
+    let mut verts: Vec<Point3> = Vec::with_capacity(3);
+    for (lineno, line) in text.lines().enumerate() {
+        let mut tokens = line.split_whitespace();
+        match tokens.next() {
+            Some("vertex") => {
+                let mut coord = |name: &str| -> Result<f64, StlError> {
+                    tokens
+                        .next()
+                        .and_then(|t| t.parse::<f64>().ok())
+                        .ok_or_else(|| StlError::Malformed {
+                            reason: format!("line {}: bad {name} coordinate", lineno + 1),
+                        })
+                };
+                let x = coord("x")?;
+                let y = coord("y")?;
+                let z = coord("z")?;
+                verts.push(Point3::new(x, y, z));
+            }
+            Some("endloop") => {
+                if verts.len() != 3 {
+                    return Err(StlError::Malformed {
+                        reason: format!("line {}: loop with {} vertices", lineno + 1, verts.len()),
+                    });
+                }
+                b.push(Triangle3::new(verts[0], verts[1], verts[2]));
+                verts.clear();
+            }
+            _ => {}
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{tessellate_part, Resolution};
+    use am_cad::parts::{intact_prism, tensile_bar_with_spline, PrismDims, TensileBarDims};
+    use am_geom::Tolerance;
+
+    fn sample_mesh() -> TriMesh {
+        let part = intact_prism(&PrismDims::default()).resolve().unwrap();
+        tessellate_part(&part, &Resolution::Fine.params())
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_geometry() {
+        let mesh = sample_mesh();
+        let mut buf = Vec::new();
+        write_binary_stl(&mesh, &mut buf).unwrap();
+        assert_eq!(buf.len() as u64, binary_stl_size(mesh.triangle_count()));
+        let back = read_stl(&buf[..]).unwrap();
+        assert_eq!(back.triangle_count(), mesh.triangle_count());
+        assert!((back.signed_volume() - mesh.signed_volume()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ascii_round_trip_preserves_geometry() {
+        let mesh = sample_mesh();
+        let mut buf = Vec::new();
+        write_ascii_stl(&mesh, "prism", &mut buf).unwrap();
+        assert!(buf.starts_with(b"solid prism"));
+        let back = read_stl(&buf[..]).unwrap();
+        assert_eq!(back.triangle_count(), mesh.triangle_count());
+        assert!((back.signed_volume() - mesh.signed_volume()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn truncated_binary_rejected() {
+        let mesh = sample_mesh();
+        let mut buf = Vec::new();
+        write_binary_stl(&mesh, &mut buf).unwrap();
+        buf.truncate(buf.len() - 10);
+        assert!(matches!(read_stl(&buf[..]), Err(StlError::Malformed { .. })));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(read_stl(&b"not an stl"[..]).is_err());
+    }
+
+    #[test]
+    fn ascii_with_bad_vertex_rejected() {
+        let text = b"solid x\nfacet normal 0 0 1\nouter loop\nvertex 0 0 zero\nendloop\nendfacet\nendsolid x\n";
+        assert!(matches!(read_stl(&text[..]), Err(StlError::Malformed { .. })));
+    }
+
+    #[test]
+    fn binary_size_formula_exact() {
+        for n in [0usize, 1, 12, 1000] {
+            let mut b = MeshBuilder::new();
+            for i in 0..n {
+                let x = i as f64;
+                b.push(Triangle3::new(
+                    Point3::new(x, 0.0, 0.0),
+                    Point3::new(x + 0.5, 1.0, 0.0),
+                    Point3::new(x, 0.0, 1.0),
+                ));
+            }
+            let mesh = b.build();
+            let mut buf = Vec::new();
+            write_binary_stl(&mesh, &mut buf).unwrap();
+            assert_eq!(buf.len() as u64, binary_stl_size(n));
+        }
+    }
+
+    #[test]
+    fn split_tensile_bar_round_trips_losslessly_enough() {
+        // f32 quantization must not destroy the seam geometry.
+        let part = tensile_bar_with_spline(&TensileBarDims::default())
+            .unwrap()
+            .resolve()
+            .unwrap();
+        let mesh = tessellate_part(&part, &Resolution::Coarse.params());
+        let mut buf = Vec::new();
+        write_binary_stl(&mesh, &mut buf).unwrap();
+        let back = read_stl(&buf[..]).unwrap();
+        assert_eq!(back.triangle_count(), mesh.triangle_count());
+        assert_eq!(back.degenerate_count(Tolerance::new(1e-9)), 0);
+    }
+}

@@ -1,0 +1,271 @@
+//! STL-stage attacks and their detection (Table 1, "STL file" row).
+//!
+//! The paper lists the attacks on a stolen or in-transit STL file —
+//! "removal/addition of tetrahedrons (voids/protrusions), dimension & ratio
+//! scaling, shape changes, end point changes" — and the mitigations:
+//! reviewing geometry and "verification of digital signatures, file
+//! sizes/hashes". This module implements both sides: the attacks as mesh
+//! transformations, and the defender's [`Fingerprint`] verification.
+
+use am_geom::{Point3, Triangle3, Vec3};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{write_binary_stl, MeshBuilder, TriMesh};
+
+/// A compact integrity record of an STL export, registered by the design
+/// owner at release time and checked by every downstream party.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fingerprint {
+    /// Exact binary STL size in bytes.
+    pub bytes: u64,
+    /// Facet count.
+    pub triangles: u32,
+    /// FNV-1a hash of the binary STL payload.
+    pub hash: u64,
+    /// Enclosed volume, quantized to 0.01 mm³ (robust against float noise).
+    pub volume_centi_mm3: i64,
+}
+
+/// Computes the [`Fingerprint`] of a mesh's binary STL export.
+///
+/// # Examples
+///
+/// ```
+/// use am_cad::parts::{intact_prism, PrismDims};
+/// use am_mesh::{fingerprint, tessellate_part, Resolution};
+///
+/// let part = intact_prism(&PrismDims::default()).resolve()?;
+/// let mesh = tessellate_part(&part, &Resolution::Fine.params());
+/// let fp = fingerprint(&mesh);
+/// assert_eq!(fp, fingerprint(&mesh)); // deterministic
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn fingerprint(mesh: &TriMesh) -> Fingerprint {
+    let mut data = Vec::new();
+    write_binary_stl(mesh, &mut data).expect("in-memory write cannot fail");
+    // FNV-1a, 64-bit.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in &data {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    Fingerprint {
+        bytes: data.len() as u64,
+        triangles: mesh.triangle_count() as u32,
+        hash,
+        volume_centi_mm3: (mesh.signed_volume() * 100.0).round() as i64,
+    }
+}
+
+/// What a fingerprint check found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TamperEvidence {
+    /// File size differs (facets added or removed).
+    SizeChanged {
+        /// Expected size in bytes.
+        expected: u64,
+        /// Observed size in bytes.
+        observed: u64,
+    },
+    /// Content hash differs (any byte-level change, including pure
+    /// vertex shifts that keep the size).
+    HashChanged,
+    /// Enclosed volume differs (scaling, voids, protrusions).
+    VolumeChanged {
+        /// Expected volume (centi-mm³).
+        expected: i64,
+        /// Observed volume (centi-mm³).
+        observed: i64,
+    },
+}
+
+/// Verifies a received mesh against the registered fingerprint.
+///
+/// Returns every class of evidence found (empty = file is intact).
+pub fn verify_fingerprint(mesh: &TriMesh, expected: &Fingerprint) -> Vec<TamperEvidence> {
+    let observed = fingerprint(mesh);
+    let mut evidence = Vec::new();
+    if observed.bytes != expected.bytes {
+        evidence.push(TamperEvidence::SizeChanged {
+            expected: expected.bytes,
+            observed: observed.bytes,
+        });
+    }
+    if observed.hash != expected.hash {
+        evidence.push(TamperEvidence::HashChanged);
+    }
+    if observed.volume_centi_mm3 != expected.volume_centi_mm3 {
+        evidence.push(TamperEvidence::VolumeChanged {
+            expected: expected.volume_centi_mm3,
+            observed: observed.volume_centi_mm3,
+        });
+    }
+    evidence
+}
+
+/// The **scaling attack**: uniformly rescales the model ("dimension & ratio
+/// scaling"). A 3 % shrink ruins press-fit parts while looking identical on
+/// screen.
+///
+/// # Panics
+///
+/// Panics if `factor` is not positive and finite.
+pub fn scale_attack(mesh: &TriMesh, factor: f64) -> TriMesh {
+    assert!(factor.is_finite() && factor > 0.0, "scale factor must be positive");
+    let mut b = MeshBuilder::new();
+    for tri in mesh.triangles() {
+        b.push(Triangle3::new(
+            tri.a() * factor,
+            tri.b() * factor,
+            tri.c() * factor,
+        ));
+    }
+    b.build()
+}
+
+/// The **void-injection attack**: hides an inverted box shell inside the
+/// model ("removal/addition of tetrahedrons"), which prints as an internal
+/// void and weakens the part.
+pub fn void_attack(mesh: &TriMesh, center: Point3, half_extent: f64) -> TriMesh {
+    let mut out = mesh.clone();
+    let h = half_extent;
+    let corners = |sx: f64, sy: f64, sz: f64| center + Vec3::new(sx * h, sy * h, sz * h);
+    let (p000, p100, p010, p110) = (
+        corners(-1.0, -1.0, -1.0),
+        corners(1.0, -1.0, -1.0),
+        corners(-1.0, 1.0, -1.0),
+        corners(1.0, 1.0, -1.0),
+    );
+    let (p001, p101, p011, p111) = (
+        corners(-1.0, -1.0, 1.0),
+        corners(1.0, -1.0, 1.0),
+        corners(-1.0, 1.0, 1.0),
+        corners(1.0, 1.0, 1.0),
+    );
+    // An inward-oriented box (normals toward the centre = cavity).
+    let quads = [
+        [p000, p010, p110, p100], // bottom, inward = +z
+        [p001, p101, p111, p011], // top, inward = −z
+        [p000, p100, p101, p001],
+        [p100, p110, p111, p101],
+        [p110, p010, p011, p111],
+        [p010, p000, p001, p011],
+    ];
+    let mut b = MeshBuilder::new();
+    for q in quads {
+        b.push(Triangle3::new(q[0], q[2], q[1]));
+        b.push(Triangle3::new(q[0], q[3], q[2]));
+    }
+    out.merge(&b.build());
+    out
+}
+
+/// The **end-point attack**: nudges a few random vertices by `magnitude`
+/// ("end point changes") — enough to break a mating surface, small enough
+/// to pass a visual review.
+pub fn endpoint_attack(mesh: &TriMesh, magnitude: f64, count: usize, seed: u64) -> TriMesh {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut vertices = mesh.vertices().to_vec();
+    if vertices.is_empty() {
+        return mesh.clone();
+    }
+    for _ in 0..count {
+        let i = rng.gen_range(0..vertices.len());
+        let dir = Vec3::new(
+            rng.gen_range(-1.0..1.0),
+            rng.gen_range(-1.0..1.0),
+            rng.gen_range(-1.0..1.0),
+        );
+        let dir = dir.normalized().unwrap_or(Vec3::X);
+        vertices[i] += dir * magnitude;
+    }
+    TriMesh::from_raw(vertices, mesh.indices().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{tessellate_part, Resolution};
+    use am_cad::parts::{intact_prism, PrismDims};
+
+    fn prism_mesh() -> TriMesh {
+        let part = intact_prism(&PrismDims::default()).resolve().unwrap();
+        tessellate_part(&part, &Resolution::Fine.params())
+    }
+
+    #[test]
+    fn untampered_file_verifies_clean() {
+        let mesh = prism_mesh();
+        let fp = fingerprint(&mesh);
+        assert!(verify_fingerprint(&mesh, &fp).is_empty());
+    }
+
+    #[test]
+    fn scaling_attack_is_caught_by_hash_and_volume() {
+        let mesh = prism_mesh();
+        let fp = fingerprint(&mesh);
+        let scaled = scale_attack(&mesh, 0.97);
+        let evidence = verify_fingerprint(&scaled, &fp);
+        assert!(evidence.contains(&TamperEvidence::HashChanged));
+        assert!(evidence.iter().any(|e| matches!(e, TamperEvidence::VolumeChanged { .. })));
+        // Size unchanged: same facet count — which is why hashes matter.
+        assert!(!evidence.iter().any(|e| matches!(e, TamperEvidence::SizeChanged { .. })));
+        // A 3 % linear shrink loses ~8.7 % volume.
+        let ratio = scaled.signed_volume() / mesh.signed_volume();
+        assert!((ratio - 0.97f64.powi(3)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn void_attack_is_caught_by_size_and_volume() {
+        let mesh = prism_mesh();
+        let fp = fingerprint(&mesh);
+        let sabotaged = void_attack(&mesh, Point3::new(12.7, 6.35, 6.35), 2.0);
+        let evidence = verify_fingerprint(&sabotaged, &fp);
+        assert!(evidence.iter().any(|e| matches!(e, TamperEvidence::SizeChanged { .. })));
+        assert!(evidence.iter().any(|e| matches!(e, TamperEvidence::VolumeChanged { .. })));
+        // The injected cavity subtracts exactly its box volume.
+        let expected = mesh.signed_volume() - 64.0;
+        assert!((sabotaged.signed_volume() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn endpoint_attack_is_caught_by_hash_even_when_volume_noise_is_tiny() {
+        let mesh = prism_mesh();
+        let fp = fingerprint(&mesh);
+        let shifted = endpoint_attack(&mesh, 0.2, 3, 5);
+        let evidence = verify_fingerprint(&shifted, &fp);
+        assert!(evidence.contains(&TamperEvidence::HashChanged));
+        assert_eq!(shifted.triangle_count(), mesh.triangle_count());
+    }
+
+    #[test]
+    fn void_attack_adds_an_inward_component() {
+        let mesh = prism_mesh();
+        let sabotaged = void_attack(&mesh, Point3::new(12.7, 6.35, 6.35), 2.0);
+        let shells = sabotaged.connected_components();
+        assert_eq!(shells.len(), 2);
+        // The injected shell is inward-oriented (negative enclosed volume).
+        assert!(shells.iter().any(|s| s.signed_volume() < 0.0));
+        assert!(shells.iter().all(crate::is_watertight));
+    }
+
+    #[test]
+    fn fingerprints_differ_across_resolutions() {
+        let part = intact_prism(&PrismDims::default()).resolve().unwrap();
+        let coarse = fingerprint(&tessellate_part(&part, &Resolution::Coarse.params()));
+        let fine = fingerprint(&tessellate_part(&part, &Resolution::Fine.params()));
+        // A box is 12 facets at any resolution, but quantized volume and
+        // hash still match here — so this asserts equality, documenting
+        // that a *box* export is resolution-independent…
+        assert_eq!(coarse.triangles, fine.triangles);
+        assert_eq!(coarse.hash, fine.hash);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        let _ = scale_attack(&prism_mesh(), 0.0);
+    }
+}

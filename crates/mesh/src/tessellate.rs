@@ -1,0 +1,294 @@
+//! Tessellation: CAD shells → triangle meshes at a chosen STL resolution.
+//!
+//! Each shell is tessellated **independently** — exactly like real CAD
+//! exporters, and this is the property ObfusCADe exploits: two bodies that
+//! share a spline boundary walk the curve in opposite directions, so their
+//! chord breakpoints (and hence triangle corners) disagree along the seam
+//! (Fig. 4 of the paper).
+
+use am_cad::{ResolvedPart, Shell, ShellOrientation, SolidShape};
+use am_geom::{triangulate_polygon, Point2, Point3, SubdivisionParams, Vec3};
+
+use crate::{MeshBuilder, TriMesh};
+
+/// Tessellates a single shell at the given resolution, honouring its
+/// normal orientation (inward shells come out with flipped normals).
+///
+/// # Examples
+///
+/// ```
+/// use am_cad::parts::{intact_prism, PrismDims};
+/// use am_mesh::{tessellate_shell, Resolution};
+///
+/// let part = intact_prism(&PrismDims::default()).resolve()?;
+/// let mesh = tessellate_shell(&part.shells()[0], &Resolution::Fine.params());
+/// assert_eq!(mesh.triangle_count(), 12); // a box is always 12 facets
+/// # Ok::<(), am_cad::CadError>(())
+/// ```
+pub fn tessellate_shell(shell: &Shell, params: &SubdivisionParams) -> TriMesh {
+    let mesh = match &shell.shape {
+        SolidShape::Extrusion { profile, z_min, z_max } => {
+            tessellate_extrusion(&profile.polygonize(params), *z_min, *z_max)
+        }
+        SolidShape::Cuboid(b) => {
+            let loop2 = vec![
+                Point2::new(b.min.x, b.min.y),
+                Point2::new(b.max.x, b.min.y),
+                Point2::new(b.max.x, b.max.y),
+                Point2::new(b.min.x, b.max.y),
+            ];
+            tessellate_extrusion(&loop2, b.min.z, b.max.z)
+        }
+        SolidShape::Sphere { center, radius } => tessellate_sphere(*center, *radius, params),
+    };
+    match shell.orientation {
+        ShellOrientation::Outward => mesh,
+        ShellOrientation::Inward => mesh.flipped(),
+    }
+}
+
+/// Tessellates every shell of a resolved part separately.
+pub fn tessellate_shells(part: &ResolvedPart, params: &SubdivisionParams) -> Vec<TriMesh> {
+    part.shells().iter().map(|s| tessellate_shell(s, params)).collect()
+}
+
+/// Tessellates a resolved part into one merged mesh (the STL export).
+///
+/// Shells are *not* welded together: bodies keep their independent
+/// tessellations, as in a real multi-body STL export.
+pub fn tessellate_part(part: &ResolvedPart, params: &SubdivisionParams) -> TriMesh {
+    let mut out = TriMesh::new();
+    for shell in part.shells() {
+        out.merge(&tessellate_shell(shell, params));
+    }
+    out
+}
+
+/// Tessellates a prism (vertex loop × z range) into a closed mesh.
+fn tessellate_extrusion(loop2: &[Point2], z_min: f64, z_max: f64) -> TriMesh {
+    assert!(loop2.len() >= 3, "extrusion loop needs at least three vertices");
+    // Normalize to CCW so cap/wall winding is predictable.
+    let ccw = {
+        let n = loop2.len();
+        let area2: f64 = (0..n).map(|i| loop2[i].cross(loop2[(i + 1) % n])).sum();
+        area2 > 0.0
+    };
+    let pts: Vec<Point2> = if ccw { loop2.to_vec() } else { loop2.iter().rev().copied().collect() };
+
+    let mut b = MeshBuilder::new();
+    let n = pts.len();
+    // Side walls.
+    for i in 0..n {
+        let p = pts[i];
+        let q = pts[(i + 1) % n];
+        let a0 = b.vertex(p.to_3d(z_min));
+        let b0 = b.vertex(q.to_3d(z_min));
+        let b1 = b.vertex(q.to_3d(z_max));
+        let a1 = b.vertex(p.to_3d(z_max));
+        if a0 != b0 {
+            b.push_indices([a0, b0, b1]);
+            b.push_indices([a0, b1, a1]);
+        }
+    }
+    // Caps.
+    let tris = triangulate_polygon(&pts);
+    for [i, j, k] in tris {
+        let (ti, tj, tk) = (
+            b.vertex(pts[i].to_3d(z_max)),
+            b.vertex(pts[j].to_3d(z_max)),
+            b.vertex(pts[k].to_3d(z_max)),
+        );
+        b.push_indices([ti, tj, tk]); // top cap: +z normal, CCW from above
+        let (bi, bj, bk) = (
+            b.vertex(pts[i].to_3d(z_min)),
+            b.vertex(pts[j].to_3d(z_min)),
+            b.vertex(pts[k].to_3d(z_min)),
+        );
+        b.push_indices([bi, bk, bj]); // bottom cap: flipped
+    }
+    b.build()
+}
+
+/// Tessellates a UV sphere whose facet density satisfies the angle and
+/// deviation tolerances.
+fn tessellate_sphere(center: Point3, radius: f64, params: &SubdivisionParams) -> TriMesh {
+    // Max step angle from the deviation bound: sagitta r·(1−cos(θ/2)) ≤ d.
+    let dev_angle = if params.max_deviation() >= radius {
+        std::f64::consts::PI
+    } else {
+        2.0 * (1.0 - params.max_deviation() / radius).acos()
+    };
+    let step = params.max_angle().min(dev_angle).max(1e-3);
+    let slices = ((std::f64::consts::TAU / step).ceil() as usize).max(6);
+    let stacks = ((std::f64::consts::PI / step).ceil() as usize).max(3);
+
+    let mut b = MeshBuilder::new();
+    // Ring vertices; poles handled separately.
+    let ring_point = |stack: usize, slice: usize| -> Point3 {
+        let phi = std::f64::consts::PI * stack as f64 / stacks as f64; // 0..π from +z pole
+        let theta = std::f64::consts::TAU * slice as f64 / slices as f64;
+        center
+            + Vec3::new(
+                radius * phi.sin() * theta.cos(),
+                radius * phi.sin() * theta.sin(),
+                radius * phi.cos(),
+            )
+    };
+    let top = center + Vec3::new(0.0, 0.0, radius);
+    let bottom = center - Vec3::new(0.0, 0.0, radius);
+
+    for slice in 0..slices {
+        let next = (slice + 1) % slices;
+        // Top cap fan.
+        let t = b.vertex(top);
+        let a = b.vertex(ring_point(1, slice));
+        let c = b.vertex(ring_point(1, next));
+        b.push_indices([t, a, c]);
+        // Bottom cap fan.
+        let bo = b.vertex(bottom);
+        let a2 = b.vertex(ring_point(stacks - 1, slice));
+        let c2 = b.vertex(ring_point(stacks - 1, next));
+        b.push_indices([bo, c2, a2]);
+        // Body quads.
+        for stack in 1..stacks - 1 {
+            let p00 = b.vertex(ring_point(stack, slice));
+            let p01 = b.vertex(ring_point(stack, next));
+            let p10 = b.vertex(ring_point(stack + 1, slice));
+            let p11 = b.vertex(ring_point(stack + 1, next));
+            b.push_indices([p00, p10, p11]);
+            b.push_indices([p00, p11, p01]);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Resolution;
+    use am_cad::parts::{
+        intact_prism, prism_with_sphere, tensile_bar, tensile_bar_with_spline, PrismDims,
+        TensileBarDims,
+    };
+    use am_cad::{BodyKind, MaterialRemoval};
+
+    #[test]
+    fn box_is_twelve_facets_at_every_resolution() {
+        let part = intact_prism(&PrismDims::default()).resolve().unwrap();
+        for res in Resolution::ALL {
+            let mesh = tessellate_part(&part, &res.params());
+            assert_eq!(mesh.triangle_count(), 12);
+            let vol = mesh.signed_volume();
+            assert!((vol - 25.4 * 12.7 * 12.7).abs() < 1e-6, "vol = {vol}");
+        }
+    }
+
+    #[test]
+    fn sphere_volume_converges_with_resolution() {
+        let dims = PrismDims::default();
+        let part = prism_with_sphere(&dims, BodyKind::Solid, MaterialRemoval::Without)
+            .unwrap()
+            .resolve()
+            .unwrap();
+        let exact = 4.0 / 3.0 * std::f64::consts::PI * dims.sphere_radius.powi(3);
+        let mut errs = Vec::new();
+        for res in Resolution::ALL {
+            let meshes = tessellate_shells(&part, &res.params());
+            // Shell 1 is the inward sphere: negative volume.
+            let v = -meshes[1].signed_volume();
+            errs.push((exact - v).abs() / exact);
+            assert!(v > 0.0 && v < exact, "inscribed polyhedron volume {v} vs {exact}");
+        }
+        assert!(errs[0] > errs[1] && errs[1] > errs[2], "errors should shrink: {errs:?}");
+    }
+
+    #[test]
+    fn finer_resolution_more_sphere_triangles() {
+        let dims = PrismDims::default();
+        let part = prism_with_sphere(&dims, BodyKind::Solid, MaterialRemoval::Without)
+            .unwrap()
+            .resolve()
+            .unwrap();
+        let counts: Vec<usize> = Resolution::ALL
+            .iter()
+            .map(|r| tessellate_part(&part, &r.params()).triangle_count())
+            .collect();
+        assert!(counts[0] < counts[1] && counts[1] < counts[2], "{counts:?}");
+    }
+
+    #[test]
+    fn tensile_bar_volume_matches_cad() {
+        let dims = TensileBarDims::default();
+        let part = tensile_bar(&dims).unwrap().resolve().unwrap();
+        let mesh = tessellate_part(&part, &Resolution::Fine.params());
+        let cad_vol = part.net_volume(&Resolution::Fine.params());
+        assert!((mesh.signed_volume() - cad_vol).abs() / cad_vol < 1e-9);
+    }
+
+    #[test]
+    fn split_bar_bodies_conserve_volume() {
+        let dims = TensileBarDims::default();
+        let intact = tensile_bar(&dims).unwrap().resolve().unwrap();
+        let split = tensile_bar_with_spline(&dims).unwrap().resolve().unwrap();
+        for res in Resolution::ALL {
+            let vi = tessellate_part(&intact, &res.params()).signed_volume();
+            let vs = tessellate_part(&split, &res.params()).signed_volume();
+            // The two tessellated halves may overlap/underlap slightly along
+            // the seam (that *is* the exploit), so allow the gap scale.
+            let tol = 40.0 * res.params().max_deviation() + 1e-6;
+            assert!((vi - vs).abs() < tol, "{res}: intact {vi} split {vs}");
+        }
+    }
+
+    #[test]
+    fn inward_shell_has_negative_volume() {
+        let dims = PrismDims::default();
+        let part = prism_with_sphere(&dims, BodyKind::Surface, MaterialRemoval::Without)
+            .unwrap()
+            .resolve()
+            .unwrap();
+        let meshes = tessellate_shells(&part, &Resolution::Fine.params());
+        assert!(meshes[0].signed_volume() > 0.0);
+        assert!(meshes[1].signed_volume() < 0.0);
+    }
+
+    #[test]
+    fn solid_and_surface_variants_have_equal_triangle_counts() {
+        // The paper: "though the CAD file size for surface sphere and solid
+        // sphere is different, the STL file size is the same."
+        let dims = PrismDims::default();
+        for removal in [MaterialRemoval::With, MaterialRemoval::Without] {
+            let solid = prism_with_sphere(&dims, BodyKind::Solid, removal)
+                .unwrap()
+                .resolve()
+                .unwrap();
+            let surface = prism_with_sphere(&dims, BodyKind::Surface, removal)
+                .unwrap()
+                .resolve()
+                .unwrap();
+            for res in Resolution::ALL {
+                let a = tessellate_part(&solid, &res.params()).triangle_count();
+                let b = tessellate_part(&surface, &res.params()).triangle_count();
+                assert_eq!(a, b, "{removal} at {res}");
+            }
+        }
+    }
+
+    #[test]
+    fn with_removal_has_more_triangles_than_without() {
+        let dims = PrismDims::default();
+        let with = prism_with_sphere(&dims, BodyKind::Solid, MaterialRemoval::With)
+            .unwrap()
+            .resolve()
+            .unwrap();
+        let without = prism_with_sphere(&dims, BodyKind::Solid, MaterialRemoval::Without)
+            .unwrap()
+            .resolve()
+            .unwrap();
+        let params = Resolution::Fine.params();
+        assert!(
+            tessellate_part(&with, &params).triangle_count()
+                > tessellate_part(&without, &params).triangle_count()
+        );
+    }
+}

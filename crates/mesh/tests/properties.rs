@@ -1,0 +1,102 @@
+//! Property-based tests for tessellation, STL round trips and tampering.
+
+use am_cad::{Feature, Part, SolidShape};
+use am_geom::{Aabb3, Point3, Tolerance};
+use am_mesh::{
+    analyze_topology, fingerprint, read_stl, scale_attack, tessellate_part, verify_fingerprint,
+    weld_vertices, write_binary_stl, Resolution,
+};
+use proptest::prelude::*;
+
+fn boxy() -> impl Strategy<Value = (f64, f64, f64)> {
+    (2.0..50.0f64, 2.0..30.0f64, 2.0..30.0f64)
+}
+
+fn box_part(w: f64, h: f64, d: f64) -> am_cad::ResolvedPart {
+    Part::new("box")
+        .with_feature(Feature::Base(SolidShape::Cuboid(Aabb3::new(
+            Point3::ZERO,
+            Point3::new(w, h, d),
+        ))))
+        .unwrap()
+        .resolve()
+        .unwrap()
+}
+
+fn sphere_part(r: f64) -> am_cad::ResolvedPart {
+    Part::new("sphere")
+        .with_feature(Feature::Base(
+            SolidShape::sphere(Point3::new(r + 1.0, r + 1.0, r + 1.0), r).unwrap(),
+        ))
+        .unwrap()
+        .resolve()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn box_volume_exact_at_every_resolution((w, h, d) in boxy(), res_idx in 0usize..3) {
+        let part = box_part(w, h, d);
+        let mesh = tessellate_part(&part, &Resolution::ALL[res_idx].params());
+        prop_assert_eq!(mesh.triangle_count(), 12);
+        prop_assert!((mesh.signed_volume() - w * h * d).abs() < 1e-6);
+        prop_assert!(analyze_topology(&mesh).is_watertight());
+    }
+
+    #[test]
+    fn sphere_mesh_is_watertight_and_inscribed(r in 1.0..8.0f64, res_idx in 0usize..2) {
+        let part = sphere_part(r);
+        let mesh = tessellate_part(&part, &Resolution::ALL[res_idx].params());
+        prop_assert!(analyze_topology(&mesh).is_watertight());
+        let exact = 4.0 / 3.0 * std::f64::consts::PI * r.powi(3);
+        let v = mesh.signed_volume();
+        prop_assert!(v > 0.8 * exact && v < exact, "v {v} vs {exact}");
+    }
+
+    #[test]
+    fn stl_round_trip_preserves_volume((w, h, d) in boxy()) {
+        let mesh = tessellate_part(&box_part(w, h, d), &Resolution::Fine.params());
+        let mut buf = Vec::new();
+        write_binary_stl(&mesh, &mut buf).unwrap();
+        let back = read_stl(&buf[..]).unwrap();
+        prop_assert_eq!(back.triangle_count(), mesh.triangle_count());
+        // f32 quantization: relative volume error stays tiny.
+        let rel = (back.signed_volume() - mesh.signed_volume()).abs() / mesh.signed_volume();
+        prop_assert!(rel < 1e-5, "rel {rel}");
+    }
+
+    #[test]
+    fn welding_watertight_mesh_is_lossless((w, h, d) in boxy()) {
+        let mesh = tessellate_part(&box_part(w, h, d), &Resolution::Fine.params());
+        let (welded, report) = weld_vertices(&mesh, Tolerance::new(1e-6));
+        prop_assert_eq!(report.triangles_dropped, 0);
+        prop_assert!((welded.signed_volume() - mesh.signed_volume()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fingerprint_catches_any_scaling((w, h, d) in boxy(), factor in 0.5..1.5f64) {
+        prop_assume!((factor - 1.0).abs() > 0.01);
+        let mesh = tessellate_part(&box_part(w, h, d), &Resolution::Fine.params());
+        let fp = fingerprint(&mesh);
+        let attacked = scale_attack(&mesh, factor);
+        prop_assert!(!verify_fingerprint(&attacked, &fp).is_empty());
+        // And the honest copy always verifies.
+        prop_assert!(verify_fingerprint(&mesh, &fp).is_empty());
+    }
+
+    #[test]
+    fn components_count_scales_with_disjoint_bodies(n in 1usize..5) {
+        let mut merged = am_mesh::TriMesh::new();
+        for i in 0..n {
+            let part = box_part(2.0, 2.0, 2.0);
+            let mesh = tessellate_part(&part, &Resolution::Fine.params());
+            let moved = mesh.transformed(&am_geom::Transform3::translation(
+                am_geom::Vec3::new(i as f64 * 10.0, 0.0, 0.0),
+            ));
+            merged.merge(&moved);
+        }
+        prop_assert_eq!(merged.connected_components().len(), n);
+    }
+}

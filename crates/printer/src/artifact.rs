@@ -1,0 +1,395 @@
+//! The printed artifact: a voxel model built by simulated deposition.
+
+use am_geom::{Aabb3, Point3, Transform3};
+use am_slicer::{ToolMaterial, ToolPath};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Material, PrinterProfile};
+
+/// A printed part: the voxelized result of running a tool path on a
+/// [`PrinterProfile`].
+///
+/// Voxels live in **build** coordinates (xy = half a road width, z = one
+/// layer). The part also keeps the model→build transform used by the
+/// slicer, so inspection and the virtual test bench can sample material in
+/// **model** coordinates regardless of print orientation.
+///
+/// # Examples
+///
+/// ```
+/// use am_cad::parts::{intact_prism, PrismDims};
+/// use am_mesh::{tessellate_shells, Resolution};
+/// use am_printer::{Material, PrintedPart, PrinterProfile};
+/// use am_slicer::{
+///     build_transform, generate_toolpath, orient_shells, slice_shells, Orientation,
+///     SlicerConfig,
+/// };
+///
+/// let part = intact_prism(&PrismDims::default()).resolve()?;
+/// let shells = tessellate_shells(&part, &Resolution::Fine.params());
+/// let oriented = orient_shells(&shells, Orientation::Xy);
+/// let to_build = build_transform(&shells, Orientation::Xy);
+/// let sliced = slice_shells(&oriented, 0.1778);
+/// let toolpath = generate_toolpath(&sliced, &SlicerConfig::default());
+/// let printed = PrintedPart::from_toolpath(&toolpath, &PrinterProfile::dimension_elite(), to_build, 7);
+/// assert!(printed.voxel_count(Material::Model) > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrintedPart {
+    profile: PrinterProfile,
+    origin: Point3,
+    voxel_xy: f64,
+    voxel_z: f64,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    material: Vec<Material>,
+    body: Vec<u16>,
+    to_build: Transform3,
+    seed: u64,
+}
+
+impl PrintedPart {
+    /// Deposits a tool path on the given machine.
+    ///
+    /// `to_build` is the model→build transform the slicer used (see
+    /// [`am_slicer::build_transform`]); `seed` drives the machine's
+    /// deposition noise and downstream specimen-to-specimen scatter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tool path is empty or its layer geometry is invalid.
+    pub fn from_toolpath(
+        toolpath: &ToolPath,
+        profile: &PrinterProfile,
+        to_build: Transform3,
+        seed: u64,
+    ) -> Self {
+        profile.assert_valid();
+        assert!(!toolpath.roads.is_empty(), "cannot print an empty tool path");
+        assert!(
+            toolpath.layer_height > 0.0 && toolpath.road_width > 0.0,
+            "tool path missing layer geometry"
+        );
+
+        let voxel_xy = toolpath.road_width / 2.0;
+        let voxel_z = toolpath.layer_height;
+        let mut min = Point3::new(f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        let mut max = Point3::new(f64::NEG_INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for r in &toolpath.roads {
+            for p in [r.from, r.to] {
+                min.x = min.x.min(p.x);
+                min.y = min.y.min(p.y);
+                max.x = max.x.max(p.x);
+                max.y = max.y.max(p.y);
+            }
+            min.z = min.z.min(r.z);
+            max.z = max.z.max(r.z);
+        }
+        let margin = toolpath.road_width;
+        let origin = Point3::new(min.x - margin, min.y - margin, min.z - voxel_z / 2.0);
+        let nx = (((max.x - min.x) + 2.0 * margin) / voxel_xy).ceil() as usize + 1;
+        let ny = (((max.y - min.y) + 2.0 * margin) / voxel_xy).ceil() as usize + 1;
+        let nz = ((max.z - min.z) / voxel_z).round() as usize + 1;
+
+        let mut part = PrintedPart {
+            profile: profile.clone(),
+            origin,
+            voxel_xy,
+            voxel_z,
+            nx,
+            ny,
+            nz,
+            material: vec![Material::Empty; nx * ny * nz],
+            body: vec![u16::MAX; nx * ny * nz],
+            to_build,
+            seed,
+        };
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        for road in &toolpath.roads {
+            // Road-width modulation noise: under/over-extrusion.
+            let jitter: f64 = 1.0 + profile.noise_sigma * rng.gen_range(-1.5..1.5);
+            let radius = (toolpath.road_width / 2.0) * jitter.clamp(0.6, 1.4);
+            part.stamp_road(road, radius);
+        }
+        part
+    }
+
+    fn stamp_road(&mut self, road: &am_slicer::Road, radius: f64) {
+        let k = ((road.z - self.origin.z) / self.voxel_z).floor();
+        if k < 0.0 || k as usize >= self.nz {
+            return;
+        }
+        let k = k as usize;
+        let material = match road.material {
+            ToolMaterial::Model => Material::Model,
+            ToolMaterial::Support => Material::Support,
+        };
+        let (a, b) = (road.from, road.to);
+        let lo_x = (a.x.min(b.x) - radius - self.origin.x) / self.voxel_xy;
+        let hi_x = (a.x.max(b.x) + radius - self.origin.x) / self.voxel_xy;
+        let lo_y = (a.y.min(b.y) - radius - self.origin.y) / self.voxel_xy;
+        let hi_y = (a.y.max(b.y) + radius - self.origin.y) / self.voxel_xy;
+        let i0 = lo_x.floor().max(0.0) as usize;
+        let i1 = (hi_x.ceil() as usize).min(self.nx - 1);
+        let j0 = lo_y.floor().max(0.0) as usize;
+        let j1 = (hi_y.ceil() as usize).min(self.ny - 1);
+        let seg = am_geom::Segment2::new(a, b);
+        for j in j0..=j1 {
+            for i in i0..=i1 {
+                let c = am_geom::Point2::new(
+                    self.origin.x + (i as f64 + 0.5) * self.voxel_xy,
+                    self.origin.y + (j as f64 + 0.5) * self.voxel_xy,
+                );
+                if seg.distance_to_point(c) <= radius {
+                    let idx = (k * self.ny + j) * self.nx + i;
+                    // Model never gets overwritten by support.
+                    if material == Material::Model || self.material[idx] == Material::Empty {
+                        self.material[idx] = material;
+                    }
+                    if material == Material::Model {
+                        if let Some(body) = road.body {
+                            self.body[idx] = body;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The machine profile this part was printed on.
+    pub fn profile(&self) -> &PrinterProfile {
+        &self.profile
+    }
+
+    /// Deposition noise seed (drives downstream specimen scatter too).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Voxel grid dimensions `(nx, ny, nz)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    /// Voxel sizes `(xy, z)` in millimetres.
+    pub fn voxel_size(&self) -> (f64, f64) {
+        (self.voxel_xy, self.voxel_z)
+    }
+
+    /// Build-frame bounding box of the voxel grid.
+    pub fn bounds(&self) -> Aabb3 {
+        Aabb3::new(
+            self.origin,
+            self.origin
+                + am_geom::Vec3::new(
+                    self.nx as f64 * self.voxel_xy,
+                    self.ny as f64 * self.voxel_xy,
+                    self.nz as f64 * self.voxel_z,
+                ),
+        )
+    }
+
+    /// The model→build transform.
+    pub fn to_build(&self) -> &Transform3 {
+        &self.to_build
+    }
+
+    /// Material of voxel `(i, j, k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn at(&self, i: usize, j: usize, k: usize) -> Material {
+        assert!(i < self.nx && j < self.ny && k < self.nz, "voxel out of range");
+        self.material[(k * self.ny + j) * self.nx + i]
+    }
+
+    /// Body tag of voxel `(i, j, k)` (model voxels only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn body_at(&self, i: usize, j: usize, k: usize) -> Option<u16> {
+        assert!(i < self.nx && j < self.ny && k < self.nz, "voxel out of range");
+        let b = self.body[(k * self.ny + j) * self.nx + i];
+        (b != u16::MAX).then_some(b)
+    }
+
+    fn voxel_of(&self, p: Point3) -> Option<(usize, usize, usize)> {
+        let i = ((p.x - self.origin.x) / self.voxel_xy).floor();
+        let j = ((p.y - self.origin.y) / self.voxel_xy).floor();
+        let k = ((p.z - self.origin.z) / self.voxel_z).floor();
+        if i < 0.0 || j < 0.0 || k < 0.0 {
+            return None;
+        }
+        let (i, j, k) = (i as usize, j as usize, k as usize);
+        (i < self.nx && j < self.ny && k < self.nz).then_some((i, j, k))
+    }
+
+    /// Material at a build-frame point (`Empty` outside the grid).
+    pub fn material_at_build(&self, p: Point3) -> Material {
+        match self.voxel_of(p) {
+            Some((i, j, k)) => self.at(i, j, k),
+            None => Material::Empty,
+        }
+    }
+
+    /// Material at a **model**-frame point.
+    pub fn material_at_model(&self, p: Point3) -> Material {
+        self.material_at_build(self.to_build.apply(p))
+    }
+
+    /// Body tag at a model-frame point.
+    pub fn body_at_model(&self, p: Point3) -> Option<u16> {
+        match self.voxel_of(self.to_build.apply(p)) {
+            Some((i, j, k)) => self.body_at(i, j, k),
+            None => None,
+        }
+    }
+
+    /// Number of voxels of the given material.
+    pub fn voxel_count(&self, material: Material) -> usize {
+        self.material.iter().filter(|&&m| m == material).count()
+    }
+
+    /// Volume (mm³) of the given material.
+    pub fn material_volume(&self, material: Material) -> f64 {
+        self.voxel_count(material) as f64 * self.voxel_xy * self.voxel_xy * self.voxel_z
+    }
+
+    /// Estimated part weight in grams after support removal.
+    pub fn weight_g(&self) -> f64 {
+        self.material_volume(Material::Model) / 1000.0 * self.profile.model_material.density_g_cm3
+    }
+
+    /// Dissolves soluble support material (no-op for insoluble support).
+    pub fn dissolve_support(&mut self) {
+        if !self.profile.soluble_support {
+            return;
+        }
+        for m in &mut self.material {
+            if *m == Material::Support {
+                *m = Material::Empty;
+            }
+        }
+    }
+
+    /// Raw voxel slice at layer `k` (row-major, `ny` rows × `nx` columns) —
+    /// the simulated CT-scan image used by inspection and authentication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn ct_slice(&self, k: usize) -> &[Material] {
+        assert!(k < self.nz, "layer {k} out of range");
+        &self.material[k * self.nx * self.ny..(k + 1) * self.nx * self.ny]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use am_cad::parts::{intact_prism, prism_with_sphere, PrismDims};
+    use am_cad::{BodyKind, MaterialRemoval};
+    use am_mesh::{tessellate_shells, Resolution};
+    use am_slicer::{
+        build_transform, generate_toolpath, orient_shells, slice_shells, Orientation,
+        SlicerConfig,
+    };
+
+    fn print_part(part: &am_cad::ResolvedPart, orientation: Orientation) -> PrintedPart {
+        let shells = tessellate_shells(part, &Resolution::Coarse.params());
+        let oriented = orient_shells(&shells, orientation);
+        let to_build = build_transform(&shells, orientation);
+        let sliced = slice_shells(&oriented, 0.1778);
+        let toolpath = generate_toolpath(&sliced, &SlicerConfig::default());
+        PrintedPart::from_toolpath(&toolpath, &PrinterProfile::dimension_elite(), to_build, 42)
+    }
+
+    #[test]
+    fn printed_prism_volume_close_to_cad() {
+        let part = intact_prism(&PrismDims::default()).resolve().unwrap();
+        let printed = print_part(&part, Orientation::Xy);
+        let vol = printed.material_volume(Material::Model);
+        let exact = 25.4 * 12.7 * 12.7;
+        assert!((vol - exact).abs() / exact < 0.15, "vol = {vol} vs {exact}");
+    }
+
+    #[test]
+    fn embedded_sphere_prints_support_then_dissolves_to_void() {
+        let dims = PrismDims::default();
+        let part = prism_with_sphere(&dims, BodyKind::Solid, MaterialRemoval::Without)
+            .unwrap()
+            .resolve()
+            .unwrap();
+        let mut printed = print_part(&part, Orientation::Xy);
+        let center = dims.size * 0.5;
+        assert_eq!(printed.material_at_model(center), Material::Support);
+        printed.dissolve_support();
+        assert_eq!(printed.material_at_model(center), Material::Empty);
+        assert_eq!(printed.voxel_count(Material::Support), 0);
+    }
+
+    #[test]
+    fn removal_solid_prints_model_at_center() {
+        let dims = PrismDims::default();
+        let part = prism_with_sphere(&dims, BodyKind::Solid, MaterialRemoval::With)
+            .unwrap()
+            .resolve()
+            .unwrap();
+        let printed = print_part(&part, Orientation::Xy);
+        assert_eq!(printed.material_at_model(dims.size * 0.5), Material::Model);
+    }
+
+    #[test]
+    fn model_frame_sampling_survives_reorientation() {
+        let dims = PrismDims::default();
+        let part = intact_prism(&dims).resolve().unwrap();
+        let printed = print_part(&part, Orientation::Xz);
+        // A model-frame point well inside the prism must be model material
+        // even though the build frame is rotated.
+        assert_eq!(printed.material_at_model(dims.size * 0.5), Material::Model);
+        // And a point outside is empty.
+        assert_eq!(
+            printed.material_at_model(Point3::new(-5.0, -5.0, -5.0)),
+            Material::Empty
+        );
+    }
+
+    #[test]
+    fn weight_is_plausible() {
+        let part = intact_prism(&PrismDims::default()).resolve().unwrap();
+        let printed = print_part(&part, Orientation::Xy);
+        // 4.1 cm³ of ABS ≈ 4.3 g.
+        let w = printed.weight_g();
+        assert!(w > 3.0 && w < 6.0, "weight {w} g");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let part = intact_prism(&PrismDims::default()).resolve().unwrap();
+        let a = print_part(&part, Orientation::Xy);
+        let b = print_part(&part, Orientation::Xy);
+        assert_eq!(a.voxel_count(Material::Model), b.voxel_count(Material::Model));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty tool path")]
+    fn empty_toolpath_rejected() {
+        let tp = am_slicer::ToolPath {
+            layer_height: 0.1,
+            road_width: 0.5,
+            ..Default::default()
+        };
+        let _ = PrintedPart::from_toolpath(
+            &tp,
+            &PrinterProfile::dimension_elite(),
+            Transform3::identity(),
+            0,
+        );
+    }
+}

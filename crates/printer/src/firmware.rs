@@ -1,0 +1,151 @@
+//! Printer firmware safety checks.
+//!
+//! Table 1 of the paper lists "damage to printer actuators using malicious
+//! coordinates" as a slicing/G-code-stage attack, mitigated by an "actuator
+//! limit switch preventing physical damage". This module is that limit
+//! switch: it vets an incoming part program against the machine's build
+//! volume and kinematic limits before any motor moves.
+
+use std::fmt;
+
+use am_geom::{Aabb3, Point3};
+use am_slicer::ToolPath;
+
+/// The machine's physical work envelope and kinematic limits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildEnvelope {
+    /// Reachable volume (build-plate coordinates, mm).
+    pub volume: Aabb3,
+    /// Maximum commandable feed rate (mm/s).
+    pub max_feed_mm_per_s: f64,
+}
+
+impl BuildEnvelope {
+    /// The Dimension Elite's 203 × 203 × 305 mm envelope.
+    pub fn dimension_elite() -> Self {
+        BuildEnvelope {
+            volume: Aabb3::new(Point3::ZERO, Point3::new(203.0, 203.0, 305.0)),
+            max_feed_mm_per_s: 100.0,
+        }
+    }
+
+    /// The Objet30 Pro's 294 × 192 × 148 mm envelope.
+    pub fn objet30_pro() -> Self {
+        BuildEnvelope {
+            volume: Aabb3::new(Point3::ZERO, Point3::new(294.0, 192.0, 148.0)),
+            max_feed_mm_per_s: 200.0,
+        }
+    }
+}
+
+/// One firmware-level violation found in a part program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LimitViolation {
+    /// A commanded coordinate leaves the build volume.
+    OutOfEnvelope {
+        /// Index of the offending road.
+        road: usize,
+        /// The offending coordinate.
+        at: Point3,
+    },
+    /// A coordinate is not a finite number (parser exploitation attempt).
+    NonFinite {
+        /// Index of the offending road.
+        road: usize,
+    },
+}
+
+impl fmt::Display for LimitViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LimitViolation::OutOfEnvelope { road, at } => {
+                write!(f, "road {road} commands {at}, outside the build envelope")
+            }
+            LimitViolation::NonFinite { road } => {
+                write!(f, "road {road} contains a non-finite coordinate")
+            }
+        }
+    }
+}
+
+/// Vets a part program against the machine envelope, returning every
+/// violation (empty = safe to print).
+///
+/// # Examples
+///
+/// ```
+/// use am_printer::{check_limits, BuildEnvelope};
+/// use am_slicer::ToolPath;
+///
+/// let violations = check_limits(&ToolPath::default(), &BuildEnvelope::dimension_elite());
+/// assert!(violations.is_empty());
+/// ```
+pub fn check_limits(toolpath: &ToolPath, envelope: &BuildEnvelope) -> Vec<LimitViolation> {
+    let mut violations = Vec::new();
+    for (i, road) in toolpath.roads.iter().enumerate() {
+        let points = [road.from.to_3d(road.z), road.to.to_3d(road.z)];
+        if points.iter().any(|p| !(p.x.is_finite() && p.y.is_finite() && p.z.is_finite())) {
+            violations.push(LimitViolation::NonFinite { road: i });
+            continue;
+        }
+        for p in points {
+            if !envelope.volume.contains(p) {
+                violations.push(LimitViolation::OutOfEnvelope { road: i, at: p });
+                break;
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use am_geom::Point2;
+    use am_slicer::{Road, RoadKind, ToolMaterial};
+
+    fn road(x: f64, y: f64, z: f64) -> Road {
+        Road {
+            from: Point2::new(10.0, 10.0),
+            to: Point2::new(x, y),
+            z,
+            material: ToolMaterial::Model,
+            kind: RoadKind::Infill,
+            body: None,
+        }
+    }
+
+    fn toolpath(roads: Vec<Road>) -> ToolPath {
+        ToolPath { roads, layer_height: 0.2, road_width: 0.5 }
+    }
+
+    #[test]
+    fn benign_program_passes() {
+        let tp = toolpath(vec![road(50.0, 50.0, 1.0), road(100.0, 20.0, 1.2)]);
+        assert!(check_limits(&tp, &BuildEnvelope::dimension_elite()).is_empty());
+    }
+
+    #[test]
+    fn malicious_coordinates_are_caught() {
+        // The Table 1 attack: drive the head through the gantry.
+        let tp = toolpath(vec![road(50.0, 50.0, 1.0), road(9999.0, 50.0, 1.0), road(-5.0, 0.0, 1.0)]);
+        let violations = check_limits(&tp, &BuildEnvelope::dimension_elite());
+        assert_eq!(violations.len(), 2);
+        assert!(matches!(violations[0], LimitViolation::OutOfEnvelope { road: 1, .. }));
+    }
+
+    #[test]
+    fn non_finite_coordinates_are_caught() {
+        let tp = toolpath(vec![road(f64::NAN, 1.0, 0.2)]);
+        let violations = check_limits(&tp, &BuildEnvelope::dimension_elite());
+        assert_eq!(violations, vec![LimitViolation::NonFinite { road: 0 }]);
+        assert!(violations[0].to_string().contains("non-finite"));
+    }
+
+    #[test]
+    fn envelopes_differ_by_machine() {
+        let tall = toolpath(vec![road(50.0, 50.0, 200.0)]);
+        assert!(check_limits(&tall, &BuildEnvelope::dimension_elite()).is_empty());
+        assert!(!check_limits(&tall, &BuildEnvelope::objet30_pro()).is_empty());
+    }
+}

@@ -1,0 +1,278 @@
+//! Artifact inspection: the "Testing" stage of the paper's process chain.
+//!
+//! Table 1 lists the defender's physical checks — weight/density
+//! measurement, CT/ultrasound reconstruction, inspection of the printed
+//! object. This module implements their simulated equivalents on the voxel
+//! artifact, and the seam metrics behind Fig. 7b/8.
+
+use std::collections::VecDeque;
+
+use crate::{Material, PrintedPart};
+
+/// Summary of an internal-structure scan (simulated CT).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ScanReport {
+    /// Internal voids: empty voxels unreachable from outside.
+    pub internal_void_voxels: usize,
+    /// Internal support voxels (undissolved or trapped).
+    pub internal_support_voxels: usize,
+    /// Internal void volume (mm³).
+    pub internal_void_volume: f64,
+    /// Cold-joint area (mm²): faces between model voxels of different
+    /// bodies.
+    pub cold_joint_area: f64,
+}
+
+/// Scans a printed part for internal defects.
+///
+/// Runs a 3-D flood fill from the exterior over non-model voxels; what the
+/// flood cannot reach is *internal* — enclosed voids (a dissolved embedded
+/// sphere), trapped support, or planted crack pockets. Also measures the
+/// total cold-joint interface area between bodies (the split seam).
+///
+/// # Examples
+///
+/// ```no_run
+/// use am_printer::{scan, PrintedPart};
+/// # fn f(printed: &PrintedPart) {
+/// let report = scan(printed);
+/// if report.internal_void_volume > 1.0 {
+///     println!("embedded feature detected: {} mm³", report.internal_void_volume);
+/// }
+/// # }
+/// ```
+pub fn scan(part: &PrintedPart) -> ScanReport {
+    let (nx, ny, nz) = part.dims();
+    let idx = |i: usize, j: usize, k: usize| (k * ny + j) * nx + i;
+    let mut outside = vec![false; nx * ny * nz];
+    let mut queue = VecDeque::new();
+
+    // Seed from all boundary voxels that are not model.
+    for k in 0..nz {
+        for j in 0..ny {
+            for i in 0..nx {
+                let boundary = i == 0 || j == 0 || k == 0 || i == nx - 1 || j == ny - 1 || k == nz - 1;
+                if boundary && part.at(i, j, k) != Material::Model {
+                    let id = idx(i, j, k);
+                    if !outside[id] {
+                        outside[id] = true;
+                        queue.push_back((i, j, k));
+                    }
+                }
+            }
+        }
+    }
+    while let Some((i, j, k)) = queue.pop_front() {
+        let neighbors = [
+            (i.wrapping_sub(1), j, k),
+            (i + 1, j, k),
+            (i, j.wrapping_sub(1), k),
+            (i, j + 1, k),
+            (i, j, k.wrapping_sub(1)),
+            (i, j, k + 1),
+        ];
+        for (ii, jj, kk) in neighbors {
+            if ii >= nx || jj >= ny || kk >= nz {
+                continue;
+            }
+            let id = idx(ii, jj, kk);
+            if !outside[id] && part.at(ii, jj, kk) != Material::Model {
+                outside[id] = true;
+                queue.push_back((ii, jj, kk));
+            }
+        }
+    }
+
+    let (vxy, vz) = part.voxel_size();
+    let voxel_volume = vxy * vxy * vz;
+    let mut report = ScanReport::default();
+    for k in 0..nz {
+        for j in 0..ny {
+            for i in 0..nx {
+                if outside[idx(i, j, k)] {
+                    continue;
+                }
+                match part.at(i, j, k) {
+                    Material::Empty => report.internal_void_voxels += 1,
+                    Material::Support => report.internal_support_voxels += 1,
+                    Material::Model => {}
+                }
+            }
+        }
+    }
+    report.internal_void_volume = report.internal_void_voxels as f64 * voxel_volume;
+
+    // Cold-joint area: model-model voxel faces with different body tags.
+    let mut joint_faces_xy = 0usize;
+    let mut joint_faces_z = 0usize;
+    for k in 0..nz {
+        for j in 0..ny {
+            for i in 0..nx {
+                if part.at(i, j, k) != Material::Model {
+                    continue;
+                }
+                let Some(b) = part.body_at(i, j, k) else { continue };
+                if i + 1 < nx && part.at(i + 1, j, k) == Material::Model {
+                    if let Some(b2) = part.body_at(i + 1, j, k) {
+                        if b2 != b {
+                            joint_faces_xy += 1;
+                        }
+                    }
+                }
+                if j + 1 < ny && part.at(i, j + 1, k) == Material::Model {
+                    if let Some(b2) = part.body_at(i, j + 1, k) {
+                        if b2 != b {
+                            joint_faces_xy += 1;
+                        }
+                    }
+                }
+                if k + 1 < nz && part.at(i, j, k + 1) == Material::Model {
+                    if let Some(b2) = part.body_at(i, j, k + 1) {
+                        if b2 != b {
+                            joint_faces_z += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    report.cold_joint_area = joint_faces_xy as f64 * vxy * vz + joint_faces_z as f64 * vxy * vxy;
+    report
+}
+
+/// Cross-section model area (mm²) per slab along the build x axis — the
+/// necking/defect profile a quality engineer would plot.
+pub fn cross_section_profile(part: &PrintedPart, slabs: usize) -> Vec<f64> {
+    assert!(slabs > 0, "need at least one slab");
+    let (nx, ny, nz) = part.dims();
+    let (vxy, vz) = part.voxel_size();
+    let mut areas = vec![0.0; slabs];
+    let mut columns = vec![0usize; slabs];
+    for k in 0..nz {
+        for j in 0..ny {
+            for i in 0..nx {
+                if part.at(i, j, k) == Material::Model {
+                    let s = (i * slabs) / nx;
+                    areas[s] += vxy * vz;
+                    columns[s] += 1;
+                }
+            }
+        }
+    }
+    // Normalize each slab by the number of voxel columns it spans in x.
+    let per_slab_cols = (nx as f64 / slabs as f64).max(1.0);
+    for a in &mut areas {
+        *a /= per_slab_cols;
+    }
+    areas
+}
+
+/// Density of the printed part relative to a fully dense part of the same
+/// bounding volume of model material — the "measure weight/density" check
+/// of Table 1.
+pub fn relative_density(part: &PrintedPart, reference: &PrintedPart) -> f64 {
+    let w = part.weight_g();
+    let r = reference.weight_g();
+    if r == 0.0 {
+        0.0
+    } else {
+        w / r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use am_cad::parts::{intact_prism, prism_with_sphere, PrismDims};
+    use am_cad::{BodyKind, MaterialRemoval};
+    use am_mesh::{tessellate_shells, Resolution};
+    use self::am_printer_test_util::print_with;
+    use am_slicer::Orientation;
+
+    // Small local helper namespace to avoid duplicating the print pipeline
+    // in every test below.
+    mod am_printer_test_util {
+        use super::*;
+        use crate::PrinterProfile;
+        use am_slicer::{
+            build_transform, generate_toolpath, orient_shells, slice_shells, SlicerConfig,
+        };
+
+        pub fn print_with(part: &am_cad::ResolvedPart, orientation: Orientation) -> PrintedPart {
+            let shells = tessellate_shells(part, &Resolution::Coarse.params());
+            let oriented = orient_shells(&shells, orientation);
+            let to_build = build_transform(&shells, orientation);
+            let sliced = slice_shells(&oriented, 0.1778);
+            let toolpath = generate_toolpath(&sliced, &SlicerConfig::default());
+            PrintedPart::from_toolpath(
+                &toolpath,
+                &PrinterProfile::dimension_elite(),
+                to_build,
+                11,
+            )
+        }
+    }
+
+    #[test]
+    fn intact_prism_scan_is_clean() {
+        let part = intact_prism(&PrismDims::default()).resolve().unwrap();
+        let printed = print_with(&part, Orientation::Xy);
+        let report = scan(&printed);
+        assert_eq!(report.internal_support_voxels, 0);
+        assert!(report.internal_void_volume < 10.0, "{report:?}");
+        assert_eq!(report.cold_joint_area, 0.0);
+    }
+
+    #[test]
+    fn dissolved_sphere_leaves_detectable_void() {
+        let dims = PrismDims::default();
+        let part = prism_with_sphere(&dims, BodyKind::Surface, MaterialRemoval::Without)
+            .unwrap()
+            .resolve()
+            .unwrap();
+        let mut printed = print_with(&part, Orientation::Xy);
+        let before = scan(&printed);
+        assert!(before.internal_support_voxels > 0, "support fills the sphere");
+        printed.dissolve_support();
+        let after = scan(&printed);
+        let sphere_vol = 4.0 / 3.0 * std::f64::consts::PI * dims.sphere_radius.powi(3);
+        assert!(
+            (after.internal_void_volume - sphere_vol).abs() / sphere_vol < 0.6,
+            "void {} vs sphere {sphere_vol}",
+            after.internal_void_volume
+        );
+    }
+
+    #[test]
+    fn removal_solid_scan_matches_intact() {
+        let dims = PrismDims::default();
+        let solid = prism_with_sphere(&dims, BodyKind::Solid, MaterialRemoval::With)
+            .unwrap()
+            .resolve()
+            .unwrap();
+        let mut printed = print_with(&solid, Orientation::Xy);
+        printed.dissolve_support();
+        let report = scan(&printed);
+        assert!(report.internal_void_volume < 10.0, "{report:?}");
+    }
+
+    #[test]
+    fn cross_section_profile_flat_for_prism() {
+        let part = intact_prism(&PrismDims::default()).resolve().unwrap();
+        let printed = print_with(&part, Orientation::Xy);
+        let profile = cross_section_profile(&printed, 10);
+        let mid = profile[5];
+        for (s, a) in profile.iter().enumerate().skip(1).take(8) {
+            assert!((a - mid).abs() / mid < 0.2, "slab {s}: {a} vs {mid}");
+        }
+    }
+
+    #[test]
+    fn relative_density_near_one_for_same_part() {
+        let part = intact_prism(&PrismDims::default()).resolve().unwrap();
+        let a = print_with(&part, Orientation::Xy);
+        let b = print_with(&part, Orientation::Xy);
+        let d = relative_density(&a, &b);
+        assert!((d - 1.0).abs() < 0.02, "density ratio {d}");
+    }
+}

@@ -1,0 +1,35 @@
+//! FDM and PolyJet process simulators: voxel deposition, support
+//! dissolution and artifact inspection.
+//!
+//! This crate is the physical-printer stand-in of the ObfusCADe
+//! reproduction (see DESIGN.md §2):
+//!
+//! * [`PrinterProfile`] — machine presets for the paper's two printers, the
+//!   Stratasys Dimension Elite (FDM, ABS + soluble support, 178 µm layers)
+//!   and the Objet30 Pro (PolyJet, VeroClear, 16 µm layers).
+//! * [`PrintedPart`] — a voxel artifact deposited from a
+//!   [tool path](am_slicer::ToolPath), with seeded process noise, support
+//!   dissolution, and model-frame sampling for downstream testing.
+//! * [`scan`]/[`cross_section_profile`]/[`relative_density`] — the
+//!   inspection toolbox of the paper's "Testing" stage (Table 1):
+//!   simulated CT detects enclosed voids, trapped support and cold-joint
+//!   seam area.
+//!
+//! # Examples
+//!
+//! See [`PrintedPart`] for the full print pipeline example.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod artifact;
+mod firmware;
+mod inspect;
+mod machine;
+mod material;
+
+pub use artifact::PrintedPart;
+pub use firmware::{check_limits, BuildEnvelope, LimitViolation};
+pub use inspect::{cross_section_profile, relative_density, scan, ScanReport};
+pub use machine::{PrinterProfile, Process};
+pub use material::{Material, MaterialSpec};

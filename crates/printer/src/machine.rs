@@ -1,0 +1,148 @@
+//! Printer machine profiles.
+
+use std::fmt;
+
+use crate::MaterialSpec;
+
+/// The deposition process family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Process {
+    /// Fused deposition modeling (extruded thermoplastic roads).
+    Fdm,
+    /// Material jetting (PolyJet): jetted photopolymer, UV-cured per layer.
+    PolyJet,
+}
+
+impl fmt::Display for Process {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Process::Fdm => write!(f, "FDM"),
+            Process::PolyJet => write!(f, "PolyJet"),
+        }
+    }
+}
+
+/// A printer machine profile: geometry, kinematics and bonding physics of
+/// the deposition process.
+///
+/// The bond factors scale the lattice-spring strengths in the virtual
+/// tensile tester: FDM roads fuse imperfectly (anisotropy between roads and
+/// layers); PolyJet's jetted micro-droplets cure into a nearly isotropic
+/// solid. Planted seams — roads of *different bodies* that merely abut — get
+/// the `joint_bond` factor and the brittle `joint_ductility`, which is the
+/// mechanical heart of the paper's Table 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrinterProfile {
+    /// Machine name.
+    pub name: &'static str,
+    /// Process family.
+    pub process: Process,
+    /// Layer height (mm).
+    pub layer_height: f64,
+    /// Road / jet swath width (mm).
+    pub road_width: f64,
+    /// Head feed rate (mm/s) for time estimates.
+    pub feed_mm_per_s: f64,
+    /// Build material.
+    pub model_material: MaterialSpec,
+    /// Whether support material is soluble (washes away).
+    pub soluble_support: bool,
+    /// Relative strength of the bond between adjacent roads in one layer.
+    pub road_bond: f64,
+    /// Relative strength of the bond between stacked layers.
+    pub layer_bond: f64,
+    /// Relative strength of the cold joint between abutting *bodies*.
+    pub joint_bond: f64,
+    /// Ductility fraction of a cold joint relative to bulk material.
+    pub joint_ductility: f64,
+    /// Relative deposition noise (road-width modulation, 1σ).
+    pub noise_sigma: f64,
+}
+
+impl PrinterProfile {
+    /// The Stratasys Dimension Elite FDM printer of the paper: ABS model
+    /// material, soluble SR-10 support, 178 µm layers.
+    pub fn dimension_elite() -> Self {
+        PrinterProfile {
+            name: "Stratasys Dimension Elite",
+            process: Process::Fdm,
+            layer_height: 0.1778,
+            road_width: 0.5,
+            feed_mm_per_s: 30.0,
+            model_material: MaterialSpec::abs(),
+            soluble_support: true,
+            road_bond: 0.92,
+            layer_bond: 0.80,
+            joint_bond: 0.93,
+            joint_ductility: 0.22,
+            noise_sigma: 0.03,
+        }
+    }
+
+    /// The Stratasys Objet30 Pro PolyJet printer of the paper: VeroClear
+    /// resin, 16 µm minimum layer thickness.
+    pub fn objet30_pro() -> Self {
+        PrinterProfile {
+            name: "Stratasys Objet30 Pro",
+            process: Process::PolyJet,
+            layer_height: 0.016,
+            road_width: 0.1,
+            feed_mm_per_s: 80.0,
+            model_material: MaterialSpec::vero_clear(),
+            soluble_support: true,
+            road_bond: 0.98,
+            layer_bond: 0.96,
+            joint_bond: 0.95,
+            joint_ductility: 0.30,
+            noise_sigma: 0.01,
+        }
+    }
+
+    /// Validates the profile parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive geometry or bond factors outside `(0, 1]`.
+    pub fn assert_valid(&self) {
+        assert!(self.layer_height > 0.0 && self.road_width > 0.0, "geometry must be positive");
+        assert!(self.feed_mm_per_s > 0.0, "feed must be positive");
+        for (name, v) in [
+            ("road_bond", self.road_bond),
+            ("layer_bond", self.layer_bond),
+            ("joint_bond", self.joint_bond),
+            ("joint_ductility", self.joint_ductility),
+        ] {
+            assert!(v > 0.0 && v <= 1.0, "{name} must be in (0, 1], got {v}");
+        }
+        assert!((0.0..0.5).contains(&self.noise_sigma), "noise_sigma out of range");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_machines_validate() {
+        PrinterProfile::dimension_elite().assert_valid();
+        PrinterProfile::objet30_pro().assert_valid();
+    }
+
+    #[test]
+    fn polyjet_has_finer_layers_than_fdm() {
+        // The paper: 16 µm vs 178 µm.
+        let fdm = PrinterProfile::dimension_elite();
+        let pj = PrinterProfile::objet30_pro();
+        assert!(pj.layer_height < fdm.layer_height / 10.0);
+        assert_eq!(fdm.process, Process::Fdm);
+        assert_eq!(pj.process, Process::PolyJet);
+    }
+
+    #[test]
+    fn polyjet_more_isotropic_than_fdm() {
+        let fdm = PrinterProfile::dimension_elite();
+        let pj = PrinterProfile::objet30_pro();
+        assert!(pj.layer_bond > fdm.layer_bond);
+        assert!(pj.noise_sigma < fdm.noise_sigma);
+    }
+}

@@ -1,0 +1,86 @@
+//! Build materials and their mechanical parameters.
+
+use std::fmt;
+
+/// What occupies a voxel of the printed artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Material {
+    /// Nothing (air / dissolved support).
+    #[default]
+    Empty,
+    /// Build material.
+    Model,
+    /// Soluble support material.
+    Support,
+}
+
+impl fmt::Display for Material {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Material::Empty => write!(f, "empty"),
+            Material::Model => write!(f, "model"),
+            Material::Support => write!(f, "support"),
+        }
+    }
+}
+
+/// Bulk mechanical parameters of a build material, used by the virtual
+/// tensile tester to scale lattice springs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaterialSpec {
+    /// Material name.
+    pub name: &'static str,
+    /// Young's modulus (GPa).
+    pub young_modulus_gpa: f64,
+    /// Ultimate tensile strength (MPa).
+    pub tensile_strength_mpa: f64,
+    /// Elongation at break of a perfectly printed road (strain).
+    pub elongation_at_break: f64,
+    /// Density (g/cm³).
+    pub density_g_cm3: f64,
+}
+
+impl MaterialSpec {
+    /// Stratasys ABS model material (P430-class), the paper's FDM filament.
+    pub fn abs() -> Self {
+        MaterialSpec {
+            name: "ABS",
+            young_modulus_gpa: 2.1,
+            tensile_strength_mpa: 33.0,
+            elongation_at_break: 0.10,
+            density_g_cm3: 1.04,
+        }
+    }
+
+    /// Stratasys VeroClear rigid photopolymer, the paper's PolyJet resin.
+    pub fn vero_clear() -> Self {
+        MaterialSpec {
+            name: "VeroClear",
+            young_modulus_gpa: 2.5,
+            tensile_strength_mpa: 58.0,
+            elongation_at_break: 0.18,
+            density_g_cm3: 1.18,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_are_physical() {
+        for spec in [MaterialSpec::abs(), MaterialSpec::vero_clear()] {
+            assert!(spec.young_modulus_gpa > 0.0);
+            assert!(spec.tensile_strength_mpa > 0.0);
+            assert!(spec.elongation_at_break > 0.0 && spec.elongation_at_break < 1.0);
+            assert!(spec.density_g_cm3 > 0.5 && spec.density_g_cm3 < 2.0);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Material::Model.to_string(), "model");
+        assert_eq!(Material::Empty.to_string(), "empty");
+    }
+}

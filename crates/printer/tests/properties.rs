@@ -1,0 +1,92 @@
+//! Property-based tests for the deposition simulator.
+
+use am_cad::{Feature, Part, SolidShape};
+use am_geom::{Aabb3, Point3};
+use am_mesh::{tessellate_shells, Resolution};
+use am_printer::{check_limits, scan, BuildEnvelope, Material, PrintedPart, PrinterProfile};
+use am_slicer::{
+    build_transform, generate_toolpath, orient_shells, slice_shells, Orientation, SlicerConfig,
+};
+use proptest::prelude::*;
+
+fn print_box(w: f64, h: f64, d: f64, seed: u64) -> PrintedPart {
+    let part = Part::new("box")
+        .with_feature(Feature::Base(SolidShape::Cuboid(Aabb3::new(
+            Point3::ZERO,
+            Point3::new(w, h, d),
+        ))))
+        .unwrap()
+        .resolve()
+        .unwrap();
+    let shells = tessellate_shells(&part, &Resolution::Fine.params());
+    let oriented = orient_shells(&shells, Orientation::Xy);
+    let to_build = build_transform(&shells, Orientation::Xy);
+    let sliced = slice_shells(&oriented, 0.3556);
+    let toolpath = generate_toolpath(&sliced, &SlicerConfig::default());
+    PrintedPart::from_toolpath(&toolpath, &PrinterProfile::dimension_elite(), to_build, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn printed_volume_tracks_design_volume(
+        w in 8.0..30.0f64, h in 8.0..20.0f64, d in 3.0..12.0f64, seed in 0u64..50,
+    ) {
+        let printed = print_box(w, h, d, seed);
+        let exact = w * h * d;
+        let vol = printed.material_volume(Material::Model);
+        prop_assert!((vol - exact).abs() / exact < 0.2, "vol {vol} vs {exact}");
+    }
+
+    #[test]
+    fn solid_box_scans_clean(w in 8.0..25.0f64, h in 8.0..16.0f64, seed in 0u64..20) {
+        let printed = print_box(w, h, 5.0, seed);
+        let report = scan(&printed);
+        prop_assert_eq!(report.cold_joint_area, 0.0);
+        prop_assert!(report.internal_void_volume < 0.02 * w * h * 5.0);
+    }
+
+    #[test]
+    fn model_frame_queries_respect_geometry(
+        w in 8.0..25.0f64, h in 8.0..16.0f64, d in 3.0..10.0f64,
+    ) {
+        let printed = print_box(w, h, d, 1);
+        prop_assert_eq!(
+            printed.material_at_model(Point3::new(w / 2.0, h / 2.0, d / 2.0)),
+            Material::Model
+        );
+        prop_assert_eq!(
+            printed.material_at_model(Point3::new(-w, -h, -d)),
+            Material::Empty
+        );
+    }
+
+    #[test]
+    fn weight_scales_linearly_with_volume(scale in 1.0..2.0f64) {
+        let small = print_box(10.0, 10.0, 4.0, 3);
+        let big = print_box(10.0 * scale, 10.0, 4.0, 3);
+        let ratio = big.weight_g() / small.weight_g();
+        prop_assert!((ratio - scale).abs() < 0.15 * scale, "ratio {ratio} vs {scale}");
+    }
+
+    #[test]
+    fn benign_toolpaths_pass_firmware(w in 8.0..40.0f64, h in 8.0..20.0f64) {
+        let part = Part::new("box")
+            .with_feature(Feature::Base(SolidShape::Cuboid(Aabb3::new(
+                Point3::ZERO,
+                Point3::new(w, h, 4.0),
+            ))))
+            .unwrap()
+            .resolve()
+            .unwrap();
+        let shells = tessellate_shells(&part, &Resolution::Fine.params());
+        let oriented = orient_shells(&shells, Orientation::Xy);
+        // Place with a bed margin, as the pipeline does.
+        let margin = am_geom::Transform3::translation(am_geom::Vec3::new(5.0, 5.0, 0.0));
+        let placed: Vec<_> = oriented.iter().map(|m| m.transformed(&margin)).collect();
+        let sliced = slice_shells(&placed, 0.3556);
+        let toolpath = generate_toolpath(&sliced, &SlicerConfig::default());
+        prop_assert!(check_limits(&toolpath, &BuildEnvelope::dimension_elite()).is_empty());
+    }
+}

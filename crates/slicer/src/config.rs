@@ -1,0 +1,164 @@
+//! Slicer configuration.
+
+use std::fmt;
+
+/// Interior fill style.
+///
+/// The paper's CatalystEX runs used a **solid** model interior; sparse
+/// fill is the common cost-saving alternative — and a counterfeiter's
+/// temptation, since it is exactly what the Table 1 "measure weight /
+/// density" inspection catches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InfillStyle {
+    /// Fully dense interior (the paper's setting).
+    Solid,
+    /// Sparse raster: only every n-th infill road is deposited.
+    /// `density` ∈ (0, 1]; perimeters stay dense.
+    Sparse {
+        /// Fraction of infill roads kept.
+        density: f64,
+    },
+}
+
+impl InfillStyle {
+    /// The row step implied by the style (1 = every row).
+    pub(crate) fn row_step(&self) -> usize {
+        match self {
+            InfillStyle::Solid => 1,
+            InfillStyle::Sparse { density } => (1.0 / density.clamp(0.05, 1.0)).round() as usize,
+        }
+    }
+}
+
+impl fmt::Display for InfillStyle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InfillStyle::Solid => write!(f, "solid"),
+            InfillStyle::Sparse { density } => write!(f, "sparse {:.0}%", density * 100.0),
+        }
+    }
+}
+
+/// Slicing parameters.
+///
+/// Defaults follow the paper's CatalystEX settings for the Stratasys
+/// Dimension Elite: 0.01778 cm (= 0.1778 mm) layer resolution and a solid
+/// model interior, with support generation enabled ("smart support fill").
+///
+/// # Examples
+///
+/// ```
+/// use am_slicer::SlicerConfig;
+///
+/// let cfg = SlicerConfig::default();
+/// assert!((cfg.layer_height - 0.1778).abs() < 1e-12);
+/// let fine = SlicerConfig { layer_height: 0.016, ..SlicerConfig::default() };
+/// assert!(fine.layer_height < cfg.layer_height);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlicerConfig {
+    /// Layer height (mm). FDM default: 0.1778.
+    pub layer_height: f64,
+    /// Deposited road (bead) width (mm); also the tool-path raster spacing.
+    pub road_width: f64,
+    /// Raster cell size (mm) for material classification and defect
+    /// diagnosis. Should be well below `road_width`.
+    pub analysis_cell: f64,
+    /// Whether to generate soluble support material (enclosed voids and
+    /// overhangs).
+    pub support: bool,
+    /// Interior fill style.
+    pub infill: InfillStyle,
+}
+
+impl Default for SlicerConfig {
+    fn default() -> Self {
+        SlicerConfig {
+            layer_height: 0.1778,
+            road_width: 0.5,
+            analysis_cell: 0.05,
+            support: true,
+            infill: InfillStyle::Solid,
+        }
+    }
+}
+
+impl SlicerConfig {
+    /// Validates all lengths are positive and consistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive or non-finite values, or if `analysis_cell`
+    /// exceeds `road_width`.
+    pub fn assert_valid(&self) {
+        for (name, v) in [
+            ("layer_height", self.layer_height),
+            ("road_width", self.road_width),
+            ("analysis_cell", self.analysis_cell),
+        ] {
+            assert!(v.is_finite() && v > 0.0, "{name} must be positive, got {v}");
+        }
+        assert!(
+            self.analysis_cell <= self.road_width,
+            "analysis_cell ({}) must not exceed road_width ({})",
+            self.analysis_cell,
+            self.road_width
+        );
+        if let InfillStyle::Sparse { density } = self.infill {
+            assert!(
+                density > 0.0 && density <= 1.0,
+                "sparse infill density must be in (0, 1], got {density}"
+            );
+        }
+    }
+}
+
+impl fmt::Display for SlicerConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "slicer[layer {} mm, road {} mm, support {}]",
+            self.layer_height, self.road_width, self.support
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_settings() {
+        let c = SlicerConfig::default();
+        assert!((c.layer_height - 0.1778).abs() < 1e-12);
+        assert!(c.support);
+        assert_eq!(c.infill, InfillStyle::Solid);
+        c.assert_valid();
+    }
+
+    #[test]
+    fn sparse_density_maps_to_row_step() {
+        assert_eq!(InfillStyle::Solid.row_step(), 1);
+        assert_eq!(InfillStyle::Sparse { density: 0.5 }.row_step(), 2);
+        assert_eq!(InfillStyle::Sparse { density: 0.25 }.row_step(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "sparse infill density")]
+    fn bad_sparse_density_rejected() {
+        SlicerConfig { infill: InfillStyle::Sparse { density: 0.0 }, ..SlicerConfig::default() }
+            .assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "layer_height must be positive")]
+    fn zero_layer_height_invalid() {
+        SlicerConfig { layer_height: 0.0, ..SlicerConfig::default() }.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "analysis_cell")]
+    fn oversized_analysis_cell_invalid() {
+        SlicerConfig { analysis_cell: 2.0, ..SlicerConfig::default() }.assert_valid();
+    }
+}

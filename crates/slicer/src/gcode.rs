@@ -1,0 +1,287 @@
+//! G-code emission and parsing.
+//!
+//! The paper's process chain sends a G-code part program to cloud-aware
+//! printer firmware (Fig. 1), and several attacks in Table 1 target this
+//! stage (tool-path theft, malicious coordinate injection). This module
+//! emits a minimal, self-contained dialect and can parse it back — the
+//! round trip is what `am-sidechannel` and the firmware simulator consume.
+//!
+//! Dialect:
+//!
+//! ```text
+//! ; comment
+//! T0 | T1            select model / support extruder
+//! G0 X.. Y.. Z..     travel (no extrusion)
+//! G1 X.. Y.. E..     extruding move at the current Z
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use am_geom::Point2;
+
+use crate::{Road, RoadKind, ToolMaterial, ToolPath};
+
+/// Errors from G-code parsing.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GcodeError {
+    /// A line could not be parsed.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GcodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GcodeError::BadLine { line, reason } => write!(f, "g-code line {line}: {reason}"),
+        }
+    }
+}
+
+impl Error for GcodeError {}
+
+/// Serializes a tool path into the G-code dialect.
+///
+/// Roads are emitted in order; travel moves (`G0`) reposition the head
+/// between disconnected roads, extruding moves (`G1`) deposit material.
+///
+/// # Examples
+///
+/// ```
+/// use am_slicer::{parse_gcode, to_gcode, ToolPath};
+///
+/// let empty = ToolPath::default();
+/// let text = to_gcode(&empty);
+/// assert!(text.starts_with("; obfuscade g-code"));
+/// let back = parse_gcode(&text)?;
+/// assert_eq!(back.roads.len(), 0);
+/// # Ok::<(), am_slicer::GcodeError>(())
+/// ```
+pub fn to_gcode(toolpath: &ToolPath) -> String {
+    let mut out = String::new();
+    out.push_str("; obfuscade g-code\n");
+    out.push_str(&format!(
+        "; layer_height {:.6} road_width {:.6}\n",
+        toolpath.layer_height, toolpath.road_width
+    ));
+    let mut pos: Option<(Point2, f64)> = None;
+    let mut tool: Option<ToolMaterial> = None;
+    for road in &toolpath.roads {
+        if tool != Some(road.material) {
+            out.push_str(match road.material {
+                ToolMaterial::Model => "T0\n",
+                ToolMaterial::Support => "T1\n",
+            });
+            tool = Some(road.material);
+        }
+        let here = (road.from, road.z);
+        let needs_travel = match pos {
+            Some((p, z)) => p.distance(here.0) > 1e-9 || (z - here.1).abs() > 1e-9,
+            None => true,
+        };
+        if needs_travel {
+            out.push_str(&format!(
+                "G0 X{:.4} Y{:.4} Z{:.4}\n",
+                road.from.x, road.from.y, road.z
+            ));
+        }
+        let e = road.length(); // extrusion units: road millimetres
+        let body = match road.body {
+            Some(b) => format!(" B{b}"),
+            None => String::new(),
+        };
+        let kind = match road.kind {
+            RoadKind::Perimeter => " ; perimeter",
+            RoadKind::Infill => "",
+        };
+        out.push_str(&format!(
+            "G1 X{:.4} Y{:.4} E{:.4}{body}{kind}\n",
+            road.to.x, road.to.y, e
+        ));
+        pos = Some((road.to, road.z));
+    }
+    out.push_str("; end\n");
+    out
+}
+
+/// Parses the G-code dialect back into a tool path.
+///
+/// # Errors
+///
+/// Returns [`GcodeError::BadLine`] for unknown commands or malformed
+/// coordinates. Header comments carry the layer/road geometry; if missing,
+/// both default to zero (lengths still parse).
+pub fn parse_gcode(text: &str) -> Result<ToolPath, GcodeError> {
+    let mut toolpath = ToolPath::default();
+    let mut pos = Point2::ZERO;
+    let mut z = 0.0f64;
+    let mut material = ToolMaterial::Model;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        // Header metadata.
+        if let Some(rest) = raw.strip_prefix("; layer_height ") {
+            let mut it = rest.split_whitespace();
+            toolpath.layer_height = parse_num(it.next(), lineno, "layer height")?;
+            if it.next() == Some("road_width") {
+                toolpath.road_width = parse_num(it.next(), lineno, "road width")?;
+            }
+            continue;
+        }
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let kind_comment = raw.contains("; perimeter");
+        let mut words = line.split_whitespace();
+        match words.next() {
+            Some("T0") => material = ToolMaterial::Model,
+            Some("T1") => material = ToolMaterial::Support,
+            Some("G0") => {
+                for w in words {
+                    match w.split_at(1) {
+                        ("X", v) => pos.x = parse_val(v, lineno)?,
+                        ("Y", v) => pos.y = parse_val(v, lineno)?,
+                        ("Z", v) => z = parse_val(v, lineno)?,
+                        _ => {
+                            return Err(GcodeError::BadLine {
+                                line: lineno,
+                                reason: format!("unknown G0 word {w}"),
+                            })
+                        }
+                    }
+                }
+            }
+            Some("G1") => {
+                let mut to = pos;
+                let mut body = None;
+                for w in words {
+                    match w.split_at(1) {
+                        ("X", v) => to.x = parse_val(v, lineno)?,
+                        ("Y", v) => to.y = parse_val(v, lineno)?,
+                        ("E", _) => {}
+                        ("B", v) => {
+                            body = Some(v.parse::<u16>().map_err(|_| GcodeError::BadLine {
+                                line: lineno,
+                                reason: format!("bad body tag {v}"),
+                            })?)
+                        }
+                        _ => {
+                            return Err(GcodeError::BadLine {
+                                line: lineno,
+                                reason: format!("unknown G1 word {w}"),
+                            })
+                        }
+                    }
+                }
+                toolpath.roads.push(Road {
+                    from: pos,
+                    to,
+                    z,
+                    material,
+                    kind: if kind_comment { RoadKind::Perimeter } else { RoadKind::Infill },
+                    body,
+                });
+                pos = to;
+            }
+            Some(cmd) => {
+                return Err(GcodeError::BadLine {
+                    line: lineno,
+                    reason: format!("unknown command {cmd}"),
+                })
+            }
+            None => {}
+        }
+    }
+    Ok(toolpath)
+}
+
+fn parse_num(tok: Option<&str>, line: usize, what: &str) -> Result<f64, GcodeError> {
+    tok.and_then(|t| t.parse().ok()).ok_or_else(|| GcodeError::BadLine {
+        line,
+        reason: format!("bad {what}"),
+    })
+}
+
+fn parse_val(v: &str, line: usize) -> Result<f64, GcodeError> {
+    v.parse().map_err(|_| GcodeError::BadLine { line, reason: format!("bad coordinate {v}") })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use am_cad::parts::{prism_with_sphere, PrismDims};
+    use am_cad::{BodyKind, MaterialRemoval};
+    use am_mesh::{tessellate_shells, Resolution};
+    use crate::{generate_toolpath, slice_shells, SlicerConfig};
+
+    fn sample_toolpath() -> ToolPath {
+        let part = prism_with_sphere(
+            &PrismDims::default(),
+            BodyKind::Solid,
+            MaterialRemoval::Without,
+        )
+        .unwrap()
+        .resolve()
+        .unwrap();
+        let shells = tessellate_shells(&part, &Resolution::Coarse.params());
+        let sliced = slice_shells(&shells, 0.3556); // double height: faster test
+        generate_toolpath(&sliced, &SlicerConfig::default())
+    }
+
+    #[test]
+    fn round_trip_preserves_roads_and_lengths() {
+        let tp = sample_toolpath();
+        let text = to_gcode(&tp);
+        let back = parse_gcode(&text).unwrap();
+        assert_eq!(back.roads.len(), tp.roads.len());
+        assert!((back.layer_height - tp.layer_height).abs() < 1e-9);
+        assert!((back.road_width - tp.road_width).abs() < 1e-9);
+        for m in [ToolMaterial::Model, ToolMaterial::Support] {
+            let a = tp.total_length(m);
+            let b = back.total_length(m);
+            assert!((a - b).abs() < 0.01 * a.max(1.0), "{m}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_kinds() {
+        let tp = sample_toolpath();
+        let back = parse_gcode(&to_gcode(&tp)).unwrap();
+        let count = |t: &ToolPath, k: RoadKind| t.roads.iter().filter(|r| r.kind == k).count();
+        assert_eq!(count(&tp, RoadKind::Perimeter), count(&back, RoadKind::Perimeter));
+        assert_eq!(count(&tp, RoadKind::Infill), count(&back, RoadKind::Infill));
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        let err = parse_gcode("M999 panic\n").unwrap_err();
+        assert!(matches!(err, GcodeError::BadLine { line: 1, .. }));
+    }
+
+    #[test]
+    fn bad_coordinate_rejected() {
+        let err = parse_gcode("G0 Xnope Y0 Z0\n").unwrap_err();
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let tp = parse_gcode("; hello\n\n; world\n").unwrap();
+        assert!(tp.roads.is_empty());
+    }
+
+    #[test]
+    fn tool_changes_tracked() {
+        let text = "T1\nG0 X0 Y0 Z0.1\nG1 X5 Y0 E5\nT0\nG0 X0 Y1 Z0.1\nG1 X5 Y1 E5\n";
+        let tp = parse_gcode(text).unwrap();
+        assert_eq!(tp.roads.len(), 2);
+        assert_eq!(tp.roads[0].material, ToolMaterial::Support);
+        assert_eq!(tp.roads[1].material, ToolMaterial::Model);
+    }
+}

@@ -1,0 +1,169 @@
+//! Print orientations (Fig. 6 of the paper).
+
+use std::fmt;
+
+use am_geom::{Transform3, Vec3};
+use am_mesh::TriMesh;
+
+/// A build orientation for the part on the printer bed.
+///
+/// The paper defines two (Fig. 6):
+///
+/// * **x-y** — the specimen lies flat; build layers stack through the part's
+///   *thickness*. The spline split surface lies **in** each layer.
+/// * **x-z** — the specimen stands on its long edge; build layers stack
+///   through the part's *width*. Each layer **crosses** the split surface.
+///
+/// Orientation is one coordinate of the ObfusCADe [process
+/// key](https://dl.acm.org/doi/10.1145/3061639.3079847): printing a
+/// spline-split model in x-z manifests the seam at every STL resolution.
+///
+/// # Examples
+///
+/// ```
+/// use am_slicer::Orientation;
+///
+/// assert_eq!(Orientation::ALL.len(), 2);
+/// assert_eq!(Orientation::Xy.to_string(), "x-y");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Orientation {
+    /// Flat on the bed: build z = model thickness (z).
+    Xy,
+    /// Standing on the long edge: build z = model width (y).
+    Xz,
+}
+
+impl Orientation {
+    /// Both paper orientations.
+    pub const ALL: [Orientation; 2] = [Orientation::Xy, Orientation::Xz];
+
+    /// The rigid rotation from model coordinates to build coordinates.
+    pub fn rotation(self) -> Transform3 {
+        match self {
+            Orientation::Xy => Transform3::identity(),
+            // Rotate +90° about x: model (x, y, z) → (x, −z, y), so the
+            // model's width (y) becomes the build height.
+            Orientation::Xz => Transform3::rotation_x(std::f64::consts::FRAC_PI_2),
+        }
+    }
+}
+
+impl fmt::Display for Orientation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Orientation::Xy => write!(f, "x-y"),
+            Orientation::Xz => write!(f, "x-z"),
+        }
+    }
+}
+
+/// Rotates `mesh` into the given orientation and translates it so its
+/// bounding-box minimum sits at the origin (on the build plate).
+///
+/// Returns the mesh unchanged (but still re-homed) for [`Orientation::Xy`].
+///
+/// # Examples
+///
+/// ```
+/// use am_cad::parts::{tensile_bar, TensileBarDims};
+/// use am_mesh::{tessellate_part, Resolution};
+/// use am_slicer::{orient_mesh, Orientation};
+///
+/// let dims = TensileBarDims::default();
+/// let part = tensile_bar(&dims)?.resolve()?;
+/// let mesh = tessellate_part(&part, &Resolution::Fine.params());
+///
+/// let flat = orient_mesh(&mesh, Orientation::Xy);
+/// let standing = orient_mesh(&mesh, Orientation::Xz);
+/// let (bf, bs) = (flat.aabb().unwrap(), standing.aabb().unwrap());
+/// assert!((bf.size().z - dims.thickness).abs() < 1e-9);   // flat: thin
+/// assert!((bs.size().z - dims.grip_width).abs() < 1e-9);  // standing: tall
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn orient_mesh(mesh: &TriMesh, orientation: Orientation) -> TriMesh {
+    let rotated = mesh.transformed(&orientation.rotation());
+    match rotated.aabb() {
+        Some(b) => rotated.transformed(&Transform3::translation(Vec3::ZERO - b.min)),
+        None => rotated,
+    }
+}
+
+/// Orients a multi-shell model coherently: every shell gets the **same**
+/// rotation and translation (computed from the union bounding box), so the
+/// bodies keep their relative placement — essential for split parts, whose
+/// two bodies must stay separated by exactly the planted seam.
+pub fn orient_shells(shells: &[TriMesh], orientation: Orientation) -> Vec<TriMesh> {
+    let t = build_transform(shells, orientation);
+    shells.iter().map(|m| m.transformed(&t)).collect()
+}
+
+/// The full model→build transform [`orient_shells`] applies: the
+/// orientation rotation followed by the translation that homes the union
+/// bounding box onto the build plate.
+///
+/// Downstream consumers (the printer simulator, the virtual test bench)
+/// keep this transform so printed voxels can be sampled back in **model**
+/// coordinates.
+pub fn build_transform(shells: &[TriMesh], orientation: Orientation) -> Transform3 {
+    let rotation = orientation.rotation();
+    let bounds = shells
+        .iter()
+        .map(|m| m.transformed(&rotation))
+        .filter_map(|m| m.aabb())
+        .reduce(|a, b| a.union(&b));
+    match bounds {
+        Some(b) => rotation.then(&Transform3::translation(Vec3::ZERO - b.min)),
+        None => rotation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use am_cad::parts::{tensile_bar, TensileBarDims};
+    use am_mesh::{tessellate_part, Resolution};
+
+    fn bar_mesh() -> TriMesh {
+        let part = tensile_bar(&TensileBarDims::default()).unwrap().resolve().unwrap();
+        tessellate_part(&part, &Resolution::Coarse.params())
+    }
+
+    #[test]
+    fn xy_is_identity_rotation() {
+        let m = bar_mesh();
+        let o = orient_mesh(&m, Orientation::Xy);
+        let (bm, bo) = (m.aabb().unwrap(), o.aabb().unwrap());
+        assert!(bo.min.approx_eq(am_geom::Vec3::ZERO, am_geom::Tolerance::new(1e-9)));
+        assert!(bo.size().approx_eq(bm.size(), am_geom::Tolerance::new(1e-9)));
+    }
+
+    #[test]
+    fn xz_swaps_width_and_height() {
+        let m = bar_mesh();
+        let bm = m.aabb().unwrap().size();
+        let bo = orient_mesh(&m, Orientation::Xz).aabb().unwrap().size();
+        assert!((bo.x - bm.x).abs() < 1e-9);
+        assert!((bo.y - bm.z).abs() < 1e-9);
+        assert!((bo.z - bm.y).abs() < 1e-9);
+    }
+
+    #[test]
+    fn orienting_preserves_volume() {
+        let m = bar_mesh();
+        for o in Orientation::ALL {
+            let v = orient_mesh(&m, o).signed_volume();
+            assert!((v - m.signed_volume()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn mesh_sits_on_build_plate() {
+        let m = bar_mesh();
+        for o in Orientation::ALL {
+            let b = orient_mesh(&m, o).aabb().unwrap();
+            assert!(b.min.z.abs() < 1e-9);
+            assert!(b.min.x.abs() < 1e-9 && b.min.y.abs() < 1e-9);
+        }
+    }
+}

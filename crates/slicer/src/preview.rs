@@ -1,0 +1,202 @@
+//! Text rendering of sliced layers — the CatalystEX "Preview function"
+//! (§3.1: "allows visualization and navigation of the 2D tool paths
+//! generated for each layer").
+
+use crate::{CellMaterial, RasterLayer};
+
+/// Renders a raster layer as ASCII art, downsampled to at most
+/// `max_width` columns: `#` model, `.` support, space empty.
+///
+/// A spline-split bar sliced in x-z shows the planted seam as a blank
+/// column wandering across consecutive layers — exactly the discontinuity
+/// of the paper's Fig. 7a.
+///
+/// # Examples
+///
+/// ```
+/// use am_geom::{Point2, Polygon2};
+/// use am_slicer::{rasterize_polygon, render_layer_ascii};
+///
+/// let poly = Polygon2::rectangle(Point2::new(0.0, 0.0), Point2::new(10.0, 3.0));
+/// let art = render_layer_ascii(&rasterize_polygon(&poly, 0.2), 40);
+/// assert!(art.contains('#'));
+/// ```
+pub fn render_layer_ascii(raster: &RasterLayer, max_width: usize) -> String {
+    let (nx, ny) = raster.dims();
+    if nx == 0 || ny == 0 {
+        return String::new();
+    }
+    let step = (nx / max_width.max(1)).max(1);
+    let mut out = String::new();
+    // Render top row first (y increases upward).
+    for j in (0..ny).step_by(step).rev() {
+        for i in (0..nx).step_by(step) {
+            // Down-sample with priority: model > support > empty, so thin
+            // features survive the down-sampling.
+            let mut cell = CellMaterial::Empty;
+            'block: for jj in j..(j + step).min(ny) {
+                for ii in i..(i + step).min(nx) {
+                    match raster.at(ii, jj) {
+                        CellMaterial::Model => {
+                            cell = CellMaterial::Model;
+                            break 'block;
+                        }
+                        CellMaterial::Support => cell = CellMaterial::Support,
+                        CellMaterial::Empty => {}
+                    }
+                }
+            }
+            out.push(match cell {
+                CellMaterial::Model => '#',
+                CellMaterial::Support => '.',
+                CellMaterial::Empty => ' ',
+            });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a layer with the seam *highlighted*: narrow empty gaps between
+/// model runs (≤ `seam_gap` mm, detected at full raster resolution, so
+/// sub-column cracks survive the down-sampling) render as `!` — making the
+/// Fig. 7a discontinuity jump out of the preview.
+pub fn render_layer_with_seam(raster: &RasterLayer, max_width: usize, seam_gap: f64) -> String {
+    let (nx, ny) = raster.dims();
+    if nx == 0 || ny == 0 {
+        return String::new();
+    }
+    // Full-resolution seam detection: empty runs between model cells whose
+    // width is at most `seam_gap`.
+    let gap_cells = (seam_gap / raster.cell_size()).ceil().max(1.0) as usize;
+    let mut seam = vec![false; nx * ny];
+    for j in 0..ny {
+        let mut i = 0;
+        let mut last_model_end: Option<usize> = None;
+        while i < nx {
+            match raster.at(i, j) {
+                CellMaterial::Model => {
+                    if let Some(end) = last_model_end {
+                        let gap = i - end;
+                        if gap > 0 && gap <= gap_cells {
+                            for k in end..i {
+                                seam[j * nx + k] = true;
+                            }
+                        }
+                    }
+                    while i < nx && raster.at(i, j) == CellMaterial::Model {
+                        i += 1;
+                    }
+                    last_model_end = Some(i);
+                }
+                CellMaterial::Support => {
+                    last_model_end = None;
+                    i += 1;
+                }
+                CellMaterial::Empty => {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    let step = (nx / max_width.max(1)).max(1);
+    let mut out = String::new();
+    for j in (0..ny).step_by(step).rev() {
+        for i in (0..nx).step_by(step) {
+            let mut cell = ' ';
+            'block: for jj in j..(j + step).min(ny) {
+                for ii in i..(i + step).min(nx) {
+                    if seam[jj * nx + ii] {
+                        cell = '!';
+                        break 'block;
+                    }
+                    match raster.at(ii, jj) {
+                        CellMaterial::Model => {
+                            if cell != '!' {
+                                cell = '#';
+                            }
+                        }
+                        CellMaterial::Support => {
+                            if cell == ' ' {
+                                cell = '.';
+                            }
+                        }
+                        CellMaterial::Empty => {}
+                    }
+                }
+            }
+            out.push(cell);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{rasterize_layer, rasterize_polygon, Contour, Layer};
+    use am_geom::{Point2, Polygon2};
+
+    #[test]
+    fn solid_rectangle_renders_as_block() {
+        let poly = Polygon2::rectangle(Point2::ZERO, Point2::new(10.0, 4.0));
+        let art = render_layer_ascii(&rasterize_polygon(&poly, 0.2), 30);
+        assert!(art.lines().count() >= 3);
+        let hashes = art.chars().filter(|&c| c == '#').count();
+        assert!(hashes > 50, "{art}");
+        assert!(!art.contains('.'));
+    }
+
+    #[test]
+    fn hole_renders_as_support_dots() {
+        let outer = Polygon2::rectangle(Point2::ZERO, Point2::new(20.0, 20.0));
+        let hole = Polygon2::circle(Point2::new(10.0, 10.0), 5.0, 32).reversed();
+        let layer = Layer {
+            z: 0.0,
+            loops: vec![
+                Contour { polygon: outer.clone(), body: 0 },
+                Contour { polygon: hole, body: 1 },
+            ],
+            open_paths: Vec::new(),
+        };
+        let raster = rasterize_layer(&layer, outer.aabb().inflated(0.5), 0.2, true);
+        let art = render_layer_ascii(&raster, 40);
+        assert!(art.contains('.'), "{art}");
+        assert!(art.contains('#'));
+    }
+
+    #[test]
+    fn seam_highlight_marks_narrow_gaps_only() {
+        // Two blocks, 0.4 mm apart (a seam) and then 8 mm apart (legit).
+        let a = Polygon2::rectangle(Point2::ZERO, Point2::new(5.0, 3.0));
+        let b = Polygon2::rectangle(Point2::new(5.4, 0.0), Point2::new(10.0, 3.0));
+        let c = Polygon2::rectangle(Point2::new(18.0, 0.0), Point2::new(22.0, 3.0));
+        let layer = Layer {
+            z: 0.0,
+            loops: [a, b, c]
+                .into_iter()
+                .enumerate()
+                .map(|(i, polygon)| Contour { polygon, body: i })
+                .collect(),
+            open_paths: Vec::new(),
+        };
+        let bounds = am_geom::Aabb2::new(Point2::new(-1.0, -1.0), Point2::new(23.0, 4.0));
+        let raster = rasterize_layer(&layer, bounds, 0.2, true);
+        let art = render_layer_with_seam(&raster, 120, 1.0);
+        assert!(art.contains('!'), "{art}");
+        // The 8 mm gap must not be highlighted end to end: count ! columns.
+        let marks = art.chars().filter(|&c| c == '!').count();
+        let rows = art.lines().count();
+        assert!(marks <= rows * 4, "too many seam marks:\n{art}");
+    }
+
+    #[test]
+    fn empty_raster_renders_empty() {
+        let poly = Polygon2::rectangle(Point2::ZERO, Point2::new(1.0, 1.0));
+        let raster = rasterize_polygon(&poly, 0.5);
+        let art = render_layer_ascii(&raster, 10);
+        assert!(!art.is_empty());
+    }
+}

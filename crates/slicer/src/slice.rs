@@ -1,0 +1,355 @@
+//! Plane slicing: meshes → per-layer oriented contours.
+
+use std::collections::HashMap;
+
+use am_geom::{Aabb3, Point2, Polygon2, Polyline2, Tolerance, Vec2};
+use am_mesh::TriMesh;
+
+/// One closed contour of a layer, tagged with the shell (body) that
+/// produced it. The tag is what lets diagnostics tell a planted split seam
+/// (contours of *different* bodies touching) from ordinary geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Contour {
+    /// The loop geometry, orientation-preserving (CCW = material boundary,
+    /// CW = cavity boundary — the STL facet-normal semantics of Table 3).
+    pub polygon: Polygon2,
+    /// Index of the source shell in the sliced shell list.
+    pub body: usize,
+}
+
+/// One build layer: oriented closed contours plus any chains that failed to
+/// close (open paths indicate surface holes in the input mesh).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layer {
+    /// Height of the slicing plane (mid-layer).
+    pub z: f64,
+    /// Closed contour loops.
+    pub loops: Vec<Contour>,
+    /// Chains that did not close (mesh defects).
+    pub open_paths: Vec<Polyline2>,
+}
+
+impl Layer {
+    /// Net cross-section area: CCW loops add, CW loops subtract.
+    pub fn net_area(&self) -> f64 {
+        self.loops.iter().map(|c| c.polygon.signed_area()).sum()
+    }
+
+    /// Signed winding number of the layer's loops around a point.
+    pub fn winding(&self, p: Point2) -> i32 {
+        self.loops.iter().map(|c| c.polygon.winding_number(p)).sum()
+    }
+
+    /// Iterates the loop polygons (untagged view).
+    pub fn polygons(&self) -> impl Iterator<Item = &Polygon2> {
+        self.loops.iter().map(|c| &c.polygon)
+    }
+}
+
+/// A sliced model: the layer stack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlicedModel {
+    /// Layers from bottom to top.
+    pub layers: Vec<Layer>,
+    /// Layer height used.
+    pub layer_height: f64,
+    /// Bounds of the sliced geometry.
+    pub bounds: Aabb3,
+}
+
+impl SlicedModel {
+    /// Total number of layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Sliced volume estimate: Σ net layer area × layer height.
+    pub fn volume_estimate(&self) -> f64 {
+        self.layers.iter().map(Layer::net_area).sum::<f64>() * self.layer_height
+    }
+}
+
+/// Slices a single mesh. See [`slice_shells`] for multi-body models.
+///
+/// # Panics
+///
+/// Panics if `layer_height` is not positive and finite.
+pub fn slice_mesh(mesh: &TriMesh, layer_height: f64) -> SlicedModel {
+    slice_shells(std::slice::from_ref(mesh), layer_height)
+}
+
+/// Slices a multi-shell model: each shell's facets are assembled into
+/// contours independently (shells never share edges, exactly like the
+/// independent bodies in a multi-body STL), then collected per layer.
+///
+/// Slicing planes sit at mid-layer heights: `z = z_min + (i + ½)·h`.
+///
+/// # Panics
+///
+/// Panics if `layer_height` is not positive and finite.
+///
+/// # Examples
+///
+/// ```
+/// use am_cad::parts::{intact_prism, PrismDims};
+/// use am_mesh::{tessellate_shells, Resolution};
+/// use am_slicer::slice_shells;
+///
+/// let part = intact_prism(&PrismDims::default()).resolve()?;
+/// let shells = tessellate_shells(&part, &Resolution::Fine.params());
+/// let sliced = slice_shells(&shells, 0.1778);
+/// assert_eq!(sliced.layer_count(), 71); // floor(12.7 / 0.1778 + 0.5) mid-layer planes
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn slice_shells(shells: &[TriMesh], layer_height: f64) -> SlicedModel {
+    assert!(
+        layer_height.is_finite() && layer_height > 0.0,
+        "layer height must be positive, got {layer_height}"
+    );
+    let bounds = shells
+        .iter()
+        .filter_map(TriMesh::aabb)
+        .reduce(|a, b| a.union(&b))
+        .unwrap_or(Aabb3::new(am_geom::Point3::ZERO, am_geom::Point3::ZERO));
+
+    let mut layers = Vec::new();
+    let mut z = bounds.min.z + layer_height * 0.5;
+    while z < bounds.max.z {
+        let mut layer = Layer { z, loops: Vec::new(), open_paths: Vec::new() };
+        for (body, shell) in shells.iter().enumerate() {
+            let segs = collect_segments(shell, z);
+            assemble(segs, body, &mut layer);
+        }
+        layers.push(layer);
+        z += layer_height;
+    }
+    SlicedModel { layers, layer_height, bounds }
+}
+
+/// Collects oriented intersection segments of a mesh with the plane `z`.
+///
+/// Each segment is directed so that material lies to its **left**: the
+/// direction is the facet normal's xy-projection rotated 90° CCW. Outward
+/// shells therefore assemble into CCW loops, inward shells into CW loops.
+fn collect_segments(mesh: &TriMesh, z: f64) -> Vec<(Point2, Point2)> {
+    let mut segs = Vec::new();
+    for tri in mesh.triangles() {
+        let Some((p, q)) = tri.intersect_z_plane(z) else { continue };
+        let Some(n) = tri.normal() else { continue };
+        let tangent = Vec2::new(-n.y, n.x);
+        let (a, b) = (p.to_2d(), q.to_2d());
+        if (b - a).dot(tangent) >= 0.0 {
+            segs.push((a, b));
+        } else {
+            segs.push((b, a));
+        }
+    }
+    segs
+}
+
+/// Chains directed segments into closed loops (and leftover open paths).
+fn assemble(segs: Vec<(Point2, Point2)>, body: usize, layer: &mut Layer) {
+    const QUANTUM: f64 = 1e-6;
+    let key = |p: Point2| -> (i64, i64) {
+        ((p.x / QUANTUM).round() as i64, (p.y / QUANTUM).round() as i64)
+    };
+
+    let mut by_start: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+    for (i, s) in segs.iter().enumerate() {
+        by_start.entry(key(s.0)).or_default().push(i);
+    }
+    let mut used = vec![false; segs.len()];
+
+    for start in 0..segs.len() {
+        if used[start] {
+            continue;
+        }
+        used[start] = true;
+        let mut chain: Vec<Point2> = vec![segs[start].0, segs[start].1];
+        let start_key = key(segs[start].0);
+        let mut closed = false;
+        loop {
+            let tail_key = key(*chain.last().expect("chain non-empty"));
+            if tail_key == start_key {
+                chain.pop(); // drop the duplicate closing point
+                closed = true;
+                break;
+            }
+            let next = by_start
+                .get(&tail_key)
+                .and_then(|cands| cands.iter().copied().find(|&i| !used[i]));
+            match next {
+                Some(i) => {
+                    used[i] = true;
+                    chain.push(segs[i].1);
+                }
+                None => break,
+            }
+        }
+        if !closed {
+            // Tolerate a slightly sloppy closure (mesh weld noise).
+            closed = chain.len() > 3
+                && chain[0].approx_eq(
+                    *chain.last().expect("chain non-empty"),
+                    Tolerance::new(QUANTUM * 16.0),
+                );
+            if closed {
+                chain.pop();
+            }
+        }
+        if closed && chain.len() >= 3 {
+            layer.loops.push(Contour { polygon: Polygon2::new(chain), body });
+        } else if chain.len() >= 2 {
+            layer.open_paths.push(Polyline2::new(chain));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use am_cad::parts::{
+        intact_prism, prism_with_sphere, tensile_bar, tensile_bar_with_spline, PrismDims,
+        TensileBarDims,
+    };
+    use am_cad::{BodyKind, MaterialRemoval};
+    use am_mesh::{tessellate_shells, Resolution};
+    use crate::{orient_mesh, Orientation};
+
+    fn slice_part(part: &am_cad::ResolvedPart, res: Resolution, h: f64) -> SlicedModel {
+        let shells = tessellate_shells(part, &res.params());
+        slice_shells(&shells, h)
+    }
+
+    #[test]
+    fn prism_slices_to_single_ccw_rectangle_per_layer() {
+        let part = intact_prism(&PrismDims::default()).resolve().unwrap();
+        let sliced = slice_part(&part, Resolution::Fine, 0.1778);
+        assert!(!sliced.layers.is_empty());
+        for layer in &sliced.layers {
+            assert_eq!(layer.loops.len(), 1, "z = {}", layer.z);
+            assert!(layer.open_paths.is_empty());
+            let a = layer.loops[0].polygon.signed_area();
+            assert!((a - 25.4 * 12.7).abs() < 1e-6, "area {a}");
+        }
+    }
+
+    #[test]
+    fn sliced_volume_matches_mesh_volume() {
+        let part = intact_prism(&PrismDims::default()).resolve().unwrap();
+        let sliced = slice_part(&part, Resolution::Fine, 0.05);
+        let exact = 25.4 * 12.7 * 12.7;
+        assert!((sliced.volume_estimate() - exact).abs() / exact < 0.01);
+    }
+
+    #[test]
+    fn embedded_sphere_layer_has_cw_inner_loop() {
+        let dims = PrismDims::default();
+        let part = prism_with_sphere(&dims, BodyKind::Solid, MaterialRemoval::Without)
+            .unwrap()
+            .resolve()
+            .unwrap();
+        let sliced = slice_part(&part, Resolution::Fine, 0.1778);
+        // The mid layer passes through the sphere.
+        let mid = &sliced.layers[sliced.layer_count() / 2];
+        assert_eq!(mid.loops.len(), 2, "z = {}", mid.z);
+        let mut areas: Vec<f64> = mid.polygons().map(Polygon2::signed_area).collect();
+        areas.sort_by(|a, b| a.partial_cmp(b).expect("finite areas"));
+        assert!(areas[0] < 0.0, "inner sphere loop must be CW: {areas:?}");
+        assert!(areas[1] > 0.0, "outer prism loop must be CCW");
+        // Winding at the sphere centre is 0: prism (+1) + cavity (−1).
+        let center = dims.size * 0.5;
+        assert_eq!(mid.winding(Point2::new(center.x, center.y)), 0);
+    }
+
+    #[test]
+    fn removal_solid_cancels_winding_at_center() {
+        let dims = PrismDims::default();
+        let part = prism_with_sphere(&dims, BodyKind::Solid, MaterialRemoval::With)
+            .unwrap()
+            .resolve()
+            .unwrap();
+        let sliced = slice_part(&part, Resolution::Fine, 0.1778);
+        let mid = &sliced.layers[sliced.layer_count() / 2];
+        assert_eq!(mid.loops.len(), 3);
+        let center = dims.size * 0.5;
+        // prism (+1) + cavity (−1) + solid body (+1) = +1 → model material.
+        assert_eq!(mid.winding(Point2::new(center.x, center.y)), 1);
+    }
+
+    #[test]
+    fn removal_surface_leaves_negative_winding() {
+        let dims = PrismDims::default();
+        let part = prism_with_sphere(&dims, BodyKind::Surface, MaterialRemoval::With)
+            .unwrap()
+            .resolve()
+            .unwrap();
+        let sliced = slice_part(&part, Resolution::Fine, 0.1778);
+        let mid = &sliced.layers[sliced.layer_count() / 2];
+        let center = dims.size * 0.5;
+        assert_eq!(mid.winding(Point2::new(center.x, center.y)), -1);
+    }
+
+    #[test]
+    fn intact_bar_xy_single_loop_per_layer() {
+        let part = tensile_bar(&TensileBarDims::default()).unwrap().resolve().unwrap();
+        let shells = tessellate_shells(&part, &Resolution::Coarse.params());
+        let oriented = crate::orient_shells(&shells, Orientation::Xy);
+        let sliced = slice_shells(&oriented, 0.1778);
+        for layer in &sliced.layers {
+            assert_eq!(layer.loops.len(), 1);
+        }
+    }
+
+    #[test]
+    fn split_bar_xy_layers_have_two_loops() {
+        let part = tensile_bar_with_spline(&TensileBarDims::default())
+            .unwrap()
+            .resolve()
+            .unwrap();
+        let sliced = slice_part(&part, Resolution::Coarse, 0.1778);
+        for layer in &sliced.layers {
+            assert_eq!(layer.loops.len(), 2, "z = {}", layer.z);
+            assert!(layer.polygons().all(|l| l.signed_area() > 0.0));
+        }
+    }
+
+    #[test]
+    fn split_bar_xz_gauge_layers_have_two_loops() {
+        let dims = TensileBarDims::default();
+        let part = tensile_bar_with_spline(&dims).unwrap().resolve().unwrap();
+        let shells = tessellate_shells(&part, &Resolution::Coarse.params());
+        let oriented = crate::orient_shells(&shells, Orientation::Xz);
+        let sliced = slice_shells(&oriented, 0.1778);
+        // Layers inside the gauge band (width ∈ gauge) cross the spline.
+        let gauge_lo = (dims.grip_width - dims.gauge_width) / 2.0;
+        let gauge_hi = gauge_lo + dims.gauge_width;
+        let mut crossing_layers = 0;
+        for layer in &sliced.layers {
+            if layer.z > gauge_lo + 0.3 && layer.z < gauge_hi - 0.3 {
+                assert!(layer.loops.len() >= 2, "z = {}: {} loops", layer.z, layer.loops.len());
+                crossing_layers += 1;
+            }
+        }
+        assert!(crossing_layers > 20, "expected many gauge layers, got {crossing_layers}");
+    }
+
+    #[test]
+    fn watertight_shells_produce_no_open_paths() {
+        let part = tensile_bar_with_spline(&TensileBarDims::default())
+            .unwrap()
+            .resolve()
+            .unwrap();
+        for res in Resolution::ALL {
+            let sliced = slice_part(&part, res, 0.1778);
+            let open: usize = sliced.layers.iter().map(|l| l.open_paths.len()).sum();
+            assert_eq!(open, 0, "{res}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "layer height must be positive")]
+    fn zero_layer_height_panics() {
+        let _ = slice_mesh(&TriMesh::new(), 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for slicing, rasterization and tool paths.
+
+use am_geom::{Aabb2, Point2, Polygon2};
+use am_slicer::{
+    generate_toolpath, rasterize_layer, slice_shells, Contour, Layer, SlicerConfig,
+    ToolMaterial,
+};
+use proptest::prelude::*;
+
+fn rect() -> impl Strategy<Value = (f64, f64, f64, f64)> {
+    (1.0..40.0f64, 1.0..20.0f64, -20.0..20.0f64, -20.0..20.0f64)
+}
+
+fn layer_of(polys: Vec<Polygon2>) -> Layer {
+    Layer {
+        z: 0.5,
+        loops: polys.into_iter().enumerate().map(|(i, polygon)| Contour { polygon, body: i }).collect(),
+        open_paths: Vec::new(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn raster_model_area_matches_polygon_area((w, h, x, y) in rect()) {
+        let poly = Polygon2::rectangle(Point2::new(x, y), Point2::new(x + w, y + h));
+        let layer = layer_of(vec![poly.clone()]);
+        let raster = rasterize_layer(&layer, poly.aabb().inflated(0.5), 0.1, true);
+        let area = raster.count(am_slicer::CellMaterial::Model) as f64 * 0.01;
+        prop_assert!((area - w * h).abs() / (w * h) < 0.1, "area {area} vs {}", w * h);
+        prop_assert_eq!(raster.model_components(), 1);
+        prop_assert_eq!(raster.internal_void_cells(), 0);
+    }
+
+    #[test]
+    fn hole_classifies_as_support((w, h, _, _) in rect(), r in 0.3..4.0f64) {
+        // A circular cavity (CW loop) inside a rectangle: enclosed region
+        // must classify as support, with winding semantics intact.
+        let w = w.max(12.0);
+        let h = h.max(12.0);
+        let outer = Polygon2::rectangle(Point2::ZERO, Point2::new(w, h));
+        let r = r.min(w.min(h) / 2.0 - 1.0).max(0.3);
+        let center = Point2::new(w / 2.0, h / 2.0);
+        let hole = Polygon2::circle(center, r, 24).reversed();
+        let layer = layer_of(vec![outer.clone(), hole]);
+        let raster = rasterize_layer(&layer, outer.aabb().inflated(0.5), 0.1, true);
+        prop_assert_eq!(raster.material_at(center), am_slicer::CellMaterial::Support);
+        prop_assert_eq!(
+            raster.material_at(Point2::new(0.5, 0.5)),
+            am_slicer::CellMaterial::Model
+        );
+    }
+
+    #[test]
+    fn toolpath_volume_tracks_box_volume((w, h, _, _) in rect(), depth in 2.0..10.0f64) {
+        use am_cad::{Part, Feature, SolidShape};
+        use am_geom::{Aabb3, Point3};
+        // Perimeter/infill overlap dominates on very small parts, so keep
+        // the footprint at realistic scale.
+        let (w, h) = (w.max(8.0), h.max(8.0));
+        let part = Part::new("box")
+            .with_feature(Feature::Base(SolidShape::Cuboid(Aabb3::new(
+                Point3::ZERO,
+                Point3::new(w, h, depth),
+            ))))
+            .unwrap()
+            .resolve()
+            .unwrap();
+        let shells = am_mesh::tessellate_shells(&part, &am_mesh::Resolution::Fine.params());
+        let sliced = slice_shells(&shells, 0.3556);
+        let tp = generate_toolpath(&sliced, &SlicerConfig::default());
+        let exact = w * h * depth;
+        let deposited = tp.material_volume(ToolMaterial::Model);
+        prop_assert!(
+            (deposited - exact).abs() / exact < 0.35,
+            "deposited {deposited} vs {exact}"
+        );
+    }
+
+    #[test]
+    fn gcode_round_trip_for_random_boxes((w, h, _, _) in rect()) {
+        use am_cad::{Part, Feature, SolidShape};
+        use am_geom::{Aabb3, Point3};
+        let part = Part::new("box")
+            .with_feature(Feature::Base(SolidShape::Cuboid(Aabb3::new(
+                Point3::ZERO,
+                Point3::new(w.max(3.0), h.max(3.0), 3.0),
+            ))))
+            .unwrap()
+            .resolve()
+            .unwrap();
+        let shells = am_mesh::tessellate_shells(&part, &am_mesh::Resolution::Coarse.params());
+        let sliced = slice_shells(&shells, 0.3556);
+        let tp = generate_toolpath(&sliced, &SlicerConfig::default());
+        let back = am_slicer::parse_gcode(&am_slicer::to_gcode(&tp)).unwrap();
+        prop_assert_eq!(back.roads.len(), tp.roads.len());
+        let (a, b) = (tp.total_length(ToolMaterial::Model), back.total_length(ToolMaterial::Model));
+        prop_assert!((a - b).abs() < 0.001 * a.max(1.0));
+    }
+
+    #[test]
+    fn sliced_volume_conservation((w, h, _, _) in rect(), depth in 2.0..10.0f64) {
+        use am_cad::{Part, Feature, SolidShape};
+        use am_geom::{Aabb3, Point3};
+        let (w, h) = (w.max(3.0), h.max(3.0));
+        let part = Part::new("box")
+            .with_feature(Feature::Base(SolidShape::Cuboid(Aabb3::new(
+                Point3::ZERO,
+                Point3::new(w, h, depth),
+            ))))
+            .unwrap()
+            .resolve()
+            .unwrap();
+        let shells = am_mesh::tessellate_shells(&part, &am_mesh::Resolution::Fine.params());
+        let sliced = slice_shells(&shells, 0.1);
+        let exact = w * h * depth;
+        prop_assert!(
+            (sliced.volume_estimate() - exact).abs() / exact < 0.05,
+            "sliced {} vs {exact}",
+            sliced.volume_estimate()
+        );
+    }
+}
+
+#[test]
+fn raster_layer_outside_bounds_is_empty() {
+    let poly = Polygon2::rectangle(Point2::ZERO, Point2::new(2.0, 2.0));
+    let layer = layer_of(vec![poly]);
+    let raster = rasterize_layer(
+        &layer,
+        Aabb2::new(Point2::new(-1.0, -1.0), Point2::new(3.0, 3.0)),
+        0.1,
+        true,
+    );
+    assert_eq!(raster.material_at(Point2::new(-0.5, -0.5)), am_slicer::CellMaterial::Empty);
+}

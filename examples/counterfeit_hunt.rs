@@ -1,0 +1,44 @@
+//! A counterfeiter's key-space search, and the defender's authentication.
+//!
+//! ```sh
+//! cargo run --release --example counterfeit_hunt
+//! ```
+
+use obfuscade::{
+    search_sphere_scheme, Authenticity, EmbeddedSphereScheme, ProcessPlan, QualityThresholds,
+};
+
+use am_mesh::Resolution;
+use am_slicer::Orientation;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scheme = EmbeddedSphereScheme::default();
+
+    // The adversary exhaustively prints the key space.
+    println!("counterfeiter searching the process-key space:");
+    let outcome = search_sphere_scheme(&scheme, &QualityThresholds::default(), 42)?;
+    for attempt in &outcome.attempts {
+        println!("  print {:<55} → {}", attempt.key.to_string(), attempt.verdict);
+    }
+    println!(
+        "success rate: {:.0}% — {} physical prints before the first good part\n",
+        outcome.success_rate() * 100.0,
+        outcome.prints_to_success.map(|n| n.to_string()).unwrap_or_else(|| "∞".into())
+    );
+
+    // Meanwhile, the defender authenticates seized parts by CT scan.
+    println!("defender authenticating seized parts:");
+    for recipe in obfuscade::CadRecipe::ALL {
+        let part = scheme.part_for_recipe(recipe)?;
+        let output =
+            obfuscade::run_pipeline(&part, &ProcessPlan::fdm(Resolution::Fine, Orientation::Xy))?;
+        let verdict = scheme.authenticate(&output.scan);
+        let marker = match verdict {
+            Authenticity::Genuine => "✓ genuine",
+            Authenticity::Counterfeit => "✗ counterfeit",
+            Authenticity::Inconclusive => "? inconclusive",
+        };
+        println!("  part made via {:<40} → {marker}", recipe.to_string());
+    }
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Walks the AM supply chain (Fig. 1), printing the applicable risks and
+//! mitigations of the paper's Table 1 at each stage, plus a live demo of
+//! the defender's STL-stage review tools.
+//!
+//! ```sh
+//! cargo run --release --example supply_chain_audit
+//! ```
+
+use am_cad::parts::{tensile_bar_with_spline, TensileBarDims};
+use am_mesh::{analyze_topology, t_junction_count, tessellate_part, Resolution};
+use obfuscade::risk::{attack_taxonomy, risk_table, AmStage};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== AM supply-chain audit (paper Table 1) ===\n");
+    for stage in AmStage::ALL {
+        println!("[{stage}]");
+        for risk in risk_table().into_iter().filter(|r| r.stage == stage) {
+            let tag = if risk.addressed_by_obfuscade { " (ObfusCADe)" } else { "" };
+            println!("  risk: {}{tag}", risk.description);
+            for m in risk.mitigations {
+                println!("    → {m}");
+            }
+        }
+        println!();
+    }
+
+    println!("=== attack taxonomy (paper Fig. 2) ===\n");
+    for a in attack_taxonomy() {
+        println!("  [{:<17}] {:<45} → {}", a.level.to_string(), a.name, a.goal);
+    }
+
+    // Live demo: the STL-stage reviewer runs geometry checks on an
+    // incoming (protected) file.
+    println!("\n=== STL-stage review of an incoming file ===\n");
+    let part = tensile_bar_with_spline(&TensileBarDims::default())?.resolve()?;
+    let mesh = tessellate_part(&part, &Resolution::Coarse.params());
+    let topo = analyze_topology(&mesh);
+    println!(
+        "mesh: {} triangles, {} edges, watertight: {}",
+        mesh.triangle_count(),
+        topo.edges,
+        topo.is_watertight()
+    );
+    let tj = t_junction_count(&mesh, am_geom::Tolerance::new(1e-6));
+    println!("exact T-junctions: {tj}");
+    println!(
+        "note: the ObfusCADe split hides from these checks — each body is a clean \
+         closed solid; only seam-aware analysis (am_mesh::seam_report) reveals it."
+    );
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! STL-stage attacks and the fingerprint defence (paper Table 1, STL row).
+//!
+//! An attacker in the supply chain modifies the STL in transit: scales it,
+//! injects a hidden void, or nudges mating-surface vertices. The design
+//! owner's registered fingerprint (size + hash + volume) catches all three.
+//!
+//! ```sh
+//! cargo run --release --example tamper_detection
+//! ```
+
+use am_cad::parts::{intact_prism, PrismDims};
+use am_geom::Point3;
+use am_mesh::{
+    endpoint_attack, fingerprint, scale_attack, tessellate_part, verify_fingerprint,
+    void_attack, Resolution, TamperEvidence,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The owner exports the part and registers its fingerprint.
+    let part = intact_prism(&PrismDims::default()).resolve()?;
+    let mesh = tessellate_part(&part, &Resolution::Fine.params());
+    let registered = fingerprint(&mesh);
+    println!(
+        "registered fingerprint: {:016x} ({} bytes, {} facets, {:.2} cm³)",
+        registered.hash,
+        registered.bytes,
+        registered.triangles,
+        registered.volume_centi_mm3 as f64 / 100_000.0
+    );
+
+    let attacks: Vec<(&str, am_mesh::TriMesh)> = vec![
+        ("untampered copy", mesh.clone()),
+        ("3% uniform shrink (dimension scaling)", scale_attack(&mesh, 0.97)),
+        (
+            "hidden 4 mm void (tetrahedron addition)",
+            void_attack(&mesh, Point3::new(12.7, 6.35, 6.35), 2.0),
+        ),
+        ("3 vertices nudged 0.2 mm (end point changes)", endpoint_attack(&mesh, 0.2, 3, 7)),
+    ];
+
+    for (name, received) in attacks {
+        let evidence = verify_fingerprint(&received, &registered);
+        if evidence.is_empty() {
+            println!("{name:<45} → OK");
+        } else {
+            let kinds: Vec<&str> = evidence
+                .iter()
+                .map(|e| match e {
+                    TamperEvidence::SizeChanged { .. } => "size",
+                    TamperEvidence::HashChanged => "hash",
+                    TamperEvidence::VolumeChanged { .. } => "volume",
+                    _ => "other",
+                })
+                .collect();
+            println!("{name:<45} → TAMPERED ({})", kinds.join(" + "));
+        }
+    }
+    Ok(())
+}

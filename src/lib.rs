@@ -1,0 +1,14 @@
+//! Umbrella crate for the ObfusCADe reproduction.
+//!
+//! Re-exports every crate in the workspace so examples and downstream users
+//! can depend on a single package. See the [`obfuscade`] crate for the
+//! paper's primary contribution and the README for an architecture overview.
+
+pub use am_cad as cad;
+pub use am_fea as fea;
+pub use am_geom as geom;
+pub use am_mesh as mesh;
+pub use am_printer as printer;
+pub use am_sidechannel as sidechannel;
+pub use am_slicer as slicer;
+pub use obfuscade as core;

@@ -1,0 +1,72 @@
+//! Cross-crate integration tests through the umbrella crate.
+
+use obfuscade_suite::cad::parts::{tensile_bar_with_spline, TensileBarDims};
+use obfuscade_suite::core::{run_pipeline, ProcessPlan, SplineSplitScheme};
+use obfuscade_suite::mesh::Resolution;
+use obfuscade_suite::slicer::{parse_gcode, to_gcode, Orientation, ToolMaterial};
+
+#[test]
+fn umbrella_reexports_cover_the_chain() {
+    // Compile-time proof that the suite exposes every layer.
+    let _ = obfuscade_suite::geom::Point3::ZERO;
+    let _ = obfuscade_suite::printer::PrinterProfile::dimension_elite();
+    let _ = obfuscade_suite::fea::TensileConfig::fdm_xy();
+    let _ = obfuscade_suite::sidechannel::CaptureQuality::smartphone();
+    let _ = obfuscade_suite::core::QualityThresholds::default();
+}
+
+#[test]
+fn gcode_round_trips_through_the_pipeline_stages() {
+    let part = tensile_bar_with_spline(&TensileBarDims::default()).unwrap().resolve().unwrap();
+    let shells = obfuscade_suite::mesh::tessellate_shells(&part, &Resolution::Coarse.params());
+    let oriented = obfuscade_suite::slicer::orient_shells(&shells, Orientation::Xy);
+    let sliced = obfuscade_suite::slicer::slice_shells(&oriented, 0.1778);
+    let toolpath = obfuscade_suite::slicer::generate_toolpath(
+        &sliced,
+        &obfuscade_suite::slicer::SlicerConfig::default(),
+    );
+    let text = to_gcode(&toolpath);
+    let back = parse_gcode(&text).unwrap();
+    assert_eq!(back.roads.len(), toolpath.roads.len());
+    let rel = |a: f64, b: f64| (a - b).abs() / a.max(1.0);
+    assert!(rel(toolpath.total_length(ToolMaterial::Model), back.total_length(ToolMaterial::Model)) < 0.001);
+    // Body tags (the cold-joint information) survive serialization.
+    let seam_roads = |tp: &obfuscade_suite::slicer::ToolPath| {
+        tp.roads.iter().filter(|r| r.body.is_some()).count()
+    };
+    assert_eq!(seam_roads(&toolpath), seam_roads(&back));
+}
+
+#[test]
+fn paper_matrix_holds_through_public_api() {
+    // The §3.1 qualitative matrix: (orientation, resolution) → discontinuity.
+    let scheme = SplineSplitScheme::default();
+    let part = scheme.protected_part().unwrap();
+    for resolution in Resolution::ALL {
+        for orientation in Orientation::ALL {
+            let output = run_pipeline(&part, &ProcessPlan::fdm(resolution, orientation)).unwrap();
+            let expected = orientation == Orientation::Xz;
+            assert_eq!(
+                output.slice_report.has_discontinuity(),
+                expected,
+                "{resolution} {orientation}"
+            );
+        }
+    }
+}
+
+#[test]
+fn polyjet_replicates_the_fdm_findings() {
+    // Paper §3.1: "Similar results are obtained in terms of presence or
+    // absence of the spline feature … even for the resin printer."
+    let scheme = SplineSplitScheme::default();
+    let part = scheme.protected_part().unwrap();
+
+    let xz = run_pipeline(&part, &ProcessPlan::polyjet(Resolution::Coarse, Orientation::Xz))
+        .unwrap();
+    assert!(xz.slice_report.has_discontinuity(), "PolyJet x-z shows the spline");
+
+    let xy = run_pipeline(&part, &ProcessPlan::polyjet(Resolution::Fine, Orientation::Xy))
+        .unwrap();
+    assert!(!xy.slice_report.has_discontinuity(), "PolyJet x-y Fine hides it");
+}

@@ -1,0 +1,101 @@
+//! Property-based tests over the public API: the protection invariants must
+//! hold for *families* of designs, not just the paper's specimens.
+
+use proptest::prelude::*;
+
+use obfuscade_suite::cad::parts::{
+    prism_with_sphere, standard_split_spline, tensile_bar, tensile_bar_with_spline, PrismDims,
+    TensileBarDims,
+};
+use obfuscade_suite::cad::{BodyKind, MaterialRemoval};
+use obfuscade_suite::geom::Point3;
+use obfuscade_suite::mesh::{
+    is_watertight, seam_report, tessellate_part, tessellate_shells, Resolution,
+};
+
+fn bar_dims() -> impl Strategy<Value = TensileBarDims> {
+    (80.0..160.0f64, 14.0..24.0f64, 4.0..9.0f64, 25.0..45.0f64, 15.0..30.0f64, 2.0..6.0f64)
+        .prop_map(|(overall, grip, gauge_w, gauge_l, taper, thickness)| TensileBarDims {
+            overall_length: overall + gauge_l + 2.0 * taper, // always long enough
+            grip_width: grip.max(gauge_w + 2.0),
+            gauge_width: gauge_w,
+            gauge_length: gauge_l,
+            taper_length: taper,
+            thickness,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn split_conserves_volume_for_any_bar(dims in bar_dims()) {
+        let intact = tensile_bar(&dims).unwrap().resolve().unwrap();
+        let split = tensile_bar_with_spline(&dims).unwrap().resolve().unwrap();
+        let params = Resolution::Fine.params();
+        let vi = tessellate_part(&intact, &params).signed_volume();
+        let vs = tessellate_part(&split, &params).signed_volume();
+        prop_assert!((vi - vs).abs() / vi < 0.02, "intact {vi} vs split {vs}");
+    }
+
+    #[test]
+    fn split_bodies_are_always_watertight(dims in bar_dims()) {
+        let split = tensile_bar_with_spline(&dims).unwrap().resolve().unwrap();
+        for (i, shell) in tessellate_shells(&split, &Resolution::Coarse.params()).iter().enumerate() {
+            prop_assert!(is_watertight(shell), "shell {i} of {dims:?}");
+        }
+    }
+
+    #[test]
+    fn seam_never_tessellates_conformingly(dims in bar_dims()) {
+        let split = tensile_bar_with_spline(&dims).unwrap().resolve().unwrap();
+        for res in Resolution::ALL {
+            let seam = seam_report(&split, &res.params()).unwrap();
+            prop_assert!(!seam.conforming, "{res} on {dims:?}");
+        }
+    }
+
+    #[test]
+    fn seam_gap_shrinks_with_resolution(dims in bar_dims()) {
+        let split = tensile_bar_with_spline(&dims).unwrap().resolve().unwrap();
+        let gaps: Vec<f64> = Resolution::ALL
+            .iter()
+            .map(|r| seam_report(&split, &r.params()).unwrap().chain_mismatch)
+            .collect();
+        prop_assert!(gaps[0] >= gaps[1] && gaps[1] >= gaps[2], "{gaps:?}");
+    }
+
+    #[test]
+    fn spline_arc_tracks_gauge_width(dims in bar_dims()) {
+        // The planted spline stays ~3.5× the gauge width, as in the paper.
+        let spline = standard_split_spline(&dims).unwrap();
+        let ratio = spline.arc_length() / dims.gauge_width;
+        prop_assert!((2.0..5.0).contains(&ratio), "ratio {ratio} for {dims:?}");
+    }
+
+    #[test]
+    fn sphere_winding_semantics_hold_for_any_size(
+        radius in 1.0..5.0f64,
+        res_idx in 0usize..2,
+    ) {
+        let dims = PrismDims {
+            size: Point3::new(25.4, 12.7, 12.7),
+            sphere_radius: radius,
+        };
+        let res = Resolution::ALL[res_idx];
+        for (kind, removal, expect_solid) in [
+            (BodyKind::Solid, MaterialRemoval::Without, false),
+            (BodyKind::Surface, MaterialRemoval::Without, false),
+            (BodyKind::Solid, MaterialRemoval::With, true),
+            (BodyKind::Surface, MaterialRemoval::With, false),
+        ] {
+            let part = prism_with_sphere(&dims, kind, removal).unwrap().resolve().unwrap();
+            let shells = tessellate_shells(&part, &res.params());
+            let sliced = obfuscade_suite::slicer::slice_shells(&shells, 0.3556);
+            let mid = &sliced.layers[sliced.layer_count() / 2];
+            let center = obfuscade_suite::geom::Point2::new(12.7, 6.35);
+            let solid = mid.winding(center) >= 1;
+            prop_assert_eq!(solid, expect_solid, "{} {} r={} {}", kind, removal, radius, res);
+        }
+    }
+}
