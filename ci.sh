@@ -1,0 +1,19 @@
+#!/bin/sh
+# The repo's tier-1 gate, plus the panic-free lint wall.
+#
+#   ./ci.sh
+#
+# 1. release build of the whole workspace
+# 2. full test suite (workspace-wide; the root package alone only runs
+#    the umbrella integration tests)
+# 3. clippy as an error wall, with `clippy::unwrap_used` additionally
+#    enabled for library and binary code (test code may unwrap freely —
+#    a failing assertion *is* its error report)
+set -eu
+
+cargo build --release --workspace
+cargo test --workspace -q
+cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy --workspace --lib --bins -- -D warnings -W clippy::unwrap_used
+
+echo "ci: all green"

@@ -237,7 +237,6 @@ fn tensile_group(split: bool, orientation: Orientation, replicates: usize) -> Te
     let results: Vec<TensileResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..replicates)
             .map(|i| {
-                let dims = dims;
                 scope.spawn(move || {
                     let part = if split {
                         tensile_bar_with_spline(&dims).expect("bar")

@@ -59,7 +59,7 @@ impl TensileBarDims {
             ("thickness", self.thickness),
         ];
         for (name, value) in checks {
-            if !(value > 0.0) || !value.is_finite() {
+            if !(value.is_finite() && value > 0.0) {
                 return Err(CadError::InvalidDimension { name, value });
             }
         }
@@ -205,7 +205,7 @@ pub fn prism_with_sphere(
     removal: MaterialRemoval,
 ) -> Result<Part, CadError> {
     let min_half = dims.size.x.min(dims.size.y).min(dims.size.z) / 2.0;
-    if !(dims.sphere_radius > 0.0) || dims.sphere_radius >= min_half {
+    if !(dims.sphere_radius > 0.0 && dims.sphere_radius < min_half) {
         return Err(CadError::InvalidDimension {
             name: "sphere_radius",
             value: dims.sphere_radius,

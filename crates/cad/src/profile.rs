@@ -131,10 +131,10 @@ impl Profile {
     ///
     /// Returns [`CadError::InvalidDimension`] if the rectangle is empty.
     pub fn rectangle(min: Point2, max: Point2) -> Result<Self, CadError> {
-        if !(max.x > min.x) {
+        if max.x.partial_cmp(&min.x) != Some(std::cmp::Ordering::Greater) {
             return Err(CadError::InvalidDimension { name: "rectangle width", value: max.x - min.x });
         }
-        if !(max.y > min.y) {
+        if max.y.partial_cmp(&min.y) != Some(std::cmp::Ordering::Greater) {
             return Err(CadError::InvalidDimension { name: "rectangle height", value: max.y - min.y });
         }
         Profile::polygon(vec![
@@ -168,7 +168,7 @@ impl Profile {
         for edge in &self.edges {
             let pts = edge.polygonize(params);
             for p in pts {
-                if out.last().map_or(true, |q| !q.approx_eq(p, tol)) {
+                if out.last().is_none_or(|q| !q.approx_eq(p, tol)) {
                     out.push(p);
                 }
             }

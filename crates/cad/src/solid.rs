@@ -40,7 +40,7 @@ impl SolidShape {
     ///
     /// Returns [`CadError::InvalidDimension`] if `z_max <= z_min`.
     pub fn extrusion(profile: Profile, z_min: f64, z_max: f64) -> Result<Self, CadError> {
-        if !(z_max > z_min) {
+        if z_max.partial_cmp(&z_min) != Some(std::cmp::Ordering::Greater) {
             return Err(CadError::InvalidDimension { name: "extrusion height", value: z_max - z_min });
         }
         Ok(SolidShape::Extrusion { profile, z_min, z_max })
@@ -53,7 +53,7 @@ impl SolidShape {
     /// Returns [`CadError::InvalidDimension`] if `radius` is not positive
     /// and finite.
     pub fn sphere(center: Point3, radius: f64) -> Result<Self, CadError> {
-        if !(radius > 0.0) || !radius.is_finite() {
+        if !(radius.is_finite() && radius > 0.0) {
             return Err(CadError::InvalidDimension { name: "sphere radius", value: radius });
         }
         Ok(SolidShape::Sphere { center, radius })

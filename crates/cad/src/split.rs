@@ -144,7 +144,7 @@ fn walk(
 
 fn push_if_distinct(chain: &mut Vec<Point2>, p: Point2) {
     let tol = Tolerance::new(1e-9);
-    if chain.last().map_or(true, |q| !q.approx_eq(p, tol)) {
+    if chain.last().is_none_or(|q| !q.approx_eq(p, tol)) {
         chain.push(p);
     }
 }

@@ -12,11 +12,13 @@ use am_cad::{BodyKind, MaterialRemoval};
 use am_mesh::{
     analyze_topology, read_stl, t_junction_count, tessellate_part, write_binary_stl, Resolution,
 };
+use am_cad::Part;
 use am_printer::{check_limits, BuildEnvelope, PrintedPart, PrinterProfile};
 use am_slicer::{
-    generate_toolpath, orient_shells, parse_gcode, slice_shells, to_gcode, Orientation,
+    orient_shells, parse_gcode, to_gcode, try_generate_toolpath, try_slice_shells, Orientation,
     SlicerConfig,
 };
+use obfuscade::{run_pipeline_with_faults, FaultPlan, ProcessPlan};
 
 /// CLI usage text.
 pub const USAGE: &str = "\
@@ -44,6 +46,13 @@ COMMANDS:
     preview        render one sliced layer as ASCII art (the CatalystEX
                    preview of Fig. 7a; seam gaps highlighted with '!')
                      <FILE.stl> --orientation xy|xz [--layer-index N] [--layer MM]
+    faults         inject supply-chain faults (Table 1 attacks) into a pipeline run
+                     --list                     show the documented fault catalog
+                     [PLAN | CATALOG-NAME]      e.g. \"stl.degenerate=3 firmware.feed=50\"
+                     --part bar|bracket|prism   (default prism)
+                     --resolution coarse|fine|custom   (default coarse)
+                     --orientation xy|xz        (default xy)
+                     --seed N                   fault-plan seed override
     audit          print the AM supply-chain risk table (paper Table 1 / Fig. 2)
     report         regenerate a paper artifact:
                      table1|fig3|fig4|fig5|fig7|fig8|fig9|table2|table3|
@@ -89,13 +98,9 @@ fn orientation_flag(flags: &HashMap<String, String>) -> Result<Orientation, Stri
     }
 }
 
-/// `obfuscade protect` — build and export a demo part.
-pub fn protect(args: &[String]) -> CliResult {
-    let (_, flags) = parse_flags(args);
-    let out = flags.get("out").ok_or("protect requires --out FILE.stl")?;
-    let resolution = resolution_flag(&flags)?;
-    let intact = flags.contains_key("intact");
-    let part = match flags.get("part").map(String::as_str).unwrap_or("bar") {
+/// Builds one of the built-in demo parts by name, protected or intact.
+fn demo_part(kind: &str, intact: bool) -> Result<Part, String> {
+    match kind {
         "bar" => {
             let dims = TensileBarDims::default();
             if intact { tensile_bar(&dims) } else { tensile_bar_with_spline(&dims) }
@@ -114,7 +119,16 @@ pub fn protect(args: &[String]) -> CliResult {
         }
         other => return Err(format!("unknown part `{other}` (bar|bracket|prism)")),
     }
-    .map_err(|e| e.to_string())?;
+    .map_err(|e| e.to_string())
+}
+
+/// `obfuscade protect` — build and export a demo part.
+pub fn protect(args: &[String]) -> CliResult {
+    let (_, flags) = parse_flags(args);
+    let out = flags.get("out").ok_or("protect requires --out FILE.stl")?;
+    let resolution = resolution_flag(&flags)?;
+    let intact = flags.contains_key("intact");
+    let part = demo_part(flags.get("part").map(String::as_str).unwrap_or("bar"), intact)?;
 
     let resolved = part.resolve().map_err(|e| e.to_string())?;
     let mesh = tessellate_part(&resolved, &resolution.params());
@@ -177,8 +191,10 @@ pub fn slice(args: &[String]) -> CliResult {
     // overshoot the footprint by a fraction of a road width).
     let margin = am_geom::Transform3::translation(am_geom::Vec3::new(5.0, 5.0, 0.0));
     let placed: Vec<_> = oriented.iter().map(|m| m.transformed(&margin)).collect();
-    let sliced = slice_shells(&placed, layer);
-    let toolpath = generate_toolpath(&sliced, &SlicerConfig { layer_height: layer, ..SlicerConfig::default() });
+    let config = SlicerConfig { layer_height: layer, ..SlicerConfig::default() };
+    config.validate().map_err(|e| e.to_string())?;
+    let sliced = try_slice_shells(&placed, layer).map_err(|e| e.to_string())?;
+    let toolpath = try_generate_toolpath(&sliced, &config).map_err(|e| e.to_string())?;
     let gcode = to_gcode(&toolpath);
     std::fs::write(out, &gcode).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!(
@@ -212,12 +228,9 @@ fn print_gcode(path: &str, flags: &HashMap<String, String>) -> Result<PrintedPar
         .map(|v| v.parse().map_err(|_| format!("bad --seed value `{v}`")))
         .transpose()?
         .unwrap_or(1);
-    let mut printed = PrintedPart::from_toolpath(
-        &toolpath,
-        &profile,
-        am_geom::Transform3::identity(),
-        seed,
-    );
+    let mut printed =
+        PrintedPart::try_from_toolpath(&toolpath, &profile, am_geom::Transform3::identity(), seed)
+            .map_err(|e| e.to_string())?;
     printed.dissolve_support();
     Ok(printed)
 }
@@ -286,7 +299,7 @@ pub fn preview(args: &[String]) -> CliResult {
     let mesh = read_stl(BufReader::new(file)).map_err(|e| e.to_string())?;
     let shells = mesh.connected_components();
     let oriented = orient_shells(&shells, orientation);
-    let sliced = slice_shells(&oriented, layer_height);
+    let sliced = try_slice_shells(&oriented, layer_height).map_err(|e| e.to_string())?;
     if sliced.layers.is_empty() {
         return Err("the model sliced to zero layers".into());
     }
@@ -311,6 +324,70 @@ pub fn preview(args: &[String]) -> CliResult {
     );
     print!("{}", am_slicer::render_layer_with_seam(&raster, 110, 1.0));
     Ok(())
+}
+
+/// `obfuscade faults` — run the pipeline under a deterministic fault plan.
+///
+/// With `--list`, prints the documented single-fault catalog (the Table 1
+/// attack classes). Otherwise the positional arguments form a fault-plan
+/// spec (`stl.degenerate=3 firmware.feed=50 …`) or name a catalog entry,
+/// and the demo part is driven through [`run_pipeline_with_faults`]: a
+/// degraded-but-completed run prints its stage outcomes and diagnostics,
+/// an aborted run reports the typed error and the stage that raised it.
+pub fn faults(args: &[String]) -> CliResult {
+    let (positional, flags) = parse_flags(args);
+    if flags.contains_key("list") {
+        println!("{:<20} PLAN", "NAME");
+        for (name, plan) in FaultPlan::catalog() {
+            println!("{name:<20} {plan}");
+        }
+        return Ok(());
+    }
+
+    let spec = positional.join(" ");
+    let mut fault_plan = match FaultPlan::catalog().into_iter().find(|(name, _)| *name == spec) {
+        Some((_, plan)) => plan,
+        None => spec.parse::<FaultPlan>().map_err(|e| e.to_string())?,
+    };
+    if let Some(seed) = flags.get("seed") {
+        let seed: u64 = seed.parse().map_err(|_| format!("bad --seed value `{seed}`"))?;
+        fault_plan = fault_plan.with_seed(seed);
+    }
+
+    let part = demo_part(flags.get("part").map(String::as_str).unwrap_or("prism"), false)?;
+    let resolution = match flags.get("resolution") {
+        Some(_) => resolution_flag(&flags)?,
+        None => Resolution::Coarse,
+    };
+    let orientation = orientation_flag(&flags)?;
+    let plan = ProcessPlan::fdm(resolution, orientation);
+    println!("part            : {}", part.name());
+    println!("process         : {resolution} resolution, {orientation} orientation");
+    println!("fault plan      : {fault_plan}");
+    match run_pipeline_with_faults(&part, &plan, &fault_plan) {
+        Ok(out) => {
+            println!("stages:");
+            for outcome in &out.stages {
+                println!("  {:<10} {:?}", outcome.stage.to_string(), outcome.status);
+            }
+            if out.diagnostics.is_empty() {
+                println!("diagnostics     : none (clean run)");
+            } else {
+                println!("diagnostics:");
+                for d in &out.diagnostics {
+                    println!("  {d}");
+                }
+            }
+            println!(
+                "toolpath        : {} layers, {:.0} mm extruded, {:.0} s estimated",
+                out.toolpath.layers, out.toolpath.model_mm, out.toolpath.time_s
+            );
+            println!("internal voids  : {:.1} mm³", out.scan.internal_void_volume);
+            println!("cold joints     : {:.1} mm²", out.scan.cold_joint_area);
+            Ok(())
+        }
+        Err(e) => Err(format!("pipeline aborted in the {} stage: {e}", e.stage())),
+    }
 }
 
 /// `obfuscade audit` — the paper's Table 1 / Fig. 2.
@@ -410,11 +487,22 @@ mod tests {
         let gcode = dir.join("bar.gcode").to_string_lossy().to_string();
 
         protect(&["--part".into(), "bar".into(), "--out".into(), stl.clone()]).unwrap();
-        inspect(&[stl.clone()]).unwrap();
-        slice(&[stl, "--orientation".into(), "xz".into(), "--out".into(), gcode.clone()])
+        inspect(std::slice::from_ref(&stl)).unwrap();
+        slice(&[stl.clone(), "--orientation".into(), "xz".into(), "--out".into(), gcode.clone()])
             .unwrap();
-        print(&[gcode.clone()]).unwrap();
-        authenticate(&[gcode.clone()]).unwrap();
+        // A non-positive --layer must surface as a typed error, not a panic.
+        let bad = slice(&[
+            stl,
+            "--orientation".into(),
+            "xz".into(),
+            "--out".into(),
+            gcode.clone(),
+            "--layer".into(),
+            "0".into(),
+        ]);
+        assert!(bad.unwrap_err().contains("layer_height must be positive"));
+        print(std::slice::from_ref(&gcode)).unwrap();
+        authenticate(std::slice::from_ref(&gcode)).unwrap();
         authenticate(&[gcode.clone(), "--reference".into(), gcode]).unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -424,5 +512,18 @@ mod tests {
         assert!(protect(&["--out".into(), "/nonexistent-dir-xyz/o.stl".into()]).is_err());
         assert!(inspect(&[]).is_err());
         assert!(slice(&[]).is_err());
+    }
+
+    #[test]
+    fn faults_command_lists_runs_and_rejects() {
+        faults(&["--list".into()]).unwrap();
+        // A catalog entry by name degrades the run but still completes.
+        faults(&["stl-degenerate".into(), "--seed".into(), "3".into()]).unwrap();
+        // A parsed multi-fault plan that misconfigures the slicer aborts
+        // with a stage-named error.
+        let err = faults(&["slicer.zero_layer".into()]).unwrap_err();
+        assert!(err.contains("slice stage"), "{err}");
+        // Garbage tokens are rejected by the parser.
+        assert!(faults(&["stl.bogus=1".into()]).is_err());
     }
 }

@@ -6,6 +6,8 @@
 //! obfuscade slice protected.stl --orientation xz --out part.gcode
 //! obfuscade print part.gcode [--machine fdm|polyjet] [--seed 1]
 //! obfuscade authenticate part.gcode
+//! obfuscade faults --list
+//! obfuscade faults "stl.degenerate=3 firmware.feed=50" --part prism
 //! obfuscade audit
 //! obfuscade report <experiment>|all
 //! ```
@@ -30,6 +32,7 @@ fn main() -> ExitCode {
         "print" => commands::print(rest),
         "preview" => commands::preview(rest),
         "authenticate" => commands::authenticate(rest),
+        "faults" => commands::faults(rest),
         "audit" => commands::audit(rest),
         "report" => commands::report(rest),
         "help" | "--help" | "-h" => {

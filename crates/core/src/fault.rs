@@ -1,0 +1,587 @@
+//! Deterministic fault injection for the AM process chain.
+//!
+//! Table 1 of the paper catalogs the attacks available at each stage of the
+//! additive-manufacturing tool chain — STL corruption, slicer
+//! misconfiguration, tool-path tampering and firmware glitches — together
+//! with the defender's mitigations. This module turns that catalog into a
+//! reproducible test harness: a [`FaultPlan`] names a set of faults plus a
+//! seed, composes with a [`crate::ProcessPlan`], and
+//! [`crate::run_pipeline_with_faults`] injects each fault at its stage
+//! boundary. Same plan + same seed ⇒ bit-identical outcome, which is what
+//! makes the 1000-case robustness suite meaningful.
+//!
+//! Every fault is **either** recoverable — the pipeline repairs or tolerates
+//! it and records a [`crate::Diagnostic`] — **or** unrecoverable, surfacing
+//! as a typed [`crate::PipelineError`] naming the failing
+//! [`crate::Stage`]. Panics are a bug.
+//!
+//! # Examples
+//!
+//! ```
+//! use obfuscade::FaultPlan;
+//!
+//! let plan: FaultPlan = "seed=7 stl.degenerate=3 firmware.feed=50".parse()?;
+//! assert_eq!(plan.seed, 7);
+//! assert_eq!(plan.to_string().parse::<FaultPlan>()?, plan);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+
+use am_mesh::{
+    degenerate_attack, endpoint_attack, flip_attack, read_stl, truncation_attack, void_attack,
+    write_binary_stl, StlError, TriMesh,
+};
+use am_slicer::{parse_gcode, to_gcode, GcodeError, SlicerConfig, ToolPath};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An STL-stage fault (Table 1, "STL file" row): corruption of the exported
+/// geometry, in transit or at rest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum StlFault {
+    /// Keep only the leading fraction of facets (file truncation).
+    Truncate {
+        /// Fraction of facets kept, clamped to `[0, 1]`.
+        keep_fraction: f64,
+    },
+    /// Collapse random facets into zero-area slivers.
+    Degenerate {
+        /// Number of facets to damage.
+        count: usize,
+    },
+    /// Reverse the winding of random facets (normal flips).
+    FlipFacets {
+        /// Number of facets to flip.
+        count: usize,
+    },
+    /// Hide an inverted box shell inside the model (void insertion).
+    VoidInsert {
+        /// Void half-extent as a fraction of the smallest model extent,
+        /// clamped to `(0, 0.45]`.
+        relative_size: f64,
+    },
+    /// Nudge random vertices (the paper's "end point changes").
+    EndpointDrift {
+        /// Displacement magnitude (mm).
+        magnitude_mm: f64,
+        /// Number of vertices to move.
+        count: usize,
+    },
+    /// Overwrite one vertex coordinate with NaN in the binary payload.
+    NanVertex,
+    /// Truncate the binary STL byte stream itself, leaving the header's
+    /// facet count pointing past the end of file.
+    ByteTruncate {
+        /// Fraction of payload bytes kept, clamped to `[0, 1]` (`1` keeps
+        /// the stream intact).
+        keep_fraction: f64,
+    },
+}
+
+/// A slicer-stage fault (Table 1, "slicing" row): a misconfigured or
+/// maliciously altered slicing profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum SlicerFault {
+    /// Zero out the layer height (classic divide-by-zero bait).
+    ZeroLayerHeight,
+    /// Poison the layer height with NaN.
+    NanLayerHeight,
+    /// Replace the road width with an absurd value (mm).
+    AbsurdRoadWidth {
+        /// The commanded road width (mm).
+        width_mm: f64,
+    },
+}
+
+/// A tool-path-stage fault (Table 1, "tool path" row): tampering with the
+/// part program between the slicer and the machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum ToolpathFault {
+    /// Delete a random fraction of deposition roads.
+    DropRoads {
+        /// Fraction of roads dropped, clamped to `[0, 1]`.
+        fraction: f64,
+    },
+    /// Duplicate a random fraction of roads (double extrusion).
+    DuplicateRoads {
+        /// Fraction of roads duplicated, clamped to `[0, 1]`.
+        fraction: f64,
+    },
+    /// Round-trip the program through G-code, keeping only the leading
+    /// fraction of lines (interrupted transfer).
+    GcodeTruncate {
+        /// Fraction of G-code lines kept, clamped to `[0, 1]`.
+        keep_fraction: f64,
+    },
+}
+
+/// A firmware-stage fault (Table 1, "firmware" row): glitched or malicious
+/// machine commands the limit switch must catch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum FirmwareFault {
+    /// Shift every commanded coordinate in +x, driving the head toward or
+    /// past the gantry.
+    EnvelopeEscape {
+        /// Shift distance (mm).
+        offset_mm: f64,
+    },
+    /// Multiply the commanded feed rate (actuator over-drive).
+    FeedSpike {
+        /// Feed multiplier.
+        factor: f64,
+    },
+}
+
+/// A deterministic, serializable set of faults to inject into one pipeline
+/// run. Compose with a [`crate::ProcessPlan`] via
+/// [`crate::run_pipeline_with_faults`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed for every randomized fault (facet choice, road choice, …).
+    pub seed: u64,
+    /// STL-stage faults, applied in order to every exported shell.
+    pub stl: Vec<StlFault>,
+    /// Slicer-stage faults, applied in order to the effective config.
+    pub slicer: Vec<SlicerFault>,
+    /// Tool-path-stage faults, applied in order to the part program.
+    pub toolpath: Vec<ToolpathFault>,
+    /// Firmware-stage faults, applied before the limit-switch check.
+    pub firmware: Vec<FirmwareFault>,
+}
+
+impl FaultPlan {
+    /// The empty plan: [`crate::run_pipeline_with_faults`] with this plan is
+    /// bit-identical to [`crate::run_pipeline`].
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// `true` if the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.stl.is_empty()
+            && self.slicer.is_empty()
+            && self.toolpath.is_empty()
+            && self.firmware.is_empty()
+    }
+
+    /// Total number of faults across all stages.
+    pub fn fault_count(&self) -> usize {
+        self.stl.len() + self.slicer.len() + self.toolpath.len() + self.firmware.len()
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The documented single-fault catalog: one `(name, plan)` entry per
+    /// fault class of Table 1, with representative parameters. This is the
+    /// ground truth the robustness suite and the CLI `faults` command
+    /// enumerate.
+    pub fn catalog() -> Vec<(&'static str, FaultPlan)> {
+        let one = |plan: FaultPlan| plan;
+        vec![
+            (
+                "stl-truncate",
+                one(FaultPlan { stl: vec![StlFault::Truncate { keep_fraction: 0.6 }], ..Default::default() }),
+            ),
+            (
+                "stl-degenerate",
+                one(FaultPlan { stl: vec![StlFault::Degenerate { count: 4 }], ..Default::default() }),
+            ),
+            (
+                "stl-flip",
+                one(FaultPlan { stl: vec![StlFault::FlipFacets { count: 4 }], ..Default::default() }),
+            ),
+            (
+                "stl-void",
+                one(FaultPlan { stl: vec![StlFault::VoidInsert { relative_size: 0.2 }], ..Default::default() }),
+            ),
+            (
+                "stl-drift",
+                one(FaultPlan {
+                    stl: vec![StlFault::EndpointDrift { magnitude_mm: 0.4, count: 3 }],
+                    ..Default::default()
+                }),
+            ),
+            (
+                "stl-nan",
+                one(FaultPlan { stl: vec![StlFault::NanVertex], ..Default::default() }),
+            ),
+            (
+                "stl-bytes",
+                one(FaultPlan { stl: vec![StlFault::ByteTruncate { keep_fraction: 0.5 }], ..Default::default() }),
+            ),
+            (
+                "slicer-zero-layer",
+                one(FaultPlan { slicer: vec![SlicerFault::ZeroLayerHeight], ..Default::default() }),
+            ),
+            (
+                "slicer-nan-layer",
+                one(FaultPlan { slicer: vec![SlicerFault::NanLayerHeight], ..Default::default() }),
+            ),
+            (
+                "slicer-road-width",
+                one(FaultPlan {
+                    slicer: vec![SlicerFault::AbsurdRoadWidth { width_mm: 5000.0 }],
+                    ..Default::default()
+                }),
+            ),
+            (
+                "toolpath-drop",
+                one(FaultPlan {
+                    toolpath: vec![ToolpathFault::DropRoads { fraction: 0.1 }],
+                    ..Default::default()
+                }),
+            ),
+            (
+                "toolpath-dup",
+                one(FaultPlan {
+                    toolpath: vec![ToolpathFault::DuplicateRoads { fraction: 0.1 }],
+                    ..Default::default()
+                }),
+            ),
+            (
+                "toolpath-gcode",
+                one(FaultPlan {
+                    toolpath: vec![ToolpathFault::GcodeTruncate { keep_fraction: 0.7 }],
+                    ..Default::default()
+                }),
+            ),
+            (
+                "firmware-escape",
+                one(FaultPlan {
+                    firmware: vec![FirmwareFault::EnvelopeEscape { offset_mm: 500.0 }],
+                    ..Default::default()
+                }),
+            ),
+            (
+                "firmware-feed",
+                one(FaultPlan {
+                    firmware: vec![FirmwareFault::FeedSpike { factor: 50.0 }],
+                    ..Default::default()
+                }),
+            ),
+        ]
+    }
+}
+
+impl StlFault {
+    /// Applies the fault to one exported shell. Byte-level faults
+    /// ([`StlFault::NanVertex`], [`StlFault::ByteTruncate`]) round-trip the
+    /// shell through its binary STL serialization; a corrupted stream that
+    /// no longer parses surfaces as the [`StlError`] the downstream reader
+    /// reports.
+    pub fn apply(&self, mesh: &TriMesh, seed: u64) -> Result<TriMesh, StlError> {
+        match *self {
+            StlFault::Truncate { keep_fraction } => Ok(truncation_attack(mesh, keep_fraction)),
+            StlFault::Degenerate { count } => Ok(degenerate_attack(mesh, count, seed)),
+            StlFault::FlipFacets { count } => Ok(flip_attack(mesh, count, seed)),
+            StlFault::VoidInsert { relative_size } => {
+                let Some(aabb) = mesh.aabb() else { return Ok(mesh.clone()) };
+                let size = aabb.size();
+                let extent = size.x.min(size.y).min(size.z);
+                let rel = if relative_size.is_finite() { relative_size.clamp(0.01, 0.45) } else { 0.2 };
+                Ok(void_attack(mesh, aabb.center(), extent * rel / 2.0))
+            }
+            StlFault::EndpointDrift { magnitude_mm, count } => {
+                let mag = if magnitude_mm.is_finite() { magnitude_mm.abs() } else { 0.1 };
+                Ok(endpoint_attack(mesh, mag, count, seed))
+            }
+            StlFault::NanVertex => {
+                let mut bytes = serialize(mesh)?;
+                // First facet's first vertex x-coordinate: header (80) +
+                // count (4) + normal (12).
+                if bytes.len() >= 84 + 50 {
+                    bytes[96..100].copy_from_slice(&f32::NAN.to_le_bytes());
+                }
+                read_stl(&bytes[..])
+            }
+            StlFault::ByteTruncate { keep_fraction } => {
+                let bytes = serialize(mesh)?;
+                let frac = if keep_fraction.is_finite() { keep_fraction.clamp(0.0, 1.0) } else { 0.5 };
+                let keep = ((bytes.len() as f64) * frac) as usize;
+                read_stl(&bytes[..keep.min(bytes.len())])
+            }
+        }
+    }
+}
+
+fn serialize(mesh: &TriMesh) -> Result<Vec<u8>, StlError> {
+    let mut bytes = Vec::new();
+    write_binary_stl(mesh, &mut bytes)?;
+    Ok(bytes)
+}
+
+impl SlicerFault {
+    /// Applies the fault to the effective slicer configuration. The
+    /// pipeline re-validates the configuration afterwards, so every fault
+    /// in this enum surfaces as a typed config error.
+    pub fn apply(&self, config: &mut SlicerConfig) {
+        match *self {
+            SlicerFault::ZeroLayerHeight => config.layer_height = 0.0,
+            SlicerFault::NanLayerHeight => config.layer_height = f64::NAN,
+            SlicerFault::AbsurdRoadWidth { width_mm } => config.road_width = width_mm,
+        }
+    }
+}
+
+impl ToolpathFault {
+    /// Applies the fault to the part program in place, returning a
+    /// human-readable note of the damage done. A G-code stream that no
+    /// longer parses surfaces as the [`GcodeError`] the machine-side
+    /// parser reports.
+    pub fn apply(&self, toolpath: &mut ToolPath, seed: u64) -> Result<String, GcodeError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match *self {
+            ToolpathFault::DropRoads { fraction } => {
+                let f = if fraction.is_finite() { fraction.clamp(0.0, 1.0) } else { 0.0 };
+                let before = toolpath.roads.len();
+                toolpath.roads.retain(|_| !rng.gen_bool(f));
+                Ok(format!("dropped {} of {before} roads", before - toolpath.roads.len()))
+            }
+            ToolpathFault::DuplicateRoads { fraction } => {
+                let f = if fraction.is_finite() { fraction.clamp(0.0, 1.0) } else { 0.0 };
+                let mut out = Vec::with_capacity(toolpath.roads.len());
+                let mut dups = 0usize;
+                for road in &toolpath.roads {
+                    out.push(*road);
+                    if rng.gen_bool(f) {
+                        out.push(*road);
+                        dups += 1;
+                    }
+                }
+                toolpath.roads = out;
+                Ok(format!("duplicated {dups} roads"))
+            }
+            ToolpathFault::GcodeTruncate { keep_fraction } => {
+                let f = if keep_fraction.is_finite() { keep_fraction.clamp(0.0, 1.0) } else { 0.5 };
+                let text = to_gcode(toolpath);
+                let lines: Vec<&str> = text.lines().collect();
+                let keep = ((lines.len() as f64) * f) as usize;
+                let truncated = lines[..keep.min(lines.len())].join("\n");
+                let before = toolpath.roads.len();
+                *toolpath = parse_gcode(&truncated)?;
+                Ok(format!(
+                    "g-code truncated to {keep} of {} lines ({} of {before} roads survive)",
+                    lines.len(),
+                    toolpath.roads.len(),
+                ))
+            }
+        }
+    }
+}
+
+impl FirmwareFault {
+    /// Applies the fault to the commanded part program / feed rate. The
+    /// pipeline's limit-switch check runs afterwards, so every fault in
+    /// this enum surfaces as a firmware rejection.
+    pub fn apply(&self, toolpath: &mut ToolPath, feed_mm_per_s: &mut f64) {
+        match *self {
+            FirmwareFault::EnvelopeEscape { offset_mm } => {
+                for road in &mut toolpath.roads {
+                    road.from.x += offset_mm;
+                    road.to.x += offset_mm;
+                }
+            }
+            FirmwareFault::FeedSpike { factor } => *feed_mm_per_s *= factor,
+        }
+    }
+}
+
+// --- Serialization -------------------------------------------------------
+//
+// A fault plan renders as whitespace-separated tokens:
+//
+//     seed=42 stl.truncate=0.6 slicer.zero_layer firmware.feed=50
+//
+// Multi-parameter faults join their parameters with ':'. The grammar is
+// deliberately tiny — plans travel on the CLI and in test names, not in
+// config files.
+
+impl fmt::Display for StlFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            StlFault::Truncate { keep_fraction } => write!(f, "stl.truncate={keep_fraction}"),
+            StlFault::Degenerate { count } => write!(f, "stl.degenerate={count}"),
+            StlFault::FlipFacets { count } => write!(f, "stl.flip={count}"),
+            StlFault::VoidInsert { relative_size } => write!(f, "stl.void={relative_size}"),
+            StlFault::EndpointDrift { magnitude_mm, count } => {
+                write!(f, "stl.drift={magnitude_mm}:{count}")
+            }
+            StlFault::NanVertex => write!(f, "stl.nan"),
+            StlFault::ByteTruncate { keep_fraction } => write!(f, "stl.bytes={keep_fraction}"),
+        }
+    }
+}
+
+impl fmt::Display for SlicerFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SlicerFault::ZeroLayerHeight => write!(f, "slicer.zero_layer"),
+            SlicerFault::NanLayerHeight => write!(f, "slicer.nan_layer"),
+            SlicerFault::AbsurdRoadWidth { width_mm } => write!(f, "slicer.road_width={width_mm}"),
+        }
+    }
+}
+
+impl fmt::Display for ToolpathFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ToolpathFault::DropRoads { fraction } => write!(f, "toolpath.drop={fraction}"),
+            ToolpathFault::DuplicateRoads { fraction } => write!(f, "toolpath.dup={fraction}"),
+            ToolpathFault::GcodeTruncate { keep_fraction } => {
+                write!(f, "toolpath.gcode={keep_fraction}")
+            }
+        }
+    }
+}
+
+impl fmt::Display for FirmwareFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FirmwareFault::EnvelopeEscape { offset_mm } => write!(f, "firmware.escape={offset_mm}"),
+            FirmwareFault::FeedSpike { factor } => write!(f, "firmware.feed={factor}"),
+        }
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seed={}", self.seed)?;
+        for x in &self.stl {
+            write!(f, " {x}")?;
+        }
+        for x in &self.slicer {
+            write!(f, " {x}")?;
+        }
+        for x in &self.toolpath {
+            write!(f, " {x}")?;
+        }
+        for x in &self.firmware {
+            write!(f, " {x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A fault-plan token that failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultParseError {
+    /// The offending token.
+    pub token: String,
+}
+
+impl fmt::Display for FaultParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unrecognized fault token: {:?}", self.token)
+    }
+}
+
+impl std::error::Error for FaultParseError {}
+
+impl FromStr for FaultPlan {
+    type Err = FaultParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut plan = FaultPlan::default();
+        for token in s.split_whitespace() {
+            let bad = || FaultParseError { token: token.to_string() };
+            let (name, value) = match token.split_once('=') {
+                Some((n, v)) => (n, Some(v)),
+                None => (token, None),
+            };
+            let f64_arg = || -> Result<f64, FaultParseError> {
+                value.ok_or_else(bad)?.parse().map_err(|_| bad())
+            };
+            let usize_arg = || -> Result<usize, FaultParseError> {
+                value.ok_or_else(bad)?.parse().map_err(|_| bad())
+            };
+            match name {
+                "seed" => plan.seed = value.ok_or_else(bad)?.parse().map_err(|_| bad())?,
+                "stl.truncate" => {
+                    plan.stl.push(StlFault::Truncate { keep_fraction: f64_arg()? });
+                }
+                "stl.degenerate" => plan.stl.push(StlFault::Degenerate { count: usize_arg()? }),
+                "stl.flip" => plan.stl.push(StlFault::FlipFacets { count: usize_arg()? }),
+                "stl.void" => plan.stl.push(StlFault::VoidInsert { relative_size: f64_arg()? }),
+                "stl.drift" => {
+                    let v = value.ok_or_else(bad)?;
+                    let (mag, count) = v.split_once(':').ok_or_else(bad)?;
+                    plan.stl.push(StlFault::EndpointDrift {
+                        magnitude_mm: mag.parse().map_err(|_| bad())?,
+                        count: count.parse().map_err(|_| bad())?,
+                    });
+                }
+                "stl.nan" => plan.stl.push(StlFault::NanVertex),
+                "stl.bytes" => plan.stl.push(StlFault::ByteTruncate { keep_fraction: f64_arg()? }),
+                "slicer.zero_layer" => plan.slicer.push(SlicerFault::ZeroLayerHeight),
+                "slicer.nan_layer" => plan.slicer.push(SlicerFault::NanLayerHeight),
+                "slicer.road_width" => {
+                    plan.slicer.push(SlicerFault::AbsurdRoadWidth { width_mm: f64_arg()? });
+                }
+                "toolpath.drop" => plan.toolpath.push(ToolpathFault::DropRoads { fraction: f64_arg()? }),
+                "toolpath.dup" => {
+                    plan.toolpath.push(ToolpathFault::DuplicateRoads { fraction: f64_arg()? });
+                }
+                "toolpath.gcode" => {
+                    plan.toolpath.push(ToolpathFault::GcodeTruncate { keep_fraction: f64_arg()? });
+                }
+                "firmware.escape" => {
+                    plan.firmware.push(FirmwareFault::EnvelopeEscape { offset_mm: f64_arg()? });
+                }
+                "firmware.feed" => plan.firmware.push(FirmwareFault::FeedSpike { factor: f64_arg()? }),
+                _ => return Err(bad()),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_round_trips_through_display() {
+        let mut plan = FaultPlan::none().with_seed(42);
+        plan.stl.push(StlFault::Truncate { keep_fraction: 0.6 });
+        plan.stl.push(StlFault::EndpointDrift { magnitude_mm: 0.4, count: 3 });
+        plan.stl.push(StlFault::NanVertex);
+        plan.slicer.push(SlicerFault::ZeroLayerHeight);
+        plan.toolpath.push(ToolpathFault::GcodeTruncate { keep_fraction: 0.7 });
+        plan.firmware.push(FirmwareFault::FeedSpike { factor: 50.0 });
+        let rendered = plan.to_string();
+        assert_eq!(rendered.parse::<FaultPlan>().unwrap(), plan);
+    }
+
+    #[test]
+    fn catalog_entries_round_trip_and_are_single_fault() {
+        for (name, plan) in FaultPlan::catalog() {
+            assert_eq!(plan.fault_count(), 1, "{name}");
+            assert_eq!(plan.to_string().parse::<FaultPlan>().unwrap(), plan, "{name}");
+        }
+    }
+
+    #[test]
+    fn bad_tokens_are_rejected() {
+        assert!("stl.explode=1".parse::<FaultPlan>().is_err());
+        assert!("stl.truncate".parse::<FaultPlan>().is_err());
+        assert!("stl.drift=0.4".parse::<FaultPlan>().is_err());
+        assert!("seed=abc".parse::<FaultPlan>().is_err());
+    }
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(FaultPlan::none().is_empty());
+        assert!("seed=9".parse::<FaultPlan>().unwrap().is_empty());
+        assert!(!FaultPlan::catalog()[0].1.is_empty());
+    }
+}

@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 mod adversary;
+mod fault;
 mod key;
 mod multikey;
 mod pipeline;
@@ -68,8 +69,14 @@ pub use adversary::{
     genuine_production, repair_attack, search_sphere_scheme, search_spline_scheme, Attempt,
     RepairOutcome, SearchOutcome,
 };
+pub use fault::{
+    FaultParseError, FaultPlan, FirmwareFault, SlicerFault, StlFault, ToolpathFault,
+};
 pub use key::{CadRecipe, ProcessKey};
 pub use multikey::MultiSphereScheme;
-pub use pipeline::{run_pipeline, PipelineError, PipelineOutput, ProcessPlan, ToolPathStats};
+pub use pipeline::{
+    run_pipeline, run_pipeline_with_faults, Diagnostic, PipelineError, PipelineOutput,
+    ProcessPlan, Stage, StageOutcome, StageStatus, ToolPathStats,
+};
 pub use quality::{assess_quality, QualityReport, QualityThresholds, Verdict};
 pub use scheme::{Authenticity, EmbeddedSphereScheme, SplineSplitScheme};

@@ -1,19 +1,34 @@
 //! The end-to-end AM process chain (Fig. 1/3 of the paper): CAD → STL →
 //! slice → tool path → print → post-process → inspect → test.
+//!
+//! The chain runs as an explicit sequence of [`Stage`]s. Every stage either
+//! completes (possibly *degraded*, with the damage recorded as
+//! [`Diagnostic`]s in the output) or aborts with a typed [`PipelineError`]
+//! naming the stage — library code never panics on bad input. The staged
+//! structure is what lets [`run_pipeline_with_faults`] inject the Table 1
+//! attack catalog at the exact boundary where each attack lives.
 
 use std::error::Error;
 use std::fmt;
 
 use am_cad::{CadError, Part};
 use am_fea::{run_tensile_test, Lattice, TensileConfig, TensileResult};
+use am_geom::Tolerance;
 use am_mesh::{
-    binary_stl_size, seam_report, tessellate_shells, Resolution, SeamReport, TriMesh,
+    binary_stl_size, fingerprint, seam_report, tessellate_shells, verify_fingerprint,
+    weld_vertices, Resolution, SeamReport, StlError, TriMesh,
 };
-use am_printer::{check_limits, scan, BuildEnvelope, PrintedPart, PrinterProfile, Process, ScanReport};
+use am_printer::{
+    check_limits_at_feed, scan, BuildEnvelope, PrintError, PrintedPart, PrinterProfile, Process,
+    ScanReport,
+};
 use am_slicer::{
-    build_transform, diagnose_slices, generate_toolpath, orient_shells, slice_shells,
-    Orientation, SliceReport, SlicerConfig, ToolMaterial,
+    build_transform, diagnose_slices, orient_shells, try_generate_toolpath, try_slice_shells,
+    ConfigError, GcodeError, Orientation, SliceError, SliceReport, SlicerConfig, ToolMaterial,
+    ToolpathError,
 };
+
+use crate::fault::FaultPlan;
 
 /// A complete manufacturing plan: every processing choice from STL export
 /// to the machine. Together with the CAD recipe (applied at part
@@ -84,7 +99,99 @@ impl ProcessPlan {
     }
 }
 
-/// Errors from the manufacturing pipeline.
+/// One stage of the manufacturing chain, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Stage {
+    /// Feature-history resolution (CAD kernel).
+    Cad,
+    /// Tessellation / STL export, including integrity verification.
+    Stl,
+    /// Mesh repair (vertex welding) when the STL audit found damage.
+    Repair,
+    /// Orientation, placement and plane slicing.
+    Slice,
+    /// Tool-path planning and G-code serialization.
+    ToolPath,
+    /// Firmware limit-switch vetting of the part program.
+    Firmware,
+    /// Voxel deposition and support dissolution.
+    Print,
+    /// Artifact inspection (simulated CT scan).
+    Inspect,
+    /// Virtual tensile testing.
+    Test,
+}
+
+impl Stage {
+    /// Short lowercase stage name (stable, used in error messages).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::Cad => "cad",
+            Stage::Stl => "stl",
+            Stage::Repair => "repair",
+            Stage::Slice => "slice",
+            Stage::ToolPath => "toolpath",
+            Stage::Firmware => "firmware",
+            Stage::Print => "print",
+            Stage::Inspect => "inspect",
+            Stage::Test => "test",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How a stage finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageStatus {
+    /// Completed with no anomalies.
+    Clean,
+    /// Completed, but damage was injected, detected, or repaired — see the
+    /// run's [`Diagnostic`]s.
+    Degraded,
+    /// Not executed (e.g. the tensile test when the plan does not request
+    /// it, or repair when the STL audit found nothing to fix).
+    Skipped,
+}
+
+/// The record of one executed stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageOutcome {
+    /// Which stage.
+    pub stage: Stage,
+    /// How it finished.
+    pub status: StageStatus,
+}
+
+/// One recorded anomaly: an injected fault, a detection, or a repair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// The stage that recorded the anomaly.
+    pub stage: Stage,
+    /// Human-readable description.
+    pub message: String,
+    /// `true` if the pipeline repaired or tolerated the anomaly (the run
+    /// degrades gracefully); `false` for pure observations such as
+    /// injected-fault records and tamper evidence.
+    pub recovered: bool,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.stage, self.message)?;
+        if self.recovered {
+            write!(f, " (recovered)")?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors from the manufacturing pipeline. Every variant names its failing
+/// [`Stage`] via [`PipelineError::stage`].
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum PipelineError {
@@ -95,6 +202,17 @@ pub enum PipelineError {
         /// Name of the offending part.
         part: String,
     },
+    /// The STL byte stream was rejected by the reader (truncation, facet
+    /// bombs, non-finite vertices).
+    Stl(StlError),
+    /// The slicer configuration failed validation.
+    InvalidConfig(ConfigError),
+    /// The slicing stage rejected its input.
+    Slice(SliceError),
+    /// Tool-path planning rejected its input.
+    Toolpath(ToolpathError),
+    /// The machine-side G-code parser rejected the part program.
+    Gcode(GcodeError),
     /// The printer firmware rejected the part program (limit switch).
     FirmwareRejected {
         /// Number of limit violations found.
@@ -102,6 +220,22 @@ pub enum PipelineError {
         /// The first violation, rendered.
         first: String,
     },
+    /// The deposition stage rejected the part program or machine profile.
+    Print(PrintError),
+}
+
+impl PipelineError {
+    /// The stage the error names.
+    pub fn stage(&self) -> Stage {
+        match self {
+            PipelineError::Cad(_) => Stage::Cad,
+            PipelineError::EmptyBuild { .. } | PipelineError::Stl(_) => Stage::Stl,
+            PipelineError::InvalidConfig(_) | PipelineError::Slice(_) => Stage::Slice,
+            PipelineError::Toolpath(_) | PipelineError::Gcode(_) => Stage::ToolPath,
+            PipelineError::FirmwareRejected { .. } => Stage::Firmware,
+            PipelineError::Print(_) => Stage::Print,
+        }
+    }
 }
 
 impl fmt::Display for PipelineError {
@@ -111,9 +245,15 @@ impl fmt::Display for PipelineError {
             PipelineError::EmptyBuild { part } => {
                 write!(f, "part {part} produced no printable geometry")
             }
+            PipelineError::Stl(e) => write!(f, "stl stage failed: {e}"),
+            PipelineError::InvalidConfig(e) => write!(f, "slice stage failed: {e}"),
+            PipelineError::Slice(e) => write!(f, "slice stage failed: {e}"),
+            PipelineError::Toolpath(e) => write!(f, "toolpath stage failed: {e}"),
+            PipelineError::Gcode(e) => write!(f, "toolpath stage failed: {e}"),
             PipelineError::FirmwareRejected { violations, first } => {
                 write!(f, "printer firmware rejected the part program ({violations} violations; first: {first})")
             }
+            PipelineError::Print(e) => write!(f, "print stage failed: {e}"),
         }
     }
 }
@@ -122,6 +262,12 @@ impl Error for PipelineError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             PipelineError::Cad(e) => Some(e),
+            PipelineError::Stl(e) => Some(e),
+            PipelineError::InvalidConfig(e) => Some(e),
+            PipelineError::Slice(e) => Some(e),
+            PipelineError::Toolpath(e) => Some(e),
+            PipelineError::Gcode(e) => Some(e),
+            PipelineError::Print(e) => Some(e),
             PipelineError::EmptyBuild { .. } | PipelineError::FirmwareRejected { .. } => None,
         }
     }
@@ -169,9 +315,24 @@ pub struct PipelineOutput {
     pub tensile: Option<TensileResult>,
     /// The cold-joint contact fraction used for the tensile model.
     pub joint_contact: f64,
+    /// Per-stage outcomes, in execution order.
+    pub stages: Vec<StageOutcome>,
+    /// Anomalies recorded along the way (injected faults, tamper evidence,
+    /// repairs). Empty for a clean run.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl PipelineOutput {
+    /// `true` if any executed stage finished degraded.
+    pub fn is_degraded(&self) -> bool {
+        self.stages.iter().any(|s| s.status == StageStatus::Degraded)
+    }
 }
 
 /// Runs the full manufacturing chain on a part.
+///
+/// Equivalent to [`run_pipeline_with_faults`] with [`FaultPlan::none`]:
+/// bit-identical output, no injected damage.
 ///
 /// # Errors
 ///
@@ -193,18 +354,128 @@ pub struct PipelineOutput {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn run_pipeline(part: &Part, plan: &ProcessPlan) -> Result<PipelineOutput, PipelineError> {
-    // CAD → shells.
-    let resolved = part.resolve()?;
-    let params = plan.resolution.params();
+    run_pipeline_with_faults(part, plan, &FaultPlan::none())
+}
 
-    // STL export (per-body tessellation).
-    let shells: Vec<TriMesh> = tessellate_shells(&resolved, &params);
+/// Derives the per-fault RNG seed: deterministic in the plan seed, the
+/// stage, and the fault's position, so two faults at one stage damage
+/// different facets.
+fn fault_seed(plan_seed: u64, stage: Stage, index: usize) -> u64 {
+    plan_seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add((stage as u64) << 32)
+        .wrapping_add(index as u64 + 1)
+}
+
+/// Runs the full manufacturing chain with a [`FaultPlan`] injected at the
+/// stage boundaries.
+///
+/// Recoverable faults degrade the run: damage is repaired (vertex welding)
+/// or tolerated, and every anomaly lands in
+/// [`PipelineOutput::diagnostics`]. Unrecoverable faults abort with a typed
+/// [`PipelineError`] whose [`PipelineError::stage`] names where the chain
+/// stopped. Same part, plan and fault plan ⇒ identical result.
+///
+/// # Errors
+///
+/// Any [`PipelineError`] variant, depending on the injected faults.
+pub fn run_pipeline_with_faults(
+    part: &Part,
+    plan: &ProcessPlan,
+    faults: &FaultPlan,
+) -> Result<PipelineOutput, PipelineError> {
+    let mut stages: Vec<StageOutcome> = Vec::new();
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+
+    // The plan itself must be coherent before anything runs: a bad slicer
+    // config or machine profile is a caller error, not a fault.
+    plan.slicer.validate().map_err(PipelineError::InvalidConfig)?;
+    plan.printer.validate().map_err(|e| PipelineError::Print(PrintError::Profile(e)))?;
+
+    // --- CAD -------------------------------------------------------------
+    let resolved = part.resolve()?;
+    stages.push(StageOutcome { stage: Stage::Cad, status: StageStatus::Clean });
+
+    // --- STL export + integrity audit ------------------------------------
+    let params = plan.resolution.params();
+    let mut shells: Vec<TriMesh> = tessellate_shells(&resolved, &params);
+    let pristine: Vec<_> = shells.iter().map(fingerprint).collect();
+
+    for (i, fault) in faults.stl.iter().enumerate() {
+        let seed = fault_seed(faults.seed, Stage::Stl, i);
+        for shell in &mut shells {
+            *shell = fault.apply(shell, seed).map_err(PipelineError::Stl)?;
+        }
+        diagnostics.push(Diagnostic {
+            stage: Stage::Stl,
+            message: format!("injected {fault}"),
+            recovered: false,
+        });
+    }
+    // The Table 1 mitigation: verify the received file against the
+    // registered fingerprint. Evidence is recorded, not fatal — the
+    // counterfeiter prints anyway; the defender reads the diagnostics.
+    if !faults.stl.is_empty() {
+        for (body, (shell, fp)) in shells.iter().zip(&pristine).enumerate() {
+            for evidence in verify_fingerprint(shell, fp) {
+                diagnostics.push(Diagnostic {
+                    stage: Stage::Stl,
+                    message: format!("fingerprint mismatch on body {body}: {evidence:?}"),
+                    recovered: false,
+                });
+            }
+        }
+    }
     let mesh_triangles: usize = shells.iter().map(TriMesh::triangle_count).sum();
     if mesh_triangles == 0 {
         return Err(PipelineError::EmptyBuild { part: part.name().to_string() });
     }
     let stl_bytes = binary_stl_size(mesh_triangles);
     let seam = seam_report(&resolved, &params);
+    stages.push(StageOutcome {
+        stage: Stage::Stl,
+        status: if faults.stl.is_empty() { StageStatus::Clean } else { StageStatus::Degraded },
+    });
+
+    // --- Repair ----------------------------------------------------------
+    // Weld only when the audit found sliver damage: an unfaulted run must
+    // stay bit-identical to the historical pipeline.
+    let sliver_tol = Tolerance::new(1e-9);
+    let damaged = shells.iter().any(|s| s.degenerate_count(sliver_tol) > 0);
+    if damaged {
+        let mut dropped = 0usize;
+        for shell in &mut shells {
+            let (welded, report) = weld_vertices(shell, sliver_tol);
+            dropped += report.triangles_dropped;
+            *shell = welded;
+        }
+        diagnostics.push(Diagnostic {
+            stage: Stage::Repair,
+            message: format!("welded shells, dropped {dropped} degenerate triangles"),
+            recovered: true,
+        });
+        if shells.iter().map(TriMesh::triangle_count).sum::<usize>() == 0 {
+            return Err(PipelineError::EmptyBuild { part: part.name().to_string() });
+        }
+        stages.push(StageOutcome { stage: Stage::Repair, status: StageStatus::Degraded });
+    } else {
+        stages.push(StageOutcome { stage: Stage::Repair, status: StageStatus::Skipped });
+    }
+
+    // --- Slice -----------------------------------------------------------
+    let mut config = plan.slicer;
+    for fault in &faults.slicer {
+        fault.apply(&mut config);
+        diagnostics.push(Diagnostic {
+            stage: Stage::Slice,
+            message: format!("injected {fault}"),
+            recovered: false,
+        });
+    }
+    if !faults.slicer.is_empty() {
+        // Re-vet the effective (possibly sabotaged) configuration.
+        config.validate().map_err(PipelineError::InvalidConfig)?;
+    }
 
     // Orient, place on the bed (away from the corner — perimeter insets
     // may overshoot the footprint by a fraction of a road width), slice.
@@ -214,34 +485,85 @@ pub fn run_pipeline(part: &Part, plan: &ProcessPlan) -> Result<PipelineOutput, P
         .map(|m| m.transformed(&bed_margin))
         .collect();
     let to_build = build_transform(&shells, plan.orientation).then(&bed_margin);
-    let sliced = slice_shells(&oriented, plan.slicer.layer_height);
-    let slice_report = diagnose_slices(&sliced, plan.slicer.analysis_cell);
+    let sliced =
+        try_slice_shells(&oriented, config.layer_height).map_err(PipelineError::Slice)?;
+    let slice_report = diagnose_slices(&sliced, config.analysis_cell);
+    let open_paths: usize = sliced.layers.iter().map(|l| l.open_paths.len()).sum();
+    if open_paths > 0 {
+        diagnostics.push(Diagnostic {
+            stage: Stage::Slice,
+            message: format!("{open_paths} open contour chains tolerated (damaged mesh)"),
+            recovered: true,
+        });
+    }
+    stages.push(StageOutcome {
+        stage: Stage::Slice,
+        status: if open_paths > 0 || !faults.slicer.is_empty() {
+            StageStatus::Degraded
+        } else {
+            StageStatus::Clean
+        },
+    });
 
-    // Tool paths.
-    let toolpath = generate_toolpath(&sliced, &plan.slicer);
+    // --- Tool path -------------------------------------------------------
+    let mut toolpath = try_generate_toolpath(&sliced, &config).map_err(PipelineError::Toolpath)?;
+    for (i, fault) in faults.toolpath.iter().enumerate() {
+        let seed = fault_seed(faults.seed, Stage::ToolPath, i);
+        let note = fault.apply(&mut toolpath, seed).map_err(PipelineError::Gcode)?;
+        diagnostics.push(Diagnostic {
+            stage: Stage::ToolPath,
+            message: format!("injected {fault}: {note}"),
+            recovered: true,
+        });
+    }
     let toolpath_stats = ToolPathStats {
         model_mm: toolpath.total_length(ToolMaterial::Model),
         support_mm: toolpath.total_length(ToolMaterial::Support),
         layers: toolpath.layer_count(),
-        time_s: toolpath.print_time_estimate(plan.printer.feed_mm_per_s),
+        // The profile was validated above, so the feed is positive.
+        time_s: toolpath.try_print_time_estimate(plan.printer.feed_mm_per_s).unwrap_or(0.0),
     };
+    stages.push(StageOutcome {
+        stage: Stage::ToolPath,
+        status: if faults.toolpath.is_empty() { StageStatus::Clean } else { StageStatus::Degraded },
+    });
 
-    // Firmware vetting (the Table 1 limit-switch mitigation), then print,
-    // dissolve, inspect.
+    // --- Firmware vetting (the Table 1 limit-switch mitigation) ----------
+    let mut effective_feed = plan.printer.feed_mm_per_s;
+    for fault in &faults.firmware {
+        fault.apply(&mut toolpath, &mut effective_feed);
+        diagnostics.push(Diagnostic {
+            stage: Stage::Firmware,
+            message: format!("injected {fault}"),
+            recovered: false,
+        });
+    }
     let envelope = match plan.printer.process {
         Process::Fdm => BuildEnvelope::dimension_elite(),
         Process::PolyJet => BuildEnvelope::objet30_pro(),
     };
-    let violations = check_limits(&toolpath, &envelope);
+    let violations = check_limits_at_feed(&toolpath, &envelope, Some(effective_feed));
     if !violations.is_empty() {
         return Err(PipelineError::FirmwareRejected {
             violations: violations.len(),
             first: violations[0].to_string(),
         });
     }
-    let mut printed = PrintedPart::from_toolpath(&toolpath, &plan.printer, to_build, plan.seed);
+    stages.push(StageOutcome {
+        stage: Stage::Firmware,
+        status: if faults.firmware.is_empty() { StageStatus::Clean } else { StageStatus::Degraded },
+    });
+
+    // --- Print, dissolve -------------------------------------------------
+    let mut printed =
+        PrintedPart::try_from_toolpath(&toolpath, &plan.printer, to_build, plan.seed)
+            .map_err(PipelineError::Print)?;
     printed.dissolve_support();
+    stages.push(StageOutcome { stage: Stage::Print, status: StageStatus::Clean });
+
+    // --- Inspect ---------------------------------------------------------
     let scan_report = scan(&printed);
+    stages.push(StageOutcome { stage: Stage::Inspect, status: StageStatus::Clean });
 
     // Cold-joint contact: in x-y the seam's in-plane tessellation gaps
     // reduce the bonded area (fraction of the seam left open by the chord
@@ -249,7 +571,7 @@ pub fn run_pipeline(part: &Part, plan: &ProcessPlan) -> Result<PipelineOutput, P
     // the fraction of discontinuous layers.
     let joint_contact = match (&seam, plan.orientation) {
         (Some(s), Orientation::Xy) => {
-            (1.0 - 1.5 * s.chain_mismatch / plan.slicer.road_width).clamp(0.3, 1.0)
+            (1.0 - 1.5 * s.chain_mismatch / config.road_width).clamp(0.3, 1.0)
         }
         (Some(_), Orientation::Xz) => {
             let frac = if slice_report.layers == 0 {
@@ -262,15 +584,17 @@ pub fn run_pipeline(part: &Part, plan: &ProcessPlan) -> Result<PipelineOutput, P
         (None, _) => 1.0,
     };
 
-    // Virtual tensile test.
+    // --- Virtual tensile test --------------------------------------------
     let tensile = if plan.tensile {
-        let config = TensileConfig {
+        let tensile_config = TensileConfig {
             joint_contact,
             ..TensileConfig::fdm(plan.orientation)
         };
-        let mut lattice = Lattice::from_printed(&printed, &config, plan.seed);
-        Some(run_tensile_test(&mut lattice, &config))
+        let mut lattice = Lattice::from_printed(&printed, &tensile_config, plan.seed);
+        stages.push(StageOutcome { stage: Stage::Test, status: StageStatus::Clean });
+        Some(run_tensile_test(&mut lattice, &tensile_config))
     } else {
+        stages.push(StageOutcome { stage: Stage::Test, status: StageStatus::Skipped });
         None
     };
 
@@ -285,5 +609,7 @@ pub fn run_pipeline(part: &Part, plan: &ProcessPlan) -> Result<PipelineOutput, P
         scan: scan_report,
         tensile,
         joint_contact,
+        stages,
+        diagnostics,
     })
 }

@@ -47,7 +47,7 @@ pub enum Authenticity {
 /// assert_eq!(genuine.security_feature_count(), 0);
 /// # Ok::<(), am_cad::CadError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SplineSplitScheme {
     dims: TensileBarDims,
 }
@@ -97,12 +97,6 @@ impl SplineSplitScheme {
     }
 }
 
-impl Default for SplineSplitScheme {
-    fn default() -> Self {
-        SplineSplitScheme { dims: TensileBarDims::default() }
-    }
-}
-
 /// The §3.2 protection scheme: a sphere embedded in a solid, whose print
 /// outcome depends on the CAD processing recipe.
 ///
@@ -111,7 +105,7 @@ impl Default for SplineSplitScheme {
 /// followed by re-embedding a **solid** body — prints the region as model
 /// material. Every other recipe leaves a support-filled (and after
 /// dissolution, hollow) core.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EmbeddedSphereScheme {
     dims: PrismDims,
 }
@@ -170,12 +164,6 @@ impl EmbeddedSphereScheme {
         } else {
             Authenticity::Inconclusive
         }
-    }
-}
-
-impl Default for EmbeddedSphereScheme {
-    fn default() -> Self {
-        EmbeddedSphereScheme { dims: PrismDims::default() }
     }
 }
 

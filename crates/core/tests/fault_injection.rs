@@ -1,0 +1,260 @@
+//! The robustness suite: drive the full pipeline through ≥1000 seeded
+//! `(ProcessPlan, FaultPlan)` combinations covering the Table 1 attack
+//! catalog, and assert that every run either completes with diagnostics or
+//! aborts with a typed [`PipelineError`] naming its stage — never a panic.
+
+use am_cad::parts::{intact_prism, prism_with_sphere, PrismDims};
+use am_cad::{BodyKind, MaterialRemoval, Part};
+use am_mesh::{fingerprint, tessellate_shells, verify_fingerprint, Resolution};
+use am_slicer::{InfillStyle, Orientation, SlicerConfig};
+use obfuscade::{
+    run_pipeline, run_pipeline_with_faults, FaultPlan, PipelineError, ProcessPlan, Stage,
+    StageStatus,
+};
+
+/// The small, fast test specimen: the paper's prism, coarse layers.
+fn specimen() -> Part {
+    intact_prism(&PrismDims::default())
+}
+
+/// A sturdier specimen for mesh-damage faults: the sphere's curvature
+/// tessellates into hundreds of facets, so collapsing a handful degrades
+/// the mesh without destroying it (the 12-facet prism offers no such
+/// slack).
+fn curved_specimen() -> Part {
+    prism_with_sphere(&PrismDims::default(), BodyKind::Solid, MaterialRemoval::Without).unwrap()
+}
+
+fn coarse_slicer(layer_height: f64, road_width: f64) -> SlicerConfig {
+    SlicerConfig {
+        layer_height,
+        road_width,
+        analysis_cell: road_width / 2.0,
+        ..SlicerConfig::default()
+    }
+}
+
+/// Ten distinct process plans (resolution × orientation × slicing grid).
+fn process_plans() -> Vec<ProcessPlan> {
+    let mut plans = Vec::new();
+    for (res, orient) in [
+        (Resolution::Coarse, Orientation::Xy),
+        (Resolution::Coarse, Orientation::Xz),
+        (Resolution::Fine, Orientation::Xy),
+        (Resolution::Fine, Orientation::Xz),
+    ] {
+        let mut plan = ProcessPlan::fdm(res, orient);
+        plan.slicer = coarse_slicer(0.7, 0.7);
+        plans.push(plan);
+    }
+    for (lh, rw) in [(0.5, 0.5), (1.0, 1.0)] {
+        for orient in [Orientation::Xy, Orientation::Xz] {
+            let mut plan = ProcessPlan::fdm(Resolution::Coarse, orient);
+            plan.slicer = coarse_slicer(lh, rw);
+            plans.push(plan);
+        }
+    }
+    let mut sparse = ProcessPlan::fdm(Resolution::Coarse, Orientation::Xy);
+    sparse.slicer =
+        SlicerConfig { infill: InfillStyle::Sparse { density: 0.25 }, ..coarse_slicer(0.7, 0.7) };
+    plans.push(sparse);
+    let mut reseeded = ProcessPlan::fdm(Resolution::Fine, Orientation::Xz).with_seed(9);
+    reseeded.slicer = coarse_slicer(0.7, 0.7);
+    plans.push(reseeded);
+    plans
+}
+
+/// Twenty-five fault plans: the full documented catalog plus multi-fault
+/// combinations, including total-destruction cases.
+fn fault_plans() -> Vec<FaultPlan> {
+    let mut plans: Vec<FaultPlan> = FaultPlan::catalog().into_iter().map(|(_, p)| p).collect();
+    for combo in [
+        "stl.degenerate=3 toolpath.drop=0.05",
+        "stl.void=0.15 stl.flip=2",
+        "stl.truncate=0.8 stl.degenerate=2",
+        "toolpath.drop=1",
+        "toolpath.dup=0.5 toolpath.drop=0.2",
+        "toolpath.gcode=0",
+        "stl.drift=0.2:4 firmware.escape=250",
+        "slicer.zero_layer toolpath.drop=0.5",
+        "stl.degenerate=5 slicer.road_width=0.0001",
+        "firmware.feed=1.5",
+    ] {
+        plans.push(combo.parse().expect(combo));
+    }
+    plans
+}
+
+#[test]
+fn thousand_seeded_combinations_never_panic() {
+    let part = specimen();
+    let plans = process_plans();
+    let faults = fault_plans();
+    assert_eq!(plans.len(), 10);
+    assert_eq!(faults.len(), 25);
+
+    let (mut cases, mut degraded_ok, mut typed_err) = (0u32, 0u32, 0u32);
+    for plan in &plans {
+        for fault_plan in &faults {
+            for seed in [1u64, 7, 42, 1234] {
+                cases += 1;
+                let fp = fault_plan.clone().with_seed(seed);
+                match run_pipeline_with_faults(&part, plan, &fp) {
+                    Ok(out) => {
+                        // A faulted run that completes must say what
+                        // happened to it.
+                        assert!(
+                            !out.diagnostics.is_empty(),
+                            "faulted run completed silently: {fp}"
+                        );
+                        assert!(out.is_degraded(), "no degraded stage recorded: {fp}");
+                        degraded_ok += 1;
+                    }
+                    Err(e) => {
+                        // Typed, stage-named, and renderable.
+                        let stage = e.stage();
+                        let msg = e.to_string();
+                        assert!(
+                            msg.contains(stage.name())
+                                || matches!(
+                                    e,
+                                    PipelineError::EmptyBuild { .. }
+                                        | PipelineError::FirmwareRejected { .. }
+                                ),
+                            "error does not name its stage: {msg}"
+                        );
+                        typed_err += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(cases, 1000);
+    // Both regimes must be represented, or the suite proves nothing.
+    assert!(degraded_ok > 100, "only {degraded_ok} graceful runs");
+    assert!(typed_err > 100, "only {typed_err} typed failures");
+}
+
+#[test]
+fn every_catalog_fault_lands_where_documented() {
+    let part = curved_specimen();
+    let mut plan = ProcessPlan::fdm(Resolution::Coarse, Orientation::Xy);
+    plan.slicer = coarse_slicer(0.7, 0.7);
+
+    for (name, fault_plan) in FaultPlan::catalog() {
+        let result = run_pipeline_with_faults(&part, &plan, &fault_plan.with_seed(3));
+        match name {
+            // Parse-level STL corruption aborts in the STL stage.
+            "stl-nan" | "stl-bytes" => {
+                let err = result.expect_err(name);
+                assert_eq!(err.stage(), Stage::Stl, "{name}: {err}");
+                assert!(matches!(err, PipelineError::Stl(_)), "{name}: {err}");
+            }
+            // Slicer misconfiguration is caught by config validation.
+            "slicer-zero-layer" | "slicer-nan-layer" | "slicer-road-width" => {
+                let err = result.expect_err(name);
+                assert_eq!(err.stage(), Stage::Slice, "{name}: {err}");
+                assert!(matches!(err, PipelineError::InvalidConfig(_)), "{name}: {err}");
+            }
+            // Firmware glitches trip the limit switch.
+            "firmware-escape" | "firmware-feed" => {
+                let err = result.expect_err(name);
+                assert_eq!(err.stage(), Stage::Firmware, "{name}: {err}");
+                assert!(matches!(err, PipelineError::FirmwareRejected { .. }), "{name}: {err}");
+            }
+            // Heavy geometric damage: on the coarse specimen, dropping a
+            // third of the facets can leave nothing sliceable — a typed
+            // downstream error is as valid as a degraded completion.
+            "stl-truncate" => match result {
+                Ok(out) => {
+                    assert!(!out.diagnostics.is_empty(), "{name}");
+                    assert!(out.is_degraded(), "{name}");
+                }
+                Err(e) => {
+                    assert!(
+                        matches!(e.stage(), Stage::Stl | Stage::Slice | Stage::ToolPath | Stage::Print),
+                        "{name}: {e}"
+                    );
+                }
+            },
+            // Everything else degrades gracefully with diagnostics.
+            _ => {
+                let out = result.unwrap_or_else(|e| panic!("{name} should degrade, got {e}"));
+                assert!(!out.diagnostics.is_empty(), "{name}");
+                assert!(out.is_degraded(), "{name}");
+            }
+        }
+    }
+}
+
+#[test]
+fn fingerprint_flags_every_documented_stl_fault() {
+    let part = specimen().resolve().unwrap();
+    let shells = tessellate_shells(&part, &Resolution::Coarse.params());
+    let mesh = &shells[0];
+    let registered = fingerprint(mesh);
+
+    let mut checked = 0;
+    for (name, fault_plan) in FaultPlan::catalog() {
+        for fault in &fault_plan.stl {
+            checked += 1;
+            match fault.apply(mesh, 99) {
+                // The damaged mesh still parses: the fingerprint audit must
+                // produce evidence.
+                Ok(damaged) => {
+                    let evidence = verify_fingerprint(&damaged, &registered);
+                    assert!(!evidence.is_empty(), "{name} escaped the fingerprint");
+                }
+                // The damaged byte stream no longer parses: flagged even
+                // earlier, by the reader itself.
+                Err(e) => {
+                    assert!(!e.to_string().is_empty(), "{name}");
+                }
+            }
+        }
+    }
+    assert_eq!(checked, 7, "catalog must cover all seven STL fault classes");
+}
+
+#[test]
+fn fault_runs_are_deterministic() {
+    let part = curved_specimen();
+    let mut plan = ProcessPlan::fdm(Resolution::Coarse, Orientation::Xy);
+    plan.slicer = coarse_slicer(0.7, 0.7);
+    let faults: FaultPlan =
+        "seed=11 stl.degenerate=3 stl.drift=0.3:2 toolpath.drop=0.1 toolpath.dup=0.1"
+            .parse()
+            .unwrap();
+
+    let a = run_pipeline_with_faults(&part, &plan, &faults).unwrap();
+    let b = run_pipeline_with_faults(&part, &plan, &faults).unwrap();
+    assert_eq!(a.diagnostics, b.diagnostics);
+    assert_eq!(a.toolpath, b.toolpath);
+    assert_eq!(a.mesh_triangles, b.mesh_triangles);
+    assert_eq!(format!("{:?}", a.scan), format!("{:?}", b.scan));
+
+    // A different fault seed damages different facets/roads.
+    let reseeded = run_pipeline_with_faults(&part, &plan, &faults.clone().with_seed(12)).unwrap();
+    assert_ne!(
+        format!("{:?}", a.diagnostics),
+        format!("{:?}", reseeded.diagnostics),
+        "fault seed must steer the damage"
+    );
+}
+
+#[test]
+fn empty_fault_plan_matches_plain_pipeline() {
+    let part = specimen();
+    let mut plan = ProcessPlan::fdm(Resolution::Coarse, Orientation::Xy);
+    plan.slicer = coarse_slicer(0.7, 0.7);
+
+    let plain = run_pipeline(&part, &plan).unwrap();
+    let faultless = run_pipeline_with_faults(&part, &plan, &FaultPlan::none()).unwrap();
+    assert!(plain.diagnostics.is_empty());
+    assert!(!plain.is_degraded());
+    assert_eq!(plain.toolpath, faultless.toolpath);
+    assert_eq!(format!("{:?}", plain.scan), format!("{:?}", faultless.scan));
+    // The repair stage must not run on a clean mesh.
+    let repair = plain.stages.iter().find(|s| s.stage == Stage::Repair).unwrap();
+    assert_eq!(repair.status, StageStatus::Skipped);
+}

@@ -30,8 +30,21 @@ impl Aabb2 {
     /// Panics if any component of `min` exceeds the matching component of
     /// `max`.
     pub fn new(min: Point2, max: Point2) -> Self {
-        assert!(min.x <= max.x && min.y <= max.y, "inverted Aabb2 corners");
-        Aabb2 { min, max }
+        match Self::try_new(min, max) {
+            Some(b) => b,
+            None => panic!("inverted Aabb2 corners"),
+        }
+    }
+
+    /// Creates a box from its corners, or `None` when the corners are
+    /// inverted or non-finite (NaN corners fail the ordering check). The
+    /// panic-free entry point for possibly-corrupted geometry.
+    pub fn try_new(min: Point2, max: Point2) -> Option<Self> {
+        if min.x <= max.x && min.y <= max.y {
+            Some(Aabb2 { min, max })
+        } else {
+            None
+        }
     }
 
     /// Smallest box containing all `points`, or `None` for an empty iterator.
@@ -114,11 +127,21 @@ impl Aabb3 {
     /// Panics if any component of `min` exceeds the matching component of
     /// `max`.
     pub fn new(min: Point3, max: Point3) -> Self {
-        assert!(
-            min.x <= max.x && min.y <= max.y && min.z <= max.z,
-            "inverted Aabb3 corners"
-        );
-        Aabb3 { min, max }
+        match Self::try_new(min, max) {
+            Some(b) => b,
+            None => panic!("inverted Aabb3 corners"),
+        }
+    }
+
+    /// Creates a box from its corners, or `None` when the corners are
+    /// inverted or non-finite (NaN corners fail the ordering check). The
+    /// panic-free entry point for possibly-corrupted geometry.
+    pub fn try_new(min: Point3, max: Point3) -> Option<Self> {
+        if min.x <= max.x && min.y <= max.y && min.z <= max.z {
+            Some(Aabb3 { min, max })
+        } else {
+            None
+        }
     }
 
     /// Smallest box containing all `points`, or `None` for an empty iterator.

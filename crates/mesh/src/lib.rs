@@ -53,7 +53,7 @@ pub use repair::{weld_vertices, WeldReport};
 pub use resolution::Resolution;
 pub use stl::{binary_stl_size, read_stl, write_ascii_stl, write_binary_stl, StlError};
 pub use tamper::{
-    endpoint_attack, fingerprint, scale_attack, verify_fingerprint, void_attack, Fingerprint,
-    TamperEvidence,
+    degenerate_attack, endpoint_attack, fingerprint, flip_attack, scale_attack,
+    truncation_attack, verify_fingerprint, void_attack, Fingerprint, TamperEvidence,
 };
 pub use tessellate::{tessellate_part, tessellate_shell, tessellate_shells};

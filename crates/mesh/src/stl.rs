@@ -24,6 +24,22 @@ pub enum StlError {
         /// Human-readable description of the problem.
         reason: String,
     },
+    /// The byte stream declares more facets than its payload contains —
+    /// either an in-transit truncation or a facet-count bomb. The parser
+    /// never allocates from the declared count, only from the bytes
+    /// actually present.
+    Truncated {
+        /// The facet count declared in the 4-byte header field.
+        declared_facets: u64,
+        /// Bytes actually available in the stream.
+        available_bytes: usize,
+    },
+    /// A facet carries NaN or infinite vertex coordinates, which would
+    /// poison every downstream geometric predicate.
+    NonFiniteVertex {
+        /// Zero-based index of the offending facet.
+        facet: usize,
+    },
 }
 
 impl fmt::Display for StlError {
@@ -31,6 +47,14 @@ impl fmt::Display for StlError {
         match self {
             StlError::Io(e) => write!(f, "stl i/o error: {e}"),
             StlError::Malformed { reason } => write!(f, "malformed stl: {reason}"),
+            StlError::Truncated { declared_facets, available_bytes } => write!(
+                f,
+                "truncated stl: {declared_facets} facets declared but only \
+                 {available_bytes} bytes present"
+            ),
+            StlError::NonFiniteVertex { facet } => {
+                write!(f, "stl facet {facet} has non-finite vertex coordinates")
+            }
         }
     }
 }
@@ -39,7 +63,7 @@ impl Error for StlError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             StlError::Io(e) => Some(e),
-            StlError::Malformed { .. } => None,
+            _ => None,
         }
     }
 }
@@ -141,13 +165,19 @@ fn parse_binary(data: &[u8]) -> Result<TriMesh, StlError> {
     if data.len() < 84 {
         return Err(StlError::Malformed { reason: "binary stl shorter than 84-byte preamble".into() });
     }
-    let count = u32::from_le_bytes([data[80], data[81], data[82], data[83]]) as usize;
-    let expected = 84 + 50 * count;
-    if data.len() < expected {
-        return Err(StlError::Malformed {
-            reason: format!("binary stl truncated: {} bytes for {count} facets", data.len()),
+    // The declared count is attacker-controlled: a 4-byte field can claim
+    // up to ~4.3 G facets (~215 GB). All sizing below is derived from the
+    // bytes actually present, so a count bomb fails fast without
+    // allocating, and u64 arithmetic cannot overflow on any platform.
+    let declared = u64::from(u32::from_le_bytes([data[80], data[81], data[82], data[83]]));
+    let payload_facets = (data.len() as u64 - 84) / 50;
+    if declared > payload_facets {
+        return Err(StlError::Truncated {
+            declared_facets: declared,
+            available_bytes: data.len(),
         });
     }
+    let count = declared as usize;
     let mut b = MeshBuilder::new();
     for i in 0..count {
         let off = 84 + 50 * i;
@@ -157,10 +187,14 @@ fn parse_binary(data: &[u8]) -> Result<TriMesh, StlError> {
         };
         // Fields 0..2 are the stored normal (ignored: recomputed), 3..11 the
         // vertices.
+        let coords = [f(3), f(4), f(5), f(6), f(7), f(8), f(9), f(10), f(11)];
+        if coords.iter().any(|c| !c.is_finite()) {
+            return Err(StlError::NonFiniteVertex { facet: i });
+        }
         let tri = Triangle3::new(
-            Point3::new(f(3), f(4), f(5)),
-            Point3::new(f(6), f(7), f(8)),
-            Point3::new(f(9), f(10), f(11)),
+            Point3::new(coords[0], coords[1], coords[2]),
+            Point3::new(coords[3], coords[4], coords[5]),
+            Point3::new(coords[6], coords[7], coords[8]),
         );
         b.push(tri);
     }
@@ -180,6 +214,7 @@ fn parse_ascii(data: &[u8]) -> Result<TriMesh, StlError> {
                     tokens
                         .next()
                         .and_then(|t| t.parse::<f64>().ok())
+                        .filter(|v| v.is_finite())
                         .ok_or_else(|| StlError::Malformed {
                             reason: format!("line {}: bad {name} coordinate", lineno + 1),
                         })
@@ -244,12 +279,44 @@ mod tests {
         let mut buf = Vec::new();
         write_binary_stl(&mesh, &mut buf).unwrap();
         buf.truncate(buf.len() - 10);
-        assert!(matches!(read_stl(&buf[..]), Err(StlError::Malformed { .. })));
+        assert!(matches!(read_stl(&buf[..]), Err(StlError::Truncated { .. })));
     }
 
     #[test]
     fn garbage_rejected() {
         assert!(read_stl(&b"not an stl"[..]).is_err());
+    }
+
+    #[test]
+    fn facet_count_bomb_fails_without_allocating() {
+        // Header declares u32::MAX facets (~215 GB) with a 1-facet payload.
+        let mesh = sample_mesh();
+        let mut buf = Vec::new();
+        write_binary_stl(&mesh, &mut buf).unwrap();
+        buf[80..84].copy_from_slice(&u32::MAX.to_le_bytes());
+        match read_stl(&buf[..]) {
+            Err(StlError::Truncated { declared_facets, .. }) => {
+                assert_eq!(declared_facets, u64::from(u32::MAX));
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nan_vertex_rejected_binary() {
+        let mesh = sample_mesh();
+        let mut buf = Vec::new();
+        write_binary_stl(&mesh, &mut buf).unwrap();
+        // Facet 0's first vertex x lives after the 12-byte normal.
+        let off = 84 + 12;
+        buf[off..off + 4].copy_from_slice(&f32::NAN.to_le_bytes());
+        assert!(matches!(read_stl(&buf[..]), Err(StlError::NonFiniteVertex { facet: 0 })));
+    }
+
+    #[test]
+    fn nan_vertex_rejected_ascii() {
+        let text = b"solid x\nfacet normal 0 0 1\nouter loop\nvertex 0 0 NaN\nvertex 1 0 0\nvertex 0 1 0\nendloop\nendfacet\nendsolid x\n";
+        assert!(matches!(read_stl(&text[..]), Err(StlError::Malformed { .. })));
     }
 
     #[test]

@@ -162,6 +162,54 @@ pub fn void_attack(mesh: &TriMesh, center: Point3, half_extent: f64) -> TriMesh 
     out
 }
 
+/// The **truncation attack**: drops the trailing `1 − keep_fraction` of the
+/// facet list, simulating an STL cut off in transit on a facet boundary
+/// (a mid-facet cut is rejected outright by [`crate::read_stl`]).
+///
+/// `keep_fraction` is clamped to `[0, 1]`; non-finite values keep nothing.
+pub fn truncation_attack(mesh: &TriMesh, keep_fraction: f64) -> TriMesh {
+    let keep_fraction = if keep_fraction.is_finite() { keep_fraction.clamp(0.0, 1.0) } else { 0.0 };
+    let keep = (mesh.triangle_count() as f64 * keep_fraction).floor() as usize;
+    let mut b = MeshBuilder::new();
+    for tri in mesh.triangles().take(keep) {
+        b.push(tri);
+    }
+    b.build()
+}
+
+/// The **degenerate-facet attack**: collapses `count` seeded facets to zero
+/// area by snapping one vertex onto another — sliceable garbage that a
+/// naive pipeline trips over and [`crate::weld_vertices`] repairs away.
+pub fn degenerate_attack(mesh: &TriMesh, count: usize, seed: u64) -> TriMesh {
+    if mesh.triangle_count() == 0 {
+        return mesh.clone();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut indices = mesh.indices().to_vec();
+    for _ in 0..count {
+        let t = rng.gen_range(0..indices.len());
+        indices[t][1] = indices[t][0];
+    }
+    TriMesh::from_raw(mesh.vertices().to_vec(), indices)
+}
+
+/// The **flipped-facet attack**: reverses the winding of `count` seeded
+/// facets. Flipped normals invert the material-side semantics the slicer
+/// relies on (Table 3), corrupting contours without changing a single
+/// vertex position or the file size.
+pub fn flip_attack(mesh: &TriMesh, count: usize, seed: u64) -> TriMesh {
+    if mesh.triangle_count() == 0 {
+        return mesh.clone();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut indices = mesh.indices().to_vec();
+    for _ in 0..count {
+        let t = rng.gen_range(0..indices.len());
+        indices[t].swap(1, 2);
+    }
+    TriMesh::from_raw(mesh.vertices().to_vec(), indices)
+}
+
 /// The **end-point attack**: nudges a few random vertices by `magnitude`
 /// ("end point changes") — enough to break a mating surface, small enough
 /// to pass a visual review.
@@ -267,5 +315,56 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_scale_rejected() {
         let _ = scale_attack(&prism_mesh(), 0.0);
+    }
+
+    #[test]
+    fn truncation_attack_is_caught_by_size() {
+        let mesh = prism_mesh();
+        let fp = fingerprint(&mesh);
+        let cut = truncation_attack(&mesh, 0.5);
+        assert!(cut.triangle_count() < mesh.triangle_count());
+        let evidence = verify_fingerprint(&cut, &fp);
+        assert!(evidence.iter().any(|e| matches!(e, TamperEvidence::SizeChanged { .. })));
+        // Edge behaviours: keep-all is identity, keep-none is empty.
+        assert_eq!(truncation_attack(&mesh, 1.0).triangle_count(), mesh.triangle_count());
+        assert_eq!(truncation_attack(&mesh, 0.0).triangle_count(), 0);
+        assert_eq!(truncation_attack(&mesh, f64::NAN).triangle_count(), 0);
+    }
+
+    #[test]
+    fn degenerate_attack_is_caught_by_hash() {
+        use am_geom::Tolerance;
+        let mesh = prism_mesh();
+        let fp = fingerprint(&mesh);
+        let broken = degenerate_attack(&mesh, 2, 9);
+        assert!(broken.degenerate_count(Tolerance::new(1e-12)) > 0);
+        assert_eq!(broken.triangle_count(), mesh.triangle_count());
+        let evidence = verify_fingerprint(&broken, &fp);
+        assert!(evidence.contains(&TamperEvidence::HashChanged));
+        // Deterministic: same seed, same damage.
+        assert_eq!(
+            fingerprint(&degenerate_attack(&mesh, 2, 9)),
+            fingerprint(&broken)
+        );
+    }
+
+    #[test]
+    fn flip_attack_is_caught_by_hash_and_volume() {
+        let mesh = prism_mesh();
+        let fp = fingerprint(&mesh);
+        let flipped = flip_attack(&mesh, 3, 11);
+        assert_eq!(flipped.triangle_count(), mesh.triangle_count());
+        let evidence = verify_fingerprint(&flipped, &fp);
+        assert!(evidence.contains(&TamperEvidence::HashChanged));
+        // The volume signature: flipping a facet negates its signed-volume
+        // contribution. Facets of the origin-cornered prism can contribute
+        // exactly zero, so shift the mesh off the origin first — then a
+        // single flip is guaranteed to move the signed volume.
+        let shifted = TriMesh::from_raw(
+            mesh.vertices().iter().map(|v| *v + Vec3::new(3.0, 4.0, 5.0)).collect(),
+            mesh.indices().to_vec(),
+        );
+        let one = flip_attack(&shifted, 1, 11);
+        assert!((one.signed_volume() - shifted.signed_volume()).abs() > 1e-6);
     }
 }

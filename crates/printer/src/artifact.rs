@@ -5,7 +5,71 @@ use am_slicer::{ToolMaterial, ToolPath};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{Material, PrinterProfile};
+use crate::{Material, PrinterProfile, ProfileError};
+
+/// Errors from [`PrintedPart::try_from_toolpath`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PrintError {
+    /// The machine profile is invalid.
+    Profile(ProfileError),
+    /// The tool path has no roads.
+    EmptyToolPath,
+    /// The tool path carries no layer height / road width metadata (e.g. a
+    /// G-code file with a stripped header).
+    MissingLayerGeometry {
+        /// Layer height found (mm).
+        layer_height: f64,
+        /// Road width found (mm).
+        road_width: f64,
+    },
+    /// A road coordinate is NaN or infinite; the deposition grid cannot be
+    /// sized. (Firmware vetting catches this earlier in the pipeline.)
+    NonFiniteGeometry,
+    /// The voxel grid implied by the road extents exceeds the supported
+    /// size — a corrupted tool path cannot demand unbounded memory.
+    GridTooLarge {
+        /// Voxels the tool path would require.
+        voxels: u128,
+        /// Supported maximum.
+        max: u64,
+    },
+}
+
+impl std::fmt::Display for PrintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrintError::Profile(e) => write!(f, "invalid printer profile: {e}"),
+            PrintError::EmptyToolPath => write!(f, "cannot print an empty tool path"),
+            PrintError::MissingLayerGeometry { layer_height, road_width } => write!(
+                f,
+                "tool path missing layer geometry (layer_height {layer_height}, \
+                 road_width {road_width})"
+            ),
+            PrintError::NonFiniteGeometry => {
+                write!(f, "tool path contains non-finite coordinates")
+            }
+            PrintError::GridTooLarge { voxels, max } => {
+                write!(f, "tool path spans {voxels} voxels, exceeding the supported {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PrintError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PrintError::Profile(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProfileError> for PrintError {
+    fn from(e: ProfileError) -> Self {
+        PrintError::Profile(e)
+    }
+}
 
 /// A printed part: the voxelized result of running a tool path on a
 /// [`PrinterProfile`].
@@ -61,24 +125,63 @@ impl PrintedPart {
     /// # Panics
     ///
     /// Panics if the tool path is empty or its layer geometry is invalid.
+    /// Prefer [`PrintedPart::try_from_toolpath`] in library code.
     pub fn from_toolpath(
         toolpath: &ToolPath,
         profile: &PrinterProfile,
         to_build: Transform3,
         seed: u64,
     ) -> Self {
-        profile.assert_valid();
-        assert!(!toolpath.roads.is_empty(), "cannot print an empty tool path");
-        assert!(
-            toolpath.layer_height > 0.0 && toolpath.road_width > 0.0,
-            "tool path missing layer geometry"
-        );
+        match Self::try_from_toolpath(toolpath, profile, to_build, seed) {
+            Ok(part) => part,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Largest supported deposition grid (voxels). At 3 bytes per voxel
+    /// this caps the build at ~400 MB; every real part in the paper's
+    /// envelopes is orders of magnitude below it.
+    pub const MAX_VOXELS: u64 = 1 << 27;
+
+    /// Deposits a tool path on the given machine, returning a typed error
+    /// instead of panicking on invalid input.
+    ///
+    /// # Errors
+    ///
+    /// [`PrintError::Profile`] for a bad machine profile,
+    /// [`PrintError::EmptyToolPath`] / [`PrintError::MissingLayerGeometry`]
+    /// for part programs with nothing to deposit,
+    /// [`PrintError::NonFiniteGeometry`] for NaN/infinite coordinates, and
+    /// [`PrintError::GridTooLarge`] when the road extents would demand an
+    /// unreasonable voxel grid.
+    pub fn try_from_toolpath(
+        toolpath: &ToolPath,
+        profile: &PrinterProfile,
+        to_build: Transform3,
+        seed: u64,
+    ) -> Result<Self, PrintError> {
+        profile.validate()?;
+        if toolpath.roads.is_empty() {
+            return Err(PrintError::EmptyToolPath);
+        }
+        let (h, w) = (toolpath.layer_height, toolpath.road_width);
+        if !(h.is_finite() && h > 0.0 && w.is_finite() && w > 0.0) {
+            return Err(PrintError::MissingLayerGeometry { layer_height: h, road_width: w });
+        }
 
         let voxel_xy = toolpath.road_width / 2.0;
         let voxel_z = toolpath.layer_height;
         let mut min = Point3::new(f64::INFINITY, f64::INFINITY, f64::INFINITY);
         let mut max = Point3::new(f64::NEG_INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
         for r in &toolpath.roads {
+            if !(r.from.x.is_finite()
+                && r.from.y.is_finite()
+                && r.to.x.is_finite()
+                && r.to.y.is_finite()
+                && r.z.is_finite())
+            {
+                return Err(PrintError::NonFiniteGeometry);
+            }
             for p in [r.from, r.to] {
                 min.x = min.x.min(p.x);
                 min.y = min.y.min(p.y);
@@ -90,9 +193,23 @@ impl PrintedPart {
         }
         let margin = toolpath.road_width;
         let origin = Point3::new(min.x - margin, min.y - margin, min.z - voxel_z / 2.0);
-        let nx = (((max.x - min.x) + 2.0 * margin) / voxel_xy).ceil() as usize + 1;
-        let ny = (((max.y - min.y) + 2.0 * margin) / voxel_xy).ceil() as usize + 1;
-        let nz = ((max.z - min.z) / voxel_z).round() as usize + 1;
+        // Size the grid in f64 first: with finite extents and positive voxel
+        // sizes the counts are finite, but a corrupted tool path can still
+        // demand an absurd grid — bound it before allocating.
+        let fx = ((max.x - min.x) + 2.0 * margin) / voxel_xy;
+        let fy = ((max.y - min.y) + 2.0 * margin) / voxel_xy;
+        let fz = (max.z - min.z) / voxel_z;
+        if !(fx.is_finite() && fy.is_finite() && fz.is_finite()) {
+            return Err(PrintError::NonFiniteGeometry);
+        }
+        let nx = fx.ceil().clamp(0.0, 1e18) as u128 + 1;
+        let ny = fy.ceil().clamp(0.0, 1e18) as u128 + 1;
+        let nz = fz.round().clamp(0.0, 1e18) as u128 + 1;
+        let voxels = nx * ny * nz;
+        if voxels > u128::from(Self::MAX_VOXELS) {
+            return Err(PrintError::GridTooLarge { voxels, max: Self::MAX_VOXELS });
+        }
+        let (nx, ny, nz) = (nx as usize, ny as usize, nz as usize);
 
         let mut part = PrintedPart {
             profile: profile.clone(),
@@ -115,7 +232,7 @@ impl PrintedPart {
             let radius = (toolpath.road_width / 2.0) * jitter.clamp(0.6, 1.4);
             part.stamp_road(road, radius);
         }
-        part
+        Ok(part)
     }
 
     fn stamp_road(&mut self, road: &am_slicer::Road, radius: f64) {

@@ -53,6 +53,14 @@ pub enum LimitViolation {
         /// Index of the offending road.
         road: usize,
     },
+    /// The commanded head feed rate exceeds the machine's kinematic limit
+    /// (the Table 1 "firmware glitch" / feed-spike attack).
+    FeedExceeded {
+        /// Commanded feed (mm/s).
+        commanded: f64,
+        /// Machine maximum (mm/s).
+        max: f64,
+    },
 }
 
 impl fmt::Display for LimitViolation {
@@ -63,6 +71,9 @@ impl fmt::Display for LimitViolation {
             }
             LimitViolation::NonFinite { road } => {
                 write!(f, "road {road} contains a non-finite coordinate")
+            }
+            LimitViolation::FeedExceeded { commanded, max } => {
+                write!(f, "commanded feed {commanded} mm/s exceeds the machine limit {max} mm/s")
             }
         }
     }
@@ -81,7 +92,26 @@ impl fmt::Display for LimitViolation {
 /// assert!(violations.is_empty());
 /// ```
 pub fn check_limits(toolpath: &ToolPath, envelope: &BuildEnvelope) -> Vec<LimitViolation> {
+    check_limits_at_feed(toolpath, envelope, None)
+}
+
+/// Vets a part program like [`check_limits`], additionally checking the
+/// commanded head feed rate against the machine's kinematic limit when one
+/// is supplied. A non-finite commanded feed also violates.
+pub fn check_limits_at_feed(
+    toolpath: &ToolPath,
+    envelope: &BuildEnvelope,
+    feed_mm_per_s: Option<f64>,
+) -> Vec<LimitViolation> {
     let mut violations = Vec::new();
+    if let Some(feed) = feed_mm_per_s {
+        if !feed.is_finite() || feed > envelope.max_feed_mm_per_s {
+            violations.push(LimitViolation::FeedExceeded {
+                commanded: feed,
+                max: envelope.max_feed_mm_per_s,
+            });
+        }
+    }
     for (i, road) in toolpath.roads.iter().enumerate() {
         let points = [road.from.to_3d(road.z), road.to.to_3d(road.z)];
         if points.iter().any(|p| !(p.x.is_finite() && p.y.is_finite() && p.z.is_finite())) {
@@ -140,6 +170,17 @@ mod tests {
         let violations = check_limits(&tp, &BuildEnvelope::dimension_elite());
         assert_eq!(violations, vec![LimitViolation::NonFinite { road: 0 }]);
         assert!(violations[0].to_string().contains("non-finite"));
+    }
+
+    #[test]
+    fn feed_spike_is_caught() {
+        let tp = toolpath(vec![road(50.0, 50.0, 1.0)]);
+        let env = BuildEnvelope::dimension_elite();
+        assert!(check_limits_at_feed(&tp, &env, Some(30.0)).is_empty());
+        let spiked = check_limits_at_feed(&tp, &env, Some(1e6));
+        assert!(matches!(spiked[0], LimitViolation::FeedExceeded { .. }));
+        let nan = check_limits_at_feed(&tp, &env, Some(f64::NAN));
+        assert!(matches!(nan[0], LimitViolation::FeedExceeded { .. }));
     }
 
     #[test]

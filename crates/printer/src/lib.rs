@@ -28,8 +28,8 @@ mod inspect;
 mod machine;
 mod material;
 
-pub use artifact::PrintedPart;
-pub use firmware::{check_limits, BuildEnvelope, LimitViolation};
+pub use artifact::{PrintError, PrintedPart};
+pub use firmware::{check_limits, check_limits_at_feed, BuildEnvelope, LimitViolation};
 pub use inspect::{cross_section_profile, relative_density, scan, ScanReport};
-pub use machine::{PrinterProfile, Process};
+pub use machine::{PrinterProfile, Process, ProfileError};
 pub use material::{Material, MaterialSpec};

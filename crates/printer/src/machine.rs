@@ -98,25 +98,93 @@ impl PrinterProfile {
         }
     }
 
-    /// Validates the profile parameters.
-    ///
-    /// # Panics
-    ///
-    /// Panics on non-positive geometry or bond factors outside `(0, 1]`.
-    pub fn assert_valid(&self) {
-        assert!(self.layer_height > 0.0 && self.road_width > 0.0, "geometry must be positive");
-        assert!(self.feed_mm_per_s > 0.0, "feed must be positive");
+    /// Checks the profile parameters, returning a typed error instead of
+    /// panicking — the panic-free entry point for pipeline code vetting a
+    /// possibly-corrupted machine profile.
+    pub fn validate(&self) -> Result<(), ProfileError> {
+        for (name, v) in [("layer_height", self.layer_height), ("road_width", self.road_width)] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(ProfileError::NonPositive { name, value: v });
+            }
+        }
+        if !(self.feed_mm_per_s.is_finite() && self.feed_mm_per_s > 0.0) {
+            return Err(ProfileError::NonPositive { name: "feed_mm_per_s", value: self.feed_mm_per_s });
+        }
         for (name, v) in [
             ("road_bond", self.road_bond),
             ("layer_bond", self.layer_bond),
             ("joint_bond", self.joint_bond),
             ("joint_ductility", self.joint_ductility),
         ] {
-            assert!(v > 0.0 && v <= 1.0, "{name} must be in (0, 1], got {v}");
+            if !(v > 0.0 && v <= 1.0) {
+                return Err(ProfileError::BondOutOfRange { name, value: v });
+            }
         }
-        assert!((0.0..0.5).contains(&self.noise_sigma), "noise_sigma out of range");
+        if !(0.0..0.5).contains(&self.noise_sigma) {
+            return Err(ProfileError::NoiseOutOfRange { value: self.noise_sigma });
+        }
+        Ok(())
+    }
+
+    /// Validates the profile parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`ProfileError`] message on non-positive geometry or
+    /// bond factors outside `(0, 1]`. Prefer [`PrinterProfile::validate`]
+    /// in library code.
+    pub fn assert_valid(&self) {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
     }
 }
+
+/// A [`PrinterProfile`] field rejected by [`PrinterProfile::validate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum ProfileError {
+    /// A geometry or kinematics field is zero, negative, or non-finite.
+    NonPositive {
+        /// Field name.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A bond factor is outside `(0, 1]`.
+    BondOutOfRange {
+        /// Field name.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// Deposition noise outside `[0, 0.5)`.
+    NoiseOutOfRange {
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::NonPositive { name, value } => match *name {
+                // Keep the historical assert messages stable for callers
+                // matching on them.
+                "feed_mm_per_s" => write!(f, "feed must be positive, got {value}"),
+                _ => write!(f, "geometry must be positive: {name} = {value}"),
+            },
+            ProfileError::BondOutOfRange { name, value } => {
+                write!(f, "{name} must be in (0, 1], got {value}")
+            }
+            ProfileError::NoiseOutOfRange { value } => {
+                write!(f, "noise_sigma out of range: {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
 
 #[cfg(test)]
 mod tests {

@@ -83,32 +83,124 @@ impl Default for SlicerConfig {
     }
 }
 
+/// A [`SlicerConfig`] field rejected by [`SlicerConfig::validate`].
+///
+/// Carrying the field name and offending value lets callers (the pipeline,
+/// the CLI) report *which* knob an attacker or a typo corrupted without
+/// string-matching panic messages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A length field is zero, negative, NaN, or infinite.
+    NonPositive {
+        /// Field name (`layer_height`, `road_width`, or `analysis_cell`).
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A length field is outside the supported physical range; the bounds
+    /// exist so a corrupted config cannot request an unbounded number of
+    /// layers or raster cells (memory-exhaustion hardening).
+    OutOfRange {
+        /// Field name.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Smallest accepted value (mm).
+        min: f64,
+        /// Largest accepted value (mm).
+        max: f64,
+    },
+    /// `analysis_cell` exceeds `road_width`, which would make material
+    /// classification coarser than the roads it classifies.
+    CellExceedsRoad {
+        /// The rejected analysis cell (mm).
+        analysis_cell: f64,
+        /// The road width it must not exceed (mm).
+        road_width: f64,
+    },
+    /// Sparse infill density outside `(0, 1]`.
+    BadInfillDensity {
+        /// The rejected density.
+        density: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NonPositive { name, value } => {
+                write!(f, "{name} must be positive, got {value}")
+            }
+            ConfigError::OutOfRange { name, value, min, max } => {
+                write!(f, "{name} ({value}) outside supported range [{min}, {max}] mm")
+            }
+            ConfigError::CellExceedsRoad { analysis_cell, road_width } => write!(
+                f,
+                "analysis_cell ({analysis_cell}) must not exceed road_width ({road_width})"
+            ),
+            ConfigError::BadInfillDensity { density } => {
+                write!(f, "sparse infill density must be in (0, 1], got {density}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 impl SlicerConfig {
-    /// Validates all lengths are positive and consistent.
+    /// Smallest accepted length field (mm): 1 µm, far below any real nozzle.
+    pub const MIN_LENGTH_MM: f64 = 1e-3;
+    /// Largest accepted length field (mm): 1 m, far above any build volume.
+    pub const MAX_LENGTH_MM: f64 = 1e3;
+
+    /// Checks that all lengths are positive, within the supported physical
+    /// range, and mutually consistent.
     ///
-    /// # Panics
-    ///
-    /// Panics on non-positive or non-finite values, or if `analysis_cell`
-    /// exceeds `road_width`.
-    pub fn assert_valid(&self) {
+    /// This is the panic-free entry point used by `run_pipeline` and the
+    /// CLI; a corrupted or adversarial config yields a typed [`ConfigError`]
+    /// instead of aborting the process.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         for (name, v) in [
             ("layer_height", self.layer_height),
             ("road_width", self.road_width),
             ("analysis_cell", self.analysis_cell),
         ] {
-            assert!(v.is_finite() && v > 0.0, "{name} must be positive, got {v}");
+            if !(v.is_finite() && v > 0.0) {
+                return Err(ConfigError::NonPositive { name, value: v });
+            }
+            if !(Self::MIN_LENGTH_MM..=Self::MAX_LENGTH_MM).contains(&v) {
+                return Err(ConfigError::OutOfRange {
+                    name,
+                    value: v,
+                    min: Self::MIN_LENGTH_MM,
+                    max: Self::MAX_LENGTH_MM,
+                });
+            }
         }
-        assert!(
-            self.analysis_cell <= self.road_width,
-            "analysis_cell ({}) must not exceed road_width ({})",
-            self.analysis_cell,
-            self.road_width
-        );
+        if self.analysis_cell > self.road_width {
+            return Err(ConfigError::CellExceedsRoad {
+                analysis_cell: self.analysis_cell,
+                road_width: self.road_width,
+            });
+        }
         if let InfillStyle::Sparse { density } = self.infill {
-            assert!(
-                density > 0.0 && density <= 1.0,
-                "sparse infill density must be in (0, 1], got {density}"
-            );
+            if !(density > 0.0 && density <= 1.0) {
+                return Err(ConfigError::BadInfillDensity { density });
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates all lengths are positive and consistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`ConfigError`] message on any invalid field. Prefer
+    /// [`SlicerConfig::validate`] in library code.
+    pub fn assert_valid(&self) {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
         }
     }
 }
@@ -160,5 +252,30 @@ mod tests {
     #[should_panic(expected = "analysis_cell")]
     fn oversized_analysis_cell_invalid() {
         SlicerConfig { analysis_cell: 2.0, ..SlicerConfig::default() }.assert_valid();
+    }
+
+    #[test]
+    fn validate_returns_typed_errors() {
+        let ok = SlicerConfig::default();
+        assert_eq!(ok.validate(), Ok(()));
+
+        let nan = SlicerConfig { layer_height: f64::NAN, ..ok };
+        assert!(matches!(
+            nan.validate(),
+            Err(ConfigError::NonPositive { name: "layer_height", .. })
+        ));
+
+        let tiny = SlicerConfig { road_width: 1e-9, ..ok };
+        assert!(matches!(
+            tiny.validate(),
+            Err(ConfigError::OutOfRange { name: "road_width", .. })
+        ));
+
+        let coarse = SlicerConfig { analysis_cell: 2.0, ..ok };
+        assert!(matches!(coarse.validate(), Err(ConfigError::CellExceedsRoad { .. })));
+
+        let sparse =
+            SlicerConfig { infill: InfillStyle::Sparse { density: 1.5 }, ..ok };
+        assert!(matches!(sparse.validate(), Err(ConfigError::BadInfillDensity { .. })));
     }
 }

@@ -47,7 +47,7 @@ mod raster;
 mod slice;
 mod toolpath;
 
-pub use config::{InfillStyle, SlicerConfig};
+pub use config::{ConfigError, InfillStyle, SlicerConfig};
 pub use diagnostics::{diagnose_slices, SliceReport};
 pub use gcode::{parse_gcode, to_gcode, GcodeError};
 pub use orientation::{build_transform, orient_mesh, orient_shells, Orientation};
@@ -55,5 +55,10 @@ pub use preview::{render_layer_ascii, render_layer_with_seam};
 pub use raster::{
     model_area, rasterize, rasterize_layer, rasterize_polygon, CellMaterial, RasterLayer,
 };
-pub use slice::{slice_mesh, slice_shells, Contour, Layer, SlicedModel};
-pub use toolpath::{generate_toolpath, Road, RoadKind, ToolMaterial, ToolPath};
+pub use slice::{
+    slice_mesh, slice_shells, try_slice_shells, Contour, Layer, SliceError, SlicedModel,
+};
+pub use toolpath::{
+    generate_toolpath, try_generate_toolpath, Road, RoadKind, ToolMaterial, ToolPath,
+    ToolpathError,
+};

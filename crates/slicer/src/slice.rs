@@ -102,15 +102,79 @@ pub fn slice_mesh(mesh: &TriMesh, layer_height: f64) -> SlicedModel {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn slice_shells(shells: &[TriMesh], layer_height: f64) -> SlicedModel {
-    assert!(
-        layer_height.is_finite() && layer_height > 0.0,
-        "layer height must be positive, got {layer_height}"
-    );
+    match try_slice_shells(shells, layer_height) {
+        Ok(sliced) => sliced,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Largest supported layer count: far beyond any real build (an Objet30 at
+/// 16 µm layers needs < 10 000 for its full 148 mm height), but small
+/// enough to stop a corrupted layer height from looping unbounded.
+pub const MAX_LAYERS: u64 = 1 << 20;
+
+/// A slicing request rejected by [`try_slice_shells`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum SliceError {
+    /// Layer height is zero, negative, or non-finite (the Table 1 slicer
+    /// misconfiguration attack).
+    BadLayerHeight {
+        /// The rejected value.
+        value: f64,
+    },
+    /// The requested layer height would produce an absurd layer count
+    /// (resource-exhaustion guard).
+    TooManyLayers {
+        /// Estimated layer count.
+        estimated: u64,
+        /// The supported maximum.
+        max: u64,
+    },
+}
+
+impl std::fmt::Display for SliceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SliceError::BadLayerHeight { value } => {
+                write!(f, "layer height must be positive, got {value}")
+            }
+            SliceError::TooManyLayers { estimated, max } => {
+                write!(f, "layer height yields ~{estimated} layers, exceeding the supported {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SliceError {}
+
+/// Slices a multi-shell model like [`slice_shells`], returning a typed
+/// error instead of panicking on a bad layer height.
+///
+/// # Errors
+///
+/// [`SliceError::BadLayerHeight`] for a non-positive or non-finite layer
+/// height; [`SliceError::TooManyLayers`] when the height is so small the
+/// layer stack would exceed [`MAX_LAYERS`].
+pub fn try_slice_shells(shells: &[TriMesh], layer_height: f64) -> Result<SlicedModel, SliceError> {
+    if !(layer_height.is_finite() && layer_height > 0.0) {
+        return Err(SliceError::BadLayerHeight { value: layer_height });
+    }
     let bounds = shells
         .iter()
         .filter_map(TriMesh::aabb)
         .reduce(|a, b| a.union(&b))
         .unwrap_or(Aabb3::new(am_geom::Point3::ZERO, am_geom::Point3::ZERO));
+    let span = bounds.max.z - bounds.min.z;
+    if span.is_finite() && span > 0.0 {
+        let estimated = (span / layer_height).ceil();
+        if !estimated.is_finite() || estimated > MAX_LAYERS as f64 {
+            return Err(SliceError::TooManyLayers {
+                estimated: estimated.min(u64::MAX as f64) as u64,
+                max: MAX_LAYERS,
+            });
+        }
+    }
 
     let mut layers = Vec::new();
     let mut z = bounds.min.z + layer_height * 0.5;
@@ -123,7 +187,7 @@ pub fn slice_shells(shells: &[TriMesh], layer_height: f64) -> SlicedModel {
         layers.push(layer);
         z += layer_height;
     }
-    SlicedModel { layers, layer_height, bounds }
+    Ok(SlicedModel { layers, layer_height, bounds })
 }
 
 /// Collects oriented intersection segments of a mesh with the plane `z`.
@@ -214,7 +278,7 @@ mod tests {
     };
     use am_cad::{BodyKind, MaterialRemoval};
     use am_mesh::{tessellate_shells, Resolution};
-    use crate::{orient_mesh, Orientation};
+    use crate::Orientation;
 
     fn slice_part(part: &am_cad::ResolvedPart, res: Resolution, h: f64) -> SlicedModel {
         let shells = tessellate_shells(part, &res.params());
@@ -351,5 +415,29 @@ mod tests {
     #[should_panic(expected = "layer height must be positive")]
     fn zero_layer_height_panics() {
         let _ = slice_mesh(&TriMesh::new(), 0.0);
+    }
+
+    #[test]
+    fn try_slice_returns_typed_errors() {
+        assert_eq!(
+            try_slice_shells(&[], 0.0),
+            Err(SliceError::BadLayerHeight { value: 0.0 })
+        );
+        assert!(matches!(
+            try_slice_shells(&[], f64::NAN),
+            Err(SliceError::BadLayerHeight { .. })
+        ));
+        let part = intact_prism(&PrismDims::default()).resolve().unwrap();
+        let shells = tessellate_shells(&part, &Resolution::Coarse.params());
+        // A subnormal layer height would demand billions of layers.
+        match try_slice_shells(&shells, 1e-12) {
+            Err(SliceError::TooManyLayers { estimated, max }) => {
+                assert!(estimated > max);
+            }
+            other => panic!("expected TooManyLayers, got {other:?}"),
+        }
+        // The happy path agrees with the panicking wrapper.
+        let ok = try_slice_shells(&shells, 0.1778).unwrap();
+        assert_eq!(ok, slice_shells(&shells, 0.1778));
     }
 }

@@ -84,10 +84,26 @@ impl ToolPath {
 
     /// Estimated print time in seconds at the given head feed rate (mm/s),
     /// including a fixed per-layer overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feed rate is not positive and finite. Prefer
+    /// [`ToolPath::try_print_time_estimate`] in library code.
     pub fn print_time_estimate(&self, feed_mm_per_s: f64) -> f64 {
-        assert!(feed_mm_per_s > 0.0, "feed rate must be positive");
+        match self.try_print_time_estimate(feed_mm_per_s) {
+            Some(t) => t,
+            None => panic!("feed rate must be positive, got {feed_mm_per_s}"),
+        }
+    }
+
+    /// Estimated print time like [`ToolPath::print_time_estimate`], or
+    /// `None` when the feed rate is not positive and finite.
+    pub fn try_print_time_estimate(&self, feed_mm_per_s: f64) -> Option<f64> {
+        if !(feed_mm_per_s.is_finite() && feed_mm_per_s > 0.0) {
+            return None;
+        }
         let travel: f64 = self.roads.iter().map(Road::length).sum();
-        travel / feed_mm_per_s + self.layer_count() as f64 * 2.0
+        Some(travel / feed_mm_per_s + self.layer_count() as f64 * 2.0)
     }
 
     /// Number of distinct layers with at least one road. Roads of one layer
@@ -124,7 +140,87 @@ impl ToolPath {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn generate_toolpath(sliced: &SlicedModel, config: &SlicerConfig) -> ToolPath {
-    config.assert_valid();
+    match try_generate_toolpath(sliced, config) {
+        Ok(tp) => tp,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Largest supported raster-cell count across all layers: a
+/// resource-exhaustion guard against corrupted road widths demanding an
+/// absurd grid.
+pub const MAX_RASTER_CELLS: u64 = 1 << 28;
+
+/// A tool-path request rejected by [`try_generate_toolpath`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ToolpathError {
+    /// The slicer configuration failed validation.
+    Config(crate::ConfigError),
+    /// Rasterizing the layers at this road width would demand an absurd
+    /// number of cells.
+    RasterTooLarge {
+        /// Estimated total cell count.
+        estimated_cells: u64,
+        /// The supported maximum.
+        max: u64,
+    },
+}
+
+impl fmt::Display for ToolpathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ToolpathError::Config(e) => write!(f, "invalid slicer configuration: {e}"),
+            ToolpathError::RasterTooLarge { estimated_cells, max } => write!(
+                f,
+                "rasterization needs ~{estimated_cells} cells, exceeding the supported {max}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ToolpathError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ToolpathError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<crate::ConfigError> for ToolpathError {
+    fn from(e: crate::ConfigError) -> Self {
+        ToolpathError::Config(e)
+    }
+}
+
+/// Generates the part program like [`generate_toolpath`], returning a typed
+/// error instead of panicking on a bad configuration.
+///
+/// # Errors
+///
+/// [`ToolpathError::Config`] when [`SlicerConfig::validate`] rejects the
+/// configuration; [`ToolpathError::RasterTooLarge`] when the layer extents
+/// divided by the road width would exceed [`MAX_RASTER_CELLS`] raster cells.
+pub fn try_generate_toolpath(
+    sliced: &SlicedModel,
+    config: &SlicerConfig,
+) -> Result<ToolPath, ToolpathError> {
+    config.validate()?;
+    // Bound the raster before allocating: config validation caps the road
+    // width's *scale*, but the model bounds come from possibly-corrupted
+    // geometry.
+    let span_x = (sliced.bounds.max.x - sliced.bounds.min.x).max(0.0);
+    let span_y = (sliced.bounds.max.y - sliced.bounds.min.y).max(0.0);
+    let per_layer = (span_x / config.road_width + 2.0).ceil() * (span_y / config.road_width + 2.0).ceil();
+    let estimated = per_layer * sliced.layers.len() as f64;
+    if !estimated.is_finite() || estimated > MAX_RASTER_CELLS as f64 {
+        return Err(ToolpathError::RasterTooLarge {
+            estimated_cells: estimated.min(u64::MAX as f64) as u64,
+            max: MAX_RASTER_CELLS,
+        });
+    }
+
     let rasters = crate::rasterize(sliced, config.road_width, config.support);
     let mut roads = Vec::new();
 
@@ -146,10 +242,12 @@ pub fn generate_toolpath(sliced: &SlicedModel, config: &SlicerConfig) -> ToolPat
                         c.polygon.signed_area() > 0.0 && c.polygon.winding_number(probe) != 0
                     })
                     .min_by(|a, b| {
+                        // Total order so a corrupted (NaN-area) contour can
+                        // never panic the planner; NaNs sort as equal.
                         a.polygon
                             .area()
                             .partial_cmp(&b.polygon.area())
-                            .expect("finite contour areas")
+                            .unwrap_or(std::cmp::Ordering::Equal)
                     })
                     .map(|c| c.body.min(u16::MAX as usize - 1) as u16)
             };
@@ -165,7 +263,7 @@ pub fn generate_toolpath(sliced: &SlicedModel, config: &SlicerConfig) -> ToolPat
         push_infill(&mut roads, raster, along_x, row_step);
     }
 
-    ToolPath { roads, layer_height: sliced.layer_height, road_width: config.road_width }
+    Ok(ToolPath { roads, layer_height: sliced.layer_height, road_width: config.road_width })
 }
 
 fn push_perimeter(
@@ -356,5 +454,41 @@ mod tests {
     #[should_panic(expected = "feed rate")]
     fn zero_feed_panics() {
         ToolPath::default().print_time_estimate(0.0);
+    }
+
+    #[test]
+    fn try_generate_returns_typed_errors() {
+        let dims = PrismDims::default();
+        let part = prism_with_sphere(&dims, BodyKind::Solid, MaterialRemoval::With)
+            .unwrap()
+            .resolve()
+            .unwrap();
+        let shells = tessellate_shells(&part, &Resolution::Coarse.params());
+        let sliced = slice_shells(&shells, 0.1778);
+        // A misconfigured road width surfaces as a Config error.
+        let bad = SlicerConfig { road_width: 0.0, ..SlicerConfig::default() };
+        assert!(matches!(
+            try_generate_toolpath(&sliced, &bad),
+            Err(ToolpathError::Config(_))
+        ));
+        // Corrupted bounds trip the raster guard instead of exhausting
+        // memory.
+        let mut huge = sliced.clone();
+        huge.bounds.max.x = 1e12;
+        assert!(matches!(
+            try_generate_toolpath(&huge, &SlicerConfig::default()),
+            Err(ToolpathError::RasterTooLarge { .. })
+        ));
+        // The happy path agrees with the panicking wrapper.
+        let ok = try_generate_toolpath(&sliced, &SlicerConfig::default()).unwrap();
+        assert_eq!(ok, generate_toolpath(&sliced, &SlicerConfig::default()));
+    }
+
+    #[test]
+    fn try_print_time_rejects_bad_feed() {
+        let tp = prism_toolpath(BodyKind::Solid, MaterialRemoval::With);
+        assert!(tp.try_print_time_estimate(30.0).is_some());
+        assert!(tp.try_print_time_estimate(0.0).is_none());
+        assert!(tp.try_print_time_estimate(f64::NAN).is_none());
     }
 }
