@@ -6,13 +6,17 @@
 # 1. release build of the whole workspace
 # 2. full test suite (workspace-wide; the root package alone only runs
 #    the umbrella integration tests)
-# 3. clippy as an error wall, with `clippy::unwrap_used` additionally
+# 3. bench smoke: tiny-workload run of the benchmark harness; the CLI
+#    re-parses the emitted JSON and validates the schema, so this also
+#    gates the report format
+# 4. clippy as an error wall, with `clippy::unwrap_used` additionally
 #    enabled for library and binary code (test code may unwrap freely —
 #    a failing assertion *is* its error report)
 set -eu
 
 cargo build --release --workspace
 cargo test --workspace -q
+./target/release/obfuscade bench --smoke --threads 2 --out target/bench_smoke.json
 cargo clippy --workspace --all-targets -- -D warnings
 cargo clippy --workspace --lib --bins -- -D warnings -W clippy::unwrap_used
 

@@ -232,28 +232,24 @@ pub fn fig8_surface() -> String {
 }
 
 /// One Table 2 group: protected/intact × orientation, n seeded replicates.
+///
+/// Replicates fan out on the shared [`am_par`] pool ([`Parallelism::auto`],
+/// so `AM_PAR_THREADS` configures the budget centrally) instead of spawning
+/// one ad-hoc thread per replicate.
 fn tensile_group(split: bool, orientation: Orientation, replicates: usize) -> TensileSummary {
     let dims = TensileBarDims::default();
-    let results: Vec<TensileResult> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..replicates)
-            .map(|i| {
-                scope.spawn(move || {
-                    let part = if split {
-                        tensile_bar_with_spline(&dims).expect("bar")
-                    } else {
-                        tensile_bar(&dims).expect("bar")
-                    };
-                    let plan = ProcessPlan::fdm(Resolution::Coarse, orientation)
-                        .with_seed(100 + i as u64)
-                        .with_tensile(true);
-                    run_pipeline(&part, &plan)
-                        .expect("pipeline")
-                        .tensile
-                        .expect("tensile requested")
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+    let seeds: Vec<u64> = (0..replicates as u64).map(|i| 100 + i).collect();
+    let pool = am_par::Pool::new(am_par::Parallelism::auto());
+    let results: Vec<TensileResult> = pool.par_map(&seeds, |&seed| {
+        let part = if split {
+            tensile_bar_with_spline(&dims).expect("bar")
+        } else {
+            tensile_bar(&dims).expect("bar")
+        };
+        let plan = ProcessPlan::fdm(Resolution::Coarse, orientation)
+            .with_seed(seed)
+            .with_tensile(true);
+        run_pipeline(&part, &plan).expect("pipeline").tensile.expect("tensile requested")
     });
     TensileSummary::from_results(&results)
 }

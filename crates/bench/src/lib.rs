@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod perf;
 
 /// Formats a `mean ± std` cell.
 pub fn pm(mean: f64, std: f64, prec: usize) -> String {

@@ -1,0 +1,736 @@
+//! Benchmark harness for the performance kernels (PR 2).
+//!
+//! Measures the three rewritten hot kernels — slicing, deposition, FEA
+//! relaxation — plus the end-to-end experiment suite, each as *reference
+//! implementation vs optimized kernel*. The reference implementations are
+//! the original seed kernels, kept verbatim behind
+//! [`obfuscade::KernelMode::Reference`]; the optimized kernels are the
+//! interval-sweep slicer, the layer-partitioned stamper, and the SoA
+//! gather-based relaxation solver, run at the configured thread budget.
+//!
+//! The report is rendered both as a human-readable table and as a small
+//! hand-rolled JSON document (`BENCH_*.json`); [`validate_report_json`]
+//! parses the JSON back and checks the schema, so CI can verify the
+//! emitted file without a JSON dependency.
+
+use std::time::Instant;
+
+use am_cad::parts::{prism_with_sphere, tensile_bar_with_spline, PrismDims, TensileBarDims};
+use am_cad::{BodyKind, MaterialRemoval};
+use am_fea::{run_tensile_test_reference, run_tensile_test_with, Lattice, TensileConfig};
+use am_geom::{Transform3, Vec3};
+use am_mesh::{tessellate_shells, Resolution};
+use am_printer::{PrintedPart, PrinterProfile};
+use am_slicer::{
+    build_transform, generate_toolpath, orient_shells, slice_shells_scan, try_slice_shells_with,
+    Orientation, SlicedModel, ToolPath,
+};
+use am_par::Parallelism;
+use obfuscade::{set_kernel_mode, KernelMode, ProcessPlan};
+use std::fmt::Write as _;
+
+/// What to benchmark and how hard.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Tiny workloads and a single pipeline pass for the end-to-end row —
+    /// finishes in seconds; used by the CI smoke stage.
+    pub smoke: bool,
+    /// Thread budget for the optimized kernels' parallel paths.
+    pub threads: usize,
+    /// Replicates for the end-to-end experiment suite (ignored in smoke).
+    pub replicates: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig { smoke: false, threads: 4, replicates: 2 }
+    }
+}
+
+/// One kernel's timings: reference baseline vs optimized implementation.
+#[derive(Debug, Clone)]
+pub struct KernelResult {
+    /// Kernel name (`slicing`, `printing`, `fea`, `all_experiments`).
+    pub name: String,
+    /// What the baseline implementation is.
+    pub baseline: String,
+    /// What the optimized implementation is.
+    pub optimized: String,
+    /// Thread budget the optimized side ran with.
+    pub threads: usize,
+    /// Best-of-N wall-clock of the baseline, milliseconds.
+    pub baseline_ms: f64,
+    /// Best-of-N wall-clock of the optimized kernel, milliseconds.
+    pub optimized_ms: f64,
+}
+
+impl KernelResult {
+    /// Baseline time over optimized time.
+    pub fn speedup(&self) -> f64 {
+        if self.optimized_ms > 0.0 { self.baseline_ms / self.optimized_ms } else { f64::NAN }
+    }
+}
+
+/// The full benchmark report.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Config the run used.
+    pub config: BenchConfig,
+    /// One row per benchmarked kernel.
+    pub kernels: Vec<KernelResult>,
+}
+
+const SCHEMA: &str = "obfuscade-bench/v1";
+
+impl BenchReport {
+    /// Renders the human-readable results table.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Benchmark — reference kernels vs optimized kernels\n\n");
+        let _ = writeln!(
+            out,
+            "{:<16} {:>14} {:>14} {:>9} {:>9}",
+            "kernel", "baseline ms", "optimized ms", "speedup", "threads"
+        );
+        for k in &self.kernels {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>14.2} {:>14.2} {:>8.2}x {:>9}",
+                k.name,
+                k.baseline_ms,
+                k.optimized_ms,
+                k.speedup(),
+                k.threads
+            );
+        }
+        out.push_str(
+            "\nbaselines are the original seed implementations (KernelMode::Reference);\n\
+             parallel output is asserted bit-identical to serial by the test suite.\n",
+        );
+        out
+    }
+
+    /// Serializes the report as a small JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", json_string(SCHEMA));
+        let _ = writeln!(out, "  \"smoke\": {},", self.config.smoke);
+        let _ = writeln!(out, "  \"threads\": {},", self.config.threads);
+        let _ = writeln!(
+            out,
+            "  \"determinism\": {},",
+            json_string("parallel output bit-identical to serial (asserted by tests)")
+        );
+        out.push_str("  \"kernels\": [\n");
+        for (i, k) in self.kernels.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"name\": {},", json_string(&k.name));
+            let _ = writeln!(out, "      \"baseline\": {},", json_string(&k.baseline));
+            let _ = writeln!(out, "      \"optimized\": {},", json_string(&k.optimized));
+            let _ = writeln!(out, "      \"threads\": {},", k.threads);
+            let _ = writeln!(out, "      \"baseline_ms\": {},", json_number(k.baseline_ms));
+            let _ = writeln!(out, "      \"optimized_ms\": {},", json_number(k.optimized_ms));
+            let _ = writeln!(out, "      \"speedup\": {}", json_number(k.speedup()));
+            out.push_str(if i + 1 < self.kernels.len() { "    },\n" } else { "    }\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_number(v: f64) -> String {
+    if v.is_finite() { format!("{v:.3}") } else { "null".to_string() }
+}
+
+// --- JSON parse-back validation ----------------------------------------
+
+/// A parsed JSON value — just enough of the grammar for the bench schema.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_number(&self) -> Option<f64> {
+        match self {
+            Json::Number(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek().ok_or("unexpected end of input")? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::String(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self.bytes.get(self.pos).ok_or("unterminated string")?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self.bytes.get(self.pos).ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                }
+                b => out.push(b as char),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>().map(Json::Number).map_err(|_| format!("bad number '{text}'"))
+    }
+
+    fn finish(mut self, value: Json) -> Result<Json, String> {
+        self.skip_ws();
+        if self.pos == self.bytes.len() {
+            Ok(value)
+        } else {
+            Err(format!("trailing garbage at byte {}", self.pos))
+        }
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser::new(text);
+    let v = p.value()?;
+    p.finish(v)
+}
+
+/// Parses a `BENCH_*.json` document back and checks it against the schema:
+/// the marker, the thread count, and a non-empty kernel list whose rows
+/// carry positive timings and a speedup consistent with them. Returns the
+/// per-kernel speedups on success.
+pub fn validate_report_json(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let doc = parse_json(text)?;
+    match doc.get("schema") {
+        Some(Json::String(s)) if s == SCHEMA => {}
+        other => return Err(format!("bad schema marker: {other:?}")),
+    }
+    match doc.get("smoke") {
+        Some(Json::Bool(_)) => {}
+        other => return Err(format!("bad 'smoke' field: {other:?}")),
+    }
+    let threads = doc
+        .get("threads")
+        .and_then(Json::as_number)
+        .ok_or("missing 'threads'")?;
+    if threads < 1.0 {
+        return Err(format!("bad thread count {threads}"));
+    }
+    let kernels = match doc.get("kernels") {
+        Some(Json::Array(items)) if !items.is_empty() => items,
+        _ => return Err("missing or empty 'kernels' array".to_string()),
+    };
+    let mut speedups = Vec::new();
+    for k in kernels {
+        let name = match k.get("name") {
+            Some(Json::String(s)) => s.clone(),
+            other => return Err(format!("kernel without a name: {other:?}")),
+        };
+        for field in ["baseline", "optimized"] {
+            if !matches!(k.get(field), Some(Json::String(_))) {
+                return Err(format!("kernel '{name}': missing '{field}' description"));
+            }
+        }
+        let get = |field: &str| {
+            k.get(field)
+                .and_then(Json::as_number)
+                .ok_or_else(|| format!("kernel '{name}': missing numeric '{field}'"))
+        };
+        let baseline_ms = get("baseline_ms")?;
+        let optimized_ms = get("optimized_ms")?;
+        let speedup = get("speedup")?;
+        if baseline_ms <= 0.0 || optimized_ms <= 0.0 {
+            return Err(format!("kernel '{name}': non-positive timings"));
+        }
+        // The stored speedup must agree with the stored timings (loosely:
+        // both sides are rounded to 3 decimals independently).
+        let expected = baseline_ms / optimized_ms;
+        if (speedup - expected).abs() > 0.01 * expected.max(1.0) {
+            return Err(format!(
+                "kernel '{name}': speedup {speedup} inconsistent with timings ({expected:.3})"
+            ));
+        }
+        speedups.push((name, speedup));
+    }
+    Ok(speedups)
+}
+
+// --- Workloads ---------------------------------------------------------
+
+/// Best-of-`iters` wall clock of `f`, in milliseconds, plus the last result.
+fn time_best<R>(iters: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..iters.max(1) {
+        let start = Instant::now();
+        let r = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        out = Some(r);
+    }
+    (best, out.expect("at least one iteration"))
+}
+
+/// The shared benchmark workload: the spline-split tensile bar pushed far
+/// enough through the chain that the printing and FEA kernels get real
+/// input. The bar stands on edge (x-z, the paper's counterfeit-revealing
+/// orientation) so the build is ~360 layers tall at the FDM layer height
+/// instead of the ~18 the flat bar produces; slicing gets its own heavier
+/// mesh (see [`Workload::slice_mesh`]).
+struct Workload {
+    /// Slicing-only mesh: the sphere-cavity prism at `Custom` resolution
+    /// (~16× the bar's triangle count), where the z-interval sweep's
+    /// asymptotic edge over the per-layer scan is visible. The bar mesh
+    /// stays the workload for the rest of the chain so the printing and
+    /// FEA benches exercise the paper's tensile specimen.
+    slice_mesh: Vec<am_mesh::TriMesh>,
+    layer_height: f64,
+    toolpath: ToolPath,
+    profile: PrinterProfile,
+    to_build: Transform3,
+    printed: PrintedPart,
+}
+
+fn build_workload(smoke: bool) -> Workload {
+    let resolution = if smoke { Resolution::Coarse } else { Resolution::Custom };
+    let plan = ProcessPlan::fdm(resolution, Orientation::Xz);
+    let part = tensile_bar_with_spline(&TensileBarDims::default())
+        .expect("standard bar")
+        .resolve()
+        .expect("resolve");
+    let shells = tessellate_shells(&part, &resolution.params());
+    let bed_margin = Transform3::translation(Vec3::new(5.0, 5.0, 0.0));
+    let oriented: Vec<am_mesh::TriMesh> = orient_shells(&shells, Orientation::Xz)
+        .iter()
+        .map(|m| m.transformed(&bed_margin))
+        .collect();
+    let to_build = build_transform(&shells, Orientation::Xz).then(&bed_margin);
+    let sliced = try_slice_shells_with(&oriented, plan.slicer.layer_height, Parallelism::serial())
+        .expect("slice");
+    let toolpath = generate_toolpath(&sliced, &plan.slicer);
+    let printed =
+        PrintedPart::try_from_toolpath(&toolpath, &plan.printer, to_build, plan.seed)
+            .expect("print");
+    let slice_mesh = if smoke {
+        oriented.clone()
+    } else {
+        let prism = prism_with_sphere(
+            &PrismDims::default(),
+            BodyKind::Solid,
+            MaterialRemoval::Without,
+        )
+        .expect("prism")
+        .resolve()
+        .expect("resolve prism");
+        tessellate_shells(&prism, &resolution.params())
+    };
+    Workload {
+        slice_mesh,
+        layer_height: plan.slicer.layer_height,
+        toolpath,
+        profile: plan.printer,
+        to_build,
+        printed,
+    }
+}
+
+fn tensile_config(smoke: bool) -> TensileConfig {
+    let base = TensileConfig::fdm(Orientation::Xz);
+    if smoke {
+        TensileConfig { node_spacing: 1.0, strain_step: 0.004, max_strain: 0.048, ..base }
+    } else {
+        TensileConfig { max_strain: 0.06, ..base }
+    }
+}
+
+fn bench_slicing(w: &Workload, config: &BenchConfig) -> KernelResult {
+    let iters = if config.smoke { 1 } else { 3 };
+    let (baseline_ms, scan) =
+        time_best(iters, || slice_shells_scan(&w.slice_mesh, w.layer_height).expect("scan"));
+    let (optimized_ms, sweep) = time_best(iters, || {
+        try_slice_shells_with(&w.slice_mesh, w.layer_height, Parallelism::threads(config.threads))
+            .expect("sweep")
+    });
+    let equal: bool = { let a: &SlicedModel = &scan; a == &sweep };
+    assert!(equal, "sweep slicer diverged from the scan baseline");
+    KernelResult {
+        name: "slicing".to_string(),
+        baseline: "per-layer full-mesh scan (serial)".to_string(),
+        optimized: format!("z-interval sweep, {} thread(s)", config.threads),
+        threads: config.threads,
+        baseline_ms,
+        optimized_ms,
+    }
+}
+
+fn bench_printing(w: &Workload, config: &BenchConfig) -> KernelResult {
+    let iters = if config.smoke { 1 } else { 3 };
+    let (baseline_ms, reference) = time_best(iters, || {
+        PrintedPart::try_from_toolpath_reference(&w.toolpath, &w.profile, w.to_build, 7)
+            .expect("print")
+    });
+    let (optimized_ms, optimized) = time_best(iters, || {
+        PrintedPart::try_from_toolpath_with(
+            &w.toolpath,
+            &w.profile,
+            w.to_build,
+            7,
+            Parallelism::threads(config.threads),
+        )
+        .expect("print")
+    });
+    assert!(
+        (reference.weight_g() - optimized.weight_g()).abs() < 1e-12,
+        "stamping kernels diverged"
+    );
+    KernelResult {
+        name: "printing".to_string(),
+        baseline: "road-at-a-time whole-grid stamping (serial)".to_string(),
+        optimized: format!(
+            "AABB-rowed squared-distance stamping, layer-partitioned, {} thread(s)",
+            config.threads
+        ),
+        threads: config.threads,
+        baseline_ms,
+        optimized_ms,
+    }
+}
+
+fn bench_fea(w: &Workload, config: &BenchConfig) -> KernelResult {
+    let tc = tensile_config(config.smoke);
+    let pristine = Lattice::from_printed(&w.printed, &tc, 7);
+    let (baseline_ms, reference) = time_best(1, || {
+        let mut lattice = pristine.clone();
+        run_tensile_test_reference(&mut lattice, &tc)
+    });
+    let (optimized_ms, optimized) = time_best(1, || {
+        let mut lattice = pristine.clone();
+        run_tensile_test_with(&mut lattice, &tc, Parallelism::threads(config.threads))
+    });
+    // The solvers share the constitutive law and convergence tolerance but
+    // relax along different pseudo-dynamic paths, so they agree to solver
+    // tolerance — not bit-for-bit (the fea crate's
+    // `optimized_kernel_tracks_reference` test pins pre-peak drift at
+    // ≤ 3e-3). UTS itself sits at the onset of the bond-breaking cascade,
+    // where a tolerance-level difference can shift one break by one strain
+    // step, so the sanity bound here is looser.
+    assert_eq!(reference.ruptured, optimized.ruptured, "FEA kernels disagree on rupture");
+    assert!(
+        (reference.uts_mpa - optimized.uts_mpa).abs() <= 0.05 * (1.0 + reference.uts_mpa.abs()),
+        "FEA kernels diverged: UTS {} vs {}",
+        reference.uts_mpa,
+        optimized.uts_mpa
+    );
+    KernelResult {
+        name: "fea".to_string(),
+        baseline: "unit-mass AoS relaxation (serial)".to_string(),
+        optimized: format!(
+            "mass-scaled, warm-started SoA relaxation, {} thread(s)",
+            config.threads
+        ),
+        threads: config.threads,
+        baseline_ms,
+        optimized_ms,
+    }
+}
+
+/// Runs the experiment suite and returns total rendered length (a cheap
+/// way to keep every section's work observable).
+fn run_suite(smoke: bool, replicates: usize) -> usize {
+    use crate::experiments as ex;
+    if smoke {
+        return ex::fig3_stages().len();
+    }
+    type Section = (&'static str, Box<dyn Fn() -> String>);
+    let timed: Vec<Section> = vec![
+        ("table1", Box::new(ex::table1_risks)),
+        ("fig3", Box::new(ex::fig3_stages)),
+        ("fig4", Box::new(ex::fig4_gaps)),
+        ("fig5", Box::new(ex::fig5_resolution)),
+        ("fig7", Box::new(ex::fig7_slicing)),
+        ("fig8", Box::new(ex::fig8_surface)),
+        ("table2", Box::new(move || ex::table2_tensile(replicates))),
+        ("fig9", Box::new(ex::fig9_fracture)),
+        ("table3", Box::new(ex::table3_printing)),
+        ("sidechannel", Box::new(ex::sidechannel_recon)),
+        ("keyspace", Box::new(ex::ablation_keyspace)),
+        ("multikey", Box::new(ex::ablation_multikey)),
+        ("sparse", Box::new(ex::ablation_sparse_infill)),
+        ("repair", Box::new(ex::ablation_repair)),
+        ("auth", Box::new(ex::authentication_demo)),
+    ];
+    let mut total = 0usize;
+    for (name, f) in &timed {
+        let t = Instant::now();
+        total += f().len();
+        eprintln!("  section {name}: {:.0} ms", t.elapsed().as_secs_f64()*1e3);
+    }
+    total
+}
+
+fn bench_end_to_end(config: &BenchConfig) -> KernelResult {
+    set_kernel_mode(KernelMode::Reference);
+    let (baseline_ms, len_ref) = time_best(1, || run_suite(config.smoke, config.replicates));
+    set_kernel_mode(KernelMode::Optimized);
+    let (optimized_ms, len_opt) = time_best(1, || run_suite(config.smoke, config.replicates));
+    // Tensile numbers drift at solver tolerance between kernel modes (see
+    // `bench_fea`), so rendered reports can differ by a few characters; a
+    // large delta would mean an experiment took a different branch.
+    let delta = len_ref.abs_diff(len_opt);
+    assert!(
+        delta * 100 <= len_ref,
+        "experiment suite output differs between kernel modes: {len_ref} vs {len_opt} bytes"
+    );
+    let suite = if config.smoke { "fig3 stages only (smoke)" } else { "all 15 experiment sections" };
+    KernelResult {
+        name: "all_experiments".to_string(),
+        baseline: format!("{suite}, reference kernels"),
+        optimized: format!("{suite}, optimized kernels"),
+        threads: 1,
+        baseline_ms,
+        optimized_ms,
+    }
+}
+
+/// Runs the whole benchmark suite and collects the report.
+pub fn run_benchmarks(config: &BenchConfig) -> BenchReport {
+    run_selected_benchmarks(config, None)
+}
+
+/// [`run_benchmarks`], restricted to the kernels whose names `filter`
+/// selects (`None` runs everything).
+pub fn run_selected_benchmarks(config: &BenchConfig, filter: Option<&str>) -> BenchReport {
+    let wants = |name: &str| filter.is_none_or(|f| f == name);
+    let mut kernels = Vec::new();
+    if wants("slicing") || wants("printing") || wants("fea") {
+        let workload = build_workload(config.smoke);
+        if wants("slicing") {
+            kernels.push(bench_slicing(&workload, config));
+        }
+        if wants("printing") {
+            kernels.push(bench_printing(&workload, config));
+        }
+        if wants("fea") {
+            kernels.push(bench_fea(&workload, config));
+        }
+    }
+    if wants("all_experiments") {
+        kernels.push(bench_end_to_end(config));
+    }
+    BenchReport { config: *config, kernels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> BenchReport {
+        BenchReport {
+            config: BenchConfig { smoke: true, threads: 4, replicates: 1 },
+            kernels: vec![KernelResult {
+                name: "slicing".to_string(),
+                baseline: "scan".to_string(),
+                optimized: "sweep \"quoted\"".to_string(),
+                threads: 4,
+                baseline_ms: 120.0,
+                optimized_ms: 30.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_validator() {
+        let report = sample_report();
+        let speedups = validate_report_json(&report.to_json()).expect("valid");
+        assert_eq!(speedups.len(), 1);
+        assert_eq!(speedups[0].0, "slicing");
+        assert!((speedups[0].1 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validator_rejects_broken_documents() {
+        assert!(validate_report_json("not json").is_err());
+        assert!(validate_report_json("{}").is_err());
+        assert!(validate_report_json("{\"schema\": \"wrong\"}").is_err());
+        // Tampered speedup: inconsistent with the stored timings.
+        let tampered = sample_report().to_json().replace("\"speedup\": 4.000", "\"speedup\": 9.000");
+        assert!(validate_report_json(&tampered).is_err());
+        // Trailing garbage after a valid document.
+        let garbage = format!("{} x", sample_report().to_json());
+        assert!(validate_report_json(&garbage).is_err());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let doc = parse_json("{\"a\": [1, -2.5e1, \"x\\n\\\"y\\u0041\"], \"b\": null}")
+            .expect("parse");
+        let arr = match doc.get("a") {
+            Some(Json::Array(items)) => items.clone(),
+            other => panic!("expected array, got {other:?}"),
+        };
+        assert_eq!(arr[0], Json::Number(1.0));
+        assert_eq!(arr[1], Json::Number(-25.0));
+        assert_eq!(arr[2], Json::String("x\n\"yA".to_string()));
+        assert_eq!(doc.get("b"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn render_mentions_every_kernel() {
+        let text = sample_report().render();
+        assert!(text.contains("slicing"));
+        assert!(text.contains("speedup"));
+    }
+}

@@ -57,6 +57,13 @@ COMMANDS:
     report         regenerate a paper artifact:
                      table1|fig3|fig4|fig5|fig7|fig8|fig9|table2|table3|
                      sidechannel|keyspace|multikey|sparse|repair|auth|all
+    bench          benchmark the reference kernels against the optimized ones
+                   and write a BENCH_*.json report
+                     [--smoke]                  tiny workloads (CI smoke stage)
+                     [--threads N]              parallel-path thread budget (default 4)
+                     [--replicates N]           end-to-end replicates (default 2)
+                     [--only KERNEL]            slicing|printing|fea|all_experiments
+                     [--out FILE.json]          (default BENCH_PR2.json)
     help           show this text
 ";
 
@@ -451,6 +458,62 @@ pub fn report(args: &[String]) -> CliResult {
         }
         print!("{s}");
     }
+    Ok(())
+}
+
+/// `obfuscade bench` — time the reference kernels against the optimized
+/// kernels and emit a validated JSON report.
+pub fn bench(args: &[String]) -> CliResult {
+    use obfuscade_bench::perf::{run_selected_benchmarks, validate_report_json, BenchConfig};
+    let (positional, flags) = parse_flags(args);
+    if let Some(extra) = positional.first() {
+        return Err(format!("unexpected argument `{extra}`"));
+    }
+    let parse_usize = |name: &str, default: usize| -> Result<usize, String> {
+        flags
+            .get(name)
+            .map(|v| v.parse().map_err(|_| format!("bad --{name} value `{v}`")))
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+    let defaults = BenchConfig::default();
+    let config = BenchConfig {
+        smoke: flags.contains_key("smoke"),
+        threads: parse_usize("threads", defaults.threads)?.max(1),
+        replicates: parse_usize("replicates", defaults.replicates)?.max(1),
+    };
+    let out_path = flags.get("out").map(String::as_str).unwrap_or("BENCH_PR2.json");
+    let only = flags.get("only").map(String::as_str);
+    if let Some(name) = only {
+        if !["slicing", "printing", "fea", "all_experiments"].contains(&name) {
+            return Err(format!("unknown kernel `{name}` for --only"));
+        }
+    }
+
+    eprintln!(
+        "benchmarking {} (threads={}, replicates={})…",
+        if config.smoke { "smoke workloads" } else { "full workloads" },
+        config.threads,
+        config.replicates
+    );
+    let report = run_selected_benchmarks(&config, only);
+    print!("{}", report.render());
+
+    let json = report.to_json();
+    std::fs::write(out_path, &json).map_err(|e| format!("writing {out_path}: {e}"))?;
+    // Parse the file we just wrote back in, so a malformed report fails
+    // loudly here (and in the CI smoke stage) rather than downstream.
+    let written = std::fs::read_to_string(out_path).map_err(|e| format!("reading back: {e}"))?;
+    let speedups = validate_report_json(&written)?;
+    println!(
+        "\nwrote {out_path} ({} kernels, schema validated): {}",
+        speedups.len(),
+        speedups
+            .iter()
+            .map(|(name, s)| format!("{name} {s:.2}x"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
     Ok(())
 }
 

@@ -10,6 +10,7 @@
 //! obfuscade faults "stl.degenerate=3 firmware.feed=50" --part prism
 //! obfuscade audit
 //! obfuscade report <experiment>|all
+//! obfuscade bench [--smoke] [--threads N] [--out FILE.json]
 //! ```
 
 use std::process::ExitCode;
@@ -35,6 +36,7 @@ fn main() -> ExitCode {
         "faults" => commands::faults(rest),
         "audit" => commands::audit(rest),
         "report" => commands::report(rest),
+        "bench" => commands::bench(rest),
         "help" | "--help" | "-h" => {
             print!("{}", commands::USAGE);
             Ok(())

@@ -60,6 +60,7 @@ mod adversary;
 mod fault;
 mod key;
 mod multikey;
+mod perf;
 mod pipeline;
 mod quality;
 pub mod risk;
@@ -73,6 +74,7 @@ pub use fault::{
     FaultParseError, FaultPlan, FirmwareFault, SlicerFault, StlFault, ToolpathFault,
 };
 pub use key::{CadRecipe, ProcessKey};
+pub use perf::{kernel_mode, set_kernel_mode, KernelMode};
 pub use multikey::MultiSphereScheme;
 pub use pipeline::{
     run_pipeline, run_pipeline_with_faults, Diagnostic, PipelineError, PipelineOutput,

@@ -1,0 +1,58 @@
+//! Process-wide kernel selection for benchmarking.
+//!
+//! The slicer, printer, and FEA crates each keep their original
+//! implementation alongside the optimized kernel introduced with the
+//! parallel execution engine. The benchmark harness needs to drive the
+//! *whole pipeline* — not isolated kernels — under both implementations to
+//! measure honest end-to-end speedups, so the selection lives in a process
+//! global rather than threading a flag through every experiment signature.
+//!
+//! Production code never touches this: the default is [`KernelMode::Optimized`]
+//! and only `obfuscade-cli bench` flips it.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which implementation family the pipeline's hot stages use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelMode {
+    /// The original kernels: per-layer full-mesh slicing scan, road-at-a-time
+    /// deposition, AoS scatter-accumulated relaxation. Benchmark baseline.
+    Reference,
+    /// The interval-sweep slicer, layer-partitioned stamping, and SoA
+    /// gather-based FEA kernel (optionally parallel via
+    /// [`ProcessPlan::parallelism`](crate::ProcessPlan)).
+    Optimized,
+}
+
+static KERNEL_MODE: AtomicU8 = AtomicU8::new(1);
+
+/// Selects the pipeline's kernel implementation process-wide.
+pub fn set_kernel_mode(mode: KernelMode) {
+    let v = match mode {
+        KernelMode::Reference => 0,
+        KernelMode::Optimized => 1,
+    };
+    KERNEL_MODE.store(v, Ordering::Relaxed);
+}
+
+/// The currently selected kernel implementation.
+pub fn kernel_mode() -> KernelMode {
+    match KERNEL_MODE.load(Ordering::Relaxed) {
+        0 => KernelMode::Reference,
+        _ => KernelMode::Optimized,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_to_optimized_and_round_trips() {
+        assert_eq!(kernel_mode(), KernelMode::Optimized);
+        set_kernel_mode(KernelMode::Reference);
+        assert_eq!(kernel_mode(), KernelMode::Reference);
+        set_kernel_mode(KernelMode::Optimized);
+        assert_eq!(kernel_mode(), KernelMode::Optimized);
+    }
+}

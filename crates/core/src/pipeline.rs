@@ -12,8 +12,11 @@ use std::error::Error;
 use std::fmt;
 
 use am_cad::{CadError, Part};
-use am_fea::{run_tensile_test, Lattice, TensileConfig, TensileResult};
+use am_fea::{
+    run_tensile_test_reference, run_tensile_test_with, Lattice, TensileConfig, TensileResult,
+};
 use am_geom::Tolerance;
+use am_par::Parallelism;
 use am_mesh::{
     binary_stl_size, fingerprint, seam_report, tessellate_shells, verify_fingerprint,
     weld_vertices, Resolution, SeamReport, StlError, TriMesh,
@@ -23,12 +26,13 @@ use am_printer::{
     ScanReport,
 };
 use am_slicer::{
-    build_transform, diagnose_slices, orient_shells, try_generate_toolpath, try_slice_shells,
-    ConfigError, GcodeError, Orientation, SliceError, SliceReport, SlicerConfig, ToolMaterial,
-    ToolpathError,
+    build_transform, diagnose_slices, orient_shells, slice_shells_scan, try_generate_toolpath,
+    try_slice_shells_with, ConfigError, GcodeError, Orientation, SliceError, SliceReport,
+    SlicerConfig, ToolMaterial, ToolpathError,
 };
 
 use crate::fault::FaultPlan;
+use crate::perf::{kernel_mode, KernelMode};
 
 /// A complete manufacturing plan: every processing choice from STL export
 /// to the machine. Together with the CAD recipe (applied at part
@@ -47,6 +51,10 @@ pub struct ProcessPlan {
     pub seed: u64,
     /// Whether to run the (comparatively costly) virtual tensile test.
     pub tensile: bool,
+    /// Thread budget for the parallel kernels (slicing, deposition, FEA
+    /// relaxation). Every budget produces bit-identical output; the default
+    /// is serial.
+    pub parallelism: Parallelism,
 }
 
 impl ProcessPlan {
@@ -60,6 +68,7 @@ impl ProcessPlan {
             printer: PrinterProfile::dimension_elite(),
             seed: 1,
             tensile: false,
+            parallelism: Parallelism::serial(),
         }
     }
 
@@ -83,6 +92,7 @@ impl ProcessPlan {
             printer,
             seed: 1,
             tensile: false,
+            parallelism: Parallelism::serial(),
         }
     }
 
@@ -95,6 +105,12 @@ impl ProcessPlan {
     /// Builder-style tensile-test toggle.
     pub fn with_tensile(mut self, tensile: bool) -> Self {
         self.tensile = tensile;
+        self
+    }
+
+    /// Builder-style thread-budget override.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
         self
     }
 }
@@ -485,8 +501,13 @@ pub fn run_pipeline_with_faults(
         .map(|m| m.transformed(&bed_margin))
         .collect();
     let to_build = build_transform(&shells, plan.orientation).then(&bed_margin);
-    let sliced =
-        try_slice_shells(&oriented, config.layer_height).map_err(PipelineError::Slice)?;
+    let sliced = match kernel_mode() {
+        KernelMode::Optimized => {
+            try_slice_shells_with(&oriented, config.layer_height, plan.parallelism)
+        }
+        KernelMode::Reference => slice_shells_scan(&oriented, config.layer_height),
+    }
+    .map_err(PipelineError::Slice)?;
     let slice_report = diagnose_slices(&sliced, config.analysis_cell);
     let open_paths: usize = sliced.layers.iter().map(|l| l.open_paths.len()).sum();
     if open_paths > 0 {
@@ -555,9 +576,19 @@ pub fn run_pipeline_with_faults(
     });
 
     // --- Print, dissolve -------------------------------------------------
-    let mut printed =
-        PrintedPart::try_from_toolpath(&toolpath, &plan.printer, to_build, plan.seed)
-            .map_err(PipelineError::Print)?;
+    let mut printed = match kernel_mode() {
+        KernelMode::Optimized => PrintedPart::try_from_toolpath_with(
+            &toolpath,
+            &plan.printer,
+            to_build,
+            plan.seed,
+            plan.parallelism,
+        ),
+        KernelMode::Reference => {
+            PrintedPart::try_from_toolpath_reference(&toolpath, &plan.printer, to_build, plan.seed)
+        }
+    }
+    .map_err(PipelineError::Print)?;
     printed.dissolve_support();
     stages.push(StageOutcome { stage: Stage::Print, status: StageStatus::Clean });
 
@@ -592,7 +623,12 @@ pub fn run_pipeline_with_faults(
         };
         let mut lattice = Lattice::from_printed(&printed, &tensile_config, plan.seed);
         stages.push(StageOutcome { stage: Stage::Test, status: StageStatus::Clean });
-        Some(run_tensile_test(&mut lattice, &tensile_config))
+        Some(match kernel_mode() {
+            KernelMode::Optimized => {
+                run_tensile_test_with(&mut lattice, &tensile_config, plan.parallelism)
+            }
+            KernelMode::Reference => run_tensile_test_reference(&mut lattice, &tensile_config),
+        })
     } else {
         stages.push(StageOutcome { stage: Stage::Test, status: StageStatus::Skipped });
         None

@@ -1,0 +1,92 @@
+//! Determinism properties for the parallel execution engine (PR 2).
+//!
+//! With the optimized kernels active (the default), every
+//! [`am_par::Parallelism`] budget must drive the pipeline to **bit-identical
+//! output** — clean runs and seeded fault-injection runs alike. The
+//! robustness suite's fault replay and the mesh fingerprints both assume
+//! that turning threads on changes nothing but wall-clock time, so any
+//! float that shifts with the thread count is a bug, not noise. Comparing
+//! the `Debug` rendering of the whole `Result` makes the check exhaustive:
+//! Rust prints `f64`s shortest-round-trip, so a single ULP of drift
+//! anywhere in the output (voxel grid, tensile curve, diagnostics) breaks
+//! the string equality.
+
+use am_cad::parts::{prism_with_sphere, PrismDims};
+use am_cad::{BodyKind, MaterialRemoval, Part};
+use am_geom::Point3;
+use am_mesh::Resolution;
+use am_par::Parallelism;
+use am_slicer::{Orientation, SlicerConfig};
+use obfuscade::{run_pipeline_with_faults, FaultPlan, ProcessPlan};
+use proptest::prelude::*;
+
+/// Fault specs spanning the catalog's stages: mesh damage, tool-path
+/// corruption, slicer misconfiguration, firmware tampering — plus the
+/// clean run. Each property case draws one and a fresh seed.
+const FAULT_SPECS: &[&str] = &[
+    "",
+    "stl.degenerate=3",
+    "stl.void=0.15 stl.flip=2",
+    "toolpath.dup=0.5 toolpath.drop=0.2",
+    "stl.drift=0.2:4 firmware.escape=250",
+    "slicer.zero_layer toolpath.drop=0.5",
+    "firmware.feed=1.5",
+];
+
+fn fault_plan(spec: &str, seed: u64) -> FaultPlan {
+    if spec.is_empty() {
+        FaultPlan::none().with_seed(seed)
+    } else {
+        spec.parse::<FaultPlan>().expect(spec).with_seed(seed)
+    }
+}
+
+fn specimen(sphere_radius: f64) -> Part {
+    let dims = PrismDims { size: Point3::new(25.4, 12.7, 12.7), sphere_radius };
+    prism_with_sphere(&dims, BodyKind::Solid, MaterialRemoval::Without).expect("prism")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Threads ∈ {1, 2, 8} must be indistinguishable in the output for any
+    /// (mesh, plan, fault plan, seed) combination.
+    #[test]
+    fn pipeline_is_bit_identical_across_thread_counts(
+        spec_idx in 0..FAULT_SPECS.len(),
+        fault_seed in 1..10_000u64,
+        orient_idx in 0..2usize,
+        layer in 0.5..0.9f64,
+        sphere_radius in 2.0..4.0f64,
+        tensile in 0..2usize,
+    ) {
+        let part = specimen(sphere_radius);
+        let orientation = [Orientation::Xy, Orientation::Xz][orient_idx];
+        let faults = fault_plan(FAULT_SPECS[spec_idx], fault_seed);
+        let mut plan =
+            ProcessPlan::fdm(Resolution::Coarse, orientation).with_tensile(tensile == 1);
+        plan.slicer = SlicerConfig {
+            layer_height: layer,
+            road_width: layer,
+            analysis_cell: layer / 2.0,
+            ..SlicerConfig::default()
+        };
+
+        let run = |parallelism: Parallelism| {
+            let plan = plan.clone().with_parallelism(parallelism);
+            format!("{:?}", run_pipeline_with_faults(&part, &plan, &faults))
+        };
+        let serial = run(Parallelism::serial());
+        for threads in [2usize, 8] {
+            let parallel = run(Parallelism::threads(threads));
+            prop_assert_eq!(
+                &serial,
+                &parallel,
+                "threads={} diverged from serial (faults: {}, seed {})",
+                threads,
+                FAULT_SPECS[spec_idx],
+                fault_seed
+            );
+        }
+    }
+}

@@ -1,0 +1,580 @@
+//! Optimized tensile kernel: SoA bond storage, a two-phase
+//! (bond-force / node-gather) relaxation loop, and an optional barrier-phased
+//! parallel execution mode.
+//!
+//! The phase split is what makes thread-count-independent determinism
+//! possible: phase one writes each bond's force vector into that bond's own
+//! slot (no accumulation, any order), phase two gathers each node's incident
+//! bond forces **in ascending bond order** from a CSR incidence table. Every
+//! float is therefore produced by a fixed reduction order no matter how the
+//! phases are partitioned across threads, and the residual reduction is a
+//! max over non-negative values — associative and commutative. The
+//! `parallel_*` tests pin run-to-run bit-identity across thread counts.
+//!
+//! Relative to the reference solver in [`crate::solve`], the model and the
+//! convergence criterion are identical — same constitutive law, same force
+//! residual tolerance, so both solvers land on the same equilibrium to
+//! within [`TOL`] — but the path there is much cheaper:
+//!
+//! * **Mass-scaled dynamic relaxation** (Underwood's fictitious-mass
+//!   scheme): every node gets mass `mᵢ = Σ incident bond stiffness`, which
+//!   makes every local stability limit uniform (Gershgorin:
+//!   `λmax(M⁻¹K) ≤ 2`) and lets the integrator take near-critical steps
+//!   everywhere. The reference solver's unit masses force the global step
+//!   down to what its *stiffest* node tolerates, so its soft regions — the
+//!   weakened joint and inter-layer bonds this simulation is about —
+//!   converge many times slower.
+//! * **Warm-started strain steps**: displacement fields scale ≈ linearly
+//!   with the applied strain, so each step starts from the previous
+//!   equilibrium scaled by the strain ratio instead of the raw previous
+//!   field.
+//! * Cheaper arithmetic: `f_elastic = k·(len − rest)` instead of
+//!   `k·((len − rest)/rest)·rest` (one division per bond instead of
+//!   three), packed per-bond parameter records, squared-residual
+//!   convergence tests (no square root per node), and broken bonds keep
+//!   zero stiffness so the hot loop carries no liveness branch.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Barrier;
+
+use am_geom::{Point2, Vec2};
+use am_par::{Parallelism, Pool};
+
+use crate::{BondState, Grip, Lattice, TensileConfig, TensileResult};
+
+const MAX_ITERS: usize = 2500;
+const TOL: f64 = 3e-4; // N residual per node
+
+/// Runs a displacement-controlled tensile test with the optimized kernel
+/// and an explicit thread budget. See [`crate::run_tensile_test`] for the
+/// loading protocol; `Parallelism::serial()` and every multi-threaded
+/// budget produce bit-identical results.
+pub fn run_tensile_test_with(
+    lattice: &mut Lattice,
+    config: &TensileConfig,
+    parallelism: Parallelism,
+) -> TensileResult {
+    config.assert_valid();
+    let mut solver = Solver::new(lattice);
+    let pool = Pool::new(parallelism);
+
+    let mut curve: Vec<(f64, f64)> = vec![(0.0, 0.0)];
+    let mut fracture_path: Vec<Point2> = Vec::new();
+    let mut peak_stress = 0.0f64;
+    let mut ruptured = false;
+
+    let steps = (config.max_strain / config.strain_step).ceil() as usize;
+    for step in 1..=steps {
+        let strain = step as f64 * config.strain_step;
+        let grip_u = strain * lattice.gauge_length;
+        if step > 1 {
+            // Elastic response scales ≈ linearly with strain; extrapolating
+            // the previous equilibrium is a far better starting point than
+            // reusing it verbatim.
+            solver.warm_start(strain / (strain - config.strain_step));
+        }
+        solver.prescribe_grips(grip_u);
+
+        // Relax, break, repeat until no bond fails in this step.
+        loop {
+            solver.relax(&pool);
+            if !solver.break_overstrained(&mut fracture_path) {
+                break;
+            }
+        }
+
+        let stress = solver.grip_stress(lattice.section_area);
+        curve.push((strain, stress));
+        peak_stress = peak_stress.max(stress);
+        if peak_stress > 0.0 && stress < 0.05 * peak_stress && strain > config.strain_step * 3.0 {
+            ruptured = true;
+            break;
+        }
+    }
+
+    // Mirror bond failures back so callers can inspect the lattice
+    // afterwards, exactly as the reference solver's in-place breaking does.
+    for (bond, &alive) in lattice.bonds.iter_mut().zip(&solver.alive) {
+        if !alive {
+            bond.state = BondState::Broken;
+        }
+    }
+    TensileResult::from_curve(curve, fracture_path, ruptured)
+}
+
+/// Per-bond constitutive parameters, packed into one record so the hot
+/// loop streams a single 48-byte array instead of six parallel ones. A
+/// broken bond keeps `stiffness = 0`, which makes its force exactly zero
+/// without a liveness branch.
+#[derive(Clone, Copy)]
+struct BondParam {
+    a: u32,
+    b: u32,
+    rest: f64,
+    stiffness: f64,
+    yield_force: f64,
+    hardening: f64,
+}
+
+/// Structure-of-arrays solver state.
+struct Solver {
+    // Nodes.
+    pos: Vec<Point2>,
+    grip: Vec<Grip>,
+    disp: Vec<Vec2>,
+    vel: Vec<Vec2>,
+    /// Reciprocal fictitious mass, `1 / Σ incident bond stiffness`
+    /// (Underwood mass scaling; zero for isolated nodes). Kept at its
+    /// initial value when bonds break — a heavier-than-needed node is still
+    /// stable, just marginally slower.
+    inv_mass: Vec<f64>,
+    // Bonds.
+    params: Vec<BondParam>,
+    breaking_strain: Vec<f64>,
+    alive: Vec<bool>,
+    /// Per-bond force on node `a` (node `b` receives the negation). Broken
+    /// bonds produce exact zeros (zero stiffness), so gathers need no
+    /// liveness check.
+    fb: Vec<Vec2>,
+    /// Node→bond incidence, CSR. Entries encode `bond_index << 1 | side`
+    /// (side 1 = this node is the bond's `b` end) and are ascending in bond
+    /// index, fixing the gather order.
+    inc_off: Vec<usize>,
+    inc: Vec<u32>,
+    dt: f64,
+    damping: f64,
+}
+
+impl Solver {
+    fn new(lattice: &Lattice) -> Self {
+        let n = lattice.nodes.len();
+        let m = lattice.bonds.len();
+
+        // Fictitious nodal masses: the sum of incident spring constants
+        // (`∂f/∂len = stiffness`). With `mᵢ = Σⱼ kᵢⱼ`, Gershgorin bounds
+        // every eigenvalue of `M⁻¹K` by 2, so the dimensionless step below
+        // is stable for every node regardless of how heterogeneous the
+        // road/layer/joint bond stiffnesses are.
+        let mut mass = vec![0.0f64; n];
+        for bond in &lattice.bonds {
+            mass[bond.nodes[0] as usize] += bond.stiffness;
+            mass[bond.nodes[1] as usize] += bond.stiffness;
+        }
+
+        let mut inc_off = vec![0usize; n + 1];
+        for bond in &lattice.bonds {
+            inc_off[bond.nodes[0] as usize + 1] += 1;
+            inc_off[bond.nodes[1] as usize + 1] += 1;
+        }
+        for i in 0..n {
+            inc_off[i + 1] += inc_off[i];
+        }
+        let mut cursor = inc_off.clone();
+        let mut inc = vec![0u32; 2 * m];
+        for (bi, bond) in lattice.bonds.iter().enumerate() {
+            let a = bond.nodes[0] as usize;
+            let b = bond.nodes[1] as usize;
+            inc[cursor[a]] = (bi as u32) << 1;
+            cursor[a] += 1;
+            inc[cursor[b]] = (bi as u32) << 1 | 1;
+            cursor[b] += 1;
+        }
+
+        Solver {
+            pos: lattice.nodes.iter().map(|nd| nd.pos).collect(),
+            grip: lattice.nodes.iter().map(|nd| nd.grip).collect(),
+            disp: vec![Vec2::ZERO; n],
+            vel: vec![Vec2::ZERO; n],
+            inv_mass: mass.iter().map(|&m| if m > 0.0 { 1.0 / m } else { 0.0 }).collect(),
+            params: lattice
+                .bonds
+                .iter()
+                .map(|b| BondParam {
+                    a: b.nodes[0],
+                    b: b.nodes[1],
+                    rest: b.rest_length,
+                    // Zero stiffness ⇒ zero force: broken bonds stay inert
+                    // without a branch in the hot loop.
+                    stiffness: if b.state == BondState::Intact { b.stiffness } else { 0.0 },
+                    yield_force: b.yield_force,
+                    hardening: b.hardening,
+                })
+                .collect(),
+            breaking_strain: lattice.bonds.iter().map(|b| b.breaking_strain).collect(),
+            alive: lattice.bonds.iter().map(|b| b.state == BondState::Intact).collect(),
+            fb: vec![Vec2::ZERO; m],
+            inc_off,
+            inc,
+            // Dimensionless near-critical step: the mass scaling pins the
+            // stability limit at `2/√λmax ≥ √2 ≈ 1.41`, and 1.0 keeps the
+            // same ~70 % safety margin the reference solver uses against
+            // its own (much smaller) limit.
+            dt: 1.0,
+            damping: 0.92,
+        }
+    }
+
+    /// Scales the displacement field by the strain ratio `s` — the linear
+    /// extrapolation of the previous equilibrium to the next strain step —
+    /// and restarts the pseudo-dynamics from rest.
+    fn warm_start(&mut self, s: f64) {
+        for d in &mut self.disp {
+            *d = *d * s;
+        }
+        for v in &mut self.vel {
+            *v = Vec2::ZERO;
+        }
+    }
+
+    /// Prescribes grip displacements (x only — the grips do not restrain
+    /// lateral contraction, avoiding artificial corner concentrations).
+    fn prescribe_grips(&mut self, grip_u: f64) {
+        for (i, g) in self.grip.iter().enumerate() {
+            match g {
+                Grip::Fixed => self.disp[i].x = 0.0,
+                Grip::Moving => self.disp[i].x = grip_u,
+                Grip::Free => {}
+            }
+        }
+    }
+
+    /// Axial bond force: linear elastic up to yield, then linear hardening
+    /// (tangent stiffness = `hardening × stiffness`); linear in compression.
+    ///
+    /// Branch-free: with `hardening < 1` the plastic line lies below the
+    /// elastic line exactly when `f_elastic > yield_force`, so the `min`
+    /// selects the same value the explicit comparison would — but the loop
+    /// around it stays straight-line code the compiler can vectorize.
+    #[inline]
+    fn bond_force(&self, i: usize, len: f64) -> f64 {
+        let p = &self.params[i];
+        let f_elastic = p.stiffness * (len - p.rest);
+        let f_plastic = p.yield_force + p.hardening * (f_elastic - p.yield_force);
+        f_elastic.min(f_plastic)
+    }
+
+    /// Phase one for bond `i`: the force vector exerted on node `a`.
+    #[inline]
+    fn bond_phase(&self, i: usize, disp_at: impl Fn(usize) -> Vec2) -> Vec2 {
+        let a = self.params[i].a as usize;
+        let b = self.params[i].b as usize;
+        let pa = self.pos[a] + disp_at(a);
+        let pb = self.pos[b] + disp_at(b);
+        let d = pb - pa;
+        let len = d.length();
+        if len < 1e-12 {
+            return Vec2::ZERO;
+        }
+        d * (self.bond_force(i, len) / len)
+    }
+
+    /// Phase two for node `i`: gathers the net force in ascending bond
+    /// order.
+    #[inline]
+    fn gather_force(&self, i: usize, fb_at: impl Fn(usize) -> Vec2) -> Vec2 {
+        let mut force = Vec2::ZERO;
+        for &e in &self.inc[self.inc_off[i]..self.inc_off[i + 1]] {
+            let f = fb_at((e >> 1) as usize);
+            if e & 1 == 0 {
+                force += f;
+            } else {
+                force -= f;
+            }
+        }
+        force
+    }
+
+    /// Node state update; returns the node's squared residual. The residual
+    /// is the raw nodal force (same convergence criterion as the reference
+    /// solver); only the acceleration is mass-scaled.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn advance_node(
+        grip: Grip,
+        force: Vec2,
+        inv_m: f64,
+        vel: &mut Vec2,
+        disp: &mut Vec2,
+        dt: f64,
+        damping: f64,
+    ) -> f64 {
+        match grip {
+            Grip::Free => {
+                *vel = (*vel + force * (dt * inv_m)) * damping;
+                *disp += *vel * dt;
+                force.length_squared()
+            }
+            // Grip nodes: x prescribed, y free (no lateral clamp).
+            Grip::Fixed | Grip::Moving => {
+                vel.x = 0.0;
+                vel.y = (vel.y + force.y * (dt * inv_m)) * damping;
+                disp.y += vel.y * dt;
+                force.y * force.y
+            }
+        }
+    }
+
+    fn relax(&mut self, pool: &Pool) {
+        if pool.parallelism().is_serial() {
+            self.relax_serial();
+        } else {
+            self.relax_parallel(pool);
+        }
+    }
+
+    /// Damped dynamic relaxation to (approximate) equilibrium, in place.
+    ///
+    /// Scatters bond forces directly instead of staging them in [`Self::fb`]
+    /// and gathering: with bonds walked in ascending index order, each node
+    /// receives exactly the additions the CSR gather would perform, in the
+    /// same order, so the result is bit-identical to
+    /// [`Solver::relax_parallel`] (a dead bond's zero-stiffness force is a
+    /// signed zero, which cannot change an accumulator — accumulators start
+    /// at `+0.0` and can never become `-0.0`).
+    fn relax_serial(&mut self) {
+        let n = self.pos.len();
+        let (dt, damping) = (self.dt, self.damping);
+        let tol_sq = TOL * TOL;
+        let mut force = vec![Vec2::ZERO; n];
+        for _ in 0..MAX_ITERS {
+            for f in force.iter_mut() {
+                *f = Vec2::ZERO;
+            }
+            for (i, p) in self.params.iter().enumerate() {
+                let a = p.a as usize;
+                let b = p.b as usize;
+                let d = (self.pos[b] + self.disp[b]) - (self.pos[a] + self.disp[a]);
+                let len = d.length();
+                if len < 1e-12 {
+                    continue;
+                }
+                let fv = d * (self.bond_force(i, len) / len);
+                force[a] += fv;
+                force[b] -= fv;
+            }
+            let mut residual_sq = 0.0f64;
+            for (i, f) in force.iter().enumerate() {
+                residual_sq = residual_sq.max(Self::advance_node(
+                    self.grip[i],
+                    *f,
+                    self.inv_mass[i],
+                    &mut self.vel[i],
+                    &mut self.disp[i],
+                    dt,
+                    damping,
+                ));
+            }
+            if residual_sq < tol_sq {
+                break;
+            }
+        }
+    }
+
+    /// Parallel relaxation: one pool broadcast per call; workers run a
+    /// barrier-phased loop over fixed bond/node partitions. Mutable state is
+    /// mirrored into atomic-u64 cells for the duration of the call (safe
+    /// shared access without locks; barriers order the phases), then copied
+    /// back. Bit-identical to [`Solver::relax_serial`]: same per-bond and
+    /// per-node arithmetic, same gather order, and the residual reduction is
+    /// a max over non-negative floats.
+    fn relax_parallel(&mut self, pool: &Pool) {
+        let n = self.pos.len();
+        let m = self.params.len();
+        let workers = pool.thread_count();
+        let (dt, damping) = (self.dt, self.damping);
+        let tol_sq = TOL * TOL;
+
+        let disp = AtomicVec2s::from(&self.disp);
+        let vel = AtomicVec2s::from(&self.vel);
+        let fb = AtomicVec2s::from(&self.fb);
+        let residuals: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+        let stop = AtomicBool::new(false);
+        let barrier = Barrier::new(workers);
+        let this = &*self;
+
+        pool.broadcast(|w| {
+            let (b_lo, b_hi) = worker_range(m, workers, w);
+            let (n_lo, n_hi) = worker_range(n, workers, w);
+            for _ in 0..MAX_ITERS {
+                for i in b_lo..b_hi {
+                    fb.store(i, this.bond_phase(i, |j| disp.load(j)));
+                }
+                barrier.wait();
+                let mut residual_sq = 0.0f64;
+                for i in n_lo..n_hi {
+                    let force = this.gather_force(i, |b| fb.load(b));
+                    let mut v = vel.load(i);
+                    let mut d = disp.load(i);
+                    residual_sq = residual_sq.max(Self::advance_node(
+                        this.grip[i],
+                        force,
+                        this.inv_mass[i],
+                        &mut v,
+                        &mut d,
+                        dt,
+                        damping,
+                    ));
+                    vel.store(i, v);
+                    disp.store(i, d);
+                }
+                residuals[w].store(residual_sq.to_bits(), Ordering::Relaxed);
+                barrier.wait();
+                if w == 0 {
+                    let max = residuals
+                        .iter()
+                        .map(|r| f64::from_bits(r.load(Ordering::Relaxed)))
+                        .fold(0.0f64, f64::max);
+                    stop.store(max < tol_sq, Ordering::Relaxed);
+                }
+                barrier.wait();
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+        });
+
+        disp.write_back(&mut self.disp);
+        vel.write_back(&mut self.vel);
+        fb.write_back(&mut self.fb);
+    }
+
+    /// Breaks every intact bond whose strain exceeds its limit (zeroing its
+    /// stiffness, which zeroes its force in subsequent relaxations). Returns
+    /// whether anything broke and appends break locations to the crack path.
+    fn break_overstrained(&mut self, fracture_path: &mut Vec<Point2>) -> bool {
+        let mut broke = false;
+        for i in 0..self.params.len() {
+            if !self.alive[i] {
+                continue;
+            }
+            let p = self.params[i];
+            let a = p.a as usize;
+            let b = p.b as usize;
+            let pa = self.pos[a] + self.disp[a];
+            let pb = self.pos[b] + self.disp[b];
+            let strain = (pa.distance(pb) - p.rest) / p.rest;
+            if strain > self.breaking_strain[i] {
+                self.alive[i] = false;
+                self.params[i].stiffness = 0.0;
+                broke = true;
+                fracture_path.push((self.pos[a] + self.pos[b]) * 0.5);
+            }
+        }
+        broke
+    }
+
+    /// Engineering stress from the moving-grip reaction (MPa).
+    fn grip_stress(&self, section_area: f64) -> f64 {
+        let mut fx = 0.0;
+        for i in 0..self.params.len() {
+            if !self.alive[i] {
+                continue;
+            }
+            let a = self.params[i].a as usize;
+            let b = self.params[i].b as usize;
+            let (ga, gb) = (self.grip[a], self.grip[b]);
+            if (ga == Grip::Moving) == (gb == Grip::Moving) {
+                continue;
+            }
+            let pa = self.pos[a] + self.disp[a];
+            let pb = self.pos[b] + self.disp[b];
+            let d = pb - pa;
+            let len = d.length();
+            if len < 1e-12 {
+                continue;
+            }
+            let f = self.bond_force(i, len);
+            // The bond pulls the moving node toward the other end; the
+            // machine supplies the opposite reaction, which is what the load
+            // cell reads. With `d` pointing a→b, the bond force on b is
+            // −(d/len)·f, so the machine reaction when b is the moving node
+            // is +(d/len)·f.
+            let machine = if gb == Grip::Moving { (d / len) * f } else { -(d / len) * f };
+            fx += machine.x;
+        }
+        (fx / section_area).max(0.0)
+    }
+}
+
+/// Contiguous per-worker index range (may be empty), unlike
+/// [`am_par::chunk_ranges`] which omits empty chunks.
+fn worker_range(len: usize, workers: usize, w: usize) -> (usize, usize) {
+    let base = len / workers;
+    let extra = len % workers;
+    let lo = w * base + w.min(extra);
+    (lo, lo + base + usize::from(w < extra))
+}
+
+/// A `Vec<Vec2>` mirrored into atomic bit cells so barrier-phased workers
+/// can share it without locks. Loads/stores are `Relaxed`; the phase
+/// barriers provide the ordering.
+struct AtomicVec2s {
+    cells: Vec<[AtomicU64; 2]>,
+}
+
+impl AtomicVec2s {
+    fn from(src: &[Vec2]) -> Self {
+        AtomicVec2s {
+            cells: src
+                .iter()
+                .map(|v| [AtomicU64::new(v.x.to_bits()), AtomicU64::new(v.y.to_bits())])
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn load(&self, i: usize) -> Vec2 {
+        let [x, y] = &self.cells[i];
+        Vec2::new(
+            f64::from_bits(x.load(Ordering::Relaxed)),
+            f64::from_bits(y.load(Ordering::Relaxed)),
+        )
+    }
+
+    #[inline]
+    fn store(&self, i: usize, v: Vec2) {
+        let [x, y] = &self.cells[i];
+        x.store(v.x.to_bits(), Ordering::Relaxed);
+        y.store(v.y.to_bits(), Ordering::Relaxed);
+    }
+
+    fn write_back(&self, dst: &mut [Vec2]) {
+        for (d, i) in dst.iter_mut().zip(0..) {
+            *d = self.load(i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_ranges_partition_exactly() {
+        for len in [0usize, 1, 5, 100, 101] {
+            for workers in [1usize, 2, 3, 8] {
+                let mut covered = 0;
+                let mut prev = 0;
+                for w in 0..workers {
+                    let (lo, hi) = worker_range(len, workers, w);
+                    assert_eq!(lo, prev);
+                    assert!(hi >= lo);
+                    covered += hi - lo;
+                    prev = hi;
+                }
+                assert_eq!(covered, len, "len {len} workers {workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn atomic_vec2s_round_trips() {
+        let src = vec![Vec2::new(1.5, -2.5), Vec2::new(f64::MIN_POSITIVE, -0.0)];
+        let mirror = AtomicVec2s::from(&src);
+        assert_eq!(mirror.load(0), src[0]);
+        mirror.store(1, Vec2::new(3.0, 4.0));
+        let mut out = vec![Vec2::ZERO; 2];
+        mirror.write_back(&mut out);
+        assert_eq!(out, vec![Vec2::new(1.5, -2.5), Vec2::new(3.0, 4.0)]);
+    }
+}

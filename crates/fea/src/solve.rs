@@ -1,4 +1,10 @@
 //! Quasi-static tensile loading by dynamic relaxation.
+//!
+//! Two implementations live side by side: [`run_tensile_test`] delegates
+//! to the optimized structure-of-arrays solver in [`crate::kernel`]
+//! (optionally parallel via [`crate::run_tensile_test_with`]), while
+//! [`run_tensile_test_reference`] keeps the original scalar kernel
+//! verbatim as the benchmark baseline and cross-check.
 
 use am_geom::{Point2, Vec2};
 
@@ -14,6 +20,16 @@ use crate::{Bond, BondState, Grip, Lattice, TensileConfig, TensileResult};
 /// The run stops early once the specimen has ruptured (stress falls below
 /// 5 % of the running maximum after the peak).
 pub fn run_tensile_test(lattice: &mut Lattice, config: &TensileConfig) -> TensileResult {
+    crate::kernel::run_tensile_test_with(lattice, config, am_par::Parallelism::serial())
+}
+
+/// The original kernel of [`run_tensile_test`], kept verbatim: the
+/// benchmark baseline, and the cross-check the optimized solver's results
+/// are validated against.
+pub fn run_tensile_test_reference(
+    lattice: &mut Lattice,
+    config: &TensileConfig,
+) -> TensileResult {
     config.assert_valid();
     let n = lattice.nodes.len();
     let mut disp = vec![Vec2::ZERO; n];

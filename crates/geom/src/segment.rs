@@ -72,6 +72,21 @@ impl Segment2 {
         self.point_at(t).distance(p)
     }
 
+    /// Squared shortest distance from `p` to the segment.
+    ///
+    /// Equivalent to `distance_to_point(p).powi(2)` up to rounding, but skips
+    /// the square root — use for radius tests on hot paths by comparing
+    /// against a squared radius.
+    pub fn distance_squared_to_point(&self, p: Point2) -> f64 {
+        let d = self.direction();
+        let len2 = d.length_squared();
+        if len2 == 0.0 {
+            return (p - self.start).length_squared();
+        }
+        let t = ((p - self.start).dot(d) / len2).clamp(0.0, 1.0);
+        (p - self.point_at(t)).length_squared()
+    }
+
     /// Intersects two segments, honouring `tol` for endpoint coincidence.
     pub fn intersect(&self, other: &Segment2, tol: Tolerance) -> SegmentIntersection2 {
         let d1 = self.direction();
@@ -191,6 +206,23 @@ mod tests {
         assert_eq!(s.distance_to_point(Point2::new(0.5, 2.0)), 2.0);
         assert_eq!(s.distance_to_point(Point2::new(-3.0, 4.0)), 5.0);
         assert_eq!(s.distance_to_point(Point2::new(2.0, 0.0)), 1.0);
+    }
+
+    #[test]
+    fn distance_squared_matches_distance() {
+        let s = Segment2::new(Point2::new(-1.0, 2.0), Point2::new(3.0, -0.5));
+        let degenerate = Segment2::new(Point2::new(1.0, 1.0), Point2::new(1.0, 1.0));
+        for p in [
+            Point2::new(0.5, 2.0),
+            Point2::new(-3.0, 4.0),
+            Point2::new(2.0, 0.0),
+            Point2::new(-1.0, 2.0),
+        ] {
+            let d = s.distance_to_point(p);
+            assert!((s.distance_squared_to_point(p) - d * d).abs() <= 1e-12 * (1.0 + d * d));
+            let d = degenerate.distance_to_point(p);
+            assert!((degenerate.distance_squared_to_point(p) - d * d).abs() <= 1e-12);
+        }
     }
 
     #[test]

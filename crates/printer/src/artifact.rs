@@ -1,6 +1,14 @@
 //! The printed artifact: a voxel model built by simulated deposition.
+//!
+//! Deposition has two interchangeable kernels (pinned equal in tests):
+//! the optimized kernel precomputes every road's jitter radius (same RNG
+//! draw order as before), groups roads by their — single — layer, and
+//! stamps whole layers concurrently with squared-distance tests; the
+//! reference kernel ([`PrintedPart::try_from_toolpath_reference`]) is the
+//! original road-at-a-time loop, kept as the benchmark baseline.
 
 use am_geom::{Aabb3, Point3, Transform3};
+use am_par::{Parallelism, Pool};
 use am_slicer::{ToolMaterial, ToolPath};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -160,6 +168,107 @@ impl PrintedPart {
         to_build: Transform3,
         seed: u64,
     ) -> Result<Self, PrintError> {
+        Self::try_from_toolpath_with(toolpath, profile, to_build, seed, Parallelism::serial())
+    }
+
+    /// [`PrintedPart::try_from_toolpath`] with an explicit thread budget.
+    ///
+    /// Output is bit-identical for every `parallelism` value: every road
+    /// lands in exactly one voxel layer, so layers partition the writes;
+    /// jitter radii are drawn serially in road order (preserving the RNG
+    /// stream) and roads stamp in road order within each layer.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PrintedPart::try_from_toolpath`].
+    pub fn try_from_toolpath_with(
+        toolpath: &ToolPath,
+        profile: &PrinterProfile,
+        to_build: Transform3,
+        seed: u64,
+        parallelism: Parallelism,
+    ) -> Result<Self, PrintError> {
+        let mut part = Self::empty_grid(toolpath, profile, to_build, seed)?;
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let radii: Vec<f64> = toolpath
+            .roads
+            .iter()
+            .map(|_| {
+                // Road-width modulation noise: under/over-extrusion.
+                let jitter: f64 = 1.0 + profile.noise_sigma * rng.gen_range(-1.5..1.5);
+                (toolpath.road_width / 2.0) * jitter.clamp(0.6, 1.4)
+            })
+            .collect();
+
+        // Group road indices by voxel layer (order-preserving, so each
+        // layer stamps its roads in the same order the serial loop would).
+        let mut layer_roads: Vec<Vec<u32>> = vec![Vec::new(); part.nz];
+        for (ri, road) in toolpath.roads.iter().enumerate() {
+            let k = ((road.z - part.origin.z) / part.voxel_z).floor();
+            if k >= 0.0 && (k as usize) < part.nz {
+                layer_roads[k as usize].push(ri as u32);
+            }
+        }
+
+        let plane = part.nx * part.ny;
+        let (origin, voxel_xy, nx, ny) = (part.origin, part.voxel_xy, part.nx, part.ny);
+        let work: Vec<(usize, &mut [Material], &mut [u16])> = part
+            .material
+            .chunks_mut(plane)
+            .zip(part.body.chunks_mut(plane))
+            .enumerate()
+            .map(|(k, (m, b))| (k, m, b))
+            .collect();
+        let pool = Pool::new(parallelism);
+        pool.par_consume(work, |(k, layer_mat, layer_body)| {
+            for &ri in &layer_roads[k] {
+                stamp_road_layer(
+                    layer_mat,
+                    layer_body,
+                    &toolpath.roads[ri as usize],
+                    radii[ri as usize],
+                    origin,
+                    voxel_xy,
+                    nx,
+                    ny,
+                );
+            }
+        });
+        Ok(part)
+    }
+
+    /// The original road-at-a-time deposition loop: serial, one RNG draw
+    /// then one stamp per road, exact (square-root) distance tests. Kept as
+    /// the benchmark baseline the optimized kernel is measured against.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PrintedPart::try_from_toolpath`].
+    pub fn try_from_toolpath_reference(
+        toolpath: &ToolPath,
+        profile: &PrinterProfile,
+        to_build: Transform3,
+        seed: u64,
+    ) -> Result<Self, PrintError> {
+        let mut part = Self::empty_grid(toolpath, profile, to_build, seed)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        for road in &toolpath.roads {
+            // Road-width modulation noise: under/over-extrusion.
+            let jitter: f64 = 1.0 + profile.noise_sigma * rng.gen_range(-1.5..1.5);
+            let radius = (toolpath.road_width / 2.0) * jitter.clamp(0.6, 1.4);
+            part.stamp_road(road, radius);
+        }
+        Ok(part)
+    }
+
+    /// Validates inputs and allocates the empty deposition grid.
+    fn empty_grid(
+        toolpath: &ToolPath,
+        profile: &PrinterProfile,
+        to_build: Transform3,
+        seed: u64,
+    ) -> Result<Self, PrintError> {
         profile.validate()?;
         if toolpath.roads.is_empty() {
             return Err(PrintError::EmptyToolPath);
@@ -211,7 +320,7 @@ impl PrintedPart {
         }
         let (nx, ny, nz) = (nx as usize, ny as usize, nz as usize);
 
-        let mut part = PrintedPart {
+        Ok(PrintedPart {
             profile: profile.clone(),
             origin,
             voxel_xy,
@@ -223,18 +332,10 @@ impl PrintedPart {
             body: vec![u16::MAX; nx * ny * nz],
             to_build,
             seed,
-        };
-
-        let mut rng = StdRng::seed_from_u64(seed);
-        for road in &toolpath.roads {
-            // Road-width modulation noise: under/over-extrusion.
-            let jitter: f64 = 1.0 + profile.noise_sigma * rng.gen_range(-1.5..1.5);
-            let radius = (toolpath.road_width / 2.0) * jitter.clamp(0.6, 1.4);
-            part.stamp_road(road, radius);
-        }
-        Ok(part)
+        })
     }
 
+    /// Reference stamping: exact distance test, whole-grid indexing.
     fn stamp_road(&mut self, road: &am_slicer::Road, radius: f64) {
         let k = ((road.z - self.origin.z) / self.voxel_z).floor();
         if k < 0.0 || k as usize >= self.nz {
@@ -407,6 +508,57 @@ impl PrintedPart {
     }
 }
 
+/// Stamps one road into its layer's material/body planes (row-major,
+/// `ny` rows × `nx` columns). Same AABB clamping and overwrite rules as
+/// [`PrintedPart::stamp_road`], but radius tests compare squared distances
+/// (no per-voxel square root) and indexing is 2-D.
+#[allow(clippy::too_many_arguments)]
+fn stamp_road_layer(
+    layer_mat: &mut [Material],
+    layer_body: &mut [u16],
+    road: &am_slicer::Road,
+    radius: f64,
+    origin: Point3,
+    voxel_xy: f64,
+    nx: usize,
+    ny: usize,
+) {
+    let material = match road.material {
+        ToolMaterial::Model => Material::Model,
+        ToolMaterial::Support => Material::Support,
+    };
+    let (a, b) = (road.from, road.to);
+    let lo_x = (a.x.min(b.x) - radius - origin.x) / voxel_xy;
+    let hi_x = (a.x.max(b.x) + radius - origin.x) / voxel_xy;
+    let lo_y = (a.y.min(b.y) - radius - origin.y) / voxel_xy;
+    let hi_y = (a.y.max(b.y) + radius - origin.y) / voxel_xy;
+    let i0 = lo_x.floor().max(0.0) as usize;
+    let i1 = (hi_x.ceil() as usize).min(nx - 1);
+    let j0 = lo_y.floor().max(0.0) as usize;
+    let j1 = (hi_y.ceil() as usize).min(ny - 1);
+    let seg = am_geom::Segment2::new(a, b);
+    let radius_sq = radius * radius;
+    for j in j0..=j1 {
+        let row = &mut layer_mat[j * nx..(j + 1) * nx];
+        let body_row = &mut layer_body[j * nx..(j + 1) * nx];
+        let cy = origin.y + (j as f64 + 0.5) * voxel_xy;
+        for i in i0..=i1 {
+            let c = am_geom::Point2::new(origin.x + (i as f64 + 0.5) * voxel_xy, cy);
+            if seg.distance_squared_to_point(c) <= radius_sq {
+                // Model never gets overwritten by support.
+                if material == Material::Model || row[i] == Material::Empty {
+                    row[i] = material;
+                }
+                if material == Material::Model {
+                    if let Some(body) = road.body {
+                        body_row[i] = body;
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -492,6 +644,61 @@ mod tests {
         let a = print_part(&part, Orientation::Xy);
         let b = print_part(&part, Orientation::Xy);
         assert_eq!(a.voxel_count(Material::Model), b.voxel_count(Material::Model));
+    }
+
+    #[test]
+    fn parallel_stamp_is_bit_identical_to_serial() {
+        let part = prism_with_sphere(&PrismDims::default(), BodyKind::Solid, MaterialRemoval::With)
+            .unwrap()
+            .resolve()
+            .unwrap();
+        let shells = tessellate_shells(&part, &Resolution::Coarse.params());
+        let oriented = orient_shells(&shells, Orientation::Xy);
+        let to_build = build_transform(&shells, Orientation::Xy);
+        let sliced = slice_shells(&oriented, 0.1778);
+        let toolpath = generate_toolpath(&sliced, &SlicerConfig::default());
+        let profile = PrinterProfile::dimension_elite();
+        let serial = PrintedPart::try_from_toolpath_with(
+            &toolpath,
+            &profile,
+            to_build,
+            42,
+            am_par::Parallelism::serial(),
+        )
+        .unwrap();
+        for threads in [2, 8] {
+            let par = PrintedPart::try_from_toolpath_with(
+                &toolpath,
+                &profile,
+                to_build,
+                42,
+                am_par::Parallelism::threads(threads),
+            )
+            .unwrap();
+            assert_eq!(serial.material, par.material, "threads = {threads}");
+            assert_eq!(serial.body, par.body, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn optimized_kernel_matches_reference() {
+        // The squared-distance test can only disagree with the exact
+        // distance test on voxels whose centre sits within rounding error
+        // of the road boundary; none occur on this workload, and the two
+        // kernels must otherwise share every RNG draw and write order.
+        let part = intact_prism(&PrismDims::default()).resolve().unwrap();
+        let shells = tessellate_shells(&part, &Resolution::Coarse.params());
+        let oriented = orient_shells(&shells, Orientation::Xy);
+        let to_build = build_transform(&shells, Orientation::Xy);
+        let sliced = slice_shells(&oriented, 0.1778);
+        let toolpath = generate_toolpath(&sliced, &SlicerConfig::default());
+        let profile = PrinterProfile::dimension_elite();
+        let reference =
+            PrintedPart::try_from_toolpath_reference(&toolpath, &profile, to_build, 42).unwrap();
+        let optimized =
+            PrintedPart::try_from_toolpath(&toolpath, &profile, to_build, 42).unwrap();
+        assert_eq!(reference.material, optimized.material);
+        assert_eq!(reference.body, optimized.body);
     }
 
     #[test]

@@ -56,7 +56,8 @@ pub use raster::{
     model_area, rasterize, rasterize_layer, rasterize_polygon, CellMaterial, RasterLayer,
 };
 pub use slice::{
-    slice_mesh, slice_shells, try_slice_shells, Contour, Layer, SliceError, SlicedModel,
+    slice_mesh, slice_shells, slice_shells_scan, try_slice_shells, try_slice_shells_with, Contour,
+    Layer, SliceError, SlicedModel,
 };
 pub use toolpath::{
     generate_toolpath, try_generate_toolpath, Road, RoadKind, ToolMaterial, ToolPath,

@@ -1,9 +1,21 @@
 //! Plane slicing: meshes → per-layer oriented contours.
+//!
+//! Two kernels produce identical output (see `sweep_matches_scan_*` tests):
+//!
+//! * the **interval sweep** (default) buckets every triangle into the layer
+//!   range its z-span covers, so each slicing plane only visits candidate
+//!   triangles — O(tris + output) per layer stack instead of
+//!   O(layers × tris) — and layers slice independently on an
+//!   [`am_par::Pool`];
+//! * the **per-layer scan** ([`slice_shells_scan`]) walks the full mesh for
+//!   every plane. It is kept as the reference baseline for benchmarks and
+//!   the bucketing regression test.
 
 use std::collections::HashMap;
 
 use am_geom::{Aabb3, Point2, Polygon2, Polyline2, Tolerance, Vec2};
 use am_mesh::TriMesh;
+use am_par::{Parallelism, Pool};
 
 /// One closed contour of a layer, tagged with the shell (body) that
 /// produced it. The tag is what lets diagnostics tell a planted split seam
@@ -157,6 +169,77 @@ impl std::error::Error for SliceError {}
 /// height; [`SliceError::TooManyLayers`] when the height is so small the
 /// layer stack would exceed [`MAX_LAYERS`].
 pub fn try_slice_shells(shells: &[TriMesh], layer_height: f64) -> Result<SlicedModel, SliceError> {
+    try_slice_shells_with(shells, layer_height, Parallelism::serial())
+}
+
+/// [`try_slice_shells`] with an explicit thread budget.
+///
+/// Output is bit-identical for every `parallelism` value: layers are
+/// independent work items, candidate triangles are visited in ascending
+/// index order within each layer (matching the full-mesh scan), and results
+/// are collected in layer order.
+///
+/// # Errors
+///
+/// Same as [`try_slice_shells`].
+pub fn try_slice_shells_with(
+    shells: &[TriMesh],
+    layer_height: f64,
+    parallelism: Parallelism,
+) -> Result<SlicedModel, SliceError> {
+    let (bounds, zs) = layer_planes(shells, layer_height)?;
+
+    // Bucket each shell's triangles by the layer-index range their z-span
+    // covers (CSR layout). Ranges get ±1 layer of slack so accumulated
+    // floating-point error in the plane heights can never drop a candidate;
+    // `intersect_z_plane` rejects the extras exactly as the full scan would.
+    let buckets: Vec<LayerBuckets> =
+        shells.iter().map(|s| LayerBuckets::build(s, &zs, layer_height)).collect();
+
+    let pool = Pool::new(parallelism);
+    let layers = pool.par_map(&zs, |&z_entry| {
+        let (li, z) = z_entry;
+        let mut layer = Layer { z, loops: Vec::new(), open_paths: Vec::new() };
+        for (body, shell) in shells.iter().enumerate() {
+            let segs = collect_segments_indexed(shell, buckets[body].layer(li), z);
+            assemble(segs, body, &mut layer);
+        }
+        layer
+    });
+    Ok(SlicedModel { layers, layer_height, bounds })
+}
+
+/// Slices with the legacy per-layer full-mesh scan: every plane visits every
+/// triangle. O(layers × tris); kept as the benchmark baseline and the
+/// reference the interval sweep is pinned against in tests.
+///
+/// # Errors
+///
+/// Same as [`try_slice_shells`].
+pub fn slice_shells_scan(shells: &[TriMesh], layer_height: f64) -> Result<SlicedModel, SliceError> {
+    let (bounds, zs) = layer_planes(shells, layer_height)?;
+    let mut layers = Vec::new();
+    for &(_, z) in &zs {
+        let mut layer = Layer { z, loops: Vec::new(), open_paths: Vec::new() };
+        for (body, shell) in shells.iter().enumerate() {
+            let segs = collect_segments(shell, z);
+            assemble(segs, body, &mut layer);
+        }
+        layers.push(layer);
+    }
+    Ok(SlicedModel { layers, layer_height, bounds })
+}
+
+/// Validates the layer height and enumerates the mid-layer plane heights.
+///
+/// The planes are produced by the same running accumulation
+/// (`z += layer_height`) both kernels have always used — regenerating them
+/// as `min + (i + ½)·h` would shift each plane by a few ulps and change
+/// knife-edge intersections.
+fn layer_planes(
+    shells: &[TriMesh],
+    layer_height: f64,
+) -> Result<(Aabb3, Vec<(usize, f64)>), SliceError> {
     if !(layer_height.is_finite() && layer_height > 0.0) {
         return Err(SliceError::BadLayerHeight { value: layer_height });
     }
@@ -175,19 +258,90 @@ pub fn try_slice_shells(shells: &[TriMesh], layer_height: f64) -> Result<SlicedM
             });
         }
     }
-
-    let mut layers = Vec::new();
+    let mut zs = Vec::new();
     let mut z = bounds.min.z + layer_height * 0.5;
     while z < bounds.max.z {
-        let mut layer = Layer { z, loops: Vec::new(), open_paths: Vec::new() };
-        for (body, shell) in shells.iter().enumerate() {
-            let segs = collect_segments(shell, z);
-            assemble(segs, body, &mut layer);
-        }
-        layers.push(layer);
+        zs.push((zs.len(), z));
         z += layer_height;
     }
-    Ok(SlicedModel { layers, layer_height, bounds })
+    Ok((bounds, zs))
+}
+
+/// Per-layer candidate triangle lists for one shell, in CSR layout.
+///
+/// `layer(i)` returns the indices of every triangle whose z-span could touch
+/// plane `i`, in ascending triangle order — the same visit order as a full
+/// scan, which is what keeps the sweep's segment lists (and therefore the
+/// assembled contours) bit-identical to [`slice_shells_scan`].
+struct LayerBuckets {
+    offsets: Vec<usize>,
+    tris: Vec<u32>,
+}
+
+impl LayerBuckets {
+    fn build(mesh: &TriMesh, zs: &[(usize, f64)], layer_height: f64) -> Self {
+        let n_layers = zs.len();
+        if n_layers == 0 {
+            return LayerBuckets { offsets: vec![0], tris: Vec::new() };
+        }
+        let z0 = zs[0].1;
+        // `layer_range` clamps to [0, n_layers - 1] and yields the empty
+        // sentinel (1, 0) for spans outside the stack, so `lo..=hi` below is
+        // always in bounds (and empty for the sentinel).
+        let spans: Vec<(usize, usize)> = mesh
+            .triangles()
+            .map(|tri| {
+                let [a, b, c] = tri.vertices;
+                let lo = a.z.min(b.z).min(c.z);
+                let hi = a.z.max(b.z).max(c.z);
+                layer_range(lo, hi, z0, layer_height, n_layers)
+            })
+            .collect();
+
+        // Count per layer into offsets[li + 1], then prefix-sum into CSR.
+        let mut offsets = vec![0usize; n_layers + 1];
+        for &(lo, hi) in &spans {
+            for li in lo..=hi {
+                offsets[li + 1] += 1;
+            }
+        }
+        for i in 0..n_layers {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut tris = vec![0u32; offsets[n_layers]];
+        for (t, &(lo, hi)) in spans.iter().enumerate() {
+            for li in lo..=hi {
+                tris[cursor[li]] = t as u32;
+                cursor[li] += 1;
+            }
+        }
+        LayerBuckets { offsets, tris }
+    }
+
+    fn layer(&self, li: usize) -> &[u32] {
+        if li + 1 >= self.offsets.len() {
+            return &[];
+        }
+        &self.tris[self.offsets[li]..self.offsets[li + 1]]
+    }
+}
+
+/// Maps a triangle's z-span to the (clamped, ±1-slack) layer-index range of
+/// planes it may intersect. Returns an empty range as `(1, 0)` when the span
+/// lies wholly outside the stack.
+fn layer_range(lo: f64, hi: f64, z0: f64, h: f64, n_layers: usize) -> (usize, usize) {
+    if n_layers == 0 || !lo.is_finite() || !hi.is_finite() {
+        return (1, 0);
+    }
+    let first = ((lo - z0) / h).floor() - 1.0;
+    let last = ((hi - z0) / h).ceil() + 1.0;
+    if last < 0.0 || first >= n_layers as f64 {
+        return (1, 0);
+    }
+    let first = first.max(0.0) as usize;
+    let last = (last.min((n_layers - 1) as f64)).max(0.0) as usize;
+    (first, last)
 }
 
 /// Collects oriented intersection segments of a mesh with the plane `z`.
@@ -198,29 +352,52 @@ pub fn try_slice_shells(shells: &[TriMesh], layer_height: f64) -> Result<SlicedM
 fn collect_segments(mesh: &TriMesh, z: f64) -> Vec<(Point2, Point2)> {
     let mut segs = Vec::new();
     for tri in mesh.triangles() {
-        let Some((p, q)) = tri.intersect_z_plane(z) else { continue };
-        let Some(n) = tri.normal() else { continue };
-        let tangent = Vec2::new(-n.y, n.x);
-        let (a, b) = (p.to_2d(), q.to_2d());
-        if (b - a).dot(tangent) >= 0.0 {
-            segs.push((a, b));
-        } else {
-            segs.push((b, a));
-        }
+        push_oriented_segment(&tri, z, &mut segs);
     }
     segs
 }
 
+/// [`collect_segments`] restricted to a candidate triangle list (ascending
+/// index order, so the segment order matches the full scan).
+fn collect_segments_indexed(mesh: &TriMesh, candidates: &[u32], z: f64) -> Vec<(Point2, Point2)> {
+    let mut segs = Vec::new();
+    for &t in candidates {
+        push_oriented_segment(&mesh.triangle(t as usize), z, &mut segs);
+    }
+    segs
+}
+
+fn push_oriented_segment(tri: &am_geom::Triangle3, z: f64, segs: &mut Vec<(Point2, Point2)>) {
+    let Some((p, q)) = tri.intersect_z_plane(z) else { return };
+    let Some(n) = tri.normal() else { return };
+    let tangent = Vec2::new(-n.y, n.x);
+    let (a, b) = (p.to_2d(), q.to_2d());
+    if (b - a).dot(tangent) >= 0.0 {
+        segs.push((a, b));
+    } else {
+        segs.push((b, a));
+    }
+}
+
 /// Chains directed segments into closed loops (and leftover open paths).
+///
+/// Endpoints are indexed in a quantized hash map; each bucket keeps a
+/// monotone cursor over its candidate list (candidates are only ever
+/// consumed, never released), so the whole assembly is O(n) — the old
+/// per-lookup `find(|i| !used[i])` rescanned consumed candidates and went
+/// quadratic on layers where many segments share a quantized endpoint.
 fn assemble(segs: Vec<(Point2, Point2)>, body: usize, layer: &mut Layer) {
     const QUANTUM: f64 = 1e-6;
     let key = |p: Point2| -> (i64, i64) {
         ((p.x / QUANTUM).round() as i64, (p.y / QUANTUM).round() as i64)
     };
 
-    let mut by_start: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+    // Value = (cursor, candidate segment indices in insertion order). The
+    // cursor never passes an unused candidate, so "first unused in
+    // insertion order" semantics are preserved exactly.
+    let mut by_start: HashMap<(i64, i64), (usize, Vec<usize>)> = HashMap::new();
     for (i, s) in segs.iter().enumerate() {
-        by_start.entry(key(s.0)).or_default().push(i);
+        by_start.entry(key(s.0)).or_default().1.push(i);
     }
     let mut used = vec![false; segs.len()];
 
@@ -239,9 +416,12 @@ fn assemble(segs: Vec<(Point2, Point2)>, body: usize, layer: &mut Layer) {
                 closed = true;
                 break;
             }
-            let next = by_start
-                .get(&tail_key)
-                .and_then(|cands| cands.iter().copied().find(|&i| !used[i]));
+            let next = by_start.get_mut(&tail_key).and_then(|(cursor, cands)| {
+                while *cursor < cands.len() && used[cands[*cursor]] {
+                    *cursor += 1;
+                }
+                cands.get(*cursor).copied()
+            });
             match next {
                 Some(i) => {
                     used[i] = true;
@@ -408,6 +588,46 @@ mod tests {
             let sliced = slice_part(&part, res, 0.1778);
             let open: usize = sliced.layers.iter().map(|l| l.open_paths.len()).sum();
             assert_eq!(open, 0, "{res}");
+        }
+    }
+
+    #[test]
+    fn sweep_matches_scan_bit_for_bit() {
+        // Regression pin: layer bucketing must reproduce the legacy
+        // per-layer full-mesh scan exactly — same layers, same contours,
+        // same floats — across parts, resolutions, and orientations.
+        let prism = intact_prism(&PrismDims::default()).resolve().unwrap();
+        let bar = tensile_bar_with_spline(&TensileBarDims::default())
+            .unwrap()
+            .resolve()
+            .unwrap();
+        for part in [&prism, &bar] {
+            for res in [Resolution::Coarse, Resolution::Fine] {
+                let shells = tessellate_shells(part, &res.params());
+                for orientation in [Orientation::Xy, Orientation::Xz] {
+                    let oriented = crate::orient_shells(&shells, orientation);
+                    for h in [0.1778, 0.33] {
+                        let scan = slice_shells_scan(&oriented, h).unwrap();
+                        let sweep = try_slice_shells(&oriented, h).unwrap();
+                        assert_eq!(scan, sweep, "{res} {orientation:?} h={h}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_slice_is_bit_identical_to_serial() {
+        let part = tensile_bar_with_spline(&TensileBarDims::default())
+            .unwrap()
+            .resolve()
+            .unwrap();
+        let shells = tessellate_shells(&part, &Resolution::Fine.params());
+        let serial = try_slice_shells_with(&shells, 0.1778, Parallelism::serial()).unwrap();
+        for threads in [2, 8] {
+            let par =
+                try_slice_shells_with(&shells, 0.1778, Parallelism::threads(threads)).unwrap();
+            assert_eq!(serial, par, "threads = {threads}");
         }
     }
 

@@ -121,6 +121,44 @@ proptest! {
             sliced.volume_estimate()
         );
     }
+
+    /// PR 2 determinism property: on random sphere-cavity prisms, the
+    /// z-interval sweep must reproduce the per-layer scan **bit for bit**
+    /// at every thread count — the whole performance rewrite is gated on
+    /// parallel output being indistinguishable from the serial baseline.
+    #[test]
+    fn sweep_matches_scan_on_random_prisms(
+        (sx, sy, sz) in (12.0..30.0f64, 6.0..15.0f64, 6.0..15.0f64),
+        radius in 1.5..2.8f64,
+        layer_height in 0.3..0.8f64,
+        orient_idx in 0..2usize,
+    ) {
+        use am_cad::parts::{prism_with_sphere, PrismDims};
+        use am_cad::{BodyKind, MaterialRemoval};
+        use am_geom::Point3;
+        use am_slicer::{orient_shells, slice_shells_scan, try_slice_shells_with, Orientation};
+
+        let dims = PrismDims { size: Point3::new(sx, sy, sz), sphere_radius: radius };
+        let part = prism_with_sphere(&dims, BodyKind::Solid, MaterialRemoval::Without)
+            .unwrap()
+            .resolve()
+            .unwrap();
+        let shells = am_mesh::tessellate_shells(&part, &am_mesh::Resolution::Fine.params());
+        let orientation = [Orientation::Xy, Orientation::Xz][orient_idx];
+        let oriented = orient_shells(&shells, orientation);
+
+        let scan = slice_shells_scan(&oriented, layer_height).unwrap();
+        for threads in [1usize, 2, 8] {
+            let sweep =
+                try_slice_shells_with(&oriented, layer_height, am_par::Parallelism::threads(threads))
+                    .unwrap();
+            prop_assert!(
+                scan == sweep,
+                "sweep (threads={}) diverged from scan on {}x{}x{} r={} h={}",
+                threads, sx, sy, sz, radius, layer_height
+            );
+        }
+    }
 }
 
 #[test]

@@ -1,0 +1,407 @@
+//! Vendored scoped thread pool for the ObfusCADe workspace.
+//!
+//! The build environment has no registry access (see `vendor/rand`), so the
+//! workspace vendors its own minimal data-parallelism layer instead of
+//! pulling in `rayon`. The design goals, in priority order:
+//!
+//! 1. **Determinism** — every combinator returns results in input-index
+//!    order, and callers are expected to keep all floating-point reduction
+//!    orders independent of the thread count. The hot kernels built on this
+//!    crate (slicer, printer, FEA) are tested to be *bit-identical* across
+//!    thread counts, which is what the fault-injection and fingerprint
+//!    subsystems rely on.
+//! 2. **Safety** — no `unsafe`. Work distribution uses chunked
+//!    self-scheduling: idle workers steal the next unclaimed chunk of the
+//!    index space from a shared atomic cursor, so load imbalance (layers
+//!    near a part's ends slice faster than mid-part layers) evens out
+//!    without per-item synchronization.
+//! 3. **Zero cost when serial** — with [`Parallelism::serial`] every
+//!    combinator runs inline on the caller's stack: no threads, no atomics,
+//!    no allocation beyond the output. `threads = 1` therefore recovers the
+//!    exact serial code path.
+//!
+//! Threads are scoped (`std::thread::scope`) rather than persistent: the
+//! workspace's parallel sections are coarse (a whole layer stack, a whole
+//! relaxation solve), so spawn cost is negligible and borrowed inputs need
+//! no `'static` gymnastics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How many worker threads a parallel section may use.
+///
+/// The value is always at least 1. [`Parallelism::auto`] consults the
+/// `AM_PAR_THREADS` environment variable first (so operators can pin the
+/// fleet-wide thread budget centrally) and falls back to the machine's
+/// available parallelism.
+///
+/// # Examples
+///
+/// ```
+/// use am_par::Parallelism;
+///
+/// assert_eq!(Parallelism::serial().thread_count(), 1);
+/// assert_eq!(Parallelism::threads(4).thread_count(), 4);
+/// assert_eq!(Parallelism::threads(0).thread_count(), 1); // clamped
+/// assert!(Parallelism::auto().thread_count() >= 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Parallelism {
+    threads: usize,
+}
+
+impl Parallelism {
+    /// Exactly one thread: every combinator runs inline on the caller.
+    pub const fn serial() -> Self {
+        Parallelism { threads: 1 }
+    }
+
+    /// Exactly `n` threads (clamped to at least 1).
+    pub const fn threads(n: usize) -> Self {
+        Parallelism { threads: if n == 0 { 1 } else { n } }
+    }
+
+    /// `AM_PAR_THREADS` if set and positive, else the machine's available
+    /// parallelism, else 1.
+    pub fn auto() -> Self {
+        if let Ok(v) = std::env::var("AM_PAR_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return Parallelism::threads(n);
+                }
+            }
+        }
+        let n = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Parallelism::threads(n)
+    }
+
+    /// The thread budget (≥ 1).
+    pub const fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    /// `true` if the budget is a single thread.
+    pub const fn is_serial(&self) -> bool {
+        self.threads == 1
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::auto()
+    }
+}
+
+impl std::fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} thread{}", self.threads, if self.threads == 1 { "" } else { "s" })
+    }
+}
+
+/// Splits `len` items into `parts` contiguous near-equal ranges.
+///
+/// The partition depends only on `len` and `parts` — callers that need a
+/// thread-count-*independent* reduction order should pass a fixed `parts`
+/// rather than the pool width. Empty ranges are omitted.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(am_par::chunk_ranges(10, 3), vec![(0, 4), (4, 7), (7, 10)]);
+/// assert_eq!(am_par::chunk_ranges(2, 4), vec![(0, 1), (1, 2)]);
+/// assert_eq!(am_par::chunk_ranges(0, 4), Vec::<(usize, usize)>::new());
+/// ```
+pub fn chunk_ranges(len: usize, parts: usize) -> Vec<(usize, usize)> {
+    let parts = parts.max(1);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts.min(len));
+    let mut start = 0;
+    for p in 0..parts {
+        let size = base + usize::from(p < extra);
+        if size == 0 {
+            continue;
+        }
+        out.push((start, start + size));
+        start += size;
+    }
+    out
+}
+
+/// A scoped thread pool with a fixed thread budget.
+///
+/// All combinators return results in input-index order regardless of which
+/// worker computed them.
+///
+/// # Examples
+///
+/// ```
+/// use am_par::{Parallelism, Pool};
+///
+/// let pool = Pool::new(Parallelism::threads(4));
+/// let squares = pool.par_map(&[1, 2, 3, 4, 5], |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    parallelism: Parallelism,
+}
+
+impl Pool {
+    /// A pool with the given thread budget.
+    pub const fn new(parallelism: Parallelism) -> Self {
+        Pool { parallelism }
+    }
+
+    /// The pool's thread budget.
+    pub const fn thread_count(&self) -> usize {
+        self.parallelism.thread_count()
+    }
+
+    /// The pool's [`Parallelism`].
+    pub const fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// Applies `f` to every item, returning results in input order.
+    ///
+    /// Work is distributed in chunks claimed from a shared cursor, so a
+    /// slow item only delays its own chunk.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.thread_count().min(n.max(1));
+        if workers <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let chunk = chunk_size(n, workers);
+        let cursor = AtomicUsize::new(0);
+        let collected: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut out: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= n {
+                                break;
+                            }
+                            let end = (start + chunk).min(n);
+                            for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                                out.push((i, f(item)));
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("am-par worker panicked"))
+                .collect()
+        });
+        reorder(n, collected)
+    }
+
+    /// Applies `f` to every owned item (consuming the input), returning
+    /// results in input order. Use this when the work items carry `&mut`
+    /// borrows (e.g. disjoint voxel-layer slices).
+    pub fn par_consume<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.thread_count().min(n.max(1));
+        if workers <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let cells: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let chunk = chunk_size(n, workers);
+        let cursor = AtomicUsize::new(0);
+        let collected: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut out: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= n {
+                                break;
+                            }
+                            let end = (start + chunk).min(n);
+                            for (i, cell) in cells.iter().enumerate().take(end).skip(start) {
+                                let item = cell
+                                    .lock()
+                                    .expect("am-par cell poisoned")
+                                    .take()
+                                    .expect("am-par item claimed twice");
+                                out.push((i, f(item)));
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("am-par worker panicked"))
+                .collect()
+        });
+        reorder(n, collected)
+    }
+
+    /// Applies `f` to contiguous chunks of `chunk_len` items; `f` receives
+    /// `(chunk_index, slice)`. Results come back in chunk order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len` is zero.
+    pub fn par_chunks<T, R, F>(&self, items: &[T], chunk_len: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+    {
+        assert!(chunk_len > 0, "chunk_len must be positive");
+        let chunks: Vec<(usize, &[T])> = items.chunks(chunk_len).enumerate().collect();
+        self.par_map(&chunks, |&(i, slice)| f(i, slice))
+    }
+
+    /// Runs `f(worker_index)` once per pool thread, concurrently.
+    ///
+    /// Worker 0 runs on the calling thread, so a serial pool never spawns.
+    /// This is the building block for phased solvers that coordinate with
+    /// barriers (see the FEA crate): every worker reaches the same barriers
+    /// in the same order.
+    pub fn broadcast<F>(&self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let workers = self.thread_count();
+        if workers <= 1 {
+            f(0);
+            return;
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                (1..workers).map(|w| scope.spawn(move || f(w))).collect();
+            f(0);
+            for h in handles {
+                h.join().expect("am-par worker panicked");
+            }
+        });
+    }
+}
+
+/// Chunk size targeting ~4 chunks per worker so stealing can balance load.
+fn chunk_size(n: usize, workers: usize) -> usize {
+    (n / (workers * 4)).max(1)
+}
+
+/// Places `(index, value)` pairs into a dense vec, restoring input order.
+fn reorder<R>(n: usize, collected: Vec<Vec<(usize, R)>>) -> Vec<R> {
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    for pairs in collected {
+        for (i, r) in pairs {
+            slots[i] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("am-par result missing"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order_across_thread_counts() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8] {
+            let pool = Pool::new(Parallelism::threads(threads));
+            assert_eq!(pool.par_map(&items, |&x| x * 3 + 1), expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_consume_moves_items_once() {
+        let items: Vec<String> = (0..100).map(|i| format!("item-{i}")).collect();
+        let pool = Pool::new(Parallelism::threads(4));
+        let lens = pool.par_consume(items, |s| s.len());
+        assert_eq!(lens.len(), 100);
+        assert_eq!(lens[0], 6);
+        assert_eq!(lens[99], 7);
+    }
+
+    #[test]
+    fn par_chunks_covers_every_item_in_order() {
+        let items: Vec<usize> = (0..97).collect();
+        let pool = Pool::new(Parallelism::threads(3));
+        let sums = pool.par_chunks(&items, 10, |i, chunk| (i, chunk.iter().sum::<usize>()));
+        assert_eq!(sums.len(), 10);
+        assert_eq!(sums[0], (0, 45));
+        let total: usize = sums.iter().map(|&(_, s)| s).sum();
+        assert_eq!(total, 97 * 96 / 2);
+    }
+
+    #[test]
+    fn broadcast_runs_every_worker_exactly_once() {
+        let pool = Pool::new(Parallelism::threads(5));
+        let hits: Vec<AtomicUsize> = (0..5).map(|_| AtomicUsize::new(0)).collect();
+        pool.broadcast(|w| {
+            hits[w].fetch_add(1, Ordering::Relaxed);
+        });
+        for (w, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "worker {w}");
+        }
+    }
+
+    #[test]
+    fn serial_pool_runs_inline() {
+        let pool = Pool::new(Parallelism::serial());
+        let caller = std::thread::current().id();
+        let ids = pool.par_map(&[(), (), ()], |_| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == caller));
+    }
+
+    #[test]
+    fn chunk_ranges_partition_exactly() {
+        for len in [0usize, 1, 2, 7, 100, 101] {
+            for parts in [1usize, 2, 3, 8, 200] {
+                let ranges = chunk_ranges(len, parts);
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for &(s, e) in &ranges {
+                    assert_eq!(s, prev_end);
+                    assert!(e > s);
+                    covered += e - s;
+                    prev_end = e;
+                }
+                assert_eq!(covered, len, "len {len} parts {parts}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let pool = Pool::new(Parallelism::threads(8));
+        let out: Vec<u32> = pool.par_map(&[] as &[u32], |&x| x);
+        assert!(out.is_empty());
+        let out: Vec<u32> = pool.par_consume(Vec::<u32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+}
