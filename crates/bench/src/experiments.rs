@@ -2,24 +2,43 @@
 //! toolchain, and renders the rows the paper reports.
 
 use std::fmt::Write as _;
+use std::sync::OnceLock;
 
 use am_cad::parts::{
     prism_with_sphere, standard_split_spline, tensile_bar, tensile_bar_with_spline, PrismDims,
     TensileBarDims,
 };
-use am_cad::{cad_file_size, BodyKind, MaterialRemoval};
+use am_cad::{cad_file_size, BodyKind, MaterialRemoval, Part};
 use am_fea::{Stat, TensileResult, TensileSummary};
 use am_mesh::{seam_report, tessellate_part, Resolution};
+use am_par::Parallelism;
 use am_printer::Material;
 use am_sidechannel::{
     compare_toolpaths, record_emissions, reconstruct_toolpath, CaptureQuality,
 };
 use am_slicer::Orientation;
 use obfuscade::{
-    assess_quality, repair_attack, run_pipeline, search_sphere_scheme, Authenticity,
-    CadRecipe, EmbeddedSphereScheme, ProcessPlan, QualityThresholds, SplineSplitScheme,
-    Verdict,
+    assess_quality, repair_attack, run_pipeline_batch_with, run_pipeline_cached,
+    run_pipeline_jobs, search_sphere_scheme, Authenticity, BatchJob, CadRecipe,
+    EmbeddedSphereScheme, FaultPlan, PipelineError, PipelineOutput, ProcessPlan,
+    QualityThresholds, SplineSplitScheme, StageCache, Verdict,
 };
+
+/// The process-wide stage cache every experiment section shares: the same
+/// parts and plans recur across sections (the spline bar at each
+/// resolution, the sphere prism under the genuine recipe, …), so later
+/// sections find their stage prefixes already hot. The bench harness
+/// clears it between timed suite runs so cross-run reuse never flatters a
+/// timing.
+pub fn experiment_cache() -> &'static StageCache {
+    static CACHE: OnceLock<StageCache> = OnceLock::new();
+    CACHE.get_or_init(StageCache::default)
+}
+
+/// A clean (fault-free) pipeline run served from [`experiment_cache`].
+fn run_pipeline(part: &Part, plan: &ProcessPlan) -> Result<PipelineOutput, PipelineError> {
+    run_pipeline_cached(part, plan, &FaultPlan::none(), experiment_cache())
+}
 
 /// Fig. 3 — the artifact stages: one part walked through the whole chain,
 /// reporting each intermediate representation's vital signs.
@@ -132,23 +151,34 @@ pub fn fig7_slicing() -> String {
         "{:<8} {:<6} {:>14} {:>12} {:>12} {:>16}",
         "STL", "orient", "discontinuity", "disc layers", "void cells", "seam shift mm/ly"
     );
+    let mut plans = Vec::new();
     for res in Resolution::ALL {
         for orientation in Orientation::ALL {
-            let plan = ProcessPlan::fdm(res, orientation);
-            let output = run_pipeline(&part, &plan).expect("pipeline");
-            let r = &output.slice_report;
-            let shift = r.seam.as_ref().map_or(0.0, |s| s.mean_shift);
-            let _ = writeln!(
-                out,
-                "{:<8} {:<6} {:>14} {:>12} {:>12} {:>16.3}",
-                res.to_string(),
-                orientation.to_string(),
-                if r.has_discontinuity() { "YES" } else { "no" },
-                r.discontinuous_layers,
-                r.internal_void_cells,
-                shift
-            );
+            plans.push(ProcessPlan::fdm(res, orientation));
         }
+    }
+    // One batch: the three meshes are shared across both orientations.
+    let outputs = run_pipeline_batch_with(
+        &part,
+        &plans,
+        &FaultPlan::none(),
+        experiment_cache(),
+        Parallelism::auto(),
+    );
+    for (plan, output) in plans.iter().zip(outputs) {
+        let output = output.expect("pipeline");
+        let r = &output.slice_report;
+        let shift = r.seam.as_ref().map_or(0.0, |s| s.mean_shift);
+        let _ = writeln!(
+            out,
+            "{:<8} {:<6} {:>14} {:>12} {:>12} {:>16.3}",
+            plan.resolution.to_string(),
+            plan.orientation.to_string(),
+            if r.has_discontinuity() { "YES" } else { "no" },
+            r.discontinuous_layers,
+            r.internal_void_cells,
+            shift
+        );
     }
     out.push_str(
         "\npaper: discontinuity in x-z at ALL resolutions; none in x-y at any resolution.\n",
@@ -201,10 +231,22 @@ pub fn fig8_surface() -> String {
         "{:<8} {:<6} {:>14} {:>14} {:>10} | {:>14}",
         "STL", "orient", "mismatch mm", "stair mm/ly", "visible", "intact ref"
     );
+    // Both parts × all six plans in one job batch: each part's meshes and
+    // slices are shared across the table rows.
+    let mut jobs = Vec::new();
     for res in Resolution::ALL {
         for orientation in Orientation::ALL {
-            let output = run_pipeline(&part, &ProcessPlan::fdm(res, orientation)).expect("run");
-            let reference = run_pipeline(&intact, &ProcessPlan::fdm(res, orientation)).expect("run");
+            let plan = ProcessPlan::fdm(res, orientation);
+            jobs.push(BatchJob { part: &part, plan: plan.clone(), faults: FaultPlan::none() });
+            jobs.push(BatchJob { part: &intact, plan, faults: FaultPlan::none() });
+        }
+    }
+    let mut results =
+        run_pipeline_jobs(&jobs, experiment_cache(), Parallelism::auto()).into_iter();
+    for res in Resolution::ALL {
+        for orientation in Orientation::ALL {
+            let output = results.next().expect("one result per job").expect("run");
+            let reference = results.next().expect("one result per job").expect("run");
             let mismatch = output.seam.as_ref().map_or(0.0, |s| s.chain_mismatch);
             let stair = output
                 .slice_report
@@ -233,24 +275,35 @@ pub fn fig8_surface() -> String {
 
 /// One Table 2 group: protected/intact × orientation, n seeded replicates.
 ///
-/// Replicates fan out on the shared [`am_par`] pool ([`Parallelism::auto`],
-/// so `AM_PAR_THREADS` configures the budget centrally) instead of spawning
-/// one ad-hoc thread per replicate.
+/// Replicates differ only in the print seed, so the batch engine computes
+/// the mesh/slice/tool-path prefix exactly once and fans the replicates out
+/// on the shared [`am_par`] pool ([`Parallelism::auto`], so
+/// `AM_PAR_THREADS` configures the budget centrally) for the print + FEA
+/// suffix only.
 fn tensile_group(split: bool, orientation: Orientation, replicates: usize) -> TensileSummary {
     let dims = TensileBarDims::default();
-    let seeds: Vec<u64> = (0..replicates as u64).map(|i| 100 + i).collect();
-    let pool = am_par::Pool::new(am_par::Parallelism::auto());
-    let results: Vec<TensileResult> = pool.par_map(&seeds, |&seed| {
-        let part = if split {
-            tensile_bar_with_spline(&dims).expect("bar")
-        } else {
-            tensile_bar(&dims).expect("bar")
-        };
-        let plan = ProcessPlan::fdm(Resolution::Coarse, orientation)
-            .with_seed(seed)
-            .with_tensile(true);
-        run_pipeline(&part, &plan).expect("pipeline").tensile.expect("tensile requested")
-    });
+    let part = if split {
+        tensile_bar_with_spline(&dims).expect("bar")
+    } else {
+        tensile_bar(&dims).expect("bar")
+    };
+    let plans: Vec<ProcessPlan> = (0..replicates as u64)
+        .map(|i| {
+            ProcessPlan::fdm(Resolution::Coarse, orientation)
+                .with_seed(100 + i)
+                .with_tensile(true)
+        })
+        .collect();
+    let results: Vec<TensileResult> = run_pipeline_batch_with(
+        &part,
+        &plans,
+        &FaultPlan::none(),
+        experiment_cache(),
+        Parallelism::auto(),
+    )
+    .into_iter()
+    .map(|r| r.expect("pipeline").tensile.expect("tensile requested"))
+    .collect();
     TensileSummary::from_results(&results)
 }
 
@@ -363,10 +416,18 @@ pub fn table3_printing() -> String {
         "{:<38} {:>10} {:>10} | {:>12} {:>14} | {:>14}",
         "CAD recipe", "CAD bytes", "STL bytes", "centre", "void mm³", "authenticity"
     );
-    for recipe in CadRecipe::ALL {
-        let part = scheme.part_for_recipe(recipe).expect("recipe part");
-        let plan = ProcessPlan::fdm(Resolution::Fine, Orientation::Xy);
-        let output = run_pipeline(&part, &plan).expect("pipeline");
+    let parts: Vec<(CadRecipe, Part)> = CadRecipe::ALL
+        .into_iter()
+        .map(|recipe| (recipe, scheme.part_for_recipe(recipe).expect("recipe part")))
+        .collect();
+    let plan = ProcessPlan::fdm(Resolution::Fine, Orientation::Xy);
+    let jobs: Vec<BatchJob> = parts
+        .iter()
+        .map(|(_, part)| BatchJob { part, plan: plan.clone(), faults: FaultPlan::none() })
+        .collect();
+    let outputs = run_pipeline_jobs(&jobs, experiment_cache(), Parallelism::auto());
+    for ((recipe, part), output) in parts.iter().zip(outputs) {
+        let output = output.expect("pipeline");
         let center = dims.size * 0.5;
         let material = output.printed.material_at_model(center);
         let auth = scheme.authenticate(&output.scan);
@@ -374,7 +435,7 @@ pub fn table3_printing() -> String {
             out,
             "{:<38} {:>10} {:>10} | {:>12} {:>14.1} | {:>14}",
             recipe.to_string(),
-            cad_file_size(&part),
+            cad_file_size(part),
             output.stl_bytes,
             // After dissolution the support-filled sphere reads as empty.
             match material {
@@ -485,23 +546,34 @@ pub fn ablation_keyspace() -> String {
     let protected = scheme.protected_part().expect("part");
     let mut good = 0usize;
     let mut total = 0usize;
+    let mut trial_plans = Vec::new();
     for resolution in Resolution::ALL {
         for orientation in Orientation::ALL {
-            let plan = ProcessPlan::fdm(resolution, orientation).with_seed(33).with_tensile(true);
-            let output = run_pipeline(&protected, &plan).expect("pipeline");
-            let report = assess_quality(&output, &reference, &thresholds);
-            let _ = writeln!(
-                out,
-                "  {:<8} {:<6} → {:<10} {}",
-                resolution.to_string(),
-                orientation.to_string(),
-                report.verdict.to_string(),
-                report.findings.first().map(String::as_str).unwrap_or("")
-            );
-            total += 1;
-            if report.verdict == Verdict::Good {
-                good += 1;
-            }
+            trial_plans
+                .push(ProcessPlan::fdm(resolution, orientation).with_seed(33).with_tensile(true));
+        }
+    }
+    let trial_outputs = run_pipeline_batch_with(
+        &protected,
+        &trial_plans,
+        &FaultPlan::none(),
+        experiment_cache(),
+        Parallelism::auto(),
+    );
+    for (plan, output) in trial_plans.iter().zip(trial_outputs) {
+        let output = output.expect("pipeline");
+        let report = assess_quality(&output, &reference, &thresholds);
+        let _ = writeln!(
+            out,
+            "  {:<8} {:<6} → {:<10} {}",
+            plan.resolution.to_string(),
+            plan.orientation.to_string(),
+            report.verdict.to_string(),
+            report.findings.first().map(String::as_str).unwrap_or("")
+        );
+        total += 1;
+        if report.verdict == Verdict::Good {
+            good += 1;
         }
     }
     let rate = 100.0 * good as f64 / total as f64;
@@ -532,15 +604,30 @@ pub fn ablation_multikey() -> String {
     for n in 1..=3usize {
         let scheme = MultiSphereScheme::new(n).expect("scheme");
         let genuine = scheme.part_for_recipes(&scheme.genuine_recipes()).expect("part");
-        let output = run_pipeline(&genuine, &plan).expect("pipeline");
-        let genuine_ok = scheme.authenticate(&output.scan) == Authenticity::Genuine;
-        // Empirical counterfeiter success over 8 random recipe guesses.
+        // Empirical counterfeiter success over 8 random recipe guesses; the
+        // genuine print and all guesses go through one job batch (random
+        // guesses often repeat a recipe, so their prefixes alias).
         let trials = 8;
+        let guesses: Vec<Part> = (0..trials)
+            .map(|seed| {
+                let recipes = scheme.random_recipes(seed as u64 * 7 + 1);
+                scheme.part_for_recipes(&recipes).expect("part")
+            })
+            .collect();
+        let mut jobs =
+            vec![BatchJob { part: &genuine, plan: plan.clone(), faults: FaultPlan::none() }];
+        jobs.extend(
+            guesses
+                .iter()
+                .map(|part| BatchJob { part, plan: plan.clone(), faults: FaultPlan::none() }),
+        );
+        let mut results =
+            run_pipeline_jobs(&jobs, experiment_cache(), Parallelism::auto()).into_iter();
+        let output = results.next().expect("one result per job").expect("pipeline");
+        let genuine_ok = scheme.authenticate(&output.scan) == Authenticity::Genuine;
         let mut wins = 0;
-        for seed in 0..trials {
-            let recipes = scheme.random_recipes(seed as u64 * 7 + 1);
-            let part = scheme.part_for_recipes(&recipes).expect("part");
-            let output = run_pipeline(&part, &plan).expect("pipeline");
+        for result in results {
+            let output = result.expect("pipeline");
             if scheme.authenticate(&output.scan) == Authenticity::Genuine {
                 wins += 1;
             }

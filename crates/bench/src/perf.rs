@@ -1,4 +1,5 @@
-//! Benchmark harness for the performance kernels (PR 2).
+//! Benchmark harness for the performance kernels (PR 2) and the
+//! shared-prefix sweep engine (PR 3).
 //!
 //! Measures the three rewritten hot kernels — slicing, deposition, FEA
 //! relaxation — plus the end-to-end experiment suite, each as *reference
@@ -7,26 +8,34 @@
 //! [`obfuscade::KernelMode::Reference`]; the optimized kernels are the
 //! interval-sweep slicer, the layer-partitioned stamper, and the SoA
 //! gather-based relaxation solver, run at the configured thread budget.
+//! The `sweep` row benchmarks the content-addressed stage cache: the full
+//! `ProcessKey::key_space()` with seed replicates, cold per-key
+//! `run_pipeline` vs [`obfuscade::sweep_key_space`] over one
+//! [`StageCache`].
 //!
 //! The report is rendered both as a human-readable table and as a small
 //! hand-rolled JSON document (`BENCH_*.json`); [`validate_report_json`]
-//! parses the JSON back and checks the schema, so CI can verify the
-//! emitted file without a JSON dependency.
+//! parses the JSON back and checks the schema (including the cache
+//! counters, schema `obfuscade-bench/v2`), so CI can verify the emitted
+//! file without a JSON dependency.
 
 use std::time::Instant;
 
 use am_cad::parts::{prism_with_sphere, tensile_bar_with_spline, PrismDims, TensileBarDims};
 use am_cad::{BodyKind, MaterialRemoval};
 use am_fea::{run_tensile_test_reference, run_tensile_test_with, Lattice, TensileConfig};
-use am_geom::{Transform3, Vec3};
+use am_geom::{Point3, Transform3, Vec3};
 use am_mesh::{tessellate_shells, Resolution};
 use am_printer::{PrintedPart, PrinterProfile};
 use am_slicer::{
     build_transform, generate_toolpath, orient_shells, slice_shells_scan, try_slice_shells_with,
-    Orientation, SlicedModel, ToolPath,
+    Orientation, SlicedModel, SlicerConfig, ToolPath,
 };
 use am_par::Parallelism;
-use obfuscade::{set_kernel_mode, KernelMode, ProcessPlan};
+use obfuscade::{
+    run_pipeline, set_kernel_mode, sweep_key_space, CacheStats, CadRecipe, KernelMode,
+    PipelineError, PipelineOutput, ProcessKey, ProcessPlan, StageCache,
+};
 use std::fmt::Write as _;
 
 /// What to benchmark and how hard.
@@ -43,7 +52,11 @@ pub struct BenchConfig {
 
 impl Default for BenchConfig {
     fn default() -> Self {
-        BenchConfig { smoke: false, threads: 4, replicates: 2 }
+        // Match the hardware: running the parallel paths with more threads
+        // than cores only adds scheduling overhead (and on a single-core
+        // CI box it can push a committed speedup below 1.0x).
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        BenchConfig { smoke: false, threads, replicates: 2 }
     }
 }
 
@@ -78,9 +91,15 @@ pub struct BenchReport {
     pub config: BenchConfig,
     /// One row per benchmarked kernel.
     pub kernels: Vec<KernelResult>,
+    /// Stage-cache hits during the sweep benchmark (0 when it didn't run).
+    pub cache_hits: u64,
+    /// Stage-cache misses during the sweep benchmark.
+    pub cache_misses: u64,
+    /// Stage-cache evictions during the sweep benchmark.
+    pub evictions: u64,
 }
 
-const SCHEMA: &str = "obfuscade-bench/v1";
+const SCHEMA: &str = "obfuscade-bench/v2";
 
 impl BenchReport {
     /// Renders the human-readable results table.
@@ -102,6 +121,17 @@ impl BenchReport {
                 k.threads
             );
         }
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups > 0 {
+            let _ = writeln!(
+                out,
+                "\nstage cache (sweep): {} hits / {} lookups ({:.0}% hit rate), {} evictions",
+                self.cache_hits,
+                lookups,
+                100.0 * self.cache_hits as f64 / lookups as f64,
+                self.evictions
+            );
+        }
         out.push_str(
             "\nbaselines are the original seed implementations (KernelMode::Reference);\n\
              parallel output is asserted bit-identical to serial by the test suite.\n",
@@ -115,6 +145,9 @@ impl BenchReport {
         let _ = writeln!(out, "  \"schema\": {},", json_string(SCHEMA));
         let _ = writeln!(out, "  \"smoke\": {},", self.config.smoke);
         let _ = writeln!(out, "  \"threads\": {},", self.config.threads);
+        let _ = writeln!(out, "  \"cache_hits\": {},", self.cache_hits);
+        let _ = writeln!(out, "  \"cache_misses\": {},", self.cache_misses);
+        let _ = writeln!(out, "  \"evictions\": {},", self.evictions);
         let _ = writeln!(
             out,
             "  \"determinism\": {},",
@@ -370,6 +403,16 @@ pub fn validate_report_json(text: &str) -> Result<Vec<(String, f64)>, String> {
     if threads < 1.0 {
         return Err(format!("bad thread count {threads}"));
     }
+    // v2: the stage-cache counters are mandatory non-negative integers.
+    for field in ["cache_hits", "cache_misses", "evictions"] {
+        let v = doc
+            .get(field)
+            .and_then(Json::as_number)
+            .ok_or_else(|| format!("missing numeric '{field}'"))?;
+        if v < 0.0 || v.fract() != 0.0 {
+            return Err(format!("bad '{field}' counter: {v}"));
+        }
+    }
     let kernels = match doc.get("kernels") {
         Some(Json::Array(items)) if !items.is_empty() => items,
         _ => return Err("missing or empty 'kernels' array".to_string()),
@@ -517,7 +560,9 @@ fn bench_slicing(w: &Workload, config: &BenchConfig) -> KernelResult {
 }
 
 fn bench_printing(w: &Workload, config: &BenchConfig) -> KernelResult {
-    let iters = if config.smoke { 1 } else { 3 };
+    // The deposition pass is only ~10 ms at the bench workload, so a
+    // best-of-9 keeps scheduler noise out of the committed speedup.
+    let iters = if config.smoke { 1 } else { 9 };
     let (baseline_ms, reference) = time_best(iters, || {
         PrintedPart::try_from_toolpath_reference(&w.toolpath, &w.profile, w.to_build, 7)
             .expect("print")
@@ -540,7 +585,7 @@ fn bench_printing(w: &Workload, config: &BenchConfig) -> KernelResult {
         name: "printing".to_string(),
         baseline: "road-at-a-time whole-grid stamping (serial)".to_string(),
         optimized: format!(
-            "AABB-rowed squared-distance stamping, layer-partitioned, {} thread(s)",
+            "slab-clipped squared-distance stamping, layer-chunked, {} thread(s)",
             config.threads
         ),
         threads: config.threads,
@@ -552,11 +597,15 @@ fn bench_printing(w: &Workload, config: &BenchConfig) -> KernelResult {
 fn bench_fea(w: &Workload, config: &BenchConfig) -> KernelResult {
     let tc = tensile_config(config.smoke);
     let pristine = Lattice::from_printed(&w.printed, &tc, 7);
-    let (baseline_ms, reference) = time_best(1, || {
+    // Seconds-long but convergence-sensitive: a single timing sample has
+    // landed a committed speedup on the wrong side of 1.0x under scheduler
+    // noise, so take best-of-3 like the other kernels.
+    let iters = if config.smoke { 1 } else { 3 };
+    let (baseline_ms, reference) = time_best(iters, || {
         let mut lattice = pristine.clone();
         run_tensile_test_reference(&mut lattice, &tc)
     });
-    let (optimized_ms, optimized) = time_best(1, || {
+    let (optimized_ms, optimized) = time_best(iters, || {
         let mut lattice = pristine.clone();
         run_tensile_test_with(&mut lattice, &tc, Parallelism::threads(config.threads))
     });
@@ -621,11 +670,132 @@ fn run_suite(smoke: bool, replicates: usize) -> usize {
     total
 }
 
+/// Folds the observables that matter (weights, scan volumes, tool-path
+/// lengths, UTS) into an order-sensitive digest, cheaply — full bit-identity
+/// between the sweep engine and cold runs is pinned by the committed
+/// `batch_determinism` test; the bench only cross-checks without paying
+/// for a full `Debug` rendering inside the timed region.
+fn digest_output(digest: &mut u64, result: &Result<PipelineOutput, PipelineError>) {
+    let mut fold = |bits: u64| *digest = digest.rotate_left(7) ^ bits;
+    match result {
+        Ok(o) => {
+            fold(o.printed.weight_g().to_bits());
+            fold(o.scan.internal_void_volume.to_bits());
+            fold(o.scan.cold_joint_area.to_bits());
+            fold(o.mesh_triangles as u64);
+            fold(o.toolpath.model_mm.to_bits());
+            if let Some(t) = &o.tensile {
+                fold(t.uts_mpa.to_bits());
+            }
+        }
+        Err(_) => fold(0xdead),
+    }
+}
+
+/// The PR 3 headline benchmark: the full 24-point [`ProcessKey::key_space`]
+/// swept with seed replicates — cold per-key [`run_pipeline`] calls vs the
+/// shared-prefix batch engine over one [`StageCache`]. On a single-core
+/// box the win is purely algorithmic: each unique mesh prefix is computed
+/// once instead of `2 orientations × replicates` times, and each
+/// slice/tool-path prefix once instead of `replicates` times.
+fn bench_sweep(config: &BenchConfig) -> (KernelResult, CacheStats) {
+    // The sweep specimen: a sphere prism small enough that 24 keys ×
+    // replicates cold runs stay in bench budget. The layer height stays
+    // moderate in both modes: the print stage absorbs the per-plan seed so
+    // it never dedupes, and its cost grows ~1/layer³ — a finer layer would
+    // only dilute the shared-prefix win with unshareable work. The full
+    // run instead adds seed replicates, which multiplies exactly the runs
+    // whose mesh/slice/tool-path prefixes the cache elides.
+    let layer = 0.7;
+    let replicates: u64 = if config.smoke { 2 } else { 4 };
+    let dims = PrismDims { size: Point3::new(18.0, 9.0, 9.0), sphere_radius: 3.0 };
+    let mut base = ProcessPlan::fdm(Resolution::Fine, Orientation::Xy);
+    base.slicer = SlicerConfig {
+        layer_height: layer,
+        road_width: layer,
+        analysis_cell: layer / 2.0,
+        ..SlicerConfig::default()
+    };
+    let keys = ProcessKey::key_space();
+    let part_for = |recipe: CadRecipe| prism_with_sphere(&dims, recipe.body, recipe.removal);
+
+    // Baseline: every (replicate, key) pair runs the pipeline cold.
+    let (baseline_ms, cold_digest) = time_best(1, || {
+        let mut digest = 0u64;
+        for r in 0..replicates {
+            let seeded = base.clone().with_seed(100 + r);
+            for key in &keys {
+                let part = part_for(key.recipe).expect("sweep part");
+                let plan = ProcessPlan {
+                    resolution: key.resolution,
+                    orientation: key.orientation,
+                    ..seeded.clone()
+                };
+                digest_output(&mut digest, &run_pipeline(&part, &plan));
+            }
+        }
+        digest
+    });
+
+    // Optimized: the same (replicate, key) grid through `sweep_key_space`,
+    // all replicates sharing one cache — exactly how a parameter study
+    // would run it.
+    let cache = StageCache::default();
+    let (optimized_ms, swept_digest) = time_best(1, || {
+        cache.clear();
+        let mut digest = 0u64;
+        for r in 0..replicates {
+            let seeded = base.clone().with_seed(100 + r);
+            let swept = sweep_key_space(
+                part_for,
+                &seeded,
+                &keys,
+                &cache,
+                Parallelism::threads(config.threads),
+            );
+            for (_, result) in &swept {
+                digest_output(&mut digest, result);
+            }
+        }
+        digest
+    });
+    assert_eq!(cold_digest, swept_digest, "sweep engine diverged from cold per-key runs");
+
+    let stats = cache.stats();
+    let kernel = KernelResult {
+        name: "sweep".to_string(),
+        baseline: format!(
+            "cold per-key run_pipeline, {} keys x {} seeds",
+            keys.len(),
+            replicates
+        ),
+        optimized: format!(
+            "shared-prefix batch sweep over one StageCache, {} thread(s)",
+            config.threads
+        ),
+        threads: config.threads,
+        baseline_ms,
+        optimized_ms,
+    };
+    (kernel, stats)
+}
+
 fn bench_end_to_end(config: &BenchConfig) -> KernelResult {
+    // Both timed runs start from an empty experiment cache: each side still
+    // benefits from intra-suite prefix sharing (that is the PR 3 change to
+    // the suite itself), but a warm cache from a previous run — or from the
+    // other kernel mode's pass, whose mesh stage is mode-independent —
+    // never flatters a timing.
     set_kernel_mode(KernelMode::Reference);
-    let (baseline_ms, len_ref) = time_best(1, || run_suite(config.smoke, config.replicates));
+    let (baseline_ms, len_ref) = time_best(1, || {
+        crate::experiments::experiment_cache().clear();
+        run_suite(config.smoke, config.replicates)
+    });
     set_kernel_mode(KernelMode::Optimized);
-    let (optimized_ms, len_opt) = time_best(1, || run_suite(config.smoke, config.replicates));
+    let (optimized_ms, len_opt) = time_best(1, || {
+        crate::experiments::experiment_cache().clear();
+        run_suite(config.smoke, config.replicates)
+    });
     // Tensile numbers drift at solver tolerance between kernel modes (see
     // `bench_fea`), so rendered reports can differ by a few characters; a
     // large delta would mean an experiment took a different branch.
@@ -667,10 +837,22 @@ pub fn run_selected_benchmarks(config: &BenchConfig, filter: Option<&str>) -> Be
             kernels.push(bench_fea(&workload, config));
         }
     }
+    let mut cache = CacheStats::default();
+    if wants("sweep") {
+        let (kernel, stats) = bench_sweep(config);
+        kernels.push(kernel);
+        cache = stats;
+    }
     if wants("all_experiments") {
         kernels.push(bench_end_to_end(config));
     }
-    BenchReport { config: *config, kernels }
+    BenchReport {
+        config: *config,
+        kernels,
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+        evictions: cache.evictions,
+    }
 }
 
 #[cfg(test)]
@@ -688,6 +870,9 @@ mod tests {
                 baseline_ms: 120.0,
                 optimized_ms: 30.0,
             }],
+            cache_hits: 132,
+            cache_misses: 36,
+            evictions: 2,
         }
     }
 
@@ -711,6 +896,14 @@ mod tests {
         // Trailing garbage after a valid document.
         let garbage = format!("{} x", sample_report().to_json());
         assert!(validate_report_json(&garbage).is_err());
+        // v2: a v1-style document without cache counters must be rejected.
+        let v1 = sample_report().to_json().replace("  \"cache_hits\": 132,\n", "");
+        assert!(validate_report_json(&v1).is_err());
+        // Counters must be non-negative integers.
+        let frac = sample_report().to_json().replace("\"evictions\": 2", "\"evictions\": 2.5");
+        assert!(validate_report_json(&frac).is_err());
+        let neg = sample_report().to_json().replace("\"evictions\": 2", "\"evictions\": -1");
+        assert!(validate_report_json(&neg).is_err());
     }
 
     #[test]
@@ -732,5 +925,6 @@ mod tests {
         let text = sample_report().render();
         assert!(text.contains("slicing"));
         assert!(text.contains("speedup"));
+        assert!(text.contains("stage cache"), "cache counters missing from render");
     }
 }

@@ -57,13 +57,21 @@ COMMANDS:
     report         regenerate a paper artifact:
                      table1|fig3|fig4|fig5|fig7|fig8|fig9|table2|table3|
                      sidechannel|keyspace|multikey|sparse|repair|auth|all
+    sweep          evaluate the full process-key space (Table 3 recipes ×
+                   resolutions × orientations) through the shared-prefix
+                   batch engine and report each key's printed outcome
+                     [--threads N]              thread budget (default: all cores)
+                     [--seed N]                 process seed (default 1)
+                     [--cache-stats]            print stage-cache counters
     bench          benchmark the reference kernels against the optimized ones
                    and write a BENCH_*.json report
                      [--smoke]                  tiny workloads (CI smoke stage)
-                     [--threads N]              parallel-path thread budget (default 4)
+                     [--threads N]              parallel-path thread budget (default: all cores)
                      [--replicates N]           end-to-end replicates (default 2)
-                     [--only KERNEL]            slicing|printing|fea|all_experiments
-                     [--out FILE.json]          (default BENCH_PR2.json)
+                     [--only KERNEL]            slicing|printing|fea|sweep|all_experiments
+                     [--out FILE.json]          (default BENCH_PR3.json)
+                     [--check FILE.json]        validate an existing report instead of
+                                                benchmarking; fail on any speedup < 1.0
     help           show this text
 ";
 
@@ -461,6 +469,84 @@ pub fn report(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// `obfuscade sweep` — evaluate the full process-key space through the
+/// shared-prefix batch engine.
+///
+/// This is the defender's parameter study: every Table 3 CAD recipe at
+/// every resolution × orientation, one pipeline evaluation per key, with
+/// shared stage prefixes (the same recipe meshed at the same resolution)
+/// computed exactly once via the content-addressed stage cache. With
+/// `--cache-stats` the cache counters are printed so the prefix sharing
+/// is observable.
+pub fn sweep(args: &[String]) -> CliResult {
+    use obfuscade::{sweep_key_space, EmbeddedSphereScheme, ProcessKey, StageCache};
+    let (positional, flags) = parse_flags(args);
+    if let Some(extra) = positional.first() {
+        return Err(format!("unexpected argument `{extra}`"));
+    }
+    let threads: usize = flags
+        .get("threads")
+        .map(|v| v.parse().map_err(|_| format!("bad --threads value `{v}`")))
+        .transpose()?
+        .unwrap_or_else(|| obfuscade_bench::perf::BenchConfig::default().threads)
+        .max(1);
+    let seed: u64 = flags
+        .get("seed")
+        .map(|v| v.parse().map_err(|_| format!("bad --seed value `{v}`")))
+        .transpose()?
+        .unwrap_or(1);
+
+    let scheme = EmbeddedSphereScheme::default();
+    let base = ProcessPlan::fdm(Resolution::Fine, Orientation::Xy).with_seed(seed);
+    let keys = ProcessKey::key_space();
+    let cache = StageCache::default();
+    let start = std::time::Instant::now();
+    let results = sweep_key_space(
+        |recipe| scheme.part_for_recipe(recipe),
+        &base,
+        &keys,
+        &cache,
+        am_par::Parallelism::threads(threads),
+    );
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    println!(
+        "{:<55} {:>10} {:>12} {:>14}",
+        "process key", "weight g", "voids mm³", "authenticity"
+    );
+    for (key, result) in &results {
+        match result {
+            Ok(output) => println!(
+                "{:<55} {:>10.2} {:>12.1} {:>14}",
+                key.to_string(),
+                output.printed.weight_g(),
+                output.scan.internal_void_volume,
+                format!("{:?}", scheme.authenticate(&output.scan)),
+            ),
+            Err(e) => println!("{:<55} failed: {e}", key.to_string()),
+        }
+    }
+    println!("\n{} keys evaluated in {elapsed_ms:.0} ms ({threads} thread(s))", results.len());
+    if flags.contains_key("cache-stats") {
+        let s = cache.stats();
+        println!(
+            "stage cache: {} hits / {} lookups ({:.0}% hit rate), {} insertions, {} evictions",
+            s.hits,
+            s.hits + s.misses,
+            100.0 * s.hit_rate(),
+            s.insertions,
+            s.evictions
+        );
+        println!(
+            "             {} live entries, {:.1} MiB of {:.0} MiB budget",
+            s.entries,
+            s.bytes as f64 / (1024.0 * 1024.0),
+            s.budget as f64 / (1024.0 * 1024.0)
+        );
+    }
+    Ok(())
+}
+
 /// `obfuscade bench` — time the reference kernels against the optimized
 /// kernels and emit a validated JSON report.
 pub fn bench(args: &[String]) -> CliResult {
@@ -468,6 +554,29 @@ pub fn bench(args: &[String]) -> CliResult {
     let (positional, flags) = parse_flags(args);
     if let Some(extra) = positional.first() {
         return Err(format!("unexpected argument `{extra}`"));
+    }
+    // `--check FILE` is the CI regression gate: validate an existing report
+    // against the schema and fail if any kernel regressed below 1.0×.
+    if let Some(path) = flags.get("check") {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let speedups = validate_report_json(&text).map_err(|e| format!("{path}: {e}"))?;
+        let mut regressions = Vec::new();
+        for (name, speedup) in &speedups {
+            let ok = *speedup >= 1.0;
+            println!("  {name:<16} {speedup:>6.2}x  {}", if ok { "ok" } else { "REGRESSION" });
+            if !ok {
+                regressions.push(name.clone());
+            }
+        }
+        if !regressions.is_empty() {
+            return Err(format!(
+                "{path}: kernel speedup below 1.0x: {}",
+                regressions.join(", ")
+            ));
+        }
+        println!("{path}: schema valid, {} kernels, all speedups >= 1.0x", speedups.len());
+        return Ok(());
     }
     let parse_usize = |name: &str, default: usize| -> Result<usize, String> {
         flags
@@ -482,10 +591,10 @@ pub fn bench(args: &[String]) -> CliResult {
         threads: parse_usize("threads", defaults.threads)?.max(1),
         replicates: parse_usize("replicates", defaults.replicates)?.max(1),
     };
-    let out_path = flags.get("out").map(String::as_str).unwrap_or("BENCH_PR2.json");
+    let out_path = flags.get("out").map(String::as_str).unwrap_or("BENCH_PR3.json");
     let only = flags.get("only").map(String::as_str);
     if let Some(name) = only {
-        if !["slicing", "printing", "fea", "all_experiments"].contains(&name) {
+        if !["slicing", "printing", "fea", "sweep", "all_experiments"].contains(&name) {
             return Err(format!("unknown kernel `{name}` for --only"));
         }
     }

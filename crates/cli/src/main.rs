@@ -10,7 +10,8 @@
 //! obfuscade faults "stl.degenerate=3 firmware.feed=50" --part prism
 //! obfuscade audit
 //! obfuscade report <experiment>|all
-//! obfuscade bench [--smoke] [--threads N] [--out FILE.json]
+//! obfuscade sweep [--threads N] [--seed N] [--cache-stats]
+//! obfuscade bench [--smoke] [--threads N] [--out FILE.json] [--check FILE.json]
 //! ```
 
 use std::process::ExitCode;
@@ -36,6 +37,7 @@ fn main() -> ExitCode {
         "faults" => commands::faults(rest),
         "audit" => commands::audit(rest),
         "report" => commands::report(rest),
+        "sweep" => commands::sweep(rest),
         "bench" => commands::bench(rest),
         "help" | "--help" | "-h" => {
             print!("{}", commands::USAGE);

@@ -8,14 +8,16 @@
 use am_cad::Part;
 use am_mesh::weld_vertices;
 use am_mesh::Resolution;
+use am_par::Parallelism;
 use am_slicer::Orientation;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::{
-    assess_quality, run_pipeline, CadRecipe, EmbeddedSphereScheme, PipelineError,
-    PipelineOutput, ProcessKey, ProcessPlan, QualityThresholds, SplineSplitScheme, Verdict,
+    assess_quality, run_pipeline, run_pipeline_jobs, BatchJob, CadRecipe, EmbeddedSphereScheme,
+    FaultPlan, PipelineError, PipelineOutput, ProcessKey, ProcessPlan, QualityThresholds,
+    SplineSplitScheme, StageCache, Verdict,
 };
 
 /// One counterfeiting attempt: the key tried and the quality obtained.
@@ -76,13 +78,30 @@ pub fn search_sphere_scheme(
         &ProcessPlan::fdm(Resolution::Fine, Orientation::Xy).with_seed(seed),
     )?;
 
+    // The attempts share long stage prefixes (two orientations per recipe
+    // reuse one mesh; the seed only reaches the print stage), so the whole
+    // search runs as one batch against a local stage cache.
+    let mut parts: Vec<Part> = Vec::with_capacity(keys.len());
+    for key in &keys {
+        parts.push(scheme.part_for_recipe(key.recipe)?);
+    }
+    let jobs: Vec<BatchJob<'_>> = keys
+        .iter()
+        .zip(&parts)
+        .enumerate()
+        .map(|(i, (key, part))| BatchJob {
+            part,
+            plan: ProcessPlan::fdm(key.resolution, key.orientation).with_seed(seed + i as u64),
+            faults: FaultPlan::none(),
+        })
+        .collect();
+    let cache = StageCache::default();
+    let outputs = run_pipeline_jobs(&jobs, &cache, Parallelism::auto());
+
     let mut attempts = Vec::new();
     let mut prints_to_success = None;
-    for (i, key) in keys.iter().enumerate() {
-        let part = scheme.part_for_recipe(key.recipe)?;
-        let plan = ProcessPlan::fdm(key.resolution, key.orientation).with_seed(seed + i as u64);
-        let output = run_pipeline(&part, &plan)?;
-        let verdict = assess_quality(&output, &reference, thresholds).verdict;
+    for (i, (key, output)) in keys.iter().zip(outputs).enumerate() {
+        let verdict = assess_quality(&output?, &reference, thresholds).verdict;
         attempts.push(Attempt { key: *key, verdict });
         if verdict == Verdict::Good && prints_to_success.is_none() {
             prints_to_success = Some(i + 1);
@@ -112,26 +131,35 @@ pub fn search_spline_scheme(
     let reference = run_pipeline(&scheme.genuine_part()?, &reference_plan)?;
     let protected = scheme.protected_part()?;
 
-    let mut attempts = Vec::new();
-    let mut prints_to_success = None;
-    let mut i = 0usize;
+    // One stolen mesh per resolution, two orientations each: a batch over
+    // a shared cache tessellates each resolution once.
+    let mut trial_keys: Vec<ProcessKey> = Vec::new();
     for resolution in Resolution::ALL {
         for orientation in Orientation::ALL {
-            let plan = ProcessPlan::fdm(resolution, orientation)
+            trial_keys.push(ProcessKey { resolution, orientation, recipe: CadRecipe::ALL[0] });
+        }
+    }
+    let jobs: Vec<BatchJob<'_>> = trial_keys
+        .iter()
+        .enumerate()
+        .map(|(i, key)| BatchJob {
+            part: &protected,
+            plan: ProcessPlan::fdm(key.resolution, key.orientation)
                 .with_seed(seed + i as u64)
-                .with_tensile(with_tensile);
-            let output = run_pipeline(&protected, &plan)?;
-            let verdict = assess_quality(&output, &reference, thresholds).verdict;
-            let key = ProcessKey {
-                resolution,
-                orientation,
-                recipe: CadRecipe::ALL[0],
-            };
-            attempts.push(Attempt { key, verdict });
-            if verdict == Verdict::Good && prints_to_success.is_none() {
-                prints_to_success = Some(i + 1);
-            }
-            i += 1;
+                .with_tensile(with_tensile),
+            faults: FaultPlan::none(),
+        })
+        .collect();
+    let cache = StageCache::default();
+    let outputs = run_pipeline_jobs(&jobs, &cache, Parallelism::auto());
+
+    let mut attempts = Vec::new();
+    let mut prints_to_success = None;
+    for (i, (key, output)) in trial_keys.iter().zip(outputs).enumerate() {
+        let verdict = assess_quality(&output?, &reference, thresholds).verdict;
+        attempts.push(Attempt { key: *key, verdict });
+        if verdict == Verdict::Good && prints_to_success.is_none() {
+            prints_to_success = Some(i + 1);
         }
     }
     Ok(SearchOutcome { attempts, prints_to_success })

@@ -1,0 +1,510 @@
+//! Content-addressed stage cache (PR 3).
+//!
+//! The paper's security argument is a *key-space sweep*: a counterfeiter
+//! pays one print per [`crate::ProcessKey`], and our experiments replay
+//! that sweep in software. Keys share long stage prefixes (same part +
+//! resolution ⇒ identical mesh; same mesh + slicer settings ⇒ identical
+//! slice stack), so re-running [`crate::run_pipeline`] per key recomputes
+//! the same immutable artifacts over and over. This module provides the
+//! incremental-evaluation substrate that stops paying for a prefix twice:
+//!
+//! * [`StageKey`] — a 128-bit canonical content hash over a stage's
+//!   *complete* input set (part recipe, [`am_mesh::Resolution`],
+//!   [`am_slicer::Orientation`], [`am_slicer::SlicerConfig`],
+//!   [`am_printer::PrinterProfile`], seed, active [`crate::FaultPlan`],
+//!   kernel mode), produced by [`StageHasher`] — a vendored two-lane
+//!   FNV-1a/splitmix-style hasher, so the repo stays free of external
+//!   dependencies.
+//! * [`StageCache`] — a bounded, thread-safe, content-addressed map from
+//!   `StageKey` to immutable stage artifacts behind `Arc`, with
+//!   least-recently-used eviction by estimated byte cost and
+//!   hit/miss/eviction counters ([`CacheStats`]).
+//!
+//! # Key derivation and the fault-poisoning rule
+//!
+//! Stage keys chain: each stage's key absorbs the previous stage's key
+//! plus the new inputs that stage consumes. Injected faults *poison* the
+//! chain at the stage where they strike: the fault entries (and the fault
+//! seed, when the stage draws from it) are hashed into that stage's key,
+//! so every downstream key inherits the poison and a faulted run can
+//! never alias a clean one — while a `FaultPlan` whose faults all land
+//! *downstream* of a stage leaves that stage's key (and its cache entry)
+//! shareable with clean runs.
+//!
+//! # Determinism contract
+//!
+//! [`am_par::Parallelism`] is deliberately **excluded** from every key:
+//! PR 2's contract makes every thread budget bit-identical, so a cached
+//! artifact is exactly the artifact any budget would recompute. Canonical
+//! encoding is field-by-field: floats hash their IEEE-754 bits
+//! (`f64::to_bits`), enums hash an explicit discriminant byte, sequences
+//! are length-prefixed, and every structured input (part recipe, slicer
+//! config, printer profile) is absorbed by a visitor that writes each
+//! field through the typed writers — no `Debug`/`Display` rendering of
+//! foreign types is ever hashed, so a future formatting change cannot
+//! silently alias distinct inputs (pinned by the
+//! `key_schema_is_field_sensitive` test in `crate::pipeline`).
+//! Pipeline *errors* are never cached; only successfully built artifacts
+//! are, and a cached artifact is returned behind `Arc` without cloning
+//! the payload. Within one batch, warm failures are still replayed rather
+//! than recomputed via a per-batch side map (see [`crate::batch`]).
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use am_fea::TensileResult;
+
+use crate::pipeline::{MeshArtifact, PrintArtifact, SliceArtifact, ToolpathArtifact};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+const LANE_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Finalizer from the splitmix64 generator: a full-avalanche bijection,
+/// so the weakly-mixed FNV lanes come out uniformly distributed.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A deterministic, dependency-free content hasher producing 128-bit
+/// [`StageKey`]s.
+///
+/// Two independent FNV-1a lanes (the second salted and rotated, so the
+/// lanes never collapse into one) are finalized through splitmix64 with a
+/// cross-mix. Every write is framed (strings are length-prefixed, scalars
+/// are fixed-width little-endian), so field boundaries cannot alias.
+#[derive(Debug, Clone)]
+pub struct StageHasher {
+    a: u64,
+    b: u64,
+    len: u64,
+}
+
+impl StageHasher {
+    /// Starts a hash stream under a domain-separation tag (e.g.
+    /// `"obfuscade/mesh/v1"`): equal payloads under different domains
+    /// yield unrelated keys.
+    pub fn new(domain: &str) -> Self {
+        let mut h = StageHasher { a: FNV_OFFSET, b: FNV_OFFSET ^ LANE_SALT, len: 0 };
+        h.write_str(domain);
+        h
+    }
+
+    /// Absorbs raw bytes (unframed — prefer the typed writers).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.a = (self.a ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+            self.b = (self.b ^ u64::from(byte)).wrapping_mul(FNV_PRIME).rotate_left(29);
+        }
+        self.len = self.len.wrapping_add(bytes.len() as u64);
+    }
+
+    /// Absorbs a length-prefixed string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Absorbs a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a single byte (enum discriminants, flags).
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_bytes(&[v]);
+    }
+
+    /// Absorbs an `f64` by IEEE-754 bit pattern — exact, no rounding: two
+    /// floats hash equal iff they are the same value (`-0.0` ≠ `0.0`,
+    /// each NaN payload distinct).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Absorbs another [`StageKey`] — how stage keys chain.
+    pub fn write_key(&mut self, key: StageKey) {
+        self.write_u64(key.0[0]);
+        self.write_u64(key.0[1]);
+    }
+
+    /// Finalizes the stream into a [`StageKey`].
+    pub fn finish(self) -> StageKey {
+        let a = splitmix(self.a ^ self.len);
+        let b = splitmix(self.b ^ a);
+        StageKey([a, b])
+    }
+}
+
+/// A 128-bit content address for one stage artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StageKey([u64; 2]);
+
+impl StageKey {
+    /// The raw 128 bits as two words.
+    pub fn to_words(self) -> [u64; 2] {
+        self.0
+    }
+}
+
+impl fmt::Display for StageKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.0[0], self.0[1])
+    }
+}
+
+/// One immutable stage artifact, shared by reference.
+///
+/// Crate-internal: callers interact with the cache through
+/// [`crate::run_pipeline_cached`] and the batch engine, never with raw
+/// artifacts.
+#[derive(Clone)]
+pub(crate) enum StageArtifact {
+    Mesh(Arc<MeshArtifact>),
+    Slice(Arc<SliceArtifact>),
+    Toolpath(Arc<ToolpathArtifact>),
+    Print(Arc<PrintArtifact>),
+    Tensile(Arc<TensileResult>),
+}
+
+impl StageArtifact {
+    pub(crate) fn into_mesh(self) -> Option<Arc<MeshArtifact>> {
+        match self {
+            StageArtifact::Mesh(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn into_slice(self) -> Option<Arc<SliceArtifact>> {
+        match self {
+            StageArtifact::Slice(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn into_toolpath(self) -> Option<Arc<ToolpathArtifact>> {
+        match self {
+            StageArtifact::Toolpath(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn into_print(self) -> Option<Arc<PrintArtifact>> {
+        match self {
+            StageArtifact::Print(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn into_tensile(self) -> Option<Arc<TensileResult>> {
+        match self {
+            StageArtifact::Tensile(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Counter snapshot of a [`StageCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries evicted to respect the byte budget.
+    pub evictions: u64,
+    /// Entries inserted (including replacements).
+    pub insertions: u64,
+    /// Live entries right now.
+    pub entries: usize,
+    /// Estimated bytes held right now.
+    pub bytes: usize,
+    /// Byte budget.
+    pub budget: usize,
+}
+
+impl CacheStats {
+    /// Hits over lookups (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 { 0.0 } else { self.hits as f64 / lookups as f64 }
+    }
+}
+
+struct Entry {
+    value: StageArtifact,
+    cost: usize,
+    /// Tick of the last touch; doubles as this entry's index in
+    /// `Inner::recency`.
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<StageKey, Entry>,
+    /// Recency index: `last_used` tick → key, one entry per live map
+    /// entry. Ticks are unique (every `get`/`insert` takes a fresh one),
+    /// so the first entry is always the least recently used and eviction
+    /// is `O(log n)` instead of a full map scan.
+    recency: BTreeMap<u64, StageKey>,
+    bytes: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    insertions: u64,
+}
+
+/// A bounded, thread-safe, content-addressed cache of immutable stage
+/// artifacts.
+///
+/// Artifacts live behind `Arc`, so a hit is a pointer clone; eviction is
+/// least-recently-used by estimated byte cost. The cache only ever
+/// affects wall-clock time: a hit returns exactly what a recompute would
+/// produce (see the module docs for the determinism contract).
+pub struct StageCache {
+    inner: Mutex<Inner>,
+    budget: usize,
+}
+
+impl StageCache {
+    /// Default byte budget: 256 MiB — comfortably holds a full key-space
+    /// sweep of the paper's parts while bounding worst-case growth.
+    pub const DEFAULT_BUDGET: usize = 256 << 20;
+
+    /// A cache bounded at `budget_bytes` of estimated artifact cost.
+    pub fn with_budget(budget_bytes: usize) -> Self {
+        StageCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                recency: BTreeMap::new(),
+                bytes: 0,
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                insertions: 0,
+            }),
+            budget: budget_bytes,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned lock only means another thread panicked mid-insert;
+        // the map itself is always structurally valid.
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    pub(crate) fn get(&self, key: StageKey) -> Option<StageArtifact> {
+        let mut guard = self.lock();
+        let inner = &mut *guard;
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&key) {
+            Some(entry) => {
+                inner.recency.remove(&entry.last_used);
+                inner.recency.insert(tick, key);
+                entry.last_used = tick;
+                let value = entry.value.clone();
+                inner.hits += 1;
+                Some(value)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    pub(crate) fn insert(&self, key: StageKey, value: StageArtifact, cost: usize) {
+        if cost > self.budget {
+            // An artifact larger than the whole budget would evict
+            // everything and then be evicted itself; don't admit it.
+            return;
+        }
+        let mut guard = self.lock();
+        let inner = &mut *guard;
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.map.insert(key, Entry { value, cost, last_used: tick }) {
+            inner.bytes -= old.cost;
+            inner.recency.remove(&old.last_used);
+        }
+        inner.recency.insert(tick, key);
+        inner.bytes += cost;
+        inner.insertions += 1;
+        // LRU eviction by byte cost: pop least-recently-used entries off
+        // the recency index until the budget holds — `O(log n)` per
+        // eviction. The entry just inserted carries the newest tick, so
+        // it is only evicted if it alone exceeds budget — excluded above.
+        while inner.bytes > self.budget {
+            match inner.recency.pop_first() {
+                Some((_, k)) => {
+                    if let Some(e) = inner.map.remove(&k) {
+                        inner.bytes -= e.cost;
+                        inner.evictions += 1;
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            insertions: inner.insertions,
+            entries: inner.map.len(),
+            bytes: inner.bytes,
+            budget: self.budget,
+        }
+    }
+
+    /// Drops every entry and resets the counters (the budget stays).
+    pub fn clear(&self) {
+        let mut inner = self.lock();
+        inner.map.clear();
+        inner.recency.clear();
+        inner.bytes = 0;
+        inner.tick = 0;
+        inner.hits = 0;
+        inner.misses = 0;
+        inner.evictions = 0;
+        inner.insertions = 0;
+    }
+}
+
+impl Default for StageCache {
+    fn default() -> Self {
+        StageCache::with_budget(Self::DEFAULT_BUDGET)
+    }
+}
+
+impl fmt::Debug for StageCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StageCache").field("stats", &self.stats()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key_of(label: &str) -> StageKey {
+        let mut h = StageHasher::new("test/v1");
+        h.write_str(label);
+        h.finish()
+    }
+
+    fn tensile_artifact(uts: f64) -> StageArtifact {
+        StageArtifact::Tensile(Arc::new(TensileResult {
+            curve: Vec::new(),
+            young_modulus_gpa: 1.0,
+            uts_mpa: uts,
+            failure_strain: 0.0,
+            toughness_kj_m3: 0.0,
+            fracture_origin: None,
+            fracture_path: Vec::new(),
+            ruptured: false,
+        }))
+    }
+
+    #[test]
+    fn hasher_is_deterministic_and_injective_on_framing() {
+        assert_eq!(key_of("a"), key_of("a"));
+        assert_ne!(key_of("a"), key_of("b"));
+        // Framing: ("ab", "c") must not alias ("a", "bc").
+        let mut h1 = StageHasher::new("d");
+        h1.write_str("ab");
+        h1.write_str("c");
+        let mut h2 = StageHasher::new("d");
+        h2.write_str("a");
+        h2.write_str("bc");
+        assert_ne!(h1.finish(), h2.finish());
+        // Domain separation.
+        let mut h3 = StageHasher::new("other");
+        h3.write_str("a");
+        assert_ne!(key_of("a"), h3.finish());
+        // Float bits: -0.0 and 0.0 are distinct inputs.
+        let mut hp = StageHasher::new("f");
+        hp.write_f64(0.0);
+        let mut hn = StageHasher::new("f");
+        hn.write_f64(-0.0);
+        assert_ne!(hp.finish(), hn.finish());
+    }
+
+    #[test]
+    fn cache_counts_hits_misses_and_serves_inserted_values() {
+        let cache = StageCache::with_budget(1 << 20);
+        let k = key_of("entry");
+        assert!(cache.get(k).is_none());
+        cache.insert(k, tensile_artifact(1.0), 100);
+        let got = cache.get(k).and_then(StageArtifact::into_tensile).expect("hit");
+        assert!((got.uts_mpa - 1.0).abs() < 1e-12);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(stats.insertions, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_respects_byte_budget_and_recency() {
+        let cache = StageCache::with_budget(250);
+        let (ka, kb, kc) = (key_of("a"), key_of("b"), key_of("c"));
+        cache.insert(ka, tensile_artifact(1.0), 100);
+        cache.insert(kb, tensile_artifact(2.0), 100);
+        // Touch `a` so `b` becomes the least recently used.
+        assert!(cache.get(ka).is_some());
+        cache.insert(kc, tensile_artifact(3.0), 100);
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+        assert!(stats.bytes <= 250);
+        assert!(cache.get(kb).is_none(), "LRU entry should have been evicted");
+        assert!(cache.get(ka).is_some());
+        assert!(cache.get(kc).is_some());
+    }
+
+    #[test]
+    fn sustained_eviction_pressure_keeps_the_most_recent_entries() {
+        let cache = StageCache::with_budget(300);
+        for i in 0..100 {
+            cache.insert(key_of(&format!("e{i}")), tensile_artifact(f64::from(i)), 100);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 3);
+        assert_eq!(stats.evictions, 97);
+        assert!(stats.bytes <= 300);
+        for i in 97..100 {
+            assert!(
+                cache.get(key_of(&format!("e{i}"))).is_some(),
+                "entry e{i} should have survived"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_artifacts_are_not_admitted() {
+        let cache = StageCache::with_budget(100);
+        cache.insert(key_of("big"), tensile_artifact(1.0), 1000);
+        assert_eq!(cache.stats().entries, 0);
+        assert!(cache.get(key_of("big")).is_none());
+    }
+
+    #[test]
+    fn clear_resets_entries_and_counters() {
+        let cache = StageCache::default();
+        cache.insert(key_of("x"), tensile_artifact(1.0), 10);
+        let _ = cache.get(key_of("x"));
+        cache.clear();
+        let stats = cache.stats();
+        assert_eq!(stats, CacheStats { budget: StageCache::DEFAULT_BUDGET, ..CacheStats::default() });
+    }
+}

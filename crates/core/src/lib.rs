@@ -57,6 +57,8 @@
 #![warn(missing_docs)]
 
 mod adversary;
+mod batch;
+mod cache;
 mod fault;
 mod key;
 mod multikey;
@@ -70,6 +72,10 @@ pub use adversary::{
     genuine_production, repair_attack, search_sphere_scheme, search_spline_scheme, Attempt,
     RepairOutcome, SearchOutcome,
 };
+pub use batch::{
+    run_pipeline_batch, run_pipeline_batch_with, run_pipeline_jobs, sweep_key_space, BatchJob,
+};
+pub use cache::{CacheStats, StageCache, StageHasher, StageKey};
 pub use fault::{
     FaultParseError, FaultPlan, FirmwareFault, SlicerFault, StlFault, ToolpathFault,
 };
@@ -77,8 +83,8 @@ pub use key::{CadRecipe, ProcessKey};
 pub use perf::{kernel_mode, set_kernel_mode, KernelMode};
 pub use multikey::MultiSphereScheme;
 pub use pipeline::{
-    run_pipeline, run_pipeline_with_faults, Diagnostic, PipelineError, PipelineOutput,
-    ProcessPlan, Stage, StageOutcome, StageStatus, ToolPathStats,
+    run_pipeline, run_pipeline_cached, run_pipeline_with_faults, Diagnostic, PipelineError,
+    PipelineOutput, ProcessPlan, Stage, StageOutcome, StageStatus, ToolPathStats,
 };
 pub use quality::{assess_quality, QualityReport, QualityThresholds, Verdict};
 pub use scheme::{Authenticity, EmbeddedSphereScheme, SplineSplitScheme};

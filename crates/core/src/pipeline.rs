@@ -7,9 +7,19 @@
 //! naming the stage — library code never panics on bad input. The staged
 //! structure is what lets [`run_pipeline_with_faults`] inject the Table 1
 //! attack catalog at the exact boundary where each attack lives.
+//!
+//! Since PR 3 the chain is built from **stage artifacts** — immutable
+//! value objects ([`MeshArtifact`], [`SliceArtifact`], [`ToolpathArtifact`],
+//! [`PrintArtifact`]) each carrying its stage outcomes and diagnostics —
+//! so [`run_pipeline_cached`] can serve any prefix of the chain from a
+//! content-addressed [`StageCache`] and replay a bit-identical
+//! [`PipelineOutput`] without recomputation. See [`crate::cache`] for the
+//! key-derivation and fault-poisoning rules, and [`crate::batch`] for the
+//! shared-prefix batch front end.
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use am_cad::{CadError, Part};
 use am_fea::{
@@ -28,9 +38,10 @@ use am_printer::{
 use am_slicer::{
     build_transform, diagnose_slices, orient_shells, slice_shells_scan, try_generate_toolpath,
     try_slice_shells_with, ConfigError, GcodeError, Orientation, SliceError, SliceReport,
-    SlicerConfig, ToolMaterial, ToolpathError,
+    SlicerConfig, ToolMaterial, ToolPath, ToolpathError,
 };
 
+use crate::cache::{StageArtifact, StageCache, StageHasher, StageKey};
 use crate::fault::FaultPlan;
 use crate::perf::{kernel_mode, KernelMode};
 
@@ -208,7 +219,13 @@ impl fmt::Display for Diagnostic {
 
 /// Errors from the manufacturing pipeline. Every variant names its failing
 /// [`Stage`] via [`PipelineError::stage`].
-#[derive(Debug)]
+///
+/// `Clone` lets the batch engine replay one deterministic prefix failure
+/// to every plan sharing that prefix without recomputing it; a clone
+/// renders identically to the original (the `StlError::Io` payload, which
+/// cannot occur in the in-memory pipeline, is the one variant cloned by
+/// kind + message rather than structurally).
+#[derive(Debug, Clone)]
 #[non_exhaustive]
 pub enum PipelineError {
     /// The CAD stage failed.
@@ -323,8 +340,10 @@ pub struct PipelineOutput {
     pub slice_report: SliceReport,
     /// Tool-path statistics.
     pub toolpath: ToolPathStats,
-    /// The printed artifact, support already dissolved.
-    pub printed: PrintedPart,
+    /// The printed artifact, support already dissolved. Shared (`Arc`) so
+    /// cached pipeline runs can return the voxel grid without copying it;
+    /// all read access goes through `Deref` exactly as before.
+    pub printed: Arc<PrintedPart>,
     /// Internal-structure scan of the finished part.
     pub scan: ScanReport,
     /// Virtual tensile test (if requested in the plan).
@@ -400,17 +419,397 @@ pub fn run_pipeline_with_faults(
     plan: &ProcessPlan,
     faults: &FaultPlan,
 ) -> Result<PipelineOutput, PipelineError> {
-    let mut stages: Vec<StageOutcome> = Vec::new();
-    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    run_pipeline_inner(part, plan, faults, None)
+}
 
-    // The plan itself must be coherent before anything runs: a bad slicer
-    // config or machine profile is a caller error, not a fault.
-    plan.slicer.validate().map_err(PipelineError::InvalidConfig)?;
-    plan.printer.validate().map_err(|e| PipelineError::Print(PrintError::Profile(e)))?;
+/// [`run_pipeline_with_faults`], serving immutable stage artifacts from a
+/// content-addressed [`StageCache`].
+///
+/// Output is **bit-identical** to the uncached run (pinned by
+/// `batch_determinism.rs`): the cache stores exactly what each stage
+/// computes, keyed over that stage's complete input set, and errors are
+/// never cached. Only wall-clock time changes.
+///
+/// # Errors
+///
+/// Same as [`run_pipeline_with_faults`].
+pub fn run_pipeline_cached(
+    part: &Part,
+    plan: &ProcessPlan,
+    faults: &FaultPlan,
+    cache: &StageCache,
+) -> Result<PipelineOutput, PipelineError> {
+    run_pipeline_inner(part, plan, faults, Some(cache))
+}
+
+// --- Stage artifacts ----------------------------------------------------
+
+/// CAD + STL export + integrity audit + repair, as one immutable artifact.
+#[derive(Debug)]
+pub(crate) struct MeshArtifact {
+    pub(crate) shells: Vec<TriMesh>,
+    pub(crate) mesh_triangles: usize,
+    pub(crate) stl_bytes: u64,
+    pub(crate) seam: Option<SeamReport>,
+    pub(crate) outcomes: Vec<StageOutcome>,
+    pub(crate) diagnostics: Vec<Diagnostic>,
+}
+
+impl MeshArtifact {
+    pub(crate) fn cost_bytes(&self) -> usize {
+        let geometry: usize = self
+            .shells
+            .iter()
+            .map(|s| s.vertex_count() * 24 + s.triangle_count() * 12)
+            .sum();
+        geometry + diagnostics_cost(&self.diagnostics) + 512
+    }
+}
+
+/// Orientation, bed placement and plane slicing.
+#[derive(Debug)]
+pub(crate) struct SliceArtifact {
+    pub(crate) sliced: am_slicer::SlicedModel,
+    pub(crate) slice_report: SliceReport,
+    /// Model→build transform (orientation + bed margin).
+    pub(crate) to_build: am_geom::Transform3,
+    /// The *effective* slicer configuration: the plan's, after any
+    /// injected slicer faults mutated it.
+    pub(crate) config: SlicerConfig,
+    pub(crate) outcomes: Vec<StageOutcome>,
+    pub(crate) diagnostics: Vec<Diagnostic>,
+}
+
+impl SliceArtifact {
+    pub(crate) fn cost_bytes(&self) -> usize {
+        let geometry: usize = self
+            .sliced
+            .layers
+            .iter()
+            .map(|l| {
+                let loops: usize = l.loops.iter().map(|c| c.polygon.len() * 16 + 48).sum();
+                let open: usize = l.open_paths.iter().map(|p| p.len() * 16 + 48).sum();
+                64 + loops + open
+            })
+            .sum();
+        geometry + diagnostics_cost(&self.diagnostics) + 512
+    }
+}
+
+/// Tool-path planning plus firmware vetting (the part program as the
+/// machine will actually run it — firmware faults already applied).
+#[derive(Debug)]
+pub(crate) struct ToolpathArtifact {
+    pub(crate) toolpath: ToolPath,
+    pub(crate) stats: ToolPathStats,
+    pub(crate) outcomes: Vec<StageOutcome>,
+    pub(crate) diagnostics: Vec<Diagnostic>,
+}
+
+impl ToolpathArtifact {
+    pub(crate) fn cost_bytes(&self) -> usize {
+        self.toolpath.roads.len() * 64 + diagnostics_cost(&self.diagnostics) + 512
+    }
+}
+
+/// Deposition (support already dissolved) plus the CT inspection scan.
+#[derive(Debug)]
+pub(crate) struct PrintArtifact {
+    pub(crate) printed: Arc<PrintedPart>,
+    pub(crate) scan: ScanReport,
+    pub(crate) outcomes: Vec<StageOutcome>,
+}
+
+impl PrintArtifact {
+    pub(crate) fn cost_bytes(&self) -> usize {
+        let (nx, ny, nz) = self.printed.dims();
+        nx * ny * nz * 3 + 512
+    }
+}
+
+fn diagnostics_cost(diagnostics: &[Diagnostic]) -> usize {
+    diagnostics.iter().map(|d| d.message.len() + 48).sum()
+}
+
+fn tensile_cost(result: &TensileResult) -> usize {
+    result.curve.len() * 16 + result.fracture_path.len() * 16 + 256
+}
+
+// --- Canonical input hashing ---------------------------------------------
+//
+// Every foreign input type a stage key absorbs is hashed field by field:
+// enum variants write an explicit tag byte, floats go in as IEEE-754 bits
+// via `write_f64`, and collections are length-prefixed. No `Debug`
+// rendering is ever hashed — a future custom formatting impl that rounds
+// or omits a geometry-relevant field could silently alias two distinct
+// inputs, and the cache would serve wrong artifacts. (Fault entries are
+// the one `Display`-based exception: `FaultPlan` is crate-local and its
+// renderings round-trip through `FromStr`, so they are injective by
+// construction.) `key_schema_is_field_sensitive` in the tests below pins
+// the property: perturbing any single input field changes the derived key.
+
+fn hash_point2(h: &mut StageHasher, p: am_geom::Point2) {
+    h.write_f64(p.x);
+    h.write_f64(p.y);
+}
+
+fn hash_point3(h: &mut StageHasher, p: am_geom::Point3) {
+    h.write_f64(p.x);
+    h.write_f64(p.y);
+    h.write_f64(p.z);
+}
+
+fn hash_spline(h: &mut StageHasher, spline: &am_geom::CatmullRom) {
+    let points = spline.through_points();
+    h.write_u64(points.len() as u64);
+    for &p in points {
+        hash_point2(h, p);
+    }
+}
+
+fn hash_profile(h: &mut StageHasher, profile: &am_cad::Profile) {
+    let edges = profile.edges();
+    h.write_u64(edges.len() as u64);
+    for edge in edges {
+        match edge {
+            am_cad::ProfileEdge::Line(seg) => {
+                h.write_u8(0);
+                hash_point2(h, seg.start);
+                hash_point2(h, seg.end);
+            }
+            am_cad::ProfileEdge::Spline(spline) => {
+                h.write_u8(1);
+                hash_spline(h, spline);
+            }
+        }
+    }
+}
+
+fn hash_solid(h: &mut StageHasher, shape: &am_cad::SolidShape) {
+    match shape {
+        am_cad::SolidShape::Extrusion { profile, z_min, z_max } => {
+            h.write_u8(0);
+            hash_profile(h, profile);
+            h.write_f64(*z_min);
+            h.write_f64(*z_max);
+        }
+        am_cad::SolidShape::Cuboid(aabb) => {
+            h.write_u8(1);
+            hash_point3(h, aabb.min);
+            hash_point3(h, aabb.max);
+        }
+        am_cad::SolidShape::Sphere { center, radius } => {
+            h.write_u8(2);
+            hash_point3(h, *center);
+            h.write_f64(*radius);
+        }
+    }
+}
+
+fn hash_feature(h: &mut StageHasher, feature: &am_cad::Feature) {
+    use am_cad::{BodyKind, Feature, MaterialRemoval};
+    match feature {
+        Feature::Base(shape) => {
+            h.write_u8(0);
+            hash_solid(h, shape);
+        }
+        Feature::SplineSplit { spline } => {
+            h.write_u8(1);
+            hash_spline(h, spline);
+        }
+        Feature::EmbedSphere { center, radius, kind, removal } => {
+            h.write_u8(2);
+            hash_point3(h, *center);
+            h.write_f64(*radius);
+            h.write_u8(match kind {
+                BodyKind::Solid => 0,
+                BodyKind::Surface => 1,
+            });
+            h.write_u8(match removal {
+                MaterialRemoval::With => 0,
+                MaterialRemoval::Without => 1,
+            });
+        }
+        Feature::CutHole { profile } => {
+            h.write_u8(3);
+            hash_profile(h, profile);
+        }
+    }
+}
+
+fn hash_part(h: &mut StageHasher, part: &Part) {
+    h.write_str(part.name());
+    h.write_u64(part.features().len() as u64);
+    for feature in part.features() {
+        hash_feature(h, feature);
+    }
+}
+
+fn hash_resolution(h: &mut StageHasher, resolution: Resolution) {
+    h.write_u8(match resolution {
+        Resolution::Coarse => 0,
+        Resolution::Fine => 1,
+        Resolution::Custom => 2,
+    });
+}
+
+fn hash_orientation(h: &mut StageHasher, orientation: Orientation) {
+    h.write_u8(match orientation {
+        Orientation::Xy => 0,
+        Orientation::Xz => 1,
+    });
+}
+
+fn hash_slicer_config(h: &mut StageHasher, config: &SlicerConfig) {
+    h.write_f64(config.layer_height);
+    h.write_f64(config.road_width);
+    h.write_f64(config.analysis_cell);
+    h.write_u8(config.support as u8);
+    match config.infill {
+        am_slicer::InfillStyle::Solid => h.write_u8(0),
+        am_slicer::InfillStyle::Sparse { density } => {
+            h.write_u8(1);
+            h.write_f64(density);
+        }
+    }
+}
+
+fn hash_printer_profile(h: &mut StageHasher, profile: &PrinterProfile) {
+    h.write_str(profile.name);
+    h.write_u8(match profile.process {
+        Process::Fdm => 0,
+        Process::PolyJet => 1,
+    });
+    h.write_f64(profile.layer_height);
+    h.write_f64(profile.road_width);
+    h.write_f64(profile.feed_mm_per_s);
+    let m = &profile.model_material;
+    h.write_str(m.name);
+    h.write_f64(m.young_modulus_gpa);
+    h.write_f64(m.tensile_strength_mpa);
+    h.write_f64(m.elongation_at_break);
+    h.write_f64(m.density_g_cm3);
+    h.write_u8(profile.soluble_support as u8);
+    h.write_f64(profile.road_bond);
+    h.write_f64(profile.layer_bond);
+    h.write_f64(profile.joint_bond);
+    h.write_f64(profile.joint_ductility);
+    h.write_f64(profile.noise_sigma);
+}
+
+// --- Stage keys ---------------------------------------------------------
+
+/// The chained stage keys of one `(part, plan, fault plan)` evaluation.
+///
+/// Derivation is pure input hashing — no stage runs — so the batch engine
+/// can group plans by shared prefix before doing any work. The tensile key
+/// is not here: it depends on the joint-contact fraction, which is only
+/// known after slicing.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PlanKeys {
+    pub(crate) mesh: StageKey,
+    pub(crate) slice: StageKey,
+    pub(crate) toolpath: StageKey,
+    pub(crate) print: StageKey,
+}
+
+pub(crate) fn plan_keys(part: &Part, plan: &ProcessPlan, faults: &FaultPlan) -> PlanKeys {
+    let mesh = mesh_key(part, plan, faults);
+    let slice = slice_key(mesh, plan, faults);
+    let toolpath = toolpath_key(slice, plan, faults);
+    let print = print_key(toolpath, plan);
+    PlanKeys { mesh, slice, toolpath, print }
+}
+
+/// Mesh-stage key: part recipe (the full feature history, hashed field by
+/// field) + STL export resolution, poisoned by any STL faults (entries +
+/// the fault seed the stage draws from).
+fn mesh_key(part: &Part, plan: &ProcessPlan, faults: &FaultPlan) -> StageKey {
+    let mut h = StageHasher::new("obfuscade/mesh/v2");
+    hash_part(&mut h, part);
+    hash_resolution(&mut h, plan.resolution);
+    h.write_u64(faults.stl.len() as u64);
+    if !faults.stl.is_empty() {
+        h.write_u64(faults.seed);
+        for fault in &faults.stl {
+            h.write_str(&fault.to_string());
+        }
+    }
+    h.finish()
+}
+
+/// Slice-stage key: mesh key + orientation + the plan's slicer config,
+/// poisoned by slicer faults. The kernel mode enters here (slicing is the
+/// first kernel-dispatched stage) and every downstream key inherits it
+/// through the chain, so `Reference` and `Optimized` runs never alias.
+fn slice_key(mesh: StageKey, plan: &ProcessPlan, faults: &FaultPlan) -> StageKey {
+    let mut h = StageHasher::new("obfuscade/slice/v2");
+    h.write_key(mesh);
+    hash_orientation(&mut h, plan.orientation);
+    hash_slicer_config(&mut h, &plan.slicer);
+    h.write_u64(faults.slicer.len() as u64);
+    for fault in &faults.slicer {
+        h.write_str(&fault.to_string());
+    }
+    h.write_u8(kernel_mode() as u8);
+    h.finish()
+}
+
+/// Tool-path-stage key: slice key + printer profile (road planning and the
+/// firmware envelope both read it), poisoned by tool-path faults (entries
+/// + fault seed) and firmware faults.
+fn toolpath_key(slice: StageKey, plan: &ProcessPlan, faults: &FaultPlan) -> StageKey {
+    let mut h = StageHasher::new("obfuscade/toolpath/v2");
+    h.write_key(slice);
+    hash_printer_profile(&mut h, &plan.printer);
+    h.write_u64(faults.toolpath.len() as u64);
+    if !faults.toolpath.is_empty() {
+        h.write_u64(faults.seed);
+    }
+    for fault in &faults.toolpath {
+        h.write_str(&fault.to_string());
+    }
+    h.write_u64(faults.firmware.len() as u64);
+    for fault in &faults.firmware {
+        h.write_str(&fault.to_string());
+    }
+    h.finish()
+}
+
+/// Print-stage key: tool-path key + the plan's process-noise seed.
+fn print_key(toolpath: StageKey, plan: &ProcessPlan) -> StageKey {
+    let mut h = StageHasher::new("obfuscade/print/v2");
+    h.write_key(toolpath);
+    h.write_u64(plan.seed);
+    h.finish()
+}
+
+/// Tensile-stage key: print key + orientation (selects the bond model) +
+/// the joint-contact fraction, exact to the bit.
+fn tensile_key(print: StageKey, plan: &ProcessPlan, joint_contact: f64) -> StageKey {
+    let mut h = StageHasher::new("obfuscade/tensile/v2");
+    h.write_key(print);
+    hash_orientation(&mut h, plan.orientation);
+    h.write_f64(joint_contact);
+    h.finish()
+}
+
+// --- Stage implementations ----------------------------------------------
+
+/// CAD resolve, tessellation, STL fault injection + fingerprint audit,
+/// and repair welding. Everything the monolithic runner did up to the
+/// slicer, verbatim.
+fn mesh_stage(
+    part: &Part,
+    plan: &ProcessPlan,
+    faults: &FaultPlan,
+) -> Result<MeshArtifact, PipelineError> {
+    let mut outcomes: Vec<StageOutcome> = Vec::new();
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
 
     // --- CAD -------------------------------------------------------------
     let resolved = part.resolve()?;
-    stages.push(StageOutcome { stage: Stage::Cad, status: StageStatus::Clean });
+    outcomes.push(StageOutcome { stage: Stage::Cad, status: StageStatus::Clean });
 
     // --- STL export + integrity audit ------------------------------------
     let params = plan.resolution.params();
@@ -448,7 +847,7 @@ pub fn run_pipeline_with_faults(
     }
     let stl_bytes = binary_stl_size(mesh_triangles);
     let seam = seam_report(&resolved, &params);
-    stages.push(StageOutcome {
+    outcomes.push(StageOutcome {
         stage: Stage::Stl,
         status: if faults.stl.is_empty() { StageStatus::Clean } else { StageStatus::Degraded },
     });
@@ -473,12 +872,23 @@ pub fn run_pipeline_with_faults(
         if shells.iter().map(TriMesh::triangle_count).sum::<usize>() == 0 {
             return Err(PipelineError::EmptyBuild { part: part.name().to_string() });
         }
-        stages.push(StageOutcome { stage: Stage::Repair, status: StageStatus::Degraded });
+        outcomes.push(StageOutcome { stage: Stage::Repair, status: StageStatus::Degraded });
     } else {
-        stages.push(StageOutcome { stage: Stage::Repair, status: StageStatus::Skipped });
+        outcomes.push(StageOutcome { stage: Stage::Repair, status: StageStatus::Skipped });
     }
 
-    // --- Slice -----------------------------------------------------------
+    Ok(MeshArtifact { shells, mesh_triangles, stl_bytes, seam, outcomes, diagnostics })
+}
+
+/// Slicer fault application, orientation, bed placement and slicing.
+fn slice_stage(
+    mesh: &MeshArtifact,
+    plan: &ProcessPlan,
+    faults: &FaultPlan,
+) -> Result<SliceArtifact, PipelineError> {
+    let mut outcomes: Vec<StageOutcome> = Vec::new();
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+
     let mut config = plan.slicer;
     for fault in &faults.slicer {
         fault.apply(&mut config);
@@ -496,11 +906,11 @@ pub fn run_pipeline_with_faults(
     // Orient, place on the bed (away from the corner — perimeter insets
     // may overshoot the footprint by a fraction of a road width), slice.
     let bed_margin = am_geom::Transform3::translation(am_geom::Vec3::new(5.0, 5.0, 0.0));
-    let oriented: Vec<TriMesh> = orient_shells(&shells, plan.orientation)
+    let oriented: Vec<TriMesh> = orient_shells(&mesh.shells, plan.orientation)
         .iter()
         .map(|m| m.transformed(&bed_margin))
         .collect();
-    let to_build = build_transform(&shells, plan.orientation).then(&bed_margin);
+    let to_build = build_transform(&mesh.shells, plan.orientation).then(&bed_margin);
     let sliced = match kernel_mode() {
         KernelMode::Optimized => {
             try_slice_shells_with(&oriented, config.layer_height, plan.parallelism)
@@ -517,7 +927,7 @@ pub fn run_pipeline_with_faults(
             recovered: true,
         });
     }
-    stages.push(StageOutcome {
+    outcomes.push(StageOutcome {
         stage: Stage::Slice,
         status: if open_paths > 0 || !faults.slicer.is_empty() {
             StageStatus::Degraded
@@ -526,8 +936,21 @@ pub fn run_pipeline_with_faults(
         },
     });
 
-    // --- Tool path -------------------------------------------------------
-    let mut toolpath = try_generate_toolpath(&sliced, &config).map_err(PipelineError::Toolpath)?;
+    Ok(SliceArtifact { sliced, slice_report, to_build, config, outcomes, diagnostics })
+}
+
+/// Tool-path planning, tool-path fault injection, and firmware vetting.
+fn toolpath_stage(
+    slice: &SliceArtifact,
+    plan: &ProcessPlan,
+    faults: &FaultPlan,
+) -> Result<ToolpathArtifact, PipelineError> {
+    let mut outcomes: Vec<StageOutcome> = Vec::new();
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    let config = &slice.config;
+
+    let mut toolpath =
+        try_generate_toolpath(&slice.sliced, config).map_err(PipelineError::Toolpath)?;
     for (i, fault) in faults.toolpath.iter().enumerate() {
         let seed = fault_seed(faults.seed, Stage::ToolPath, i);
         let note = fault.apply(&mut toolpath, seed).map_err(PipelineError::Gcode)?;
@@ -537,14 +960,14 @@ pub fn run_pipeline_with_faults(
             recovered: true,
         });
     }
-    let toolpath_stats = ToolPathStats {
+    let stats = ToolPathStats {
         model_mm: toolpath.total_length(ToolMaterial::Model),
         support_mm: toolpath.total_length(ToolMaterial::Support),
         layers: toolpath.layer_count(),
-        // The profile was validated above, so the feed is positive.
+        // The profile was validated up front, so the feed is positive.
         time_s: toolpath.try_print_time_estimate(plan.printer.feed_mm_per_s).unwrap_or(0.0),
     };
-    stages.push(StageOutcome {
+    outcomes.push(StageOutcome {
         stage: Stage::ToolPath,
         status: if faults.toolpath.is_empty() { StageStatus::Clean } else { StageStatus::Degraded },
     });
@@ -570,39 +993,217 @@ pub fn run_pipeline_with_faults(
             first: violations[0].to_string(),
         });
     }
-    stages.push(StageOutcome {
+    outcomes.push(StageOutcome {
         stage: Stage::Firmware,
         status: if faults.firmware.is_empty() { StageStatus::Clean } else { StageStatus::Degraded },
     });
 
-    // --- Print, dissolve -------------------------------------------------
+    Ok(ToolpathArtifact { toolpath, stats, outcomes, diagnostics })
+}
+
+/// Deposition, support dissolution and the CT inspection scan.
+fn print_stage(
+    toolpath: &ToolpathArtifact,
+    slice: &SliceArtifact,
+    plan: &ProcessPlan,
+) -> Result<PrintArtifact, PipelineError> {
+    let mut outcomes: Vec<StageOutcome> = Vec::new();
+
     let mut printed = match kernel_mode() {
         KernelMode::Optimized => PrintedPart::try_from_toolpath_with(
-            &toolpath,
+            &toolpath.toolpath,
             &plan.printer,
-            to_build,
+            slice.to_build,
             plan.seed,
             plan.parallelism,
         ),
-        KernelMode::Reference => {
-            PrintedPart::try_from_toolpath_reference(&toolpath, &plan.printer, to_build, plan.seed)
-        }
+        KernelMode::Reference => PrintedPart::try_from_toolpath_reference(
+            &toolpath.toolpath,
+            &plan.printer,
+            slice.to_build,
+            plan.seed,
+        ),
     }
     .map_err(PipelineError::Print)?;
     printed.dissolve_support();
-    stages.push(StageOutcome { stage: Stage::Print, status: StageStatus::Clean });
+    outcomes.push(StageOutcome { stage: Stage::Print, status: StageStatus::Clean });
 
-    // --- Inspect ---------------------------------------------------------
     let scan_report = scan(&printed);
-    stages.push(StageOutcome { stage: Stage::Inspect, status: StageStatus::Clean });
+    outcomes.push(StageOutcome { stage: Stage::Inspect, status: StageStatus::Clean });
+
+    Ok(PrintArtifact { printed: Arc::new(printed), scan: scan_report, outcomes })
+}
+
+/// The virtual tensile test.
+fn tensile_stage(print: &PrintArtifact, plan: &ProcessPlan, joint_contact: f64) -> TensileResult {
+    let tensile_config = TensileConfig { joint_contact, ..TensileConfig::fdm(plan.orientation) };
+    let mut lattice = Lattice::from_printed(&print.printed, &tensile_config, plan.seed);
+    match kernel_mode() {
+        KernelMode::Optimized => {
+            run_tensile_test_with(&mut lattice, &tensile_config, plan.parallelism)
+        }
+        KernelMode::Reference => run_tensile_test_reference(&mut lattice, &tensile_config),
+    }
+}
+
+// --- Cached stage lookup ------------------------------------------------
+
+fn obtain_mesh(
+    part: &Part,
+    plan: &ProcessPlan,
+    faults: &FaultPlan,
+    cache: Option<(&StageCache, StageKey)>,
+) -> Result<Arc<MeshArtifact>, PipelineError> {
+    if let Some((cache, key)) = cache {
+        if let Some(hit) = cache.get(key).and_then(StageArtifact::into_mesh) {
+            return Ok(hit);
+        }
+        let built = Arc::new(mesh_stage(part, plan, faults)?);
+        cache.insert(key, StageArtifact::Mesh(Arc::clone(&built)), built.cost_bytes());
+        Ok(built)
+    } else {
+        Ok(Arc::new(mesh_stage(part, plan, faults)?))
+    }
+}
+
+fn obtain_slice(
+    mesh: &MeshArtifact,
+    plan: &ProcessPlan,
+    faults: &FaultPlan,
+    cache: Option<(&StageCache, StageKey)>,
+) -> Result<Arc<SliceArtifact>, PipelineError> {
+    if let Some((cache, key)) = cache {
+        if let Some(hit) = cache.get(key).and_then(StageArtifact::into_slice) {
+            return Ok(hit);
+        }
+        let built = Arc::new(slice_stage(mesh, plan, faults)?);
+        cache.insert(key, StageArtifact::Slice(Arc::clone(&built)), built.cost_bytes());
+        Ok(built)
+    } else {
+        Ok(Arc::new(slice_stage(mesh, plan, faults)?))
+    }
+}
+
+fn obtain_toolpath(
+    slice: &SliceArtifact,
+    plan: &ProcessPlan,
+    faults: &FaultPlan,
+    cache: Option<(&StageCache, StageKey)>,
+) -> Result<Arc<ToolpathArtifact>, PipelineError> {
+    if let Some((cache, key)) = cache {
+        if let Some(hit) = cache.get(key).and_then(StageArtifact::into_toolpath) {
+            return Ok(hit);
+        }
+        let built = Arc::new(toolpath_stage(slice, plan, faults)?);
+        cache.insert(key, StageArtifact::Toolpath(Arc::clone(&built)), built.cost_bytes());
+        Ok(built)
+    } else {
+        Ok(Arc::new(toolpath_stage(slice, plan, faults)?))
+    }
+}
+
+fn obtain_print(
+    toolpath: &ToolpathArtifact,
+    slice: &SliceArtifact,
+    plan: &ProcessPlan,
+    cache: Option<(&StageCache, StageKey)>,
+) -> Result<Arc<PrintArtifact>, PipelineError> {
+    if let Some((cache, key)) = cache {
+        if let Some(hit) = cache.get(key).and_then(StageArtifact::into_print) {
+            return Ok(hit);
+        }
+        let built = Arc::new(print_stage(toolpath, slice, plan)?);
+        cache.insert(key, StageArtifact::Print(Arc::clone(&built)), built.cost_bytes());
+        Ok(built)
+    } else {
+        Ok(Arc::new(print_stage(toolpath, slice, plan)?))
+    }
+}
+
+/// How deep [`warm_prefix`] evaluates the chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum PrefixDepth {
+    Mesh,
+    Slice,
+    Toolpath,
+}
+
+/// Evaluates (and caches) the chain's shared prefix up to `depth`,
+/// without printing or testing. The batch engine calls this once per
+/// *unique* prefix key so divergent suffixes find their prefix hot.
+///
+/// Errors are returned but never enter the [`StageCache`]; the batch
+/// engine records them in a per-batch side map instead (see
+/// [`crate::batch`]), so an erroring prefix — which can fail *after*
+/// substantial work, e.g. a tessellation allocation cap — is still only
+/// computed once per batch.
+pub(crate) fn warm_prefix(
+    part: &Part,
+    plan: &ProcessPlan,
+    faults: &FaultPlan,
+    cache: &StageCache,
+    depth: PrefixDepth,
+) -> Result<(), PipelineError> {
+    plan.slicer.validate().map_err(PipelineError::InvalidConfig)?;
+    plan.printer.validate().map_err(|e| PipelineError::Print(PrintError::Profile(e)))?;
+    let keys = plan_keys(part, plan, faults);
+    let mesh = obtain_mesh(part, plan, faults, Some((cache, keys.mesh)))?;
+    if depth < PrefixDepth::Slice {
+        return Ok(());
+    }
+    let slice = obtain_slice(&mesh, plan, faults, Some((cache, keys.slice)))?;
+    if depth < PrefixDepth::Toolpath {
+        return Ok(());
+    }
+    obtain_toolpath(&slice, plan, faults, Some((cache, keys.toolpath)))?;
+    Ok(())
+}
+
+/// The staged runner behind both [`run_pipeline_with_faults`] (no cache)
+/// and [`run_pipeline_cached`]: identical control flow, so the two paths
+/// cannot drift apart.
+fn run_pipeline_inner(
+    part: &Part,
+    plan: &ProcessPlan,
+    faults: &FaultPlan,
+    cache: Option<&StageCache>,
+) -> Result<PipelineOutput, PipelineError> {
+    // The plan itself must be coherent before anything runs: a bad slicer
+    // config or machine profile is a caller error, not a fault.
+    plan.slicer.validate().map_err(PipelineError::InvalidConfig)?;
+    plan.printer.validate().map_err(|e| PipelineError::Print(PrintError::Profile(e)))?;
+
+    let keys = cache.map(|_| plan_keys(part, plan, faults));
+    let with_key = |key: fn(&PlanKeys) -> StageKey| {
+        cache.zip(keys.as_ref().map(key))
+    };
+
+    let mut stages: Vec<StageOutcome> = Vec::new();
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+
+    let mesh = obtain_mesh(part, plan, faults, with_key(|k| k.mesh))?;
+    stages.extend_from_slice(&mesh.outcomes);
+    diagnostics.extend_from_slice(&mesh.diagnostics);
+
+    let slice = obtain_slice(&mesh, plan, faults, with_key(|k| k.slice))?;
+    stages.extend_from_slice(&slice.outcomes);
+    diagnostics.extend_from_slice(&slice.diagnostics);
+
+    let toolpath = obtain_toolpath(&slice, plan, faults, with_key(|k| k.toolpath))?;
+    stages.extend_from_slice(&toolpath.outcomes);
+    diagnostics.extend_from_slice(&toolpath.diagnostics);
+
+    let print = obtain_print(&toolpath, &slice, plan, with_key(|k| k.print))?;
+    stages.extend_from_slice(&print.outcomes);
 
     // Cold-joint contact: in x-y the seam's in-plane tessellation gaps
     // reduce the bonded area (fraction of the seam left open by the chord
     // mismatch); in x-z the gap opens across layers instead, measured by
     // the fraction of discontinuous layers.
-    let joint_contact = match (&seam, plan.orientation) {
+    let slice_report = &slice.slice_report;
+    let joint_contact = match (&mesh.seam, plan.orientation) {
         (Some(s), Orientation::Xy) => {
-            (1.0 - 1.5 * s.chain_mismatch / config.road_width).clamp(0.3, 1.0)
+            (1.0 - 1.5 * s.chain_mismatch / slice.config.road_width).clamp(0.3, 1.0)
         }
         (Some(_), Orientation::Xz) => {
             let frac = if slice_report.layers == 0 {
@@ -617,18 +1218,21 @@ pub fn run_pipeline_with_faults(
 
     // --- Virtual tensile test --------------------------------------------
     let tensile = if plan.tensile {
-        let tensile_config = TensileConfig {
-            joint_contact,
-            ..TensileConfig::fdm(plan.orientation)
-        };
-        let mut lattice = Lattice::from_printed(&printed, &tensile_config, plan.seed);
         stages.push(StageOutcome { stage: Stage::Test, status: StageStatus::Clean });
-        Some(match kernel_mode() {
-            KernelMode::Optimized => {
-                run_tensile_test_with(&mut lattice, &tensile_config, plan.parallelism)
+        let result: Arc<TensileResult> = if let Some((cache, keys)) = cache.zip(keys) {
+            let key = tensile_key(keys.print, plan, joint_contact);
+            match cache.get(key).and_then(StageArtifact::into_tensile) {
+                Some(hit) => hit,
+                None => {
+                    let built = Arc::new(tensile_stage(&print, plan, joint_contact));
+                    cache.insert(key, StageArtifact::Tensile(Arc::clone(&built)), tensile_cost(&built));
+                    built
+                }
             }
-            KernelMode::Reference => run_tensile_test_reference(&mut lattice, &tensile_config),
-        })
+        } else {
+            Arc::new(tensile_stage(&print, plan, joint_contact))
+        };
+        Some((*result).clone())
     } else {
         stages.push(StageOutcome { stage: Stage::Test, status: StageStatus::Skipped });
         None
@@ -636,16 +1240,247 @@ pub fn run_pipeline_with_faults(
 
     Ok(PipelineOutput {
         part_name: part.name().to_string(),
-        mesh_triangles,
-        stl_bytes,
-        seam,
-        slice_report,
-        toolpath: toolpath_stats,
-        printed,
-        scan: scan_report,
+        mesh_triangles: mesh.mesh_triangles,
+        stl_bytes: mesh.stl_bytes,
+        seam: mesh.seam.clone(),
+        slice_report: slice.slice_report.clone(),
+        toolpath: toolpath.stats,
+        printed: Arc::clone(&print.printed),
+        scan: print.scan,
         tensile,
         joint_contact,
         stages,
         diagnostics,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use am_cad::parts::{prism_with_sphere, tensile_bar_with_spline, PrismDims, TensileBarDims};
+    use am_cad::{BodyKind, MaterialRemoval};
+    use am_geom::Point3;
+
+    fn base_part() -> Part {
+        let dims = PrismDims { size: Point3::new(25.4, 12.7, 12.7), sphere_radius: 3.0 };
+        prism_with_sphere(&dims, BodyKind::Solid, MaterialRemoval::Without).expect("part")
+    }
+
+    fn keys_for(part: &Part, plan: &ProcessPlan) -> PlanKeys {
+        plan_keys(part, plan, &FaultPlan::none())
+    }
+
+    /// The cache-correctness pin the hashing scheme rests on: perturbing
+    /// any single field of any keyed input must change the stage key that
+    /// absorbs it. A lossy encoding (e.g. a `Debug` rendering that omits
+    /// or rounds a field) would make two distinct inputs alias and the
+    /// cache would serve wrong artifacts.
+    #[test]
+    fn key_schema_is_field_sensitive() {
+        let part = base_part();
+        let plan = ProcessPlan::fdm(Resolution::Coarse, Orientation::Xy);
+        let base = keys_for(&part, &plan);
+
+        // --- Part recipe → mesh key --------------------------------------
+        let part_perturbations: Vec<(&str, Part)> = vec![
+            ("prism size.x", {
+                let dims = PrismDims { size: Point3::new(25.5, 12.7, 12.7), sphere_radius: 3.0 };
+                prism_with_sphere(&dims, BodyKind::Solid, MaterialRemoval::Without).expect("part")
+            }),
+            ("prism size.z", {
+                let dims = PrismDims { size: Point3::new(25.4, 12.7, 12.8), sphere_radius: 3.0 };
+                prism_with_sphere(&dims, BodyKind::Solid, MaterialRemoval::Without).expect("part")
+            }),
+            ("sphere radius", {
+                let dims = PrismDims { size: Point3::new(25.4, 12.7, 12.7), sphere_radius: 3.1 };
+                prism_with_sphere(&dims, BodyKind::Solid, MaterialRemoval::Without).expect("part")
+            }),
+            ("body kind", {
+                let dims = PrismDims { size: Point3::new(25.4, 12.7, 12.7), sphere_radius: 3.0 };
+                prism_with_sphere(&dims, BodyKind::Surface, MaterialRemoval::Without).expect("part")
+            }),
+            ("material removal", {
+                let dims = PrismDims { size: Point3::new(25.4, 12.7, 12.7), sphere_radius: 3.0 };
+                prism_with_sphere(&dims, BodyKind::Solid, MaterialRemoval::With).expect("part")
+            }),
+            ("feature set (spline split)", {
+                tensile_bar_with_spline(&TensileBarDims::default()).expect("bar")
+            }),
+        ];
+        for (what, perturbed) in &part_perturbations {
+            assert_ne!(
+                keys_for(perturbed, &plan).mesh,
+                base.mesh,
+                "mesh key insensitive to {what}"
+            );
+        }
+
+        // Spline through-point: two bars differing in one control point.
+        let spline_bar = |dy: f64| {
+            let dims = TensileBarDims::default();
+            let mut pts = am_cad::parts::standard_split_spline(&dims)
+                .expect("spline")
+                .through_points()
+                .to_vec();
+            pts[2].y += dy;
+            let spline = am_geom::CatmullRom::new(pts).expect("six points");
+            am_cad::parts::tensile_bar(&dims)
+                .expect("bar")
+                .with_feature(am_cad::Feature::SplineSplit { spline })
+                .expect("split")
+        };
+        assert_ne!(
+            keys_for(&spline_bar(0.0), &plan).mesh,
+            keys_for(&spline_bar(0.25), &plan).mesh,
+            "mesh key insensitive to a spline control point"
+        );
+
+        // --- Resolution → mesh key ---------------------------------------
+        for resolution in [Resolution::Fine, Resolution::Custom] {
+            let changed = ProcessPlan { resolution, ..plan.clone() };
+            assert_ne!(
+                keys_for(&part, &changed).mesh,
+                base.mesh,
+                "mesh key insensitive to resolution {resolution:?}"
+            );
+        }
+
+        // --- Orientation → slice key (mesh key unchanged) ----------------
+        let turned = ProcessPlan { orientation: Orientation::Xz, ..plan.clone() };
+        let turned_keys = keys_for(&part, &turned);
+        assert_eq!(turned_keys.mesh, base.mesh, "orientation must not re-key the mesh");
+        assert_ne!(turned_keys.slice, base.slice, "slice key insensitive to orientation");
+
+        // --- SlicerConfig, field by field → slice key ---------------------
+        let slicer_perturbations: Vec<(&str, SlicerConfig)> = vec![
+            ("layer_height", SlicerConfig { layer_height: 0.2, ..plan.slicer }),
+            ("road_width", SlicerConfig { road_width: 0.51, ..plan.slicer }),
+            ("analysis_cell", SlicerConfig { analysis_cell: 0.06, ..plan.slicer }),
+            ("support", SlicerConfig { support: !plan.slicer.support, ..plan.slicer }),
+            (
+                "infill style",
+                SlicerConfig {
+                    infill: am_slicer::InfillStyle::Sparse { density: 0.5 },
+                    ..plan.slicer
+                },
+            ),
+        ];
+        for (what, slicer) in slicer_perturbations {
+            let changed = ProcessPlan { slicer, ..plan.clone() };
+            let keys = keys_for(&part, &changed);
+            assert_eq!(keys.mesh, base.mesh, "slicer {what} must not re-key the mesh");
+            assert_ne!(keys.slice, base.slice, "slice key insensitive to slicer {what}");
+        }
+        // Sparse density is a field of its own inside the infill variant.
+        let sparse = |density| ProcessPlan {
+            slicer: SlicerConfig { infill: am_slicer::InfillStyle::Sparse { density }, ..plan.slicer },
+            ..plan.clone()
+        };
+        assert_ne!(
+            keys_for(&part, &sparse(0.5)).slice,
+            keys_for(&part, &sparse(0.6)).slice,
+            "slice key insensitive to sparse-infill density"
+        );
+
+        // --- PrinterProfile, field by field → toolpath key ----------------
+        let profile_perturbations: Vec<(&str, PrinterProfile)> = vec![
+            ("name", PrinterProfile { name: "Other Machine", ..plan.printer.clone() }),
+            ("process", PrinterProfile { process: Process::PolyJet, ..plan.printer.clone() }),
+            ("layer_height", PrinterProfile { layer_height: 0.2, ..plan.printer.clone() }),
+            ("road_width", PrinterProfile { road_width: 0.51, ..plan.printer.clone() }),
+            ("feed_mm_per_s", PrinterProfile { feed_mm_per_s: 31.0, ..plan.printer.clone() }),
+            (
+                "model_material.young_modulus_gpa",
+                PrinterProfile {
+                    model_material: am_printer::MaterialSpec {
+                        young_modulus_gpa: 2.2,
+                        ..plan.printer.model_material.clone()
+                    },
+                    ..plan.printer.clone()
+                },
+            ),
+            (
+                "model_material.tensile_strength_mpa",
+                PrinterProfile {
+                    model_material: am_printer::MaterialSpec {
+                        tensile_strength_mpa: 34.0,
+                        ..plan.printer.model_material.clone()
+                    },
+                    ..plan.printer.clone()
+                },
+            ),
+            (
+                "model_material.elongation_at_break",
+                PrinterProfile {
+                    model_material: am_printer::MaterialSpec {
+                        elongation_at_break: 0.11,
+                        ..plan.printer.model_material.clone()
+                    },
+                    ..plan.printer.clone()
+                },
+            ),
+            (
+                "model_material.density_g_cm3",
+                PrinterProfile {
+                    model_material: am_printer::MaterialSpec {
+                        density_g_cm3: 1.1,
+                        ..plan.printer.model_material.clone()
+                    },
+                    ..plan.printer.clone()
+                },
+            ),
+            (
+                "soluble_support",
+                PrinterProfile { soluble_support: !plan.printer.soluble_support, ..plan.printer.clone() },
+            ),
+            ("road_bond", PrinterProfile { road_bond: 0.93, ..plan.printer.clone() }),
+            ("layer_bond", PrinterProfile { layer_bond: 0.81, ..plan.printer.clone() }),
+            ("joint_bond", PrinterProfile { joint_bond: 0.5, ..plan.printer.clone() }),
+            ("joint_ductility", PrinterProfile { joint_ductility: 0.5, ..plan.printer.clone() }),
+            ("noise_sigma", PrinterProfile { noise_sigma: 0.07, ..plan.printer.clone() }),
+        ];
+        for (what, printer) in profile_perturbations {
+            let changed = ProcessPlan { printer, ..plan.clone() };
+            let keys = keys_for(&part, &changed);
+            assert_eq!(keys.slice, base.slice, "printer {what} must not re-key the slice");
+            assert_ne!(
+                keys.toolpath, base.toolpath,
+                "toolpath key insensitive to printer {what}"
+            );
+        }
+
+        // --- Seed → print key (toolpath key unchanged) --------------------
+        let reseeded = plan.clone().with_seed(plan.seed + 1);
+        let reseeded_keys = keys_for(&part, &reseeded);
+        assert_eq!(reseeded_keys.toolpath, base.toolpath, "seed must not re-key the toolpath");
+        assert_ne!(reseeded_keys.print, base.print, "print key insensitive to seed");
+
+        // --- Joint contact and orientation → tensile key ------------------
+        let t0 = tensile_key(base.print, &plan, 0.9);
+        assert_ne!(t0, tensile_key(base.print, &plan, 0.90001), "tensile key insensitive to joint contact");
+        assert_ne!(t0, tensile_key(base.print, &turned, 0.9), "tensile key insensitive to orientation");
+    }
+
+    /// Fault poisoning at the key level: fault entries (and the fault seed)
+    /// re-key the stage they strike, and only that stage's chain.
+    #[test]
+    fn fault_entries_poison_their_stage_key() {
+        let part = base_part();
+        let plan = ProcessPlan::fdm(Resolution::Coarse, Orientation::Xy);
+        let clean = plan_keys(&part, &plan, &FaultPlan::none());
+
+        let stl: FaultPlan = "stl.degenerate=3".parse().expect("spec");
+        let stl_keys = plan_keys(&part, &plan, &stl);
+        assert_ne!(stl_keys.mesh, clean.mesh, "STL fault must poison the mesh key");
+
+        let slicer: FaultPlan = "slicer.zero_layer".parse().expect("spec");
+        let slicer_keys = plan_keys(&part, &plan, &slicer);
+        assert_eq!(slicer_keys.mesh, clean.mesh, "slicer fault must not poison the mesh key");
+        assert_ne!(slicer_keys.slice, clean.slice, "slicer fault must poison the slice key");
+
+        // Fault seed matters once fault entries draw from it.
+        let seeded_a = plan_keys(&part, &plan, &stl.clone().with_seed(1));
+        let seeded_b = plan_keys(&part, &plan, &stl.with_seed(2));
+        assert_ne!(seeded_a.mesh, seeded_b.mesh, "fault seed must enter the poisoned key");
+    }
 }

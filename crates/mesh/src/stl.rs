@@ -42,6 +42,22 @@ pub enum StlError {
     },
 }
 
+impl Clone for StlError {
+    fn clone(&self) -> Self {
+        match self {
+            // `io::Error` is not `Clone`; a clone preserves the kind and the
+            // rendered message, which is all the pipeline ever reports.
+            StlError::Io(e) => StlError::Io(io::Error::new(e.kind(), e.to_string())),
+            StlError::Malformed { reason } => StlError::Malformed { reason: reason.clone() },
+            StlError::Truncated { declared_facets, available_bytes } => StlError::Truncated {
+                declared_facets: *declared_facets,
+                available_bytes: *available_bytes,
+            },
+            StlError::NonFiniteVertex { facet } => StlError::NonFiniteVertex { facet: *facet },
+        }
+    }
+}
+
 impl fmt::Display for StlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

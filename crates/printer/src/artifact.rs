@@ -211,28 +211,44 @@ impl PrintedPart {
             }
         }
 
+        // Each road's squared radius is used once per voxel-row test;
+        // compute it once per road, up front.
+        let radii_sq: Vec<f64> = radii.iter().map(|r| r * r).collect();
+
         let plane = part.nx * part.ny;
         let (origin, voxel_xy, nx, ny) = (part.origin, part.voxel_xy, part.nx, part.ny);
+        // Hand each worker a contiguous *range* of layers rather than one
+        // layer at a time: most parts have hundreds of thin layers, and
+        // per-layer work items made the distribution overhead (one mutex
+        // cell per layer) comparable to the stamping itself. Four chunks
+        // per worker keeps load balancing without the per-layer traffic.
+        let workers = parallelism.thread_count().min(part.nz.max(1));
+        let chunk_layers = part.nz.div_ceil(workers * 4).max(1);
         let work: Vec<(usize, &mut [Material], &mut [u16])> = part
             .material
-            .chunks_mut(plane)
-            .zip(part.body.chunks_mut(plane))
+            .chunks_mut(plane * chunk_layers)
+            .zip(part.body.chunks_mut(plane * chunk_layers))
             .enumerate()
-            .map(|(k, (m, b))| (k, m, b))
+            .map(|(c, (m, b))| (c * chunk_layers, m, b))
             .collect();
         let pool = Pool::new(parallelism);
-        pool.par_consume(work, |(k, layer_mat, layer_body)| {
-            for &ri in &layer_roads[k] {
-                stamp_road_layer(
-                    layer_mat,
-                    layer_body,
-                    &toolpath.roads[ri as usize],
-                    radii[ri as usize],
-                    origin,
-                    voxel_xy,
-                    nx,
-                    ny,
-                );
+        pool.par_consume(work, |(k0, chunk_mat, chunk_body)| {
+            for (dk, (layer_mat, layer_body)) in
+                chunk_mat.chunks_mut(plane).zip(chunk_body.chunks_mut(plane)).enumerate()
+            {
+                for &ri in &layer_roads[k0 + dk] {
+                    stamp_road_layer(
+                        layer_mat,
+                        layer_body,
+                        &toolpath.roads[ri as usize],
+                        radii[ri as usize],
+                        radii_sq[ri as usize],
+                        origin,
+                        voxel_xy,
+                        nx,
+                        ny,
+                    );
+                }
             }
         });
         Ok(part)
@@ -508,16 +524,73 @@ impl PrintedPart {
     }
 }
 
+/// Writes one voxel under the deposition overwrite rules: model never
+/// gets overwritten by support, and only model roads claim a body id.
+#[inline]
+fn write_voxel(
+    row: &mut [Material],
+    body_row: &mut [u16],
+    i: usize,
+    material: Material,
+    body: Option<u16>,
+) {
+    if material == Material::Model || row[i] == Material::Empty {
+        row[i] = material;
+    }
+    if material == Material::Model {
+        if let Some(b) = body {
+            body_row[i] = b;
+        }
+    }
+}
+
+/// Proof margin (**mm², squared-distance units only**) separating
+/// "provably inside/outside" from the exact per-voxel distance test in
+/// [`stamp_road_layer`]'s axis-aligned fast paths.
+///
+/// Derivation of the error bound it must dominate: for an axis-aligned
+/// segment the reference [`am_geom::Segment2::distance_squared_to_point`]
+/// projects the voxel center onto the segment with the perpendicular
+/// coordinate of the nearest point reproduced *exactly* (the projection
+/// adds `t * 0.0 = 0.0` along the degenerate axis), so the reference
+/// squared distance differs from the analytic `(cy − a.y)²` / `(cx − a.x)²`
+/// only by the along-axis projection residual, squared. Build-volume
+/// coordinates are below ~10³ mm, where one `f64` ulp is ≤ 2⁻⁴² mm ≈
+/// 2.3·10⁻¹³ mm; a few ulps of residual squared is ≲ 10⁻²⁵ mm². Any voxel
+/// whose analytic squared distance clears `radius_sq` by this margin
+/// (19 orders of magnitude of headroom) is therefore guaranteed to land on
+/// the same side of the comparison the reference test takes; voxels inside
+/// the margin band fall back to that exact test. The margin is **never**
+/// applied as a linear (mm) offset: span membership uses the exact
+/// `x_min ≤ center ≤ x_max` / `seg_lo_y ≤ cy ≤ seg_hi_y` bounds, which are
+/// safe without a margin because a center at exactly `x_min` projects at
+/// `t = 0` with squared distance exactly `(cy − a.y)²`.
+const STAMP_PROOF_MARGIN: f64 = 1e-6;
+
 /// Stamps one road into its layer's material/body planes (row-major,
 /// `ny` rows × `nx` columns). Same AABB clamping and overwrite rules as
 /// [`PrintedPart::stamp_road`], but radius tests compare squared distances
-/// (no per-voxel square root) and indexing is 2-D.
+/// (no per-voxel square root), indexing is 2-D, and each row only visits
+/// the voxels whose centers can actually lie within `radius` of the
+/// segment: the segment is clipped to the row's y-slab and only the
+/// clipped span's x-extent (± radius) is scanned.
+///
+/// Axis-aligned roads — the entire raster infill and most perimeter
+/// segments — additionally take a span-fill fast path: along the interior
+/// of a horizontal road the squared distance to the segment is the row's
+/// constant `(cy − a.y)²`, so when that clears `radius_sq` by
+/// [`STAMP_PROOF_MARGIN`] the whole interior span is stamped with **no
+/// per-voxel distance test at all** (and symmetric per-voxel `(cx − a.x)²`
+/// comparisons handle vertical roads). Endpoint caps and margin-borderline
+/// rows run the reference test, so the stamped result is bit-identical to
+/// the full-AABB per-voxel scan.
 #[allow(clippy::too_many_arguments)]
 fn stamp_road_layer(
     layer_mat: &mut [Material],
     layer_body: &mut [u16],
     road: &am_slicer::Road,
     radius: f64,
+    radius_sq: f64,
     origin: Point3,
     voxel_xy: f64,
     nx: usize,
@@ -528,32 +601,132 @@ fn stamp_road_layer(
         ToolMaterial::Support => Material::Support,
     };
     let (a, b) = (road.from, road.to);
+    let seg_lo_y = a.y.min(b.y);
+    let seg_hi_y = a.y.max(b.y);
     let lo_x = (a.x.min(b.x) - radius - origin.x) / voxel_xy;
     let hi_x = (a.x.max(b.x) + radius - origin.x) / voxel_xy;
-    let lo_y = (a.y.min(b.y) - radius - origin.y) / voxel_xy;
-    let hi_y = (a.y.max(b.y) + radius - origin.y) / voxel_xy;
+    let lo_y = (seg_lo_y - radius - origin.y) / voxel_xy;
+    let hi_y = (seg_hi_y + radius - origin.y) / voxel_xy;
     let i0 = lo_x.floor().max(0.0) as usize;
     let i1 = (hi_x.ceil() as usize).min(nx - 1);
     let j0 = lo_y.floor().max(0.0) as usize;
     let j1 = (hi_y.ceil() as usize).min(ny - 1);
     let seg = am_geom::Segment2::new(a, b);
-    let radius_sq = radius * radius;
+    let dx = b.x - a.x;
+    let dy = b.y - a.y;
+    let len2 = dx * dx + dy * dy;
+    let horizontal = dy == 0.0 && len2 > 0.0;
+    let vertical = dx == 0.0 && len2 > 0.0;
     for j in j0..=j1 {
+        let cy = origin.y + (j as f64 + 0.5) * voxel_xy;
+        // Any voxel center farther than `radius` from the segment's y-range
+        // is farther than `radius` from every segment point: skip the row.
+        if cy < seg_lo_y - radius || cy > seg_hi_y + radius {
+            continue;
+        }
+        // Clip the segment to the row's reachable y-slab [cy−r, cy+r]; the
+        // nearest segment point to any voxel this row stamps has its y in
+        // the slab, hence its x in the clipped span. Scan only that span
+        // (± radius), widened a voxel each side for rounding headroom.
+        // Worth it only for diagonal segments: a vertical road's clipped
+        // span is its (already minimal) x-AABB — the ±half-voxel widening
+        // makes the clip a provable no-op there, so skip its two
+        // divisions per row.
+        let (mut ri0, mut ri1) = (i0, i1);
+        if dy != 0.0 && dx != 0.0 {
+            let t_at = |y: f64| ((y - a.y) / dy).clamp(0.0, 1.0);
+            let (t_lo, t_hi) = (t_at(cy - radius), t_at(cy + radius));
+            let (x_lo, x_hi) = {
+                let xa = a.x + t_lo * (b.x - a.x);
+                let xb = a.x + t_hi * (b.x - a.x);
+                (xa.min(xb), xa.max(xb))
+            };
+            let span_lo = ((x_lo - radius - origin.x) / voxel_xy - 0.5).floor();
+            let span_hi = ((x_hi + radius - origin.x) / voxel_xy + 0.5).ceil();
+            ri0 = ri0.max(span_lo.max(0.0) as usize);
+            ri1 = ri1.min(span_hi.max(0.0) as usize);
+        }
         let row = &mut layer_mat[j * nx..(j + 1) * nx];
         let body_row = &mut layer_body[j * nx..(j + 1) * nx];
-        let cy = origin.y + (j as f64 + 0.5) * voxel_xy;
-        for i in i0..=i1 {
+
+        if horizontal {
+            // Along a horizontal road every interior voxel (center x inside
+            // the segment's x-range) sits at squared distance (cy − a.y)²
+            // exactly: the reference computation projects it onto the
+            // segment with zero y displacement, so its x error term is far
+            // below the proof margin.
+            let wy = cy - a.y;
+            let wy2 = wy * wy;
+            if wy2 > radius_sq + STAMP_PROOF_MARGIN {
+                // Every voxel in the row is provably outside.
+                continue;
+            }
+            if wy2 <= radius_sq - STAMP_PROOF_MARGIN {
+                // Interior span: provably inside, stamp without testing.
+                // Exact center-in-span bounds — no linear margin: a center
+                // at exactly x_min projects at t = 0 with squared distance
+                // exactly wy², and a bound-computation rounding error can
+                // push a selected center at most a few ulps outside the
+                // span, adding a squared x-term ≲ 1e-25 mm² — absorbed by
+                // the ≥ STAMP_PROOF_MARGIN headroom wy² already clears.
+                let x_min = a.x.min(b.x);
+                let x_max = a.x.max(b.x);
+                let fl = ((x_min - origin.x) / voxel_xy - 0.5)
+                    .ceil()
+                    .max(ri0 as f64) as usize;
+                let fh = ((x_max - origin.x) / voxel_xy - 0.5)
+                    .floor()
+                    .min(ri1 as f64);
+                if fh >= fl as f64 {
+                    let fh = fh as usize;
+                    for i in ri0..fl {
+                        let c = am_geom::Point2::new(origin.x + (i as f64 + 0.5) * voxel_xy, cy);
+                        if seg.distance_squared_to_point(c) <= radius_sq {
+                            write_voxel(row, body_row, i, material, road.body);
+                        }
+                    }
+                    for i in fl..=fh {
+                        write_voxel(row, body_row, i, material, road.body);
+                    }
+                    for i in (fh + 1)..=ri1 {
+                        let c = am_geom::Point2::new(origin.x + (i as f64 + 0.5) * voxel_xy, cy);
+                        if seg.distance_squared_to_point(c) <= radius_sq {
+                            write_voxel(row, body_row, i, material, road.body);
+                        }
+                    }
+                    continue;
+                }
+            }
+            // Margin-borderline row (or no interior span): exact test below.
+        } else if vertical && cy >= seg_lo_y && cy <= seg_hi_y {
+            // Interior row of a vertical road (exact y-range test — at the
+            // endpoints the projection clamps and the nearest y equals cy
+            // exactly): the squared distance is (cx − a.x)² up to a
+            // sub-margin projection residual, so a single comparison
+            // replaces the reference computation except inside the margin
+            // band.
+            for i in ri0..=ri1 {
+                let cx = origin.x + (i as f64 + 0.5) * voxel_xy;
+                let wx = cx - a.x;
+                let wx2 = wx * wx;
+                let inside = if wx2 <= radius_sq - STAMP_PROOF_MARGIN {
+                    true
+                } else if wx2 >= radius_sq + STAMP_PROOF_MARGIN {
+                    false
+                } else {
+                    seg.distance_squared_to_point(am_geom::Point2::new(cx, cy)) <= radius_sq
+                };
+                if inside {
+                    write_voxel(row, body_row, i, material, road.body);
+                }
+            }
+            continue;
+        }
+
+        for i in ri0..=ri1 {
             let c = am_geom::Point2::new(origin.x + (i as f64 + 0.5) * voxel_xy, cy);
             if seg.distance_squared_to_point(c) <= radius_sq {
-                // Model never gets overwritten by support.
-                if material == Material::Model || row[i] == Material::Empty {
-                    row[i] = material;
-                }
-                if material == Material::Model {
-                    if let Some(body) = road.body {
-                        body_row[i] = body;
-                    }
-                }
+                write_voxel(row, body_row, i, material, road.body);
             }
         }
     }
