@@ -9,10 +9,13 @@
 # 3. bench smoke: tiny-workload run of the benchmark harness; the CLI
 #    re-parses the emitted JSON and validates the schema, so this also
 #    gates the report format
-# 4. bench regression gate: the committed BENCH_PR3.json must parse
-#    against the obfuscade-bench/v2 schema with every kernel speedup
-#    >= 1.0x (the smoke report is schema-validated on write but not
-#    speedup-gated — tiny workloads are too noisy to threshold)
+# 4. bench regression gate: the committed BENCH_PR4.json must parse
+#    against the obfuscade-bench/v3 schema with every kernel speedup
+#    >= 1.0x AND the fea row's optimized wall clock within half of PR 3's
+#    committed 1157.7 ms — i.e. the Newton-PCG solver must stay >= 2x
+#    faster than the relaxation kernel it replaced (the smoke report is
+#    schema-validated on write but not speedup-gated — tiny workloads are
+#    too noisy to threshold)
 # 5. clippy as an error wall, with `clippy::unwrap_used` additionally
 #    enabled for library and binary code (test code may unwrap freely —
 #    a failing assertion *is* its error report)
@@ -21,7 +24,7 @@ set -eu
 cargo build --release --workspace
 cargo test --workspace -q
 ./target/release/obfuscade bench --smoke --threads 2 --out target/bench_smoke.json
-./target/release/obfuscade bench --check BENCH_PR3.json
+./target/release/obfuscade bench --check BENCH_PR4.json --fea-budget-ms 578.9
 cargo clippy --workspace --all-targets -- -D warnings
 cargo clippy --workspace --lib --bins -- -D warnings -W clippy::unwrap_used
 

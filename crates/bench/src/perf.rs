@@ -16,14 +16,26 @@
 //! The report is rendered both as a human-readable table and as a small
 //! hand-rolled JSON document (`BENCH_*.json`); [`validate_report_json`]
 //! parses the JSON back and checks the schema (including the cache
-//! counters, schema `obfuscade-bench/v2`), so CI can verify the emitted
-//! file without a JSON dependency.
+//! counters and the PR 4 per-kernel solver-work counters, schema
+//! `obfuscade-bench/v3`), so CI can verify the emitted file without a
+//! JSON dependency.
+//!
+//! Since PR 4 the `fea` row times the tensile kernel under the configured
+//! equilibrium solver ([`BenchConfig::solver`], default Newton–PCG) and
+//! every kernel row carries two work counters sampled from the fea crate's
+//! process-wide solver telemetry: `inner_iters` (PCG + relaxation sweeps)
+//! and `residual_evals` (full bond-force evaluations). Both are averaged
+//! per timed optimized pass and are zero for rows that never enter the
+//! tensile kernel.
 
 use std::time::Instant;
 
 use am_cad::parts::{prism_with_sphere, tensile_bar_with_spline, PrismDims, TensileBarDims};
 use am_cad::{BodyKind, MaterialRemoval};
-use am_fea::{run_tensile_test_reference, run_tensile_test_with, Lattice, TensileConfig};
+use am_fea::{
+    run_tensile_test_reference, run_tensile_test_with, solver_counters, FeaSolver, Lattice,
+    TensileConfig,
+};
 use am_geom::{Point3, Transform3, Vec3};
 use am_mesh::{tessellate_shells, Resolution};
 use am_printer::{PrintedPart, PrinterProfile};
@@ -48,6 +60,10 @@ pub struct BenchConfig {
     pub threads: usize,
     /// Replicates for the end-to-end experiment suite (ignored in smoke).
     pub replicates: usize,
+    /// Equilibrium solver the optimized tensile kernel runs under
+    /// (`fea` row only; the reference baseline is always the original
+    /// relaxation loop, and the experiment suite uses each plan's default).
+    pub solver: FeaSolver,
 }
 
 impl Default for BenchConfig {
@@ -56,7 +72,7 @@ impl Default for BenchConfig {
         // than cores only adds scheduling overhead (and on a single-core
         // CI box it can push a committed speedup below 1.0x).
         let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        BenchConfig { smoke: false, threads, replicates: 2 }
+        BenchConfig { smoke: false, threads, replicates: 2, solver: FeaSolver::default() }
     }
 }
 
@@ -75,6 +91,12 @@ pub struct KernelResult {
     pub baseline_ms: f64,
     /// Best-of-N wall-clock of the optimized kernel, milliseconds.
     pub optimized_ms: f64,
+    /// Inner solver iterations (PCG + relaxation sweeps) per timed
+    /// optimized pass; 0 for kernels that never enter the tensile solver.
+    pub inner_iters: u64,
+    /// Full bond-force evaluations per timed optimized pass; 0 for
+    /// kernels that never enter the tensile solver.
+    pub residual_evals: u64,
 }
 
 impl KernelResult {
@@ -99,7 +121,7 @@ pub struct BenchReport {
     pub evictions: u64,
 }
 
-const SCHEMA: &str = "obfuscade-bench/v2";
+const SCHEMA: &str = "obfuscade-bench/v3";
 
 impl BenchReport {
     /// Renders the human-readable results table.
@@ -107,20 +129,23 @@ impl BenchReport {
         let mut out = String::from("Benchmark — reference kernels vs optimized kernels\n\n");
         let _ = writeln!(
             out,
-            "{:<16} {:>14} {:>14} {:>9} {:>9}",
-            "kernel", "baseline ms", "optimized ms", "speedup", "threads"
+            "{:<16} {:>14} {:>14} {:>9} {:>9} {:>12} {:>12}",
+            "kernel", "baseline ms", "optimized ms", "speedup", "threads", "inner iters", "resid evals"
         );
         for k in &self.kernels {
             let _ = writeln!(
                 out,
-                "{:<16} {:>14.2} {:>14.2} {:>8.2}x {:>9}",
+                "{:<16} {:>14.2} {:>14.2} {:>8.2}x {:>9} {:>12} {:>12}",
                 k.name,
                 k.baseline_ms,
                 k.optimized_ms,
                 k.speedup(),
-                k.threads
+                k.threads,
+                k.inner_iters,
+                k.residual_evals
             );
         }
+        let _ = writeln!(out, "\ntensile solver (optimized fea row): {}", self.config.solver);
         let lookups = self.cache_hits + self.cache_misses;
         if lookups > 0 {
             let _ = writeln!(
@@ -145,6 +170,7 @@ impl BenchReport {
         let _ = writeln!(out, "  \"schema\": {},", json_string(SCHEMA));
         let _ = writeln!(out, "  \"smoke\": {},", self.config.smoke);
         let _ = writeln!(out, "  \"threads\": {},", self.config.threads);
+        let _ = writeln!(out, "  \"solver\": {},", json_string(self.config.solver.name()));
         let _ = writeln!(out, "  \"cache_hits\": {},", self.cache_hits);
         let _ = writeln!(out, "  \"cache_misses\": {},", self.cache_misses);
         let _ = writeln!(out, "  \"evictions\": {},", self.evictions);
@@ -162,6 +188,8 @@ impl BenchReport {
             let _ = writeln!(out, "      \"threads\": {},", k.threads);
             let _ = writeln!(out, "      \"baseline_ms\": {},", json_number(k.baseline_ms));
             let _ = writeln!(out, "      \"optimized_ms\": {},", json_number(k.optimized_ms));
+            let _ = writeln!(out, "      \"inner_iters\": {},", k.inner_iters);
+            let _ = writeln!(out, "      \"residual_evals\": {},", k.residual_evals);
             let _ = writeln!(out, "      \"speedup\": {}", json_number(k.speedup()));
             out.push_str(if i + 1 < self.kernels.len() { "    },\n" } else { "    }\n" });
         }
@@ -383,8 +411,9 @@ fn parse_json(text: &str) -> Result<Json, String> {
 }
 
 /// Parses a `BENCH_*.json` document back and checks it against the schema:
-/// the marker, the thread count, and a non-empty kernel list whose rows
-/// carry positive timings and a speedup consistent with them. Returns the
+/// the marker, the thread count, the tensile solver name, and a non-empty
+/// kernel list whose rows carry positive timings, integer solver-work
+/// counters, and a speedup consistent with the timings. Returns the
 /// per-kernel speedups on success.
 pub fn validate_report_json(text: &str) -> Result<Vec<(String, f64)>, String> {
     let doc = parse_json(text)?;
@@ -402,6 +431,12 @@ pub fn validate_report_json(text: &str) -> Result<Vec<(String, f64)>, String> {
         .ok_or("missing 'threads'")?;
     if threads < 1.0 {
         return Err(format!("bad thread count {threads}"));
+    }
+    // v3: the tensile solver the optimized fea row ran under must name a
+    // known solver.
+    match doc.get("solver") {
+        Some(Json::String(s)) if s.parse::<FeaSolver>().is_ok() => {}
+        other => return Err(format!("bad 'solver' field: {other:?}")),
     }
     // v2: the stage-cache counters are mandatory non-negative integers.
     for field in ["cache_hits", "cache_misses", "evictions"] {
@@ -436,6 +471,14 @@ pub fn validate_report_json(text: &str) -> Result<Vec<(String, f64)>, String> {
         let baseline_ms = get("baseline_ms")?;
         let optimized_ms = get("optimized_ms")?;
         let speedup = get("speedup")?;
+        // v3: every kernel row carries solver-work counters (zero outside
+        // the tensile kernel), as non-negative integers.
+        for field in ["inner_iters", "residual_evals"] {
+            let v = get(field)?;
+            if v < 0.0 || v.fract() != 0.0 {
+                return Err(format!("kernel '{name}': bad '{field}' counter: {v}"));
+            }
+        }
         if baseline_ms <= 0.0 || optimized_ms <= 0.0 {
             return Err(format!("kernel '{name}': non-positive timings"));
         }
@@ -450,6 +493,26 @@ pub fn validate_report_json(text: &str) -> Result<Vec<(String, f64)>, String> {
         speedups.push((name, speedup));
     }
     Ok(speedups)
+}
+
+/// Extracts one kernel row's `optimized_ms` from a `BENCH_*.json` document
+/// (for absolute wall-clock budget gates on top of [`validate_report_json`]'s
+/// relative speedup checks).
+pub fn report_kernel_optimized_ms(text: &str, kernel: &str) -> Result<f64, String> {
+    let doc = parse_json(text)?;
+    let kernels = match doc.get("kernels") {
+        Some(Json::Array(items)) => items,
+        _ => return Err("missing 'kernels' array".to_string()),
+    };
+    for k in kernels {
+        if matches!(k.get("name"), Some(Json::String(s)) if s == kernel) {
+            return k
+                .get("optimized_ms")
+                .and_then(Json::as_number)
+                .ok_or_else(|| format!("kernel '{kernel}': missing numeric 'optimized_ms'"));
+        }
+    }
+    Err(format!("no '{kernel}' kernel row in the report"))
 }
 
 // --- Workloads ---------------------------------------------------------
@@ -556,6 +619,8 @@ fn bench_slicing(w: &Workload, config: &BenchConfig) -> KernelResult {
         threads: config.threads,
         baseline_ms,
         optimized_ms,
+        inner_iters: 0,
+        residual_evals: 0,
     }
 }
 
@@ -591,11 +656,13 @@ fn bench_printing(w: &Workload, config: &BenchConfig) -> KernelResult {
         threads: config.threads,
         baseline_ms,
         optimized_ms,
+        inner_iters: 0,
+        residual_evals: 0,
     }
 }
 
 fn bench_fea(w: &Workload, config: &BenchConfig) -> KernelResult {
-    let tc = tensile_config(config.smoke);
+    let tc = TensileConfig { solver: config.solver, ..tensile_config(config.smoke) };
     let pristine = Lattice::from_printed(&w.printed, &tc, 7);
     // Seconds-long but convergence-sensitive: a single timing sample has
     // landed a committed speedup on the wrong side of 1.0x under scheduler
@@ -605,10 +672,14 @@ fn bench_fea(w: &Workload, config: &BenchConfig) -> KernelResult {
         let mut lattice = pristine.clone();
         run_tensile_test_reference(&mut lattice, &tc)
     });
+    let before = solver_counters();
     let (optimized_ms, optimized) = time_best(iters, || {
         let mut lattice = pristine.clone();
         run_tensile_test_with(&mut lattice, &tc, Parallelism::threads(config.threads))
     });
+    // The solver work is deterministic per pass, so the average over the
+    // timed iterations is the exact per-pass count.
+    let work = solver_counters().since(&before);
     // The solvers share the constitutive law and convergence tolerance but
     // relax along different pseudo-dynamic paths, so they agree to solver
     // tolerance — not bit-for-bit (the fea crate's
@@ -626,13 +697,21 @@ fn bench_fea(w: &Workload, config: &BenchConfig) -> KernelResult {
     KernelResult {
         name: "fea".to_string(),
         baseline: "unit-mass AoS relaxation (serial)".to_string(),
-        optimized: format!(
-            "mass-scaled, warm-started SoA relaxation, {} thread(s)",
-            config.threads
-        ),
+        optimized: match config.solver {
+            FeaSolver::NewtonPcg => format!(
+                "matrix-free Newton-PCG, pooled scratch, {} thread(s)",
+                config.threads
+            ),
+            FeaSolver::Relaxation => format!(
+                "mass-scaled, warm-started SoA relaxation, {} thread(s)",
+                config.threads
+            ),
+        },
         threads: config.threads,
         baseline_ms,
         optimized_ms,
+        inner_iters: work.inner_iters() / iters as u64,
+        residual_evals: work.force_evals / iters as u64,
     }
 }
 
@@ -776,6 +855,8 @@ fn bench_sweep(config: &BenchConfig) -> (KernelResult, CacheStats) {
         threads: config.threads,
         baseline_ms,
         optimized_ms,
+        inner_iters: 0,
+        residual_evals: 0,
     };
     (kernel, stats)
 }
@@ -792,10 +873,12 @@ fn bench_end_to_end(config: &BenchConfig) -> KernelResult {
         run_suite(config.smoke, config.replicates)
     });
     set_kernel_mode(KernelMode::Optimized);
+    let before = solver_counters();
     let (optimized_ms, len_opt) = time_best(1, || {
         crate::experiments::experiment_cache().clear();
         run_suite(config.smoke, config.replicates)
     });
+    let work = solver_counters().since(&before);
     // Tensile numbers drift at solver tolerance between kernel modes (see
     // `bench_fea`), so rendered reports can differ by a few characters; a
     // large delta would mean an experiment took a different branch.
@@ -812,6 +895,8 @@ fn bench_end_to_end(config: &BenchConfig) -> KernelResult {
         threads: 1,
         baseline_ms,
         optimized_ms,
+        inner_iters: work.inner_iters(),
+        residual_evals: work.force_evals,
     }
 }
 
@@ -861,7 +946,12 @@ mod tests {
 
     fn sample_report() -> BenchReport {
         BenchReport {
-            config: BenchConfig { smoke: true, threads: 4, replicates: 1 },
+            config: BenchConfig {
+                smoke: true,
+                threads: 4,
+                replicates: 1,
+                solver: FeaSolver::NewtonPcg,
+            },
             kernels: vec![KernelResult {
                 name: "slicing".to_string(),
                 baseline: "scan".to_string(),
@@ -869,6 +959,8 @@ mod tests {
                 threads: 4,
                 baseline_ms: 120.0,
                 optimized_ms: 30.0,
+                inner_iters: 4321,
+                residual_evals: 87,
             }],
             cache_hits: 132,
             cache_misses: 36,
@@ -899,11 +991,32 @@ mod tests {
         // v2: a v1-style document without cache counters must be rejected.
         let v1 = sample_report().to_json().replace("  \"cache_hits\": 132,\n", "");
         assert!(validate_report_json(&v1).is_err());
+        // v3: a v2-style document — no top-level solver, no per-kernel work
+        // counters — must be rejected, as must an unknown solver name.
+        let no_solver =
+            sample_report().to_json().replace("  \"solver\": \"newton-pcg\",\n", "");
+        assert!(validate_report_json(&no_solver).is_err());
+        let bad_solver = sample_report().to_json().replace("newton-pcg", "gradient-descent");
+        assert!(validate_report_json(&bad_solver).is_err());
+        let no_iters =
+            sample_report().to_json().replace("      \"inner_iters\": 4321,\n", "");
+        assert!(validate_report_json(&no_iters).is_err());
+        let frac_iters =
+            sample_report().to_json().replace("\"residual_evals\": 87", "\"residual_evals\": 8.7");
+        assert!(validate_report_json(&frac_iters).is_err());
         // Counters must be non-negative integers.
         let frac = sample_report().to_json().replace("\"evictions\": 2", "\"evictions\": 2.5");
         assert!(validate_report_json(&frac).is_err());
         let neg = sample_report().to_json().replace("\"evictions\": 2", "\"evictions\": -1");
         assert!(validate_report_json(&neg).is_err());
+    }
+
+    #[test]
+    fn optimized_ms_lookup_finds_the_named_row() {
+        let json = sample_report().to_json();
+        let ms = report_kernel_optimized_ms(&json, "slicing").expect("present");
+        assert!((ms - 30.0).abs() < 1e-9);
+        assert!(report_kernel_optimized_ms(&json, "fea").is_err());
     }
 
     #[test]

@@ -18,7 +18,7 @@ use am_slicer::{
     orient_shells, parse_gcode, to_gcode, try_generate_toolpath, try_slice_shells, Orientation,
     SlicerConfig,
 };
-use obfuscade::{run_pipeline_with_faults, FaultPlan, ProcessPlan};
+use obfuscade::{run_pipeline_with_faults, FaultPlan, FeaSolver, ProcessPlan};
 
 /// CLI usage text.
 pub const USAGE: &str = "\
@@ -62,16 +62,23 @@ COMMANDS:
                    batch engine and report each key's printed outcome
                      [--threads N]              thread budget (default: all cores)
                      [--seed N]                 process seed (default 1)
-                     [--cache-stats]            print stage-cache counters
+                     [--tensile]                also run the virtual tensile test per key
+                     [--solver SOLVER]          tensile equilibrium solver:
+                                                newton-pcg (default) | relaxation
+                     [--cache-stats]            print stage-cache and solver-pool counters
     bench          benchmark the reference kernels against the optimized ones
                    and write a BENCH_*.json report
                      [--smoke]                  tiny workloads (CI smoke stage)
                      [--threads N]              parallel-path thread budget (default: all cores)
                      [--replicates N]           end-to-end replicates (default 2)
+                     [--solver SOLVER]          tensile solver for the optimized fea row:
+                                                newton-pcg (default) | relaxation
                      [--only KERNEL]            slicing|printing|fea|sweep|all_experiments
-                     [--out FILE.json]          (default BENCH_PR3.json)
+                     [--out FILE.json]          (default BENCH_PR4.json)
                      [--check FILE.json]        validate an existing report instead of
                                                 benchmarking; fail on any speedup < 1.0
+                     [--fea-budget-ms MS]       with --check: also fail if the fea row's
+                                                optimized time exceeds MS milliseconds
     help           show this text
 ";
 
@@ -102,6 +109,13 @@ fn resolution_flag(flags: &HashMap<String, String>) -> Result<Resolution, String
         "fine" => Ok(Resolution::Fine),
         "custom" => Ok(Resolution::Custom),
         other => Err(format!("unknown resolution `{other}` (coarse|fine|custom)")),
+    }
+}
+
+fn solver_flag(flags: &HashMap<String, String>) -> Result<FeaSolver, String> {
+    match flags.get("solver") {
+        Some(v) => v.parse(),
+        None => Ok(FeaSolver::default()),
     }
 }
 
@@ -476,8 +490,11 @@ pub fn report(args: &[String]) -> CliResult {
 /// every resolution × orientation, one pipeline evaluation per key, with
 /// shared stage prefixes (the same recipe meshed at the same resolution)
 /// computed exactly once via the content-addressed stage cache. With
-/// `--cache-stats` the cache counters are printed so the prefix sharing
-/// is observable.
+/// `--tensile` each key's artifact also goes through the virtual tensile
+/// test under the `--solver` of choice, replicates drawing their solver
+/// scratch from the process-wide pool. With `--cache-stats` the cache
+/// (and, under `--tensile`, solver-pool) counters are printed so the
+/// prefix sharing and state reuse are observable.
 pub fn sweep(args: &[String]) -> CliResult {
     use obfuscade::{sweep_key_space, EmbeddedSphereScheme, ProcessKey, StageCache};
     let (positional, flags) = parse_flags(args);
@@ -495,9 +512,14 @@ pub fn sweep(args: &[String]) -> CliResult {
         .map(|v| v.parse().map_err(|_| format!("bad --seed value `{v}`")))
         .transpose()?
         .unwrap_or(1);
+    let tensile = flags.contains_key("tensile");
+    let solver = solver_flag(&flags)?;
 
     let scheme = EmbeddedSphereScheme::default();
-    let base = ProcessPlan::fdm(Resolution::Fine, Orientation::Xy).with_seed(seed);
+    let base = ProcessPlan::fdm(Resolution::Fine, Orientation::Xy)
+        .with_seed(seed)
+        .with_tensile(tensile)
+        .with_fea_solver(solver);
     let keys = ProcessKey::key_space();
     let cache = StageCache::default();
     let start = std::time::Instant::now();
@@ -511,22 +533,43 @@ pub fn sweep(args: &[String]) -> CliResult {
     let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
 
     println!(
-        "{:<55} {:>10} {:>12} {:>14}",
-        "process key", "weight g", "voids mm³", "authenticity"
+        "{:<55} {:>10} {:>12} {:>14}{}",
+        "process key",
+        "weight g",
+        "voids mm³",
+        "authenticity",
+        if tensile { format!("{:>10}", "UTS MPa") } else { String::new() }
     );
     for (key, result) in &results {
         match result {
             Ok(output) => println!(
-                "{:<55} {:>10.2} {:>12.1} {:>14}",
+                "{:<55} {:>10.2} {:>12.1} {:>14}{}",
                 key.to_string(),
                 output.printed.weight_g(),
                 output.scan.internal_void_volume,
                 format!("{:?}", scheme.authenticate(&output.scan)),
+                match &output.tensile {
+                    Some(t) => format!("{:>10.2}", t.uts_mpa),
+                    None => String::new(),
+                }
             ),
             Err(e) => println!("{:<55} failed: {e}", key.to_string()),
         }
     }
-    println!("\n{} keys evaluated in {elapsed_ms:.0} ms ({threads} thread(s))", results.len());
+    println!(
+        "\n{} keys evaluated in {elapsed_ms:.0} ms ({threads} thread(s){})",
+        results.len(),
+        if tensile { format!(", {solver} tensile solver") } else { String::new() }
+    );
+    if flags.contains_key("cache-stats") && tensile {
+        let p = obfuscade::fea_solver_pool_stats();
+        println!(
+            "solver pool: {} scratch builds, {} reuses across {} tensile runs",
+            p.builds,
+            p.reuses,
+            p.builds + p.reuses
+        );
+    }
     if flags.contains_key("cache-stats") {
         let s = cache.stats();
         println!(
@@ -556,7 +599,9 @@ pub fn bench(args: &[String]) -> CliResult {
         return Err(format!("unexpected argument `{extra}`"));
     }
     // `--check FILE` is the CI regression gate: validate an existing report
-    // against the schema and fail if any kernel regressed below 1.0×.
+    // against the schema and fail if any kernel regressed below 1.0× — or,
+    // with `--fea-budget-ms`, if the fea row's optimized wall clock blew
+    // its budget (the PR 4 gate: ≤ half of PR 3's committed 1157.7 ms).
     if let Some(path) = flags.get("check") {
         let text =
             std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -575,6 +620,18 @@ pub fn bench(args: &[String]) -> CliResult {
                 regressions.join(", ")
             ));
         }
+        if let Some(budget) = flags.get("fea-budget-ms") {
+            let budget: f64 =
+                budget.parse().map_err(|_| format!("bad --fea-budget-ms value `{budget}`"))?;
+            let fea_ms = obfuscade_bench::perf::report_kernel_optimized_ms(&text, "fea")
+                .map_err(|e| format!("{path}: {e}"))?;
+            if fea_ms > budget {
+                return Err(format!(
+                    "{path}: fea optimized time {fea_ms:.1} ms exceeds the {budget:.1} ms budget"
+                ));
+            }
+            println!("  fea optimized    {fea_ms:>6.1} ms  within the {budget:.1} ms budget");
+        }
         println!("{path}: schema valid, {} kernels, all speedups >= 1.0x", speedups.len());
         return Ok(());
     }
@@ -590,8 +647,9 @@ pub fn bench(args: &[String]) -> CliResult {
         smoke: flags.contains_key("smoke"),
         threads: parse_usize("threads", defaults.threads)?.max(1),
         replicates: parse_usize("replicates", defaults.replicates)?.max(1),
+        solver: solver_flag(&flags)?,
     };
-    let out_path = flags.get("out").map(String::as_str).unwrap_or("BENCH_PR3.json");
+    let out_path = flags.get("out").map(String::as_str).unwrap_or("BENCH_PR4.json");
     let only = flags.get("only").map(String::as_str);
     if let Some(name) = only {
         if !["slicing", "printing", "fea", "sweep", "all_experiments"].contains(&name) {
@@ -600,10 +658,11 @@ pub fn bench(args: &[String]) -> CliResult {
     }
 
     eprintln!(
-        "benchmarking {} (threads={}, replicates={})…",
+        "benchmarking {} (threads={}, replicates={}, solver={})…",
         if config.smoke { "smoke workloads" } else { "full workloads" },
         config.threads,
-        config.replicates
+        config.replicates,
+        config.solver
     );
     let report = run_selected_benchmarks(&config, only);
     print!("{}", report.render());

@@ -20,6 +20,14 @@
 //! each stage computes, and the determinism contract (DESIGN.md §8) makes
 //! the thread budget unobservable in the output.
 //!
+//! Tensile replicates additionally share the process-wide FEA solver pool
+//! (DESIGN.md §10): each replicate checks out a pooled
+//! [`SolverScratch`](am_fea::SolverScratch) — CSR incidence, packed bond
+//! parameters, Newton–PCG work vectors — instead of reallocating it, so a
+//! sweep's per-replicate setup cost amortises across the batch. Pooling is
+//! allocation reuse only; every buffer is rebuilt or overwritten per run,
+//! so it is unobservable in the results.
+//!
 //! [`run_pipeline`]: crate::run_pipeline
 
 use std::collections::{HashMap, HashSet};

@@ -82,9 +82,11 @@ pub use fault::{
 pub use key::{CadRecipe, ProcessKey};
 pub use perf::{kernel_mode, set_kernel_mode, KernelMode};
 pub use multikey::MultiSphereScheme;
+pub use am_fea::{FeaSolver, SolverPoolStats};
 pub use pipeline::{
-    run_pipeline, run_pipeline_cached, run_pipeline_with_faults, Diagnostic, PipelineError,
-    PipelineOutput, ProcessPlan, Stage, StageOutcome, StageStatus, ToolPathStats,
+    fea_solver_pool_stats, run_pipeline, run_pipeline_cached, run_pipeline_with_faults,
+    Diagnostic, PipelineError, PipelineOutput, ProcessPlan, Stage, StageOutcome, StageStatus,
+    ToolPathStats,
 };
 pub use quality::{assess_quality, QualityReport, QualityThresholds, Verdict};
 pub use scheme::{Authenticity, EmbeddedSphereScheme, SplineSplitScheme};

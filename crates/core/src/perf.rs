@@ -9,6 +9,12 @@
 //!
 //! Production code never touches this: the default is [`KernelMode::Optimized`]
 //! and only `obfuscade-cli bench` flips it.
+//!
+//! The tensile *solver* (Newton–PCG vs. damped relaxation) is deliberately
+//! **not** part of this global: it changes results to within solver
+//! tolerance, so it rides on [`ProcessPlan::with_fea_solver`](crate::ProcessPlan::with_fea_solver) and is hashed
+//! into the tensile stage key instead (see `pipeline::tensile_key`). Only
+//! the bit-identical reference/optimized implementation split lives here.
 
 use std::sync::atomic::{AtomicU8, Ordering};
 

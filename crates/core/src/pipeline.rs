@@ -23,7 +23,8 @@ use std::sync::Arc;
 
 use am_cad::{CadError, Part};
 use am_fea::{
-    run_tensile_test_reference, run_tensile_test_with, Lattice, TensileConfig, TensileResult,
+    try_run_tensile_test_reference, FeaConfigError, FeaSolver, Lattice, SolverPool,
+    SolverPoolStats, TensileConfig, TensileResult,
 };
 use am_geom::Tolerance;
 use am_par::Parallelism;
@@ -62,6 +63,9 @@ pub struct ProcessPlan {
     pub seed: u64,
     /// Whether to run the (comparatively costly) virtual tensile test.
     pub tensile: bool,
+    /// Equilibrium solver for the tensile kernel (`Optimized` mode only;
+    /// the `Reference` kernel always runs its own relaxation loop).
+    pub fea_solver: FeaSolver,
     /// Thread budget for the parallel kernels (slicing, deposition, FEA
     /// relaxation). Every budget produces bit-identical output; the default
     /// is serial.
@@ -79,6 +83,7 @@ impl ProcessPlan {
             printer: PrinterProfile::dimension_elite(),
             seed: 1,
             tensile: false,
+            fea_solver: FeaSolver::default(),
             parallelism: Parallelism::serial(),
         }
     }
@@ -103,6 +108,7 @@ impl ProcessPlan {
             printer,
             seed: 1,
             tensile: false,
+            fea_solver: FeaSolver::default(),
             parallelism: Parallelism::serial(),
         }
     }
@@ -124,6 +130,28 @@ impl ProcessPlan {
         self.parallelism = parallelism;
         self
     }
+
+    /// Builder-style tensile equilibrium-solver override.
+    pub fn with_fea_solver(mut self, fea_solver: FeaSolver) -> Self {
+        self.fea_solver = fea_solver;
+        self
+    }
+}
+
+/// The process-wide [`SolverPool`] behind every optimized tensile stage:
+/// replicate sweeps and repeated pipeline runs recycle the same solver
+/// scratches (CSR incidence, packed bond parameters, PCG vectors) instead
+/// of re-allocating them per specimen. Results are bit-identical to
+/// fresh-scratch runs — the pool only reuses allocations, never state.
+fn fea_solver_pool() -> &'static SolverPool {
+    static POOL: std::sync::OnceLock<SolverPool> = std::sync::OnceLock::new();
+    POOL.get_or_init(SolverPool::new)
+}
+
+/// Build/reuse statistics of the process-wide tensile solver pool (see
+/// [`fea_solver_pool_stats`] re-export; the CLI sweep summary prints it).
+pub fn fea_solver_pool_stats() -> SolverPoolStats {
+    fea_solver_pool().stats()
 }
 
 /// One stage of the manufacturing chain, in execution order.
@@ -255,6 +283,8 @@ pub enum PipelineError {
     },
     /// The deposition stage rejected the part program or machine profile.
     Print(PrintError),
+    /// The virtual tensile test rejected its configuration.
+    Tensile(FeaConfigError),
 }
 
 impl PipelineError {
@@ -267,6 +297,7 @@ impl PipelineError {
             PipelineError::Toolpath(_) | PipelineError::Gcode(_) => Stage::ToolPath,
             PipelineError::FirmwareRejected { .. } => Stage::Firmware,
             PipelineError::Print(_) => Stage::Print,
+            PipelineError::Tensile(_) => Stage::Test,
         }
     }
 }
@@ -287,6 +318,7 @@ impl fmt::Display for PipelineError {
                 write!(f, "printer firmware rejected the part program ({violations} violations; first: {first})")
             }
             PipelineError::Print(e) => write!(f, "print stage failed: {e}"),
+            PipelineError::Tensile(e) => write!(f, "test stage failed: {e}"),
         }
     }
 }
@@ -301,6 +333,7 @@ impl Error for PipelineError {
             PipelineError::Toolpath(e) => Some(e),
             PipelineError::Gcode(e) => Some(e),
             PipelineError::Print(e) => Some(e),
+            PipelineError::Tensile(e) => Some(e),
             PipelineError::EmptyBuild { .. } | PipelineError::FirmwareRejected { .. } => None,
         }
     }
@@ -785,11 +818,18 @@ fn print_key(toolpath: StageKey, plan: &ProcessPlan) -> StageKey {
 }
 
 /// Tensile-stage key: print key + orientation (selects the bond model) +
-/// the joint-contact fraction, exact to the bit.
+/// the equilibrium solver + the joint-contact fraction, exact to the bit.
+/// The solver enters the key because the two solvers agree only to solver
+/// tolerance, not to the bit — a cache shared between them must never
+/// alias their results (v3 bumps the domain for the added field).
 fn tensile_key(print: StageKey, plan: &ProcessPlan, joint_contact: f64) -> StageKey {
-    let mut h = StageHasher::new("obfuscade/tensile/v2");
+    let mut h = StageHasher::new("obfuscade/tensile/v3");
     h.write_key(print);
     hash_orientation(&mut h, plan.orientation);
+    h.write_u8(match plan.fea_solver {
+        FeaSolver::NewtonPcg => 0,
+        FeaSolver::Relaxation => 1,
+    });
     h.write_f64(joint_contact);
     h.finish()
 }
@@ -1034,15 +1074,27 @@ fn print_stage(
     Ok(PrintArtifact { printed: Arc::new(printed), scan: scan_report, outcomes })
 }
 
-/// The virtual tensile test.
-fn tensile_stage(print: &PrintArtifact, plan: &ProcessPlan, joint_contact: f64) -> TensileResult {
-    let tensile_config = TensileConfig { joint_contact, ..TensileConfig::fdm(plan.orientation) };
-    let mut lattice = Lattice::from_printed(&print.printed, &tensile_config, plan.seed);
+/// The virtual tensile test. The optimized kernel runs the plan's
+/// [`FeaSolver`] through the process-wide [`SolverPool`], so replicate
+/// sweeps recycle solver state across specimens.
+fn tensile_stage(
+    print: &PrintArtifact,
+    plan: &ProcessPlan,
+    joint_contact: f64,
+) -> Result<TensileResult, PipelineError> {
+    let tensile_config = TensileConfig {
+        joint_contact,
+        solver: plan.fea_solver,
+        ..TensileConfig::fdm(plan.orientation)
+    };
+    let mut lattice = Lattice::try_from_printed(&print.printed, &tensile_config, plan.seed)
+        .map_err(PipelineError::Tensile)?;
     match kernel_mode() {
-        KernelMode::Optimized => {
-            run_tensile_test_with(&mut lattice, &tensile_config, plan.parallelism)
-        }
-        KernelMode::Reference => run_tensile_test_reference(&mut lattice, &tensile_config),
+        KernelMode::Optimized => fea_solver_pool()
+            .run(&mut lattice, &tensile_config, plan.parallelism)
+            .map_err(PipelineError::Tensile),
+        KernelMode::Reference => try_run_tensile_test_reference(&mut lattice, &tensile_config)
+            .map_err(PipelineError::Tensile),
     }
 }
 
@@ -1224,13 +1276,13 @@ fn run_pipeline_inner(
             match cache.get(key).and_then(StageArtifact::into_tensile) {
                 Some(hit) => hit,
                 None => {
-                    let built = Arc::new(tensile_stage(&print, plan, joint_contact));
+                    let built = Arc::new(tensile_stage(&print, plan, joint_contact)?);
                     cache.insert(key, StageArtifact::Tensile(Arc::clone(&built)), tensile_cost(&built));
                     built
                 }
             }
         } else {
-            Arc::new(tensile_stage(&print, plan, joint_contact))
+            Arc::new(tensile_stage(&print, plan, joint_contact)?)
         };
         Some((*result).clone())
     } else {
@@ -1455,10 +1507,23 @@ mod tests {
         assert_eq!(reseeded_keys.toolpath, base.toolpath, "seed must not re-key the toolpath");
         assert_ne!(reseeded_keys.print, base.print, "print key insensitive to seed");
 
-        // --- Joint contact and orientation → tensile key ------------------
+        // --- Joint contact, orientation and solver → tensile key ----------
         let t0 = tensile_key(base.print, &plan, 0.9);
         assert_ne!(t0, tensile_key(base.print, &plan, 0.90001), "tensile key insensitive to joint contact");
         assert_ne!(t0, tensile_key(base.print, &turned, 0.9), "tensile key insensitive to orientation");
+
+        // The equilibrium solver re-keys the tensile stage and nothing
+        // upstream of it: the two solvers agree only to solver tolerance,
+        // so a shared cache must never serve one solver's curve for the
+        // other.
+        let other_solver = plan.clone().with_fea_solver(FeaSolver::Relaxation);
+        let solver_keys = keys_for(&part, &other_solver);
+        assert_eq!(solver_keys.print, base.print, "fea solver must not re-key the print stage");
+        assert_ne!(
+            tensile_key(base.print, &plan, 0.9),
+            tensile_key(base.print, &other_solver, 0.9),
+            "tensile key insensitive to the fea solver"
+        );
     }
 
     /// Fault poisoning at the key level: fault entries (and the fault seed)

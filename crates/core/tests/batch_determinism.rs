@@ -18,7 +18,7 @@ use am_par::Parallelism;
 use am_slicer::{Orientation, SlicerConfig};
 use obfuscade::{
     run_pipeline, run_pipeline_batch_with, run_pipeline_cached, run_pipeline_with_faults,
-    sweep_key_space, FaultPlan, ProcessKey, ProcessPlan, StageCache,
+    sweep_key_space, FaultPlan, FeaSolver, ProcessKey, ProcessPlan, StageCache,
 };
 use proptest::prelude::*;
 
@@ -59,13 +59,14 @@ fn coarse_slicer(layer: f64) -> SlicerConfig {
 /// A batch of plans with genuinely shared prefixes: both orientations ×
 /// two seeds, so the mesh is shared 4 ways and each slice/tool-path
 /// prefix 2 ways.
-fn plan_batch(layer: f64, tensile: bool, seed: u64) -> Vec<ProcessPlan> {
+fn plan_batch(layer: f64, tensile: bool, solver: FeaSolver, seed: u64) -> Vec<ProcessPlan> {
     let mut plans = Vec::new();
     for orientation in [Orientation::Xy, Orientation::Xz] {
         for ds in 0..2u64 {
             let mut plan = ProcessPlan::fdm(Resolution::Coarse, orientation)
                 .with_seed(seed + ds)
-                .with_tensile(tensile);
+                .with_tensile(tensile)
+                .with_fea_solver(solver);
             plan.slicer = coarse_slicer(layer);
             plans.push(plan);
         }
@@ -86,10 +87,11 @@ proptest! {
         layer in 0.5..0.9f64,
         sphere_radius in 2.0..4.0f64,
         tensile in 0..2usize,
+        solver_idx in 0..2usize,
     ) {
         let part = specimen(sphere_radius);
         let faults = fault_plan(FAULT_SPECS[spec_idx], fault_seed);
-        let plans = plan_batch(layer, tensile == 1, fault_seed);
+        let plans = plan_batch(layer, tensile == 1, FeaSolver::ALL[solver_idx], fault_seed);
 
         let independent: Vec<String> = plans
             .iter()
@@ -162,6 +164,40 @@ fn sweep_key_space_is_bit_identical_to_cold_per_key_runs() {
     // sweep must have actually deduplicated the prefix work.
     let stats = cache.stats();
     assert!(stats.hits >= 12, "expected ≥ 12 mesh hits, got {stats:?}");
+}
+
+/// Solver poisoning at the cache level: a Newton–PCG run and a relaxation
+/// run sharing one cache must each still match their cold counterparts.
+/// The two solvers agree only to solver tolerance — not to the bit — so a
+/// tensile curve computed by one must never be served to the other, even
+/// though every upstream stage (mesh through print) is legitimately
+/// shared.
+#[test]
+fn tensile_solvers_never_alias_in_a_shared_cache() {
+    let part = specimen(3.0);
+    let mut plan = ProcessPlan::fdm(Resolution::Coarse, Orientation::Xy)
+        .with_seed(13)
+        .with_tensile(true);
+    plan.slicer = coarse_slicer(0.6);
+    let faults = FaultPlan::none();
+    let newton = plan.clone().with_fea_solver(FeaSolver::NewtonPcg);
+    let relax = plan.clone().with_fea_solver(FeaSolver::Relaxation);
+
+    let cold_newton = format!("{:?}", run_pipeline_with_faults(&part, &newton, &faults));
+    let cold_relax = format!("{:?}", run_pipeline_with_faults(&part, &relax, &faults));
+
+    let cache = StageCache::default();
+    // Warm with Newton–PCG, then ask for relaxation (and again, hot): the
+    // cache must rebuild the tensile stage for the other solver, not
+    // replay the cached curve.
+    for _ in 0..2 {
+        let hot_newton = format!("{:?}", run_pipeline_cached(&part, &newton, &faults, &cache));
+        let hot_relax = format!("{:?}", run_pipeline_cached(&part, &relax, &faults, &cache));
+        assert_eq!(cold_newton, hot_newton);
+        assert_eq!(cold_relax, hot_relax);
+    }
+    // Upstream prefix stages were genuinely shared across the solvers.
+    assert!(cache.stats().hits > 0, "no cache hits across solver variants");
 }
 
 /// Fault poisoning: a clean run and a faulted run sharing one cache must

@@ -88,8 +88,27 @@ impl Lattice {
     ///
     /// `seed` drives per-bond property jitter (specimen-to-specimen
     /// scatter).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid `config`; use [`Lattice::try_from_printed`] for
+    /// a typed error.
     pub fn from_printed(printed: &PrintedPart, config: &TensileConfig, seed: u64) -> Lattice {
-        config.assert_valid();
+        match Lattice::try_from_printed(printed, config, seed) {
+            Ok(lattice) => lattice,
+            Err(e) => panic!("invalid tensile config: {e}"),
+        }
+    }
+
+    /// Panic-free variant of [`Lattice::from_printed`]: validates the
+    /// config and reports a typed [`crate::FeaConfigError`] instead of
+    /// unwinding.
+    pub fn try_from_printed(
+        printed: &PrintedPart,
+        config: &TensileConfig,
+        seed: u64,
+    ) -> Result<Lattice, crate::FeaConfigError> {
+        config.validate()?;
         let s = config.node_spacing;
         let half_len = config.gauge_length / 2.0;
         let half_width = config.gauge_width / 2.0 + s;
@@ -214,13 +233,13 @@ impl Lattice {
             }
         }
 
-        Lattice {
+        Ok(Lattice {
             nodes,
             bonds,
             section_area: config.gauge_width * config.thickness,
             gauge_length: config.gauge_length,
             spacing: s,
-        }
+        })
     }
 
     /// Number of cold-joint bonds.

@@ -28,14 +28,18 @@
 mod config;
 mod kernel;
 mod lattice;
+mod newton;
 mod result;
 mod solve;
 
-pub use config::TensileConfig;
-pub use kernel::run_tensile_test_with;
+pub use config::{FeaConfigError, FeaSolver, TensileConfig};
+pub use kernel::{
+    reset_solver_counters, run_tensile_test_with, solver_counters, try_run_tensile_test_in,
+    try_run_tensile_test_with, SolverPool, SolverPoolStats, SolverScratch,
+};
 pub use lattice::{Bond, BondState, Grip, Lattice, Node};
-pub use result::{Stat, TensileResult, TensileSummary};
-pub use solve::{run_tensile_test, run_tensile_test_reference};
+pub use result::{SolverCounters, Stat, TensileResult, TensileSummary};
+pub use solve::{run_tensile_test, run_tensile_test_reference, try_run_tensile_test_reference};
 
 #[cfg(test)]
 mod tests {
@@ -166,47 +170,51 @@ mod tests {
     #[test]
     fn parallel_tensile_is_bit_identical_to_serial() {
         let printed = print_bar(true, Orientation::Xy, 5);
-        let config = quick_config(Orientation::Xy);
-        let run = |threads: usize| {
-            let mut lattice = Lattice::from_printed(&printed, &config, 5);
-            run_tensile_test_with(&mut lattice, &config, am_par::Parallelism::threads(threads))
-        };
-        let serial = run(1);
-        assert!(!serial.curve.is_empty());
-        for threads in [2, 8] {
-            assert_eq!(serial, run(threads), "threads = {threads}");
+        for solver in FeaSolver::ALL {
+            let config = TensileConfig { solver, ..quick_config(Orientation::Xy) };
+            let run = |threads: usize| {
+                let mut lattice = Lattice::from_printed(&printed, &config, 5);
+                run_tensile_test_with(&mut lattice, &config, am_par::Parallelism::threads(threads))
+            };
+            let serial = run(1);
+            assert!(!serial.curve.is_empty());
+            for threads in [2, 8] {
+                assert_eq!(serial, run(threads), "solver = {solver}, threads = {threads}");
+            }
         }
     }
 
-    #[test]
-    fn optimized_kernel_tracks_reference() {
-        // Both solvers relax to the same force-residual tolerance with the
-        // same constitutive law, so they find the same equilibria — but by
-        // different pseudo-dynamic paths (the optimized kernel mass-scales
-        // the relaxation and warm-starts each strain step). Pre-rupture
-        // stresses therefore agree to solver tolerance (measured drift
-        // ≤ 3e-4 relative; asserted at 10×), and every engineering output
-        // must agree tightly. The post-peak tail is excluded: once the
-        // fracture cascade starts, tolerance-level differences decide
-        // individual bond-break order and the rubble stresses diverge —
-        // only the rupture verdict is comparable there.
+    /// Shared body of the solver-equivalence pins: both optimized solvers
+    /// accept the same force-residual tolerance with the same constitutive
+    /// law, so they find the same equilibria as the reference kernel — but
+    /// by different paths (mass-scaled warm-started relaxation vs.
+    /// Newton–PCG). Pre-rupture stresses therefore agree to solver
+    /// tolerance (measured drift ≤ 3e-4 relative; asserted at 10×), and
+    /// every engineering output must agree tightly. The post-peak tail is
+    /// excluded: once the fracture cascade starts, tolerance-level
+    /// differences decide individual bond-break order and the rubble
+    /// stresses diverge — only the rupture verdict is comparable there.
+    fn assert_tracks_reference(solver: FeaSolver) {
         let printed = print_bar(false, Orientation::Xy, 6);
-        let config = quick_config(Orientation::Xy);
+        let config = TensileConfig { solver, ..quick_config(Orientation::Xy) };
         let mut a = Lattice::from_printed(&printed, &config, 6);
         let mut b = Lattice::from_printed(&printed, &config, 6);
         let reference = run_tensile_test_reference(&mut a, &config);
         let optimized = run_tensile_test(&mut b, &config);
 
-        assert_eq!(reference.ruptured, optimized.ruptured);
+        assert_eq!(reference.ruptured, optimized.ruptured, "{solver}: rupture verdict");
         for ((s1, f1), (s2, f2)) in reference.curve.iter().zip(&optimized.curve) {
             assert_eq!(s1, s2);
             if *s1 > reference.failure_strain {
                 break;
             }
-            assert!((f1 - f2).abs() <= 3e-3 * (1.0 + f1.abs()), "at ε={s1}: {f1} vs {f2}");
+            assert!(
+                (f1 - f2).abs() <= 3e-3 * (1.0 + f1.abs()),
+                "{solver} at ε={s1}: {f1} vs {f2}"
+            );
         }
         let rel = |x: f64, y: f64, tol: f64, what: &str| {
-            assert!((x - y).abs() <= tol * (1.0 + x.abs()), "{what}: {x} vs {y}");
+            assert!((x - y).abs() <= tol * (1.0 + x.abs()), "{solver} {what}: {x} vs {y}");
         };
         rel(reference.young_modulus_gpa, optimized.young_modulus_gpa, 1e-3, "E");
         rel(reference.uts_mpa, optimized.uts_mpa, 3e-3, "UTS");
@@ -214,10 +222,85 @@ mod tests {
         assert!(
             (reference.failure_strain - optimized.failure_strain).abs()
                 <= config.strain_step + 1e-12,
-            "εf {} vs {}",
+            "{solver} εf {} vs {}",
             reference.failure_strain,
             optimized.failure_strain
         );
+    }
+
+    #[test]
+    fn relaxation_kernel_tracks_reference() {
+        assert_tracks_reference(FeaSolver::Relaxation);
+    }
+
+    #[test]
+    fn newton_pcg_tracks_reference() {
+        assert_tracks_reference(FeaSolver::NewtonPcg);
+    }
+
+    #[test]
+    fn pooled_scratch_reuse_is_bit_identical_to_fresh() {
+        let printed_a = print_bar(true, Orientation::Xy, 7);
+        let printed_b = print_bar(false, Orientation::Xz, 7);
+        let config_a = quick_config(Orientation::Xy);
+        let config_b = quick_config(Orientation::Xz);
+        let fresh = |printed, config: &TensileConfig, seed| {
+            let mut lattice = Lattice::from_printed(printed, config, seed);
+            try_run_tensile_test_with(&mut lattice, config, am_par::Parallelism::serial())
+                .expect("valid config")
+        };
+        // One scratch carried across different specimens, topologies and
+        // seeds — every pooled result must equal its fresh-scratch twin.
+        let mut scratch = SolverScratch::new();
+        for (printed, config, seed) in
+            [(&printed_a, &config_a, 7u64), (&printed_b, &config_b, 9), (&printed_a, &config_a, 11)]
+        {
+            let mut lattice = Lattice::from_printed(printed, config, seed);
+            let pooled =
+                try_run_tensile_test_in(&mut scratch, &mut lattice, config, am_par::Parallelism::serial())
+                    .expect("valid config");
+            assert_eq!(pooled, fresh(printed, config, seed), "seed {seed}");
+        }
+
+        // The SolverPool wrapper recycles scratches and reports it.
+        let pool = SolverPool::new();
+        for seed in [7u64, 11] {
+            let mut lattice = Lattice::from_printed(&printed_a, &config_a, seed);
+            let pooled = pool
+                .run(&mut lattice, &config_a, am_par::Parallelism::serial())
+                .expect("valid config");
+            assert_eq!(pooled, fresh(&printed_a, &config_a, seed), "pool seed {seed}");
+        }
+        let stats = pool.stats();
+        assert_eq!((stats.builds, stats.reuses), (1, 1), "{stats:?}");
+    }
+
+    #[test]
+    fn solver_counters_accumulate() {
+        // Counters are process-global and other tests run concurrently, so
+        // assert monotonic growth against a snapshot instead of resetting.
+        let printed = print_bar(false, Orientation::Xy, 6);
+        let config = quick_config(Orientation::Xy);
+        let before = solver_counters();
+        let mut lattice = Lattice::from_printed(&printed, &config, 6);
+        run_tensile_test(&mut lattice, &config);
+        let delta = solver_counters().since(&before);
+        assert!(delta.force_evals > 0, "{delta:?}");
+        assert!(delta.newton_iters > 0, "{delta:?}");
+        assert!(delta.inner_iters() >= delta.pcg_iters);
+    }
+
+    #[test]
+    fn invalid_config_is_a_typed_error_not_a_panic() {
+        let printed = print_bar(false, Orientation::Xy, 6);
+        let good = quick_config(Orientation::Xy);
+        let bad = TensileConfig { strain_step: -1.0, ..good.clone() };
+        let mut lattice = Lattice::from_printed(&printed, &good, 6);
+        let err = try_run_tensile_test_with(&mut lattice, &bad, am_par::Parallelism::serial())
+            .expect_err("negative strain step must fail");
+        assert!(matches!(err, FeaConfigError::NonPositive { name: "strain_step", .. }));
+        assert!(try_run_tensile_test_reference(&mut lattice, &bad).is_err());
+        assert!(Lattice::try_from_printed(&printed, &bad, 6).is_err());
     }
 
     #[test]

@@ -1,6 +1,45 @@
-//! Tensile test results and summary statistics.
+//! Tensile test results, solver telemetry, and summary statistics.
 
 use am_geom::Point2;
+
+/// Snapshot of the process-wide optimized-solver work counters (see
+/// [`crate::solver_counters`] / [`crate::reset_solver_counters`]).
+///
+/// Pure telemetry: the counters never feed back into the simulation, so
+/// they can be read (or ignored) without perturbing bit-identical results.
+/// The bench harness brackets timed runs with reset/snapshot to report
+/// per-kernel inner-iteration and residual-evaluation counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolverCounters {
+    /// Accepted Newton steps (outer iterations).
+    pub newton_iters: u64,
+    /// PCG iterations — one deterministic Hessian-vector product each.
+    pub pcg_iters: u64,
+    /// Dynamic-relaxation iterations (the `Relaxation` solver, or the
+    /// Newton solver's fallback path).
+    pub relax_iters: u64,
+    /// Full nodal force/residual evaluations across both solver families.
+    pub force_evals: u64,
+}
+
+impl SolverCounters {
+    /// Inner iterations across both solver families (PCG + relaxation) —
+    /// the bench report's `inner_iters` column.
+    pub fn inner_iters(&self) -> u64 {
+        self.pcg_iters + self.relax_iters
+    }
+
+    /// Counter-wise difference since an earlier snapshot (saturating, so a
+    /// concurrent reset cannot underflow).
+    pub fn since(&self, earlier: &SolverCounters) -> SolverCounters {
+        SolverCounters {
+            newton_iters: self.newton_iters.saturating_sub(earlier.newton_iters),
+            pcg_iters: self.pcg_iters.saturating_sub(earlier.pcg_iters),
+            relax_iters: self.relax_iters.saturating_sub(earlier.relax_iters),
+            force_evals: self.force_evals.saturating_sub(earlier.force_evals),
+        }
+    }
+}
 
 /// The outcome of one virtual tensile test.
 #[derive(Debug, Clone, PartialEq)]

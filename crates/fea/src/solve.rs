@@ -8,29 +8,53 @@
 
 use am_geom::{Point2, Vec2};
 
-use crate::{Bond, BondState, Grip, Lattice, TensileConfig, TensileResult};
+use crate::{Bond, BondState, FeaConfigError, Grip, Lattice, TensileConfig, TensileResult};
 
 /// Runs a displacement-controlled tensile test on a lattice.
 ///
 /// Loading is strain-stepped: at each step the moving grip is displaced,
-/// the lattice is relaxed to equilibrium (damped dynamic relaxation),
-/// over-strained bonds break, and the cascade repeats until stable. The
-/// engineering stress is the grip reaction force over the nominal section.
+/// the lattice is brought to equilibrium (Newton–PCG by default, or damped
+/// dynamic relaxation — see [`crate::FeaSolver`]), over-strained bonds
+/// break, and the cascade repeats until stable. The engineering stress is
+/// the grip reaction force over the nominal section.
 ///
 /// The run stops early once the specimen has ruptured (stress falls below
 /// 5 % of the running maximum after the peak).
+///
+/// # Panics
+///
+/// Panics on an invalid `config`; use [`crate::try_run_tensile_test_with`]
+/// for a typed error.
 pub fn run_tensile_test(lattice: &mut Lattice, config: &TensileConfig) -> TensileResult {
     crate::kernel::run_tensile_test_with(lattice, config, am_par::Parallelism::serial())
 }
 
 /// The original kernel of [`run_tensile_test`], kept verbatim: the
-/// benchmark baseline, and the cross-check the optimized solver's results
+/// benchmark baseline, and the cross-check the optimized solvers' results
 /// are validated against.
+///
+/// # Panics
+///
+/// Panics on an invalid `config`; use [`try_run_tensile_test_reference`]
+/// for a typed error.
 pub fn run_tensile_test_reference(
     lattice: &mut Lattice,
     config: &TensileConfig,
 ) -> TensileResult {
-    config.assert_valid();
+    match try_run_tensile_test_reference(lattice, config) {
+        Ok(result) => result,
+        Err(e) => panic!("invalid tensile config: {e}"),
+    }
+}
+
+/// Panic-free variant of [`run_tensile_test_reference`]: validates the
+/// config and reports a typed [`FeaConfigError`] instead of unwinding. The
+/// solver body is the original scalar kernel, unchanged.
+pub fn try_run_tensile_test_reference(
+    lattice: &mut Lattice,
+    config: &TensileConfig,
+) -> Result<TensileResult, FeaConfigError> {
+    config.validate()?;
     let n = lattice.nodes.len();
     let mut disp = vec![Vec2::ZERO; n];
     let mut vel = vec![Vec2::ZERO; n];
@@ -82,7 +106,7 @@ pub fn run_tensile_test_reference(
         }
     }
 
-    TensileResult::from_curve(curve, fracture_path, ruptured)
+    Ok(TensileResult::from_curve(curve, fracture_path, ruptured))
 }
 
 /// Damped dynamic relaxation to (approximate) equilibrium.
