@@ -9,14 +9,20 @@
 # 3. bench smoke: tiny-workload run of the benchmark harness; the CLI
 #    re-parses the emitted JSON and validates the schema, so this also
 #    gates the report format
-# 4. bench regression gate: the committed BENCH_PR4.json must parse
-#    against the obfuscade-bench/v3 schema with every kernel speedup
-#    >= 1.0x AND the fea row's optimized wall clock within half of PR 3's
-#    committed 1157.7 ms — i.e. the Newton-PCG solver must stay >= 2x
-#    faster than the relaxation kernel it replaced (the smoke report is
-#    schema-validated on write but not speedup-gated — tiny workloads are
-#    too noisy to threshold)
-# 5. clippy as an error wall, with `clippy::unwrap_used` additionally
+# 4. service smoke: boot the obfuscation daemon on an ephemeral loopback
+#    port, round-trip a protect-and-print job, an authenticate verdict,
+#    the metrics snapshot, and a small byte-verified load run through
+#    `submit`, then a smoke `bench --serve` against its own daemon, then
+#    drain the first daemon with a `shutdown` request and wait for it
+# 5. bench regression gate: the committed BENCH_PR5.json must parse
+#    against the obfuscade-bench/v4 schema with every kernel speedup
+#    >= 1.0x, the fea row's optimized wall clock within half of PR 3's
+#    committed 1157.7 ms (the Newton-PCG solver must stay >= 2x faster
+#    than the relaxation kernel it replaced), AND a clean daemon load
+#    result in the mandatory `serve` section (the smoke reports are
+#    schema-validated on write but not speedup-gated — tiny workloads
+#    are too noisy to threshold)
+# 6. clippy as an error wall, with `clippy::unwrap_used` additionally
 #    enabled for library and binary code (test code may unwrap freely —
 #    a failing assertion *is* its error report)
 set -eu
@@ -24,7 +30,27 @@ set -eu
 cargo build --release --workspace
 cargo test --workspace -q
 ./target/release/obfuscade bench --smoke --threads 2 --out target/bench_smoke.json
-./target/release/obfuscade bench --check BENCH_PR4.json --fea-budget-ms 578.9
+
+rm -f target/serve.addr
+./target/release/obfuscade serve --addr 127.0.0.1:0 --workers 2 \
+    --port-file target/serve.addr &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    [ -s target/serve.addr ] && break
+    sleep 0.1
+done
+[ -s target/serve.addr ] || { echo "ci: daemon never wrote its port file" >&2; exit 1; }
+SERVE_ADDR=$(cat target/serve.addr)
+./target/release/obfuscade submit --addr "$SERVE_ADDR" --kind run
+./target/release/obfuscade submit --addr "$SERVE_ADDR" --kind authenticate
+./target/release/obfuscade submit --addr "$SERVE_ADDR" --kind stats
+./target/release/obfuscade submit --addr "$SERVE_ADDR" --load 24 --concurrency 4
+./target/release/obfuscade bench --smoke --serve --only serve --threads 2 \
+    --out target/bench_serve_smoke.json
+./target/release/obfuscade submit --addr "$SERVE_ADDR" --kind shutdown
+wait "$SERVE_PID"
+
+./target/release/obfuscade bench --check BENCH_PR5.json --fea-budget-ms 578.9 --require-serve
 cargo clippy --workspace --all-targets -- -D warnings
 cargo clippy --workspace --lib --bins -- -D warnings -W clippy::unwrap_used
 

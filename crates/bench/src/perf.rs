@@ -14,11 +14,19 @@
 //! [`StageCache`].
 //!
 //! The report is rendered both as a human-readable table and as a small
-//! hand-rolled JSON document (`BENCH_*.json`); [`validate_report_json`]
-//! parses the JSON back and checks the schema (including the cache
-//! counters and the PR 4 per-kernel solver-work counters, schema
-//! `obfuscade-bench/v3`), so CI can verify the emitted file without a
-//! JSON dependency.
+//! JSON document (`BENCH_*.json`) built on the shared
+//! [`obfuscade::json`] module; [`validate_report_json`] parses the JSON
+//! back and checks the schema (including the cache counters, the PR 4
+//! per-kernel solver-work counters, and the PR 5 mandatory `serve`
+//! section, schema `obfuscade-bench/v4`), so CI can verify the emitted
+//! file without a JSON dependency.
+//!
+//! Since PR 5 the harness can also benchmark the **service daemon**
+//! ([`BenchConfig::serve`]): it boots an `am-service` server on a
+//! loopback port, drives it with the load generator, verifies every
+//! response byte-for-byte against an in-process reference run, and
+//! commits exact client-side p50/p95/p99 latencies plus throughput into
+//! the report's `serve` section.
 //!
 //! Since PR 4 the `fea` row times the tensile kernel under the configured
 //! equilibrium solver ([`BenchConfig::solver`], default Newton–PCG) and
@@ -44,6 +52,8 @@ use am_slicer::{
     Orientation, SlicedModel, SlicerConfig, ToolPath,
 };
 use am_par::Parallelism;
+use obfuscade::json::{json_number, json_string, parse_json, Json};
+use obfuscade::metrics::cache_line;
 use obfuscade::{
     run_pipeline, set_kernel_mode, sweep_key_space, CacheStats, CadRecipe, KernelMode,
     PipelineError, PipelineOutput, ProcessKey, ProcessPlan, StageCache,
@@ -64,6 +74,10 @@ pub struct BenchConfig {
     /// (`fea` row only; the reference baseline is always the original
     /// relaxation loop, and the experiment suite uses each plan's default).
     pub solver: FeaSolver,
+    /// Also benchmark the service daemon: boot a server on a loopback
+    /// port, drive it with the load generator, and commit latency
+    /// quantiles + throughput into the report's `serve` section.
+    pub serve: bool,
 }
 
 impl Default for BenchConfig {
@@ -72,7 +86,13 @@ impl Default for BenchConfig {
         // than cores only adds scheduling overhead (and on a single-core
         // CI box it can push a committed speedup below 1.0x).
         let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        BenchConfig { smoke: false, threads, replicates: 2, solver: FeaSolver::default() }
+        BenchConfig {
+            smoke: false,
+            threads,
+            replicates: 2,
+            solver: FeaSolver::default(),
+            serve: false,
+        }
     }
 }
 
@@ -106,6 +126,32 @@ impl KernelResult {
     }
 }
 
+/// What the service benchmark measured (the report's `serve` section).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeResult {
+    /// Requests driven at the daemon.
+    pub requests: u64,
+    /// Concurrent client connections.
+    pub concurrency: usize,
+    /// Transport failures plus typed error responses (must be 0).
+    pub errors: u64,
+    /// Client threads that failed to connect (must be 0).
+    pub dropped_connections: u64,
+    /// Responses that differed byte-for-byte from the in-process
+    /// reference run (must be 0).
+    pub mismatches: u64,
+    /// Exact client-side median round-trip latency (ms).
+    pub p50_ms: f64,
+    /// Exact client-side 95th-percentile latency (ms).
+    pub p95_ms: f64,
+    /// Exact client-side 99th-percentile latency (ms).
+    pub p99_ms: f64,
+    /// Completed requests per wall-clock second.
+    pub throughput_rps: f64,
+    /// Daemon-side stage-cache hits accumulated across the load run.
+    pub cache_hits: u64,
+}
+
 /// The full benchmark report.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -113,15 +159,16 @@ pub struct BenchReport {
     pub config: BenchConfig,
     /// One row per benchmarked kernel.
     pub kernels: Vec<KernelResult>,
-    /// Stage-cache hits during the sweep benchmark (0 when it didn't run).
-    pub cache_hits: u64,
-    /// Stage-cache misses during the sweep benchmark.
-    pub cache_misses: u64,
-    /// Stage-cache evictions during the sweep benchmark.
-    pub evictions: u64,
+    /// Stage-cache traffic during the sweep benchmark (all-zero when it
+    /// didn't run). Serialized under the v2 field names
+    /// (`cache_hits`/`cache_misses`/`evictions`).
+    pub cache: CacheStats,
+    /// The service benchmark ([`BenchConfig::serve`]); `None` renders as
+    /// `"serve": null` — the field itself is mandatory in v4.
+    pub serve: Option<ServeResult>,
 }
 
-const SCHEMA: &str = "obfuscade-bench/v3";
+const SCHEMA: &str = "obfuscade-bench/v4";
 
 impl BenchReport {
     /// Renders the human-readable results table.
@@ -146,15 +193,24 @@ impl BenchReport {
             );
         }
         let _ = writeln!(out, "\ntensile solver (optimized fea row): {}", self.config.solver);
-        let lookups = self.cache_hits + self.cache_misses;
-        if lookups > 0 {
+        if self.cache.hits + self.cache.misses > 0 {
+            let _ = writeln!(out, "\nstage cache (sweep): {}", cache_line(&self.cache));
+        }
+        if let Some(s) = &self.serve {
             let _ = writeln!(
                 out,
-                "\nstage cache (sweep): {} hits / {} lookups ({:.0}% hit rate), {} evictions",
-                self.cache_hits,
-                lookups,
-                100.0 * self.cache_hits as f64 / lookups as f64,
-                self.evictions
+                "\nserve: {} requests over {} connections — p50 {:.2} ms, p95 {:.2} ms, \
+                 p99 {:.2} ms, {:.0} req/s, {} cache hits, {} errors, {} dropped, {} mismatches",
+                s.requests,
+                s.concurrency,
+                s.p50_ms,
+                s.p95_ms,
+                s.p99_ms,
+                s.throughput_rps,
+                s.cache_hits,
+                s.errors,
+                s.dropped_connections,
+                s.mismatches
             );
         }
         out.push_str(
@@ -171,14 +227,31 @@ impl BenchReport {
         let _ = writeln!(out, "  \"smoke\": {},", self.config.smoke);
         let _ = writeln!(out, "  \"threads\": {},", self.config.threads);
         let _ = writeln!(out, "  \"solver\": {},", json_string(self.config.solver.name()));
-        let _ = writeln!(out, "  \"cache_hits\": {},", self.cache_hits);
-        let _ = writeln!(out, "  \"cache_misses\": {},", self.cache_misses);
-        let _ = writeln!(out, "  \"evictions\": {},", self.evictions);
+        let _ = writeln!(out, "  \"cache_hits\": {},", self.cache.hits);
+        let _ = writeln!(out, "  \"cache_misses\": {},", self.cache.misses);
+        let _ = writeln!(out, "  \"evictions\": {},", self.cache.evictions);
         let _ = writeln!(
             out,
             "  \"determinism\": {},",
             json_string("parallel output bit-identical to serial (asserted by tests)")
         );
+        match &self.serve {
+            None => out.push_str("  \"serve\": null,\n"),
+            Some(s) => {
+                out.push_str("  \"serve\": {\n");
+                let _ = writeln!(out, "    \"requests\": {},", s.requests);
+                let _ = writeln!(out, "    \"concurrency\": {},", s.concurrency);
+                let _ = writeln!(out, "    \"errors\": {},", s.errors);
+                let _ = writeln!(out, "    \"dropped_connections\": {},", s.dropped_connections);
+                let _ = writeln!(out, "    \"mismatches\": {},", s.mismatches);
+                let _ = writeln!(out, "    \"p50_ms\": {},", json_number(s.p50_ms));
+                let _ = writeln!(out, "    \"p95_ms\": {},", json_number(s.p95_ms));
+                let _ = writeln!(out, "    \"p99_ms\": {},", json_number(s.p99_ms));
+                let _ = writeln!(out, "    \"throughput_rps\": {},", json_number(s.throughput_rps));
+                let _ = writeln!(out, "    \"cache_hits\": {}", s.cache_hits);
+                out.push_str("  },\n");
+            }
+        }
         out.push_str("  \"kernels\": [\n");
         for (i, k) in self.kernels.iter().enumerate() {
             out.push_str("    {\n");
@@ -198,217 +271,11 @@ impl BenchReport {
     }
 }
 
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-fn json_number(v: f64) -> String {
-    if v.is_finite() { format!("{v:.3}") } else { "null".to_string() }
-}
-
 // --- JSON parse-back validation ----------------------------------------
-
-/// A parsed JSON value — just enough of the grammar for the bench schema.
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Number(f64),
-    String(String),
-    Array(Vec<Json>),
-    Object(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    fn as_number(&self) -> Option<f64> {
-        match self {
-            Json::Number(v) => Some(*v),
-            _ => None,
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Self {
-        Parser { bytes: text.as_bytes(), pos: 0 }
-    }
-
-    fn skip_ws(&mut self) {
-        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Option<u8> {
-        self.skip_ws();
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected '{}' at byte {}", b as char, self.pos))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        match self.peek().ok_or("unexpected end of input")? {
-            b'{' => self.object(),
-            b'[' => self.array(),
-            b'"' => Ok(Json::String(self.string()?)),
-            b't' => self.literal("true", Json::Bool(true)),
-            b'f' => self.literal("false", Json::Bool(false)),
-            b'n' => self.literal("null", Json::Null),
-            _ => self.number(),
-        }
-    }
-
-    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(value)
-        } else {
-            Err(format!("bad literal at byte {}", self.pos))
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Object(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.expect(b':')?;
-            fields.push((key, self.value()?));
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Object(fields));
-                }
-                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Array(items));
-        }
-        loop {
-            items.push(self.value()?);
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Array(items));
-                }
-                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            let b = *self.bytes.get(self.pos).ok_or("unterminated string")?;
-            self.pos += 1;
-            match b {
-                b'"' => return Ok(out),
-                b'\\' => {
-                    let esc = *self.bytes.get(self.pos).ok_or("unterminated escape")?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b't' => out.push('\t'),
-                        b'r' => out.push('\r'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .ok_or("truncated \\u escape")?;
-                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
-                            let code =
-                                u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
-                            out.push(char::from_u32(code).ok_or("bad \\u escape")?);
-                            self.pos += 4;
-                        }
-                        _ => return Err(format!("bad escape at byte {}", self.pos)),
-                    }
-                }
-                b => out.push(b as char),
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        let start = self.pos;
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
-        {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
-        text.parse::<f64>().map(Json::Number).map_err(|_| format!("bad number '{text}'"))
-    }
-
-    fn finish(mut self, value: Json) -> Result<Json, String> {
-        self.skip_ws();
-        if self.pos == self.bytes.len() {
-            Ok(value)
-        } else {
-            Err(format!("trailing garbage at byte {}", self.pos))
-        }
-    }
-}
-
-fn parse_json(text: &str) -> Result<Json, String> {
-    let mut p = Parser::new(text);
-    let v = p.value()?;
-    p.finish(v)
-}
+//
+// The JSON value type, renderer and parser moved to `obfuscade::json` in
+// PR 5 (the service wire protocol shares them); this module keeps only
+// the bench-schema validation built on top.
 
 /// Parses a `BENCH_*.json` document back and checks it against the schema:
 /// the marker, the thread count, the tensile solver name, and a non-empty
@@ -448,8 +315,51 @@ pub fn validate_report_json(text: &str) -> Result<Vec<(String, f64)>, String> {
             return Err(format!("bad '{field}' counter: {v}"));
         }
     }
+    // v4: the serve section is mandatory — `null` when the daemon bench
+    // didn't run, otherwise a clean load-generator result (zero errors,
+    // zero dropped connections, zero determinism mismatches, warm cache,
+    // monotone latency quantiles).
+    let serve = doc.get("serve").ok_or("missing 'serve' field")?;
+    let served = match serve {
+        Json::Null => false,
+        Json::Object(_) => {
+            let get = |field: &str| {
+                serve
+                    .get(field)
+                    .and_then(Json::as_number)
+                    .ok_or_else(|| format!("serve: missing numeric '{field}'"))
+            };
+            for field in ["requests", "concurrency", "errors", "dropped_connections", "mismatches", "cache_hits"]
+            {
+                let v = get(field)?;
+                if v < 0.0 || v.fract() != 0.0 {
+                    return Err(format!("serve: bad '{field}' counter: {v}"));
+                }
+            }
+            if get("requests")? < 1.0 || get("concurrency")? < 1.0 {
+                return Err("serve: a served report needs at least one request".to_string());
+            }
+            for field in ["errors", "dropped_connections", "mismatches"] {
+                if get(field)? != 0.0 {
+                    return Err(format!("serve: nonzero '{field}' — the load run was not clean"));
+                }
+            }
+            if get("cache_hits")? < 1.0 {
+                return Err("serve: the shared stage cache saw no hits across requests".to_string());
+            }
+            let (p50, p95, p99) = (get("p50_ms")?, get("p95_ms")?, get("p99_ms")?);
+            if !(p50 > 0.0 && p95 >= p50 && p99 >= p95 && p99.is_finite()) {
+                return Err(format!("serve: bad latency quantiles p50={p50} p95={p95} p99={p99}"));
+            }
+            if get("throughput_rps")? <= 0.0 {
+                return Err("serve: non-positive throughput".to_string());
+            }
+            true
+        }
+        other => return Err(format!("bad 'serve' field: {other:?}")),
+    };
     let kernels = match doc.get("kernels") {
-        Some(Json::Array(items)) if !items.is_empty() => items,
+        Some(Json::Array(items)) if !items.is_empty() || served => items,
         _ => return Err("missing or empty 'kernels' array".to_string()),
     };
     let mut speedups = Vec::new();
@@ -513,6 +423,19 @@ pub fn report_kernel_optimized_ms(text: &str, kernel: &str) -> Result<f64, Strin
         }
     }
     Err(format!("no '{kernel}' kernel row in the report"))
+}
+
+/// Whether a `BENCH_*.json` document carries a daemon (`serve`) result:
+/// `false` for an explicit `null`, `true` for an object, an error when
+/// the mandatory field is missing entirely.
+pub fn report_has_serve(text: &str) -> Result<bool, String> {
+    let doc = parse_json(text)?;
+    match doc.get("serve") {
+        Some(Json::Null) => Ok(false),
+        Some(Json::Object(_)) => Ok(true),
+        Some(other) => Err(format!("bad 'serve' field: {other:?}")),
+        None => Err("missing 'serve' field".to_string()),
+    }
 }
 
 // --- Workloads ---------------------------------------------------------
@@ -931,12 +854,52 @@ pub fn run_selected_benchmarks(config: &BenchConfig, filter: Option<&str>) -> Be
     if wants("all_experiments") {
         kernels.push(bench_end_to_end(config));
     }
-    BenchReport {
-        config: *config,
-        kernels,
-        cache_hits: cache.hits,
-        cache_misses: cache.misses,
-        evictions: cache.evictions,
+    let serve = if config.serve && wants("serve") { Some(bench_serve(config)) } else { None };
+    BenchReport { config: *config, kernels, cache, serve }
+}
+
+/// Serving benchmark: boots the `am-service` daemon on a loopback port,
+/// fires the load generator at it, and distills the clean-run latency
+/// quantiles and throughput. Every response is byte-compared against the
+/// in-process reference run, so a nonzero `mismatches` count here means
+/// the wire broke the determinism contract.
+fn bench_serve(config: &BenchConfig) -> ServeResult {
+    use am_service::{Client, Endpoint, JobSpec, Server, ServerConfig};
+
+    let server = Server::start(ServerConfig {
+        workers: config.threads.clamp(2, 8),
+        queue_capacity: 64,
+        ..ServerConfig::default()
+    })
+    .expect("serve bench: daemon boots on loopback");
+    let endpoint = Endpoint::Tcp(server.addr().to_string());
+
+    let jobs = vec![JobSpec::default()];
+    let expected = am_service::expected_results_wire(&jobs)
+        .expect("serve bench: in-process reference run");
+    let (total, concurrency) = if config.smoke { (24, 4) } else { (200, 8) };
+    let report = am_service::run_load(&endpoint, total, concurrency, &jobs, Some(&expected));
+
+    let mut client = Client::connect(&endpoint).expect("serve bench: stats connection");
+    let cache_hits = client
+        .stats()
+        .ok()
+        .and_then(|m| m.get("cache").and_then(|c| c.get("hits")).and_then(Json::as_u64))
+        .unwrap_or(0);
+    let _ = client.shutdown();
+    server.join();
+
+    ServeResult {
+        requests: report.requests,
+        concurrency: report.concurrency,
+        errors: report.errors,
+        dropped_connections: report.dropped_connections,
+        mismatches: report.mismatches,
+        p50_ms: report.quantile_ms(0.50),
+        p95_ms: report.quantile_ms(0.95),
+        p99_ms: report.quantile_ms(0.99),
+        throughput_rps: report.throughput_rps(),
+        cache_hits,
     }
 }
 
@@ -951,6 +914,7 @@ mod tests {
                 threads: 4,
                 replicates: 1,
                 solver: FeaSolver::NewtonPcg,
+                serve: false,
             },
             kernels: vec![KernelResult {
                 name: "slicing".to_string(),
@@ -962,9 +926,26 @@ mod tests {
                 inner_iters: 4321,
                 residual_evals: 87,
             }],
-            cache_hits: 132,
-            cache_misses: 36,
-            evictions: 2,
+            cache: CacheStats { hits: 132, misses: 36, evictions: 2, ..CacheStats::default() },
+            serve: None,
+        }
+    }
+
+    fn served_report() -> BenchReport {
+        BenchReport {
+            serve: Some(ServeResult {
+                requests: 200,
+                concurrency: 8,
+                errors: 0,
+                dropped_connections: 0,
+                mismatches: 0,
+                p50_ms: 12.5,
+                p95_ms: 31.0,
+                p99_ms: 44.0,
+                throughput_rps: 312.5,
+                cache_hits: 199,
+            }),
+            ..sample_report()
         }
     }
 
@@ -1020,17 +1001,40 @@ mod tests {
     }
 
     #[test]
-    fn parser_handles_escapes_and_nesting() {
-        let doc = parse_json("{\"a\": [1, -2.5e1, \"x\\n\\\"y\\u0041\"], \"b\": null}")
-            .expect("parse");
-        let arr = match doc.get("a") {
-            Some(Json::Array(items)) => items.clone(),
-            other => panic!("expected array, got {other:?}"),
-        };
-        assert_eq!(arr[0], Json::Number(1.0));
-        assert_eq!(arr[1], Json::Number(-25.0));
-        assert_eq!(arr[2], Json::String("x\n\"yA".to_string()));
-        assert_eq!(doc.get("b"), Some(&Json::Null));
+    fn validator_enforces_the_serve_section() {
+        // v4: the field itself is mandatory, even as an explicit null.
+        let no_serve = sample_report().to_json().replace("  \"serve\": null,\n", "");
+        assert!(validate_report_json(&no_serve).is_err());
+        assert!(report_has_serve(&no_serve).is_err());
+        assert!(!report_has_serve(&sample_report().to_json()).expect("valid"));
+
+        // A clean served report validates and reports itself as served.
+        let served = served_report().to_json();
+        assert!(validate_report_json(&served).is_ok());
+        assert!(report_has_serve(&served).expect("valid"));
+
+        // A served report may stand alone, without kernel rows.
+        let serve_only = BenchReport { kernels: Vec::new(), ..served_report() };
+        assert!(validate_report_json(&serve_only.to_json()).is_ok());
+        let empty_unserved = BenchReport { kernels: Vec::new(), ..sample_report() };
+        assert!(validate_report_json(&empty_unserved.to_json()).is_err());
+
+        // Dirty load runs are rejected: transport errors, dropped
+        // connections, determinism mismatches, a cold cache, or a
+        // zero-request run all invalidate the document.
+        for (field, dirty) in [
+            ("\"errors\": 0", "\"errors\": 3"),
+            ("\"dropped_connections\": 0", "\"dropped_connections\": 1"),
+            ("\"mismatches\": 0", "\"mismatches\": 2"),
+            ("\"cache_hits\": 199", "\"cache_hits\": 0"),
+            ("\"requests\": 200", "\"requests\": 0"),
+        ] {
+            let doc = served_report().to_json().replace(field, dirty);
+            assert!(validate_report_json(&doc).is_err(), "accepted dirty serve: {dirty}");
+        }
+        // Non-monotone latency quantiles are impossible in a real run.
+        let warped = served_report().to_json().replace("\"p95_ms\": 31.000", "\"p95_ms\": 3.000");
+        assert!(validate_report_json(&warped).is_err());
     }
 
     #[test]

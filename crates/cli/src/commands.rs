@@ -65,7 +65,33 @@ COMMANDS:
                      [--tensile]                also run the virtual tensile test per key
                      [--solver SOLVER]          tensile equilibrium solver:
                                                 newton-pcg (default) | relaxation
-                     [--cache-stats]            print stage-cache and solver-pool counters
+                     [--cache-stats]            print the unified metrics snapshot
+                                                (stage cache, solver pool, solver work)
+    serve          run the obfuscation daemon: a length-prefixed JSON protocol
+                   over TCP (and a Unix socket with --uds), jobs dispatched onto
+                   the batch engine behind a bounded queue and one shared cache
+                     [--addr HOST:PORT]         listen address (default 127.0.0.1:7777;
+                                                port 0 picks a free port)
+                     [--uds PATH]               also listen on a Unix-domain socket
+                     [--workers N]              pipeline workers (default 2)
+                     [--queue N]                job-queue capacity (default 64)
+                     [--cache-mb MB]            stage-cache budget (default 64)
+                     [--port-file FILE]         write the bound address to FILE
+                                                once listening (for scripts)
+    submit         send one request to a running daemon and print the reply
+                     [--addr HOST:PORT]         daemon address (default 127.0.0.1:7777)
+                     [--uds PATH]               connect over a Unix socket instead
+                     [--kind KIND]              ping|stats|run|authenticate|shutdown
+                                                (default run)
+                     job flags for run/authenticate:
+                       [--part bar|bracket|prism] [--intact] [--seed N]
+                       [--resolution coarse|fine|custom] [--orientation xy|xz]
+                       [--tensile] [--solver SOLVER] [--layer MM]
+                       [--faults PLAN] [--fault-seed N] [--deadline-ms MS]
+                     [--load N]                 load-generator mode: N run requests…
+                     [--concurrency C]          …over C connections (default 4),
+                                                verified byte-for-byte against an
+                                                in-process run; prints p50/p95/p99
     bench          benchmark the reference kernels against the optimized ones
                    and write a BENCH_*.json report
                      [--smoke]                  tiny workloads (CI smoke stage)
@@ -73,12 +99,18 @@ COMMANDS:
                      [--replicates N]           end-to-end replicates (default 2)
                      [--solver SOLVER]          tensile solver for the optimized fea row:
                                                 newton-pcg (default) | relaxation
-                     [--only KERNEL]            slicing|printing|fea|sweep|all_experiments
-                     [--out FILE.json]          (default BENCH_PR4.json)
+                     [--serve]                  also bench the daemon end to end
+                                                (boots a loopback server, reports
+                                                p50/p95/p99 latency + throughput)
+                     [--only KERNEL]            slicing|printing|fea|sweep|
+                                                all_experiments|serve
+                     [--out FILE.json]          (default BENCH_PR5.json)
                      [--check FILE.json]        validate an existing report instead of
                                                 benchmarking; fail on any speedup < 1.0
                      [--fea-budget-ms MS]       with --check: also fail if the fea row's
                                                 optimized time exceeds MS milliseconds
+                     [--require-serve]          with --check: also fail unless the
+                                                report carries a daemon (serve) result
     help           show this text
 ";
 
@@ -561,31 +593,10 @@ pub fn sweep(args: &[String]) -> CliResult {
         results.len(),
         if tensile { format!(", {solver} tensile solver") } else { String::new() }
     );
-    if flags.contains_key("cache-stats") && tensile {
-        let p = obfuscade::fea_solver_pool_stats();
-        println!(
-            "solver pool: {} scratch builds, {} reuses across {} tensile runs",
-            p.builds,
-            p.reuses,
-            p.builds + p.reuses
-        );
-    }
     if flags.contains_key("cache-stats") {
-        let s = cache.stats();
-        println!(
-            "stage cache: {} hits / {} lookups ({:.0}% hit rate), {} insertions, {} evictions",
-            s.hits,
-            s.hits + s.misses,
-            100.0 * s.hit_rate(),
-            s.insertions,
-            s.evictions
-        );
-        println!(
-            "             {} live entries, {:.1} MiB of {:.0} MiB budget",
-            s.entries,
-            s.bytes as f64 / (1024.0 * 1024.0),
-            s.budget as f64 / (1024.0 * 1024.0)
-        );
+        // One snapshot, one renderer: the same unified metrics surface
+        // the daemon's `stats` request serializes.
+        print!("{}", obfuscade::metrics::MetricsSnapshot::gather(&cache).render());
     }
     Ok(())
 }
@@ -632,6 +643,17 @@ pub fn bench(args: &[String]) -> CliResult {
             }
             println!("  fea optimized    {fea_ms:>6.1} ms  within the {budget:.1} ms budget");
         }
+        // PR 5: `--require-serve` additionally insists the report carries
+        // a daemon load-test result (its cleanliness was already enforced
+        // by the schema validation above).
+        if flags.contains_key("require-serve") {
+            let served = obfuscade_bench::perf::report_has_serve(&text)
+                .map_err(|e| format!("{path}: {e}"))?;
+            if !served {
+                return Err(format!("{path}: no serve section (daemon bench did not run)"));
+            }
+            println!("  serve            present  clean daemon load run");
+        }
         println!("{path}: schema valid, {} kernels, all speedups >= 1.0x", speedups.len());
         return Ok(());
     }
@@ -648,12 +670,16 @@ pub fn bench(args: &[String]) -> CliResult {
         threads: parse_usize("threads", defaults.threads)?.max(1),
         replicates: parse_usize("replicates", defaults.replicates)?.max(1),
         solver: solver_flag(&flags)?,
+        serve: flags.contains_key("serve"),
     };
-    let out_path = flags.get("out").map(String::as_str).unwrap_or("BENCH_PR4.json");
+    let out_path = flags.get("out").map(String::as_str).unwrap_or("BENCH_PR5.json");
     let only = flags.get("only").map(String::as_str);
     if let Some(name) = only {
-        if !["slicing", "printing", "fea", "sweep", "all_experiments"].contains(&name) {
+        if !["slicing", "printing", "fea", "sweep", "all_experiments", "serve"].contains(&name) {
             return Err(format!("unknown kernel `{name}` for --only"));
+        }
+        if name == "serve" && !config.serve {
+            return Err("--only serve requires --serve".to_string());
         }
     }
 
@@ -682,6 +708,202 @@ pub fn bench(args: &[String]) -> CliResult {
             .collect::<Vec<_>>()
             .join(", ")
     );
+    Ok(())
+}
+
+/// Resolves the daemon endpoint from `--uds PATH` / `--addr HOST:PORT`.
+fn endpoint_flag(flags: &HashMap<String, String>) -> am_service::Endpoint {
+    match flags.get("uds") {
+        Some(path) => am_service::Endpoint::Unix(std::path::PathBuf::from(path)),
+        None => am_service::Endpoint::Tcp(
+            flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:7777".to_string()),
+        ),
+    }
+}
+
+fn usize_flag(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: usize,
+) -> Result<usize, String> {
+    flags
+        .get(name)
+        .map(|v| v.parse().map_err(|_| format!("bad --{name} value `{v}`")))
+        .transpose()
+        .map(|v| v.unwrap_or(default))
+}
+
+fn u64_flag(
+    flags: &HashMap<String, String>,
+    name: &str,
+) -> Result<Option<u64>, String> {
+    flags
+        .get(name)
+        .map(|v| v.parse().map_err(|_| format!("bad --{name} value `{v}`")))
+        .transpose()
+}
+
+/// `obfuscade serve` — run the obfuscation daemon until a client sends
+/// `shutdown` (which drains the queue and in-flight jobs first).
+pub fn serve(args: &[String]) -> CliResult {
+    use am_service::{Server, ServerConfig};
+    let (positional, flags) = parse_flags(args);
+    if let Some(extra) = positional.first() {
+        return Err(format!("unexpected argument `{extra}`"));
+    }
+    let defaults = ServerConfig::default();
+    let config = ServerConfig {
+        addr: flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:7777".to_string()),
+        unix_socket: flags.get("uds").map(std::path::PathBuf::from),
+        workers: usize_flag(&flags, "workers", defaults.workers)?.max(1),
+        queue_capacity: usize_flag(&flags, "queue", defaults.queue_capacity)?.max(1),
+        cache_budget: match flags.get("cache-mb") {
+            Some(v) => {
+                let mb: usize =
+                    v.parse().map_err(|_| format!("bad --cache-mb value `{v}`"))?;
+                mb.max(1) << 20
+            }
+            None => defaults.cache_budget,
+        },
+        ..defaults
+    };
+    let workers = config.workers;
+    let queue = config.queue_capacity;
+    let uds = config.unix_socket.clone();
+    let server = Server::start(config).map_err(|e| format!("serve: {e}"))?;
+    let addr = server.addr().to_string();
+    println!(
+        "obfuscade daemon listening on {addr}{} ({workers} workers, queue {queue})",
+        match &uds {
+            Some(path) => format!(" and {}", path.display()),
+            None => String::new(),
+        }
+    );
+    // Scripts poll for this file instead of parsing stdout (port 0 binds
+    // an ephemeral port only the daemon knows).
+    if let Some(path) = flags.get("port-file") {
+        std::fs::write(path, &addr).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    server.join();
+    println!("daemon drained and stopped");
+    Ok(())
+}
+
+/// Builds a [`am_service::JobSpec`] from `submit`'s job flags, starting
+/// from the service defaults and overriding only what was given.
+fn job_spec_flags(flags: &HashMap<String, String>) -> Result<am_service::JobSpec, String> {
+    let mut job = am_service::JobSpec::default();
+    if let Some(part) = flags.get("part") {
+        job.part = part.clone();
+    }
+    job.intact = flags.contains_key("intact");
+    if flags.contains_key("resolution") {
+        job.resolution = resolution_flag(flags)?;
+    }
+    if flags.contains_key("orientation") {
+        job.orientation = orientation_flag(flags)?;
+    }
+    if let Some(seed) = u64_flag(flags, "seed")? {
+        job.seed = seed;
+    }
+    job.tensile = flags.contains_key("tensile");
+    if flags.contains_key("solver") {
+        job.solver = solver_flag(flags)?;
+    }
+    if let Some(layer) = flags.get("layer") {
+        let mm: f64 = layer.parse().map_err(|_| format!("bad --layer value `{layer}`"))?;
+        job.layer = Some(mm);
+    }
+    if let Some(spec) = flags.get("faults") {
+        job.faults = spec.clone();
+    }
+    if let Some(seed) = u64_flag(flags, "fault-seed")? {
+        job.fault_seed = seed;
+    }
+    // Round-trip through the wire encoding so bad part names or fault
+    // specs fail here, client-side, with the same message the daemon
+    // would produce.
+    job.build_part()?;
+    job.fault_plan()?;
+    Ok(job)
+}
+
+/// `obfuscade submit` — one request to a running daemon, or a whole
+/// verified load run with `--load N`.
+pub fn submit(args: &[String]) -> CliResult {
+    use am_service::{expected_results_wire, run_load, Client, Response};
+    use obfuscade::json::Json;
+    let (positional, flags) = parse_flags(args);
+    if let Some(extra) = positional.first() {
+        return Err(format!("unexpected argument `{extra}`"));
+    }
+    let endpoint = endpoint_flag(&flags);
+    let job = job_spec_flags(&flags)?;
+    let deadline_ms = u64_flag(&flags, "deadline-ms")?;
+
+    // Load-generator mode: `--load N [--concurrency C]` fires N identical
+    // run requests over C connections and byte-compares every response
+    // against an in-process reference run of the same job.
+    if let Some(total) = u64_flag(&flags, "load")? {
+        let concurrency = usize_flag(&flags, "concurrency", 4)?.max(1);
+        let jobs = vec![job];
+        let expected = expected_results_wire(&jobs)?;
+        let report = run_load(&endpoint, total, concurrency, &jobs, Some(&expected));
+        println!(
+            "{} requests over {} connections in {:.2} s: p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms, {:.1} req/s",
+            report.requests,
+            report.concurrency,
+            report.wall_s,
+            report.quantile_ms(0.50),
+            report.quantile_ms(0.95),
+            report.quantile_ms(0.99),
+            report.throughput_rps()
+        );
+        if !report.clean() {
+            return Err(format!(
+                "load run was not clean: {} errors, {} dropped connections, {} result mismatches",
+                report.errors, report.dropped_connections, report.mismatches
+            ));
+        }
+        println!("all responses byte-identical to the in-process run");
+        return Ok(());
+    }
+
+    let mut client = Client::connect(&endpoint).map_err(|e| format!("connect: {e}"))?;
+    match flags.get("kind").map(String::as_str).unwrap_or("run") {
+        "ping" => {
+            client.ping()?;
+            println!("pong");
+        }
+        "stats" => {
+            println!("{}", client.stats()?.render());
+        }
+        "shutdown" => {
+            let completed = client.shutdown()?;
+            println!("daemon drained and stopped ({completed} jobs completed over its lifetime)");
+        }
+        "run" => match client.run(vec![job], deadline_ms)? {
+            Response::Results { results, .. } => println!("{}", Json::Array(results).render()),
+            Response::Error { error, message, .. } => {
+                return Err(format!("{}: {message}", error.name()))
+            }
+            other => return Err(format!("unexpected response {other:?}")),
+        },
+        "authenticate" => match client.authenticate(job, deadline_ms)? {
+            Response::Verdict { verdict, cold_joint_mm2, void_mm3, .. } => println!(
+                "{verdict} (cold joints {cold_joint_mm2:.1} mm², voids {void_mm3:.1} mm³)"
+            ),
+            Response::Error { error, message, .. } => {
+                return Err(format!("{}: {message}", error.name()))
+            }
+            other => return Err(format!("unexpected response {other:?}")),
+        },
+        other => {
+            return Err(format!(
+                "unknown request kind `{other}` (ping|stats|run|authenticate|shutdown)"
+            ))
+        }
+    }
     Ok(())
 }
 
@@ -743,6 +965,46 @@ mod tests {
         assert!(protect(&["--out".into(), "/nonexistent-dir-xyz/o.stl".into()]).is_err());
         assert!(inspect(&[]).is_err());
         assert!(slice(&[]).is_err());
+    }
+
+    #[test]
+    fn serve_and_submit_round_trip_through_the_daemon() {
+        let dir = std::env::temp_dir().join(format!("obfuscade-serve-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let port_file = dir.join("daemon.addr").to_string_lossy().to_string();
+
+        // `serve` blocks until a shutdown request drains it, so it runs on
+        // its own thread; the port file is how we learn the ephemeral port.
+        let serve_args: Vec<String> = [
+            "--addr", "127.0.0.1:0", "--workers", "2", "--port-file", port_file.as_str(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let daemon = std::thread::spawn(move || serve(&serve_args));
+        let addr = loop {
+            if let Ok(addr) = std::fs::read_to_string(&port_file) {
+                if !addr.is_empty() {
+                    break addr;
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        };
+
+        let with_addr = |extra: &[&str]| -> Vec<String> {
+            ["--addr", addr.as_str()].iter().chain(extra).map(|s| s.to_string()).collect()
+        };
+        submit(&with_addr(&["--kind", "ping"])).unwrap();
+        submit(&with_addr(&["--kind", "run", "--seed", "2"])).unwrap();
+        submit(&with_addr(&["--kind", "authenticate"])).unwrap();
+        submit(&with_addr(&["--kind", "stats"])).unwrap();
+        submit(&with_addr(&["--load", "6", "--concurrency", "2"])).unwrap();
+        // Client-side validation catches bad job specs before any I/O.
+        assert!(submit(&with_addr(&["--part", "teapot"])).is_err());
+        assert!(submit(&with_addr(&["--kind", "warp"])).is_err());
+        submit(&with_addr(&["--kind", "shutdown"])).unwrap();
+        daemon.join().unwrap().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //! obfuscade audit
 //! obfuscade report <experiment>|all
 //! obfuscade sweep [--threads N] [--seed N] [--cache-stats]
-//! obfuscade bench [--smoke] [--threads N] [--out FILE.json] [--check FILE.json]
+//! obfuscade serve [--addr 127.0.0.1:7777] [--uds PATH] [--workers N] [--port-file FILE]
+//! obfuscade submit [--addr HOST:PORT] [--kind run|authenticate|stats|ping|shutdown]
+//! obfuscade submit --load 200 --concurrency 8
+//! obfuscade bench [--smoke] [--serve] [--threads N] [--out FILE.json] [--check FILE.json]
 //! ```
 
 use std::process::ExitCode;
@@ -38,6 +41,8 @@ fn main() -> ExitCode {
         "audit" => commands::audit(rest),
         "report" => commands::report(rest),
         "sweep" => commands::sweep(rest),
+        "serve" => commands::serve(rest),
+        "submit" => commands::submit(rest),
         "bench" => commands::bench(rest),
         "help" | "--help" | "-h" => {
             print!("{}", commands::USAGE);

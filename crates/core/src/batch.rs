@@ -40,8 +40,8 @@ use crate::cache::{StageCache, StageKey};
 use crate::fault::FaultPlan;
 use crate::key::ProcessKey;
 use crate::pipeline::{
-    plan_keys, run_pipeline_cached, warm_prefix, PipelineError, PipelineOutput, PlanKeys,
-    PrefixDepth, ProcessPlan, Stage,
+    plan_keys, run_pipeline_cached_deadline, warm_prefix, Deadline, PipelineError, PipelineOutput,
+    PlanKeys, PrefixDepth, ProcessPlan, Stage,
 };
 
 /// One unit of batch work: a part, the full process plan to run it under,
@@ -81,6 +81,28 @@ pub fn run_pipeline_jobs(
     cache: &StageCache,
     parallelism: Parallelism,
 ) -> Vec<Result<PipelineOutput, PipelineError>> {
+    run_pipeline_jobs_with(jobs, cache, parallelism, Deadline::none())
+}
+
+/// [`run_pipeline_jobs`] under a cooperative [`Deadline`] shared by the
+/// whole batch — the service daemon's per-request cancellation hook.
+///
+/// The deadline is budget-checked between stages, during warming and
+/// during the final pass alike. Jobs the deadline catches return
+/// [`PipelineError::DeadlineExceeded`]; jobs whose stages all started in
+/// time complete normally. A deadline that never expires makes this
+/// byte-identical to [`run_pipeline_jobs`].
+///
+/// Deadline errors are wall-clock accidents, not functions of a stage
+/// key, so they are **never** recorded in the per-batch failure map and
+/// never poison the shared cache: re-running the same jobs with a fresh
+/// deadline recomputes (or cache-hits) them cleanly.
+pub fn run_pipeline_jobs_with(
+    jobs: &[BatchJob<'_>],
+    cache: &StageCache,
+    parallelism: Parallelism,
+    deadline: Deadline,
+) -> Vec<Result<PipelineOutput, PipelineError>> {
     let jobs: Vec<BatchJob<'_>> = jobs
         .iter()
         .map(|job| BatchJob {
@@ -114,10 +136,16 @@ pub fn run_pipeline_jobs(
             .collect();
         let outcomes = pool.par_map(&reps, |&i| {
             let job = &jobs[i];
-            warm_prefix(job.part, &job.plan, &job.faults, cache, depth).err()
+            warm_prefix(job.part, &job.plan, &job.faults, cache, depth, deadline).err()
         });
         for (&i, err) in reps.iter().zip(outcomes) {
             if let Some(e) = err {
+                // Deadline expiry is a property of the wall clock, not of
+                // the stage key — recording it would replay a spurious
+                // timeout to later batches' jobs sharing the prefix.
+                if matches!(e, PipelineError::DeadlineExceeded { .. }) {
+                    continue;
+                }
                 // Record the error only if the stage it names is a pure
                 // function of this phase's key. Plan-validation errors
                 // (bad slicer config during mesh warming, bad printer
@@ -151,7 +179,7 @@ pub fn run_pipeline_jobs(
                 return Err(e.clone());
             }
         }
-        run_pipeline_cached(job.part, &job.plan, &job.faults, cache)
+        run_pipeline_cached_deadline(job.part, &job.plan, &job.faults, cache, deadline)
     })
 }
 

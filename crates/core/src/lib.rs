@@ -60,7 +60,9 @@ mod adversary;
 mod batch;
 mod cache;
 mod fault;
+pub mod json;
 mod key;
+pub mod metrics;
 mod multikey;
 mod perf;
 mod pipeline;
@@ -73,7 +75,8 @@ pub use adversary::{
     RepairOutcome, SearchOutcome,
 };
 pub use batch::{
-    run_pipeline_batch, run_pipeline_batch_with, run_pipeline_jobs, sweep_key_space, BatchJob,
+    run_pipeline_batch, run_pipeline_batch_with, run_pipeline_jobs, run_pipeline_jobs_with,
+    sweep_key_space, BatchJob,
 };
 pub use cache::{CacheStats, StageCache, StageHasher, StageKey};
 pub use fault::{
@@ -82,11 +85,11 @@ pub use fault::{
 pub use key::{CadRecipe, ProcessKey};
 pub use perf::{kernel_mode, set_kernel_mode, KernelMode};
 pub use multikey::MultiSphereScheme;
-pub use am_fea::{FeaSolver, SolverPoolStats};
+pub use am_fea::{solver_counters, FeaSolver, SolverCounters, SolverPoolStats};
 pub use pipeline::{
-    fea_solver_pool_stats, run_pipeline, run_pipeline_cached, run_pipeline_with_faults,
-    Diagnostic, PipelineError, PipelineOutput, ProcessPlan, Stage, StageOutcome, StageStatus,
-    ToolPathStats,
+    fea_solver_pool_stats, run_pipeline, run_pipeline_cached, run_pipeline_cached_deadline,
+    run_pipeline_with_faults, Deadline, Diagnostic, PipelineError, PipelineOutput, ProcessPlan,
+    Stage, StageOutcome, StageStatus, ToolPathStats,
 };
 pub use quality::{assess_quality, QualityReport, QualityThresholds, Verdict};
 pub use scheme::{Authenticity, EmbeddedSphereScheme, SplineSplitScheme};

@@ -1,0 +1,311 @@
+//! Unified observability surface: one [`MetricsSnapshot`] gathering every
+//! counter family the toolchain grows — stage-cache traffic, solver-pool
+//! build/reuse, the fea crate's process-wide solver-work counters, and
+//! (when a service daemon is running) queue depth plus a request-latency
+//! histogram.
+//!
+//! Before PR 5 these surfaces were ad hoc: `sweep --cache-stats` printed
+//! [`CacheStats`] and [`SolverPoolStats`] with its own format strings, the
+//! bench report carried three loose cache counters, and the solver-work
+//! counters were only visible inside the bench. The snapshot pins **one
+//! stable field order** for the JSON form (the service `stats` response
+//! and future tooling parse it), and one human rendering that the CLI and
+//! bench share.
+
+use crate::cache::{CacheStats, StageCache};
+use crate::json::Json;
+use am_fea::{SolverCounters, SolverPoolStats};
+
+/// Number of latency buckets. Geometric bounds cover ~0.25 ms to ~5.5
+/// minutes; the last bucket absorbs everything slower.
+const BUCKETS: usize = 32;
+/// Upper bound of bucket 0, in milliseconds.
+const BASE_MS: f64 = 0.25;
+/// Geometric growth factor between bucket bounds.
+const GROWTH: f64 = 1.6;
+
+/// A fixed-bucket request-latency histogram (geometric bucket bounds).
+///
+/// Quantiles read from it are bucket-upper-bound estimates — good enough
+/// for a `stats` glance; the bench computes exact quantiles client-side
+/// from raw samples instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// Upper bound of bucket `i` in milliseconds (the last bucket is
+    /// unbounded; its nominal bound is returned for quantile estimates).
+    fn bound_ms(i: usize) -> f64 {
+        BASE_MS * GROWTH.powi(i as i32)
+    }
+
+    /// Records one request latency.
+    pub fn record_ms(&mut self, ms: f64) {
+        let mut i = 0;
+        while i + 1 < BUCKETS && ms > Self::bound_ms(i) {
+            i += 1;
+        }
+        self.counts[i] += 1;
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Estimated `q`-quantile (0 < q ≤ 1) in milliseconds: the upper bound
+    /// of the bucket holding the ⌈q·n⌉-th sample. 0 when empty.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bound_ms(i);
+            }
+        }
+        Self::bound_ms(BUCKETS - 1)
+    }
+
+    /// Merges another histogram into this one (used to sum per-worker
+    /// histograms into one service-wide view).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// Service-side counters (queue, admission control, request latencies).
+/// Only present in snapshots taken by a running daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Worker threads draining the job queue.
+    pub workers: usize,
+    /// Bounded job-queue capacity (admission-control limit).
+    pub queue_capacity: usize,
+    /// Jobs queued but not yet picked up, at snapshot time.
+    pub queue_depth: usize,
+    /// Connections accepted since the daemon started.
+    pub connections: u64,
+    /// Job requests admitted to the queue.
+    pub accepted: u64,
+    /// Job requests fully processed (response sent).
+    pub completed: u64,
+    /// Job requests rejected with a typed `overloaded` response because
+    /// the queue was at capacity.
+    pub rejected_overloaded: u64,
+    /// Job requests whose deadline expired before or during processing.
+    pub expired_deadlines: u64,
+    /// Request-latency histogram (queue wait + pipeline time).
+    pub latency: LatencyHistogram,
+}
+
+/// One coherent snapshot of every stats surface, with a stable field
+/// order in its JSON form (`cache`, `solver_pool`, `solver`, `service`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Stage-cache traffic of the cache being observed.
+    pub cache: CacheStats,
+    /// Process-wide tensile solver-pool build/reuse counters.
+    pub solver_pool: SolverPoolStats,
+    /// Process-wide solver-work counters (monotonic since process start).
+    pub solver: SolverCounters,
+    /// Service counters, when a daemon owns the observed cache.
+    pub service: Option<ServiceStats>,
+}
+
+impl MetricsSnapshot {
+    /// Gathers a snapshot around `cache`: its own stats plus the
+    /// process-wide solver pool and solver-work counters. The `service`
+    /// section is `None`; a running daemon fills it in.
+    pub fn gather(cache: &StageCache) -> Self {
+        MetricsSnapshot {
+            cache: cache.stats(),
+            solver_pool: crate::pipeline::fea_solver_pool_stats(),
+            solver: am_fea::solver_counters(),
+            service: None,
+        }
+    }
+
+    /// The snapshot as a [`Json`] object with a **stable field order** —
+    /// the service `stats` response body, byte-stable for equal counters.
+    pub fn to_json(&self) -> Json {
+        let c = &self.cache;
+        let cache = Json::Object(vec![
+            ("hits".into(), Json::u64(c.hits)),
+            ("misses".into(), Json::u64(c.misses)),
+            ("evictions".into(), Json::u64(c.evictions)),
+            ("insertions".into(), Json::u64(c.insertions)),
+            ("entries".into(), Json::u64(c.entries as u64)),
+            ("bytes".into(), Json::u64(c.bytes as u64)),
+            ("budget".into(), Json::u64(c.budget as u64)),
+        ]);
+        let pool = Json::Object(vec![
+            ("builds".into(), Json::u64(self.solver_pool.builds)),
+            ("reuses".into(), Json::u64(self.solver_pool.reuses)),
+        ]);
+        let solver = Json::Object(vec![
+            ("newton_iters".into(), Json::u64(self.solver.newton_iters)),
+            ("pcg_iters".into(), Json::u64(self.solver.pcg_iters)),
+            ("relax_iters".into(), Json::u64(self.solver.relax_iters)),
+            ("force_evals".into(), Json::u64(self.solver.force_evals)),
+        ]);
+        let service = match &self.service {
+            None => Json::Null,
+            Some(s) => Json::Object(vec![
+                ("workers".into(), Json::u64(s.workers as u64)),
+                ("queue_capacity".into(), Json::u64(s.queue_capacity as u64)),
+                ("queue_depth".into(), Json::u64(s.queue_depth as u64)),
+                ("connections".into(), Json::u64(s.connections)),
+                ("accepted".into(), Json::u64(s.accepted)),
+                ("completed".into(), Json::u64(s.completed)),
+                ("rejected_overloaded".into(), Json::u64(s.rejected_overloaded)),
+                ("expired_deadlines".into(), Json::u64(s.expired_deadlines)),
+                ("latency_count".into(), Json::u64(s.latency.count())),
+                ("latency_p50_ms".into(), Json::Number(s.latency.quantile_ms(0.50))),
+                ("latency_p95_ms".into(), Json::Number(s.latency.quantile_ms(0.95))),
+                ("latency_p99_ms".into(), Json::Number(s.latency.quantile_ms(0.99))),
+            ]),
+        };
+        Json::Object(vec![
+            ("cache".into(), cache),
+            ("solver_pool".into(), pool),
+            ("solver".into(), solver),
+            ("service".into(), service),
+        ])
+    }
+
+    /// Human-readable multi-line rendering (the `sweep --cache-stats` and
+    /// service `stats` console form).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "stage cache: {}", cache_line(&self.cache));
+        let _ = writeln!(
+            out,
+            "             {} live entries, {:.1} MiB of {:.0} MiB budget",
+            self.cache.entries,
+            self.cache.bytes as f64 / (1024.0 * 1024.0),
+            self.cache.budget as f64 / (1024.0 * 1024.0)
+        );
+        let _ = writeln!(
+            out,
+            "solver pool: {} scratch builds, {} reuses across {} tensile runs",
+            self.solver_pool.builds,
+            self.solver_pool.reuses,
+            self.solver_pool.builds + self.solver_pool.reuses
+        );
+        let _ = writeln!(
+            out,
+            "solver work: {} newton, {} pcg, {} relaxation iters; {} force evals",
+            self.solver.newton_iters,
+            self.solver.pcg_iters,
+            self.solver.relax_iters,
+            self.solver.force_evals
+        );
+        if let Some(s) = &self.service {
+            let _ = writeln!(
+                out,
+                "service:     {} workers, queue {}/{}; {} conns, {} accepted, {} completed, \
+                 {} overloaded, {} expired",
+                s.workers,
+                s.queue_depth,
+                s.queue_capacity,
+                s.connections,
+                s.accepted,
+                s.completed,
+                s.rejected_overloaded,
+                s.expired_deadlines
+            );
+            let _ = writeln!(
+                out,
+                "latency:     p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms over {} requests",
+                s.latency.quantile_ms(0.50),
+                s.latency.quantile_ms(0.95),
+                s.latency.quantile_ms(0.99),
+                s.latency.count()
+            );
+        }
+        out
+    }
+}
+
+/// One-line [`CacheStats`] summary, shared by the snapshot rendering and
+/// the bench report table.
+pub fn cache_line(s: &CacheStats) -> String {
+    format!(
+        "{} hits / {} lookups ({:.0}% hit rate), {} insertions, {} evictions",
+        s.hits,
+        s.hits + s.misses,
+        100.0 * s.hit_rate(),
+        s.insertions,
+        s.evictions
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_are_monotonic_and_bucketed() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.quantile_ms(0.5), 0.0);
+        for ms in [0.1, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 400.0] {
+            h.record_ms(ms);
+        }
+        assert_eq!(h.count(), 8);
+        let (p50, p95, p99) = (h.quantile_ms(0.5), h.quantile_ms(0.95), h.quantile_ms(0.99));
+        assert!(p50 > 0.0 && p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        // Each recorded sample sits at or below its bucket's upper bound.
+        assert!(h.quantile_ms(1.0) >= 400.0);
+    }
+
+    #[test]
+    fn histogram_merge_sums_counts() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        a.record_ms(1.0);
+        b.record_ms(1.0);
+        b.record_ms(1000.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn snapshot_json_field_order_is_stable() {
+        let snapshot = MetricsSnapshot {
+            cache: CacheStats { hits: 3, misses: 1, ..CacheStats::default() },
+            solver_pool: SolverPoolStats { builds: 2, reuses: 5 },
+            solver: SolverCounters::default(),
+            service: Some(ServiceStats { workers: 2, queue_capacity: 8, ..Default::default() }),
+        };
+        let json = snapshot.to_json().render();
+        let cache_at = json.find("\"cache\"").expect("cache");
+        let pool_at = json.find("\"solver_pool\"").expect("pool");
+        let solver_at = json.find("\"solver\":").expect("solver");
+        let service_at = json.find("\"service\"").expect("service");
+        assert!(cache_at < pool_at && pool_at < solver_at && solver_at < service_at);
+        assert!(json.contains("\"hits\":3"));
+        assert!(json.contains("\"reuses\":5"));
+        assert!(json.contains("\"workers\":2"));
+        // Absent service section renders as null, keeping the field present.
+        let bare = MetricsSnapshot::default();
+        assert!(bare.to_json().render().contains("\"service\":null"));
+    }
+
+    #[test]
+    fn render_names_every_surface() {
+        let text = MetricsSnapshot::default().render();
+        assert!(text.contains("stage cache"));
+        assert!(text.contains("solver pool"));
+        assert!(text.contains("solver work"));
+    }
+}

@@ -20,6 +20,7 @@
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use am_cad::{CadError, Part};
 use am_fea::{
@@ -135,6 +136,48 @@ impl ProcessPlan {
     pub fn with_fea_solver(mut self, fea_solver: FeaSolver) -> Self {
         self.fea_solver = fea_solver;
         self
+    }
+}
+
+/// A cooperative per-request compute budget, checked at stage boundaries.
+///
+/// The pipeline stages themselves never poll the clock — a stage that has
+/// started runs to completion (so nothing half-computed can be observed or
+/// cached). Between stages the runner checks the deadline and aborts with
+/// [`PipelineError::DeadlineExceeded`] naming the first stage that was not
+/// allowed to start. [`Deadline::none`] (the default) never expires, and a
+/// run under it is bit-identical to one without deadline plumbing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Deadline(Option<Instant>);
+
+impl Deadline {
+    /// No deadline: the run can never be cancelled.
+    pub fn none() -> Self {
+        Deadline(None)
+    }
+
+    /// Expires at `instant`.
+    pub fn at(instant: Instant) -> Self {
+        Deadline(Some(instant))
+    }
+
+    /// Expires `budget` from now.
+    pub fn within(budget: Duration) -> Self {
+        Deadline(Some(Instant::now() + budget))
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.0.is_some_and(|t| Instant::now() >= t)
+    }
+
+    /// Gate before starting `stage`.
+    pub(crate) fn check(&self, stage: Stage) -> Result<(), PipelineError> {
+        if self.expired() {
+            Err(PipelineError::DeadlineExceeded { stage })
+        } else {
+            Ok(())
+        }
     }
 }
 
@@ -285,6 +328,13 @@ pub enum PipelineError {
     Print(PrintError),
     /// The virtual tensile test rejected its configuration.
     Tensile(FeaConfigError),
+    /// The request's [`Deadline`] expired before this stage could start
+    /// (cooperative cancellation between stages; nothing partial runs or
+    /// is cached).
+    DeadlineExceeded {
+        /// The first stage the deadline prevented from starting.
+        stage: Stage,
+    },
 }
 
 impl PipelineError {
@@ -298,6 +348,7 @@ impl PipelineError {
             PipelineError::FirmwareRejected { .. } => Stage::Firmware,
             PipelineError::Print(_) => Stage::Print,
             PipelineError::Tensile(_) => Stage::Test,
+            PipelineError::DeadlineExceeded { stage } => *stage,
         }
     }
 }
@@ -319,6 +370,9 @@ impl fmt::Display for PipelineError {
             }
             PipelineError::Print(e) => write!(f, "print stage failed: {e}"),
             PipelineError::Tensile(e) => write!(f, "test stage failed: {e}"),
+            PipelineError::DeadlineExceeded { stage } => {
+                write!(f, "deadline exceeded before the {stage} stage")
+            }
         }
     }
 }
@@ -334,7 +388,9 @@ impl Error for PipelineError {
             PipelineError::Gcode(e) => Some(e),
             PipelineError::Print(e) => Some(e),
             PipelineError::Tensile(e) => Some(e),
-            PipelineError::EmptyBuild { .. } | PipelineError::FirmwareRejected { .. } => None,
+            PipelineError::EmptyBuild { .. }
+            | PipelineError::FirmwareRejected { .. }
+            | PipelineError::DeadlineExceeded { .. } => None,
         }
     }
 }
@@ -452,7 +508,7 @@ pub fn run_pipeline_with_faults(
     plan: &ProcessPlan,
     faults: &FaultPlan,
 ) -> Result<PipelineOutput, PipelineError> {
-    run_pipeline_inner(part, plan, faults, None)
+    run_pipeline_inner(part, plan, faults, None, Deadline::none())
 }
 
 /// [`run_pipeline_with_faults`], serving immutable stage artifacts from a
@@ -472,7 +528,30 @@ pub fn run_pipeline_cached(
     faults: &FaultPlan,
     cache: &StageCache,
 ) -> Result<PipelineOutput, PipelineError> {
-    run_pipeline_inner(part, plan, faults, Some(cache))
+    run_pipeline_inner(part, plan, faults, Some(cache), Deadline::none())
+}
+
+/// [`run_pipeline_cached`] under a cooperative [`Deadline`].
+///
+/// The deadline is checked **between** stages only: a stage that has
+/// started runs to completion and is cached normally, so an expired
+/// deadline can never poison the shared cache with partial artifacts. If
+/// the deadline never expires during the run, the output is bit-identical
+/// to [`run_pipeline_cached`].
+///
+/// # Errors
+///
+/// Same as [`run_pipeline_with_faults`], plus
+/// [`PipelineError::DeadlineExceeded`] naming the first stage the expired
+/// deadline prevented from starting.
+pub fn run_pipeline_cached_deadline(
+    part: &Part,
+    plan: &ProcessPlan,
+    faults: &FaultPlan,
+    cache: &StageCache,
+    deadline: Deadline,
+) -> Result<PipelineOutput, PipelineError> {
+    run_pipeline_inner(part, plan, faults, Some(cache), deadline)
 }
 
 // --- Stage artifacts ----------------------------------------------------
@@ -1195,18 +1274,22 @@ pub(crate) fn warm_prefix(
     faults: &FaultPlan,
     cache: &StageCache,
     depth: PrefixDepth,
+    deadline: Deadline,
 ) -> Result<(), PipelineError> {
     plan.slicer.validate().map_err(PipelineError::InvalidConfig)?;
     plan.printer.validate().map_err(|e| PipelineError::Print(PrintError::Profile(e)))?;
     let keys = plan_keys(part, plan, faults);
+    deadline.check(Stage::Cad)?;
     let mesh = obtain_mesh(part, plan, faults, Some((cache, keys.mesh)))?;
     if depth < PrefixDepth::Slice {
         return Ok(());
     }
+    deadline.check(Stage::Slice)?;
     let slice = obtain_slice(&mesh, plan, faults, Some((cache, keys.slice)))?;
     if depth < PrefixDepth::Toolpath {
         return Ok(());
     }
+    deadline.check(Stage::ToolPath)?;
     obtain_toolpath(&slice, plan, faults, Some((cache, keys.toolpath)))?;
     Ok(())
 }
@@ -1219,6 +1302,7 @@ fn run_pipeline_inner(
     plan: &ProcessPlan,
     faults: &FaultPlan,
     cache: Option<&StageCache>,
+    deadline: Deadline,
 ) -> Result<PipelineOutput, PipelineError> {
     // The plan itself must be coherent before anything runs: a bad slicer
     // config or machine profile is a caller error, not a fault.
@@ -1233,18 +1317,22 @@ fn run_pipeline_inner(
     let mut stages: Vec<StageOutcome> = Vec::new();
     let mut diagnostics: Vec<Diagnostic> = Vec::new();
 
+    deadline.check(Stage::Cad)?;
     let mesh = obtain_mesh(part, plan, faults, with_key(|k| k.mesh))?;
     stages.extend_from_slice(&mesh.outcomes);
     diagnostics.extend_from_slice(&mesh.diagnostics);
 
+    deadline.check(Stage::Slice)?;
     let slice = obtain_slice(&mesh, plan, faults, with_key(|k| k.slice))?;
     stages.extend_from_slice(&slice.outcomes);
     diagnostics.extend_from_slice(&slice.diagnostics);
 
+    deadline.check(Stage::ToolPath)?;
     let toolpath = obtain_toolpath(&slice, plan, faults, with_key(|k| k.toolpath))?;
     stages.extend_from_slice(&toolpath.outcomes);
     diagnostics.extend_from_slice(&toolpath.diagnostics);
 
+    deadline.check(Stage::Print)?;
     let print = obtain_print(&toolpath, &slice, plan, with_key(|k| k.print))?;
     stages.extend_from_slice(&print.outcomes);
 
@@ -1270,6 +1358,7 @@ fn run_pipeline_inner(
 
     // --- Virtual tensile test --------------------------------------------
     let tensile = if plan.tensile {
+        deadline.check(Stage::Test)?;
         stages.push(StageOutcome { stage: Stage::Test, status: StageStatus::Clean });
         let result: Arc<TensileResult> = if let Some((cache, keys)) = cache.zip(keys) {
             let key = tensile_key(keys.print, plan, joint_contact);

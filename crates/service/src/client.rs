@@ -1,0 +1,385 @@
+//! Client side: a blocking one-request-at-a-time [`Client`], plus the
+//! [`run_load`] generator the CLI (`submit --load`) and the bench serve
+//! mode use to measure the daemon under concurrency.
+//!
+//! The load generator verifies more than liveness: when given the
+//! expected wire encoding (computed in-process by
+//! [`expected_results_wire`] over the same job specs), every response
+//! body is compared byte-for-byte — any divergence between the served
+//! pipeline and a local [`obfuscade::run_pipeline_jobs`] run counts as a
+//! `mismatch` and fails the run.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use am_par::Parallelism;
+use obfuscade::json::Json;
+use obfuscade::{run_pipeline_jobs, BatchJob, StageCache};
+
+use crate::protocol::{
+    encode_outcome, read_frame, write_frame, JobSpec, Request, RequestBody, Response,
+};
+
+/// Where the daemon listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A TCP address, e.g. `127.0.0.1:4817`.
+    Tcp(String),
+    /// A Unix-domain socket path (Unix only; connecting on other
+    /// platforms errors).
+    Unix(PathBuf),
+}
+
+/// The underlying connected stream.
+enum ClientStream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixStream),
+}
+
+impl Read for ClientStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            ClientStream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            ClientStream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for ClientStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            ClientStream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            ClientStream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            ClientStream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            ClientStream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A blocking service client: one in-flight request at a time, ids
+/// assigned sequentially per connection.
+pub struct Client {
+    stream: ClientStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to the daemon.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures; on non-Unix platforms, any
+    /// [`Endpoint::Unix`].
+    pub fn connect(endpoint: &Endpoint) -> io::Result<Client> {
+        let stream = match endpoint {
+            Endpoint::Tcp(addr) => {
+                let stream = TcpStream::connect(addr)?;
+                let _ = stream.set_nodelay(true);
+                ClientStream::Tcp(stream)
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                ClientStream::Unix(std::os::unix::net::UnixStream::connect(path)?)
+            }
+            #[cfg(not(unix))]
+            Endpoint::Unix(_) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "unix-domain sockets are not available on this platform",
+                ))
+            }
+        };
+        Ok(Client { stream, next_id: 1 })
+    }
+
+    /// Sends one request body and waits for the matching response.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, a closed connection, an undecodable reply, or
+    /// a response id that does not echo the request id.
+    pub fn call(&mut self, body: RequestBody) -> Result<Response, String> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let request = Request { id, body };
+        self.raw_call(&request.encode()).and_then(|response| {
+            if response.id() == id || matches!(response, Response::Error { id: 0, .. }) {
+                Ok(response)
+            } else {
+                Err(format!("response id {} does not match request id {id}", response.id()))
+            }
+        })
+    }
+
+    /// Sends raw frame-payload bytes and decodes whatever comes back —
+    /// the hook tests use to probe the daemon's malformed-input handling.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, a closed connection, or an undecodable reply.
+    pub fn raw_call(&mut self, payload: &[u8]) -> Result<Response, String> {
+        write_frame(&mut self.stream, payload).map_err(|e| format!("send failed: {e}"))?;
+        let frame = read_frame(&mut self.stream)
+            .map_err(|e| format!("receive failed: {e}"))?
+            .ok_or("the daemon closed the connection")?;
+        Response::decode(&frame)
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an unexpected response kind.
+    pub fn ping(&mut self) -> Result<(), String> {
+        match self.call(RequestBody::Ping)? {
+            Response::Pong { .. } => Ok(()),
+            other => Err(format!("expected pong, got {other:?}")),
+        }
+    }
+
+    /// Fetches the daemon's metrics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an unexpected response kind.
+    pub fn stats(&mut self) -> Result<Json, String> {
+        match self.call(RequestBody::Stats)? {
+            Response::Stats { metrics, .. } => Ok(metrics),
+            other => Err(format!("expected stats, got {other:?}")),
+        }
+    }
+
+    /// Requests a graceful drain; returns the daemon's lifetime
+    /// completed-job count.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an unexpected response kind.
+    pub fn shutdown(&mut self) -> Result<u64, String> {
+        match self.call(RequestBody::Shutdown)? {
+            Response::Bye { completed, .. } => Ok(completed),
+            other => Err(format!("expected bye, got {other:?}")),
+        }
+    }
+
+    /// Submits a batch of jobs.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures; the returned [`Response`] may itself be a
+    /// typed error (overloaded, shutting down, …).
+    pub fn run(
+        &mut self,
+        jobs: Vec<JobSpec>,
+        deadline_ms: Option<u64>,
+    ) -> Result<Response, String> {
+        self.call(RequestBody::Run { jobs, deadline_ms })
+    }
+
+    /// Submits one job for manufacture-and-authenticate.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures; the returned [`Response`] may itself be a
+    /// typed error.
+    pub fn authenticate(
+        &mut self,
+        job: JobSpec,
+        deadline_ms: Option<u64>,
+    ) -> Result<Response, String> {
+        self.call(RequestBody::Authenticate { job, deadline_ms })
+    }
+}
+
+/// What one load run measured.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Requests attempted.
+    pub requests: u64,
+    /// Client threads used.
+    pub concurrency: usize,
+    /// Transport failures plus typed error responses.
+    pub errors: u64,
+    /// Client threads that failed to establish their connection.
+    pub dropped_connections: u64,
+    /// Responses whose body differed from the expected wire bytes.
+    pub mismatches: u64,
+    /// Per-request round-trip latencies, sorted ascending (ms).
+    pub latencies_ms: Vec<f64>,
+    /// Wall-clock duration of the whole run (s).
+    pub wall_s: f64,
+}
+
+impl LoadReport {
+    /// Exact sample quantile (0 < q ≤ 1): the ⌈q·n⌉-th smallest latency.
+    /// 0 when no request completed.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        let n = self.latencies_ms.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        self.latencies_ms[rank - 1]
+    }
+
+    /// Completed requests per wall-clock second.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            (self.requests - self.errors) as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// `true` when nothing was dropped, rejected, or served wrong bytes.
+    pub fn clean(&self) -> bool {
+        self.errors == 0 && self.dropped_connections == 0 && self.mismatches == 0
+    }
+}
+
+/// Computes, in-process, the exact wire encoding a `run` request over
+/// `jobs` must come back with: the batch runs through
+/// [`obfuscade::run_pipeline_jobs`] against a fresh cache and each
+/// outcome is encoded with [`encode_outcome`] — the same function the
+/// daemon uses.
+///
+/// # Errors
+///
+/// An invalid part family or fault spec in `jobs`.
+pub fn expected_results_wire(jobs: &[JobSpec]) -> Result<String, String> {
+    let mut parts = Vec::with_capacity(jobs.len());
+    let mut faults = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        parts.push(job.build_part()?);
+        faults.push(job.fault_plan()?);
+    }
+    let batch: Vec<BatchJob<'_>> = jobs
+        .iter()
+        .zip(parts.iter())
+        .zip(faults.iter())
+        .map(|((job, part), fault)| BatchJob { part, plan: job.plan(), faults: fault.clone() })
+        .collect();
+    let cache = StageCache::with_budget(StageCache::DEFAULT_BUDGET);
+    let outcomes = run_pipeline_jobs(&batch, &cache, Parallelism::serial());
+    Ok(Json::Array(outcomes.iter().map(encode_outcome).collect()).render())
+}
+
+/// Drives `total` identical `run` requests at the daemon from
+/// `concurrency` client threads (each with its own connection) and
+/// measures per-request round-trip latency.
+///
+/// When `expected` is given (see [`expected_results_wire`]), each
+/// response's results array must render to exactly those bytes;
+/// divergences are counted as mismatches.
+pub fn run_load(
+    endpoint: &Endpoint,
+    total: u64,
+    concurrency: usize,
+    jobs: &[JobSpec],
+    expected: Option<&str>,
+) -> LoadReport {
+    let concurrency = concurrency.max(1);
+    let report = Mutex::new(LoadReport {
+        requests: total,
+        concurrency,
+        ..LoadReport::default()
+    });
+    let started = Instant::now();
+
+    std::thread::scope(|scope| {
+        for worker in 0..concurrency {
+            // Spread the total across threads, first threads take the
+            // remainder.
+            let share = total / concurrency as u64
+                + u64::from((worker as u64) < total % concurrency as u64);
+            if share == 0 {
+                continue;
+            }
+            let report = &report;
+            let jobs = jobs.to_vec();
+            scope.spawn(move || {
+                let mut client = match Client::connect(endpoint) {
+                    Ok(client) => client,
+                    Err(_) => {
+                        let mut r = report.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                        r.dropped_connections += 1;
+                        r.errors += share;
+                        return;
+                    }
+                };
+                let mut latencies = Vec::with_capacity(share as usize);
+                let mut errors = 0u64;
+                let mut mismatches = 0u64;
+                for _ in 0..share {
+                    let sent = Instant::now();
+                    match client.run(jobs.clone(), None) {
+                        Ok(Response::Results { results, .. }) => {
+                            latencies.push(sent.elapsed().as_secs_f64() * 1e3);
+                            if let Some(expected) = expected {
+                                if Json::Array(results).render() != expected {
+                                    mismatches += 1;
+                                }
+                            }
+                        }
+                        Ok(_) | Err(_) => errors += 1,
+                    }
+                }
+                let mut r = report.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                r.latencies_ms.extend(latencies);
+                r.errors += errors;
+                r.mismatches += mismatches;
+            });
+        }
+    });
+
+    let mut report = report.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
+    report.wall_s = started.elapsed().as_secs_f64();
+    report
+        .latencies_ms
+        .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_exact_order_statistics() {
+        let report = LoadReport {
+            requests: 4,
+            latencies_ms: vec![1.0, 2.0, 3.0, 4.0],
+            wall_s: 2.0,
+            ..LoadReport::default()
+        };
+        assert_eq!(report.quantile_ms(0.25), 1.0);
+        assert_eq!(report.quantile_ms(0.5), 2.0);
+        assert_eq!(report.quantile_ms(0.75), 3.0);
+        assert_eq!(report.quantile_ms(0.99), 4.0);
+        assert_eq!(report.quantile_ms(1.0), 4.0);
+        assert!((report.throughput_rps() - 2.0).abs() < 1e-12);
+        assert!(report.clean());
+        assert_eq!(LoadReport::default().quantile_ms(0.5), 0.0);
+    }
+
+    #[test]
+    fn expected_wire_is_deterministic() {
+        let jobs = vec![JobSpec::default()];
+        let a = expected_results_wire(&jobs).expect("reference run");
+        let b = expected_results_wire(&jobs).expect("reference run");
+        assert_eq!(a, b);
+        assert!(a.starts_with('['), "a results array: {a}");
+    }
+}

@@ -1,0 +1,42 @@
+//! **am-service** — the ObfusCADe obfuscation daemon and its client.
+//!
+//! Turns the batch pipeline engine ([`obfuscade::run_pipeline_jobs`])
+//! into a long-running network service: a thread-per-connection daemon
+//! speaking a length-prefixed JSON protocol over TCP (and a Unix-domain
+//! socket on Unix), with a bounded job queue in front of a fixed worker
+//! pool, one process-wide shared [`obfuscade::StageCache`], typed
+//! `overloaded` admission rejections, per-request deadlines
+//! (budget-checked between pipeline stages, so nothing half-computed is
+//! ever cached), and drain-then-stop graceful shutdown.
+//!
+//! The determinism contract carries over the wire: a served batch
+//! renders byte-identically to the same batch run in-process, which the
+//! `wire_equivalence` suite and the load generator both enforce.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use am_service::{Client, Endpoint, JobSpec, Server, ServerConfig};
+//!
+//! let server = Server::start(ServerConfig::default())?;
+//! let endpoint = Endpoint::Tcp(server.addr().to_string());
+//! let mut client = Client::connect(&endpoint)?;
+//! let response = client.run(vec![JobSpec::default()], Some(5_000));
+//! client.shutdown()?;
+//! server.join();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{expected_results_wire, run_load, Client, Endpoint, LoadReport};
+pub use protocol::{
+    encode_outcome, read_frame, write_frame, JobSpec, Request, RequestBody, Response,
+    ServiceError, MAX_FRAME,
+};
+pub use server::{Server, ServerConfig};

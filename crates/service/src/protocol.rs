@@ -1,0 +1,792 @@
+//! The wire protocol of the obfuscation service.
+//!
+//! Frames are a 4-byte big-endian length prefix followed by that many
+//! bytes of UTF-8 JSON (compact, canonical — see
+//! [`obfuscade::json::Json::render`]). Both directions use the same
+//! framing; a frame above [`MAX_FRAME`] bytes is rejected before any
+//! allocation. Every request carries a client-chosen `id` that the
+//! matching response echoes, so a client can pipeline requests on one
+//! connection.
+//!
+//! The payload encodings are pure functions of the decoded values: equal
+//! results render to byte-identical frames, which is what lets the wire
+//! equivalence suite compare a served batch against an in-process
+//! [`obfuscade::run_pipeline_jobs`] call byte-for-byte.
+
+use std::io::{self, Read, Write};
+
+use am_cad::parts::{
+    bracket, bracket_with_spline, intact_prism, prism_with_sphere, tensile_bar,
+    tensile_bar_with_spline, BracketDims, PrismDims, TensileBarDims,
+};
+use am_cad::{BodyKind, MaterialRemoval, Part};
+use am_mesh::Resolution;
+use am_slicer::{Orientation, SlicerConfig};
+use obfuscade::json::{parse_json, Json};
+use obfuscade::{FaultPlan, FeaSolver, PipelineError, PipelineOutput, ProcessPlan};
+
+/// Hard cap on a single frame payload (8 MiB): far above any real request
+/// or response, low enough that a corrupt length prefix cannot trigger a
+/// giant allocation.
+pub const MAX_FRAME: usize = 8 << 20;
+
+/// Writes one length-prefixed frame and flushes the stream.
+///
+/// # Errors
+///
+/// `InvalidInput` if the payload exceeds [`MAX_FRAME`]; otherwise any
+/// underlying I/O error.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds the {MAX_FRAME} byte cap", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame.
+///
+/// Returns `Ok(None)` on a clean end-of-stream (the peer closed between
+/// frames); an EOF in the middle of a frame is an error.
+///
+/// # Errors
+///
+/// `InvalidData` if the length prefix exceeds [`MAX_FRAME`]; otherwise
+/// any underlying I/O error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut head = [0u8; 4];
+    loop {
+        match r.read(&mut head[..1]) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    r.read_exact(&mut head[1..])?;
+    let len = u32::from_be_bytes(head) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("peer announced a {len} byte frame (cap {MAX_FRAME})"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// One manufacturing job, fully described by value — the wire analogue of
+/// a [`obfuscade::BatchJob`]. Every field has a default, so a request may
+/// send only what it overrides.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Demo part family: `bar`, `bracket` or `prism`.
+    pub part: String,
+    /// Build the intact (unprotected) variant instead of the obfuscated
+    /// one.
+    pub intact: bool,
+    /// STL export resolution.
+    pub resolution: Resolution,
+    /// Build orientation.
+    pub orientation: Orientation,
+    /// Process-noise / specimen seed.
+    pub seed: u64,
+    /// Run the virtual tensile test.
+    pub tensile: bool,
+    /// Equilibrium solver for the tensile kernel.
+    pub solver: FeaSolver,
+    /// Optional coarse slicing override: sets `layer_height` and
+    /// `road_width` to this value and `analysis_cell` to half of it. The
+    /// default (0.7 mm) keeps service jobs cheap; send `null` for the
+    /// slicer's native defaults.
+    pub layer: Option<f64>,
+    /// Fault-injection spec string ([`FaultPlan`] syntax; empty = clean).
+    pub faults: String,
+    /// Seed for the fault plan's stochastic faults.
+    pub fault_seed: u64,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        JobSpec {
+            part: "prism".to_string(),
+            intact: false,
+            resolution: Resolution::Coarse,
+            orientation: Orientation::Xy,
+            seed: 1,
+            tensile: false,
+            solver: FeaSolver::default(),
+            layer: Some(0.7),
+            faults: String::new(),
+            fault_seed: 1,
+        }
+    }
+}
+
+fn resolution_name(r: Resolution) -> &'static str {
+    match r {
+        Resolution::Coarse => "coarse",
+        Resolution::Fine => "fine",
+        Resolution::Custom => "custom",
+    }
+}
+
+fn orientation_name(o: Orientation) -> &'static str {
+    match o {
+        Orientation::Xy => "xy",
+        Orientation::Xz => "xz",
+    }
+}
+
+impl JobSpec {
+    /// The spec as a JSON object (stable field order).
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("part".into(), Json::str(self.part.clone())),
+            ("intact".into(), Json::Bool(self.intact)),
+            ("resolution".into(), Json::str(resolution_name(self.resolution))),
+            ("orientation".into(), Json::str(orientation_name(self.orientation))),
+            ("seed".into(), Json::u64(self.seed)),
+            ("tensile".into(), Json::Bool(self.tensile)),
+            ("solver".into(), Json::str(self.solver.name())),
+            (
+                "layer".into(),
+                match self.layer {
+                    Some(v) => Json::Number(v),
+                    None => Json::Null,
+                },
+            ),
+            ("faults".into(), Json::str(self.faults.clone())),
+            ("fault_seed".into(), Json::u64(self.fault_seed)),
+        ])
+    }
+
+    /// Decodes a spec from a JSON object; absent fields keep defaults.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed field.
+    pub fn from_json(v: &Json) -> Result<JobSpec, String> {
+        let Json::Object(fields) = v else {
+            return Err("job spec must be a JSON object".to_string());
+        };
+        let mut spec = JobSpec::default();
+        for (name, value) in fields {
+            match name.as_str() {
+                "part" => {
+                    spec.part =
+                        value.as_str().ok_or("`part` must be a string")?.to_string();
+                }
+                "intact" => spec.intact = value.as_bool().ok_or("`intact` must be a bool")?,
+                "resolution" => {
+                    spec.resolution =
+                        match value.as_str().ok_or("`resolution` must be a string")? {
+                            "coarse" => Resolution::Coarse,
+                            "fine" => Resolution::Fine,
+                            "custom" => Resolution::Custom,
+                            other => {
+                                return Err(format!(
+                                    "unknown resolution `{other}` (coarse|fine|custom)"
+                                ))
+                            }
+                        };
+                }
+                "orientation" => {
+                    spec.orientation =
+                        match value.as_str().ok_or("`orientation` must be a string")? {
+                            "xy" => Orientation::Xy,
+                            "xz" => Orientation::Xz,
+                            other => {
+                                return Err(format!("unknown orientation `{other}` (xy|xz)"))
+                            }
+                        };
+                }
+                "seed" => spec.seed = value.as_u64().ok_or("`seed` must be an integer")?,
+                "tensile" => spec.tensile = value.as_bool().ok_or("`tensile` must be a bool")?,
+                "solver" => {
+                    spec.solver = value.as_str().ok_or("`solver` must be a string")?.parse()?;
+                }
+                "layer" => {
+                    spec.layer = match value {
+                        Json::Null => None,
+                        Json::Number(v) if v.is_finite() && *v > 0.0 => Some(*v),
+                        _ => return Err("`layer` must be null or a positive number".to_string()),
+                    };
+                }
+                "faults" => {
+                    spec.faults =
+                        value.as_str().ok_or("`faults` must be a string")?.to_string();
+                }
+                "fault_seed" => {
+                    spec.fault_seed = value.as_u64().ok_or("`fault_seed` must be an integer")?;
+                }
+                other => return Err(format!("unknown job field `{other}`")),
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Builds the demo part the spec names.
+    ///
+    /// # Errors
+    ///
+    /// An unknown part family, or a CAD feature-history failure.
+    pub fn build_part(&self) -> Result<Part, String> {
+        match self.part.as_str() {
+            "bar" => {
+                let dims = TensileBarDims::default();
+                if self.intact { tensile_bar(&dims) } else { tensile_bar_with_spline(&dims) }
+            }
+            "bracket" => {
+                let dims = BracketDims::default();
+                if self.intact { bracket(&dims) } else { bracket_with_spline(&dims) }
+            }
+            "prism" => {
+                let dims = PrismDims::default();
+                if self.intact {
+                    Ok(intact_prism(&dims))
+                } else {
+                    prism_with_sphere(&dims, BodyKind::Solid, MaterialRemoval::Without)
+                }
+            }
+            other => return Err(format!("unknown part `{other}` (bar|bracket|prism)")),
+        }
+        .map_err(|e| e.to_string())
+    }
+
+    /// The process plan the spec describes. Thread budget is left serial —
+    /// the batch engine parallelises across jobs, not within them.
+    pub fn plan(&self) -> ProcessPlan {
+        let mut plan = ProcessPlan::fdm(self.resolution, self.orientation)
+            .with_seed(self.seed)
+            .with_tensile(self.tensile)
+            .with_fea_solver(self.solver);
+        if let Some(layer) = self.layer {
+            plan.slicer = SlicerConfig {
+                layer_height: layer,
+                road_width: layer,
+                analysis_cell: layer / 2.0,
+                ..SlicerConfig::default()
+            };
+        }
+        plan
+    }
+
+    /// Parses the fault spec string into a seeded [`FaultPlan`].
+    ///
+    /// # Errors
+    ///
+    /// The first unrecognised fault token.
+    pub fn fault_plan(&self) -> Result<FaultPlan, String> {
+        self.faults
+            .parse::<FaultPlan>()
+            .map(|p| p.with_seed(self.fault_seed))
+            .map_err(|e| e.to_string())
+    }
+}
+
+/// A decoded request frame: client-chosen correlation id plus the body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Correlation id, echoed verbatim in the response.
+    pub id: u64,
+    /// What the client wants done.
+    pub body: RequestBody,
+}
+
+/// The request kinds the service understands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestBody {
+    /// Liveness probe; answered inline, never queued.
+    Ping,
+    /// One [`obfuscade::metrics::MetricsSnapshot`]; answered inline.
+    Stats,
+    /// Graceful drain: finish queued and in-flight jobs, then stop
+    /// accepting and close the listeners. Answered with `bye` once the
+    /// drain completes.
+    Shutdown,
+    /// A batch of manufacturing jobs for the shared pipeline engine.
+    Run {
+        /// The jobs, in response order.
+        jobs: Vec<JobSpec>,
+        /// Optional budget (ms) for the whole batch, admission included.
+        deadline_ms: Option<u64>,
+    },
+    /// Manufacture one part and authenticate it from its internal scan.
+    Authenticate {
+        /// The single job to judge.
+        job: JobSpec,
+        /// Optional budget (ms).
+        deadline_ms: Option<u64>,
+    },
+}
+
+fn get_id(fields: &Json) -> Result<u64, String> {
+    fields.get("id").and_then(Json::as_u64).ok_or_else(|| "missing integer `id`".to_string())
+}
+
+fn get_deadline(fields: &Json) -> Result<Option<u64>, String> {
+    match fields.get("deadline_ms") {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => {
+            v.as_u64().map(Some).ok_or_else(|| "`deadline_ms` must be an integer".to_string())
+        }
+    }
+}
+
+impl Request {
+    /// The request as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![("id".to_string(), Json::u64(self.id))];
+        match &self.body {
+            RequestBody::Ping => fields.push(("kind".into(), Json::str("ping"))),
+            RequestBody::Stats => fields.push(("kind".into(), Json::str("stats"))),
+            RequestBody::Shutdown => fields.push(("kind".into(), Json::str("shutdown"))),
+            RequestBody::Run { jobs, deadline_ms } => {
+                fields.push(("kind".into(), Json::str("run")));
+                fields.push((
+                    "jobs".into(),
+                    Json::Array(jobs.iter().map(JobSpec::to_json).collect()),
+                ));
+                if let Some(ms) = deadline_ms {
+                    fields.push(("deadline_ms".into(), Json::u64(*ms)));
+                }
+            }
+            RequestBody::Authenticate { job, deadline_ms } => {
+                fields.push(("kind".into(), Json::str("authenticate")));
+                fields.push(("job".into(), job.to_json()));
+                if let Some(ms) = deadline_ms {
+                    fields.push(("deadline_ms".into(), Json::u64(*ms)));
+                }
+            }
+        }
+        Json::Object(fields)
+    }
+
+    /// Decodes a request from parsed JSON.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed field.
+    pub fn from_json(v: &Json) -> Result<Request, String> {
+        let id = get_id(v)?;
+        let kind = v
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing string `kind`".to_string())?;
+        let body = match kind {
+            "ping" => RequestBody::Ping,
+            "stats" => RequestBody::Stats,
+            "shutdown" => RequestBody::Shutdown,
+            "run" => {
+                let jobs = match v.get("jobs") {
+                    Some(Json::Array(items)) => {
+                        items.iter().map(JobSpec::from_json).collect::<Result<Vec<_>, _>>()?
+                    }
+                    Some(_) => return Err("`jobs` must be an array".to_string()),
+                    None => vec![JobSpec::default()],
+                };
+                RequestBody::Run { jobs, deadline_ms: get_deadline(v)? }
+            }
+            "authenticate" => {
+                let job = match v.get("job") {
+                    Some(obj) => JobSpec::from_json(obj)?,
+                    None => JobSpec::default(),
+                };
+                RequestBody::Authenticate { job, deadline_ms: get_deadline(v)? }
+            }
+            other => return Err(format!("unknown request kind `{other}`")),
+        };
+        Ok(Request { id, body })
+    }
+
+    /// Renders the request to frame-payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        self.to_json().render().into_bytes()
+    }
+
+    /// Parses frame-payload bytes into a request.
+    ///
+    /// # Errors
+    ///
+    /// Invalid UTF-8, invalid JSON, or a malformed field.
+    pub fn decode(payload: &[u8]) -> Result<Request, String> {
+        let text = std::str::from_utf8(payload).map_err(|e| format!("frame is not UTF-8: {e}"))?;
+        Request::from_json(&parse_json(text)?)
+    }
+}
+
+/// Typed rejection classes carried by [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The bounded job queue was at capacity; retry later.
+    Overloaded,
+    /// The daemon is draining and admits no new jobs.
+    ShuttingDown,
+    /// The request could not be decoded or named unknown inputs.
+    Malformed,
+    /// The pipeline itself failed (or a deadline expired mid-request);
+    /// the message carries the typed pipeline error's text.
+    Job,
+}
+
+impl ServiceError {
+    /// Stable lowercase wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServiceError::Overloaded => "overloaded",
+            ServiceError::ShuttingDown => "shutting_down",
+            ServiceError::Malformed => "malformed",
+            ServiceError::Job => "job",
+        }
+    }
+
+    /// Parses a wire name back to the class.
+    ///
+    /// # Errors
+    ///
+    /// The unknown name.
+    pub fn from_name(name: &str) -> Result<ServiceError, String> {
+        match name {
+            "overloaded" => Ok(ServiceError::Overloaded),
+            "shutting_down" => Ok(ServiceError::ShuttingDown),
+            "malformed" => Ok(ServiceError::Malformed),
+            "job" => Ok(ServiceError::Job),
+            other => Err(format!("unknown error class `{other}`")),
+        }
+    }
+}
+
+/// A decoded response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to `ping`.
+    Pong {
+        /// Echoed request id.
+        id: u64,
+    },
+    /// Answer to `stats`: one serialized metrics snapshot.
+    Stats {
+        /// Echoed request id.
+        id: u64,
+        /// The snapshot object ([`obfuscade::metrics::MetricsSnapshot::to_json`]).
+        metrics: Json,
+    },
+    /// Answer to `shutdown`, sent after the drain completes.
+    Bye {
+        /// Echoed request id.
+        id: u64,
+        /// Total job requests the daemon completed over its lifetime.
+        completed: u64,
+    },
+    /// Answer to `run`: one encoded outcome per job, in request order.
+    Results {
+        /// Echoed request id.
+        id: u64,
+        /// Encoded outcomes ([`encode_outcome`]).
+        results: Vec<Json>,
+    },
+    /// Answer to `authenticate`.
+    Verdict {
+        /// Echoed request id.
+        id: u64,
+        /// `genuine` or `counterfeit`.
+        verdict: String,
+        /// Measured cold-joint area (mm²).
+        cold_joint_mm2: f64,
+        /// Measured internal void volume (mm³).
+        void_mm3: f64,
+    },
+    /// Typed failure.
+    Error {
+        /// Echoed request id (0 when the request id was unreadable).
+        id: u64,
+        /// Rejection class.
+        error: ServiceError,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// The echoed request id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Response::Pong { id }
+            | Response::Stats { id, .. }
+            | Response::Bye { id, .. }
+            | Response::Results { id, .. }
+            | Response::Verdict { id, .. }
+            | Response::Error { id, .. } => *id,
+        }
+    }
+
+    /// The response as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![("id".to_string(), Json::u64(self.id()))];
+        match self {
+            Response::Pong { .. } => fields.push(("kind".into(), Json::str("pong"))),
+            Response::Stats { metrics, .. } => {
+                fields.push(("kind".into(), Json::str("stats")));
+                fields.push(("metrics".into(), metrics.clone()));
+            }
+            Response::Bye { completed, .. } => {
+                fields.push(("kind".into(), Json::str("bye")));
+                fields.push(("completed".into(), Json::u64(*completed)));
+            }
+            Response::Results { results, .. } => {
+                fields.push(("kind".into(), Json::str("results")));
+                fields.push(("results".into(), Json::Array(results.clone())));
+            }
+            Response::Verdict { verdict, cold_joint_mm2, void_mm3, .. } => {
+                fields.push(("kind".into(), Json::str("verdict")));
+                fields.push(("verdict".into(), Json::str(verdict.clone())));
+                fields.push(("cold_joint_mm2".into(), Json::Number(*cold_joint_mm2)));
+                fields.push(("void_mm3".into(), Json::Number(*void_mm3)));
+            }
+            Response::Error { error, message, .. } => {
+                fields.push(("kind".into(), Json::str("error")));
+                fields.push(("error".into(), Json::str(error.name())));
+                fields.push(("message".into(), Json::str(message.clone())));
+            }
+        }
+        Json::Object(fields)
+    }
+
+    /// Decodes a response from parsed JSON.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed field.
+    pub fn from_json(v: &Json) -> Result<Response, String> {
+        let id = get_id(v)?;
+        let kind = v
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing string `kind`".to_string())?;
+        match kind {
+            "pong" => Ok(Response::Pong { id }),
+            "stats" => {
+                let metrics =
+                    v.get("metrics").cloned().ok_or_else(|| "missing `metrics`".to_string())?;
+                Ok(Response::Stats { id, metrics })
+            }
+            "bye" => {
+                let completed = v
+                    .get("completed")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| "missing integer `completed`".to_string())?;
+                Ok(Response::Bye { id, completed })
+            }
+            "results" => match v.get("results") {
+                Some(Json::Array(items)) => Ok(Response::Results { id, results: items.clone() }),
+                _ => Err("missing array `results`".to_string()),
+            },
+            "verdict" => {
+                let verdict = v
+                    .get("verdict")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| "missing string `verdict`".to_string())?
+                    .to_string();
+                let cold = v
+                    .get("cold_joint_mm2")
+                    .and_then(Json::as_number)
+                    .ok_or_else(|| "missing number `cold_joint_mm2`".to_string())?;
+                let voids = v
+                    .get("void_mm3")
+                    .and_then(Json::as_number)
+                    .ok_or_else(|| "missing number `void_mm3`".to_string())?;
+                Ok(Response::Verdict { id, verdict, cold_joint_mm2: cold, void_mm3: voids })
+            }
+            "error" => {
+                let class = v
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| "missing string `error`".to_string())?;
+                let message = v
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string();
+                Ok(Response::Error { id, error: ServiceError::from_name(class)?, message })
+            }
+            other => Err(format!("unknown response kind `{other}`")),
+        }
+    }
+
+    /// Renders the response to frame-payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        self.to_json().render().into_bytes()
+    }
+
+    /// Parses frame-payload bytes into a response.
+    ///
+    /// # Errors
+    ///
+    /// Invalid UTF-8, invalid JSON, or a malformed field.
+    pub fn decode(payload: &[u8]) -> Result<Response, String> {
+        let text = std::str::from_utf8(payload).map_err(|e| format!("frame is not UTF-8: {e}"))?;
+        Response::from_json(&parse_json(text)?)
+    }
+}
+
+/// Encodes one pipeline outcome as JSON — the canonical result shape both
+/// the daemon and the in-process reference use, so byte equality of the
+/// encodings is exactly value equality of every field encoded.
+pub fn encode_outcome(outcome: &Result<PipelineOutput, PipelineError>) -> Json {
+    match outcome {
+        Ok(o) => {
+            let tensile = match &o.tensile {
+                None => Json::Null,
+                Some(t) => Json::Object(vec![
+                    ("uts_mpa".into(), Json::Number(t.uts_mpa)),
+                    ("young_gpa".into(), Json::Number(t.young_modulus_gpa)),
+                    ("failure_strain".into(), Json::Number(t.failure_strain)),
+                    ("toughness_kj_m3".into(), Json::Number(t.toughness_kj_m3)),
+                    ("ruptured".into(), Json::Bool(t.ruptured)),
+                ]),
+            };
+            Json::Object(vec![(
+                "ok".into(),
+                Json::Object(vec![
+                    ("part".into(), Json::str(o.part_name.clone())),
+                    ("triangles".into(), Json::u64(o.mesh_triangles as u64)),
+                    ("stl_bytes".into(), Json::u64(o.stl_bytes)),
+                    ("slice_layers".into(), Json::u64(o.slice_report.layers as u64)),
+                    (
+                        "discontinuous_layers".into(),
+                        Json::u64(o.slice_report.discontinuous_layers as u64),
+                    ),
+                    ("model_mm".into(), Json::Number(o.toolpath.model_mm)),
+                    ("support_mm".into(), Json::Number(o.toolpath.support_mm)),
+                    ("time_s".into(), Json::Number(o.toolpath.time_s)),
+                    ("weight_g".into(), Json::Number(o.printed.weight_g())),
+                    ("void_mm3".into(), Json::Number(o.scan.internal_void_volume)),
+                    ("cold_joint_mm2".into(), Json::Number(o.scan.cold_joint_area)),
+                    (
+                        "trapped_support".into(),
+                        Json::u64(o.scan.internal_support_voxels as u64),
+                    ),
+                    ("joint_contact".into(), Json::Number(o.joint_contact)),
+                    ("degraded".into(), Json::Bool(o.is_degraded())),
+                    (
+                        "diagnostics".into(),
+                        Json::Array(
+                            o.diagnostics.iter().map(|d| Json::str(d.to_string())).collect(),
+                        ),
+                    ),
+                    ("tensile".into(), tensile),
+                ]),
+            )])
+        }
+        Err(e) => Json::Object(vec![(
+            "err".into(),
+            Json::Object(vec![
+                ("stage".into(), Json::str(e.stage().name())),
+                ("message".into(), Json::str(e.to_string())),
+            ]),
+        )]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip_and_reject_oversize() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").expect("write");
+        write_frame(&mut buf, b"").expect("write empty");
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).expect("read").as_deref(), Some(&b"hello"[..]));
+        assert_eq!(read_frame(&mut r).expect("read").as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut r).expect("eof"), None);
+
+        let huge = vec![0u8; MAX_FRAME + 1];
+        assert!(write_frame(&mut Vec::new(), &huge).is_err());
+        // A corrupt length prefix is rejected before allocation.
+        let mut bad = Cursor::new(0xffff_ffffu32.to_be_bytes().to_vec());
+        assert!(read_frame(&mut bad).is_err());
+        // EOF mid-frame is an error, not a clean close.
+        let mut cut = Cursor::new(vec![0, 0, 0, 9, b'x']);
+        assert!(read_frame(&mut cut).is_err());
+    }
+
+    #[test]
+    fn requests_round_trip_through_the_wire_encoding() {
+        let job = JobSpec {
+            part: "bar".into(),
+            tensile: true,
+            faults: "void-stl".into(),
+            layer: None,
+            ..JobSpec::default()
+        };
+        for body in [
+            RequestBody::Ping,
+            RequestBody::Stats,
+            RequestBody::Shutdown,
+            RequestBody::Run { jobs: vec![job.clone(), JobSpec::default()], deadline_ms: Some(250) },
+            RequestBody::Authenticate { job, deadline_ms: None },
+        ] {
+            let request = Request { id: 7, body };
+            let decoded = Request::decode(&request.encode()).expect("decode");
+            assert_eq!(decoded, request);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_through_the_wire_encoding() {
+        for response in [
+            Response::Pong { id: 1 },
+            Response::Stats { id: 2, metrics: Json::Object(vec![("x".into(), Json::u64(3))]) },
+            Response::Bye { id: 3, completed: 42 },
+            Response::Results { id: 4, results: vec![Json::Null, Json::Bool(true)] },
+            Response::Verdict {
+                id: 5,
+                verdict: "counterfeit".into(),
+                cold_joint_mm2: 12.5,
+                void_mm3: 0.25,
+            },
+            Response::Error {
+                id: 6,
+                error: ServiceError::Overloaded,
+                message: "queue full".into(),
+            },
+        ] {
+            let decoded = Response::decode(&response.encode()).expect("decode");
+            assert_eq!(decoded, response);
+        }
+    }
+
+    #[test]
+    fn job_spec_decoding_rejects_unknown_fields_and_values() {
+        let spec = JobSpec::default();
+        assert_eq!(JobSpec::from_json(&spec.to_json()).expect("round trip"), spec);
+        let bad = parse_json(r#"{"part":"prism","warp":9}"#).expect("parse");
+        assert!(JobSpec::from_json(&bad).expect_err("unknown field").contains("warp"));
+        let bad = parse_json(r#"{"resolution":"ultra"}"#).expect("parse");
+        assert!(JobSpec::from_json(&bad).expect_err("bad resolution").contains("ultra"));
+        let bad = parse_json(r#"{"layer":-1}"#).expect("parse");
+        assert!(JobSpec::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn outcome_encoding_separates_ok_and_err() {
+        let spec = JobSpec::default();
+        let part = spec.build_part().expect("part");
+        let output =
+            obfuscade::run_pipeline(&part, &spec.plan()).expect("pipeline");
+        let ok = encode_outcome(&Ok(output));
+        assert!(ok.get("ok").and_then(|o| o.get("weight_g")).is_some());
+        let err = encode_outcome(&Err(PipelineError::EmptyBuild { part: "ghost".into() }));
+        let stage = err.get("err").and_then(|e| e.get("stage")).and_then(Json::as_str);
+        assert!(stage.is_some(), "error encoding must carry a stage name");
+    }
+}

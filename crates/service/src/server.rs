@@ -1,0 +1,585 @@
+//! The obfuscation daemon: acceptor threads feed per-connection reader
+//! threads, which either answer control requests inline (`ping`,
+//! `stats`, `shutdown`) or push job requests onto one bounded queue that
+//! a fixed pool of worker threads drains. All connections share a single
+//! process-wide [`StageCache`] (and, through it, the fea crate's solver
+//! pool), so repeated requests for the same stage prefixes are served
+//! from cache across clients.
+//!
+//! # Admission control and shutdown
+//!
+//! The queue is bounded: a `run`/`authenticate` arriving while it is full
+//! is rejected immediately with a typed `overloaded` error — the client
+//! owns the retry policy. Shutdown is drain-then-stop: after a
+//! `shutdown` request (or [`Server::begin_shutdown`]) no new jobs are
+//! admitted, every queued and in-flight job still completes and its
+//! response is delivered, and only then do the listeners close and the
+//! worker threads exit. The phase transition happens under the queue
+//! lock, so no job can slip in between "stop admitting" and "queue is
+//! empty".
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use am_par::Parallelism;
+use obfuscade::metrics::{LatencyHistogram, MetricsSnapshot, ServiceStats};
+use obfuscade::{run_pipeline_jobs_with, BatchJob, Deadline, PipelineError, StageCache};
+
+use crate::protocol::{
+    encode_outcome, read_frame, write_frame, JobSpec, Request, RequestBody, Response, ServiceError,
+};
+
+/// Lifecycle phase: accepting and executing.
+const RUNNING: u8 = 0;
+/// Draining: no new jobs admitted, queued/in-flight jobs still complete.
+const DRAINING: u8 = 1;
+/// Stopped: drain complete, listeners closing, workers exited.
+const STOPPED: u8 = 2;
+
+/// How long acceptors sleep between polls of their non-blocking
+/// listeners (std has no accept-with-timeout).
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Everything needed to boot a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// TCP bind address; port 0 picks a free port (read it back with
+    /// [`Server::addr`]).
+    pub addr: String,
+    /// Optional Unix-domain socket path to listen on as well
+    /// (Unix only; `Some` on other platforms is a start error).
+    pub unix_socket: Option<PathBuf>,
+    /// Worker threads draining the job queue.
+    pub workers: usize,
+    /// Bounded job-queue capacity; a full queue rejects with
+    /// `overloaded`.
+    pub queue_capacity: usize,
+    /// Thread budget *within* one batch request. Serial by default —
+    /// concurrency comes from the worker pool fanning across requests,
+    /// and the determinism contract makes the choice unobservable in
+    /// responses.
+    pub parallelism: Parallelism,
+    /// Byte budget of the shared stage cache.
+    pub cache_budget: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            unix_socket: None,
+            workers: 2,
+            queue_capacity: 64,
+            parallelism: Parallelism::serial(),
+            cache_budget: StageCache::DEFAULT_BUDGET,
+        }
+    }
+}
+
+/// A job admitted to the queue, waiting for a worker.
+struct QueuedJob {
+    request_id: u64,
+    work: Work,
+    deadline: Deadline,
+    reply: Sender<Vec<u8>>,
+    enqueued: Instant,
+}
+
+/// The two queueable request kinds.
+enum Work {
+    Run(Vec<JobSpec>),
+    Authenticate(JobSpec),
+}
+
+/// State shared by acceptors, connection readers and workers.
+struct Shared {
+    cache: StageCache,
+    parallelism: Parallelism,
+    workers: usize,
+    queue_capacity: usize,
+    queue: Mutex<VecDeque<QueuedJob>>,
+    /// Signalled when a job is enqueued or the phase changes.
+    queue_cv: Condvar,
+    /// Signalled when a job finishes (drain waits on it).
+    drained_cv: Condvar,
+    in_flight: AtomicUsize,
+    phase: AtomicU8,
+    connections: AtomicU64,
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    expired: AtomicU64,
+    latency: Mutex<LatencyHistogram>,
+}
+
+/// Locks a mutex, recovering the guard from a poisoned lock — the state
+/// behind every mutex here (queue, histogram) stays consistent even if a
+/// holder panicked mid-update.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Shared {
+    fn phase(&self) -> u8 {
+        self.phase.load(Ordering::SeqCst)
+    }
+
+    /// One coherent metrics snapshot with the service section filled in.
+    fn snapshot(&self) -> MetricsSnapshot {
+        let mut snapshot = MetricsSnapshot::gather(&self.cache);
+        snapshot.service = Some(ServiceStats {
+            workers: self.workers,
+            queue_capacity: self.queue_capacity,
+            queue_depth: lock(&self.queue).len(),
+            connections: self.connections.load(Ordering::SeqCst),
+            accepted: self.accepted.load(Ordering::SeqCst),
+            completed: self.completed.load(Ordering::SeqCst),
+            rejected_overloaded: self.rejected.load(Ordering::SeqCst),
+            expired_deadlines: self.expired.load(Ordering::SeqCst),
+            latency: *lock(&self.latency),
+        });
+        snapshot
+    }
+}
+
+/// A running daemon. Dropping the handle does **not** stop it; use a
+/// wire `shutdown` request or [`Server::begin_shutdown`], then
+/// [`Server::join`].
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listeners and spawns acceptor and worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Bind/configuration failures, or a `unix_socket` path on a
+    /// non-Unix platform.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let shared = Arc::new(Shared {
+            cache: StageCache::with_budget(config.cache_budget),
+            parallelism: config.parallelism,
+            workers: config.workers.max(1),
+            queue_capacity: config.queue_capacity.max(1),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            drained_cv: Condvar::new(),
+            in_flight: AtomicUsize::new(0),
+            phase: AtomicU8::new(RUNNING),
+            connections: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            latency: Mutex::new(LatencyHistogram::default()),
+        });
+
+        let mut threads = Vec::new();
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(thread::spawn(move || tcp_acceptor(shared, listener)));
+        }
+        if let Some(path) = config.unix_socket.clone() {
+            threads.push(unix_acceptor_thread(Arc::clone(&shared), path)?);
+        }
+        for _ in 0..shared.workers {
+            let shared = Arc::clone(&shared);
+            threads.push(thread::spawn(move || worker_loop(shared)));
+        }
+        Ok(Server { shared, addr, threads })
+    }
+
+    /// The bound TCP address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A metrics snapshot taken directly from the shared state (no wire
+    /// round trip).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.snapshot()
+    }
+
+    /// Initiates and completes a graceful drain from within the process:
+    /// blocks until every queued and in-flight job has finished, then
+    /// marks the daemon stopped. Equivalent to a wire `shutdown`.
+    pub fn begin_shutdown(&self) {
+        drain(&self.shared);
+    }
+
+    /// Waits for every acceptor and worker thread to exit. Returns only
+    /// after a shutdown (wire or [`Server::begin_shutdown`]) completed.
+    pub fn join(self) {
+        for handle in self.threads {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Performs the drain-then-stop transition; returns lifetime completed
+/// jobs. Idempotent — concurrent callers all block until the drain is
+/// done.
+fn drain(shared: &Shared) -> u64 {
+    {
+        // Under the queue lock so admission cannot race the transition.
+        let _queue = lock(&shared.queue);
+        let _ = shared.phase.compare_exchange(RUNNING, DRAINING, Ordering::SeqCst, Ordering::SeqCst);
+    }
+    shared.queue_cv.notify_all();
+    let mut queue = lock(&shared.queue);
+    while !(queue.is_empty() && shared.in_flight.load(Ordering::SeqCst) == 0) {
+        let (guard, _timeout) = shared
+            .drained_cv
+            .wait_timeout(queue, Duration::from_millis(20))
+            .unwrap_or_else(PoisonError::into_inner);
+        queue = guard;
+    }
+    drop(queue);
+    shared.phase.store(STOPPED, Ordering::SeqCst);
+    shared.queue_cv.notify_all();
+    shared.completed.load(Ordering::SeqCst)
+}
+
+/// Worker: pop, execute, reply, account. Exits once the daemon is
+/// draining and the queue is empty.
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let job = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    // Claim in-flight status under the lock so the drain
+                    // cannot observe "queue empty, nothing in flight"
+                    // between the pop and the increment.
+                    shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                    break job;
+                }
+                if shared.phase() != RUNNING {
+                    return;
+                }
+                queue = shared
+                    .queue_cv
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let response = execute(&shared, job.request_id, job.work, job.deadline);
+        // Account *before* replying: a client that sees its response and
+        // immediately asks for stats must observe the completion.
+        let waited_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
+        lock(&shared.latency).record_ms(waited_ms);
+        shared.completed.fetch_add(1, Ordering::SeqCst);
+        let _ = job.reply.send(response.encode());
+        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        shared.drained_cv.notify_all();
+    }
+}
+
+/// Runs one queued request against the shared cache.
+fn execute(shared: &Shared, id: u64, work: Work, deadline: Deadline) -> Response {
+    match work {
+        Work::Run(specs) => match run_specs(shared, &specs, deadline) {
+            Ok(outcomes) => {
+                Response::Results { id, results: outcomes.iter().map(encode_outcome).collect() }
+            }
+            Err(message) => Response::Error { id, error: ServiceError::Malformed, message },
+        },
+        Work::Authenticate(spec) => {
+            match run_specs(shared, std::slice::from_ref(&spec), deadline) {
+                Ok(outcomes) => match outcomes.into_iter().next() {
+                    Some(Ok(output)) => {
+                        // Absolute thresholds, same as the CLI `authenticate`
+                        // command: a genuine FDM print of these demo parts
+                        // measures ~0 on both axes.
+                        let cold = output.scan.cold_joint_area;
+                        let voids = output.scan.internal_void_volume;
+                        let verdict = if cold > 10.0 || voids > 20.0 {
+                            "counterfeit"
+                        } else {
+                            "genuine"
+                        };
+                        Response::Verdict {
+                            id,
+                            verdict: verdict.to_string(),
+                            cold_joint_mm2: cold,
+                            void_mm3: voids,
+                        }
+                    }
+                    Some(Err(e)) => {
+                        Response::Error { id, error: ServiceError::Job, message: e.to_string() }
+                    }
+                    None => Response::Error {
+                        id,
+                        error: ServiceError::Job,
+                        message: "empty batch".to_string(),
+                    },
+                },
+                Err(message) => Response::Error { id, error: ServiceError::Malformed, message },
+            }
+        }
+    }
+}
+
+/// Materialises the specs and runs them through the shared batch engine.
+#[allow(clippy::type_complexity)]
+fn run_specs(
+    shared: &Shared,
+    specs: &[JobSpec],
+    deadline: Deadline,
+) -> Result<Vec<Result<obfuscade::PipelineOutput, PipelineError>>, String> {
+    let mut parts = Vec::with_capacity(specs.len());
+    let mut faults = Vec::with_capacity(specs.len());
+    for spec in specs {
+        parts.push(spec.build_part()?);
+        faults.push(spec.fault_plan()?);
+    }
+    let jobs: Vec<BatchJob<'_>> = specs
+        .iter()
+        .zip(parts.iter())
+        .zip(faults.iter())
+        .map(|((spec, part), fault)| BatchJob { part, plan: spec.plan(), faults: fault.clone() })
+        .collect();
+    let outcomes = run_pipeline_jobs_with(&jobs, &shared.cache, shared.parallelism, deadline);
+    if outcomes
+        .iter()
+        .any(|o| matches!(o, Err(PipelineError::DeadlineExceeded { .. })))
+    {
+        shared.expired.fetch_add(1, Ordering::SeqCst);
+    }
+    Ok(outcomes)
+}
+
+/// Serialises and enqueues a response on the connection's writer channel.
+fn send(reply: &Sender<Vec<u8>>, response: &Response) {
+    let _ = reply.send(response.encode());
+}
+
+/// Admission control for queueable requests. The phase check and the
+/// capacity check both happen under the queue lock.
+fn admit(shared: &Arc<Shared>, id: u64, work: Work, deadline_ms: Option<u64>, reply: &Sender<Vec<u8>>) {
+    let deadline = deadline_ms
+        .map(|ms| Deadline::within(Duration::from_millis(ms)))
+        .unwrap_or_default();
+    let mut queue = lock(&shared.queue);
+    if shared.phase() != RUNNING {
+        drop(queue);
+        send(
+            reply,
+            &Response::Error {
+                id,
+                error: ServiceError::ShuttingDown,
+                message: "the daemon is draining and admits no new jobs".to_string(),
+            },
+        );
+        return;
+    }
+    if queue.len() >= shared.queue_capacity {
+        shared.rejected.fetch_add(1, Ordering::SeqCst);
+        drop(queue);
+        send(
+            reply,
+            &Response::Error {
+                id,
+                error: ServiceError::Overloaded,
+                message: format!("job queue is at capacity ({})", shared.queue_capacity),
+            },
+        );
+        return;
+    }
+    queue.push_back(QueuedJob {
+        request_id: id,
+        work,
+        deadline,
+        reply: reply.clone(),
+        enqueued: Instant::now(),
+    });
+    shared.accepted.fetch_add(1, Ordering::SeqCst);
+    drop(queue);
+    shared.queue_cv.notify_one();
+}
+
+/// Per-connection protocol loop: a writer thread serialises all frames
+/// for the connection (workers reply through the same channel), the
+/// calling thread reads and dispatches requests until EOF or shutdown.
+fn handle_connection<R, W>(shared: Arc<Shared>, mut reader: R, writer: W)
+where
+    R: Read,
+    W: Write + Send + 'static,
+{
+    let (reply, frames) = mpsc::channel::<Vec<u8>>();
+    let writer_thread = thread::spawn(move || {
+        let mut writer = writer;
+        for frame in frames {
+            if write_frame(&mut writer, &frame).is_err() {
+                break;
+            }
+        }
+    });
+
+    while let Ok(Some(frame)) = read_frame(&mut reader) {
+        let request = match Request::decode(&frame) {
+            Ok(request) => request,
+            Err(message) => {
+                send(
+                    &reply,
+                    &Response::Error { id: 0, error: ServiceError::Malformed, message },
+                );
+                continue;
+            }
+        };
+        let id = request.id;
+        match request.body {
+            RequestBody::Ping => send(&reply, &Response::Pong { id }),
+            RequestBody::Stats => {
+                send(&reply, &Response::Stats { id, metrics: shared.snapshot().to_json() });
+            }
+            RequestBody::Shutdown => {
+                let completed = drain(&shared);
+                send(&reply, &Response::Bye { id, completed });
+            }
+            RequestBody::Run { jobs, deadline_ms } => {
+                admit(&shared, id, Work::Run(jobs), deadline_ms, &reply);
+            }
+            RequestBody::Authenticate { job, deadline_ms } => {
+                admit(&shared, id, Work::Authenticate(job), deadline_ms, &reply);
+            }
+        }
+    }
+
+    drop(reply);
+    let _ = writer_thread.join();
+}
+
+/// TCP acceptor: polls the non-blocking listener, spawning one detached
+/// connection thread per accept, until the daemon stops.
+fn tcp_acceptor(shared: Arc<Shared>, listener: TcpListener) {
+    loop {
+        if shared.phase() == STOPPED {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_nodelay(true);
+                shared.connections.fetch_add(1, Ordering::SeqCst);
+                if let Ok(reader) = stream.try_clone() {
+                    let shared = Arc::clone(&shared);
+                    thread::spawn(move || handle_connection(shared, reader, stream));
+                }
+            }
+            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            Err(_) => thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Boots the Unix-domain-socket acceptor (Unix only).
+#[cfg(unix)]
+fn unix_acceptor_thread(shared: Arc<Shared>, path: PathBuf) -> io::Result<JoinHandle<()>> {
+    use std::os::unix::net::UnixListener;
+
+    // A stale socket file from a previous run would fail the bind.
+    let _ = std::fs::remove_file(&path);
+    let listener = UnixListener::bind(&path)?;
+    listener.set_nonblocking(true)?;
+    Ok(thread::spawn(move || {
+        loop {
+            if shared.phase() == STOPPED {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let _ = stream.set_nonblocking(false);
+                    shared.connections.fetch_add(1, Ordering::SeqCst);
+                    if let Ok(reader) = stream.try_clone() {
+                        let shared = Arc::clone(&shared);
+                        thread::spawn(move || handle_connection(shared, reader, stream));
+                    }
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+                Err(_) => thread::sleep(ACCEPT_POLL),
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }))
+}
+
+/// Non-Unix stub: a configured Unix socket is a start error.
+#[cfg(not(unix))]
+fn unix_acceptor_thread(_shared: Arc<Shared>, _path: PathBuf) -> io::Result<JoinHandle<()>> {
+    Err(io::Error::new(
+        io::ErrorKind::Unsupported,
+        "unix-domain sockets are not available on this platform",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{Client, Endpoint};
+
+    fn boot(workers: usize, queue_capacity: usize) -> Server {
+        Server::start(ServerConfig {
+            workers,
+            queue_capacity,
+            ..ServerConfig::default()
+        })
+        .expect("server boots on a loopback port")
+    }
+
+    #[test]
+    fn ping_stats_run_shutdown_round_trip() {
+        let server = boot(2, 8);
+        let endpoint = Endpoint::Tcp(server.addr().to_string());
+        let mut client = Client::connect(&endpoint).expect("connect");
+        client.ping().expect("ping");
+
+        let response =
+            client.run(vec![JobSpec::default()], None).expect("run");
+        let Response::Results { results, .. } = response else {
+            panic!("expected results, got {response:?}");
+        };
+        assert_eq!(results.len(), 1);
+        assert!(results[0].get("ok").is_some(), "clean job must succeed: {results:?}");
+
+        let metrics = client.stats().expect("stats");
+        let completed = metrics
+            .get("service")
+            .and_then(|s| s.get("completed"))
+            .and_then(obfuscade::json::Json::as_u64)
+            .expect("service.completed");
+        assert_eq!(completed, 1);
+
+        let lifetime = client.shutdown().expect("shutdown");
+        assert_eq!(lifetime, 1);
+        server.join();
+    }
+
+    #[test]
+    fn unknown_frames_get_typed_malformed_errors() {
+        let server = boot(1, 4);
+        let endpoint = Endpoint::Tcp(server.addr().to_string());
+        let mut client = Client::connect(&endpoint).expect("connect");
+        let response = client.raw_call(b"{\"id\":9,\"kind\":\"warp\"}").expect("reply");
+        assert!(
+            matches!(response, Response::Error { error: ServiceError::Malformed, .. }),
+            "got {response:?}"
+        );
+        server.begin_shutdown();
+        server.join();
+    }
+}

@@ -1,0 +1,167 @@
+//! Admission control and lifecycle: bounded-queue overload rejection,
+//! typed deadline timeouts that leave the shared cache unpoisoned, and
+//! drain-then-stop graceful shutdown.
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use am_service::{
+    expected_results_wire, read_frame, write_frame, Client, Endpoint, JobSpec, Request,
+    RequestBody, Response, Server, ServerConfig, ServiceError,
+};
+use obfuscade::json::Json;
+
+/// A job expensive enough (virtual tensile test per seed) to keep the
+/// single worker busy while the test races more requests at the queue.
+fn slow_batch(len: u64) -> Vec<JobSpec> {
+    (0..len).map(|i| JobSpec { tensile: true, seed: 100 + i, ..JobSpec::default() }).collect()
+}
+
+fn send(stream: &mut TcpStream, request: &Request) {
+    write_frame(stream, &request.encode()).expect("send request");
+}
+
+fn receive(stream: &mut TcpStream) -> Response {
+    let frame = read_frame(stream).expect("read frame").expect("connection open");
+    Response::decode(&frame).expect("decode response")
+}
+
+#[test]
+fn full_queue_rejects_with_typed_overloaded() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServerConfig::default()
+    })
+    .expect("server boots");
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+
+    // Occupy the single worker…
+    send(&mut stream, &Request { id: 1, body: RequestBody::Run { jobs: slow_batch(8), deadline_ms: None } });
+    std::thread::sleep(Duration::from_millis(40));
+    // …then fill the one queue slot and overflow it.
+    for id in [2, 3] {
+        send(
+            &mut stream,
+            &Request { id, body: RequestBody::Run { jobs: vec![JobSpec::default()], deadline_ms: None } },
+        );
+    }
+
+    let mut results = 0u64;
+    let mut overloaded = 0u64;
+    for _ in 0..3 {
+        match receive(&mut stream) {
+            Response::Results { id, .. } => {
+                assert!(id == 1 || id == 2, "only admitted requests may produce results");
+                results += 1;
+            }
+            Response::Error { id, error: ServiceError::Overloaded, .. } => {
+                assert_ne!(id, 1, "the first request had an empty queue and must be admitted");
+                overloaded += 1;
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert!(overloaded >= 1, "overflowing a capacity-1 queue must reject");
+    assert!(results >= 1, "admitted work must still complete");
+
+    let mut client = Client::connect(&Endpoint::Tcp(server.addr().to_string())).expect("connect");
+    let metrics = client.stats().expect("stats");
+    let rejected = metrics
+        .get("service")
+        .and_then(|s| s.get("rejected_overloaded"))
+        .and_then(Json::as_u64)
+        .expect("service.rejected_overloaded");
+    assert_eq!(rejected, overloaded, "stats must count every overload rejection");
+
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn expired_deadline_times_out_typed_and_does_not_poison_the_cache() {
+    let server = Server::start(ServerConfig::default()).expect("server boots");
+    let endpoint = Endpoint::Tcp(server.addr().to_string());
+    let mut client = Client::connect(&endpoint).expect("connect");
+    let job = JobSpec::default();
+
+    // An already-expired budget: the batch engine must refuse to start
+    // the first stage and return the typed deadline error per job.
+    let response = client.run(vec![job.clone()], Some(0)).expect("run");
+    let Response::Results { results, .. } = response else {
+        panic!("expected per-job results, got {response:?}");
+    };
+    let err = results[0].get("err").expect("deadline job must carry an err object");
+    assert_eq!(err.get("stage").and_then(Json::as_str), Some("cad"));
+    let message = err.get("message").and_then(Json::as_str).unwrap_or_default();
+    assert!(message.contains("deadline"), "message must name the deadline: {message}");
+
+    // The same job, undeadlined, on the same daemon cache must now match
+    // the in-process reference byte for byte — nothing partial from the
+    // expired run may have entered the shared cache.
+    let expected = expected_results_wire(std::slice::from_ref(&job)).expect("reference");
+    let response = client.run(vec![job], None).expect("run");
+    let Response::Results { results, .. } = response else {
+        panic!("expected results, got {response:?}");
+    };
+    assert_eq!(Json::Array(results).render(), expected);
+
+    let metrics = client.stats().expect("stats");
+    let expired = metrics
+        .get("service")
+        .and_then(|s| s.get("expired_deadlines"))
+        .and_then(Json::as_u64)
+        .expect("service.expired_deadlines");
+    assert!(expired >= 1, "the expired request must be counted");
+
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn graceful_shutdown_completes_in_flight_jobs_then_closes_the_listener() {
+    let server = Server::start(ServerConfig { workers: 2, ..ServerConfig::default() })
+        .expect("server boots");
+    let addr = server.addr();
+
+    // Connection A: submit real work and leave the response unread.
+    let mut work_conn = TcpStream::connect(addr).expect("connect A");
+    send(
+        &mut work_conn,
+        &Request { id: 11, body: RequestBody::Run { jobs: slow_batch(4), deadline_ms: None } },
+    );
+    std::thread::sleep(Duration::from_millis(40));
+
+    // Connection B: ask for the drain. `bye` only comes back once every
+    // queued and in-flight job has completed.
+    let mut control = Client::connect(&Endpoint::Tcp(addr.to_string())).expect("connect B");
+    let completed = control.shutdown().expect("shutdown");
+    assert!(completed >= 1, "drain must have completed the in-flight batch, got {completed}");
+
+    // A's response was produced, not dropped.
+    match receive(&mut work_conn) {
+        Response::Results { id, results } => {
+            assert_eq!(id, 11);
+            assert_eq!(results.len(), 4);
+            assert!(results.iter().all(|r| r.get("ok").is_some()));
+        }
+        other => panic!("in-flight work must complete through a drain, got {other:?}"),
+    }
+
+    // Further admission attempts are refused while stopping…
+    send(
+        &mut work_conn,
+        &Request { id: 12, body: RequestBody::Run { jobs: vec![JobSpec::default()], deadline_ms: None } },
+    );
+    match receive(&mut work_conn) {
+        Response::Error { error, .. } => assert_eq!(error, ServiceError::ShuttingDown),
+        other => panic!("post-drain admission must be refused, got {other:?}"),
+    }
+
+    // …and once the acceptors exit, the port no longer answers.
+    server.join();
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "the listener must be closed after a completed shutdown"
+    );
+}

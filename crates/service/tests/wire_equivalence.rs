@@ -1,0 +1,99 @@
+//! The service's core contract: a batch served over the wire is
+//! **byte-identical** to the same batch run in-process through
+//! `obfuscade::run_pipeline_jobs` — for clean jobs, seeded
+//! fault-injection jobs, and jobs whose fault plans make the pipeline
+//! abort with a typed error — across server worker counts {1, 2, 4} and
+//! across connections sharing the daemon's stage cache.
+
+use am_service::{
+    expected_results_wire, Client, Endpoint, JobSpec, Response, Server, ServerConfig,
+};
+use obfuscade::json::Json;
+use proptest::prelude::*;
+
+/// Fault specs spanning the catalog (mirrors the core determinism
+/// suite). `firmware.feed=1.5` makes the firmware stage reject the part
+/// program, so its jobs exercise the error-carrying wire path.
+const FAULT_SPECS: &[&str] = &[
+    "",
+    "stl.degenerate=3",
+    "toolpath.dup=0.5 toolpath.drop=0.2",
+    "firmware.feed=1.5",
+];
+
+const WORKER_COUNTS: &[usize] = &[1, 2, 4];
+
+/// A small mixed batch over one fault spec: both orientations × two
+/// seeds, the odd jobs faulted — so the served batch carries both clean
+/// and (possibly erroring) faulted outcomes and genuinely shares stage
+/// prefixes.
+fn mixed_batch(spec: &str, fault_seed: u64, seed: u64) -> Vec<JobSpec> {
+    let mut jobs = Vec::new();
+    for (i, orientation) in ["xy", "xz", "xy", "xz"].iter().enumerate() {
+        let job = JobSpec {
+            orientation: match *orientation {
+                "xz" => am_slicer::Orientation::Xz,
+                _ => am_slicer::Orientation::Xy,
+            },
+            seed: seed + (i as u64) / 2,
+            faults: if i % 2 == 1 { spec.to_string() } else { String::new() },
+            fault_seed,
+            ..JobSpec::default()
+        };
+        jobs.push(job);
+    }
+    jobs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn served_batches_are_byte_identical_to_in_process_runs(
+        spec_idx in 0..FAULT_SPECS.len(),
+        fault_seed in 1..10_000u64,
+        seed in 1..1_000u64,
+        workers_idx in 0..WORKER_COUNTS.len(),
+    ) {
+        let jobs = mixed_batch(FAULT_SPECS[spec_idx], fault_seed, seed);
+        let expected = expected_results_wire(&jobs).expect("in-process reference run");
+
+        let server = Server::start(ServerConfig {
+            workers: WORKER_COUNTS[workers_idx],
+            ..ServerConfig::default()
+        })
+        .expect("server boots");
+        let endpoint = Endpoint::Tcp(server.addr().to_string());
+
+        // Two separate connections submit the same batch: both must get
+        // the exact reference bytes, and the second ride the cache the
+        // first warmed.
+        for round in 0..2 {
+            let mut client = Client::connect(&endpoint).expect("connect");
+            let response = client.run(jobs.clone(), None).expect("run");
+            let Response::Results { results, .. } = response else {
+                panic!("round {round}: expected results, got {response:?}");
+            };
+            prop_assert_eq!(
+                Json::Array(results).render(),
+                expected.clone(),
+                "served bytes diverged from the in-process run (round {}, workers {}, spec `{}`)",
+                round,
+                WORKER_COUNTS[workers_idx],
+                FAULT_SPECS[spec_idx]
+            );
+        }
+
+        let mut client = Client::connect(&endpoint).expect("connect");
+        let metrics = client.stats().expect("stats");
+        let hits = metrics
+            .get("cache")
+            .and_then(|c| c.get("hits"))
+            .and_then(Json::as_u64)
+            .expect("cache.hits");
+        prop_assert!(hits > 0, "identical batches across connections produced no cache hits");
+
+        client.shutdown().expect("shutdown");
+        server.join();
+    }
+}
