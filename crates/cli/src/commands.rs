@@ -76,6 +76,9 @@ COMMANDS:
                      [--workers N]              pipeline workers (default 2)
                      [--queue N]                job-queue capacity (default 64)
                      [--cache-mb MB]            stage-cache budget (default 64)
+                     [--allow-remote-shutdown]  honor wire shutdown from non-local
+                                                peers (default: loopback/uds only —
+                                                shutdown is unauthenticated)
                      [--port-file FILE]         write the bound address to FILE
                                                 once listening (for scripts)
     submit         send one request to a running daemon and print the reply
@@ -765,6 +768,7 @@ pub fn serve(args: &[String]) -> CliResult {
             }
             None => defaults.cache_budget,
         },
+        allow_remote_shutdown: flags.contains_key("allow-remote-shutdown"),
         ..defaults
     };
     let workers = config.workers;

@@ -12,6 +12,7 @@
 //! obfuscade report <experiment>|all
 //! obfuscade sweep [--threads N] [--seed N] [--cache-stats]
 //! obfuscade serve [--addr 127.0.0.1:7777] [--uds PATH] [--workers N] [--port-file FILE]
+//!                 [--allow-remote-shutdown]
 //! obfuscade submit [--addr HOST:PORT] [--kind run|authenticate|stats|ping|shutdown]
 //! obfuscade submit --load 200 --concurrency 8
 //! obfuscade bench [--smoke] [--serve] [--threads N] [--out FILE.json] [--check FILE.json]

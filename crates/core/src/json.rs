@@ -177,14 +177,22 @@ pub fn json_number(v: f64) -> String {
     if v.is_finite() { format!("{v:.3}") } else { "null".to_string() }
 }
 
+/// Maximum container nesting the parser accepts. The parser recurses per
+/// nesting level and consumes untrusted wire frames up to `MAX_FRAME`
+/// (8 MiB) — without a bound, a frame of a few hundred thousand `[`s
+/// would overflow the connection thread's stack and abort the daemon.
+/// 128 is far beyond any document this codebase produces.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
     fn new(text: &'a str) -> Self {
-        Parser { bytes: text.as_bytes(), pos: 0 }
+        Parser { bytes: text.as_bytes(), pos: 0, depth: 0 }
     }
 
     fn skip_ws(&mut self) {
@@ -209,14 +217,29 @@ impl<'a> Parser<'a> {
 
     fn value(&mut self) -> Result<Json, String> {
         match self.peek().ok_or("unexpected end of input")? {
-            b'{' => self.object(),
-            b'[' => self.array(),
+            b'{' => self.nested(Parser::object),
+            b'[' => self.nested(Parser::array),
             b'"' => Ok(Json::String(self.string()?)),
             b't' => self.literal("true", Json::Bool(true)),
             b'f' => self.literal("false", Json::Bool(false)),
             b'n' => self.literal("null", Json::Null),
             _ => self.number(),
         }
+    }
+
+    /// Runs a container parse one nesting level down, refusing past
+    /// [`MAX_DEPTH`] so untrusted input cannot recurse the stack away.
+    fn nested(
+        &mut self,
+        parse: fn(&mut Parser<'a>) -> Result<Json, String>,
+    ) -> Result<Json, String> {
+        if self.depth >= MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH} at byte {}", self.pos));
+        }
+        self.depth += 1;
+        let value = parse(self);
+        self.depth -= 1;
+        value
     }
 
     fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
@@ -275,6 +298,20 @@ impl<'a> Parser<'a> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
+            // Copy the maximal run of unescaped bytes as one UTF-8 slice.
+            // The input is a `&str` and the run delimiters (`"`, `\`) are
+            // ASCII, so the run lands on char boundaries — pushing bytes
+            // one at a time as `char`s would mangle multi-byte characters
+            // into Latin-1 mojibake.
+            let start = self.pos;
+            while self.bytes.get(self.pos).is_some_and(|b| !matches!(b, b'"' | b'\\')) {
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| e.to_string())?;
+                out.push_str(run);
+            }
             let b = *self.bytes.get(self.pos).ok_or("unterminated string")?;
             self.pos += 1;
             match b {
@@ -289,23 +326,45 @@ impl<'a> Parser<'a> {
                         b'n' => out.push('\n'),
                         b't' => out.push('\t'),
                         b'r' => out.push('\r'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .ok_or("truncated \\u escape")?;
-                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
-                            let code =
-                                u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
-                            out.push(char::from_u32(code).ok_or("bad \\u escape")?);
-                            self.pos += 4;
-                        }
+                        b'u' => out.push(self.unicode_escape()?),
                         _ => return Err(format!("bad escape at byte {}", self.pos)),
                     }
                 }
-                b => out.push(b as char),
+                _ => unreachable!("run loop stops only at '\"' or '\\\\'"),
             }
         }
+    }
+
+    /// Decodes the four hex digits after a `\u`, combining a UTF-16
+    /// surrogate pair (`😀`) into its supplementary code point —
+    /// standard JSON encoders escape non-BMP characters exactly that way.
+    fn unicode_escape(&mut self) -> Result<char, String> {
+        let unit = self.hex4()?;
+        let code = match unit {
+            0xd800..=0xdbff => {
+                if self.bytes.get(self.pos..self.pos + 2) != Some(b"\\u") {
+                    return Err(format!("unpaired surrogate at byte {}", self.pos));
+                }
+                self.pos += 2;
+                let low = self.hex4()?;
+                if !(0xdc00..=0xdfff).contains(&low) {
+                    return Err(format!("unpaired surrogate at byte {}", self.pos));
+                }
+                0x10000 + ((unit - 0xd800) << 10) + (low - 0xdc00)
+            }
+            _ => unit,
+        };
+        // Still refuses lone low surrogates (not reachable via a pair).
+        char::from_u32(code).ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))
+    }
+
+    /// Reads four hex digits as a UTF-16 code unit.
+    fn hex4(&mut self) -> Result<u32, String> {
+        let hex = self.bytes.get(self.pos..self.pos + 4).ok_or("truncated \\u escape")?;
+        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+        let unit = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+        self.pos += 4;
+        Ok(unit)
     }
 
     fn number(&mut self) -> Result<Json, String> {
@@ -378,6 +437,41 @@ mod tests {
         assert_eq!(doc.render(), "{\"b\":[null,true],\"a\":\"x\\\"y\"}");
         let back = parse_json(&doc.render()).expect("parse");
         assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn parser_refuses_pathological_nesting_without_crashing() {
+        // MAX_FRAME-scale nesting must be a parse error, not a stack
+        // overflow that aborts the daemon process.
+        let deep = "[".repeat(300_000);
+        assert!(parse_json(&deep).expect_err("deep array").contains("nesting"));
+        let deep = "{\"k\":".repeat(300_000);
+        assert!(parse_json(&deep).expect_err("deep object").contains("nesting"));
+        // A document at a sane depth still parses.
+        let ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(parse_json(&ok).is_ok());
+    }
+
+    #[test]
+    fn strings_preserve_multibyte_utf8() {
+        let doc = parse_json("{\"name\": \"piéce-Ω-部品\"}").expect("parse");
+        assert_eq!(doc.get("name").and_then(Json::as_str), Some("piéce-Ω-部品"));
+        // And the render → parse round trip keeps the bytes intact.
+        let back = parse_json(&Json::str("piéce-Ω-部品").render()).expect("parse");
+        assert_eq!(back.as_str(), Some("piéce-Ω-部品"));
+    }
+
+    #[test]
+    fn unicode_escapes_combine_surrogate_pairs() {
+        let doc = parse_json("\"\\ud83d\\ude00\"").expect("surrogate pair");
+        assert_eq!(doc.as_str(), Some("😀"));
+        // Lone surrogates (either half) stay errors.
+        assert!(parse_json("\"\\ud83d\"").is_err());
+        assert!(parse_json("\"\\ud83dx\"").is_err());
+        assert!(parse_json("\"\\ud83d\\u0041\"").is_err());
+        assert!(parse_json("\"\\ude00\"").is_err());
+        // BMP escapes are unaffected.
+        assert_eq!(parse_json("\"\\u00e9\"").expect("bmp").as_str(), Some("é"));
     }
 
     #[test]

@@ -430,6 +430,10 @@ pub enum ServiceError {
     ShuttingDown,
     /// The request could not be decoded or named unknown inputs.
     Malformed,
+    /// The request is understood but this peer may not issue it —
+    /// `shutdown` from a non-local connection without
+    /// `allow_remote_shutdown`.
+    Forbidden,
     /// The pipeline itself failed (or a deadline expired mid-request);
     /// the message carries the typed pipeline error's text.
     Job,
@@ -442,6 +446,7 @@ impl ServiceError {
             ServiceError::Overloaded => "overloaded",
             ServiceError::ShuttingDown => "shutting_down",
             ServiceError::Malformed => "malformed",
+            ServiceError::Forbidden => "forbidden",
             ServiceError::Job => "job",
         }
     }
@@ -456,6 +461,7 @@ impl ServiceError {
             "overloaded" => Ok(ServiceError::Overloaded),
             "shutting_down" => Ok(ServiceError::ShuttingDown),
             "malformed" => Ok(ServiceError::Malformed),
+            "forbidden" => Ok(ServiceError::Forbidden),
             "job" => Ok(ServiceError::Job),
             other => Err(format!("unknown error class `{other}`")),
         }

@@ -17,6 +17,13 @@
 //! worker threads exit. The phase transition happens under the queue
 //! lock, so no job can slip in between "stop admitting" and "queue is
 //! empty".
+//!
+//! Wire `shutdown` carries no authentication, so it is honored only
+//! from local peers (loopback TCP or the Unix socket) unless
+//! [`ServerConfig::allow_remote_shutdown`] is set — otherwise a daemon
+//! bound to a routable address would be one anonymous frame away from a
+//! permanent stop. Non-local shutdown attempts get a typed `forbidden`
+//! error and the daemon keeps running.
 
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
@@ -68,6 +75,11 @@ pub struct ServerConfig {
     pub parallelism: Parallelism,
     /// Byte budget of the shared stage cache.
     pub cache_budget: usize,
+    /// Honor wire `shutdown` from non-local peers. **Off by default**:
+    /// `shutdown` carries no authentication, so on a non-loopback `addr`
+    /// any anonymous client could otherwise stop the daemon permanently.
+    /// Loopback TCP peers and Unix-socket peers may always shut down.
+    pub allow_remote_shutdown: bool,
 }
 
 impl Default for ServerConfig {
@@ -79,6 +91,7 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             parallelism: Parallelism::serial(),
             cache_budget: StageCache::DEFAULT_BUDGET,
+            allow_remote_shutdown: false,
         }
     }
 }
@@ -104,6 +117,7 @@ struct Shared {
     parallelism: Parallelism,
     workers: usize,
     queue_capacity: usize,
+    allow_remote_shutdown: bool,
     queue: Mutex<VecDeque<QueuedJob>>,
     /// Signalled when a job is enqueued or the phase changes.
     queue_cv: Condvar,
@@ -175,6 +189,7 @@ impl Server {
             parallelism: config.parallelism,
             workers: config.workers.max(1),
             queue_capacity: config.queue_capacity.max(1),
+            allow_remote_shutdown: config.allow_remote_shutdown,
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             drained_cv: Condvar::new(),
@@ -415,7 +430,11 @@ fn admit(shared: &Arc<Shared>, id: u64, work: Work, deadline_ms: Option<u64>, re
 /// Per-connection protocol loop: a writer thread serialises all frames
 /// for the connection (workers reply through the same channel), the
 /// calling thread reads and dispatches requests until EOF or shutdown.
-fn handle_connection<R, W>(shared: Arc<Shared>, mut reader: R, writer: W)
+///
+/// `local_peer` records whether the connection arrived over the Unix
+/// socket or from a loopback TCP address; non-local peers may only issue
+/// `shutdown` when the server was configured with `allow_remote_shutdown`.
+fn handle_connection<R, W>(shared: Arc<Shared>, mut reader: R, writer: W, local_peer: bool)
 where
     R: Read,
     W: Write + Send + 'static,
@@ -448,8 +467,21 @@ where
                 send(&reply, &Response::Stats { id, metrics: shared.snapshot().to_json() });
             }
             RequestBody::Shutdown => {
-                let completed = drain(&shared);
-                send(&reply, &Response::Bye { id, completed });
+                if local_peer || shared.allow_remote_shutdown {
+                    let completed = drain(&shared);
+                    send(&reply, &Response::Bye { id, completed });
+                } else {
+                    send(
+                        &reply,
+                        &Response::Error {
+                            id,
+                            error: ServiceError::Forbidden,
+                            message: "shutdown is only honored from loopback/Unix-socket \
+                                      peers (start with allow_remote_shutdown to override)"
+                                .to_string(),
+                        },
+                    );
+                }
             }
             RequestBody::Run { jobs, deadline_ms } => {
                 admit(&shared, id, Work::Run(jobs), deadline_ms, &reply);
@@ -472,13 +504,14 @@ fn tcp_acceptor(shared: Arc<Shared>, listener: TcpListener) {
             break;
         }
         match listener.accept() {
-            Ok((stream, _peer)) => {
+            Ok((stream, peer)) => {
                 let _ = stream.set_nonblocking(false);
                 let _ = stream.set_nodelay(true);
                 shared.connections.fetch_add(1, Ordering::SeqCst);
+                let local_peer = peer.ip().is_loopback();
                 if let Ok(reader) = stream.try_clone() {
                     let shared = Arc::clone(&shared);
-                    thread::spawn(move || handle_connection(shared, reader, stream));
+                    thread::spawn(move || handle_connection(shared, reader, stream, local_peer));
                 }
             }
             Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
@@ -507,7 +540,8 @@ fn unix_acceptor_thread(shared: Arc<Shared>, path: PathBuf) -> io::Result<JoinHa
                     shared.connections.fetch_add(1, Ordering::SeqCst);
                     if let Ok(reader) = stream.try_clone() {
                         let shared = Arc::clone(&shared);
-                        thread::spawn(move || handle_connection(shared, reader, stream));
+                        // A Unix-socket peer is local by construction.
+                        thread::spawn(move || handle_connection(shared, reader, stream, true));
                     }
                 }
                 Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
@@ -566,6 +600,58 @@ mod tests {
 
         let lifetime = client.shutdown().expect("shutdown");
         assert_eq!(lifetime, 1);
+        server.join();
+    }
+
+    /// A `Write` that appends into a shared buffer — lets a test read
+    /// back what `handle_connection`'s writer thread emitted.
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            lock(&self.0).extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn non_local_shutdown_is_refused_and_daemon_keeps_running() {
+        let server = boot(1, 4);
+
+        // Feed a shutdown frame through the connection loop as a
+        // non-local peer (the acceptors classify loopback/Unix peers as
+        // local, so the deny path needs driving directly).
+        let mut input = Vec::new();
+        write_frame(&mut input, &Request { id: 5, body: RequestBody::Shutdown }.encode())
+            .expect("frame");
+        let out = Arc::new(Mutex::new(Vec::new()));
+        handle_connection(
+            Arc::clone(&server.shared),
+            io::Cursor::new(input),
+            SharedBuf(Arc::clone(&out)),
+            false,
+        );
+
+        let written = lock(&out).clone();
+        let frame = read_frame(&mut io::Cursor::new(written))
+            .expect("read")
+            .expect("one response frame");
+        let response = Response::decode(&frame).expect("decode");
+        assert!(
+            matches!(response, Response::Error { id: 5, error: ServiceError::Forbidden, .. }),
+            "got {response:?}"
+        );
+
+        // The refusal must not have drained anything: a loopback client
+        // still gets served and may still shut the daemon down.
+        let endpoint = Endpoint::Tcp(server.addr().to_string());
+        let mut client = Client::connect(&endpoint).expect("connect");
+        client.ping().expect("daemon still answers");
+        client.shutdown().expect("loopback shutdown is allowed");
         server.join();
     }
 
