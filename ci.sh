@@ -12,17 +12,29 @@
 # 4. service smoke: boot the obfuscation daemon on an ephemeral loopback
 #    port, round-trip a protect-and-print job, an authenticate verdict,
 #    the metrics snapshot, and a small byte-verified load run through
-#    `submit`, then a smoke `bench --serve` against its own daemon, then
-#    drain the first daemon with a `shutdown` request and wait for it
-# 5. bench regression gate: the committed BENCH_PR5.json must parse
-#    against the obfuscade-bench/v4 schema with every kernel speedup
+#    `submit --port-file` (which polls for the daemon's address itself —
+#    the boot race the old external wait loop papered over), then a
+#    smoke `bench --serve` against its own daemon, then drain the first
+#    daemon with a `shutdown` request and wait for it
+# 5. chaos stage (PR 6): a daemon on a Unix socket with deterministic
+#    fault injection (`--chaos-seed`), a 1 MiB cache to force constant
+#    eviction, and a persistent spill tier. A byte-verified load runs
+#    through the chaos; then a second load is fired, the daemon is
+#    KILLED (-9) mid-run and restarted on the same socket + spill dir —
+#    the retrying client must ride out the outage and still report every
+#    response byte-identical. The restarted daemon must show warm-start
+#    spill hits (rehydrated from segment files written before the kill)
+#    and zero corrupt entries served.
+# 6. bench regression gate: the committed BENCH_PR6.json must parse
+#    against the obfuscade-bench/v5 schema with every kernel speedup
 #    >= 1.0x, the fea row's optimized wall clock within half of PR 3's
 #    committed 1157.7 ms (the Newton-PCG solver must stay >= 2x faster
 #    than the relaxation kernel it replaced), AND a clean daemon load
-#    result in the mandatory `serve` section (the smoke reports are
-#    schema-validated on write but not speedup-gated — tiny workloads
-#    are too noisy to threshold)
-# 6. clippy as an error wall, with `clippy::unwrap_used` additionally
+#    result in the mandatory `serve` section — which v5 extends with the
+#    spill_hits/retries/respawns robustness counters (the smoke reports
+#    are schema-validated on write but not speedup-gated — tiny
+#    workloads are too noisy to threshold)
+# 7. clippy as an error wall, with `clippy::unwrap_used` additionally
 #    enabled for library and binary code (test code may unwrap freely —
 #    a failing assertion *is* its error report)
 set -eu
@@ -35,22 +47,81 @@ rm -f target/serve.addr
 ./target/release/obfuscade serve --addr 127.0.0.1:0 --workers 2 \
     --port-file target/serve.addr &
 SERVE_PID=$!
-for _ in $(seq 1 100); do
-    [ -s target/serve.addr ] && break
-    sleep 0.1
-done
-[ -s target/serve.addr ] || { echo "ci: daemon never wrote its port file" >&2; exit 1; }
-SERVE_ADDR=$(cat target/serve.addr)
-./target/release/obfuscade submit --addr "$SERVE_ADDR" --kind run
-./target/release/obfuscade submit --addr "$SERVE_ADDR" --kind authenticate
-./target/release/obfuscade submit --addr "$SERVE_ADDR" --kind stats
-./target/release/obfuscade submit --addr "$SERVE_ADDR" --load 24 --concurrency 4
+./target/release/obfuscade submit --port-file target/serve.addr --kind run
+./target/release/obfuscade submit --port-file target/serve.addr --kind authenticate
+./target/release/obfuscade submit --port-file target/serve.addr --kind stats
+./target/release/obfuscade submit --port-file target/serve.addr --load 24 --concurrency 4
 ./target/release/obfuscade bench --smoke --serve --only serve --threads 2 \
     --out target/bench_serve_smoke.json
-./target/release/obfuscade submit --addr "$SERVE_ADDR" --kind shutdown
+./target/release/obfuscade submit --port-file target/serve.addr --kind shutdown
 wait "$SERVE_PID"
 
-./target/release/obfuscade bench --check BENCH_PR5.json --fea-budget-ms 578.9 --require-serve
+# --- chaos stage -------------------------------------------------------
+CHAOS_SOCK=target/chaos.sock
+CHAOS_SPILL=target/chaos-spill
+rm -rf "$CHAOS_SPILL" "$CHAOS_SOCK"
+./target/release/obfuscade serve --uds "$CHAOS_SOCK" --addr 127.0.0.1:0 \
+    --workers 2 --cache-mb 1 --chaos-seed 7 --spill-dir "$CHAOS_SPILL" &
+CHAOS_PID=$!
+# Byte-verified load straight through the injected faults (connection
+# drops, short/stalled reads, worker panics, spill write failures); the
+# retrying client must absorb all of them.
+./target/release/obfuscade submit --uds "$CHAOS_SOCK" --load 24 --concurrency 4 --retries 16
+# Sweep distinct seeds to overflow the 1 MiB budget (~200 KiB of
+# artifacts per seed): the early seeds — including the default-seed
+# entries the load above warmed — are evicted to the spill tier.
+for s in 1 2 3 4 5 6 7 8 9 10; do
+    ./target/release/obfuscade submit --uds "$CHAOS_SOCK" --kind run --seed "$s" \
+        --retries 16 >/dev/null
+done
+
+# Hard-kill the daemon, then fire a verified load at the DEAD socket and
+# restart on the same socket + spill dir while the load's clients are
+# retrying: every client rides through the outage, and the load must
+# still complete clean and byte-identical.
+kill -9 "$CHAOS_PID" 2>/dev/null || true
+wait "$CHAOS_PID" 2>/dev/null || true
+./target/release/obfuscade submit --uds "$CHAOS_SOCK" --load 64 --concurrency 4 --retries 16 &
+LOAD_PID=$!
+sleep 0.2
+./target/release/obfuscade serve --uds "$CHAOS_SOCK" --addr 127.0.0.1:0 \
+    --workers 2 --cache-mb 1 --chaos-seed 7 --spill-dir "$CHAOS_SPILL" &
+CHAOS_PID=$!
+wait "$LOAD_PID" || { echo "ci: chaos load did not survive the kill+restart" >&2; exit 1; }
+
+# The restarted daemon recovered the spill segments the killed one
+# wrote: re-sweeping the seeds must land warm-start spill hits (entries
+# rehydrated from disk instead of recomputed), and recovery must never
+# have served a corrupt entry.
+for s in 1 2 3 4 5 6 7 8 9 10; do
+    ./target/release/obfuscade submit --uds "$CHAOS_SOCK" --kind run --seed "$s" \
+        --retries 16 >/dev/null
+done
+CHAOS_STATS=$(./target/release/obfuscade submit --uds "$CHAOS_SOCK" --kind stats --retries 16)
+SPILL_HITS=$(printf '%s' "$CHAOS_STATS" | sed -n 's/.*"spill_hits":\([0-9]*\).*/\1/p')
+CORRUPT=$(printf '%s' "$CHAOS_STATS" | sed -n 's/.*"spill_corrupt_dropped":\([0-9]*\).*/\1/p')
+[ -n "$SPILL_HITS" ] && [ "$SPILL_HITS" -ge 1 ] \
+    || { echo "ci: restarted daemon saw no warm-start spill hits (got '$SPILL_HITS')" >&2; exit 1; }
+[ -n "$CORRUPT" ] \
+    || { echo "ci: stats snapshot lost the spill_corrupt_dropped counter" >&2; exit 1; }
+echo "ci: chaos stage clean ($SPILL_HITS spill hits after restart, $CORRUPT corrupt entries dropped)"
+# `shutdown` is never auto-retried (resending it is not idempotent), but
+# a connection the chaos layer dropped AT ACCEPT never delivered the
+# request — so retrying at the script level is safe: stop as soon as one
+# attempt lands or the daemon is observed gone.
+SHUT=fail
+for _ in $(seq 1 10); do
+    if ./target/release/obfuscade submit --uds "$CHAOS_SOCK" --kind shutdown; then
+        SHUT=ok
+        break
+    fi
+    kill -0 "$CHAOS_PID" 2>/dev/null || { SHUT=ok; break; }
+    sleep 0.2
+done
+[ "$SHUT" = ok ] || { echo "ci: chaos daemon refused shutdown" >&2; exit 1; }
+wait "$CHAOS_PID"
+
+./target/release/obfuscade bench --check BENCH_PR6.json --fea-budget-ms 578.9 --require-serve
 cargo clippy --workspace --all-targets -- -D warnings
 cargo clippy --workspace --lib --bins -- -D warnings -W clippy::unwrap_used
 

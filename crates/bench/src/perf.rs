@@ -150,6 +150,15 @@ pub struct ServeResult {
     pub throughput_rps: f64,
     /// Daemon-side stage-cache hits accumulated across the load run.
     pub cache_hits: u64,
+    /// Daemon-side lookups rehydrated from the persistent spill tier
+    /// (v5; zero when the daemon ran without a spill directory).
+    pub spill_hits: u64,
+    /// Client-side retry cycles across the load run (v5; a clean run on
+    /// a healthy loopback daemon normally has zero).
+    pub retries: u64,
+    /// Daemon-side worker respawns after panics (v5; zero without chaos
+    /// injection).
+    pub respawns: u64,
 }
 
 /// The full benchmark report.
@@ -168,7 +177,7 @@ pub struct BenchReport {
     pub serve: Option<ServeResult>,
 }
 
-const SCHEMA: &str = "obfuscade-bench/v4";
+const SCHEMA: &str = "obfuscade-bench/v5";
 
 impl BenchReport {
     /// Renders the human-readable results table.
@@ -200,7 +209,8 @@ impl BenchReport {
             let _ = writeln!(
                 out,
                 "\nserve: {} requests over {} connections — p50 {:.2} ms, p95 {:.2} ms, \
-                 p99 {:.2} ms, {:.0} req/s, {} cache hits, {} errors, {} dropped, {} mismatches",
+                 p99 {:.2} ms, {:.0} req/s, {} cache hits, {} spill hits, {} errors, \
+                 {} dropped, {} mismatches, {} retries, {} respawns",
                 s.requests,
                 s.concurrency,
                 s.p50_ms,
@@ -208,9 +218,12 @@ impl BenchReport {
                 s.p99_ms,
                 s.throughput_rps,
                 s.cache_hits,
+                s.spill_hits,
                 s.errors,
                 s.dropped_connections,
-                s.mismatches
+                s.mismatches,
+                s.retries,
+                s.respawns
             );
         }
         out.push_str(
@@ -248,7 +261,10 @@ impl BenchReport {
                 let _ = writeln!(out, "    \"p95_ms\": {},", json_number(s.p95_ms));
                 let _ = writeln!(out, "    \"p99_ms\": {},", json_number(s.p99_ms));
                 let _ = writeln!(out, "    \"throughput_rps\": {},", json_number(s.throughput_rps));
-                let _ = writeln!(out, "    \"cache_hits\": {}", s.cache_hits);
+                let _ = writeln!(out, "    \"cache_hits\": {},", s.cache_hits);
+                let _ = writeln!(out, "    \"spill_hits\": {},", s.spill_hits);
+                let _ = writeln!(out, "    \"retries\": {},", s.retries);
+                let _ = writeln!(out, "    \"respawns\": {}", s.respawns);
                 out.push_str("  },\n");
             }
         }
@@ -318,7 +334,10 @@ pub fn validate_report_json(text: &str) -> Result<Vec<(String, f64)>, String> {
     // v4: the serve section is mandatory — `null` when the daemon bench
     // didn't run, otherwise a clean load-generator result (zero errors,
     // zero dropped connections, zero determinism mismatches, warm cache,
-    // monotone latency quantiles).
+    // monotone latency quantiles). v5 adds the robustness counters
+    // (`spill_hits`, `retries`, `respawns`): mandatory non-negative
+    // integers, but not required to be zero — a retried request that
+    // ultimately returned correct bytes is still a clean run.
     let serve = doc.get("serve").ok_or("missing 'serve' field")?;
     let served = match serve {
         Json::Null => false,
@@ -329,8 +348,17 @@ pub fn validate_report_json(text: &str) -> Result<Vec<(String, f64)>, String> {
                     .and_then(Json::as_number)
                     .ok_or_else(|| format!("serve: missing numeric '{field}'"))
             };
-            for field in ["requests", "concurrency", "errors", "dropped_connections", "mismatches", "cache_hits"]
-            {
+            for field in [
+                "requests",
+                "concurrency",
+                "errors",
+                "dropped_connections",
+                "mismatches",
+                "cache_hits",
+                "spill_hits",
+                "retries",
+                "respawns",
+            ] {
                 let v = get(field)?;
                 if v < 0.0 || v.fract() != 0.0 {
                     return Err(format!("serve: bad '{field}' counter: {v}"));
@@ -881,11 +909,17 @@ fn bench_serve(config: &BenchConfig) -> ServeResult {
     let report = am_service::run_load(&endpoint, total, concurrency, &jobs, Some(&expected));
 
     let mut client = Client::connect(&endpoint).expect("serve bench: stats connection");
-    let cache_hits = client
-        .stats()
-        .ok()
-        .and_then(|m| m.get("cache").and_then(|c| c.get("hits")).and_then(Json::as_u64))
-        .unwrap_or(0);
+    let stats = client.stats().ok();
+    let counter = |path: &[&str]| {
+        let mut node = stats.as_ref()?;
+        for key in path {
+            node = node.get(key)?;
+        }
+        node.as_u64()
+    };
+    let cache_hits = counter(&["cache", "hits"]).unwrap_or(0);
+    let spill_hits = counter(&["cache", "spill_hits"]).unwrap_or(0);
+    let respawns = counter(&["service", "respawns"]).unwrap_or(0);
     let _ = client.shutdown();
     server.join();
 
@@ -900,6 +934,9 @@ fn bench_serve(config: &BenchConfig) -> ServeResult {
         p99_ms: report.quantile_ms(0.99),
         throughput_rps: report.throughput_rps(),
         cache_hits,
+        spill_hits,
+        retries: report.retries,
+        respawns,
     }
 }
 
@@ -944,6 +981,9 @@ mod tests {
                 p99_ms: 44.0,
                 throughput_rps: 312.5,
                 cache_hits: 199,
+                spill_hits: 3,
+                retries: 2,
+                respawns: 1,
             }),
             ..sample_report()
         }
@@ -1008,10 +1048,19 @@ mod tests {
         assert!(report_has_serve(&no_serve).is_err());
         assert!(!report_has_serve(&sample_report().to_json()).expect("valid"));
 
-        // A clean served report validates and reports itself as served.
+        // A clean served report validates and reports itself as served —
+        // including nonzero v5 robustness counters (retries/respawns are
+        // informational, not failures).
         let served = served_report().to_json();
         assert!(validate_report_json(&served).is_ok());
         assert!(report_has_serve(&served).expect("valid"));
+
+        // v5: a v4-style served report without the robustness counters
+        // is rejected, as are fractional ones.
+        let v4 = served_report().to_json().replace("    \"spill_hits\": 3,\n", "");
+        assert!(validate_report_json(&v4).is_err());
+        let frac = served_report().to_json().replace("\"retries\": 2", "\"retries\": 2.5");
+        assert!(validate_report_json(&frac).is_err());
 
         // A served report may stand alone, without kernel rows.
         let serve_only = BenchReport { kernels: Vec::new(), ..served_report() };

@@ -81,9 +81,22 @@ COMMANDS:
                                                 shutdown is unauthenticated)
                      [--port-file FILE]         write the bound address to FILE
                                                 once listening (for scripts)
+                     [--spill-dir DIR]          persist cache evictions to CRC-checked
+                                                segment files in DIR; entries rehydrate
+                                                on miss and survive restarts
+                     [--chaos-seed N]           deterministic fault injection (testing):
+                                                seeded connection drops, slow/short
+                                                reads, worker panics, spill-write
+                                                failures
     submit         send one request to a running daemon and print the reply
                      [--addr HOST:PORT]         daemon address (default 127.0.0.1:7777)
                      [--uds PATH]               connect over a Unix socket instead
+                     [--port-file FILE]         read the daemon address from FILE,
+                                                polling up to 10 s for it to appear
+                                                (pairs with serve --port-file)
+                     [--retries N]              total attempts per request (default 4):
+                                                transient failures reconnect and retry
+                                                with exponential backoff
                      [--kind KIND]              ping|stats|run|authenticate|shutdown
                                                 (default run)
                      job flags for run/authenticate:
@@ -724,6 +737,48 @@ fn endpoint_flag(flags: &HashMap<String, String>) -> am_service::Endpoint {
     }
 }
 
+/// How long `submit --port-file` waits for the daemon to write its
+/// bound address before giving up.
+const PORT_FILE_DEADLINE: std::time::Duration = std::time::Duration::from_secs(10);
+
+/// Resolves `submit`'s endpoint: an explicit `--uds` wins, then
+/// `--port-file` (polled with a bounded deadline — `serve --port-file`
+/// writes the file only once its listener is bound, so a script that
+/// boots the daemon and immediately submits would otherwise race the
+/// daemon's startup), then `--addr`.
+fn submit_endpoint(flags: &HashMap<String, String>) -> Result<am_service::Endpoint, String> {
+    submit_endpoint_within(flags, PORT_FILE_DEADLINE)
+}
+
+fn submit_endpoint_within(
+    flags: &HashMap<String, String>,
+    wait: std::time::Duration,
+) -> Result<am_service::Endpoint, String> {
+    if flags.contains_key("uds") {
+        return Ok(endpoint_flag(flags));
+    }
+    let Some(path) = flags.get("port-file") else {
+        return Ok(endpoint_flag(flags));
+    };
+    let deadline = std::time::Instant::now() + wait;
+    loop {
+        if let Ok(addr) = std::fs::read_to_string(path) {
+            let addr = addr.trim();
+            if !addr.is_empty() {
+                return Ok(am_service::Endpoint::Tcp(addr.to_string()));
+            }
+        }
+        if std::time::Instant::now() >= deadline {
+            return Err(format!(
+                "--port-file {path}: no daemon address appeared within {:.1} s \
+                 (is `obfuscade serve --port-file {path}` running?)",
+                wait.as_secs_f64()
+            ));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+}
+
 fn usize_flag(
     flags: &HashMap<String, String>,
     name: &str,
@@ -769,6 +824,8 @@ pub fn serve(args: &[String]) -> CliResult {
             None => defaults.cache_budget,
         },
         allow_remote_shutdown: flags.contains_key("allow-remote-shutdown"),
+        spill_dir: flags.get("spill-dir").map(std::path::PathBuf::from),
+        chaos: u64_flag(&flags, "chaos-seed")?.map(am_service::ChaosPlan::from_seed),
         ..defaults
     };
     let workers = config.workers;
@@ -835,15 +892,21 @@ fn job_spec_flags(flags: &HashMap<String, String>) -> Result<am_service::JobSpec
 /// `obfuscade submit` — one request to a running daemon, or a whole
 /// verified load run with `--load N`.
 pub fn submit(args: &[String]) -> CliResult {
-    use am_service::{expected_results_wire, run_load, Client, Response};
+    use am_service::{expected_results_wire, run_load_with, Client, Response, RetryingClient};
     use obfuscade::json::Json;
     let (positional, flags) = parse_flags(args);
     if let Some(extra) = positional.first() {
         return Err(format!("unexpected argument `{extra}`"));
     }
-    let endpoint = endpoint_flag(&flags);
+    let endpoint = submit_endpoint(&flags)?;
     let job = job_spec_flags(&flags)?;
     let deadline_ms = u64_flag(&flags, "deadline-ms")?;
+    let policy = am_service::RetryPolicy {
+        attempts: u64_flag(&flags, "retries")?
+            .map_or(am_service::RetryPolicy::default().attempts, |n| n.min(64) as u32)
+            .max(1),
+        ..am_service::RetryPolicy::default()
+    };
 
     // Load-generator mode: `--load N [--concurrency C]` fires N identical
     // run requests over C connections and byte-compares every response
@@ -852,16 +915,21 @@ pub fn submit(args: &[String]) -> CliResult {
         let concurrency = usize_flag(&flags, "concurrency", 4)?.max(1);
         let jobs = vec![job];
         let expected = expected_results_wire(&jobs)?;
-        let report = run_load(&endpoint, total, concurrency, &jobs, Some(&expected));
+        let report = run_load_with(&endpoint, total, concurrency, &jobs, Some(&expected), &policy);
         println!(
-            "{} requests over {} connections in {:.2} s: p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms, {:.1} req/s",
+            "{} requests over {} connections in {:.2} s: p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms, {:.1} req/s{}",
             report.requests,
             report.concurrency,
             report.wall_s,
             report.quantile_ms(0.50),
             report.quantile_ms(0.95),
             report.quantile_ms(0.99),
-            report.throughput_rps()
+            report.throughput_rps(),
+            if report.retries > 0 {
+                format!(" ({} retries)", report.retries)
+            } else {
+                String::new()
+            }
         );
         if !report.clean() {
             return Err(format!(
@@ -873,27 +941,32 @@ pub fn submit(args: &[String]) -> CliResult {
         return Ok(());
     }
 
-    let mut client = Client::connect(&endpoint).map_err(|e| format!("connect: {e}"))?;
+    // `ping` and `shutdown` stay on the plain client: ping is the
+    // liveness probe (retrying would mask exactly what it measures) and
+    // shutdown must never be resent.
+    let mut retrying = RetryingClient::new(&endpoint, policy);
     match flags.get("kind").map(String::as_str).unwrap_or("run") {
         "ping" => {
+            let mut client = Client::connect(&endpoint).map_err(|e| format!("connect: {e}"))?;
             client.ping()?;
             println!("pong");
         }
         "stats" => {
-            println!("{}", client.stats()?.render());
+            println!("{}", retrying.stats()?.render());
         }
         "shutdown" => {
+            let mut client = Client::connect(&endpoint).map_err(|e| format!("connect: {e}"))?;
             let completed = client.shutdown()?;
             println!("daemon drained and stopped ({completed} jobs completed over its lifetime)");
         }
-        "run" => match client.run(vec![job], deadline_ms)? {
+        "run" => match retrying.run(&[job], deadline_ms)? {
             Response::Results { results, .. } => println!("{}", Json::Array(results).render()),
             Response::Error { error, message, .. } => {
                 return Err(format!("{}: {message}", error.name()))
             }
             other => return Err(format!("unexpected response {other:?}")),
         },
-        "authenticate" => match client.authenticate(job, deadline_ms)? {
+        "authenticate" => match retrying.authenticate(&job, deadline_ms)? {
             Response::Verdict { verdict, cold_joint_mm2, void_mm3, .. } => println!(
                 "{verdict} (cold joints {cold_joint_mm2:.1} mm², voids {void_mm3:.1} mm³)"
             ),
@@ -986,17 +1059,11 @@ mod tests {
         .map(|s| s.to_string())
         .collect();
         let daemon = std::thread::spawn(move || serve(&serve_args));
-        let addr = loop {
-            if let Ok(addr) = std::fs::read_to_string(&port_file) {
-                if !addr.is_empty() {
-                    break addr;
-                }
-            }
-            std::thread::sleep(std::time::Duration::from_millis(5));
-        };
-
+        // `submit --port-file` polls for the daemon's address itself —
+        // no external wait loop needed even though serve is still
+        // booting on the other thread.
         let with_addr = |extra: &[&str]| -> Vec<String> {
-            ["--addr", addr.as_str()].iter().chain(extra).map(|s| s.to_string()).collect()
+            ["--port-file", port_file.as_str()].iter().chain(extra).map(|s| s.to_string()).collect()
         };
         submit(&with_addr(&["--kind", "ping"])).unwrap();
         submit(&with_addr(&["--kind", "run", "--seed", "2"])).unwrap();
@@ -1009,6 +1076,21 @@ mod tests {
         submit(&with_addr(&["--kind", "shutdown"])).unwrap();
         daemon.join().unwrap().unwrap();
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn port_file_poll_times_out_with_a_clear_error() {
+        let mut flags = HashMap::new();
+        flags.insert("port-file".to_string(), "/nonexistent/daemon.addr".to_string());
+        let err = submit_endpoint_within(&flags, std::time::Duration::from_millis(60)).unwrap_err();
+        assert!(err.contains("--port-file /nonexistent/daemon.addr"), "{err}");
+        assert!(err.contains("no daemon address appeared"), "{err}");
+        // An explicit --uds bypasses the port file entirely.
+        flags.insert("uds".to_string(), "/tmp/x.sock".to_string());
+        assert!(matches!(
+            submit_endpoint_within(&flags, std::time::Duration::from_millis(60)),
+            Ok(am_service::Endpoint::Unix(_))
+        ));
     }
 
     #[test]

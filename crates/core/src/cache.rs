@@ -56,6 +56,7 @@ use std::sync::{Arc, Mutex};
 use am_fea::TensileResult;
 
 use crate::pipeline::{MeshArtifact, PrintArtifact, SliceArtifact, ToolpathArtifact};
+use crate::spill::SpillStore;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -149,6 +150,12 @@ impl StageKey {
     pub fn to_words(self) -> [u64; 2] {
         self.0
     }
+
+    /// Rebuilds a key from [`StageKey::to_words`] words — the inverse the
+    /// persistent spill tier needs to re-index records after a restart.
+    pub fn from_words(words: [u64; 2]) -> Self {
+        StageKey(words)
+    }
 }
 
 impl fmt::Display for StageKey {
@@ -221,10 +228,28 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Live entries right now.
     pub entries: usize,
-    /// Estimated bytes held right now.
+    /// Estimated bytes held right now. Counts **resident** entries only —
+    /// spilled entries live on disk and do not consume the budget.
     pub bytes: usize,
-    /// Byte budget.
+    /// Byte budget (resident tier only).
     pub budget: usize,
+    /// Entries currently indexed in the persistent spill tier (0 when no
+    /// spill store is attached).
+    pub spill_entries: usize,
+    /// Record-body bytes currently indexed in the spill tier. Reported
+    /// separately from `bytes` — disk bytes never count against the
+    /// in-memory budget.
+    pub spill_bytes: u64,
+    /// Lookups served by rehydrating a spilled artifact (each also counts
+    /// as a `hits` — the caller got a cache hit, just a slower one).
+    pub spill_hits: u64,
+    /// Evicted artifacts appended to the spill tier.
+    pub spill_writes: u64,
+    /// Spill records dropped for failing CRC or payload validation —
+    /// recomputed, never served.
+    pub spill_corrupt_dropped: u64,
+    /// Spill appends that failed (I/O errors and injected chaos faults).
+    pub spill_write_failures: u64,
 }
 
 impl CacheStats {
@@ -268,6 +293,9 @@ struct Inner {
 pub struct StageCache {
     inner: Mutex<Inner>,
     budget: usize,
+    /// Optional persistent tier: evictions spill here, resident misses
+    /// rehydrate from here (see [`crate::SpillStore`]).
+    spill: Option<SpillStore>,
 }
 
 impl StageCache {
@@ -289,7 +317,24 @@ impl StageCache {
                 insertions: 0,
             }),
             budget: budget_bytes,
+            spill: None,
         }
+    }
+
+    /// A cache bounded at `budget_bytes` with a persistent spill tier
+    /// underneath: evicted artifacts are appended to `spill`, resident
+    /// misses consult it before reporting a miss, and entries recovered
+    /// from a previous process are rehydrated the same way. The byte
+    /// budget still bounds only the resident tier.
+    pub fn with_budget_and_spill(budget_bytes: usize, spill: SpillStore) -> Self {
+        let mut cache = StageCache::with_budget(budget_bytes);
+        cache.spill = Some(spill);
+        cache
+    }
+
+    /// The attached spill store, when one was configured.
+    pub fn spill(&self) -> Option<&SpillStore> {
+        self.spill.as_ref()
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
@@ -299,24 +344,35 @@ impl StageCache {
     }
 
     pub(crate) fn get(&self, key: StageKey) -> Option<StageArtifact> {
-        let mut guard = self.lock();
-        let inner = &mut *guard;
-        inner.tick += 1;
-        let tick = inner.tick;
-        match inner.map.get_mut(&key) {
-            Some(entry) => {
+        {
+            let mut guard = self.lock();
+            let inner = &mut *guard;
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.map.get_mut(&key) {
                 inner.recency.remove(&entry.last_used);
                 inner.recency.insert(tick, key);
                 entry.last_used = tick;
                 let value = entry.value.clone();
                 inner.hits += 1;
-                Some(value)
-            }
-            None => {
-                inner.misses += 1;
-                None
+                return Some(value);
             }
         }
+        // Resident miss: consult the spill tier outside the resident lock
+        // (rehydration does disk I/O; other lookups must not stall on it).
+        if let Some(spill) = &self.spill {
+            if let Some((value, cost)) = spill.get(key) {
+                // A rehydration is a hit — the caller gets exactly the
+                // bytes a recompute would produce, just from disk. Promote
+                // the entry back into the resident tier at its original
+                // cost so the next lookup is fast again.
+                self.lock().hits += 1;
+                self.insert(key, value.clone(), cost);
+                return Some(value);
+            }
+        }
+        self.lock().misses += 1;
+        None
     }
 
     pub(crate) fn insert(&self, key: StageKey, value: StageArtifact, cost: usize) {
@@ -325,59 +381,100 @@ impl StageCache {
             // everything and then be evicted itself; don't admit it.
             return;
         }
-        let mut guard = self.lock();
-        let inner = &mut *guard;
-        inner.tick += 1;
-        let tick = inner.tick;
-        if let Some(old) = inner.map.insert(key, Entry { value, cost, last_used: tick }) {
-            inner.bytes -= old.cost;
-            inner.recency.remove(&old.last_used);
-        }
-        inner.recency.insert(tick, key);
-        inner.bytes += cost;
-        inner.insertions += 1;
-        // LRU eviction by byte cost: pop least-recently-used entries off
-        // the recency index until the budget holds — `O(log n)` per
-        // eviction. The entry just inserted carries the newest tick, so
-        // it is only evicted if it alone exceeds budget — excluded above.
-        while inner.bytes > self.budget {
-            match inner.recency.pop_first() {
-                Some((_, k)) => {
-                    if let Some(e) = inner.map.remove(&k) {
-                        inner.bytes -= e.cost;
-                        inner.evictions += 1;
+        let mut evicted: Vec<(StageKey, Entry)> = Vec::new();
+        {
+            let mut guard = self.lock();
+            let inner = &mut *guard;
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(old) = inner.map.insert(key, Entry { value, cost, last_used: tick }) {
+                inner.bytes -= old.cost;
+                inner.recency.remove(&old.last_used);
+            }
+            inner.recency.insert(tick, key);
+            inner.bytes += cost;
+            inner.insertions += 1;
+            // LRU eviction by byte cost: pop least-recently-used entries
+            // off the recency index until the budget holds — `O(log n)`
+            // per eviction. The entry just inserted carries the newest
+            // tick, so it is only evicted if it alone exceeds budget —
+            // excluded above.
+            while inner.bytes > self.budget {
+                match inner.recency.pop_first() {
+                    Some((_, k)) => {
+                        if let Some(e) = inner.map.remove(&k) {
+                            inner.bytes -= e.cost;
+                            inner.evictions += 1;
+                            if self.spill.is_some() {
+                                evicted.push((k, e));
+                            }
+                        }
                     }
+                    None => break,
                 }
-                None => break,
+            }
+        }
+        // Spill evicted artifacts after releasing the resident lock —
+        // serialization and the disk write must not block other lookups.
+        // `SpillStore::put` is idempotent per key, so an entry that
+        // ping-pongs between tiers is written once.
+        if let Some(spill) = &self.spill {
+            for (k, e) in evicted {
+                spill.put(k, &e.value, e.cost);
             }
         }
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot (the resident tier plus the spill tier, when one
+    /// is attached).
     pub fn stats(&self) -> CacheStats {
-        let inner = self.lock();
-        CacheStats {
-            hits: inner.hits,
-            misses: inner.misses,
-            evictions: inner.evictions,
-            insertions: inner.insertions,
-            entries: inner.map.len(),
-            bytes: inner.bytes,
-            budget: self.budget,
+        let resident = {
+            let inner = self.lock();
+            CacheStats {
+                hits: inner.hits,
+                misses: inner.misses,
+                evictions: inner.evictions,
+                insertions: inner.insertions,
+                entries: inner.map.len(),
+                bytes: inner.bytes,
+                budget: self.budget,
+                ..CacheStats::default()
+            }
+        };
+        match &self.spill {
+            None => resident,
+            Some(spill) => {
+                let s = spill.stats();
+                CacheStats {
+                    spill_entries: s.entries,
+                    spill_bytes: s.bytes,
+                    spill_hits: s.hits,
+                    spill_writes: s.writes,
+                    spill_corrupt_dropped: s.corrupt_dropped,
+                    spill_write_failures: s.write_failures,
+                    ..resident
+                }
+            }
         }
     }
 
-    /// Drops every entry and resets the counters (the budget stays).
+    /// Drops every entry — resident and spilled — and resets the counters
+    /// (the budget stays).
     pub fn clear(&self) {
-        let mut inner = self.lock();
-        inner.map.clear();
-        inner.recency.clear();
-        inner.bytes = 0;
-        inner.tick = 0;
-        inner.hits = 0;
-        inner.misses = 0;
-        inner.evictions = 0;
-        inner.insertions = 0;
+        {
+            let mut inner = self.lock();
+            inner.map.clear();
+            inner.recency.clear();
+            inner.bytes = 0;
+            inner.tick = 0;
+            inner.hits = 0;
+            inner.misses = 0;
+            inner.evictions = 0;
+            inner.insertions = 0;
+        }
+        if let Some(spill) = &self.spill {
+            spill.clear();
+        }
     }
 }
 
@@ -506,5 +603,80 @@ mod tests {
         cache.clear();
         let stats = cache.stats();
         assert_eq!(stats, CacheStats { budget: StageCache::DEFAULT_BUDGET, ..CacheStats::default() });
+    }
+
+    fn spill_scratch(label: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("obfuscade-cache-spill-{}-{label}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn uts_of(artifact: StageArtifact) -> f64 {
+        artifact.into_tensile().expect("tensile artifact").uts_mpa
+    }
+
+    #[test]
+    fn evictions_spill_to_disk_and_misses_rehydrate() {
+        let dir = spill_scratch("rehydrate");
+        let store = SpillStore::open(&dir).expect("open spill");
+        let cache = StageCache::with_budget_and_spill(250, store);
+        let (ka, kb, kc) = (key_of("a"), key_of("b"), key_of("c"));
+        cache.insert(ka, tensile_artifact(1.0), 100);
+        cache.insert(kb, tensile_artifact(2.0), 100);
+        cache.insert(kc, tensile_artifact(3.0), 100); // evicts `a` → spill
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.spill_writes, 1);
+        assert!(stats.bytes <= 250, "resident bytes alone respect the budget");
+
+        // The evicted entry is a hit again — rehydrated, byte-identical.
+        let got = cache.get(ka).expect("rehydrated from spill");
+        assert!((uts_of(got) - 1.0).abs() < 1e-12);
+        let stats = cache.stats();
+        assert_eq!(stats.spill_hits, 1);
+        assert_eq!(stats.misses, 0, "a spill hit is not a miss");
+        assert!(stats.hits >= 1);
+        // Rehydration promoted `a` back to resident, evicting another
+        // entry — the budget still only counts resident bytes.
+        assert!(stats.bytes <= 250);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spill_survives_a_cache_restart() {
+        let dir = spill_scratch("restart");
+        let key = key_of("persisted");
+        {
+            let store = SpillStore::open(&dir).expect("open spill");
+            let cache = StageCache::with_budget_and_spill(150, store);
+            cache.insert(key, tensile_artifact(7.0), 100);
+            cache.insert(key_of("displacer"), tensile_artifact(8.0), 100);
+            assert_eq!(cache.stats().spill_writes, 1);
+        }
+        // A brand-new cache over the same directory: the entry is found
+        // without ever being inserted in this "process".
+        let store = SpillStore::open(&dir).expect("reopen spill");
+        let cache = StageCache::with_budget_and_spill(150, store);
+        let got = cache.get(key).expect("warm start from spill");
+        assert!((uts_of(got) - 7.0).abs() < 1e-12);
+        let stats = cache.stats();
+        assert_eq!((stats.spill_hits, stats.hits, stats.misses), (1, 1, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clear_empties_the_spill_tier_too() {
+        let dir = spill_scratch("clear");
+        let store = SpillStore::open(&dir).expect("open spill");
+        let cache = StageCache::with_budget_and_spill(150, store);
+        let key = key_of("cleared");
+        cache.insert(key, tensile_artifact(1.0), 100);
+        cache.insert(key_of("pusher"), tensile_artifact(2.0), 100);
+        cache.clear();
+        assert!(cache.get(key).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.spill_entries, stats.spill_bytes), (0, 0));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -69,6 +69,7 @@ mod pipeline;
 mod quality;
 pub mod risk;
 mod scheme;
+mod spill;
 
 pub use adversary::{
     genuine_production, repair_attack, search_sphere_scheme, search_spline_scheme, Attempt,
@@ -93,3 +94,4 @@ pub use pipeline::{
 };
 pub use quality::{assess_quality, QualityReport, QualityThresholds, Verdict};
 pub use scheme::{Authenticity, EmbeddedSphereScheme, SplineSplitScheme};
+pub use spill::{SpillStats, SpillStore};

@@ -103,6 +103,11 @@ pub struct ServiceStats {
     pub rejected_overloaded: u64,
     /// Job requests whose deadline expired before or during processing.
     pub expired_deadlines: u64,
+    /// Worker threads that died to a panicking job (each costs that job a
+    /// typed `internal` error and nothing else).
+    pub worker_panics: u64,
+    /// Worker threads respawned by the supervisor after a panic.
+    pub respawns: u64,
     /// Request-latency histogram (queue wait + pipeline time).
     pub latency: LatencyHistogram,
 }
@@ -146,6 +151,12 @@ impl MetricsSnapshot {
             ("entries".into(), Json::u64(c.entries as u64)),
             ("bytes".into(), Json::u64(c.bytes as u64)),
             ("budget".into(), Json::u64(c.budget as u64)),
+            ("spill_entries".into(), Json::u64(c.spill_entries as u64)),
+            ("spill_bytes".into(), Json::u64(c.spill_bytes)),
+            ("spill_hits".into(), Json::u64(c.spill_hits)),
+            ("spill_writes".into(), Json::u64(c.spill_writes)),
+            ("spill_corrupt_dropped".into(), Json::u64(c.spill_corrupt_dropped)),
+            ("spill_write_failures".into(), Json::u64(c.spill_write_failures)),
         ]);
         let pool = Json::Object(vec![
             ("builds".into(), Json::u64(self.solver_pool.builds)),
@@ -168,6 +179,8 @@ impl MetricsSnapshot {
                 ("completed".into(), Json::u64(s.completed)),
                 ("rejected_overloaded".into(), Json::u64(s.rejected_overloaded)),
                 ("expired_deadlines".into(), Json::u64(s.expired_deadlines)),
+                ("worker_panics".into(), Json::u64(s.worker_panics)),
+                ("respawns".into(), Json::u64(s.respawns)),
                 ("latency_count".into(), Json::u64(s.latency.count())),
                 ("latency_p50_ms".into(), Json::Number(s.latency.quantile_ms(0.50))),
                 ("latency_p95_ms".into(), Json::Number(s.latency.quantile_ms(0.95))),
@@ -195,6 +208,19 @@ impl MetricsSnapshot {
             self.cache.bytes as f64 / (1024.0 * 1024.0),
             self.cache.budget as f64 / (1024.0 * 1024.0)
         );
+        if self.cache.spill_entries > 0 || self.cache.spill_hits > 0 {
+            let _ = writeln!(
+                out,
+                "spill tier:  {} entries, {:.1} MiB on disk; {} rehydrations, {} writes, \
+                 {} corrupt dropped, {} write failures",
+                self.cache.spill_entries,
+                self.cache.spill_bytes as f64 / (1024.0 * 1024.0),
+                self.cache.spill_hits,
+                self.cache.spill_writes,
+                self.cache.spill_corrupt_dropped,
+                self.cache.spill_write_failures
+            );
+        }
         let _ = writeln!(
             out,
             "solver pool: {} scratch builds, {} reuses across {} tensile runs",
@@ -224,6 +250,13 @@ impl MetricsSnapshot {
                 s.rejected_overloaded,
                 s.expired_deadlines
             );
+            if s.worker_panics > 0 || s.respawns > 0 {
+                let _ = writeln!(
+                    out,
+                    "supervisor:  {} worker panics, {} respawns",
+                    s.worker_panics, s.respawns
+                );
+            }
             let _ = writeln!(
                 out,
                 "latency:     p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms over {} requests",
@@ -299,6 +332,31 @@ mod tests {
         // Absent service section renders as null, keeping the field present.
         let bare = MetricsSnapshot::default();
         assert!(bare.to_json().render().contains("\"service\":null"));
+    }
+
+    #[test]
+    fn snapshot_json_carries_spill_and_supervision_counters() {
+        let snapshot = MetricsSnapshot {
+            cache: CacheStats { spill_hits: 4, spill_writes: 9, ..CacheStats::default() },
+            service: Some(ServiceStats { worker_panics: 1, respawns: 1, ..Default::default() }),
+            ..MetricsSnapshot::default()
+        };
+        let json = snapshot.to_json().render();
+        for field in [
+            "\"spill_entries\":0",
+            "\"spill_bytes\":0",
+            "\"spill_hits\":4",
+            "\"spill_writes\":9",
+            "\"spill_corrupt_dropped\":0",
+            "\"spill_write_failures\":0",
+            "\"worker_panics\":1",
+            "\"respawns\":1",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+        let text = snapshot.render();
+        assert!(text.contains("spill tier"));
+        assert!(text.contains("supervisor"));
     }
 
     #[test]

@@ -29,6 +29,20 @@ pub struct Transform3 {
 }
 
 impl Transform3 {
+    /// The row-major rotation rows and the translation — the raw parts a
+    /// serialization layer needs to reconstruct this transform
+    /// bit-identically (see [`Transform3::from_raw`]).
+    pub fn to_raw(&self) -> ([Vec3; 3], Vec3) {
+        (self.rows, self.translation)
+    }
+
+    /// Rebuilds a transform from [`Transform3::to_raw`] parts. The rows
+    /// are taken verbatim; no orthonormality is enforced, so only feed
+    /// this values produced by `to_raw`.
+    pub fn from_raw(rows: [Vec3; 3], translation: Vec3) -> Self {
+        Transform3 { rows, translation }
+    }
+
     /// The identity transform.
     pub fn identity() -> Self {
         Transform3 {

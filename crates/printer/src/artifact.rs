@@ -123,6 +123,35 @@ pub struct PrintedPart {
     seed: u64,
 }
 
+/// The raw parts of a [`PrintedPart`], produced by
+/// [`PrintedPart::to_raw`] and consumed by [`PrintedPart::from_raw`] —
+/// the decomposed form a serialization layer round-trips through.
+#[derive(Debug, Clone)]
+pub struct PrintedPartRaw {
+    /// Machine profile the part was printed on.
+    pub profile: PrinterProfile,
+    /// Build-frame position of voxel `(0, 0, 0)`'s minimum corner.
+    pub origin: Point3,
+    /// In-plane voxel size (mm).
+    pub voxel_xy: f64,
+    /// Vertical voxel size (mm).
+    pub voxel_z: f64,
+    /// Grid extent along x (voxels).
+    pub nx: usize,
+    /// Grid extent along y (voxels).
+    pub ny: usize,
+    /// Grid extent along z (voxels).
+    pub nz: usize,
+    /// Per-voxel material, row-major `(k * ny + j) * nx + i`.
+    pub material: Vec<Material>,
+    /// Per-voxel body index (meaningful for model voxels only).
+    pub body: Vec<u16>,
+    /// The model→build transform the slicer used.
+    pub to_build: Transform3,
+    /// Deposition noise seed.
+    pub seed: u64,
+}
+
 impl PrintedPart {
     /// Deposits a tool path on the given machine.
     ///
@@ -392,6 +421,68 @@ impl PrintedPart {
                 }
             }
         }
+    }
+
+    /// Decomposes the artifact into its raw parts — everything a
+    /// serialization layer (the stage-cache spill tier) needs to rebuild
+    /// a bit-identical copy with [`PrintedPart::from_raw`].
+    pub fn to_raw(&self) -> PrintedPartRaw {
+        PrintedPartRaw {
+            profile: self.profile.clone(),
+            origin: self.origin,
+            voxel_xy: self.voxel_xy,
+            voxel_z: self.voxel_z,
+            nx: self.nx,
+            ny: self.ny,
+            nz: self.nz,
+            material: self.material.clone(),
+            body: self.body.clone(),
+            to_build: self.to_build,
+            seed: self.seed,
+        }
+    }
+
+    /// Rebuilds an artifact from [`PrintedPart::to_raw`] parts.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first structural inconsistency: non-positive
+    /// voxel sizes, a grid above [`PrintedPart::MAX_VOXELS`], or voxel
+    /// arrays whose length disagrees with the grid dimensions.
+    pub fn from_raw(raw: PrintedPartRaw) -> Result<Self, String> {
+        if !(raw.voxel_xy > 0.0 && raw.voxel_z > 0.0) {
+            return Err(format!(
+                "non-positive voxel sizes ({} × {})",
+                raw.voxel_xy, raw.voxel_z
+            ));
+        }
+        let voxels = (raw.nx as u128) * (raw.ny as u128) * (raw.nz as u128);
+        if voxels > u128::from(Self::MAX_VOXELS) {
+            return Err(format!("grid of {voxels} voxels exceeds the {} cap", Self::MAX_VOXELS));
+        }
+        if raw.material.len() as u128 != voxels || raw.body.len() as u128 != voxels {
+            return Err(format!(
+                "voxel arrays ({} material, {} body) disagree with the {}×{}×{} grid",
+                raw.material.len(),
+                raw.body.len(),
+                raw.nx,
+                raw.ny,
+                raw.nz
+            ));
+        }
+        Ok(PrintedPart {
+            profile: raw.profile,
+            origin: raw.origin,
+            voxel_xy: raw.voxel_xy,
+            voxel_z: raw.voxel_z,
+            nx: raw.nx,
+            ny: raw.ny,
+            nz: raw.nz,
+            material: raw.material,
+            body: raw.body,
+            to_build: raw.to_build,
+            seed: raw.seed,
+        })
     }
 
     /// The machine profile this part was printed on.

@@ -8,19 +8,32 @@
 //! body is compared byte-for-byte — any divergence between the served
 //! pipeline and a local [`obfuscade::run_pipeline_jobs`] run counts as a
 //! `mismatch` and fails the run.
+//!
+//! # Retries (PR 6)
+//!
+//! [`RetryingClient`] wraps the blocking client with read timeouts,
+//! bounded exponential backoff and transparent reconnects. Retrying a
+//! `run`/`authenticate` submission is **safe by construction**: the
+//! daemon's pipeline is deterministic and content-addressed, so a
+//! duplicate execution returns byte-identical results and at-most-once
+//! delivery is unnecessary. Only transient failures are retried —
+//! transport errors (dropped connections, timeouts) and the typed
+//! `overloaded`/`internal` responses; `malformed`, `forbidden`,
+//! `shutting_down` and `job` errors are the daemon's real answer and are
+//! returned as-is. `shutdown` is never retried.
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use am_par::Parallelism;
 use obfuscade::json::Json;
 use obfuscade::{run_pipeline_jobs, BatchJob, StageCache};
 
 use crate::protocol::{
-    encode_outcome, read_frame, write_frame, JobSpec, Request, RequestBody, Response,
+    encode_outcome, read_frame, write_frame, JobSpec, Request, RequestBody, Response, ServiceError,
 };
 
 /// Where the daemon listens.
@@ -83,15 +96,34 @@ impl Client {
     /// Connection failures; on non-Unix platforms, any
     /// [`Endpoint::Unix`].
     pub fn connect(endpoint: &Endpoint) -> io::Result<Client> {
+        Client::connect_with(endpoint, None)
+    }
+
+    /// [`Client::connect`] with a read timeout: a response that takes
+    /// longer than `read_timeout` fails the call with a transport error
+    /// instead of blocking forever (a hung daemon then surfaces as a
+    /// retryable failure).
+    ///
+    /// # Errors
+    ///
+    /// Connection failures; on non-Unix platforms, any
+    /// [`Endpoint::Unix`].
+    pub fn connect_with(
+        endpoint: &Endpoint,
+        read_timeout: Option<Duration>,
+    ) -> io::Result<Client> {
         let stream = match endpoint {
             Endpoint::Tcp(addr) => {
                 let stream = TcpStream::connect(addr)?;
                 let _ = stream.set_nodelay(true);
+                stream.set_read_timeout(read_timeout)?;
                 ClientStream::Tcp(stream)
             }
             #[cfg(unix)]
             Endpoint::Unix(path) => {
-                ClientStream::Unix(std::os::unix::net::UnixStream::connect(path)?)
+                let stream = std::os::unix::net::UnixStream::connect(path)?;
+                stream.set_read_timeout(read_timeout)?;
+                ClientStream::Unix(stream)
             }
             #[cfg(not(unix))]
             Endpoint::Unix(_) => {
@@ -203,6 +235,202 @@ impl Client {
     }
 }
 
+/// Timeout and bounded-exponential-backoff schedule for
+/// [`RetryingClient`].
+///
+/// The backoff is deterministic — no jitter — so a retried run is
+/// reproducible: attempt *k* (zero-based) sleeps
+/// `min(base_backoff · 2^(k-1), max_backoff)` before running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per request, including the first (≥ 1).
+    pub attempts: u32,
+    /// Per-read socket timeout; a response slower than this is a
+    /// transport failure (and thus retryable).
+    pub timeout: Duration,
+    /// Sleep before the first retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling: doubling stops here.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            timeout: Duration::from_secs(30),
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_millis(400),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `retry` (zero-based):
+    /// `base_backoff · 2^retry`, capped at `max_backoff`.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let factor = 1u32.checked_shl(retry).unwrap_or(u32::MAX);
+        self.base_backoff
+            .checked_mul(factor)
+            .unwrap_or(self.max_backoff)
+            .min(self.max_backoff)
+    }
+}
+
+/// Is this typed response worth retrying? Only `overloaded` (queue was
+/// momentarily full) and `internal` (the worker died; the supervisor
+/// respawns it and the submission is idempotent). Everything else —
+/// `malformed`, `forbidden`, `shutting_down`, per-job errors — is the
+/// daemon's real answer.
+fn retryable(response: &Response) -> bool {
+    matches!(
+        response,
+        Response::Error { error: ServiceError::Overloaded | ServiceError::Internal, .. }
+    )
+}
+
+/// A [`Client`] that survives daemon restarts: connects lazily, applies
+/// the [`RetryPolicy`] read timeout, and on transport failures or
+/// retryable typed errors backs off, reconnects if needed, and resends.
+///
+/// Resending is safe because `run`/`authenticate` submissions are
+/// idempotent: the pipeline is deterministic and content-addressed, so
+/// a duplicated execution produces byte-identical results. Requests
+/// with side effects (`shutdown`) are deliberately not offered here.
+pub struct RetryingClient {
+    endpoint: Endpoint,
+    policy: RetryPolicy,
+    conn: Option<Client>,
+    retries: u64,
+}
+
+impl RetryingClient {
+    /// Creates the client without connecting; the first request (or
+    /// [`RetryingClient::connect`]) establishes the connection.
+    pub fn new(endpoint: &Endpoint, policy: RetryPolicy) -> RetryingClient {
+        RetryingClient { endpoint: endpoint.clone(), policy, conn: None, retries: 0 }
+    }
+
+    /// Retries performed so far — backoff-then-resend cycles, whether
+    /// triggered by transport failures or retryable typed errors.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Establishes the connection now, retrying with backoff per the
+    /// policy. Useful to fail fast before starting a measured run.
+    ///
+    /// # Errors
+    ///
+    /// Connection still failing after all attempts.
+    pub fn connect(&mut self) -> Result<(), String> {
+        let mut last = String::new();
+        for attempt in 0..self.policy.attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(self.policy.backoff(attempt - 1));
+                self.retries += 1;
+            }
+            if self.conn.is_some() {
+                return Ok(());
+            }
+            match Client::connect_with(&self.endpoint, Some(self.policy.timeout)) {
+                Ok(client) => {
+                    self.conn = Some(client);
+                    return Ok(());
+                }
+                Err(err) => last = err.to_string(),
+            }
+        }
+        Err(format!(
+            "could not connect after {} attempts: {last}",
+            self.policy.attempts.max(1)
+        ))
+    }
+
+    /// Submits a `run` batch, retrying transient failures.
+    ///
+    /// # Errors
+    ///
+    /// Transport still failing (or the daemon still answering
+    /// `overloaded`/`internal`) after all attempts. A non-retryable
+    /// typed error comes back as `Ok(Response::Error { .. })`.
+    pub fn run(
+        &mut self,
+        jobs: &[JobSpec],
+        deadline_ms: Option<u64>,
+    ) -> Result<Response, String> {
+        self.call_with_retry(|client| client.run(jobs.to_vec(), deadline_ms))
+    }
+
+    /// Submits an `authenticate` job, retrying transient failures.
+    ///
+    /// # Errors
+    ///
+    /// As for [`RetryingClient::run`].
+    pub fn authenticate(
+        &mut self,
+        job: &JobSpec,
+        deadline_ms: Option<u64>,
+    ) -> Result<Response, String> {
+        self.call_with_retry(|client| client.authenticate(job.clone(), deadline_ms))
+    }
+
+    /// Fetches the daemon's metrics snapshot, retrying transient
+    /// failures.
+    ///
+    /// # Errors
+    ///
+    /// As for [`RetryingClient::run`], plus an unexpected response
+    /// kind.
+    pub fn stats(&mut self) -> Result<Json, String> {
+        match self.call_with_retry(|client| client.call(RequestBody::Stats))? {
+            Response::Stats { metrics, .. } => Ok(metrics),
+            other => Err(format!("expected stats, got {other:?}")),
+        }
+    }
+
+    fn call_with_retry(
+        &mut self,
+        mut send: impl FnMut(&mut Client) -> Result<Response, String>,
+    ) -> Result<Response, String> {
+        let attempts = self.policy.attempts.max(1);
+        let mut last = String::new();
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.policy.backoff(attempt - 1));
+                self.retries += 1;
+            }
+            let client = match self.conn {
+                Some(ref mut client) => client,
+                None => match Client::connect_with(&self.endpoint, Some(self.policy.timeout)) {
+                    Ok(client) => self.conn.insert(client),
+                    Err(err) => {
+                        last = format!("connect failed: {err}");
+                        continue;
+                    }
+                },
+            };
+            match send(client) {
+                Ok(response) if retryable(&response) => {
+                    // The connection is still healthy; only the request
+                    // needs another go.
+                    if let Response::Error { ref error, .. } = response {
+                        last = format!("daemon answered `{}`", error.name());
+                    }
+                }
+                Ok(response) => return Ok(response),
+                Err(err) => {
+                    // Transport failure: the stream is in an unknown
+                    // state, drop it and reconnect on the next attempt.
+                    self.conn = None;
+                    last = err;
+                }
+            }
+        }
+        Err(format!("gave up after {attempts} attempts: {last}"))
+    }
+}
+
 /// What one load run measured.
 #[derive(Debug, Clone, Default)]
 pub struct LoadReport {
@@ -216,6 +444,12 @@ pub struct LoadReport {
     pub dropped_connections: u64,
     /// Responses whose body differed from the expected wire bytes.
     pub mismatches: u64,
+    /// Backoff-then-resend cycles across all threads. A retried request
+    /// that eventually succeeds counts here and **not** in `errors` or
+    /// `dropped_connections` — a run is still [`LoadReport::clean`]
+    /// under chaos as long as every request got correct bytes in the
+    /// end.
+    pub retries: u64,
     /// Per-request round-trip latencies, sorted ascending (ms).
     pub latencies_ms: Vec<f64>,
     /// Wall-clock duration of the whole run (s).
@@ -290,6 +524,23 @@ pub fn run_load(
     jobs: &[JobSpec],
     expected: Option<&str>,
 ) -> LoadReport {
+    run_load_with(endpoint, total, concurrency, jobs, expected, &RetryPolicy::default())
+}
+
+/// [`run_load`] with an explicit [`RetryPolicy`]: each client thread
+/// drives a [`RetryingClient`], so transient failures (chaos-injected
+/// connection drops, worker panics, even a daemon restart mid-run) are
+/// retried with backoff instead of counted as errors. Only a request
+/// that still fails after exhausting the policy's attempts — or a
+/// non-retryable typed error — lands in `errors`.
+pub fn run_load_with(
+    endpoint: &Endpoint,
+    total: u64,
+    concurrency: usize,
+    jobs: &[JobSpec],
+    expected: Option<&str>,
+    policy: &RetryPolicy,
+) -> LoadReport {
     let concurrency = concurrency.max(1);
     let report = Mutex::new(LoadReport {
         requests: total,
@@ -310,21 +561,20 @@ pub fn run_load(
             let report = &report;
             let jobs = jobs.to_vec();
             scope.spawn(move || {
-                let mut client = match Client::connect(endpoint) {
-                    Ok(client) => client,
-                    Err(_) => {
-                        let mut r = report.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-                        r.dropped_connections += 1;
-                        r.errors += share;
-                        return;
-                    }
-                };
+                let mut client = RetryingClient::new(endpoint, *policy);
+                if client.connect().is_err() {
+                    let mut r = report.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                    r.dropped_connections += 1;
+                    r.errors += share;
+                    r.retries += client.retries();
+                    return;
+                }
                 let mut latencies = Vec::with_capacity(share as usize);
                 let mut errors = 0u64;
                 let mut mismatches = 0u64;
                 for _ in 0..share {
                     let sent = Instant::now();
-                    match client.run(jobs.clone(), None) {
+                    match client.run(&jobs, None) {
                         Ok(Response::Results { results, .. }) => {
                             latencies.push(sent.elapsed().as_secs_f64() * 1e3);
                             if let Some(expected) = expected {
@@ -340,6 +590,7 @@ pub fn run_load(
                 r.latencies_ms.extend(latencies);
                 r.errors += errors;
                 r.mismatches += mismatches;
+                r.retries += client.retries();
             });
         }
     });
@@ -355,6 +606,45 @@ pub fn run_load(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn backoff_doubles_deterministically_and_caps() {
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.backoff(0), Duration::from_millis(25));
+        assert_eq!(policy.backoff(1), Duration::from_millis(50));
+        assert_eq!(policy.backoff(2), Duration::from_millis(100));
+        assert_eq!(policy.backoff(3), Duration::from_millis(200));
+        assert_eq!(policy.backoff(4), Duration::from_millis(400));
+        assert_eq!(policy.backoff(5), Duration::from_millis(400));
+        assert_eq!(policy.backoff(63), Duration::from_millis(400));
+    }
+
+    #[test]
+    fn only_overloaded_and_internal_are_retryable() {
+        let wrap = |error: ServiceError| Response::Error { id: 1, error, message: String::new() };
+        assert!(retryable(&wrap(ServiceError::Overloaded)));
+        assert!(retryable(&wrap(ServiceError::Internal)));
+        assert!(!retryable(&wrap(ServiceError::Malformed)));
+        assert!(!retryable(&wrap(ServiceError::Forbidden)));
+        assert!(!retryable(&wrap(ServiceError::ShuttingDown)));
+        assert!(!retryable(&Response::Pong { id: 1 }));
+    }
+
+    #[test]
+    fn exhausted_retries_against_a_dead_endpoint_fail_with_context() {
+        let policy = RetryPolicy {
+            attempts: 2,
+            timeout: Duration::from_millis(200),
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+        };
+        // A port from the dynamic range nothing in the test suite binds.
+        let endpoint = Endpoint::Tcp("127.0.0.1:1".to_string());
+        let mut client = RetryingClient::new(&endpoint, policy);
+        let err = client.run(&[JobSpec::default()], None).unwrap_err();
+        assert!(err.contains("gave up after 2 attempts"), "{err}");
+        assert_eq!(client.retries(), 1);
+    }
 
     #[test]
     fn quantiles_are_exact_order_statistics() {

@@ -34,9 +34,12 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::{expected_results_wire, run_load, Client, Endpoint, LoadReport};
+pub use client::{
+    expected_results_wire, run_load, run_load_with, Client, Endpoint, LoadReport, RetryPolicy,
+    RetryingClient,
+};
 pub use protocol::{
     encode_outcome, read_frame, write_frame, JobSpec, Request, RequestBody, Response,
     ServiceError, MAX_FRAME,
 };
-pub use server::{Server, ServerConfig};
+pub use server::{ChaosPlan, Server, ServerConfig};

@@ -437,6 +437,11 @@ pub enum ServiceError {
     /// The pipeline itself failed (or a deadline expired mid-request);
     /// the message carries the typed pipeline error's text.
     Job,
+    /// The worker processing this job died (a panic); only this job is
+    /// affected — the worker is respawned and the queue keeps draining.
+    /// Submission is idempotent and content-addressed, so clients may
+    /// safely retry.
+    Internal,
 }
 
 impl ServiceError {
@@ -448,6 +453,7 @@ impl ServiceError {
             ServiceError::Malformed => "malformed",
             ServiceError::Forbidden => "forbidden",
             ServiceError::Job => "job",
+            ServiceError::Internal => "internal",
         }
     }
 
@@ -463,6 +469,7 @@ impl ServiceError {
             "malformed" => Ok(ServiceError::Malformed),
             "forbidden" => Ok(ServiceError::Forbidden),
             "job" => Ok(ServiceError::Job),
+            "internal" => Ok(ServiceError::Internal),
             other => Err(format!("unknown error class `{other}`")),
         }
     }

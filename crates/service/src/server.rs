@@ -24,10 +24,29 @@
 //! bound to a routable address would be one anonymous frame away from a
 //! permanent stop. Non-local shutdown attempts get a typed `forbidden`
 //! error and the daemon keeps running.
+//!
+//! # Fault tolerance (PR 6)
+//!
+//! Workers are **supervised**: each job executes under
+//! `std::panic::catch_unwind`, so a panicking job costs exactly that job
+//! — its client receives a typed `internal` error (safe to retry:
+//! submission is idempotent and content-addressed), the worker thread
+//! exits, and a supervisor thread immediately spawns a replacement so
+//! the queue keeps draining at full width. With
+//! [`ServerConfig::spill_dir`] set, the shared cache gains a crash-safe
+//! persistent spill tier ([`obfuscade::SpillStore`]) — evicted artifacts
+//! survive a daemon kill and warm-start the next process.
+//!
+//! A deterministic **chaos layer** ([`ChaosPlan`]) injects the faults
+//! this machinery defends against — accept-time connection drops,
+//! mid-frame short reads and stalls, forced worker panics, and spill
+//! write failures — all derived from one seed, so a failing run replays
+//! exactly.
 
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Sender};
@@ -37,7 +56,9 @@ use std::time::{Duration, Instant};
 
 use am_par::Parallelism;
 use obfuscade::metrics::{LatencyHistogram, MetricsSnapshot, ServiceStats};
-use obfuscade::{run_pipeline_jobs_with, BatchJob, Deadline, PipelineError, StageCache};
+use obfuscade::{
+    run_pipeline_jobs_with, BatchJob, Deadline, PipelineError, SpillStore, StageCache, StageHasher,
+};
 
 use crate::protocol::{
     encode_outcome, read_frame, write_frame, JobSpec, Request, RequestBody, Response, ServiceError,
@@ -53,6 +74,98 @@ const STOPPED: u8 = 2;
 /// How long acceptors sleep between polls of their non-blocking
 /// listeners (std has no accept-with-timeout).
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Deterministic fault-injection plan: every chaos decision is a pure
+/// function of the seed, the site name and a per-site ordinal, so a run
+/// under a given seed replays its exact fault schedule.
+///
+/// Each knob is a `one_in` rate: the fault fires on roughly one out of
+/// that many opportunities; `0` disables the site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Seed every decision derives from.
+    pub seed: u64,
+    /// Drop an accepted connection immediately (one in N accepts).
+    pub accept_drop_one_in: u64,
+    /// Serve a 1-byte short read instead of a full one (one in N reads) —
+    /// exercises the frame reassembly path.
+    pub read_chop_one_in: u64,
+    /// Stall a read for ~1 ms (one in N reads).
+    pub read_stall_one_in: u64,
+    /// Panic a worker at job pickup (one in N jobs) — exercises
+    /// supervision and the typed `internal` error.
+    pub worker_panic_one_in: u64,
+    /// Fail a spill-tier disk append (one in N writes).
+    pub spill_fail_one_in: u64,
+}
+
+impl ChaosPlan {
+    /// The default chaos mix for `seed`: frequent short reads, regular
+    /// accept drops and spill write failures, occasional stalls and
+    /// worker panics. Matches the `serve --chaos-seed` CLI flag.
+    pub fn from_seed(seed: u64) -> Self {
+        ChaosPlan {
+            seed,
+            accept_drop_one_in: 8,
+            read_chop_one_in: 4,
+            read_stall_one_in: 32,
+            worker_panic_one_in: 24,
+            spill_fail_one_in: 8,
+        }
+    }
+
+    /// The deterministic coin flip: does the `ordinal`-th opportunity at
+    /// `site` fault, at a one-in-`one_in` rate?
+    fn fires(&self, site: &str, ordinal: u64, one_in: u64) -> bool {
+        if one_in == 0 {
+            return false;
+        }
+        let mut h = StageHasher::new("obfuscade/chaos/v1");
+        h.write_u64(self.seed);
+        h.write_str(site);
+        h.write_u64(ordinal);
+        h.finish().to_words()[0].is_multiple_of(one_in)
+    }
+}
+
+/// Live chaos state: the plan plus one monotonically increasing ordinal
+/// per site, giving every opportunity a stable identity.
+struct ChaosState {
+    plan: ChaosPlan,
+    accepts: AtomicU64,
+    reads: AtomicU64,
+    jobs: AtomicU64,
+}
+
+impl ChaosState {
+    fn new(plan: ChaosPlan) -> Self {
+        ChaosState {
+            plan,
+            accepts: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
+            jobs: AtomicU64::new(0),
+        }
+    }
+
+    fn drop_accept(&self) -> bool {
+        let n = self.accepts.fetch_add(1, Ordering::Relaxed);
+        self.plan.fires("accept_drop", n, self.plan.accept_drop_one_in)
+    }
+
+    /// Read-time decision: `(stall, chop)` for this read opportunity.
+    fn read_fault(&self) -> (bool, bool) {
+        let n = self.reads.fetch_add(1, Ordering::Relaxed);
+        (
+            self.plan.fires("read_stall", n, self.plan.read_stall_one_in),
+            self.plan.fires("read_chop", n, self.plan.read_chop_one_in),
+        )
+    }
+
+    fn panic_job(&self) -> bool {
+        let n = self.jobs.fetch_add(1, Ordering::Relaxed);
+        self.plan.fires("worker_panic", n, self.plan.worker_panic_one_in)
+    }
+}
 
 /// Everything needed to boot a [`Server`].
 #[derive(Debug, Clone)]
@@ -80,6 +193,12 @@ pub struct ServerConfig {
     /// any anonymous client could otherwise stop the daemon permanently.
     /// Loopback TCP peers and Unix-socket peers may always shut down.
     pub allow_remote_shutdown: bool,
+    /// Directory of the persistent spill tier. When set, cache evictions
+    /// spill to CRC-checked segment files there and a restarted daemon
+    /// pointed at the same directory warm-starts from them.
+    pub spill_dir: Option<PathBuf>,
+    /// Deterministic fault injection; `None` (the default) runs clean.
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl Default for ServerConfig {
@@ -92,6 +211,8 @@ impl Default for ServerConfig {
             parallelism: Parallelism::serial(),
             cache_budget: StageCache::DEFAULT_BUDGET,
             allow_remote_shutdown: false,
+            spill_dir: None,
+            chaos: None,
         }
     }
 }
@@ -130,7 +251,23 @@ struct Shared {
     completed: AtomicU64,
     rejected: AtomicU64,
     expired: AtomicU64,
+    worker_panics: AtomicU64,
+    respawns: AtomicU64,
     latency: Mutex<LatencyHistogram>,
+    chaos: Option<ChaosState>,
+    /// Handles of live (and exited) worker threads. The supervisor pushes
+    /// replacements here; [`Server::join`] drains it.
+    worker_handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Channel to the supervisor thread (worker-death notices, stop).
+    supervisor: Mutex<Option<Sender<SupervisorMsg>>>,
+}
+
+/// Messages to the supervisor thread.
+enum SupervisorMsg {
+    /// A worker thread is exiting after a caught panic.
+    WorkerDied,
+    /// The drain completed; the supervisor should exit.
+    Stop,
 }
 
 /// Locks a mutex, recovering the guard from a poisoned lock — the state
@@ -157,6 +294,8 @@ impl Shared {
             completed: self.completed.load(Ordering::SeqCst),
             rejected_overloaded: self.rejected.load(Ordering::SeqCst),
             expired_deadlines: self.expired.load(Ordering::SeqCst),
+            worker_panics: self.worker_panics.load(Ordering::SeqCst),
+            respawns: self.respawns.load(Ordering::SeqCst),
             latency: *lock(&self.latency),
         });
         snapshot
@@ -173,19 +312,37 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the listeners and spawns acceptor and worker threads.
+    /// Binds the listeners and spawns acceptor, worker and supervisor
+    /// threads (and opens the spill tier, when configured).
     ///
     /// # Errors
     ///
-    /// Bind/configuration failures, or a `unix_socket` path on a
-    /// non-Unix platform.
+    /// Bind/configuration failures, a `unix_socket` path on a non-Unix
+    /// platform, or an unusable `spill_dir`.
     pub fn start(config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
 
+        let cache = match &config.spill_dir {
+            None => StageCache::with_budget(config.cache_budget),
+            Some(dir) => {
+                let store = SpillStore::open(dir)?;
+                if let Some(plan) = config.chaos {
+                    if plan.spill_fail_one_in > 0 {
+                        // The write ordinal is already a stable per-site
+                        // counter — feed it straight into the plan.
+                        store.set_write_fault(move |ordinal| {
+                            plan.fires("spill_fail", ordinal, plan.spill_fail_one_in)
+                        });
+                    }
+                }
+                StageCache::with_budget_and_spill(config.cache_budget, store)
+            }
+        };
+
         let shared = Arc::new(Shared {
-            cache: StageCache::with_budget(config.cache_budget),
+            cache,
             parallelism: config.parallelism,
             workers: config.workers.max(1),
             queue_capacity: config.queue_capacity.max(1),
@@ -200,7 +357,12 @@ impl Server {
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             expired: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            respawns: AtomicU64::new(0),
             latency: Mutex::new(LatencyHistogram::default()),
+            chaos: config.chaos.map(ChaosState::new),
+            worker_handles: Mutex::new(Vec::new()),
+            supervisor: Mutex::new(None),
         });
 
         let mut threads = Vec::new();
@@ -211,9 +373,15 @@ impl Server {
         if let Some(path) = config.unix_socket.clone() {
             threads.push(unix_acceptor_thread(Arc::clone(&shared), path)?);
         }
+
+        let (tx, rx) = mpsc::channel::<SupervisorMsg>();
+        *lock(&shared.supervisor) = Some(tx);
         for _ in 0..shared.workers {
+            spawn_worker(&shared);
+        }
+        {
             let shared = Arc::clone(&shared);
-            threads.push(thread::spawn(move || worker_loop(shared)));
+            threads.push(thread::spawn(move || supervisor_loop(shared, rx)));
         }
         Ok(Server { shared, addr, threads })
     }
@@ -236,10 +404,18 @@ impl Server {
         drain(&self.shared);
     }
 
-    /// Waits for every acceptor and worker thread to exit. Returns only
-    /// after a shutdown (wire or [`Server::begin_shutdown`]) completed.
+    /// Waits for every acceptor, supervisor and worker thread to exit.
+    /// Returns only after a shutdown (wire or [`Server::begin_shutdown`])
+    /// completed.
     pub fn join(self) {
         for handle in self.threads {
+            let _ = handle.join();
+        }
+        // Workers live in shared state (the supervisor spawns
+        // replacements at runtime); drain whatever is there once the
+        // supervisor has exited.
+        loop {
+            let Some(handle) = lock(&self.shared.worker_handles).pop() else { break };
             let _ = handle.join();
         }
     }
@@ -266,11 +442,43 @@ fn drain(shared: &Shared) -> u64 {
     drop(queue);
     shared.phase.store(STOPPED, Ordering::SeqCst);
     shared.queue_cv.notify_all();
+    // The drain is complete; release the supervisor. Dropping the sender
+    // also closes the channel, so a second drain is a no-op here.
+    if let Some(tx) = lock(&shared.supervisor).take() {
+        let _ = tx.send(SupervisorMsg::Stop);
+    }
     shared.completed.load(Ordering::SeqCst)
 }
 
+/// Spawns one worker thread, tracking its handle in shared state.
+fn spawn_worker(shared: &Arc<Shared>) {
+    let worker_shared = Arc::clone(shared);
+    let handle = thread::spawn(move || worker_loop(worker_shared));
+    lock(&shared.worker_handles).push(handle);
+}
+
+/// Supervisor: replaces every worker that dies to a panicking job, as
+/// long as the daemon has not stopped. Exits on `Stop` (sent when the
+/// drain completes) or when every sender is gone.
+fn supervisor_loop(shared: Arc<Shared>, rx: mpsc::Receiver<SupervisorMsg>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            SupervisorMsg::WorkerDied => {
+                if shared.phase() == STOPPED {
+                    continue;
+                }
+                shared.respawns.fetch_add(1, Ordering::SeqCst);
+                spawn_worker(&shared);
+            }
+            SupervisorMsg::Stop => break,
+        }
+    }
+}
+
 /// Worker: pop, execute, reply, account. Exits once the daemon is
-/// draining and the queue is empty.
+/// draining and the queue is empty — or after a job panics, in which
+/// case the job's client gets a typed `internal` error, the supervisor
+/// is told to spawn a replacement, and this thread unwinds cleanly.
 fn worker_loop(shared: Arc<Shared>) {
     loop {
         let job = {
@@ -292,7 +500,33 @@ fn worker_loop(shared: Arc<Shared>) {
                     .unwrap_or_else(PoisonError::into_inner);
             }
         };
-        let response = execute(&shared, job.request_id, job.work, job.deadline);
+        let id = job.request_id;
+        // The panic boundary: a job that unwinds — the pipeline's own
+        // bug, or a chaos-forced panic — costs exactly this job. Shared
+        // state stays coherent (every mutex here recovers from poison,
+        // and the accounting below runs on both paths).
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(chaos) = &shared.chaos {
+                if chaos.panic_job() {
+                    panic!("chaos-injected worker panic");
+                }
+            }
+            execute(&shared, id, job.work, job.deadline)
+        }));
+        let (response, panicked) = match outcome {
+            Ok(response) => (response, false),
+            Err(_) => {
+                shared.worker_panics.fetch_add(1, Ordering::SeqCst);
+                let error = Response::Error {
+                    id,
+                    error: ServiceError::Internal,
+                    message: "the worker processing this job died; the job was not \
+                              completed — submission is idempotent, retry is safe"
+                        .to_string(),
+                };
+                (error, true)
+            }
+        };
         // Account *before* replying: a client that sees its response and
         // immediately asks for stats must observe the completion.
         let waited_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
@@ -301,6 +535,14 @@ fn worker_loop(shared: Arc<Shared>) {
         let _ = job.reply.send(response.encode());
         shared.in_flight.fetch_sub(1, Ordering::SeqCst);
         shared.drained_cv.notify_all();
+        if panicked {
+            // Die visibly: tell the supervisor to replace this worker,
+            // then exit. The queue keeps draining on the replacement.
+            if let Some(tx) = lock(&shared.supervisor).as_ref() {
+                let _ = tx.send(SupervisorMsg::WorkerDied);
+            }
+            return;
+        }
     }
 }
 
@@ -496,6 +738,38 @@ where
     let _ = writer_thread.join();
 }
 
+/// A `Read` wrapper that injects deterministic chaos into the
+/// connection's byte stream: occasional ~1 ms stalls and 1-byte short
+/// reads. `read_frame` reassembles via `read_exact`, so chopped reads
+/// must still yield byte-identical frames — that is exactly the
+/// robustness property the chaos layer exists to exercise.
+struct ChaosReader<R> {
+    inner: R,
+    shared: Arc<Shared>,
+}
+
+impl<R: Read> Read for ChaosReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if let Some(chaos) = &self.shared.chaos {
+            let (stall, chop) = chaos.read_fault();
+            if stall {
+                thread::sleep(Duration::from_millis(1));
+            }
+            if chop && buf.len() > 1 {
+                return self.inner.read(&mut buf[..1]);
+            }
+        }
+        self.inner.read(buf)
+    }
+}
+
+/// Chaos accept gate: `true` means this freshly accepted connection
+/// should be dropped on the floor (the client sees an immediate EOF and
+/// owns the retry).
+fn chaos_drops_accept(shared: &Shared) -> bool {
+    shared.chaos.as_ref().is_some_and(ChaosState::drop_accept)
+}
+
 /// TCP acceptor: polls the non-blocking listener, spawning one detached
 /// connection thread per accept, until the daemon stops.
 fn tcp_acceptor(shared: Arc<Shared>, listener: TcpListener) {
@@ -505,13 +779,20 @@ fn tcp_acceptor(shared: Arc<Shared>, listener: TcpListener) {
         }
         match listener.accept() {
             Ok((stream, peer)) => {
+                if chaos_drops_accept(&shared) {
+                    drop(stream);
+                    continue;
+                }
                 let _ = stream.set_nonblocking(false);
                 let _ = stream.set_nodelay(true);
                 shared.connections.fetch_add(1, Ordering::SeqCst);
                 let local_peer = peer.ip().is_loopback();
                 if let Ok(reader) = stream.try_clone() {
                     let shared = Arc::clone(&shared);
-                    thread::spawn(move || handle_connection(shared, reader, stream, local_peer));
+                    thread::spawn(move || {
+                        let chaos_reader = ChaosReader { inner: reader, shared: Arc::clone(&shared) };
+                        handle_connection(shared, chaos_reader, stream, local_peer)
+                    });
                 }
             }
             Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
@@ -536,12 +817,20 @@ fn unix_acceptor_thread(shared: Arc<Shared>, path: PathBuf) -> io::Result<JoinHa
             }
             match listener.accept() {
                 Ok((stream, _peer)) => {
+                    if chaos_drops_accept(&shared) {
+                        drop(stream);
+                        continue;
+                    }
                     let _ = stream.set_nonblocking(false);
                     shared.connections.fetch_add(1, Ordering::SeqCst);
                     if let Ok(reader) = stream.try_clone() {
                         let shared = Arc::clone(&shared);
                         // A Unix-socket peer is local by construction.
-                        thread::spawn(move || handle_connection(shared, reader, stream, true));
+                        thread::spawn(move || {
+                            let chaos_reader =
+                                ChaosReader { inner: reader, shared: Arc::clone(&shared) };
+                            handle_connection(shared, chaos_reader, stream, true)
+                        });
                     }
                 }
                 Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
@@ -652,6 +941,71 @@ mod tests {
         let mut client = Client::connect(&endpoint).expect("connect");
         client.ping().expect("daemon still answers");
         client.shutdown().expect("loopback shutdown is allowed");
+        server.join();
+    }
+
+    #[test]
+    fn panicking_workers_are_respawned_and_retries_still_get_correct_bytes() {
+        use crate::client::{expected_results_wire, RetryingClient, RetryPolicy};
+
+        // Panic roughly every other job; leave the transport untouched so
+        // the test isolates the supervision path.
+        let plan = ChaosPlan {
+            seed: 11,
+            accept_drop_one_in: 0,
+            read_chop_one_in: 0,
+            read_stall_one_in: 0,
+            worker_panic_one_in: 2,
+            spill_fail_one_in: 0,
+        };
+        let server = Server::start(ServerConfig {
+            workers: 2,
+            queue_capacity: 8,
+            chaos: Some(plan),
+            ..ServerConfig::default()
+        })
+        .expect("server boots on a loopback port");
+        let endpoint = Endpoint::Tcp(server.addr().to_string());
+
+        let jobs = vec![JobSpec::default()];
+        let expected = expected_results_wire(&jobs).expect("reference run");
+        let policy = RetryPolicy {
+            attempts: 16,
+            base_backoff: std::time::Duration::from_millis(1),
+            max_backoff: std::time::Duration::from_millis(8),
+            ..RetryPolicy::default()
+        };
+        let mut client = RetryingClient::new(&endpoint, policy);
+        for _ in 0..8 {
+            let response = client.run(&jobs, None).expect("retries outlast the chaos");
+            let Response::Results { results, .. } = response else {
+                panic!("expected results, got {response:?}");
+            };
+            assert_eq!(
+                obfuscade::json::Json::Array(results).render(),
+                expected,
+                "a retried job must still return byte-identical results"
+            );
+        }
+        assert!(client.retries() > 0, "a one-in-two panic rate must force retries");
+
+        let mut plain = Client::connect(&endpoint).expect("connect");
+        let metrics = plain.stats().expect("stats");
+        let counter = |name: &str| {
+            metrics
+                .get("service")
+                .and_then(|s| s.get(name))
+                .and_then(obfuscade::json::Json::as_u64)
+                .unwrap_or(0)
+        };
+        assert!(counter("worker_panics") > 0, "chaos must have killed at least one worker");
+        assert_eq!(
+            counter("worker_panics"),
+            counter("respawns"),
+            "every dead worker gets replaced"
+        );
+
+        plain.shutdown().expect("shutdown");
         server.join();
     }
 

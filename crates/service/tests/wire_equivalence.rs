@@ -6,7 +6,8 @@
 //! across connections sharing the daemon's stage cache.
 
 use am_service::{
-    expected_results_wire, Client, Endpoint, JobSpec, Response, Server, ServerConfig,
+    expected_results_wire, ChaosPlan, Client, Endpoint, JobSpec, Response, RetryPolicy,
+    RetryingClient, Server, ServerConfig,
 };
 use obfuscade::json::Json;
 use proptest::prelude::*;
@@ -94,6 +95,79 @@ proptest! {
         prop_assert!(hits > 0, "identical batches across connections produced no cache hits");
 
         client.shutdown().expect("shutdown");
+        server.join();
+    }
+
+    /// PR 6: the determinism contract must survive chaos. With seeded
+    /// connection drops, short/stalled reads, and worker panics active,
+    /// a retrying client's accepted-and-completed batches still come
+    /// back byte-identical to the in-process run — across worker counts
+    /// {1, 2, 4}. Transient failures are absorbed by reconnect + retry;
+    /// they must never surface as different bytes.
+    #[test]
+    fn chaos_injected_batches_stay_byte_identical(
+        chaos_seed in 1..10_000u64,
+        fault_seed in 1..10_000u64,
+        seed in 1..1_000u64,
+        workers_idx in 0..WORKER_COUNTS.len(),
+    ) {
+        let jobs = mixed_batch(FAULT_SPECS[1], fault_seed, seed);
+        let expected = expected_results_wire(&jobs).expect("in-process reference run");
+
+        let server = Server::start(ServerConfig {
+            workers: WORKER_COUNTS[workers_idx],
+            chaos: Some(ChaosPlan {
+                // Aggressive transport chaos plus worker panics; spill
+                // faults are irrelevant here (no spill dir).
+                accept_drop_one_in: 3,
+                read_chop_one_in: 2,
+                read_stall_one_in: 16,
+                worker_panic_one_in: 5,
+                ..ChaosPlan::from_seed(chaos_seed)
+            }),
+            ..ServerConfig::default()
+        })
+        .expect("server boots");
+        let endpoint = Endpoint::Tcp(server.addr().to_string());
+
+        let policy = RetryPolicy {
+            attempts: 24,
+            base_backoff: std::time::Duration::from_millis(1),
+            max_backoff: std::time::Duration::from_millis(8),
+            ..RetryPolicy::default()
+        };
+        for round in 0..2 {
+            let mut client = RetryingClient::new(&endpoint, policy);
+            let response = client.run(&jobs, None).expect("retries outlast the chaos");
+            let Response::Results { results, .. } = response else {
+                panic!("round {round}: expected results, got {response:?}");
+            };
+            prop_assert_eq!(
+                Json::Array(results).render(),
+                expected.clone(),
+                "chaos broke the determinism contract (round {}, workers {}, chaos seed {})",
+                round,
+                WORKER_COUNTS[workers_idx],
+                chaos_seed
+            );
+        }
+
+        // Shutdown must come from a plain client (never retried), and
+        // even reaching the daemon may take a few tries under accept
+        // drops.
+        for attempt in 0..16 {
+            let Ok(mut client) = Client::connect(&endpoint) else {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                continue;
+            };
+            match client.shutdown() {
+                Ok(_) => break,
+                Err(err) => {
+                    prop_assert!(attempt < 15, "shutdown never got through: {}", err);
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+            }
+        }
         server.join();
     }
 }

@@ -48,7 +48,7 @@ mod slice;
 mod toolpath;
 
 pub use config::{ConfigError, InfillStyle, SlicerConfig};
-pub use diagnostics::{diagnose_slices, SliceReport};
+pub use diagnostics::{diagnose_slices, SeamExposure, SliceReport};
 pub use gcode::{parse_gcode, to_gcode, GcodeError};
 pub use orientation::{build_transform, orient_mesh, orient_shells, Orientation};
 pub use preview::{render_layer_ascii, render_layer_with_seam};
