@@ -25,15 +25,21 @@
 #    response byte-identical. The restarted daemon must show warm-start
 #    spill hits (rehydrated from segment files written before the kill)
 #    and zero corrupt entries served.
-# 6. bench regression gate: the committed BENCH_PR6.json must parse
-#    against the obfuscade-bench/v5 schema with every kernel speedup
-#    >= 1.0x, the fea row's optimized wall clock within half of PR 3's
-#    committed 1157.7 ms (the Newton-PCG solver must stay >= 2x faster
-#    than the relaxation kernel it replaced), AND a clean daemon load
-#    result in the mandatory `serve` section — which v5 extends with the
-#    spill_hits/retries/respawns robustness counters (the smoke reports
-#    are schema-validated on write but not speedup-gated — tiny
-#    workloads are too noisy to threshold)
+# 6. bench regression gate: the committed BENCH_PR7.json must parse
+#    against the obfuscade-bench/v6 schema — which adds per-kernel
+#    spans_planned/span_fill_voxels deposition counters and the serve
+#    section's warmup_requests (one untimed byte-verified round before
+#    the timed load, so p99 measures steady state) — with every kernel
+#    speedup >= 1.0x, the fea row's optimized wall clock within half of
+#    PR 3's committed 1157.7 ms (the Newton-PCG solver must stay >= 2x
+#    faster than the relaxation kernel it replaced), a clean daemon load
+#    in the mandatory `serve` section, AND per-kernel speedup floors:
+#    printing >= 3.5x (the span-plan stamper's measured 4.08x minus box
+#    noise; DESIGN.md §13 documents why the ISSUE's 5x is out of reach
+#    on one core) and slicing >= 5.7x (PR 6's 6.0x minus 5% — the raster
+#    span-plan split must not regress it; it measured 6.47x). Smoke
+#    reports are schema-validated on write but not speedup-gated — tiny
+#    workloads are too noisy to threshold.
 # 7. clippy as an error wall, with `clippy::unwrap_used` additionally
 #    enabled for library and binary code (test code may unwrap freely —
 #    a failing assertion *is* its error report)
@@ -121,7 +127,8 @@ done
 [ "$SHUT" = ok ] || { echo "ci: chaos daemon refused shutdown" >&2; exit 1; }
 wait "$CHAOS_PID"
 
-./target/release/obfuscade bench --check BENCH_PR6.json --fea-budget-ms 578.9 --require-serve
+./target/release/obfuscade bench --check BENCH_PR7.json --fea-budget-ms 578.9 --require-serve \
+    --min-speedup printing=3.5,slicing=5.7
 cargo clippy --workspace --all-targets -- -D warnings
 cargo clippy --workspace --lib --bins -- -D warnings -W clippy::unwrap_used
 

@@ -120,11 +120,13 @@ COMMANDS:
                                                 p50/p95/p99 latency + throughput)
                      [--only KERNEL]            slicing|printing|fea|sweep|
                                                 all_experiments|serve
-                     [--out FILE.json]          (default BENCH_PR5.json)
+                     [--out FILE.json]          (default BENCH_PR7.json)
                      [--check FILE.json]        validate an existing report instead of
                                                 benchmarking; fail on any speedup < 1.0
                      [--fea-budget-ms MS]       with --check: also fail if the fea row's
                                                 optimized time exceeds MS milliseconds
+                     [--min-speedup LIST]       with --check: per-kernel speedup floors,
+                                                e.g. printing=3.5,slicing=5.7
                      [--require-serve]          with --check: also fail unless the
                                                 report carries a daemon (serve) result
     help           show this text
@@ -647,6 +649,30 @@ pub fn bench(args: &[String]) -> CliResult {
                 regressions.join(", ")
             ));
         }
+        // PR 7: `--min-speedup printing=3.5,slicing=5.7` raises the floor
+        // above the blanket 1.0× for named kernels, so a kernel that a PR
+        // specifically optimized cannot silently decay back toward parity.
+        if let Some(list) = flags.get("min-speedup") {
+            for entry in list.split(',').filter(|e| !e.is_empty()) {
+                let (name, min) = entry
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad --min-speedup entry `{entry}` (want name=X)"))?;
+                let min: f64 = min
+                    .parse()
+                    .map_err(|_| format!("bad --min-speedup floor in `{entry}`"))?;
+                let speedup = speedups
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|&(_, s)| s)
+                    .ok_or_else(|| format!("{path}: no '{name}' kernel row for --min-speedup"))?;
+                if speedup < min {
+                    return Err(format!(
+                        "{path}: {name} speedup {speedup:.2}x below the {min:.2}x floor"
+                    ));
+                }
+                println!("  {name:<16} {speedup:>6.2}x  >= {min:.2}x floor");
+            }
+        }
         if let Some(budget) = flags.get("fea-budget-ms") {
             let budget: f64 =
                 budget.parse().map_err(|_| format!("bad --fea-budget-ms value `{budget}`"))?;
@@ -688,7 +714,7 @@ pub fn bench(args: &[String]) -> CliResult {
         solver: solver_flag(&flags)?,
         serve: flags.contains_key("serve"),
     };
-    let out_path = flags.get("out").map(String::as_str).unwrap_or("BENCH_PR5.json");
+    let out_path = flags.get("out").map(String::as_str).unwrap_or("BENCH_PR7.json");
     let only = flags.get("only").map(String::as_str);
     if let Some(name) = only {
         if !["slicing", "printing", "fea", "sweep", "all_experiments", "serve"].contains(&name) {

@@ -7,7 +7,7 @@
 //! measure honest end-to-end speedups, so the selection lives in a process
 //! global rather than threading a flag through every experiment signature.
 //!
-//! Production code never touches this: the default is [`KernelMode::Optimized`]
+//! Production code never touches this: the default is [`KernelMode::SpanPlan`]
 //! and only `obfuscade-cli bench` flips it.
 //!
 //! The tensile *solver* (Newton–PCG vs. damped relaxation) is deliberately
@@ -28,15 +28,21 @@ pub enum KernelMode {
     /// gather-based FEA kernel (optionally parallel via
     /// [`ProcessPlan::parallelism`](crate::ProcessPlan)).
     Optimized,
+    /// [`Optimized`](KernelMode::Optimized) everywhere except deposition,
+    /// which runs the two-phase scanline span-plan stamper (DESIGN.md §13):
+    /// plan per-row `[x_start, x_end)` spans, then execute them as whole
+    /// slice fills. Bit-identical to the other two modes; the default.
+    SpanPlan,
 }
 
-static KERNEL_MODE: AtomicU8 = AtomicU8::new(1);
+static KERNEL_MODE: AtomicU8 = AtomicU8::new(2);
 
 /// Selects the pipeline's kernel implementation process-wide.
 pub fn set_kernel_mode(mode: KernelMode) {
     let v = match mode {
         KernelMode::Reference => 0,
         KernelMode::Optimized => 1,
+        KernelMode::SpanPlan => 2,
     };
     KERNEL_MODE.store(v, Ordering::Relaxed);
 }
@@ -45,20 +51,28 @@ pub fn set_kernel_mode(mode: KernelMode) {
 pub fn kernel_mode() -> KernelMode {
     match KERNEL_MODE.load(Ordering::Relaxed) {
         0 => KernelMode::Reference,
-        _ => KernelMode::Optimized,
+        1 => KernelMode::Optimized,
+        _ => KernelMode::SpanPlan,
     }
 }
+
+/// Serializes tests that flip the process-global mode — without it, two
+/// `#[test]`s mutating [`KERNEL_MODE`] in the same binary could interleave.
+#[cfg(test)]
+pub(crate) static KERNEL_MODE_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn defaults_to_optimized_and_round_trips() {
-        assert_eq!(kernel_mode(), KernelMode::Optimized);
-        set_kernel_mode(KernelMode::Reference);
-        assert_eq!(kernel_mode(), KernelMode::Reference);
-        set_kernel_mode(KernelMode::Optimized);
-        assert_eq!(kernel_mode(), KernelMode::Optimized);
+    fn defaults_to_span_plan_and_round_trips() {
+        let _guard = KERNEL_MODE_TEST_LOCK.lock().unwrap();
+        assert_eq!(kernel_mode(), KernelMode::SpanPlan);
+        for mode in [KernelMode::Reference, KernelMode::Optimized, KernelMode::SpanPlan] {
+            set_kernel_mode(mode);
+            assert_eq!(kernel_mode(), mode);
+        }
+        set_kernel_mode(KernelMode::SpanPlan);
     }
 }

@@ -851,9 +851,11 @@ fn mesh_key(part: &Part, plan: &ProcessPlan, faults: &FaultPlan) -> StageKey {
 }
 
 /// Slice-stage key: mesh key + orientation + the plan's slicer config,
-/// poisoned by slicer faults. The kernel mode enters here (slicing is the
-/// first kernel-dispatched stage) and every downstream key inherits it
-/// through the chain, so `Reference` and `Optimized` runs never alias.
+/// poisoned by slicer faults. The kernel mode's discriminant enters here
+/// (slicing is the first kernel-dispatched stage) and every downstream key
+/// inherits it through the chain, so `Reference`, `Optimized`, and
+/// `SpanPlan` runs never alias — a `SpanPlan` print never resurrects a
+/// cached `Optimized` `print` entry or vice versa.
 fn slice_key(mesh: StageKey, plan: &ProcessPlan, faults: &FaultPlan) -> StageKey {
     let mut h = StageHasher::new("obfuscade/slice/v2");
     h.write_key(mesh);
@@ -1031,7 +1033,7 @@ fn slice_stage(
         .collect();
     let to_build = build_transform(&mesh.shells, plan.orientation).then(&bed_margin);
     let sliced = match kernel_mode() {
-        KernelMode::Optimized => {
+        KernelMode::Optimized | KernelMode::SpanPlan => {
             try_slice_shells_with(&oriented, config.layer_height, plan.parallelism)
         }
         KernelMode::Reference => slice_shells_scan(&oriented, config.layer_height),
@@ -1129,6 +1131,13 @@ fn print_stage(
     let mut outcomes: Vec<StageOutcome> = Vec::new();
 
     let mut printed = match kernel_mode() {
+        KernelMode::SpanPlan => PrintedPart::try_from_toolpath_planned(
+            &toolpath.toolpath,
+            &plan.printer,
+            slice.to_build,
+            plan.seed,
+            plan.parallelism,
+        ),
         KernelMode::Optimized => PrintedPart::try_from_toolpath_with(
             &toolpath.toolpath,
             &plan.printer,
@@ -1169,7 +1178,7 @@ fn tensile_stage(
     let mut lattice = Lattice::try_from_printed(&print.printed, &tensile_config, plan.seed)
         .map_err(PipelineError::Tensile)?;
     match kernel_mode() {
-        KernelMode::Optimized => fea_solver_pool()
+        KernelMode::Optimized | KernelMode::SpanPlan => fea_solver_pool()
             .run(&mut lattice, &tensile_config, plan.parallelism)
             .map_err(PipelineError::Tensile),
         KernelMode::Reference => try_run_tensile_test_reference(&mut lattice, &tensile_config)
@@ -1409,6 +1418,42 @@ mod tests {
 
     fn keys_for(part: &Part, plan: &ProcessPlan) -> PlanKeys {
         plan_keys(part, plan, &FaultPlan::none())
+    }
+
+    /// Each kernel mode must hash to its own key chain: the three modes
+    /// produce bit-identical artifacts, but a cached entry records which
+    /// implementation produced it, and the bench harness relies on a mode
+    /// switch forcing a recompute. A new discriminant aliasing an old one
+    /// would silently serve `Optimized`-era `print` entries to `SpanPlan`.
+    #[test]
+    fn kernel_modes_never_alias_stage_keys() {
+        let _guard = crate::perf::KERNEL_MODE_TEST_LOCK.lock().unwrap();
+        let part = base_part();
+        let plan = ProcessPlan::fdm(Resolution::Coarse, Orientation::Xy);
+        let modes = [KernelMode::Reference, KernelMode::Optimized, KernelMode::SpanPlan];
+        let keys: Vec<PlanKeys> = modes
+            .iter()
+            .map(|&mode| {
+                crate::perf::set_kernel_mode(mode);
+                keys_for(&part, &plan)
+            })
+            .collect();
+        crate::perf::set_kernel_mode(KernelMode::SpanPlan);
+        for a in 0..modes.len() {
+            for b in a + 1..modes.len() {
+                for (stage, ka, kb) in [
+                    ("slice", keys[a].slice, keys[b].slice),
+                    ("toolpath", keys[a].toolpath, keys[b].toolpath),
+                    ("print", keys[a].print, keys[b].print),
+                ] {
+                    assert_ne!(
+                        ka, kb,
+                        "{stage} key aliases between {:?} and {:?}",
+                        modes[a], modes[b]
+                    );
+                }
+            }
+        }
     }
 
     /// The cache-correctness pin the hashing scheme rests on: perturbing

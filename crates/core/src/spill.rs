@@ -746,6 +746,7 @@ fn dec_printed(r: &mut ByteReader<'_>) -> Result<PrintedPart, String> {
         to_build,
         seed,
     })
+    .map_err(|e| e.to_string())
 }
 
 fn enc_tensile(w: &mut ByteWriter, result: &TensileResult) {

@@ -1,0 +1,95 @@
+//! Bit-identity of the span-plan deposition kernel vs the stamper oracle
+//! (ISSUE 7).
+//!
+//! The span-plan kernel replans every layer's roads into row spans and
+//! fills them whole; the road-at-a-time reference stamper stays in the
+//! tree as the oracle. This property drives the *full pipeline* — random
+//! specimens through slicing, tool-path planning, seeded fault injection,
+//! and deposition — once under [`KernelMode::Reference`] and then under
+//! [`KernelMode::SpanPlan`] at every thread budget in {1, 2, 4, 8}, and
+//! requires the complete `Debug` rendering of the output to match. Rust
+//! prints `f64`s shortest-round-trip, so one ULP of drift anywhere in the
+//! voxel grid, body attribution, scan report, or diagnostics breaks the
+//! string equality.
+//!
+//! This file stays a single-`#[test]` binary on purpose: the kernel mode
+//! is a process-wide global, and a sibling test in the same binary would
+//! race the flips.
+
+use am_cad::parts::{prism_with_sphere, PrismDims};
+use am_cad::{BodyKind, MaterialRemoval, Part};
+use am_geom::Point3;
+use am_mesh::Resolution;
+use am_par::Parallelism;
+use am_slicer::{Orientation, SlicerConfig};
+use obfuscade::{
+    run_pipeline_with_faults, set_kernel_mode, FaultPlan, KernelMode, ProcessPlan,
+};
+use proptest::prelude::*;
+
+/// Fault specs spanning the catalog's stages, plus the clean run — the
+/// same spread the thread-count determinism property uses. Tool-path
+/// faults matter most here: duplicated and dropped roads reshape the
+/// span plans the kernel compiles.
+const FAULT_SPECS: &[&str] = &[
+    "",
+    "stl.degenerate=3",
+    "toolpath.dup=0.5 toolpath.drop=0.2",
+    "stl.drift=0.2:4 firmware.escape=250",
+    "slicer.zero_layer toolpath.drop=0.5",
+];
+
+fn fault_plan(spec: &str, seed: u64) -> FaultPlan {
+    if spec.is_empty() {
+        FaultPlan::none().with_seed(seed)
+    } else {
+        spec.parse::<FaultPlan>().expect(spec).with_seed(seed)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn span_plan_matches_stamper_oracle_across_threads(
+        spec_idx in 0..FAULT_SPECS.len(),
+        fault_seed in 1..10_000u64,
+        orient_idx in 0..2usize,
+        layer in 0.5..0.9f64,
+        sphere_radius in 2.0..4.0f64,
+    ) {
+        let dims = PrismDims { size: Point3::new(25.4, 12.7, 12.7), sphere_radius };
+        let part: Part = prism_with_sphere(&dims, BodyKind::Solid, MaterialRemoval::Without)
+            .expect("prism");
+        let orientation = [Orientation::Xy, Orientation::Xz][orient_idx];
+        let faults = fault_plan(FAULT_SPECS[spec_idx], fault_seed);
+        let mut plan = ProcessPlan::fdm(Resolution::Coarse, orientation).with_tensile(false);
+        plan.slicer = SlicerConfig {
+            layer_height: layer,
+            road_width: layer,
+            analysis_cell: layer / 2.0,
+            ..SlicerConfig::default()
+        };
+
+        let run = |mode: KernelMode, parallelism: Parallelism| {
+            set_kernel_mode(mode);
+            let plan = plan.clone().with_parallelism(parallelism);
+            let rendered = format!("{:?}", run_pipeline_with_faults(&part, &plan, &faults));
+            set_kernel_mode(KernelMode::SpanPlan);
+            rendered
+        };
+        let oracle = run(KernelMode::Reference, Parallelism::serial());
+        for threads in [1usize, 2, 4, 8] {
+            let planned = run(KernelMode::SpanPlan, Parallelism::threads(threads));
+            prop_assert_eq!(
+                &oracle,
+                &planned,
+                "span-plan kernel at {} thread(s) diverged from the stamper oracle \
+                 (faults: {:?}, seed {})",
+                threads,
+                FAULT_SPECS[spec_idx],
+                fault_seed
+            );
+        }
+    }
+}

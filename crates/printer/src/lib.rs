@@ -28,7 +28,7 @@ mod inspect;
 mod machine;
 mod material;
 
-pub use artifact::{PrintError, PrintedPart, PrintedPartRaw};
+pub use artifact::{stamp_counters, PrintError, PrintedPart, PrintedPartRaw, StampCounters};
 pub use firmware::{check_limits, check_limits_at_feed, BuildEnvelope, LimitViolation};
 pub use inspect::{cross_section_profile, relative_density, scan, ScanReport};
 pub use machine::{PrinterProfile, Process, ProfileError};

@@ -273,33 +273,33 @@ impl RasterLayer {
     pub fn rows(&self) -> impl Iterator<Item = (usize, &[CellMaterial])> {
         self.cells.chunks(self.nx).enumerate()
     }
+
+    /// Raw cell storage, row-major — the tool-path planner walks whole row
+    /// slices instead of per-cell indexed calls.
+    pub(crate) fn cells_raw(&self) -> &[CellMaterial] {
+        &self.cells
+    }
+
+    /// Raw body storage, row-major (`u16::MAX` = unassigned).
+    pub(crate) fn bodies_raw(&self) -> &[u16] {
+        &self.bodies
+    }
 }
 
-/// Rasterizes one layer over `bounds` with the given cell size.
-///
-/// When `support` is `false`, enclosed-void cells classify as `Empty`
-/// instead of `Support`.
-///
-/// # Panics
-///
-/// Panics if `cell` is not positive and finite or `bounds` is empty.
-pub fn rasterize_layer(layer: &Layer, bounds: Aabb2, cell: f64, support: bool) -> RasterLayer {
-    assert!(cell.is_finite() && cell > 0.0, "cell size must be positive, got {cell}");
-    let size = bounds.size();
-    assert!(size.x > 0.0 && size.y > 0.0, "raster bounds must be non-empty");
-    let nx = (size.x / cell).ceil().max(1.0) as usize;
-    let ny = (size.y / cell).ceil().max(1.0) as usize;
-    let mut cells = vec![CellMaterial::Empty; nx * ny];
+/// One oriented, non-horizontal contour edge of the winding scan:
+/// endpoints plus winding delta and positive-loop delta.
+struct Edge {
+    ya: f64,
+    yb: f64,
+    xa: f64,
+    xb: f64,
+    dw: i32,
+    dpos: i32,
+}
 
-    // Pre-extract edges: (y0, y1, x0, x1, winding delta, positive-loop delta).
-    struct Edge {
-        ya: f64,
-        yb: f64,
-        xa: f64,
-        xb: f64,
-        dw: i32,
-        dpos: i32,
-    }
+/// Extracts the non-horizontal edges of every contour, in contour-then-
+/// vertex order — the order both rasterizer variants see crossings in.
+fn collect_edges(layer: &Layer) -> Vec<Edge> {
     let mut edges: Vec<Edge> = Vec::new();
     for contour in &layer.loops {
         let poly = &contour.polygon;
@@ -320,6 +320,116 @@ pub fn rasterize_layer(layer: &Layer, bounds: Aabb2, cell: f64, support: bool) -
             edges.push(Edge { ya: a.y, yb: b.y, xa: a.x, xb: b.x, dw, dpos });
         }
     }
+    edges
+}
+
+/// Material classification of one winding state — the Table 3 rule both
+/// rasterizer variants share.
+#[inline]
+fn classify(w: i32, w_pos: i32, support: bool) -> CellMaterial {
+    if w >= 1 {
+        CellMaterial::Model
+    } else if support && w_pos >= 1 {
+        CellMaterial::Support
+    } else {
+        CellMaterial::Empty
+    }
+}
+
+/// Rasterizes one layer over `bounds` with the given cell size, via the
+/// span-plan scanline pipeline (DESIGN.md §13): a **plan** phase buckets
+/// every edge's row crossings into per-row lists (visiting edges in edge
+/// order, so each row sees its crossings in the same order the scan
+/// variant's per-row filter produces them — the stable sort then yields
+/// the identical sequence), and an **execute** phase converts each row's
+/// sorted crossings into whole-span `slice::fill`s of the winding-constant
+/// intervals between them. [`rasterize_layer_scan`] is the retained
+/// oracle; the two are bit-identical.
+///
+/// When `support` is `false`, enclosed-void cells classify as `Empty`
+/// instead of `Support`.
+///
+/// # Panics
+///
+/// Panics if `cell` is not positive and finite or `bounds` is empty.
+pub fn rasterize_layer(layer: &Layer, bounds: Aabb2, cell: f64, support: bool) -> RasterLayer {
+    assert!(cell.is_finite() && cell > 0.0, "cell size must be positive, got {cell}");
+    let size = bounds.size();
+    assert!(size.x > 0.0 && size.y > 0.0, "raster bounds must be non-empty");
+    let nx = (size.x / cell).ceil().max(1.0) as usize;
+    let ny = (size.y / cell).ceil().max(1.0) as usize;
+    let mut cells = vec![CellMaterial::Empty; nx * ny];
+
+    let edges = collect_edges(layer);
+
+    // Plan: bucket crossings by row. The candidate row window comes from a
+    // floating-point quotient, so it is padded by one row on each side and
+    // every candidate row re-tests the reference membership rule
+    // `y >= lo && y < hi` — the buckets therefore hold exactly the
+    // crossings the scan variant's per-row filter finds, in the same edge
+    // order, at O(edges + crossings) instead of O(rows × edges).
+    let mut row_crossings: Vec<Vec<(f64, i32, i32)>> = vec![Vec::new(); ny];
+    for e in &edges {
+        let (lo, hi) = if e.ya < e.yb { (e.ya, e.yb) } else { (e.yb, e.ya) };
+        let j_min = (((lo - bounds.min.y) / cell - 0.5).floor().max(0.0) as usize).saturating_sub(1);
+        let j_max = (((hi - bounds.min.y) / cell + 0.5).ceil().max(0.0) as usize + 1).min(ny);
+        for (j, bucket) in row_crossings.iter_mut().enumerate().take(j_max).skip(j_min) {
+            let y = bounds.min.y + (j as f64 + 0.5) * cell;
+            if y >= lo && y < hi {
+                let t = (y - e.ya) / (e.yb - e.ya);
+                bucket.push((e.xa + t * (e.xb - e.xa), e.dw, e.dpos));
+            }
+        }
+    }
+
+    // Execute: each row's sorted crossings split it into winding-constant
+    // spans, filled whole. A crossing's first owned cell is the first cell
+    // centre at or right of it — the float quotient seeds the boundary and
+    // two reference-comparison nudges make it exact, so every cell lands
+    // on the same side of every crossing as in the scan variant's
+    // `crossings[next].0 <= x` walk.
+    for (j, crossings) in row_crossings.iter_mut().enumerate() {
+        let row = &mut cells[j * nx..(j + 1) * nx];
+        crossings.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite crossing x"));
+        let mut w = 0i32;
+        let mut w_pos = 0i32;
+        let mut i = 0usize;
+        let center = |i: usize| bounds.min.x + (i as f64 + 0.5) * cell;
+        for &(cx, dw, dpos) in crossings.iter() {
+            let mut b = ((cx - bounds.min.x) / cell - 0.5).ceil().max(0.0) as usize;
+            while b > 0 && cx <= center(b - 1) {
+                b -= 1;
+            }
+            while b < nx && cx > center(b) {
+                b += 1;
+            }
+            if b > i {
+                row[i..b].fill(classify(w, w_pos, support));
+                i = b;
+            }
+            w -= dw;
+            w_pos -= dpos;
+        }
+        row[i..nx].fill(classify(w, w_pos, support));
+    }
+
+    let bodies = attribute_bodies(&cells, layer, bounds, cell, nx, ny);
+    RasterLayer { z: layer.z, origin: bounds.min, cell, nx, ny, cells, bodies }
+}
+
+/// Rasterizes one layer like [`rasterize_layer`], with the original
+/// row-at-a-time scan: every row filters the full edge list, then
+/// classifies cell by cell. Retained as the span-plan pipeline's oracle —
+/// `raster_span_plan_matches_scan` pins the two bit-identical.
+pub fn rasterize_layer_scan(layer: &Layer, bounds: Aabb2, cell: f64, support: bool) -> RasterLayer {
+    assert!(cell.is_finite() && cell > 0.0, "cell size must be positive, got {cell}");
+    let size = bounds.size();
+    assert!(size.x > 0.0 && size.y > 0.0, "raster bounds must be non-empty");
+    let nx = (size.x / cell).ceil().max(1.0) as usize;
+    let ny = (size.y / cell).ceil().max(1.0) as usize;
+    let mut cells = vec![CellMaterial::Empty; nx * ny];
+
+    let edges = collect_edges(layer);
 
     for j in 0..ny {
         let y = bounds.min.y + (j as f64 + 0.5) * cell;
@@ -352,18 +462,26 @@ pub fn rasterize_layer(layer: &Layer, bounds: Aabb2, cell: f64, support: bool) -
                 w_pos -= crossings[next].2;
                 next += 1;
             }
-            cells[j * nx + i] = if w >= 1 {
-                CellMaterial::Model
-            } else if support && w_pos >= 1 {
-                CellMaterial::Support
-            } else {
-                CellMaterial::Empty
-            };
+            cells[j * nx + i] = classify(w, w_pos, support);
         }
     }
 
-    // Body attribution: fill model cells from positive contours, smallest
-    // area first, so inner bodies win over enclosing ones.
+    let bodies = attribute_bodies(&cells, layer, bounds, cell, nx, ny);
+    RasterLayer { z: layer.z, origin: bounds.min, cell, nx, ny, cells, bodies }
+}
+
+/// Body attribution shared by both rasterizer variants: fill model cells
+/// from positive contours, smallest area first (so inner bodies win over
+/// enclosing ones), then flood unowned model cells from their nearest
+/// assigned neighbour.
+fn attribute_bodies(
+    cells: &[CellMaterial],
+    layer: &Layer,
+    bounds: Aabb2,
+    cell: f64,
+    nx: usize,
+    ny: usize,
+) -> Vec<u16> {
     let mut bodies = vec![u16::MAX; nx * ny];
     let mut positive: Vec<&crate::Contour> =
         layer.loops.iter().filter(|c| c.polygon.signed_area() > 0.0).collect();
@@ -441,7 +559,7 @@ pub fn rasterize_layer(layer: &Layer, bounds: Aabb2, cell: f64, support: bool) -
         }
     }
 
-    RasterLayer { z: layer.z, origin: bounds.min, cell, nx, ny, cells, bodies }
+    bodies
 }
 
 /// Rasterizes every layer of a sliced model over its common xy bounds
@@ -491,6 +609,31 @@ mod tests {
         let rasters = rasterize(&sliced, 0.1, true);
         let mid = rasters.len() / 2;
         rasters[mid].clone()
+    }
+
+    #[test]
+    fn raster_span_plan_matches_scan() {
+        let dims = PrismDims::default();
+        for (kind, removal) in [
+            (BodyKind::Solid, MaterialRemoval::With),
+            (BodyKind::Surface, MaterialRemoval::Without),
+        ] {
+            let part = prism_with_sphere(&dims, kind, removal).unwrap().resolve().unwrap();
+            let shells = tessellate_shells(&part, &Resolution::Fine.params());
+            let sliced = slice_shells(&shells, 0.1778);
+            let bounds2 = Aabb2::new(
+                Point2::new(sliced.bounds.min.x, sliced.bounds.min.y),
+                Point2::new(sliced.bounds.max.x, sliced.bounds.max.y),
+            )
+            .inflated(0.1 * 1.5);
+            for support in [true, false] {
+                for layer in &sliced.layers {
+                    let planned = rasterize_layer(layer, bounds2, 0.1, support);
+                    let scanned = rasterize_layer_scan(layer, bounds2, 0.1, support);
+                    assert_eq!(planned, scanned, "z = {}", layer.z);
+                }
+            }
+        }
     }
 
     #[test]

@@ -303,15 +303,23 @@ fn push_infill(roads: &mut Vec<Road>, raster: &RasterLayer, along_x: bool, row_s
         roads.push(Road { from, to, z, material: tool, kind: RoadKind::Infill, body: key.1 });
     };
 
+    // Walk the raw row-major storage directly: along-x rows are contiguous
+    // slices, along-y columns stride by `nx`. Same run boundaries as the
+    // old per-cell `at`/`body_at` walk, without a bounds assert per cell.
+    let cells = raster.cells_raw();
+    let bodies = raster.bodies_raw();
+    let key_at = |idx: usize| -> RunKey {
+        let b = bodies[idx];
+        (cells[idx], (b != u16::MAX).then_some(b))
+    };
+
     if along_x {
         for j in (0..ny).step_by(row_step.max(1)) {
+            let row = j * nx;
             let mut run_start: Option<(RunKey, usize)> = None;
             for i in 0..=nx {
-                let key: RunKey = if i < nx {
-                    (raster.at(i, j), raster.body_at(i, j))
-                } else {
-                    (CellMaterial::Empty, None)
-                };
+                let key: RunKey =
+                    if i < nx { key_at(row + i) } else { (CellMaterial::Empty, None) };
                 match run_start {
                     Some((k, s)) if k != key => {
                         let from = raster.cell_center(s, j);
@@ -328,11 +336,8 @@ fn push_infill(roads: &mut Vec<Road>, raster: &RasterLayer, along_x: bool, row_s
         for i in (0..nx).step_by(row_step.max(1)) {
             let mut run_start: Option<(RunKey, usize)> = None;
             for j in 0..=ny {
-                let key: RunKey = if j < ny {
-                    (raster.at(i, j), raster.body_at(i, j))
-                } else {
-                    (CellMaterial::Empty, None)
-                };
+                let key: RunKey =
+                    if j < ny { key_at(j * nx + i) } else { (CellMaterial::Empty, None) };
                 match run_start {
                     Some((k, s)) if k != key => {
                         let from = raster.cell_center(i, s);
