@@ -16,29 +16,32 @@
 #    the boot race the old external wait loop papered over), then a
 #    smoke `bench --serve` against its own daemon, then drain the first
 #    daemon with a `shutdown` request and wait for it
-# 5. chaos stage (PR 6): a daemon on a Unix socket with deterministic
-#    fault injection (`--chaos-seed`), a 1 MiB cache to force constant
-#    eviction, and a persistent spill tier. A byte-verified load runs
-#    through the chaos; then a second load is fired, the daemon is
-#    KILLED (-9) mid-run and restarted on the same socket + spill dir —
-#    the retrying client must ride out the outage and still report every
-#    response byte-identical. The restarted daemon must show warm-start
-#    spill hits (rehydrated from segment files written before the kill)
-#    and zero corrupt entries served.
-# 6. bench regression gate: the committed BENCH_PR7.json must parse
-#    against the obfuscade-bench/v6 schema — which adds per-kernel
-#    spans_planned/span_fill_voxels deposition counters and the serve
-#    section's warmup_requests (one untimed byte-verified round before
-#    the timed load, so p99 measures steady state) — with every kernel
-#    speedup >= 1.0x, the fea row's optimized wall clock within half of
-#    PR 3's committed 1157.7 ms (the Newton-PCG solver must stay >= 2x
-#    faster than the relaxation kernel it replaced), a clean daemon load
-#    in the mandatory `serve` section, AND per-kernel speedup floors:
-#    printing >= 3.5x (the span-plan stamper's measured 4.08x minus box
-#    noise; DESIGN.md §13 documents why the ISSUE's 5x is out of reach
-#    on one core) and slicing >= 5.7x (PR 6's 6.0x minus 5% — the raster
-#    span-plan split must not regress it; it measured 6.47x). Smoke
-#    reports are schema-validated on write but not speedup-gated — tiny
+# 5. chaos stage (PR 6, hardened under the epoll reactor in PR 8): a
+#    daemon on a Unix socket — explicitly `--backend reactor` — with
+#    deterministic fault injection (`--chaos-seed`), a 1 MiB cache to
+#    force constant eviction, and a persistent spill tier. A
+#    byte-verified load runs through the chaos; then a second load (on
+#    the negotiated binary codec) is fired, the daemon is KILLED (-9)
+#    mid-run and restarted on the same socket + spill dir — the retrying
+#    client must ride out the outage and still report every response
+#    byte-identical. The restarted daemon must show warm-start spill
+#    hits (rehydrated from segment files written before the kill) and
+#    zero corrupt entries served.
+# 6. bench regression gate: the committed BENCH_PR8.json must parse
+#    against the obfuscade-bench/v7 schema — which adds the serve
+#    section's backend/codec identity, per-codec frame counters, and the
+#    backend (reactor|threads) × codec (json|binary) × concurrency
+#    {64, 1024} sweep grid, every point byte-verified, with the
+#    reactor+binary p99 strictly below the threads+json p99 at 1024
+#    connections — with every kernel speedup >= 1.0x, the fea row's
+#    optimized wall clock within half of PR 3's committed 1157.7 ms,
+#    per-kernel speedup floors (printing >= 3.5x, slicing >= 5.7x — see
+#    DESIGN.md §13), a clean daemon load in the mandatory `serve`
+#    section, AND absolute serve floors: headline p99 (reactor+binary at
+#    1024 connections) <= 150 ms and throughput >= 4000 req/s (measured
+#    ~85-105 ms / ~6700 req/s on the CI box; the ceilings leave
+#    single-core scheduling noise room). Smoke reports are
+#    schema-validated on write but not speedup- or latency-gated — tiny
 #    workloads are too noisy to threshold.
 # 7. clippy as an error wall, with `clippy::unwrap_used` additionally
 #    enabled for library and binary code (test code may unwrap freely —
@@ -57,6 +60,11 @@ SERVE_PID=$!
 ./target/release/obfuscade submit --port-file target/serve.addr --kind authenticate
 ./target/release/obfuscade submit --port-file target/serve.addr --kind stats
 ./target/release/obfuscade submit --port-file target/serve.addr --load 24 --concurrency 4
+# The same load again on the negotiated binary codec: byte-verified
+# against the same in-process reference, so both codecs must serve
+# identical result bytes.
+./target/release/obfuscade submit --port-file target/serve.addr --load 24 --concurrency 4 \
+    --codec binary
 ./target/release/obfuscade bench --smoke --serve --only serve --threads 2 \
     --out target/bench_serve_smoke.json
 ./target/release/obfuscade submit --port-file target/serve.addr --kind shutdown
@@ -66,7 +74,7 @@ wait "$SERVE_PID"
 CHAOS_SOCK=target/chaos.sock
 CHAOS_SPILL=target/chaos-spill
 rm -rf "$CHAOS_SPILL" "$CHAOS_SOCK"
-./target/release/obfuscade serve --uds "$CHAOS_SOCK" --addr 127.0.0.1:0 \
+./target/release/obfuscade serve --uds "$CHAOS_SOCK" --addr 127.0.0.1:0 --backend reactor \
     --workers 2 --cache-mb 1 --chaos-seed 7 --spill-dir "$CHAOS_SPILL" &
 CHAOS_PID=$!
 # Byte-verified load straight through the injected faults (connection
@@ -87,10 +95,11 @@ done
 # still complete clean and byte-identical.
 kill -9 "$CHAOS_PID" 2>/dev/null || true
 wait "$CHAOS_PID" 2>/dev/null || true
-./target/release/obfuscade submit --uds "$CHAOS_SOCK" --load 64 --concurrency 4 --retries 16 &
+./target/release/obfuscade submit --uds "$CHAOS_SOCK" --load 64 --concurrency 4 --retries 16 \
+    --codec binary &
 LOAD_PID=$!
 sleep 0.2
-./target/release/obfuscade serve --uds "$CHAOS_SOCK" --addr 127.0.0.1:0 \
+./target/release/obfuscade serve --uds "$CHAOS_SOCK" --addr 127.0.0.1:0 --backend reactor \
     --workers 2 --cache-mb 1 --chaos-seed 7 --spill-dir "$CHAOS_SPILL" &
 CHAOS_PID=$!
 wait "$LOAD_PID" || { echo "ci: chaos load did not survive the kill+restart" >&2; exit 1; }
@@ -127,8 +136,8 @@ done
 [ "$SHUT" = ok ] || { echo "ci: chaos daemon refused shutdown" >&2; exit 1; }
 wait "$CHAOS_PID"
 
-./target/release/obfuscade bench --check BENCH_PR7.json --fea-budget-ms 578.9 --require-serve \
-    --min-speedup printing=3.5,slicing=5.7
+./target/release/obfuscade bench --check BENCH_PR8.json --fea-budget-ms 578.9 --require-serve \
+    --min-speedup printing=3.5,slicing=5.7 --serve-p99-ms 150 --serve-min-rps 4000
 cargo clippy --workspace --all-targets -- -D warnings
 cargo clippy --workspace --lib --bins -- -D warnings -W clippy::unwrap_used
 

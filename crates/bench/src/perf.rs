@@ -134,9 +134,53 @@ impl KernelResult {
     }
 }
 
+/// One point of the v7 backend × codec × concurrency sweep: a clean
+/// load run against one daemon configuration, byte-verified against the
+/// in-process reference exactly like the headline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeSweep {
+    /// Connection backend the daemon ran (`reactor` or `threads`).
+    pub backend: String,
+    /// Wire codec the load generator negotiated (`json` or `binary`).
+    pub codec: String,
+    /// Concurrent client connections.
+    pub concurrency: usize,
+    /// Measured requests at this point (warmup excluded).
+    pub requests: u64,
+    /// Transport failures plus typed error responses (must be 0).
+    pub errors: u64,
+    /// Client workers that never got a connection (must be 0).
+    pub dropped_connections: u64,
+    /// Byte-level divergences from the reference run (must be 0).
+    pub mismatches: u64,
+    /// TCP connects the workers performed — exactly `concurrency` on a
+    /// clean run now that each worker holds one connection (satellite 1);
+    /// more only when retries had to reconnect.
+    pub connects: u64,
+    /// Client-side retry cycles at this point.
+    pub retries: u64,
+    /// Exact client-side median round-trip latency (ms).
+    pub p50_ms: f64,
+    /// Exact client-side 95th-percentile latency (ms).
+    pub p95_ms: f64,
+    /// Exact client-side 99th-percentile latency (ms).
+    pub p99_ms: f64,
+    /// Completed requests per wall-clock second.
+    pub throughput_rps: f64,
+}
+
 /// What the service benchmark measured (the report's `serve` section).
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// v7: the headline quantiles come from the reactor-backend binary-codec
+/// run at the sweep's highest concurrency; the full backend × codec ×
+/// concurrency grid lives in `sweeps`, and the error/mismatch counters
+/// aggregate over every point so the zero-checks cover the whole sweep.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeResult {
+    /// Connection backend of the headline run (`reactor` on Linux).
+    pub backend: String,
+    /// Wire codec of the headline run (`binary`).
+    pub codec: String,
     /// Requests driven at the daemon.
     pub requests: u64,
     /// Concurrent client connections.
@@ -172,6 +216,21 @@ pub struct ServeResult {
     /// faults, the first stage-cache misses — so the committed p99
     /// reflects steady state rather than the first request.
     pub warmup_requests: u64,
+    /// TCP connects across the whole sweep (v7, satellite 1).
+    pub connects: u64,
+    /// Daemon-side JSON frames decoded across the sweep (v7).
+    pub frames_json: u64,
+    /// Daemon-side binary frames decoded across the sweep (v7; > 0
+    /// whenever a binary point ran).
+    pub frames_binary: u64,
+    /// Connections that negotiated the binary codec across the sweep
+    /// (v7; > 0 whenever a binary point ran).
+    pub binary_negotiated: u64,
+    /// Reactor write-backpressure stalls across the sweep (v7; zero on
+    /// the thread backend, and usually zero on loopback).
+    pub backpressure_stalls: u64,
+    /// The full backend × codec × concurrency grid (v7).
+    pub sweeps: Vec<ServeSweep>,
 }
 
 /// The full benchmark report.
@@ -190,7 +249,7 @@ pub struct BenchReport {
     pub serve: Option<ServeResult>,
 }
 
-const SCHEMA: &str = "obfuscade-bench/v6";
+const SCHEMA: &str = "obfuscade-bench/v7";
 
 impl BenchReport {
     /// Renders the human-readable results table.
@@ -228,9 +287,11 @@ impl BenchReport {
         if let Some(s) = &self.serve {
             let _ = writeln!(
                 out,
-                "\nserve: {} requests over {} connections — p50 {:.2} ms, p95 {:.2} ms, \
-                 p99 {:.2} ms, {:.0} req/s, {} cache hits, {} spill hits, {} errors, \
-                 {} dropped, {} mismatches, {} retries, {} respawns",
+                "\nserve ({} backend, {} codec): {} requests over {} connections — \
+                 p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms, {:.0} req/s, {} cache hits, \
+                 {} spill hits, {} errors, {} dropped, {} mismatches, {} retries, {} respawns",
+                s.backend,
+                s.codec,
                 s.requests,
                 s.concurrency,
                 s.p50_ms,
@@ -245,6 +306,21 @@ impl BenchReport {
                 s.retries,
                 s.respawns
             );
+            let _ = writeln!(
+                out,
+                "serve wire: {} json + {} binary frames, {} binary conns, {} connects, \
+                 {} backpressure stalls",
+                s.frames_json, s.frames_binary, s.binary_negotiated, s.connects, s.backpressure_stalls
+            );
+            for p in &s.sweeps {
+                let _ = writeln!(
+                    out,
+                    "  {:<8} {:<7} c={:<5} {:>6} req  p50 {:>8.2} ms  p95 {:>8.2} ms  \
+                     p99 {:>8.2} ms  {:>8.0} req/s  {} connects",
+                    p.backend, p.codec, p.concurrency, p.requests, p.p50_ms, p.p95_ms, p.p99_ms,
+                    p.throughput_rps, p.connects
+                );
+            }
         }
         out.push_str(
             "\nbaselines are the original seed implementations (KernelMode::Reference);\n\
@@ -272,6 +348,8 @@ impl BenchReport {
             None => out.push_str("  \"serve\": null,\n"),
             Some(s) => {
                 out.push_str("  \"serve\": {\n");
+                let _ = writeln!(out, "    \"backend\": {},", json_string(&s.backend));
+                let _ = writeln!(out, "    \"codec\": {},", json_string(&s.codec));
                 let _ = writeln!(out, "    \"requests\": {},", s.requests);
                 let _ = writeln!(out, "    \"concurrency\": {},", s.concurrency);
                 let _ = writeln!(out, "    \"errors\": {},", s.errors);
@@ -285,7 +363,39 @@ impl BenchReport {
                 let _ = writeln!(out, "    \"spill_hits\": {},", s.spill_hits);
                 let _ = writeln!(out, "    \"retries\": {},", s.retries);
                 let _ = writeln!(out, "    \"respawns\": {},", s.respawns);
-                let _ = writeln!(out, "    \"warmup_requests\": {}", s.warmup_requests);
+                let _ = writeln!(out, "    \"warmup_requests\": {},", s.warmup_requests);
+                let _ = writeln!(out, "    \"connects\": {},", s.connects);
+                let _ = writeln!(out, "    \"frames_json\": {},", s.frames_json);
+                let _ = writeln!(out, "    \"frames_binary\": {},", s.frames_binary);
+                let _ = writeln!(out, "    \"binary_negotiated\": {},", s.binary_negotiated);
+                let _ = writeln!(out, "    \"backpressure_stalls\": {},", s.backpressure_stalls);
+                out.push_str("    \"sweeps\": [\n");
+                for (i, p) in s.sweeps.iter().enumerate() {
+                    out.push_str("      {\n");
+                    let _ = writeln!(out, "        \"backend\": {},", json_string(&p.backend));
+                    let _ = writeln!(out, "        \"codec\": {},", json_string(&p.codec));
+                    let _ = writeln!(out, "        \"concurrency\": {},", p.concurrency);
+                    let _ = writeln!(out, "        \"requests\": {},", p.requests);
+                    let _ = writeln!(out, "        \"errors\": {},", p.errors);
+                    let _ = writeln!(
+                        out,
+                        "        \"dropped_connections\": {},",
+                        p.dropped_connections
+                    );
+                    let _ = writeln!(out, "        \"mismatches\": {},", p.mismatches);
+                    let _ = writeln!(out, "        \"connects\": {},", p.connects);
+                    let _ = writeln!(out, "        \"retries\": {},", p.retries);
+                    let _ = writeln!(out, "        \"p50_ms\": {},", json_number(p.p50_ms));
+                    let _ = writeln!(out, "        \"p95_ms\": {},", json_number(p.p95_ms));
+                    let _ = writeln!(out, "        \"p99_ms\": {},", json_number(p.p99_ms));
+                    let _ = writeln!(
+                        out,
+                        "        \"throughput_rps\": {}",
+                        json_number(p.throughput_rps)
+                    );
+                    out.push_str(if i + 1 < s.sweeps.len() { "      },\n" } else { "      }\n" });
+                }
+                out.push_str("    ]\n");
                 out.push_str("  },\n");
             }
         }
@@ -361,6 +471,7 @@ pub fn validate_report_json(text: &str) -> Result<Vec<(String, f64)>, String> {
     // (`spill_hits`, `retries`, `respawns`): mandatory non-negative
     // integers, but not required to be zero — a retried request that
     // ultimately returned correct bytes is still a clean run.
+    let smoke = matches!(doc.get("smoke"), Some(Json::Bool(true)));
     let serve = doc.get("serve").ok_or("missing 'serve' field")?;
     let served = match serve {
         Json::Null => false,
@@ -371,6 +482,13 @@ pub fn validate_report_json(text: &str) -> Result<Vec<(String, f64)>, String> {
                     .and_then(Json::as_number)
                     .ok_or_else(|| format!("serve: missing numeric '{field}'"))
             };
+            // v7: the headline run names its connection backend and codec.
+            for field in ["backend", "codec"] {
+                match serve.get(field) {
+                    Some(Json::String(s)) if !s.is_empty() => {}
+                    other => return Err(format!("serve: bad '{field}' field: {other:?}")),
+                }
+            }
             for field in [
                 "requests",
                 "concurrency",
@@ -383,6 +501,12 @@ pub fn validate_report_json(text: &str) -> Result<Vec<(String, f64)>, String> {
                 "respawns",
                 // v6: the untimed warmup round that precedes measurement.
                 "warmup_requests",
+                // v7: connection and codec accounting across the sweep.
+                "connects",
+                "frames_json",
+                "frames_binary",
+                "binary_negotiated",
+                "backpressure_stalls",
             ] {
                 let v = get(field)?;
                 if v < 0.0 || v.fract() != 0.0 {
@@ -407,6 +531,7 @@ pub fn validate_report_json(text: &str) -> Result<Vec<(String, f64)>, String> {
             if get("throughput_rps")? <= 0.0 {
                 return Err("serve: non-positive throughput".to_string());
             }
+            validate_serve_sweeps(serve, smoke)?;
             true
         }
         other => return Err(format!("bad 'serve' field: {other:?}")),
@@ -459,6 +584,101 @@ pub fn validate_report_json(text: &str) -> Result<Vec<(String, f64)>, String> {
     Ok(speedups)
 }
 
+/// Validates the v7 `serve.sweeps` grid: a non-empty array of clean
+/// per-point rows (zero errors/drops/mismatches, monotone quantiles,
+/// positive throughput, at least one connect per connection), plus the
+/// codec-accounting cross-checks. In full (non-smoke) reports the grid
+/// must carry the PR 8 comparison pair at its top concurrency —
+/// reactor+binary and threads+json — and the binary p99 must be
+/// strictly below the thread-backend JSON p99; smoke runs on a loaded
+/// single-core box are too noise-dominated for a strict latency order,
+/// so there only the grid's cleanliness is enforced.
+fn validate_serve_sweeps(serve: &Json, smoke: bool) -> Result<(), String> {
+    let sweeps = match serve.get("sweeps") {
+        Some(Json::Array(items)) if !items.is_empty() => items,
+        other => return Err(format!("serve: missing or empty 'sweeps' array: {other:?}")),
+    };
+    let mut rows: Vec<(String, String, f64, f64)> = Vec::new();
+    let mut any_binary = false;
+    for (i, p) in sweeps.iter().enumerate() {
+        let gets = |field: &str| match p.get(field) {
+            Some(Json::String(s)) if !s.is_empty() => Ok(s.clone()),
+            other => Err(format!("serve sweep {i}: bad '{field}' field: {other:?}")),
+        };
+        let get = |field: &str| {
+            p.get(field)
+                .and_then(Json::as_number)
+                .ok_or_else(|| format!("serve sweep {i}: missing numeric '{field}'"))
+        };
+        let (backend, codec) = (gets("backend")?, gets("codec")?);
+        any_binary |= codec == "binary";
+        for field in ["concurrency", "requests", "errors", "dropped_connections", "mismatches", "connects", "retries"]
+        {
+            let v = get(field)?;
+            if v < 0.0 || v.fract() != 0.0 {
+                return Err(format!("serve sweep {i}: bad '{field}' counter: {v}"));
+            }
+        }
+        for field in ["errors", "dropped_connections", "mismatches"] {
+            if get(field)? != 0.0 {
+                return Err(format!(
+                    "serve sweep {i} ({backend}/{codec}): nonzero '{field}' — not a clean run"
+                ));
+            }
+        }
+        let concurrency = get("concurrency")?;
+        if get("requests")? < 1.0 || concurrency < 1.0 {
+            return Err(format!("serve sweep {i}: empty load point"));
+        }
+        if get("connects")? < concurrency {
+            return Err(format!(
+                "serve sweep {i} ({backend}/{codec}): fewer connects than connections"
+            ));
+        }
+        let (p50, p95, p99) = (get("p50_ms")?, get("p95_ms")?, get("p99_ms")?);
+        if !(p50 > 0.0 && p95 >= p50 && p99 >= p95 && p99.is_finite()) {
+            return Err(format!(
+                "serve sweep {i} ({backend}/{codec}): bad quantiles p50={p50} p95={p95} p99={p99}"
+            ));
+        }
+        if get("throughput_rps")? <= 0.0 {
+            return Err(format!("serve sweep {i} ({backend}/{codec}): non-positive throughput"));
+        }
+        rows.push((backend, codec, concurrency, p99));
+    }
+    // The per-codec frame counters must agree with the grid: any binary
+    // point implies the daemon decoded binary frames on negotiated
+    // connections.
+    let counter = |field: &str| serve.get(field).and_then(Json::as_number).unwrap_or(0.0);
+    if any_binary && (counter("frames_binary") < 1.0 || counter("binary_negotiated") < 1.0) {
+        return Err("serve: binary sweep points but no decoded binary frames".to_string());
+    }
+    if counter("frames_json") < 1.0 {
+        return Err("serve: no decoded JSON frames across the sweep".to_string());
+    }
+    if smoke {
+        return Ok(());
+    }
+    let top = rows.iter().map(|r| r.2).fold(0.0, f64::max);
+    let p99_of = |backend: &str, codec: &str| {
+        rows.iter()
+            .find(|(b, c, conc, _)| b == backend && c == codec && *conc == top)
+            .map(|&(_, _, _, p99)| p99)
+            .ok_or_else(|| {
+                format!("serve: full report lacks the {backend}+{codec} sweep at c={top}")
+            })
+    };
+    let binary = p99_of("reactor", "binary")?;
+    let baseline = p99_of("threads", "json")?;
+    if binary >= baseline {
+        return Err(format!(
+            "serve: reactor+binary p99 {binary} ms is not below the threads+json p99 \
+             {baseline} ms at c={top}"
+        ));
+    }
+    Ok(())
+}
+
 /// Extracts one kernel row's `optimized_ms` from a `BENCH_*.json` document
 /// (for absolute wall-clock budget gates on top of [`validate_report_json`]'s
 /// relative speedup checks).
@@ -490,6 +710,22 @@ pub fn report_has_serve(text: &str) -> Result<bool, String> {
         Some(other) => Err(format!("bad 'serve' field: {other:?}")),
         None => Err("missing 'serve' field".to_string()),
     }
+}
+
+/// Extracts one numeric field from the report's headline `serve` object
+/// (for the `--serve-p99-ms` / `--serve-min-rps` absolute gates layered
+/// on top of [`validate_report_json`]'s structural checks). Errors when
+/// the report carries no serve section at all.
+pub fn report_serve_number(text: &str, field: &str) -> Result<f64, String> {
+    let doc = parse_json(text)?;
+    let serve = match doc.get("serve") {
+        Some(s @ Json::Object(_)) => s,
+        _ => return Err("no serve section in the report".to_string()),
+    };
+    serve
+        .get(field)
+        .and_then(Json::as_number)
+        .ok_or_else(|| format!("serve: missing numeric '{field}'"))
 }
 
 // --- Workloads ---------------------------------------------------------
@@ -930,67 +1166,165 @@ pub fn run_selected_benchmarks(config: &BenchConfig, filter: Option<&str>) -> Be
     BenchReport { config: *config, kernels, cache, serve }
 }
 
-/// Serving benchmark: boots the `am-service` daemon on a loopback port,
-/// fires the load generator at it, and distills the clean-run latency
-/// quantiles and throughput. Every response is byte-compared against the
-/// in-process reference run, so a nonzero `mismatches` count here means
-/// the wire broke the determinism contract.
+/// Serving benchmark (v7): sweeps the daemon over the connection
+/// backends and wire codecs — one daemon boot per backend, then a load
+/// run per codec × concurrency point against it. Every response at
+/// every point is byte-compared against the in-process reference run,
+/// so a nonzero `mismatches` count anywhere means the wire (or a codec,
+/// or a backend) broke the determinism contract. The headline quantiles
+/// come from the reactor-backend binary-codec point at the sweep's top
+/// concurrency; per-point rows land in `sweeps`.
 fn bench_serve(config: &BenchConfig) -> ServeResult {
-    use am_service::{Client, Endpoint, JobSpec, Server, ServerConfig};
+    use am_service::{Client, Codec, ConnBackend, Endpoint, JobSpec, RetryPolicy, Server, ServerConfig};
 
-    let server = Server::start(ServerConfig {
-        workers: config.threads.clamp(2, 8),
-        queue_capacity: 64,
-        ..ServerConfig::default()
-    })
-    .expect("serve bench: daemon boots on loopback");
-    let endpoint = Endpoint::Tcp(server.addr().to_string());
+    // The reactor backend is epoll-only; off Linux the sweep degrades to
+    // the thread backend (and full-report validation will flag the
+    // missing comparison pair rather than silently passing).
+    #[cfg(target_os = "linux")]
+    const GRID: &[(ConnBackend, &[Codec])] = &[
+        (ConnBackend::Threads, &[Codec::Json]),
+        (ConnBackend::Reactor, &[Codec::Json, Codec::Binary]),
+    ];
+    #[cfg(not(target_os = "linux"))]
+    const GRID: &[(ConnBackend, &[Codec])] = &[
+        (ConnBackend::Threads, &[Codec::Json, Codec::Binary]),
+    ];
+
+    // Full mode drives the acceptance-level 1024-connection point; smoke
+    // keeps the whole grid in CI-seconds territory.
+    let concurrencies: &[usize] = if config.smoke { &[4, 16] } else { &[64, 1024] };
+    let top = *concurrencies.last().expect("non-empty sweep");
+    // Generous retry budget: a 1024-connection connect storm against a
+    // default-backlog listener needs reconnect headroom, and on a
+    // single-core box a request can legitimately sit behind every other
+    // connection's work.
+    let policy = RetryPolicy {
+        attempts: 16,
+        timeout: std::time::Duration::from_secs(120),
+        base_backoff: std::time::Duration::from_millis(5),
+        max_backoff: std::time::Duration::from_millis(100),
+    };
 
     let jobs = vec![JobSpec::default()];
     let expected = am_service::expected_results_wire(&jobs)
         .expect("serve bench: in-process reference run");
-    let (total, concurrency) = if config.smoke { (24, 4) } else { (200, 8) };
-    // Untimed warmup round (v6): the first requests pay cold-start costs —
-    // lazy statics, first-touch page faults, the daemon's initial stage-
-    // cache misses — that used to land squarely on the committed p99
-    // (BENCH_PR6: p99 14.4 ms vs p95 1.4 ms). Absorb them before any
-    // latency is recorded so the quantiles reflect steady state.
-    let warmup_requests = (concurrency * 2) as u64;
-    let warmup =
-        am_service::run_load(&endpoint, warmup_requests, concurrency, &jobs, Some(&expected));
-    assert_eq!(warmup.errors, 0, "serve bench: warmup round hit errors");
-    let report = am_service::run_load(&endpoint, total, concurrency, &jobs, Some(&expected));
 
-    let mut client = Client::connect(&endpoint).expect("serve bench: stats connection");
-    let stats = client.stats().ok();
-    let counter = |path: &[&str]| {
-        let mut node = stats.as_ref()?;
-        for key in path {
-            node = node.get(key)?;
+    let mut sweeps = Vec::new();
+    let mut headline = None;
+    let mut warmup_total = 0u64;
+    let (mut errors, mut dropped, mut mismatches) = (0u64, 0u64, 0u64);
+    let (mut retries, mut connects) = (0u64, 0u64);
+    let (mut cache_hits, mut spill_hits, mut respawns) = (0u64, 0u64, 0u64);
+    let (mut frames_json, mut frames_binary) = (0u64, 0u64);
+    let (mut binary_negotiated, mut backpressure_stalls) = (0u64, 0u64);
+
+    for &(backend, codecs) in GRID {
+        let server = Server::start(ServerConfig {
+            workers: config.threads.clamp(2, 8),
+            // Queue headroom for the top concurrency point: the sweep
+            // measures transport latency, not admission-control churn.
+            queue_capacity: (2 * top).max(64),
+            backend,
+            ..ServerConfig::default()
+        })
+        .expect("serve bench: daemon boots on loopback");
+        let endpoint = Endpoint::Tcp(server.addr().to_string());
+
+        for &codec in codecs {
+            for &concurrency in concurrencies {
+                // Untimed warmup round (v6): absorb cold-start costs —
+                // lazy statics, first-touch page faults, the daemon's
+                // initial stage-cache misses — before any latency is
+                // recorded, so the quantiles reflect steady state.
+                let warmup_requests = concurrency as u64;
+                let warmup = am_service::run_load_with(
+                    &endpoint, warmup_requests, concurrency, &jobs, Some(&expected), &policy, codec,
+                );
+                assert_eq!(warmup.errors, 0, "serve bench: warmup round hit errors");
+                warmup_total += warmup_requests;
+
+                // Enough requests per connection that the quantiles
+                // reflect steady-state round trips rather than the
+                // initial connect storm (every load run opens all its
+                // connections up front; with too few samples the p99 is
+                // just the storm's makespan).
+                let total = (concurrency * if config.smoke { 2 } else { 8 }) as u64;
+                let report = am_service::run_load_with(
+                    &endpoint, total, concurrency, &jobs, Some(&expected), &policy, codec,
+                );
+                errors += report.errors;
+                dropped += report.dropped_connections;
+                mismatches += report.mismatches;
+                retries += report.retries;
+                connects += report.connects + warmup.connects;
+                let point = ServeSweep {
+                    backend: backend.name().to_string(),
+                    codec: codec.name().to_string(),
+                    concurrency,
+                    requests: report.requests,
+                    errors: report.errors,
+                    dropped_connections: report.dropped_connections,
+                    mismatches: report.mismatches,
+                    connects: report.connects,
+                    retries: report.retries,
+                    p50_ms: report.quantile_ms(0.50),
+                    p95_ms: report.quantile_ms(0.95),
+                    p99_ms: report.quantile_ms(0.99),
+                    throughput_rps: report.throughput_rps(),
+                };
+                // Headline: the binary point at top concurrency on the
+                // grid's last (preferred) backend.
+                if codec == Codec::Binary && concurrency == top {
+                    headline = Some(point.clone());
+                }
+                sweeps.push(point);
+            }
         }
-        node.as_u64()
-    };
-    let cache_hits = counter(&["cache", "hits"]).unwrap_or(0);
-    let spill_hits = counter(&["cache", "spill_hits"]).unwrap_or(0);
-    let respawns = counter(&["service", "respawns"]).unwrap_or(0);
-    let _ = client.shutdown();
-    server.join();
 
+        let mut client = Client::connect(&endpoint).expect("serve bench: stats connection");
+        let stats = client.stats().ok();
+        let counter = |path: &[&str]| {
+            let mut node = stats.as_ref()?;
+            for key in path {
+                node = node.get(key)?;
+            }
+            node.as_u64()
+        };
+        cache_hits += counter(&["cache", "hits"]).unwrap_or(0);
+        spill_hits += counter(&["cache", "spill_hits"]).unwrap_or(0);
+        respawns += counter(&["service", "respawns"]).unwrap_or(0);
+        frames_json += counter(&["service", "frames_json"]).unwrap_or(0);
+        frames_binary += counter(&["service", "frames_binary"]).unwrap_or(0);
+        binary_negotiated += counter(&["service", "binary_negotiated"]).unwrap_or(0);
+        backpressure_stalls += counter(&["service", "backpressure_stalls"]).unwrap_or(0);
+        let _ = client.shutdown();
+        server.join();
+    }
+
+    let headline = headline.or_else(|| sweeps.last().cloned()).expect("non-empty sweep grid");
     ServeResult {
-        requests: report.requests,
-        concurrency: report.concurrency,
-        errors: report.errors,
-        dropped_connections: report.dropped_connections,
-        mismatches: report.mismatches,
-        p50_ms: report.quantile_ms(0.50),
-        p95_ms: report.quantile_ms(0.95),
-        p99_ms: report.quantile_ms(0.99),
-        throughput_rps: report.throughput_rps(),
+        backend: headline.backend.clone(),
+        codec: headline.codec.clone(),
+        requests: headline.requests,
+        concurrency: headline.concurrency,
+        errors,
+        dropped_connections: dropped,
+        mismatches,
+        p50_ms: headline.p50_ms,
+        p95_ms: headline.p95_ms,
+        p99_ms: headline.p99_ms,
+        throughput_rps: headline.throughput_rps,
         cache_hits,
         spill_hits,
-        retries: report.retries,
+        retries,
         respawns,
-        warmup_requests,
+        warmup_requests: warmup_total,
+        connects,
+        frames_json,
+        frames_binary,
+        binary_negotiated,
+        backpressure_stalls,
+        sweeps,
     }
 }
 
@@ -1024,9 +1358,29 @@ mod tests {
         }
     }
 
+    fn sweep_point(backend: &str, codec: &str, concurrency: usize, p99_ms: f64) -> ServeSweep {
+        ServeSweep {
+            backend: backend.to_string(),
+            codec: codec.to_string(),
+            concurrency,
+            requests: (concurrency * 2) as u64,
+            errors: 0,
+            dropped_connections: 0,
+            mismatches: 0,
+            connects: concurrency as u64,
+            retries: 0,
+            p50_ms: p99_ms / 4.0,
+            p95_ms: p99_ms / 2.0,
+            p99_ms,
+            throughput_rps: 250.0,
+        }
+    }
+
     fn served_report() -> BenchReport {
         BenchReport {
             serve: Some(ServeResult {
+                backend: "reactor".to_string(),
+                codec: "binary".to_string(),
                 requests: 200,
                 concurrency: 8,
                 errors: 0,
@@ -1041,6 +1395,17 @@ mod tests {
                 retries: 2,
                 respawns: 1,
                 warmup_requests: 16,
+                connects: 40,
+                frames_json: 150,
+                frames_binary: 64,
+                binary_negotiated: 2,
+                backpressure_stalls: 0,
+                sweeps: vec![
+                    sweep_point("threads", "json", 4, 9.0),
+                    sweep_point("threads", "json", 16, 20.0),
+                    sweep_point("reactor", "json", 16, 15.0),
+                    sweep_point("reactor", "binary", 16, 11.0),
+                ],
             }),
             ..sample_report()
         }
@@ -1128,7 +1493,7 @@ mod tests {
         let frac = served_report().to_json().replace("\"retries\": 2", "\"retries\": 2.5");
         assert!(validate_report_json(&frac).is_err());
         // v6: a served report must record its untimed warmup round.
-        let v5 = served_report().to_json().replace("    \"warmup_requests\": 16\n", "");
+        let v5 = served_report().to_json().replace("    \"warmup_requests\": 16,\n", "");
         assert!(validate_report_json(&v5).is_err());
 
         // A served report may stand alone, without kernel rows.
@@ -1153,6 +1518,64 @@ mod tests {
         // Non-monotone latency quantiles are impossible in a real run.
         let warped = served_report().to_json().replace("\"p95_ms\": 31.000", "\"p95_ms\": 3.000");
         assert!(validate_report_json(&warped).is_err());
+    }
+
+    #[test]
+    fn validator_enforces_the_v7_serve_sweep_grid() {
+        // v7: a v6-style served report — no backend/codec identity, no
+        // codec counters, no sweep grid — is rejected.
+        let no_backend =
+            served_report().to_json().replace("    \"backend\": \"reactor\",\n", "");
+        assert!(validate_report_json(&no_backend).is_err());
+        let no_frames =
+            served_report().to_json().replace("    \"frames_binary\": 64,\n", "");
+        assert!(validate_report_json(&no_frames).is_err());
+        let mut gridless = served_report();
+        if let Some(s) = gridless.serve.as_mut() {
+            s.sweeps.clear();
+        }
+        assert!(validate_report_json(&gridless.to_json()).is_err());
+
+        // Binary sweep points must be backed by decoded binary frames on
+        // negotiated connections.
+        let unbacked = served_report()
+            .to_json()
+            .replace("\"frames_binary\": 64", "\"frames_binary\": 0");
+        assert!(validate_report_json(&unbacked).is_err());
+
+        // A sweep point reporting fewer connects than connections is
+        // impossible (each worker holds at least one connection).
+        let starved = served_report().to_json().replace("\"connects\": 16", "\"connects\": 7");
+        assert!(validate_report_json(&starved).is_err());
+
+        // Full (non-smoke) reports must carry the comparison pair at top
+        // concurrency with the binary p99 strictly below threads+json.
+        let mut full = served_report();
+        full.config.smoke = false;
+        assert!(validate_report_json(&full.to_json()).is_ok());
+        let slow_binary =
+            full.to_json().replace("\"p99_ms\": 11.000", "\"p99_ms\": 25.000");
+        let err = validate_report_json(&slow_binary).expect_err("binary p99 above baseline");
+        assert!(err.contains("not below"), "{err}");
+        let mut missing_pair = full.clone();
+        if let Some(s) = missing_pair.serve.as_mut() {
+            s.sweeps.retain(|p| !(p.backend == "threads" && p.concurrency == 16));
+        }
+        assert!(validate_report_json(&missing_pair.to_json()).is_err());
+        // Smoke reports keep the cleanliness checks but skip the strict
+        // latency ordering (single-core noise).
+        let smoke_slow = served_report()
+            .to_json()
+            .replace("\"p99_ms\": 11.000", "\"p99_ms\": 25.000");
+        assert!(validate_report_json(&smoke_slow).is_ok());
+
+        // The headline gate helper reads the committed numbers back.
+        let json = served_report().to_json();
+        let p99 = report_serve_number(&json, "p99_ms").expect("p99 present");
+        assert!((p99 - 44.0).abs() < 1e-9);
+        let rps = report_serve_number(&json, "throughput_rps").expect("rps present");
+        assert!((rps - 312.5).abs() < 1e-9);
+        assert!(report_serve_number(&sample_report().to_json(), "p99_ms").is_err());
     }
 
     #[test]

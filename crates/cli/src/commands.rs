@@ -88,6 +88,15 @@ COMMANDS:
                                                 seeded connection drops, slow/short
                                                 reads, worker panics, spill-write
                                                 failures
+                     [--backend B]              connection layer: reactor (epoll
+                                                event loop, Linux default) | threads
+                                                (one thread per connection)
+                     [--json-only]              refuse binary codec negotiation:
+                                                binary hellos get a typed bad_codec
+                                                error and the connection stays JSON
+                     [--idle-timeout-s S]       reactor: drop connections idle for S
+                                                seconds (default 60; also the
+                                                slow-loris partial-frame bound)
     submit         send one request to a running daemon and print the reply
                      [--addr HOST:PORT]         daemon address (default 127.0.0.1:7777)
                      [--uds PATH]               connect over a Unix socket instead
@@ -99,6 +108,9 @@ COMMANDS:
                                                 with exponential backoff
                      [--kind KIND]              ping|stats|run|authenticate|shutdown
                                                 (default run)
+                     [--codec json|binary]      wire codec (default json); binary is
+                                                negotiated per connection and falls
+                                                to an error if the daemon refuses
                      job flags for run/authenticate:
                        [--part bar|bracket|prism] [--intact] [--seed N]
                        [--resolution coarse|fine|custom] [--orientation xy|xz]
@@ -115,12 +127,14 @@ COMMANDS:
                      [--replicates N]           end-to-end replicates (default 2)
                      [--solver SOLVER]          tensile solver for the optimized fea row:
                                                 newton-pcg (default) | relaxation
-                     [--serve]                  also bench the daemon end to end
-                                                (boots a loopback server, reports
-                                                p50/p95/p99 latency + throughput)
+                     [--serve]                  also bench the daemon end to end: a
+                                                backend (reactor|threads) × codec
+                                                (json|binary) × concurrency sweep,
+                                                byte-verified, with p50/p95/p99 + rps
+                                                per point
                      [--only KERNEL]            slicing|printing|fea|sweep|
                                                 all_experiments|serve
-                     [--out FILE.json]          (default BENCH_PR7.json)
+                     [--out FILE.json]          (default BENCH_PR8.json)
                      [--check FILE.json]        validate an existing report instead of
                                                 benchmarking; fail on any speedup < 1.0
                      [--fea-budget-ms MS]       with --check: also fail if the fea row's
@@ -129,6 +143,10 @@ COMMANDS:
                                                 e.g. printing=3.5,slicing=5.7
                      [--require-serve]          with --check: also fail unless the
                                                 report carries a daemon (serve) result
+                     [--serve-p99-ms MS]        with --check: fail if the headline serve
+                                                p99 exceeds MS milliseconds
+                     [--serve-min-rps R]        with --check: fail if the headline serve
+                                                throughput is below R req/s
     help           show this text
 ";
 
@@ -696,6 +714,35 @@ pub fn bench(args: &[String]) -> CliResult {
             }
             println!("  serve            present  clean daemon load run");
         }
+        // PR 8: absolute floors on the committed headline serve numbers
+        // (the reactor-backend binary-codec point at top concurrency), so
+        // a daemon-latency regression cannot hide behind the relative
+        // kernel speedups.
+        if let Some(ceiling) = flags.get("serve-p99-ms") {
+            let ceiling: f64 = ceiling
+                .parse()
+                .map_err(|_| format!("bad --serve-p99-ms value `{ceiling}`"))?;
+            let p99 = obfuscade_bench::perf::report_serve_number(&text, "p99_ms")
+                .map_err(|e| format!("{path}: {e}"))?;
+            if p99 > ceiling {
+                return Err(format!(
+                    "{path}: serve p99 {p99:.2} ms exceeds the {ceiling:.2} ms ceiling"
+                ));
+            }
+            println!("  serve p99        {p99:>6.2} ms  within the {ceiling:.2} ms ceiling");
+        }
+        if let Some(floor) = flags.get("serve-min-rps") {
+            let floor: f64 =
+                floor.parse().map_err(|_| format!("bad --serve-min-rps value `{floor}`"))?;
+            let rps = obfuscade_bench::perf::report_serve_number(&text, "throughput_rps")
+                .map_err(|e| format!("{path}: {e}"))?;
+            if rps < floor {
+                return Err(format!(
+                    "{path}: serve throughput {rps:.1} req/s below the {floor:.1} req/s floor"
+                ));
+            }
+            println!("  serve rps        {rps:>6.1}     >= {floor:.1} req/s floor");
+        }
         println!("{path}: schema valid, {} kernels, all speedups >= 1.0x", speedups.len());
         return Ok(());
     }
@@ -714,7 +761,7 @@ pub fn bench(args: &[String]) -> CliResult {
         solver: solver_flag(&flags)?,
         serve: flags.contains_key("serve"),
     };
-    let out_path = flags.get("out").map(String::as_str).unwrap_or("BENCH_PR7.json");
+    let out_path = flags.get("out").map(String::as_str).unwrap_or("BENCH_PR8.json");
     let only = flags.get("only").map(String::as_str);
     if let Some(name) = only {
         if !["slicing", "printing", "fea", "sweep", "all_experiments", "serve"].contains(&name) {
@@ -852,15 +899,26 @@ pub fn serve(args: &[String]) -> CliResult {
         allow_remote_shutdown: flags.contains_key("allow-remote-shutdown"),
         spill_dir: flags.get("spill-dir").map(std::path::PathBuf::from),
         chaos: u64_flag(&flags, "chaos-seed")?.map(am_service::ChaosPlan::from_seed),
+        backend: match flags.get("backend") {
+            Some(name) => am_service::ConnBackend::from_name(name)?,
+            None => defaults.backend,
+        },
+        json_only: flags.contains_key("json-only"),
+        idle_timeout: match u64_flag(&flags, "idle-timeout-s")? {
+            Some(secs) => std::time::Duration::from_secs(secs.max(1)),
+            None => defaults.idle_timeout,
+        },
         ..defaults
     };
     let workers = config.workers;
     let queue = config.queue_capacity;
+    let backend = config.backend.name();
     let uds = config.unix_socket.clone();
     let server = Server::start(config).map_err(|e| format!("serve: {e}"))?;
     let addr = server.addr().to_string();
     println!(
-        "obfuscade daemon listening on {addr}{} ({workers} workers, queue {queue})",
+        "obfuscade daemon listening on {addr}{} ({workers} workers, queue {queue}, \
+         {backend} backend)",
         match &uds {
             Some(path) => format!(" and {}", path.display()),
             None => String::new(),
@@ -927,6 +985,10 @@ pub fn submit(args: &[String]) -> CliResult {
     let endpoint = submit_endpoint(&flags)?;
     let job = job_spec_flags(&flags)?;
     let deadline_ms = u64_flag(&flags, "deadline-ms")?;
+    let codec = match flags.get("codec") {
+        Some(name) => am_service::Codec::from_name(name)?,
+        None => am_service::Codec::Json,
+    };
     let policy = am_service::RetryPolicy {
         attempts: u64_flag(&flags, "retries")?
             .map_or(am_service::RetryPolicy::default().attempts, |n| n.min(64) as u32)
@@ -941,11 +1003,15 @@ pub fn submit(args: &[String]) -> CliResult {
         let concurrency = usize_flag(&flags, "concurrency", 4)?.max(1);
         let jobs = vec![job];
         let expected = expected_results_wire(&jobs)?;
-        let report = run_load_with(&endpoint, total, concurrency, &jobs, Some(&expected), &policy);
+        let report =
+            run_load_with(&endpoint, total, concurrency, &jobs, Some(&expected), &policy, codec);
         println!(
-            "{} requests over {} connections in {:.2} s: p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms, {:.1} req/s{}",
+            "{} requests over {} workers / {} connects ({}) in {:.2} s: p50 {:.1} ms, \
+             p95 {:.1} ms, p99 {:.1} ms, {:.1} req/s{}",
             report.requests,
             report.concurrency,
+            report.connects,
+            codec.name(),
             report.wall_s,
             report.quantile_ms(0.50),
             report.quantile_ms(0.95),
@@ -970,10 +1036,11 @@ pub fn submit(args: &[String]) -> CliResult {
     // `ping` and `shutdown` stay on the plain client: ping is the
     // liveness probe (retrying would mask exactly what it measures) and
     // shutdown must never be resent.
-    let mut retrying = RetryingClient::new(&endpoint, policy);
+    let mut retrying = RetryingClient::new_with_codec(&endpoint, policy, codec);
     match flags.get("kind").map(String::as_str).unwrap_or("run") {
         "ping" => {
-            let mut client = Client::connect(&endpoint).map_err(|e| format!("connect: {e}"))?;
+            let mut client = Client::connect_with_codec(&endpoint, None, codec)
+                .map_err(|e| format!("connect: {e}"))?;
             client.ping()?;
             println!("pong");
         }
@@ -981,7 +1048,8 @@ pub fn submit(args: &[String]) -> CliResult {
             println!("{}", retrying.stats()?.render());
         }
         "shutdown" => {
-            let mut client = Client::connect(&endpoint).map_err(|e| format!("connect: {e}"))?;
+            let mut client = Client::connect_with_codec(&endpoint, None, codec)
+                .map_err(|e| format!("connect: {e}"))?;
             let completed = client.shutdown()?;
             println!("daemon drained and stopped ({completed} jobs completed over its lifetime)");
         }

@@ -108,6 +108,18 @@ pub struct ServiceStats {
     pub worker_panics: u64,
     /// Worker threads respawned by the supervisor after a panic.
     pub respawns: u64,
+    /// Connection backend serving this daemon (`"threads"` or
+    /// `"reactor"`; empty in snapshots not taken by a daemon).
+    pub backend: &'static str,
+    /// Request frames decoded under the JSON codec.
+    pub frames_json: u64,
+    /// Request frames decoded under the negotiated binary codec.
+    pub frames_binary: u64,
+    /// Connections that successfully negotiated the binary codec.
+    pub binary_negotiated: u64,
+    /// Reactor writes deferred because the peer's socket buffer was full
+    /// (each is one would-block → wait-for-writable transition).
+    pub backpressure_stalls: u64,
     /// Request-latency histogram (queue wait + pipeline time).
     pub latency: LatencyHistogram,
 }
@@ -181,6 +193,11 @@ impl MetricsSnapshot {
                 ("expired_deadlines".into(), Json::u64(s.expired_deadlines)),
                 ("worker_panics".into(), Json::u64(s.worker_panics)),
                 ("respawns".into(), Json::u64(s.respawns)),
+                ("backend".into(), Json::String(s.backend.to_string())),
+                ("frames_json".into(), Json::u64(s.frames_json)),
+                ("frames_binary".into(), Json::u64(s.frames_binary)),
+                ("binary_negotiated".into(), Json::u64(s.binary_negotiated)),
+                ("backpressure_stalls".into(), Json::u64(s.backpressure_stalls)),
                 ("latency_count".into(), Json::u64(s.latency.count())),
                 ("latency_p50_ms".into(), Json::Number(s.latency.quantile_ms(0.50))),
                 ("latency_p95_ms".into(), Json::Number(s.latency.quantile_ms(0.95))),
@@ -250,6 +267,18 @@ impl MetricsSnapshot {
                 s.rejected_overloaded,
                 s.expired_deadlines
             );
+            if !s.backend.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "wire:        {} backend; {} json + {} binary frames, {} binary conns, \
+                     {} backpressure stalls",
+                    s.backend,
+                    s.frames_json,
+                    s.frames_binary,
+                    s.binary_negotiated,
+                    s.backpressure_stalls
+                );
+            }
             if s.worker_panics > 0 || s.respawns > 0 {
                 let _ = writeln!(
                     out,
@@ -357,6 +386,40 @@ mod tests {
         let text = snapshot.render();
         assert!(text.contains("spill tier"));
         assert!(text.contains("supervisor"));
+    }
+
+    #[test]
+    fn snapshot_json_carries_backend_and_codec_counters() {
+        let snapshot = MetricsSnapshot {
+            service: Some(ServiceStats {
+                backend: "reactor",
+                frames_json: 3,
+                frames_binary: 12,
+                binary_negotiated: 2,
+                backpressure_stalls: 1,
+                ..Default::default()
+            }),
+            ..MetricsSnapshot::default()
+        };
+        let json = snapshot.to_json().render();
+        for field in [
+            "\"backend\":\"reactor\"",
+            "\"frames_json\":3",
+            "\"frames_binary\":12",
+            "\"binary_negotiated\":2",
+            "\"backpressure_stalls\":1",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+        // Stable order: the codec counters sit between the supervision
+        // counters and the latency block.
+        let respawns_at = json.find("\"respawns\"").expect("respawns");
+        let backend_at = json.find("\"backend\"").expect("backend");
+        let latency_at = json.find("\"latency_count\"").expect("latency_count");
+        assert!(respawns_at < backend_at && backend_at < latency_at);
+        let text = snapshot.render();
+        assert!(text.contains("reactor backend"), "{text}");
+        assert!(text.contains("backpressure"), "{text}");
     }
 
     #[test]

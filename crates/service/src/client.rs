@@ -32,6 +32,7 @@ use am_par::Parallelism;
 use obfuscade::json::Json;
 use obfuscade::{run_pipeline_jobs, BatchJob, StageCache};
 
+use crate::codec::{decode_hello, encode_hello, is_binary_hello, Codec, BINARY_VERSION};
 use crate::protocol::{
     encode_outcome, read_frame, write_frame, JobSpec, Request, RequestBody, Response, ServiceError,
 };
@@ -86,6 +87,7 @@ impl Write for ClientStream {
 pub struct Client {
     stream: ClientStream,
     next_id: u64,
+    codec: Codec,
 }
 
 impl Client {
@@ -133,7 +135,66 @@ impl Client {
                 ))
             }
         };
-        Ok(Client { stream, next_id: 1 })
+        Ok(Client { stream, next_id: 1, codec: Codec::Json })
+    }
+
+    /// [`Client::connect_with`] plus codec selection: [`Codec::Binary`]
+    /// performs the hello negotiation on the fresh connection before
+    /// returning, so a successfully built client speaks the requested
+    /// codec from its first request.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, or the daemon refusing the binary codec
+    /// (JSON-only daemon, version mismatch) — surfaced as `InvalidData`
+    /// with the daemon's typed `bad_codec` message.
+    pub fn connect_with_codec(
+        endpoint: &Endpoint,
+        read_timeout: Option<Duration>,
+        codec: Codec,
+    ) -> io::Result<Client> {
+        let mut client = Client::connect_with(endpoint, read_timeout)?;
+        if codec == Codec::Binary {
+            client
+                .negotiate_binary()
+                .map_err(|message| io::Error::new(io::ErrorKind::InvalidData, message))?;
+        }
+        Ok(client)
+    }
+
+    /// The codec this connection speaks.
+    pub fn codec(&self) -> Codec {
+        self.codec
+    }
+
+    /// Sends the binary hello and interprets the daemon's answer: an
+    /// echoed hello switches the connection to binary; a JSON `bad_codec`
+    /// error is the daemon's refusal (the connection would survive in
+    /// JSON, but the caller asked for binary, so it surfaces as an
+    /// error here).
+    fn negotiate_binary(&mut self) -> Result<(), String> {
+        write_frame(&mut self.stream, &encode_hello(BINARY_VERSION))
+            .map_err(|e| format!("hello send failed: {e}"))?;
+        let frame = read_frame(&mut self.stream)
+            .map_err(|e| format!("hello receive failed: {e}"))?
+            .ok_or("the daemon closed the connection during codec negotiation")?;
+        if is_binary_hello(&frame) {
+            let version = decode_hello(&frame)?;
+            if version != BINARY_VERSION {
+                return Err(format!(
+                    "daemon acknowledged binary version {version}, expected {BINARY_VERSION}"
+                ));
+            }
+            self.codec = Codec::Binary;
+            return Ok(());
+        }
+        match Response::decode(&frame) {
+            Ok(Response::Error { error, message, .. }) => {
+                Err(format!("binary codec refused ({}): {message}", error.name()))
+            }
+            Ok(other) => Err(format!("expected a hello ack, got {other:?}")),
+            Err(e) => Err(format!("undecodable negotiation reply: {e}")),
+        }
     }
 
     /// Sends one request body and waits for the matching response.
@@ -146,17 +207,22 @@ impl Client {
         let id = self.next_id;
         self.next_id += 1;
         let request = Request { id, body };
-        self.raw_call(&request.encode()).and_then(|response| {
-            if response.id() == id || matches!(response, Response::Error { id: 0, .. }) {
-                Ok(response)
-            } else {
-                Err(format!("response id {} does not match request id {id}", response.id()))
-            }
-        })
+        let payload = self.codec.encode_request(&request);
+        write_frame(&mut self.stream, &payload).map_err(|e| format!("send failed: {e}"))?;
+        let frame = read_frame(&mut self.stream)
+            .map_err(|e| format!("receive failed: {e}"))?
+            .ok_or("the daemon closed the connection")?;
+        let response = self.codec.decode_response(&frame)?;
+        if response.id() == id || matches!(response, Response::Error { id: 0, .. }) {
+            Ok(response)
+        } else {
+            Err(format!("response id {} does not match request id {id}", response.id()))
+        }
     }
 
-    /// Sends raw frame-payload bytes and decodes whatever comes back —
-    /// the hook tests use to probe the daemon's malformed-input handling.
+    /// Sends raw frame-payload bytes and decodes whatever comes back as
+    /// JSON — the hook tests use to probe the daemon's malformed-input
+    /// handling (only meaningful on a JSON connection).
     ///
     /// # Errors
     ///
@@ -300,21 +366,49 @@ fn retryable(response: &Response) -> bool {
 pub struct RetryingClient {
     endpoint: Endpoint,
     policy: RetryPolicy,
+    codec: Codec,
     conn: Option<Client>,
     retries: u64,
+    connects: u64,
 }
 
 impl RetryingClient {
     /// Creates the client without connecting; the first request (or
-    /// [`RetryingClient::connect`]) establishes the connection.
+    /// [`RetryingClient::connect`]) establishes the connection. Speaks
+    /// JSON; use [`RetryingClient::new_with_codec`] to negotiate binary.
     pub fn new(endpoint: &Endpoint, policy: RetryPolicy) -> RetryingClient {
-        RetryingClient { endpoint: endpoint.clone(), policy, conn: None, retries: 0 }
+        RetryingClient::new_with_codec(endpoint, policy, Codec::Json)
+    }
+
+    /// [`RetryingClient::new`] with an explicit codec. Every connection
+    /// (including reconnects after transport failures) negotiates that
+    /// codec before requests flow.
+    pub fn new_with_codec(
+        endpoint: &Endpoint,
+        policy: RetryPolicy,
+        codec: Codec,
+    ) -> RetryingClient {
+        RetryingClient {
+            endpoint: endpoint.clone(),
+            policy,
+            codec,
+            conn: None,
+            retries: 0,
+            connects: 0,
+        }
     }
 
     /// Retries performed so far — backoff-then-resend cycles, whether
     /// triggered by transport failures or retryable typed errors.
     pub fn retries(&self) -> u64 {
         self.retries
+    }
+
+    /// Connections established over this client's lifetime. A healthy
+    /// run reuses one connection for every request, so this stays at 1;
+    /// each transport-failure reconnect adds one.
+    pub fn connects(&self) -> u64 {
+        self.connects
     }
 
     /// Establishes the connection now, retrying with backoff per the
@@ -333,8 +427,10 @@ impl RetryingClient {
             if self.conn.is_some() {
                 return Ok(());
             }
-            match Client::connect_with(&self.endpoint, Some(self.policy.timeout)) {
+            match Client::connect_with_codec(&self.endpoint, Some(self.policy.timeout), self.codec)
+            {
                 Ok(client) => {
+                    self.connects += 1;
                     self.conn = Some(client);
                     return Ok(());
                 }
@@ -402,13 +498,22 @@ impl RetryingClient {
             }
             let client = match self.conn {
                 Some(ref mut client) => client,
-                None => match Client::connect_with(&self.endpoint, Some(self.policy.timeout)) {
-                    Ok(client) => self.conn.insert(client),
-                    Err(err) => {
-                        last = format!("connect failed: {err}");
-                        continue;
+                None => {
+                    match Client::connect_with_codec(
+                        &self.endpoint,
+                        Some(self.policy.timeout),
+                        self.codec,
+                    ) {
+                        Ok(client) => {
+                            self.connects += 1;
+                            self.conn.insert(client)
+                        }
+                        Err(err) => {
+                            last = format!("connect failed: {err}");
+                            continue;
+                        }
                     }
-                },
+                }
             };
             match send(client) {
                 Ok(response) if retryable(&response) => {
@@ -450,6 +555,11 @@ pub struct LoadReport {
     /// under chaos as long as every request got correct bytes in the
     /// end.
     pub retries: u64,
+    /// Connections established across all threads. Each thread reuses
+    /// one connection for its whole share, so a clean run reports
+    /// exactly `concurrency`; anything above that is chaos-forced
+    /// reconnects.
+    pub connects: u64,
     /// Per-request round-trip latencies, sorted ascending (ms).
     pub latencies_ms: Vec<f64>,
     /// Wall-clock duration of the whole run (s).
@@ -524,15 +634,20 @@ pub fn run_load(
     jobs: &[JobSpec],
     expected: Option<&str>,
 ) -> LoadReport {
-    run_load_with(endpoint, total, concurrency, jobs, expected, &RetryPolicy::default())
+    run_load_with(endpoint, total, concurrency, jobs, expected, &RetryPolicy::default(), Codec::Json)
 }
 
-/// [`run_load`] with an explicit [`RetryPolicy`]: each client thread
-/// drives a [`RetryingClient`], so transient failures (chaos-injected
-/// connection drops, worker panics, even a daemon restart mid-run) are
-/// retried with backoff instead of counted as errors. Only a request
-/// that still fails after exhausting the policy's attempts — or a
-/// non-retryable typed error — lands in `errors`.
+/// [`run_load`] with an explicit [`RetryPolicy`] and wire codec: each
+/// client thread drives a [`RetryingClient`], so transient failures
+/// (chaos-injected connection drops, worker panics, even a daemon
+/// restart mid-run) are retried with backoff instead of counted as
+/// errors. Only a request that still fails after exhausting the
+/// policy's attempts — or a non-retryable typed error — lands in
+/// `errors`.
+///
+/// The byte-identity check is codec-independent: binary responses are
+/// decoded and re-rendered as canonical JSON before comparing against
+/// `expected`, so both codecs must agree with the in-process reference.
 pub fn run_load_with(
     endpoint: &Endpoint,
     total: u64,
@@ -540,6 +655,7 @@ pub fn run_load_with(
     jobs: &[JobSpec],
     expected: Option<&str>,
     policy: &RetryPolicy,
+    codec: Codec,
 ) -> LoadReport {
     let concurrency = concurrency.max(1);
     let report = Mutex::new(LoadReport {
@@ -561,12 +677,13 @@ pub fn run_load_with(
             let report = &report;
             let jobs = jobs.to_vec();
             scope.spawn(move || {
-                let mut client = RetryingClient::new(endpoint, *policy);
+                let mut client = RetryingClient::new_with_codec(endpoint, *policy, codec);
                 if client.connect().is_err() {
                     let mut r = report.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
                     r.dropped_connections += 1;
                     r.errors += share;
                     r.retries += client.retries();
+                    r.connects += client.connects();
                     return;
                 }
                 let mut latencies = Vec::with_capacity(share as usize);
@@ -591,6 +708,7 @@ pub fn run_load_with(
                 r.errors += errors;
                 r.mismatches += mismatches;
                 r.retries += client.retries();
+                r.connects += client.connects();
             });
         }
     });

@@ -1,0 +1,783 @@
+//! The negotiated wire codecs: JSON (the compatibility default) and a
+//! compact binary encoding that skips float rendering/parsing on the hot
+//! serve path.
+//!
+//! # Negotiation
+//!
+//! Framing is codec-independent: both codecs ride the same 4-byte
+//! big-endian length prefix ([`crate::protocol::read_frame`]). A legacy
+//! client simply sends JSON request frames and is served JSON — nothing
+//! changed for it. A binary-capable client sends, as the **first frame**
+//! on the connection, a 5-byte hello: the magic [`BINARY_MAGIC`]
+//! (`"OBFB"`) followed by the version byte it proposes. JSON payloads
+//! always start with `{`, so the magic is unambiguous. The server
+//! answers with the same 5 bytes carrying the version it accepted
+//! ([`BINARY_VERSION`] today) and both sides switch to binary for every
+//! subsequent frame; a server configured JSON-only (or offered a version
+//! it does not speak) instead answers a typed `bad_codec` **JSON** error
+//! and the connection continues in JSON — negotiation failure is an
+//! answer, never a hangup.
+//!
+//! # Binary encoding
+//!
+//! Fixed-width little-endian scalars, `u32`-length-prefixed UTF-8
+//! strings, one leading tag byte per request/response kind and per
+//! [`Json`] value — see DESIGN.md §14 for the byte-level layout. The
+//! encoding is a pure function of the decoded value (like the canonical
+//! JSON rendering), so equal values produce byte-identical frames and
+//! the wire-equivalence suite can compare across codecs by comparing
+//! decoded values. Floats travel as raw IEEE-754 bits (`f64::to_bits`),
+//! which both avoids the shortest-round-trip formatting cost that
+//! dominates JSON serve time and makes the round trip exact by
+//! construction.
+//!
+//! Decoding is **zero-copy until ownership is needed**: [`BinReader`]
+//! hands out `&str`/`&[u8]` slices borrowed straight from the frame
+//! payload (UTF-8 validated in place, length-checked before any
+//! allocation), and only the retained fields of the final owned
+//! [`Request`]/[`Response`] are copied out of the buffer.
+
+use obfuscade::json::Json;
+
+use crate::protocol::{JobSpec, Request, RequestBody, Response, ServiceError, MAX_FRAME};
+use am_mesh::Resolution;
+use am_slicer::Orientation;
+
+/// First four bytes of a binary hello/ack frame. `0x4F 0x42 0x46 0x42`.
+pub const BINARY_MAGIC: [u8; 4] = *b"OBFB";
+
+/// The binary codec version this build speaks.
+pub const BINARY_VERSION: u8 = 1;
+
+/// A wire codec for request/response payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Codec {
+    /// Length-prefixed canonical JSON — the compatibility codec and the
+    /// default for clients that never negotiate.
+    #[default]
+    Json,
+    /// The negotiated compact binary encoding.
+    Binary,
+}
+
+impl Codec {
+    /// Stable lowercase name (CLI flag value, metrics field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Codec::Json => "json",
+            Codec::Binary => "binary",
+        }
+    }
+
+    /// Parses a CLI flag value.
+    ///
+    /// # Errors
+    ///
+    /// The unknown name.
+    pub fn from_name(name: &str) -> Result<Codec, String> {
+        match name {
+            "json" => Ok(Codec::Json),
+            "binary" => Ok(Codec::Binary),
+            other => Err(format!("unknown codec `{other}` (json|binary)")),
+        }
+    }
+
+    /// Encodes a request payload under this codec.
+    pub fn encode_request(&self, request: &Request) -> Vec<u8> {
+        match self {
+            Codec::Json => request.encode(),
+            Codec::Binary => encode_request_binary(request),
+        }
+    }
+
+    /// Decodes a request payload under this codec.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed byte/field.
+    pub fn decode_request(&self, payload: &[u8]) -> Result<Request, String> {
+        match self {
+            Codec::Json => Request::decode(payload),
+            Codec::Binary => decode_request_binary(payload),
+        }
+    }
+
+    /// Encodes a response payload under this codec.
+    pub fn encode_response(&self, response: &Response) -> Vec<u8> {
+        match self {
+            Codec::Json => response.encode(),
+            Codec::Binary => encode_response_binary(response),
+        }
+    }
+
+    /// Decodes a response payload under this codec.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed byte/field.
+    pub fn decode_response(&self, payload: &[u8]) -> Result<Response, String> {
+        match self {
+            Codec::Json => Response::decode(payload),
+            Codec::Binary => decode_response_binary(payload),
+        }
+    }
+}
+
+/// The 5-byte hello a binary-capable client sends as its first frame
+/// (also the ack shape the server answers with).
+pub fn encode_hello(version: u8) -> Vec<u8> {
+    let mut payload = BINARY_MAGIC.to_vec();
+    payload.push(version);
+    payload
+}
+
+/// Does this first frame open a binary negotiation? (Any payload leading
+/// with the magic — a malformed tail is still a negotiation attempt, it
+/// just fails with `bad_codec` rather than being fed to the JSON parser.)
+pub fn is_binary_hello(payload: &[u8]) -> bool {
+    payload.starts_with(&BINARY_MAGIC)
+}
+
+/// Decodes a hello/ack frame to its proposed/accepted version.
+///
+/// # Errors
+///
+/// Missing magic or a malformed length.
+pub fn decode_hello(payload: &[u8]) -> Result<u8, String> {
+    if !is_binary_hello(payload) {
+        return Err("not a binary hello frame (missing OBFB magic)".to_string());
+    }
+    if payload.len() != 5 {
+        return Err(format!("binary hello must be 5 bytes, got {}", payload.len()));
+    }
+    Ok(payload[4])
+}
+
+// --- binary writer ------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        None => out.push(0),
+        Some(v) => {
+            out.push(1);
+            put_u64(out, v);
+        }
+    }
+}
+
+// --- zero-copy binary reader --------------------------------------------
+
+/// A cursor over a binary frame payload that yields scalars and
+/// **borrowed** slices — no intermediate copies; UTF-8 is validated in
+/// place and every length is checked against the remaining buffer before
+/// anything is materialised.
+pub struct BinReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BinReader<'a> {
+    /// Wraps a frame payload.
+    pub fn new(buf: &'a [u8]) -> BinReader<'a> {
+        BinReader { buf, pos: 0 }
+    }
+
+    /// Takes `n` raw bytes as a borrowed slice.
+    ///
+    /// # Errors
+    ///
+    /// Fewer than `n` bytes remain.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| format!("binary frame truncated: wanted {n} bytes at {}", self.pos))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// One byte.
+    ///
+    /// # Errors
+    ///
+    /// End of buffer.
+    pub fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// End of buffer.
+    pub fn u32(&mut self) -> Result<u32, String> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// End of buffer.
+    pub fn u64(&mut self) -> Result<u64, String> {
+        let b = self.bytes(8)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(b);
+        Ok(u64::from_le_bytes(raw))
+    }
+
+    /// An `f64` from raw IEEE-754 bits.
+    ///
+    /// # Errors
+    ///
+    /// End of buffer.
+    pub fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A length-prefixed string as a **borrowed** `&str` — the length is
+    /// bounds-checked against the remaining payload before the slice is
+    /// taken, and UTF-8 is validated in place.
+    ///
+    /// # Errors
+    ///
+    /// Truncation or invalid UTF-8.
+    pub fn str_ref(&mut self) -> Result<&'a str, String> {
+        let len = self.u32()? as usize;
+        let raw = self.bytes(len)?;
+        std::str::from_utf8(raw).map_err(|e| format!("binary string is not UTF-8: {e}"))
+    }
+
+    /// A collection length prefix, sanity-bounded: each element needs at
+    /// least `min_element_bytes`, so a length the remaining buffer cannot
+    /// possibly hold is rejected before any allocation.
+    ///
+    /// # Errors
+    ///
+    /// A length prefix larger than the remaining payload could encode.
+    pub fn seq_len(&mut self, min_element_bytes: usize) -> Result<usize, String> {
+        let len = self.u32()? as usize;
+        let remaining = self.buf.len() - self.pos;
+        if len.saturating_mul(min_element_bytes.max(1)) > remaining {
+            return Err(format!(
+                "binary frame claims {len} elements but only {remaining} bytes remain"
+            ));
+        }
+        Ok(len)
+    }
+
+    /// Asserts the payload was consumed exactly.
+    ///
+    /// # Errors
+    ///
+    /// Trailing bytes.
+    pub fn finish(&self) -> Result<(), String> {
+        if self.pos != self.buf.len() {
+            return Err(format!(
+                "binary frame has {} trailing bytes",
+                self.buf.len() - self.pos
+            ));
+        }
+        Ok(())
+    }
+
+    fn opt_u64(&mut self) -> Result<Option<u64>, String> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            other => Err(format!("bad option tag {other}")),
+        }
+    }
+}
+
+// --- Json values --------------------------------------------------------
+
+const J_NULL: u8 = 0;
+const J_FALSE: u8 = 1;
+const J_TRUE: u8 = 2;
+const J_NUMBER: u8 = 3;
+const J_STRING: u8 = 4;
+const J_ARRAY: u8 = 5;
+const J_OBJECT: u8 = 6;
+
+/// Appends the binary encoding of a [`Json`] value (tag byte + payload).
+pub fn put_json(out: &mut Vec<u8>, v: &Json) {
+    match v {
+        Json::Null => out.push(J_NULL),
+        Json::Bool(false) => out.push(J_FALSE),
+        Json::Bool(true) => out.push(J_TRUE),
+        Json::Number(n) => {
+            out.push(J_NUMBER);
+            put_f64(out, *n);
+        }
+        Json::String(s) => {
+            out.push(J_STRING);
+            put_str(out, s);
+        }
+        Json::Array(items) => {
+            out.push(J_ARRAY);
+            put_u32(out, items.len() as u32);
+            for item in items {
+                put_json(out, item);
+            }
+        }
+        Json::Object(fields) => {
+            out.push(J_OBJECT);
+            put_u32(out, fields.len() as u32);
+            for (name, value) in fields {
+                put_str(out, name);
+                put_json(out, value);
+            }
+        }
+    }
+}
+
+/// Reads one binary [`Json`] value.
+///
+/// # Errors
+///
+/// Truncation, an unknown tag, or a depth beyond the JSON parser's own
+/// bound (128) — the two codecs accept the same value shapes.
+pub fn read_json(r: &mut BinReader<'_>) -> Result<Json, String> {
+    read_json_at(r, 0)
+}
+
+fn read_json_at(r: &mut BinReader<'_>, depth: u32) -> Result<Json, String> {
+    if depth > 128 {
+        return Err("binary JSON nests deeper than 128 levels".to_string());
+    }
+    match r.u8()? {
+        J_NULL => Ok(Json::Null),
+        J_FALSE => Ok(Json::Bool(false)),
+        J_TRUE => Ok(Json::Bool(true)),
+        J_NUMBER => Ok(Json::Number(r.f64()?)),
+        J_STRING => Ok(Json::String(r.str_ref()?.to_string())),
+        J_ARRAY => {
+            let len = r.seq_len(1)?;
+            let mut items = Vec::with_capacity(len);
+            for _ in 0..len {
+                items.push(read_json_at(r, depth + 1)?);
+            }
+            Ok(Json::Array(items))
+        }
+        J_OBJECT => {
+            let len = r.seq_len(5)?;
+            let mut fields = Vec::with_capacity(len);
+            for _ in 0..len {
+                let name = r.str_ref()?.to_string();
+                fields.push((name, read_json_at(r, depth + 1)?));
+            }
+            Ok(Json::Object(fields))
+        }
+        other => Err(format!("unknown binary JSON tag {other}")),
+    }
+}
+
+// --- JobSpec ------------------------------------------------------------
+
+fn put_job(out: &mut Vec<u8>, job: &JobSpec) {
+    put_str(out, &job.part);
+    out.push(u8::from(job.intact));
+    out.push(match job.resolution {
+        Resolution::Coarse => 0,
+        Resolution::Fine => 1,
+        Resolution::Custom => 2,
+    });
+    out.push(match job.orientation {
+        Orientation::Xy => 0,
+        Orientation::Xz => 1,
+    });
+    put_u64(out, job.seed);
+    out.push(u8::from(job.tensile));
+    put_str(out, job.solver.name());
+    match job.layer {
+        None => out.push(0),
+        Some(v) => {
+            out.push(1);
+            put_f64(out, v);
+        }
+    }
+    put_str(out, &job.faults);
+    put_u64(out, job.fault_seed);
+}
+
+fn read_job(r: &mut BinReader<'_>) -> Result<JobSpec, String> {
+    // Every string decodes as a borrowed slice first; only the retained
+    // fields are copied into the owned spec.
+    let part = r.str_ref()?;
+    let intact = r.u8()? != 0;
+    let resolution = match r.u8()? {
+        0 => Resolution::Coarse,
+        1 => Resolution::Fine,
+        2 => Resolution::Custom,
+        other => return Err(format!("unknown resolution tag {other}")),
+    };
+    let orientation = match r.u8()? {
+        0 => Orientation::Xy,
+        1 => Orientation::Xz,
+        other => return Err(format!("unknown orientation tag {other}")),
+    };
+    let seed = r.u64()?;
+    let tensile = r.u8()? != 0;
+    let solver = r.str_ref()?.parse()?;
+    let layer = match r.u8()? {
+        0 => None,
+        1 => {
+            let v = r.f64()?;
+            if !(v.is_finite() && v > 0.0) {
+                return Err("`layer` must be a positive finite number".to_string());
+            }
+            Some(v)
+        }
+        other => return Err(format!("bad layer tag {other}")),
+    };
+    let faults = r.str_ref()?;
+    let fault_seed = r.u64()?;
+    Ok(JobSpec {
+        part: part.to_string(),
+        intact,
+        resolution,
+        orientation,
+        seed,
+        tensile,
+        solver,
+        layer,
+        faults: faults.to_string(),
+        fault_seed,
+    })
+}
+
+// --- requests -----------------------------------------------------------
+
+const RQ_PING: u8 = 0;
+const RQ_STATS: u8 = 1;
+const RQ_SHUTDOWN: u8 = 2;
+const RQ_RUN: u8 = 3;
+const RQ_AUTHENTICATE: u8 = 4;
+
+/// Binary request payload: kind tag, id, then the kind's fields.
+pub fn encode_request_binary(request: &Request) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    match &request.body {
+        RequestBody::Ping => out.push(RQ_PING),
+        RequestBody::Stats => out.push(RQ_STATS),
+        RequestBody::Shutdown => out.push(RQ_SHUTDOWN),
+        RequestBody::Run { .. } => out.push(RQ_RUN),
+        RequestBody::Authenticate { .. } => out.push(RQ_AUTHENTICATE),
+    }
+    put_u64(&mut out, request.id);
+    match &request.body {
+        RequestBody::Ping | RequestBody::Stats | RequestBody::Shutdown => {}
+        RequestBody::Run { jobs, deadline_ms } => {
+            put_u32(&mut out, jobs.len() as u32);
+            for job in jobs {
+                put_job(&mut out, job);
+            }
+            put_opt_u64(&mut out, *deadline_ms);
+        }
+        RequestBody::Authenticate { job, deadline_ms } => {
+            put_job(&mut out, job);
+            put_opt_u64(&mut out, *deadline_ms);
+        }
+    }
+    debug_assert!(out.len() <= MAX_FRAME);
+    out
+}
+
+/// Decodes a binary request payload.
+///
+/// # Errors
+///
+/// Truncation, unknown tags, malformed fields, or trailing bytes.
+pub fn decode_request_binary(payload: &[u8]) -> Result<Request, String> {
+    let mut r = BinReader::new(payload);
+    let kind = r.u8()?;
+    let id = r.u64()?;
+    let body = match kind {
+        RQ_PING => RequestBody::Ping,
+        RQ_STATS => RequestBody::Stats,
+        RQ_SHUTDOWN => RequestBody::Shutdown,
+        RQ_RUN => {
+            // A job is ≥ 40 bytes even with empty strings.
+            let n = r.seq_len(40)?;
+            let mut jobs = Vec::with_capacity(n);
+            for _ in 0..n {
+                jobs.push(read_job(&mut r)?);
+            }
+            RequestBody::Run { jobs, deadline_ms: r.opt_u64()? }
+        }
+        RQ_AUTHENTICATE => {
+            RequestBody::Authenticate { job: read_job(&mut r)?, deadline_ms: r.opt_u64()? }
+        }
+        other => return Err(format!("unknown binary request kind {other}")),
+    };
+    r.finish()?;
+    Ok(Request { id, body })
+}
+
+// --- responses ----------------------------------------------------------
+
+const RS_PONG: u8 = 0;
+const RS_STATS: u8 = 1;
+const RS_BYE: u8 = 2;
+const RS_RESULTS: u8 = 3;
+const RS_VERDICT: u8 = 4;
+const RS_ERROR: u8 = 5;
+
+fn error_tag(error: ServiceError) -> u8 {
+    match error {
+        ServiceError::Overloaded => 0,
+        ServiceError::ShuttingDown => 1,
+        ServiceError::Malformed => 2,
+        ServiceError::Forbidden => 3,
+        ServiceError::Job => 4,
+        ServiceError::Internal => 5,
+        ServiceError::BadCodec => 6,
+    }
+}
+
+fn error_from_tag(tag: u8) -> Result<ServiceError, String> {
+    Ok(match tag {
+        0 => ServiceError::Overloaded,
+        1 => ServiceError::ShuttingDown,
+        2 => ServiceError::Malformed,
+        3 => ServiceError::Forbidden,
+        4 => ServiceError::Job,
+        5 => ServiceError::Internal,
+        6 => ServiceError::BadCodec,
+        other => return Err(format!("unknown binary error class {other}")),
+    })
+}
+
+/// Binary response payload: kind tag, echoed id, then the kind's fields.
+pub fn encode_response_binary(response: &Response) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128);
+    match response {
+        Response::Pong { .. } => out.push(RS_PONG),
+        Response::Stats { .. } => out.push(RS_STATS),
+        Response::Bye { .. } => out.push(RS_BYE),
+        Response::Results { .. } => out.push(RS_RESULTS),
+        Response::Verdict { .. } => out.push(RS_VERDICT),
+        Response::Error { .. } => out.push(RS_ERROR),
+    }
+    put_u64(&mut out, response.id());
+    match response {
+        Response::Pong { .. } => {}
+        Response::Stats { metrics, .. } => put_json(&mut out, metrics),
+        Response::Bye { completed, .. } => put_u64(&mut out, *completed),
+        Response::Results { results, .. } => {
+            put_u32(&mut out, results.len() as u32);
+            for result in results {
+                put_json(&mut out, result);
+            }
+        }
+        Response::Verdict { verdict, cold_joint_mm2, void_mm3, .. } => {
+            put_str(&mut out, verdict);
+            put_f64(&mut out, *cold_joint_mm2);
+            put_f64(&mut out, *void_mm3);
+        }
+        Response::Error { error, message, .. } => {
+            out.push(error_tag(*error));
+            put_str(&mut out, message);
+        }
+    }
+    out
+}
+
+/// Decodes a binary response payload.
+///
+/// # Errors
+///
+/// Truncation, unknown tags, malformed fields, or trailing bytes.
+pub fn decode_response_binary(payload: &[u8]) -> Result<Response, String> {
+    let mut r = BinReader::new(payload);
+    let kind = r.u8()?;
+    let id = r.u64()?;
+    let response = match kind {
+        RS_PONG => Response::Pong { id },
+        RS_STATS => Response::Stats { id, metrics: read_json(&mut r)? },
+        RS_BYE => Response::Bye { id, completed: r.u64()? },
+        RS_RESULTS => {
+            let n = r.seq_len(1)?;
+            let mut results = Vec::with_capacity(n);
+            for _ in 0..n {
+                results.push(read_json(&mut r)?);
+            }
+            Response::Results { id, results }
+        }
+        RS_VERDICT => Response::Verdict {
+            id,
+            verdict: r.str_ref()?.to_string(),
+            cold_joint_mm2: r.f64()?,
+            void_mm3: r.f64()?,
+        },
+        RS_ERROR => {
+            let error = error_from_tag(r.u8()?)?;
+            Response::Error { id, error, message: r.str_ref()?.to_string() }
+        }
+        other => return Err(format!("unknown binary response kind {other}")),
+    };
+    r.finish()?;
+    Ok(response)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_frames_round_trip_and_reject_garbage() {
+        let hello = encode_hello(BINARY_VERSION);
+        assert_eq!(hello.len(), 5);
+        assert!(is_binary_hello(&hello));
+        assert_eq!(decode_hello(&hello).expect("hello"), BINARY_VERSION);
+        assert!(!is_binary_hello(b"{\"id\":1}"));
+        assert!(decode_hello(b"OBFB").is_err(), "truncated hello");
+        assert!(decode_hello(b"OBFBxx").is_err(), "overlong hello");
+        assert!(decode_hello(b"NOPE!").is_err());
+    }
+
+    #[test]
+    fn binary_requests_round_trip_to_identical_values() {
+        let job = JobSpec {
+            part: "bar".into(),
+            intact: true,
+            resolution: Resolution::Fine,
+            orientation: Orientation::Xz,
+            seed: u64::MAX,
+            tensile: true,
+            layer: None,
+            faults: "void-stl stl.degenerate=3".into(),
+            fault_seed: 42,
+            ..JobSpec::default()
+        };
+        for body in [
+            RequestBody::Ping,
+            RequestBody::Stats,
+            RequestBody::Shutdown,
+            RequestBody::Run { jobs: vec![job.clone(), JobSpec::default()], deadline_ms: Some(250) },
+            RequestBody::Run { jobs: vec![], deadline_ms: None },
+            RequestBody::Authenticate { job: job.clone(), deadline_ms: None },
+        ] {
+            let request = Request { id: 0xdead_beef, body };
+            let payload = encode_request_binary(&request);
+            let decoded = decode_request_binary(&payload).expect("decode");
+            assert_eq!(decoded, request);
+            // Pure function of the value: re-encoding is byte-identical.
+            assert_eq!(encode_request_binary(&decoded), payload);
+        }
+    }
+
+    #[test]
+    fn binary_responses_round_trip_including_exact_floats() {
+        // Values chosen to be hostile to text round-trips: subnormals,
+        // negative zero, and a number needing all 17 digits.
+        let nasty = Json::Array(vec![
+            Json::Number(f64::MIN_POSITIVE / 2.0),
+            Json::Number(-0.0),
+            Json::Number(0.123_456_789_012_345_67),
+            Json::Object(vec![("k".into(), Json::Null)]),
+        ]);
+        for response in [
+            Response::Pong { id: 1 },
+            Response::Stats { id: 2, metrics: nasty.clone() },
+            Response::Bye { id: 3, completed: u64::MAX },
+            Response::Results { id: 4, results: vec![nasty, Json::Bool(true)] },
+            Response::Verdict {
+                id: 5,
+                verdict: "genuine".into(),
+                cold_joint_mm2: 0.1 + 0.2,
+                void_mm3: f64::EPSILON,
+            },
+            Response::Error { id: 6, error: ServiceError::BadCodec, message: "no".into() },
+        ] {
+            let payload = encode_response_binary(&response);
+            let decoded = decode_response_binary(&payload).expect("decode");
+            assert_eq!(decoded, response);
+            assert_eq!(encode_response_binary(&decoded), payload);
+        }
+    }
+
+    #[test]
+    fn every_error_class_survives_the_binary_tag_round_trip() {
+        for error in [
+            ServiceError::Overloaded,
+            ServiceError::ShuttingDown,
+            ServiceError::Malformed,
+            ServiceError::Forbidden,
+            ServiceError::Job,
+            ServiceError::Internal,
+            ServiceError::BadCodec,
+        ] {
+            assert_eq!(error_from_tag(error_tag(error)).expect("tag"), error);
+        }
+        assert!(error_from_tag(200).is_err());
+    }
+
+    #[test]
+    fn truncated_and_oversized_binary_frames_fail_before_allocating() {
+        let request = Request {
+            id: 9,
+            body: RequestBody::Run { jobs: vec![JobSpec::default()], deadline_ms: None },
+        };
+        let payload = encode_request_binary(&request);
+        for cut in [0, 1, 5, 9, 13, payload.len() - 1] {
+            assert!(
+                decode_request_binary(&payload[..cut]).is_err(),
+                "a {cut}-byte prefix must not decode"
+            );
+        }
+        // Trailing bytes are rejected, not ignored.
+        let mut padded = payload.clone();
+        padded.push(0);
+        assert!(decode_request_binary(&padded).is_err());
+
+        // A length prefix claiming 500M jobs in a 20-byte frame dies on
+        // the seq_len bound, not in Vec::with_capacity.
+        let mut bomb = vec![RQ_RUN];
+        bomb.extend_from_slice(&7u64.to_le_bytes());
+        bomb.extend_from_slice(&500_000_000u32.to_le_bytes());
+        let err = decode_request_binary(&bomb).expect_err("bomb");
+        assert!(err.contains("elements"), "{err}");
+    }
+
+    #[test]
+    fn codec_dispatch_matches_the_underlying_encodings() {
+        let request = Request { id: 1, body: RequestBody::Ping };
+        assert_eq!(Codec::Json.encode_request(&request), request.encode());
+        assert_eq!(Codec::Binary.encode_request(&request), encode_request_binary(&request));
+        for codec in [Codec::Json, Codec::Binary] {
+            let decoded =
+                codec.decode_request(&codec.encode_request(&request)).expect("round trip");
+            assert_eq!(decoded, request);
+            assert_eq!(Codec::from_name(codec.name()).expect("name"), codec);
+        }
+        assert!(Codec::from_name("msgpack").is_err());
+        // The binary encoding is denser than JSON for a real batch.
+        let run = Request {
+            id: 2,
+            body: RequestBody::Run { jobs: vec![JobSpec::default(); 4], deadline_ms: Some(100) },
+        };
+        assert!(Codec::Binary.encode_request(&run).len() < Codec::Json.encode_request(&run).len());
+    }
+}

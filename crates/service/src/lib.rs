@@ -1,17 +1,28 @@
 //! **am-service** — the ObfusCADe obfuscation daemon and its client.
 //!
 //! Turns the batch pipeline engine ([`obfuscade::run_pipeline_jobs`])
-//! into a long-running network service: a thread-per-connection daemon
-//! speaking a length-prefixed JSON protocol over TCP (and a Unix-domain
-//! socket on Unix), with a bounded job queue in front of a fixed worker
-//! pool, one process-wide shared [`obfuscade::StageCache`], typed
-//! `overloaded` admission rejections, per-request deadlines
-//! (budget-checked between pipeline stages, so nothing half-computed is
-//! ever cached), and drain-then-stop graceful shutdown.
+//! into a long-running network service: a daemon speaking a
+//! length-prefixed frame protocol over TCP (and a Unix-domain socket on
+//! Unix) — JSON payloads by default, with a version-negotiated compact
+//! binary codec ([`Codec`]) clients opt into via a magic first frame —
+//! with a bounded job queue in front of a fixed worker pool, one
+//! process-wide shared [`obfuscade::StageCache`], typed `overloaded`
+//! admission rejections, per-request deadlines (budget-checked between
+//! pipeline stages, so nothing half-computed is ever cached), and
+//! drain-then-stop graceful shutdown.
+//!
+//! Connections are served by one of two interchangeable backends
+//! ([`ConnBackend`]): a non-blocking epoll **reactor** (the Linux
+//! default — one event-loop thread multiplexing every socket, with
+//! per-connection reassembly buffers, write backpressure, and
+//! idle/slow-loris timeouts; built on the vendored `am-reactor` syscall
+//! shim so this crate stays `forbid(unsafe_code)`) and the original
+//! **thread-per-connection** backend, kept as the differential oracle.
 //!
 //! The determinism contract carries over the wire: a served batch
-//! renders byte-identically to the same batch run in-process, which the
-//! `wire_equivalence` suite and the load generator both enforce.
+//! renders byte-identically to the same batch run in-process — on
+//! either backend, under either codec — which the `wire_equivalence`
+//! suite and the load generator both enforce.
 //!
 //! # Example
 //!
@@ -31,15 +42,18 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod codec;
 pub mod protocol;
+pub mod reactor;
 pub mod server;
 
 pub use client::{
     expected_results_wire, run_load, run_load_with, Client, Endpoint, LoadReport, RetryPolicy,
     RetryingClient,
 };
+pub use codec::{decode_hello, encode_hello, is_binary_hello, Codec, BINARY_MAGIC, BINARY_VERSION};
 pub use protocol::{
     encode_outcome, read_frame, write_frame, JobSpec, Request, RequestBody, Response,
     ServiceError, MAX_FRAME,
 };
-pub use server::{ChaosPlan, Server, ServerConfig};
+pub use server::{ChaosPlan, ConnBackend, Server, ServerConfig};

@@ -442,6 +442,10 @@ pub enum ServiceError {
     /// Submission is idempotent and content-addressed, so clients may
     /// safely retry.
     Internal,
+    /// A codec negotiation the daemon cannot honor — binary magic sent
+    /// to a JSON-only server, or an unsupported binary version. Always
+    /// answered in JSON; the connection survives and stays JSON.
+    BadCodec,
 }
 
 impl ServiceError {
@@ -454,6 +458,7 @@ impl ServiceError {
             ServiceError::Forbidden => "forbidden",
             ServiceError::Job => "job",
             ServiceError::Internal => "internal",
+            ServiceError::BadCodec => "bad_codec",
         }
     }
 
@@ -470,6 +475,7 @@ impl ServiceError {
             "forbidden" => Ok(ServiceError::Forbidden),
             "job" => Ok(ServiceError::Job),
             "internal" => Ok(ServiceError::Internal),
+            "bad_codec" => Ok(ServiceError::BadCodec),
             other => Err(format!("unknown error class `{other}`")),
         }
     }

@@ -60,16 +60,18 @@ use obfuscade::{
     run_pipeline_jobs_with, BatchJob, Deadline, PipelineError, SpillStore, StageCache, StageHasher,
 };
 
+use crate::codec::{decode_hello, encode_hello, is_binary_hello, Codec, BINARY_VERSION};
 use crate::protocol::{
-    encode_outcome, read_frame, write_frame, JobSpec, Request, RequestBody, Response, ServiceError,
+    encode_outcome, read_frame, write_frame, JobSpec, RequestBody, Response, ServiceError,
 };
+use crate::reactor;
 
 /// Lifecycle phase: accepting and executing.
-const RUNNING: u8 = 0;
+pub(crate) const RUNNING: u8 = 0;
 /// Draining: no new jobs admitted, queued/in-flight jobs still complete.
 const DRAINING: u8 = 1;
 /// Stopped: drain complete, listeners closing, workers exited.
-const STOPPED: u8 = 2;
+pub(crate) const STOPPED: u8 = 2;
 
 /// How long acceptors sleep between polls of their non-blocking
 /// listeners (std has no accept-with-timeout).
@@ -167,6 +169,54 @@ impl ChaosState {
     }
 }
 
+/// Which connection layer the daemon runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnBackend {
+    /// One OS thread per connection (the PR 5 design, retained as the
+    /// oracle the reactor is byte-compared against). Caps concurrent
+    /// clients at thread count; works on every platform.
+    Threads,
+    /// One non-blocking reactor thread multiplexing every socket through
+    /// epoll ([`am_reactor::Poller`]): per-connection state machines with
+    /// partial-frame reassembly, write backpressure and idle/slow-loris
+    /// timeouts. Linux only.
+    Reactor,
+}
+
+impl ConnBackend {
+    /// Stable lowercase name (CLI flag value, metrics field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ConnBackend::Threads => "threads",
+            ConnBackend::Reactor => "reactor",
+        }
+    }
+
+    /// Parses a CLI flag value.
+    ///
+    /// # Errors
+    ///
+    /// The unknown name.
+    pub fn from_name(name: &str) -> Result<ConnBackend, String> {
+        match name {
+            "threads" => Ok(ConnBackend::Threads),
+            "reactor" => Ok(ConnBackend::Reactor),
+            other => Err(format!("unknown backend `{other}` (threads|reactor)")),
+        }
+    }
+}
+
+impl Default for ConnBackend {
+    /// The reactor where it exists (Linux), threads elsewhere.
+    fn default() -> Self {
+        if cfg!(target_os = "linux") {
+            ConnBackend::Reactor
+        } else {
+            ConnBackend::Threads
+        }
+    }
+}
+
 /// Everything needed to boot a [`Server`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -199,6 +249,19 @@ pub struct ServerConfig {
     pub spill_dir: Option<PathBuf>,
     /// Deterministic fault injection; `None` (the default) runs clean.
     pub chaos: Option<ChaosPlan>,
+    /// Connection layer: the epoll reactor (default on Linux) or the
+    /// thread-per-connection oracle.
+    pub backend: ConnBackend,
+    /// Refuse binary codec negotiation: a binary hello gets a typed
+    /// `bad_codec` error and the connection stays JSON. Off by default
+    /// (the daemon speaks both; clients that never negotiate stay JSON
+    /// regardless).
+    pub json_only: bool,
+    /// Reactor-only: a connection that makes no progress for this long —
+    /// no bytes read or written, nothing in flight — is closed. Also the
+    /// slow-loris bound: a peer dribbling a partial frame must finish it
+    /// within this window.
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -213,6 +276,46 @@ impl Default for ServerConfig {
             allow_remote_shutdown: false,
             spill_dir: None,
             chaos: None,
+            backend: ConnBackend::default(),
+            json_only: false,
+            idle_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Where a worker's response goes, and in which codec. Both backends
+/// admit jobs through the same queue; only the delivery route differs.
+#[derive(Clone)]
+pub(crate) enum ReplySink {
+    /// Thread backend: the connection's writer-thread channel.
+    Channel {
+        /// Encoded frame payloads for the writer thread.
+        tx: Sender<Vec<u8>>,
+        /// The connection's negotiated codec.
+        codec: Codec,
+    },
+    /// Reactor backend: the reactor's completion hub plus the connection
+    /// token the response is for.
+    Reactor {
+        /// Connection token inside the reactor.
+        conn: u64,
+        /// Completion queue + waker shared with the reactor thread.
+        hub: Arc<reactor::Hub>,
+        /// The connection's negotiated codec.
+        codec: Codec,
+    },
+}
+
+impl ReplySink {
+    /// Encodes `response` under the connection's codec and routes it.
+    pub(crate) fn send(&self, response: &Response) {
+        match self {
+            ReplySink::Channel { tx, codec } => {
+                let _ = tx.send(codec.encode_response(response));
+            }
+            ReplySink::Reactor { conn, hub, codec } => {
+                hub.push(*conn, codec.encode_response(response));
+            }
         }
     }
 }
@@ -222,7 +325,7 @@ struct QueuedJob {
     request_id: u64,
     work: Work,
     deadline: Deadline,
-    reply: Sender<Vec<u8>>,
+    reply: ReplySink,
     enqueued: Instant,
 }
 
@@ -233,12 +336,15 @@ enum Work {
 }
 
 /// State shared by acceptors, connection readers and workers.
-struct Shared {
+pub(crate) struct Shared {
     cache: StageCache,
     parallelism: Parallelism,
     workers: usize,
     queue_capacity: usize,
     allow_remote_shutdown: bool,
+    backend: ConnBackend,
+    json_only: bool,
+    pub(crate) idle_timeout: Duration,
     queue: Mutex<VecDeque<QueuedJob>>,
     /// Signalled when a job is enqueued or the phase changes.
     queue_cv: Condvar,
@@ -246,13 +352,22 @@ struct Shared {
     drained_cv: Condvar,
     in_flight: AtomicUsize,
     phase: AtomicU8,
-    connections: AtomicU64,
+    pub(crate) connections: AtomicU64,
     accepted: AtomicU64,
     completed: AtomicU64,
     rejected: AtomicU64,
     expired: AtomicU64,
     worker_panics: AtomicU64,
     respawns: AtomicU64,
+    /// Request frames decoded under the JSON codec.
+    frames_json: AtomicU64,
+    /// Request frames decoded under the binary codec.
+    frames_binary: AtomicU64,
+    /// Connections that successfully negotiated the binary codec.
+    binary_negotiated: AtomicU64,
+    /// Reactor writes deferred because the peer's socket buffer was full
+    /// (each is one `WouldBlock` → wait-for-writable transition).
+    pub(crate) backpressure_stalls: AtomicU64,
     latency: Mutex<LatencyHistogram>,
     chaos: Option<ChaosState>,
     /// Handles of live (and exited) worker threads. The supervisor pushes
@@ -273,13 +388,23 @@ enum SupervisorMsg {
 /// Locks a mutex, recovering the guard from a poisoned lock — the state
 /// behind every mutex here (queue, histogram) stays consistent even if a
 /// holder panicked mid-update.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 impl Shared {
-    fn phase(&self) -> u8 {
+    pub(crate) fn phase(&self) -> u8 {
         self.phase.load(Ordering::SeqCst)
+    }
+
+    /// Chaos decision for one socket read: `(stall, chop)`. `(false,
+    /// false)` when the daemon runs clean. Both backends consult this so
+    /// a given seed injects the same fault mix regardless of backend.
+    pub(crate) fn chaos_read_fault(&self) -> (bool, bool) {
+        match &self.chaos {
+            Some(chaos) => chaos.read_fault(),
+            None => (false, false),
+        }
     }
 
     /// One coherent metrics snapshot with the service section filled in.
@@ -296,6 +421,11 @@ impl Shared {
             expired_deadlines: self.expired.load(Ordering::SeqCst),
             worker_panics: self.worker_panics.load(Ordering::SeqCst),
             respawns: self.respawns.load(Ordering::SeqCst),
+            backend: self.backend.name(),
+            frames_json: self.frames_json.load(Ordering::SeqCst),
+            frames_binary: self.frames_binary.load(Ordering::SeqCst),
+            binary_negotiated: self.binary_negotiated.load(Ordering::SeqCst),
+            backpressure_stalls: self.backpressure_stalls.load(Ordering::SeqCst),
             latency: *lock(&self.latency),
         });
         snapshot
@@ -347,6 +477,9 @@ impl Server {
             workers: config.workers.max(1),
             queue_capacity: config.queue_capacity.max(1),
             allow_remote_shutdown: config.allow_remote_shutdown,
+            backend: config.backend,
+            json_only: config.json_only,
+            idle_timeout: config.idle_timeout,
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             drained_cv: Condvar::new(),
@@ -359,6 +492,10 @@ impl Server {
             expired: AtomicU64::new(0),
             worker_panics: AtomicU64::new(0),
             respawns: AtomicU64::new(0),
+            frames_json: AtomicU64::new(0),
+            frames_binary: AtomicU64::new(0),
+            binary_negotiated: AtomicU64::new(0),
+            backpressure_stalls: AtomicU64::new(0),
             latency: Mutex::new(LatencyHistogram::default()),
             chaos: config.chaos.map(ChaosState::new),
             worker_handles: Mutex::new(Vec::new()),
@@ -366,12 +503,23 @@ impl Server {
         });
 
         let mut threads = Vec::new();
-        {
-            let shared = Arc::clone(&shared);
-            threads.push(thread::spawn(move || tcp_acceptor(shared, listener)));
-        }
-        if let Some(path) = config.unix_socket.clone() {
-            threads.push(unix_acceptor_thread(Arc::clone(&shared), path)?);
+        match config.backend {
+            ConnBackend::Threads => {
+                {
+                    let shared = Arc::clone(&shared);
+                    threads.push(thread::spawn(move || tcp_acceptor(shared, listener)));
+                }
+                if let Some(path) = config.unix_socket.clone() {
+                    threads.push(unix_acceptor_thread(Arc::clone(&shared), path)?);
+                }
+            }
+            ConnBackend::Reactor => {
+                threads.push(reactor::spawn(
+                    Arc::clone(&shared),
+                    listener,
+                    config.unix_socket.clone(),
+                )?);
+            }
         }
 
         let (tx, rx) = mpsc::channel::<SupervisorMsg>();
@@ -532,7 +680,7 @@ fn worker_loop(shared: Arc<Shared>) {
         let waited_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
         lock(&shared.latency).record_ms(waited_ms);
         shared.completed.fetch_add(1, Ordering::SeqCst);
-        let _ = job.reply.send(response.encode());
+        job.reply.send(&response);
         shared.in_flight.fetch_sub(1, Ordering::SeqCst);
         shared.drained_cv.notify_all();
         if panicked {
@@ -620,41 +768,30 @@ fn run_specs(
     Ok(outcomes)
 }
 
-/// Serialises and enqueues a response on the connection's writer channel.
-fn send(reply: &Sender<Vec<u8>>, response: &Response) {
-    let _ = reply.send(response.encode());
-}
-
 /// Admission control for queueable requests. The phase check and the
 /// capacity check both happen under the queue lock.
-fn admit(shared: &Arc<Shared>, id: u64, work: Work, deadline_ms: Option<u64>, reply: &Sender<Vec<u8>>) {
+fn admit(shared: &Arc<Shared>, id: u64, work: Work, deadline_ms: Option<u64>, reply: &ReplySink) {
     let deadline = deadline_ms
         .map(|ms| Deadline::within(Duration::from_millis(ms)))
         .unwrap_or_default();
     let mut queue = lock(&shared.queue);
     if shared.phase() != RUNNING {
         drop(queue);
-        send(
-            reply,
-            &Response::Error {
-                id,
-                error: ServiceError::ShuttingDown,
-                message: "the daemon is draining and admits no new jobs".to_string(),
-            },
-        );
+        reply.send(&Response::Error {
+            id,
+            error: ServiceError::ShuttingDown,
+            message: "the daemon is draining and admits no new jobs".to_string(),
+        });
         return;
     }
     if queue.len() >= shared.queue_capacity {
         shared.rejected.fetch_add(1, Ordering::SeqCst);
         drop(queue);
-        send(
-            reply,
-            &Response::Error {
-                id,
-                error: ServiceError::Overloaded,
-                message: format!("job queue is at capacity ({})", shared.queue_capacity),
-            },
-        );
+        reply.send(&Response::Error {
+            id,
+            error: ServiceError::Overloaded,
+            message: format!("job queue is at capacity ({})", shared.queue_capacity),
+        });
         return;
     }
     queue.push_back(QueuedJob {
@@ -669,9 +806,124 @@ fn admit(shared: &Arc<Shared>, id: u64, work: Work, deadline_ms: Option<u64>, re
     shared.queue_cv.notify_one();
 }
 
-/// Per-connection protocol loop: a writer thread serialises all frames
-/// for the connection (workers reply through the same channel), the
-/// calling thread reads and dispatches requests until EOF or shutdown.
+/// Per-connection protocol state shared by both backends: the codec is
+/// undetermined until the first frame arrives (binary hello → binary,
+/// anything else → JSON, permanently).
+pub(crate) struct ConnProto {
+    codec: Option<Codec>,
+}
+
+impl ConnProto {
+    pub(crate) fn new() -> ConnProto {
+        ConnProto { codec: None }
+    }
+
+    /// The codec the connection settled on (JSON until negotiated).
+    pub(crate) fn codec(&self) -> Codec {
+        self.codec.unwrap_or(Codec::Json)
+    }
+}
+
+/// What the connection layer should do after feeding one inbound frame
+/// through [`process_frame`].
+pub(crate) enum FrameOutcome {
+    /// Write these encoded payload bytes back now.
+    Reply(Vec<u8>),
+    /// The request was admitted to the job queue; the response arrives
+    /// later through the [`ReplySink`] built by `sink`.
+    Queued,
+}
+
+/// One inbound frame through negotiation + dispatch — the single
+/// protocol path both backends share. `sink` builds the backend's reply
+/// route for the connection's (just-settled) codec; it is only invoked
+/// for queueable requests.
+///
+/// Control requests (`ping`, `stats`, `shutdown`) are answered inline;
+/// `shutdown` from an authorised peer blocks the calling thread in
+/// [`drain`] until every queued and in-flight job completed (worker
+/// replies are deposited through their sinks meanwhile, never through
+/// this thread).
+pub(crate) fn process_frame(
+    shared: &Arc<Shared>,
+    proto: &mut ConnProto,
+    frame: &[u8],
+    local_peer: bool,
+    sink: &dyn Fn(Codec) -> ReplySink,
+) -> FrameOutcome {
+    if proto.codec.is_none() {
+        if is_binary_hello(frame) {
+            // A negotiation attempt. Failure is answered (in JSON, the
+            // codec the connection stays on) — never a hangup.
+            let refusal = if shared.json_only {
+                "this daemon is configured JSON-only (bad_codec); continue in JSON".to_string()
+            } else {
+                match decode_hello(frame) {
+                    Ok(BINARY_VERSION) => {
+                        proto.codec = Some(Codec::Binary);
+                        shared.binary_negotiated.fetch_add(1, Ordering::SeqCst);
+                        return FrameOutcome::Reply(encode_hello(BINARY_VERSION));
+                    }
+                    Ok(version) => format!(
+                        "binary codec version {version} is not supported (this daemon \
+                         speaks {BINARY_VERSION}); continue in JSON"
+                    ),
+                    Err(message) => message,
+                }
+            };
+            proto.codec = Some(Codec::Json);
+            let error =
+                Response::Error { id: 0, error: ServiceError::BadCodec, message: refusal };
+            return FrameOutcome::Reply(error.encode());
+        }
+        proto.codec = Some(Codec::Json);
+    }
+    let codec = proto.codec();
+    match codec {
+        Codec::Json => shared.frames_json.fetch_add(1, Ordering::SeqCst),
+        Codec::Binary => shared.frames_binary.fetch_add(1, Ordering::SeqCst),
+    };
+    let request = match codec.decode_request(frame) {
+        Ok(request) => request,
+        Err(message) => {
+            let error = Response::Error { id: 0, error: ServiceError::Malformed, message };
+            return FrameOutcome::Reply(codec.encode_response(&error));
+        }
+    };
+    let id = request.id;
+    let inline = match request.body {
+        RequestBody::Ping => Response::Pong { id },
+        RequestBody::Stats => Response::Stats { id, metrics: shared.snapshot().to_json() },
+        RequestBody::Shutdown => {
+            if local_peer || shared.allow_remote_shutdown {
+                let completed = drain(shared);
+                Response::Bye { id, completed }
+            } else {
+                Response::Error {
+                    id,
+                    error: ServiceError::Forbidden,
+                    message: "shutdown is only honored from loopback/Unix-socket \
+                              peers (start with allow_remote_shutdown to override)"
+                        .to_string(),
+                }
+            }
+        }
+        RequestBody::Run { jobs, deadline_ms } => {
+            admit(shared, id, Work::Run(jobs), deadline_ms, &sink(codec));
+            return FrameOutcome::Queued;
+        }
+        RequestBody::Authenticate { job, deadline_ms } => {
+            admit(shared, id, Work::Authenticate(job), deadline_ms, &sink(codec));
+            return FrameOutcome::Queued;
+        }
+    };
+    FrameOutcome::Reply(codec.encode_response(&inline))
+}
+
+/// Per-connection protocol loop (thread backend): a writer thread
+/// serialises all frames for the connection (workers reply through the
+/// same channel), the calling thread reads and dispatches requests until
+/// EOF or shutdown.
 ///
 /// `local_peer` records whether the connection arrived over the Unix
 /// socket or from a loopback TCP address; non-local peers may only issue
@@ -691,46 +943,14 @@ where
         }
     });
 
+    let mut proto = ConnProto::new();
     while let Ok(Some(frame)) = read_frame(&mut reader) {
-        let request = match Request::decode(&frame) {
-            Ok(request) => request,
-            Err(message) => {
-                send(
-                    &reply,
-                    &Response::Error { id: 0, error: ServiceError::Malformed, message },
-                );
-                continue;
+        let sink = |codec| ReplySink::Channel { tx: reply.clone(), codec };
+        match process_frame(&shared, &mut proto, &frame, local_peer, &sink) {
+            FrameOutcome::Reply(payload) => {
+                let _ = reply.send(payload);
             }
-        };
-        let id = request.id;
-        match request.body {
-            RequestBody::Ping => send(&reply, &Response::Pong { id }),
-            RequestBody::Stats => {
-                send(&reply, &Response::Stats { id, metrics: shared.snapshot().to_json() });
-            }
-            RequestBody::Shutdown => {
-                if local_peer || shared.allow_remote_shutdown {
-                    let completed = drain(&shared);
-                    send(&reply, &Response::Bye { id, completed });
-                } else {
-                    send(
-                        &reply,
-                        &Response::Error {
-                            id,
-                            error: ServiceError::Forbidden,
-                            message: "shutdown is only honored from loopback/Unix-socket \
-                                      peers (start with allow_remote_shutdown to override)"
-                                .to_string(),
-                        },
-                    );
-                }
-            }
-            RequestBody::Run { jobs, deadline_ms } => {
-                admit(&shared, id, Work::Run(jobs), deadline_ms, &reply);
-            }
-            RequestBody::Authenticate { job, deadline_ms } => {
-                admit(&shared, id, Work::Authenticate(job), deadline_ms, &reply);
-            }
+            FrameOutcome::Queued => {}
         }
     }
 
@@ -766,7 +986,7 @@ impl<R: Read> Read for ChaosReader<R> {
 /// Chaos accept gate: `true` means this freshly accepted connection
 /// should be dropped on the floor (the client sees an immediate EOF and
 /// owns the retry).
-fn chaos_drops_accept(shared: &Shared) -> bool {
+pub(crate) fn chaos_drops_accept(shared: &Shared) -> bool {
     shared.chaos.as_ref().is_some_and(ChaosState::drop_accept)
 }
 
@@ -854,6 +1074,7 @@ fn unix_acceptor_thread(_shared: Arc<Shared>, _path: PathBuf) -> io::Result<Join
 mod tests {
     use super::*;
     use crate::client::{Client, Endpoint};
+    use crate::protocol::Request;
 
     fn boot(workers: usize, queue_capacity: usize) -> Server {
         Server::start(ServerConfig {

@@ -2,12 +2,16 @@
 //! **byte-identical** to the same batch run in-process through
 //! `obfuscade::run_pipeline_jobs` — for clean jobs, seeded
 //! fault-injection jobs, and jobs whose fault plans make the pipeline
-//! abort with a typed error — across server worker counts {1, 2, 4} and
-//! across connections sharing the daemon's stage cache.
+//! abort with a typed error — across server worker counts {1, 2, 4},
+//! across connections sharing the daemon's stage cache, and (PR 8)
+//! across the full {reactor, threads} × {binary, json} backend/codec
+//! matrix: decoded results must render to the same canonical JSON no
+//! matter which connection backend served them or which wire codec
+//! carried them.
 
 use am_service::{
-    expected_results_wire, ChaosPlan, Client, Endpoint, JobSpec, Response, RetryPolicy,
-    RetryingClient, Server, ServerConfig,
+    expected_results_wire, ChaosPlan, Client, Codec, ConnBackend, Endpoint, JobSpec, Response,
+    RetryPolicy, RetryingClient, Server, ServerConfig,
 };
 use obfuscade::json::Json;
 use proptest::prelude::*;
@@ -23,6 +27,22 @@ const FAULT_SPECS: &[&str] = &[
 ];
 
 const WORKER_COUNTS: &[usize] = &[1, 2, 4];
+
+/// The backend × codec matrix every equivalence case sweeps. The
+/// reactor backend is Linux-only (epoll); elsewhere the matrix
+/// degrades to the thread backend so the suite still runs.
+#[cfg(target_os = "linux")]
+const MATRIX: &[(ConnBackend, Codec)] = &[
+    (ConnBackend::Threads, Codec::Json),
+    (ConnBackend::Threads, Codec::Binary),
+    (ConnBackend::Reactor, Codec::Json),
+    (ConnBackend::Reactor, Codec::Binary),
+];
+#[cfg(not(target_os = "linux"))]
+const MATRIX: &[(ConnBackend, Codec)] = &[
+    (ConnBackend::Threads, Codec::Json),
+    (ConnBackend::Threads, Codec::Binary),
+];
 
 /// A small mixed batch over one fault spec: both orientations × two
 /// seeds, the odd jobs faulted — so the served batch carries both clean
@@ -55,12 +75,15 @@ proptest! {
         fault_seed in 1..10_000u64,
         seed in 1..1_000u64,
         workers_idx in 0..WORKER_COUNTS.len(),
+        matrix_idx in 0..MATRIX.len(),
     ) {
+        let (backend, codec) = MATRIX[matrix_idx];
         let jobs = mixed_batch(FAULT_SPECS[spec_idx], fault_seed, seed);
         let expected = expected_results_wire(&jobs).expect("in-process reference run");
 
         let server = Server::start(ServerConfig {
             workers: WORKER_COUNTS[workers_idx],
+            backend,
             ..ServerConfig::default()
         })
         .expect("server boots");
@@ -70,7 +93,8 @@ proptest! {
         // the exact reference bytes, and the second ride the cache the
         // first warmed.
         for round in 0..2 {
-            let mut client = Client::connect(&endpoint).expect("connect");
+            let mut client =
+                Client::connect_with_codec(&endpoint, None, codec).expect("connect");
             let response = client.run(jobs.clone(), None).expect("run");
             let Response::Results { results, .. } = response else {
                 panic!("round {round}: expected results, got {response:?}");
@@ -78,10 +102,12 @@ proptest! {
             prop_assert_eq!(
                 Json::Array(results).render(),
                 expected.clone(),
-                "served bytes diverged from the in-process run (round {}, workers {}, spec `{}`)",
+                "served bytes diverged from the in-process run (round {}, workers {}, spec `{}`, backend {}, codec {})",
                 round,
                 WORKER_COUNTS[workers_idx],
-                FAULT_SPECS[spec_idx]
+                FAULT_SPECS[spec_idx],
+                backend.name(),
+                codec.name()
             );
         }
 
@@ -110,12 +136,15 @@ proptest! {
         fault_seed in 1..10_000u64,
         seed in 1..1_000u64,
         workers_idx in 0..WORKER_COUNTS.len(),
+        matrix_idx in 0..MATRIX.len(),
     ) {
+        let (backend, codec) = MATRIX[matrix_idx];
         let jobs = mixed_batch(FAULT_SPECS[1], fault_seed, seed);
         let expected = expected_results_wire(&jobs).expect("in-process reference run");
 
         let server = Server::start(ServerConfig {
             workers: WORKER_COUNTS[workers_idx],
+            backend,
             chaos: Some(ChaosPlan {
                 // Aggressive transport chaos plus worker panics; spill
                 // faults are irrelevant here (no spill dir).
@@ -137,7 +166,7 @@ proptest! {
             ..RetryPolicy::default()
         };
         for round in 0..2 {
-            let mut client = RetryingClient::new(&endpoint, policy);
+            let mut client = RetryingClient::new_with_codec(&endpoint, policy, codec);
             let response = client.run(&jobs, None).expect("retries outlast the chaos");
             let Response::Results { results, .. } = response else {
                 panic!("round {round}: expected results, got {response:?}");
@@ -145,10 +174,12 @@ proptest! {
             prop_assert_eq!(
                 Json::Array(results).render(),
                 expected.clone(),
-                "chaos broke the determinism contract (round {}, workers {}, chaos seed {})",
+                "chaos broke the determinism contract (round {}, workers {}, chaos seed {}, backend {}, codec {})",
                 round,
                 WORKER_COUNTS[workers_idx],
-                chaos_seed
+                chaos_seed,
+                backend.name(),
+                codec.name()
             );
         }
 
