@@ -27,23 +27,33 @@
 #    byte-identical. The restarted daemon must show warm-start spill
 #    hits (rehydrated from segment files written before the kill) and
 #    zero corrupt entries served.
-# 6. bench regression gate: the committed BENCH_PR8.json must parse
-#    against the obfuscade-bench/v7 schema — which adds the serve
-#    section's backend/codec identity, per-codec frame counters, and the
-#    backend (reactor|threads) × codec (json|binary) × concurrency
-#    {64, 1024} sweep grid, every point byte-verified, with the
-#    reactor+binary p99 strictly below the threads+json p99 at 1024
-#    connections — with every kernel speedup >= 1.0x, the fea row's
-#    optimized wall clock within half of PR 3's committed 1157.7 ms,
-#    per-kernel speedup floors (printing >= 3.5x, slicing >= 5.7x — see
-#    DESIGN.md §13), a clean daemon load in the mandatory `serve`
-#    section, AND absolute serve floors: headline p99 (reactor+binary at
-#    1024 connections) <= 150 ms and throughput >= 4000 req/s (measured
-#    ~85-105 ms / ~6700 req/s on the CI box; the ceilings leave
-#    single-core scheduling noise room). Smoke reports are
+# 6. fleet stage (PR 9): three daemons on Unix sockets behind an
+#    `obfuscade route` rendezvous router. A byte-verified shared-prefix
+#    load plus a seed sweep all home on ONE backend (rendezvous hashing
+#    keys on the job's stage-key prefix); the router's stats snapshot
+#    names that winner, which is then KILLED (-9). A second byte-verified
+#    load (binary codec) must ride the failover — identical bytes from
+#    whichever surviving node the jobs re-home on — and the router must
+#    record >= 1 failover. Also runs the smoke routed-fleet bench
+#    (`bench --only fleet`), which grids nodes × {affinity, round-robin}
+#    and validates the v8 schema on write.
+# 7. bench regression gate: the committed BENCH_PR9.json must parse
+#    against the obfuscade-bench/v8 schema — which adds the routed-fleet
+#    grid (mandatory `fleet` section: nodes × {affinity, round-robin}
+#    points with per-node cache-hit accounting, affinity strictly above
+#    round-robin at every N >= 2, and full-mode affinity within 5 points
+#    of single-node at the top node count) on top of the v7 serve sweep
+#    — with every kernel speedup >= 1.0x, the fea row's optimized wall
+#    clock within half of PR 3's committed 1157.7 ms, per-kernel speedup
+#    floors (printing >= 3.5x, slicing >= 5.7x — see DESIGN.md §13), a
+#    clean daemon load in the mandatory `serve` section, absolute serve
+#    floors (headline p99 <= 150 ms, throughput >= 4000 req/s), AND
+#    absolute fleet floors on the affinity headline at the top node
+#    count (warm hit rate + routed throughput; see DESIGN.md §15 for the
+#    measured numbers the floors sit under). Smoke reports are
 #    schema-validated on write but not speedup- or latency-gated — tiny
 #    workloads are too noisy to threshold.
-# 7. clippy as an error wall, with `clippy::unwrap_used` additionally
+# 8. clippy as an error wall, with `clippy::unwrap_used` additionally
 #    enabled for library and binary code (test code may unwrap freely —
 #    a failing assertion *is* its error report)
 set -eu
@@ -136,8 +146,83 @@ done
 [ "$SHUT" = ok ] || { echo "ci: chaos daemon refused shutdown" >&2; exit 1; }
 wait "$CHAOS_PID"
 
-./target/release/obfuscade bench --check BENCH_PR8.json --fea-budget-ms 578.9 --require-serve \
-    --min-speedup printing=3.5,slicing=5.7 --serve-p99-ms 150 --serve-min-rps 4000
+# --- fleet stage -------------------------------------------------------
+FLEET_B1=target/fleet-b1.sock
+FLEET_B2=target/fleet-b2.sock
+FLEET_B3=target/fleet-b3.sock
+rm -f "$FLEET_B1" "$FLEET_B2" "$FLEET_B3" target/fleet.addr
+./target/release/obfuscade serve --uds "$FLEET_B1" --addr 127.0.0.1:0 --workers 2 --node fleet-a &
+B1_PID=$!
+./target/release/obfuscade serve --uds "$FLEET_B2" --addr 127.0.0.1:0 --workers 2 --node fleet-b &
+B2_PID=$!
+./target/release/obfuscade serve --uds "$FLEET_B3" --addr 127.0.0.1:0 --workers 2 --node fleet-c &
+B3_PID=$!
+# Barrier: a retried stats round-trip per backend, so the router never
+# races a daemon that has not bound its socket yet (a connect-refused
+# first dispatch would fail over and muddy the placement check below).
+for S in "$FLEET_B1" "$FLEET_B2" "$FLEET_B3"; do
+    ./target/release/obfuscade submit --uds "$S" --kind stats --retries 16 >/dev/null
+done
+./target/release/obfuscade route --to "unix:$FLEET_B1,unix:$FLEET_B2,unix:$FLEET_B3" \
+    --addr 127.0.0.1:0 --workers 4 --port-file target/fleet.addr &
+ROUTE_PID=$!
+
+# Byte-verified shared-prefix load plus a seed sweep through the router:
+# every request carries the same stage-key prefix, so rendezvous hashing
+# homes all of them on exactly one backend — its warm cache serves the
+# whole stream.
+./target/release/obfuscade submit --port-file target/fleet.addr --load 24 --concurrency 4 \
+    --retries 16
+for s in 1 2 3 4 5 6; do
+    ./target/release/obfuscade submit --port-file target/fleet.addr --kind run --seed "$s" \
+        --retries 16 >/dev/null
+done
+FLEET_STATS=$(./target/release/obfuscade submit --port-file target/fleet.addr --kind stats \
+    --retries 16)
+WINNER=$(printf '%s' "$FLEET_STATS" \
+    | grep -o '"endpoint":"[^"]*","routed":[1-9][0-9]*' | head -n 1 \
+    | sed 's/"endpoint":"\([^"]*\)".*/\1/')
+case "$WINNER" in
+    "unix:$FLEET_B1") WINNER_PID=$B1_PID ;;
+    "unix:$FLEET_B2") WINNER_PID=$B2_PID ;;
+    "unix:$FLEET_B3") WINNER_PID=$B3_PID ;;
+    *) echo "ci: could not identify the routed winner (got '$WINNER')" >&2; exit 1 ;;
+esac
+
+# Hard-kill the winner — the home of every prefix in flight — and drive
+# the same byte-verified load again on the binary codec. The router must
+# re-home the jobs on a surviving node (failover is a placement change,
+# never a byte change) and record it.
+kill -9 "$WINNER_PID" 2>/dev/null || true
+wait "$WINNER_PID" 2>/dev/null || true
+./target/release/obfuscade submit --port-file target/fleet.addr --load 64 --concurrency 4 \
+    --codec binary --retries 16 \
+    || { echo "ci: routed load did not survive losing its home backend" >&2; exit 1; }
+FLEET_STATS=$(./target/release/obfuscade submit --port-file target/fleet.addr --kind stats \
+    --retries 16)
+FAILOVERS=$(printf '%s' "$FLEET_STATS" | sed -n 's/.*"failovers":\([0-9]*\).*/\1/p' | head -n 1)
+[ -n "$FAILOVERS" ] && [ "$FAILOVERS" -ge 1 ] \
+    || { echo "ci: router recorded no failover after losing a backend (got '$FAILOVERS')" >&2; exit 1; }
+echo "ci: fleet stage clean (winner $WINNER killed, $FAILOVERS failovers, bytes identical)"
+
+# The routed-fleet bench (smoke grid): nodes × {affinity, round-robin},
+# schema-validated on write like every other report.
+./target/release/obfuscade bench --smoke --serve --only fleet --threads 2 \
+    --out target/bench_fleet_smoke.json
+
+./target/release/obfuscade submit --port-file target/fleet.addr --kind shutdown
+wait "$ROUTE_PID"
+for S in "$FLEET_B1" "$FLEET_B2" "$FLEET_B3"; do
+    [ "unix:$S" = "$WINNER" ] \
+        || ./target/release/obfuscade submit --uds "$S" --kind shutdown >/dev/null
+done
+wait "$B1_PID" 2>/dev/null || true
+wait "$B2_PID" 2>/dev/null || true
+wait "$B3_PID" 2>/dev/null || true
+
+./target/release/obfuscade bench --check BENCH_PR9.json --fea-budget-ms 578.9 --require-serve \
+    --min-speedup printing=3.5,slicing=5.7 --serve-p99-ms 150 --serve-min-rps 4000 \
+    --fleet-min-hit-rate 80 --fleet-min-rps 250
 cargo clippy --workspace --all-targets -- -D warnings
 cargo clippy --workspace --lib --bins -- -D warnings -W clippy::unwrap_used
 

@@ -19,9 +19,11 @@
 //! [`obfuscade::json`] module; [`validate_report_json`] parses the JSON
 //! back and checks the schema (including the cache counters, the PR 4
 //! per-kernel solver-work counters, the PR 5 mandatory `serve` section,
-//! and the PR 7 span-plan deposition counters + untimed serve warmup
-//! count, schema `obfuscade-bench/v6`), so CI can verify the emitted
-//! file without a JSON dependency.
+//! the PR 7 span-plan deposition counters + untimed serve warmup count,
+//! and the PR 9 routed-fleet grid — mandatory `fleet` section whose
+//! affinity points must beat round-robin at every N ≥ 2; schema
+//! `obfuscade-bench/v8`), so CI can verify the emitted file without a
+//! JSON dependency.
 //!
 //! Since PR 5 the harness can also benchmark the **service daemon**
 //! ([`BenchConfig::serve`]): it boots an `am-service` server on a
@@ -233,6 +235,92 @@ pub struct ServeResult {
     pub sweeps: Vec<ServeSweep>,
 }
 
+/// One point of the v8 routed-fleet grid: N daemons behind one router
+/// under one routing policy, driven with the shared-prefix sweep and
+/// byte-verified against the in-process reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetPoint {
+    /// Backend daemons behind the router at this point.
+    pub nodes: usize,
+    /// Routing policy (`affinity` or `round-robin`).
+    pub policy: String,
+    /// Requests driven through the router.
+    pub requests: u64,
+    /// Transport failures plus typed error responses (must be 0).
+    pub errors: u64,
+    /// Client workers that never got a connection (must be 0).
+    pub dropped_connections: u64,
+    /// Byte-level divergences from the reference run (must be 0).
+    pub mismatches: u64,
+    /// Client-side retry cycles at this point.
+    pub retries: u64,
+    /// Front-socket connects the load generator performed.
+    pub connects: u64,
+    /// Jobs the router dispatched to a backend (≥ `requests`; retries
+    /// re-dispatch).
+    pub routed: u64,
+    /// Dispatches that fell past the first-choice backend (0 on a
+    /// healthy fleet).
+    pub failovers: u64,
+    /// Stage-cache hits summed across the fleet's daemons.
+    pub cache_hits: u64,
+    /// Stage-cache misses summed across the fleet's daemons.
+    pub cache_misses: u64,
+    /// `100 · hits / (hits + misses)` across the fleet, in percentage
+    /// points — the number the affinity-vs-round-robin comparison is
+    /// about.
+    pub hit_rate: f64,
+    /// Per-daemon stage-cache hits, in backend order (sums to
+    /// `cache_hits`).
+    pub per_node_hits: Vec<u64>,
+    /// Exact client-side median routed round-trip latency (ms).
+    pub p50_ms: f64,
+    /// Exact client-side 95th-percentile routed latency (ms).
+    pub p95_ms: f64,
+    /// Exact client-side 99th-percentile routed latency (ms).
+    pub p99_ms: f64,
+    /// Completed routed requests per wall-clock second.
+    pub throughput_rps: f64,
+}
+
+/// What the routed-fleet benchmark measured (the report's `fleet`
+/// section, v8).
+///
+/// The headline fields restate the **affinity** point at the grid's
+/// largest node count — the configuration the router exists for — and
+/// the full nodes × policy grid lives in `points`, with round-robin
+/// rows as the baseline showing what scale-out costs when placement
+/// ignores the stage-key prefix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetResult {
+    /// Node count of the headline point (the grid's largest fleet).
+    pub nodes: usize,
+    /// Policy of the headline point (always `affinity`).
+    pub policy: String,
+    /// Client connections the load ran with. 1 on purpose: round-robin
+    /// placement is then a pure function of request order, making the
+    /// hit-rate comparison deterministic instead of racing on dispatch
+    /// interleaving.
+    pub concurrency: usize,
+    /// Distinct stage-key prefix families in the sweep workload.
+    pub prefixes: u64,
+    /// Requests driven at the headline point.
+    pub requests: u64,
+    /// Fleet-wide warm hit rate at the headline point (percentage
+    /// points).
+    pub hit_rate: f64,
+    /// Exact client-side median routed latency at the headline (ms).
+    pub p50_ms: f64,
+    /// Exact client-side 95th-percentile routed latency (ms).
+    pub p95_ms: f64,
+    /// Exact client-side 99th-percentile routed latency (ms).
+    pub p99_ms: f64,
+    /// Completed routed requests per wall-clock second at the headline.
+    pub throughput_rps: f64,
+    /// The full nodes × policy grid.
+    pub points: Vec<FleetPoint>,
+}
+
 /// The full benchmark report.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -247,9 +335,13 @@ pub struct BenchReport {
     /// The service benchmark ([`BenchConfig::serve`]); `None` renders as
     /// `"serve": null` — the field itself is mandatory in v4.
     pub serve: Option<ServeResult>,
+    /// The routed-fleet benchmark (v8, rides the same
+    /// [`BenchConfig::serve`] switch); `None` renders as `"fleet":
+    /// null` — the field itself is mandatory in v8.
+    pub fleet: Option<FleetResult>,
 }
 
-const SCHEMA: &str = "obfuscade-bench/v7";
+const SCHEMA: &str = "obfuscade-bench/v8";
 
 impl BenchReport {
     /// Renders the human-readable results table.
@@ -319,6 +411,38 @@ impl BenchReport {
                      p99 {:>8.2} ms  {:>8.0} req/s  {} connects",
                     p.backend, p.codec, p.concurrency, p.requests, p.p50_ms, p.p95_ms, p.p99_ms,
                     p.throughput_rps, p.connects
+                );
+            }
+        }
+        if let Some(f) = &self.fleet {
+            let _ = writeln!(
+                out,
+                "\nfleet ({} nodes, {} routing): {} requests over {} prefix families — \
+                 {:.1}% warm hits, p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms, {:.0} req/s",
+                f.nodes,
+                f.policy,
+                f.requests,
+                f.prefixes,
+                f.hit_rate,
+                f.p50_ms,
+                f.p95_ms,
+                f.p99_ms,
+                f.throughput_rps
+            );
+            for p in &f.points {
+                let _ = writeln!(
+                    out,
+                    "  n={:<2} {:<11} {:>5} req  {:>5.1}% hits  p50 {:>8.2} ms  \
+                     p99 {:>8.2} ms  {:>7.0} req/s  {} failovers  per-node hits {:?}",
+                    p.nodes,
+                    p.policy,
+                    p.requests,
+                    p.hit_rate,
+                    p.p50_ms,
+                    p.p99_ms,
+                    p.throughput_rps,
+                    p.failovers,
+                    p.per_node_hits
                 );
             }
         }
@@ -394,6 +518,57 @@ impl BenchReport {
                         json_number(p.throughput_rps)
                     );
                     out.push_str(if i + 1 < s.sweeps.len() { "      },\n" } else { "      }\n" });
+                }
+                out.push_str("    ]\n");
+                out.push_str("  },\n");
+            }
+        }
+        match &self.fleet {
+            None => out.push_str("  \"fleet\": null,\n"),
+            Some(f) => {
+                out.push_str("  \"fleet\": {\n");
+                let _ = writeln!(out, "    \"nodes\": {},", f.nodes);
+                let _ = writeln!(out, "    \"policy\": {},", json_string(&f.policy));
+                let _ = writeln!(out, "    \"concurrency\": {},", f.concurrency);
+                let _ = writeln!(out, "    \"prefixes\": {},", f.prefixes);
+                let _ = writeln!(out, "    \"requests\": {},", f.requests);
+                let _ = writeln!(out, "    \"hit_rate\": {},", json_number(f.hit_rate));
+                let _ = writeln!(out, "    \"p50_ms\": {},", json_number(f.p50_ms));
+                let _ = writeln!(out, "    \"p95_ms\": {},", json_number(f.p95_ms));
+                let _ = writeln!(out, "    \"p99_ms\": {},", json_number(f.p99_ms));
+                let _ = writeln!(out, "    \"throughput_rps\": {},", json_number(f.throughput_rps));
+                out.push_str("    \"points\": [\n");
+                for (i, p) in f.points.iter().enumerate() {
+                    out.push_str("      {\n");
+                    let _ = writeln!(out, "        \"nodes\": {},", p.nodes);
+                    let _ = writeln!(out, "        \"policy\": {},", json_string(&p.policy));
+                    let _ = writeln!(out, "        \"requests\": {},", p.requests);
+                    let _ = writeln!(out, "        \"errors\": {},", p.errors);
+                    let _ = writeln!(
+                        out,
+                        "        \"dropped_connections\": {},",
+                        p.dropped_connections
+                    );
+                    let _ = writeln!(out, "        \"mismatches\": {},", p.mismatches);
+                    let _ = writeln!(out, "        \"retries\": {},", p.retries);
+                    let _ = writeln!(out, "        \"connects\": {},", p.connects);
+                    let _ = writeln!(out, "        \"routed\": {},", p.routed);
+                    let _ = writeln!(out, "        \"failovers\": {},", p.failovers);
+                    let _ = writeln!(out, "        \"cache_hits\": {},", p.cache_hits);
+                    let _ = writeln!(out, "        \"cache_misses\": {},", p.cache_misses);
+                    let _ = writeln!(out, "        \"hit_rate\": {},", json_number(p.hit_rate));
+                    let hits: Vec<String> =
+                        p.per_node_hits.iter().map(u64::to_string).collect();
+                    let _ = writeln!(out, "        \"per_node_hits\": [{}],", hits.join(", "));
+                    let _ = writeln!(out, "        \"p50_ms\": {},", json_number(p.p50_ms));
+                    let _ = writeln!(out, "        \"p95_ms\": {},", json_number(p.p95_ms));
+                    let _ = writeln!(out, "        \"p99_ms\": {},", json_number(p.p99_ms));
+                    let _ = writeln!(
+                        out,
+                        "        \"throughput_rps\": {}",
+                        json_number(p.throughput_rps)
+                    );
+                    out.push_str(if i + 1 < f.points.len() { "      },\n" } else { "      }\n" });
                 }
                 out.push_str("    ]\n");
                 out.push_str("  },\n");
@@ -536,8 +711,19 @@ pub fn validate_report_json(text: &str) -> Result<Vec<(String, f64)>, String> {
         }
         other => return Err(format!("bad 'serve' field: {other:?}")),
     };
+    // v8: the routed-fleet section is mandatory — `null` when the fleet
+    // bench didn't run, otherwise a clean nodes × policy grid with the
+    // affinity-beats-round-robin ordering the router exists for.
+    let routed = match doc.get("fleet").ok_or("missing 'fleet' field")? {
+        Json::Null => false,
+        fleet @ Json::Object(_) => {
+            validate_fleet_grid(fleet, smoke)?;
+            true
+        }
+        other => return Err(format!("bad 'fleet' field: {other:?}")),
+    };
     let kernels = match doc.get("kernels") {
-        Some(Json::Array(items)) if !items.is_empty() || served => items,
+        Some(Json::Array(items)) if !items.is_empty() || served || routed => items,
         _ => return Err("missing or empty 'kernels' array".to_string()),
     };
     let mut speedups = Vec::new();
@@ -679,6 +865,195 @@ fn validate_serve_sweeps(serve: &Json, smoke: bool) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates the v8 `fleet` section: a routed-fleet grid of nodes ×
+/// routing-policy points, every point a clean byte-verified load run
+/// whose per-node hit counts sum to the point's fleet-wide total and
+/// whose stored hit rate agrees with its counters. Every node count
+/// must carry both policies, and at N ≥ 2 the affinity hit rate must
+/// strictly beat round-robin — the whole point of hashing stage-key
+/// prefixes. The headline fields must restate the affinity point at
+/// the grid's largest node count. Full (non-smoke) reports must carry
+/// the single-node baseline and reach at least 4 nodes, with the top
+/// affinity hit rate within 5 percentage points of single-node (cache
+/// locality preserved under scale-out).
+fn validate_fleet_grid(fleet: &Json, smoke: bool) -> Result<(), String> {
+    let get = |field: &str| {
+        fleet
+            .get(field)
+            .and_then(Json::as_number)
+            .ok_or_else(|| format!("fleet: missing numeric '{field}'"))
+    };
+    match fleet.get("policy") {
+        Some(Json::String(s)) if s == "affinity" => {}
+        other => return Err(format!("fleet: headline policy must be affinity: {other:?}")),
+    }
+    for field in ["nodes", "concurrency", "prefixes", "requests"] {
+        let v = get(field)?;
+        if v < 1.0 || v.fract() != 0.0 {
+            return Err(format!("fleet: bad '{field}': {v}"));
+        }
+    }
+    if get("prefixes")? < 2.0 {
+        return Err("fleet: a one-prefix sweep cannot exercise placement".to_string());
+    }
+    let headline_nodes = get("nodes")?;
+    let headline_hit = get("hit_rate")?;
+    if !(0.0..=100.0).contains(&headline_hit) {
+        return Err(format!("fleet: hit rate {headline_hit} outside [0, 100]"));
+    }
+    let (p50, p95, p99) = (get("p50_ms")?, get("p95_ms")?, get("p99_ms")?);
+    if !(p50 > 0.0 && p95 >= p50 && p99 >= p95 && p99.is_finite()) {
+        return Err(format!("fleet: bad latency quantiles p50={p50} p95={p95} p99={p99}"));
+    }
+    if get("throughput_rps")? <= 0.0 {
+        return Err("fleet: non-positive throughput".to_string());
+    }
+
+    let points = match fleet.get("points") {
+        Some(Json::Array(items)) if !items.is_empty() => items,
+        other => return Err(format!("fleet: missing or empty 'points' array: {other:?}")),
+    };
+    // (nodes, policy, hit_rate) rows for the grid-shape checks below.
+    let mut grid: Vec<(f64, String, f64)> = Vec::new();
+    for (i, p) in points.iter().enumerate() {
+        let policy = match p.get("policy") {
+            Some(Json::String(s)) if s == "affinity" || s == "round-robin" => s.clone(),
+            other => return Err(format!("fleet point {i}: bad 'policy': {other:?}")),
+        };
+        let get = |field: &str| {
+            p.get(field)
+                .and_then(Json::as_number)
+                .ok_or_else(|| format!("fleet point {i}: missing numeric '{field}'"))
+        };
+        for field in [
+            "nodes",
+            "requests",
+            "errors",
+            "dropped_connections",
+            "mismatches",
+            "retries",
+            "connects",
+            "routed",
+            "failovers",
+            "cache_hits",
+            "cache_misses",
+        ] {
+            let v = get(field)?;
+            if v < 0.0 || v.fract() != 0.0 {
+                return Err(format!("fleet point {i}: bad '{field}' counter: {v}"));
+            }
+        }
+        for field in ["errors", "dropped_connections", "mismatches"] {
+            if get(field)? != 0.0 {
+                return Err(format!(
+                    "fleet point {i} ({policy}): nonzero '{field}' — not a clean run"
+                ));
+            }
+        }
+        let (nodes, requests) = (get("nodes")?, get("requests")?);
+        if nodes < 1.0 || requests < 1.0 || get("connects")? < 1.0 {
+            return Err(format!("fleet point {i}: empty load point"));
+        }
+        if get("routed")? < requests {
+            return Err(format!(
+                "fleet point {i} ({policy}): fewer dispatches than requests"
+            ));
+        }
+        let per_node = match p.get("per_node_hits") {
+            Some(Json::Array(items)) => items,
+            other => return Err(format!("fleet point {i}: bad 'per_node_hits': {other:?}")),
+        };
+        if per_node.len() as f64 != nodes {
+            return Err(format!(
+                "fleet point {i}: {} per-node hit entries for {nodes} nodes",
+                per_node.len()
+            ));
+        }
+        let mut summed = 0.0;
+        for h in per_node {
+            let v = h.as_number().ok_or_else(|| format!("fleet point {i}: bad per-node hit"))?;
+            if v < 0.0 || v.fract() != 0.0 {
+                return Err(format!("fleet point {i}: bad per-node hit count {v}"));
+            }
+            summed += v;
+        }
+        let (hits, misses) = (get("cache_hits")?, get("cache_misses")?);
+        if summed != hits {
+            return Err(format!(
+                "fleet point {i} ({policy}): per-node hits sum to {summed}, not {hits}"
+            ));
+        }
+        let hit_rate = get("hit_rate")?;
+        let expected =
+            if hits + misses > 0.0 { 100.0 * hits / (hits + misses) } else { 0.0 };
+        if (hit_rate - expected).abs() > 0.01 {
+            return Err(format!(
+                "fleet point {i} ({policy}): hit rate {hit_rate} inconsistent with \
+                 counters ({expected:.3})"
+            ));
+        }
+        let (p50, p95, p99) = (get("p50_ms")?, get("p95_ms")?, get("p99_ms")?);
+        if !(p50 > 0.0 && p95 >= p50 && p99 >= p95 && p99.is_finite()) {
+            return Err(format!(
+                "fleet point {i} ({policy}): bad quantiles p50={p50} p95={p95} p99={p99}"
+            ));
+        }
+        if get("throughput_rps")? <= 0.0 {
+            return Err(format!("fleet point {i} ({policy}): non-positive throughput"));
+        }
+        grid.push((nodes, policy, hit_rate));
+    }
+
+    let max_nodes = grid.iter().map(|r| r.0).fold(0.0, f64::max);
+    if headline_nodes != max_nodes {
+        return Err(format!(
+            "fleet: headline names {headline_nodes} nodes but the grid tops out at {max_nodes}"
+        ));
+    }
+    let rate_of = |nodes: f64, policy: &str| {
+        grid.iter()
+            .find(|(n, p, _)| *n == nodes && p == policy)
+            .map(|&(_, _, rate)| rate)
+            .ok_or_else(|| format!("fleet: grid lacks the {policy} point at {nodes} nodes"))
+    };
+    let top_affinity = rate_of(max_nodes, "affinity")?;
+    if (top_affinity - headline_hit).abs() > 0.01 {
+        return Err(format!(
+            "fleet: headline hit rate {headline_hit} does not restate the top affinity \
+             point ({top_affinity})"
+        ));
+    }
+    let mut node_counts: Vec<f64> = grid.iter().map(|r| r.0).collect();
+    node_counts.sort_by(f64::total_cmp);
+    node_counts.dedup();
+    for &nodes in &node_counts {
+        let affinity = rate_of(nodes, "affinity")?;
+        let round_robin = rate_of(nodes, "round-robin")?;
+        if nodes >= 2.0 && affinity <= round_robin {
+            return Err(format!(
+                "fleet: at {nodes} nodes the affinity hit rate {affinity} does not beat \
+                 round-robin {round_robin} — prefix routing bought nothing"
+            ));
+        }
+    }
+    if !smoke {
+        let single = rate_of(1.0, "affinity")
+            .map_err(|_| "fleet: full report lacks the single-node baseline".to_string())?;
+        if max_nodes < 4.0 {
+            return Err(format!(
+                "fleet: full report tops out at {max_nodes} nodes (needs ≥ 4)"
+            ));
+        }
+        if top_affinity < single - 5.0 {
+            return Err(format!(
+                "fleet: affinity hit rate {top_affinity} at {max_nodes} nodes is more than \
+                 5 points below single-node ({single}) — locality lost under scale-out"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Extracts one kernel row's `optimized_ms` from a `BENCH_*.json` document
 /// (for absolute wall-clock budget gates on top of [`validate_report_json`]'s
 /// relative speedup checks).
@@ -726,6 +1101,22 @@ pub fn report_serve_number(text: &str, field: &str) -> Result<f64, String> {
         .get(field)
         .and_then(Json::as_number)
         .ok_or_else(|| format!("serve: missing numeric '{field}'"))
+}
+
+/// Extracts one numeric field from the report's headline `fleet` object
+/// (for the `--fleet-min-hit-rate` / `--fleet-min-rps` absolute gates
+/// layered on top of [`validate_report_json`]'s structural checks).
+/// Errors when the report carries no fleet section at all.
+pub fn report_fleet_number(text: &str, field: &str) -> Result<f64, String> {
+    let doc = parse_json(text)?;
+    let fleet = match doc.get("fleet") {
+        Some(f @ Json::Object(_)) => f,
+        _ => return Err("no fleet section in the report".to_string()),
+    };
+    fleet
+        .get(field)
+        .and_then(Json::as_number)
+        .ok_or_else(|| format!("fleet: missing numeric '{field}'"))
 }
 
 // --- Workloads ---------------------------------------------------------
@@ -1163,7 +1554,8 @@ pub fn run_selected_benchmarks(config: &BenchConfig, filter: Option<&str>) -> Be
         kernels.push(bench_end_to_end(config));
     }
     let serve = if config.serve && wants("serve") { Some(bench_serve(config)) } else { None };
-    BenchReport { config: *config, kernels, cache, serve }
+    let fleet = if config.serve && wants("fleet") { Some(bench_fleet(config)) } else { None };
+    BenchReport { config: *config, kernels, cache, serve, fleet }
 }
 
 /// Serving benchmark (v7): sweeps the daemon over the connection
@@ -1203,6 +1595,7 @@ fn bench_serve(config: &BenchConfig) -> ServeResult {
         timeout: std::time::Duration::from_secs(120),
         base_backoff: std::time::Duration::from_millis(5),
         max_backoff: std::time::Duration::from_millis(100),
+        ..RetryPolicy::default()
     };
 
     let jobs = vec![JobSpec::default()];
@@ -1328,6 +1721,140 @@ fn bench_serve(config: &BenchConfig) -> ServeResult {
     }
 }
 
+/// Routed-fleet benchmark (v8): sweeps the rendezvous router over node
+/// counts × routing policies. Each grid point boots a fresh fleet of N
+/// daemons plus a router in front, then drives a shared-prefix sweep —
+/// four stage-key prefix families (part × orientation), each with a run
+/// of seeds, prefix-major — through one serial connection, byte-verifying
+/// every response against the in-process reference.
+///
+/// Concurrency is 1 on purpose: round-robin placement is then a pure
+/// function of request order (the rotation counter advances once per
+/// dispatch), so the hit-rate comparison is deterministic instead of
+/// racing on dispatch interleaving. Prefix-major order makes round-robin
+/// walk every family across every node in the grid, so it pays each
+/// family's seed-independent prefix stages cold once per (family, node)
+/// pair; affinity keys the whole family to one home and pays them once —
+/// which is also why its hit rate matches single-node exactly.
+fn bench_fleet(config: &BenchConfig) -> FleetResult {
+    use am_router::{RoutePolicy, Router, RouterConfig};
+    use am_service::{Codec, Endpoint, JobSpec, LoadRequest, RetryPolicy, Server, ServerConfig};
+
+    let node_counts: &[usize] = if config.smoke { &[1, 2] } else { &[1, 2, 4] };
+    let seeds: u64 = if config.smoke { 4 } else { 8 };
+    let families: &[(&str, Orientation)] = &[
+        ("prism", Orientation::Xy),
+        ("prism", Orientation::Xz),
+        ("bar", Orientation::Xy),
+        ("bar", Orientation::Xz),
+    ];
+
+    let mut requests = Vec::new();
+    for &(part, orientation) in families {
+        for seed in 1..=seeds {
+            let job = JobSpec {
+                part: part.to_string(),
+                orientation,
+                seed,
+                ..JobSpec::default()
+            };
+            let expected = am_service::expected_results_wire(std::slice::from_ref(&job))
+                .expect("fleet bench: in-process reference run");
+            requests.push(LoadRequest { jobs: vec![job], expected: Some(expected) });
+        }
+    }
+
+    let retry = RetryPolicy {
+        attempts: 4,
+        timeout: std::time::Duration::from_secs(120),
+        base_backoff: std::time::Duration::from_millis(5),
+        max_backoff: std::time::Duration::from_millis(80),
+        ..RetryPolicy::default()
+    };
+
+    let mut points = Vec::new();
+    for &nodes in node_counts {
+        for policy in [RoutePolicy::Affinity, RoutePolicy::RoundRobin] {
+            let backends: Vec<Server> = (0..nodes)
+                .map(|i| {
+                    Server::start(ServerConfig {
+                        workers: 2,
+                        node: format!("bench-node{i}"),
+                        ..ServerConfig::default()
+                    })
+                    .expect("fleet bench: backend boots on loopback")
+                })
+                .collect();
+            let router = Router::start(RouterConfig {
+                backends: backends
+                    .iter()
+                    .map(|b| Endpoint::Tcp(b.addr().to_string()))
+                    .collect(),
+                policy,
+                retry,
+                ..RouterConfig::default()
+            })
+            .expect("fleet bench: router boots on loopback");
+            let endpoint = Endpoint::Tcp(router.addr().to_string());
+
+            let report =
+                am_service::run_load_mixed(&endpoint, &requests, 1, &retry, Codec::Binary);
+
+            let caches: Vec<CacheStats> = backends.iter().map(|b| b.metrics().cache).collect();
+            let hits: u64 = caches.iter().map(|c| c.hits).sum();
+            let misses: u64 = caches.iter().map(|c| c.misses).sum();
+            let lookups = hits + misses;
+            points.push(FleetPoint {
+                nodes,
+                policy: policy.name().to_string(),
+                requests: report.requests,
+                errors: report.errors,
+                dropped_connections: report.dropped_connections,
+                mismatches: report.mismatches,
+                retries: report.retries,
+                connects: report.connects,
+                routed: router.fleet().routed(),
+                failovers: router.fleet().failovers(),
+                cache_hits: hits,
+                cache_misses: misses,
+                hit_rate: if lookups > 0 { 100.0 * hits as f64 / lookups as f64 } else { 0.0 },
+                per_node_hits: caches.iter().map(|c| c.hits).collect(),
+                p50_ms: report.quantile_ms(0.50),
+                p95_ms: report.quantile_ms(0.95),
+                p99_ms: report.quantile_ms(0.99),
+                throughput_rps: report.throughput_rps(),
+            });
+
+            router.begin_shutdown();
+            router.join();
+            for backend in backends {
+                backend.begin_shutdown();
+                backend.join();
+            }
+        }
+    }
+
+    let top = node_counts.last().copied().unwrap_or(1);
+    let headline = points
+        .iter()
+        .find(|p| p.nodes == top && p.policy == "affinity")
+        .cloned()
+        .expect("fleet bench: affinity point at the top node count");
+    FleetResult {
+        nodes: headline.nodes,
+        policy: headline.policy.clone(),
+        concurrency: 1,
+        prefixes: families.len() as u64,
+        requests: headline.requests,
+        hit_rate: headline.hit_rate,
+        p50_ms: headline.p50_ms,
+        p95_ms: headline.p95_ms,
+        p99_ms: headline.p99_ms,
+        throughput_rps: headline.throughput_rps,
+        points,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1355,6 +1882,7 @@ mod tests {
             }],
             cache: CacheStats { hits: 132, misses: 36, evictions: 2, ..CacheStats::default() },
             serve: None,
+            fleet: None,
         }
     }
 
@@ -1408,6 +1936,60 @@ mod tests {
                 ],
             }),
             ..sample_report()
+        }
+    }
+
+    /// One fleet grid point with counters chosen so that `hit_rate`
+    /// agrees with `cache_hits`/`cache_misses` and the per-node hits
+    /// sum correctly: every point does 128 lookups.
+    fn fleet_point(nodes: usize, policy: &str, hits: u64, per_node: Vec<u64>) -> FleetPoint {
+        FleetPoint {
+            nodes,
+            policy: policy.to_string(),
+            requests: 32,
+            errors: 0,
+            dropped_connections: 0,
+            mismatches: 0,
+            retries: 0,
+            connects: 1,
+            routed: 32,
+            failovers: 0,
+            cache_hits: hits,
+            cache_misses: 128 - hits,
+            hit_rate: 100.0 * hits as f64 / 128.0,
+            per_node_hits: per_node,
+            p50_ms: 8.0,
+            p95_ms: 20.0,
+            p99_ms: 30.0,
+            throughput_rps: 120.0,
+        }
+    }
+
+    fn fleet_report() -> BenchReport {
+        let points = vec![
+            fleet_point(1, "affinity", 56, vec![56]),
+            fleet_point(1, "round-robin", 56, vec![56]),
+            fleet_point(2, "affinity", 56, vec![28, 28]),
+            fleet_point(2, "round-robin", 48, vec![24, 24]),
+            fleet_point(4, "affinity", 56, vec![14, 14, 14, 14]),
+            fleet_point(4, "round-robin", 32, vec![8, 8, 8, 8]),
+        ];
+        let headline = points[4].clone();
+        BenchReport {
+            fleet: Some(FleetResult {
+                nodes: 4,
+                policy: "affinity".to_string(),
+                concurrency: 1,
+                prefixes: 4,
+                requests: headline.requests,
+                hit_rate: headline.hit_rate,
+                p50_ms: headline.p50_ms,
+                p95_ms: headline.p95_ms,
+                p99_ms: headline.p99_ms,
+                throughput_rps: headline.throughput_rps,
+                points,
+            }),
+            ..served_report()
         }
     }
 
@@ -1576,6 +2158,97 @@ mod tests {
         let rps = report_serve_number(&json, "throughput_rps").expect("rps present");
         assert!((rps - 312.5).abs() < 1e-9);
         assert!(report_serve_number(&sample_report().to_json(), "p99_ms").is_err());
+    }
+
+    #[test]
+    fn validator_enforces_the_v8_fleet_grid() {
+        // v8: the field itself is mandatory, even as an explicit null.
+        let no_fleet = sample_report().to_json().replace("  \"fleet\": null,\n", "");
+        assert!(validate_report_json(&no_fleet).is_err());
+        assert!(validate_report_json(&sample_report().to_json()).is_ok());
+
+        // A clean fleet grid validates, in smoke and full mode alike.
+        let report = fleet_report();
+        assert!(validate_report_json(&report.to_json()).is_ok());
+        let mut full = fleet_report();
+        full.config.smoke = false;
+        assert!(validate_report_json(&full.to_json()).is_ok());
+
+        // The affinity-beats-round-robin ordering is the headline claim:
+        // a grid where round-robin matches affinity at N=4 is rejected.
+        let mut tied = fleet_report();
+        if let Some(f) = tied.fleet.as_mut() {
+            f.points[5] = fleet_point(4, "round-robin", 56, vec![14, 14, 14, 14]);
+        }
+        let err = validate_report_json(&tied.to_json()).expect_err("tied hit rates");
+        assert!(err.contains("does not beat"), "{err}");
+
+        // Full mode additionally pins affinity to single-node locality:
+        // a top affinity rate more than 5 points below N=1 is rejected,
+        // as is a grid that never reaches 4 nodes or lacks the baseline.
+        let mut lossy = fleet_report();
+        lossy.config.smoke = false;
+        if let Some(f) = lossy.fleet.as_mut() {
+            f.points[4] = fleet_point(4, "affinity", 40, vec![10, 10, 10, 10]);
+            f.hit_rate = f.points[4].hit_rate;
+        }
+        let err = validate_report_json(&lossy.to_json()).expect_err("locality lost");
+        assert!(err.contains("below single-node"), "{err}");
+        let mut shallow = fleet_report();
+        shallow.config.smoke = false;
+        if let Some(f) = shallow.fleet.as_mut() {
+            f.points.truncate(4);
+            f.nodes = 2;
+            f.hit_rate = f.points[2].hit_rate;
+        }
+        assert!(validate_report_json(&shallow.to_json()).is_err());
+        let mut baseless = fleet_report();
+        baseless.config.smoke = false;
+        if let Some(f) = baseless.fleet.as_mut() {
+            f.points.remove(1);
+            f.points.remove(0);
+        }
+        assert!(validate_report_json(&baseless.to_json()).is_err());
+
+        // Every node count needs both policies, even in smoke mode.
+        let mut unpaired = fleet_report();
+        if let Some(f) = unpaired.fleet.as_mut() {
+            f.points.remove(5);
+        }
+        assert!(validate_report_json(&unpaired.to_json()).is_err());
+
+        // Dirty runs, inconsistent accounting and tampered rates are
+        // rejected.
+        for (clean, dirty) in [
+            ("\"mismatches\": 0", "\"mismatches\": 2"),
+            ("\"per_node_hits\": [8, 8, 8, 8]", "\"per_node_hits\": [8, 8, 8, 9]"),
+            ("\"per_node_hits\": [8, 8, 8, 8]", "\"per_node_hits\": [8, 8, 16]"),
+            ("\"hit_rate\": 25.000", "\"hit_rate\": 52.000"),
+            ("\"routed\": 32", "\"routed\": 30"),
+        ] {
+            let doc = fleet_report().to_json().replace(clean, dirty);
+            assert!(validate_report_json(&doc).is_err(), "accepted tampered fleet: {dirty}");
+        }
+
+        // The headline must restate the top affinity point.
+        let inflated = fleet_report()
+            .to_json()
+            .replacen("\"hit_rate\": 43.750", "\"hit_rate\": 99.000", 1);
+        let err = validate_report_json(&inflated).expect_err("inflated headline");
+        assert!(err.contains("restate"), "{err}");
+
+        // The gate helper reads the committed headline numbers back.
+        let json = fleet_report().to_json();
+        let rate = report_fleet_number(&json, "hit_rate").expect("hit rate present");
+        assert!((rate - 43.75).abs() < 1e-9);
+        let rps = report_fleet_number(&json, "throughput_rps").expect("rps present");
+        assert!((rps - 120.0).abs() < 1e-9);
+        assert!(report_fleet_number(&sample_report().to_json(), "hit_rate").is_err());
+
+        // The human-readable render mentions the fleet grid.
+        let text = fleet_report().render();
+        assert!(text.contains("fleet (4 nodes, affinity routing)"), "{text}");
+        assert!(text.contains("round-robin"), "{text}");
     }
 
     #[test]

@@ -97,6 +97,32 @@ COMMANDS:
                      [--idle-timeout-s S]       reactor: drop connections idle for S
                                                 seconds (default 60; also the
                                                 slow-loris partial-frame bound)
+                     [--node NAME]              node name surfaced in stats snapshots
+                                                (fleet tooling names each backend)
+    route          run the cache-affinity router: a daemon speaking the same wire
+                   protocol whose jobs are forwarded to N backend daemons, the
+                   backend chosen by rendezvous-hashing each job's stage-key
+                   prefix (shared prefixes ride one backend's warm cache)
+                     --to EP1,EP2,...           backend endpoints (required);
+                                                HOST:PORT or unix:PATH each
+                     [--addr HOST:PORT]         front listen address (default
+                                                127.0.0.1:7878; port 0 = ephemeral)
+                     [--uds PATH]               also listen on a Unix socket
+                     [--policy P]               affinity (default) | round-robin
+                     [--conns N]                pipelined connections per backend
+                                                (default 2)
+                     [--fail-threshold N]       consecutive failures that eject a
+                                                backend (default 3)
+                     [--probe-every N]          probe an ejected backend every Nth
+                                                skipped decision (default 8; 0 never)
+                     [--retries N]              attempts per backend before failing
+                                                over (default 4)
+                     [--workers N]              forwarding workers (default 8)
+                     [--queue N]                front queue capacity (default 64)
+                     [--backend B]              front connection layer (reactor|threads)
+                     [--json-only]              refuse binary negotiation on the front
+                     [--port-file FILE]         write the bound front address to FILE
+                     [--node NAME]              stats node name (default \"router\")
     submit         send one request to a running daemon and print the reply
                      [--addr HOST:PORT]         daemon address (default 127.0.0.1:7777)
                      [--uds PATH]               connect over a Unix socket instead
@@ -131,10 +157,13 @@ COMMANDS:
                                                 backend (reactor|threads) × codec
                                                 (json|binary) × concurrency sweep,
                                                 byte-verified, with p50/p95/p99 + rps
-                                                per point
+                                                per point — plus the routed-fleet grid
+                                                (nodes × affinity|round-robin behind a
+                                                router, per-node cache hits + warm hit
+                                                rate per point)
                      [--only KERNEL]            slicing|printing|fea|sweep|
-                                                all_experiments|serve
-                     [--out FILE.json]          (default BENCH_PR8.json)
+                                                all_experiments|serve|fleet
+                     [--out FILE.json]          (default BENCH_PR9.json)
                      [--check FILE.json]        validate an existing report instead of
                                                 benchmarking; fail on any speedup < 1.0
                      [--fea-budget-ms MS]       with --check: also fail if the fea row's
@@ -147,6 +176,10 @@ COMMANDS:
                                                 p99 exceeds MS milliseconds
                      [--serve-min-rps R]        with --check: fail if the headline serve
                                                 throughput is below R req/s
+                     [--fleet-min-hit-rate P]   with --check: fail if the routed fleet's
+                                                headline warm hit rate is below P percent
+                     [--fleet-min-rps R]        with --check: fail if the routed fleet's
+                                                headline throughput is below R req/s
     help           show this text
 ";
 
@@ -743,6 +776,36 @@ pub fn bench(args: &[String]) -> CliResult {
             }
             println!("  serve rps        {rps:>6.1}     >= {floor:.1} req/s floor");
         }
+        // PR 9: absolute floors on the committed routed-fleet headline
+        // (the affinity point at the grid's largest node count). The
+        // affinity-beats-round-robin ordering was already enforced by the
+        // schema validation; these pin the absolute numbers so the warm
+        // hit rate cannot erode inside the relative ordering.
+        if let Some(floor) = flags.get("fleet-min-hit-rate") {
+            let floor: f64 = floor
+                .parse()
+                .map_err(|_| format!("bad --fleet-min-hit-rate value `{floor}`"))?;
+            let rate = obfuscade_bench::perf::report_fleet_number(&text, "hit_rate")
+                .map_err(|e| format!("{path}: {e}"))?;
+            if rate < floor {
+                return Err(format!(
+                    "{path}: fleet warm hit rate {rate:.1}% below the {floor:.1}% floor"
+                ));
+            }
+            println!("  fleet hit rate   {rate:>6.1}%    >= {floor:.1}% floor");
+        }
+        if let Some(floor) = flags.get("fleet-min-rps") {
+            let floor: f64 =
+                floor.parse().map_err(|_| format!("bad --fleet-min-rps value `{floor}`"))?;
+            let rps = obfuscade_bench::perf::report_fleet_number(&text, "throughput_rps")
+                .map_err(|e| format!("{path}: {e}"))?;
+            if rps < floor {
+                return Err(format!(
+                    "{path}: routed throughput {rps:.1} req/s below the {floor:.1} req/s floor"
+                ));
+            }
+            println!("  fleet rps        {rps:>6.1}     >= {floor:.1} req/s floor");
+        }
         println!("{path}: schema valid, {} kernels, all speedups >= 1.0x", speedups.len());
         return Ok(());
     }
@@ -761,14 +824,16 @@ pub fn bench(args: &[String]) -> CliResult {
         solver: solver_flag(&flags)?,
         serve: flags.contains_key("serve"),
     };
-    let out_path = flags.get("out").map(String::as_str).unwrap_or("BENCH_PR8.json");
+    let out_path = flags.get("out").map(String::as_str).unwrap_or("BENCH_PR9.json");
     let only = flags.get("only").map(String::as_str);
     if let Some(name) = only {
-        if !["slicing", "printing", "fea", "sweep", "all_experiments", "serve"].contains(&name) {
+        if !["slicing", "printing", "fea", "sweep", "all_experiments", "serve", "fleet"]
+            .contains(&name)
+        {
             return Err(format!("unknown kernel `{name}` for --only"));
         }
-        if name == "serve" && !config.serve {
-            return Err("--only serve requires --serve".to_string());
+        if (name == "serve" || name == "fleet") && !config.serve {
+            return Err(format!("--only {name} requires --serve"));
         }
     }
 
@@ -908,6 +973,7 @@ pub fn serve(args: &[String]) -> CliResult {
             Some(secs) => std::time::Duration::from_secs(secs.max(1)),
             None => defaults.idle_timeout,
         },
+        node: flags.get("node").cloned().unwrap_or_default(),
         ..defaults
     };
     let workers = config.workers;
@@ -931,6 +997,96 @@ pub fn serve(args: &[String]) -> CliResult {
     }
     server.join();
     println!("daemon drained and stopped");
+    Ok(())
+}
+
+/// Parses one `--to` element: `unix:PATH` is a Unix-socket backend,
+/// anything else a TCP `HOST:PORT`.
+fn backend_endpoint(spec: &str) -> Result<am_service::Endpoint, String> {
+    if let Some(path) = spec.strip_prefix("unix:") {
+        if path.is_empty() {
+            return Err("empty unix: backend path in --to".to_string());
+        }
+        return Ok(am_service::Endpoint::Unix(std::path::PathBuf::from(path)));
+    }
+    if !spec.contains(':') {
+        return Err(format!("backend `{spec}` is neither HOST:PORT nor unix:PATH"));
+    }
+    Ok(am_service::Endpoint::Tcp(spec.to_string()))
+}
+
+/// `obfuscade route` — run the cache-affinity router in front of a fleet
+/// of backend daemons until a client sends `shutdown`.
+pub fn route(args: &[String]) -> CliResult {
+    use am_router::{RoutePolicy, Router, RouterConfig};
+    use am_service::ServerConfig;
+    let (positional, flags) = parse_flags(args);
+    if let Some(extra) = positional.first() {
+        return Err(format!("unexpected argument `{extra}`"));
+    }
+    let to = flags.get("to").ok_or("route requires --to EP1,EP2,... (backend endpoints)")?;
+    let backends = to
+        .split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(|s| backend_endpoint(s.trim()))
+        .collect::<Result<Vec<_>, _>>()?;
+    if backends.is_empty() {
+        return Err("route requires at least one backend in --to".to_string());
+    }
+    let front_defaults = ServerConfig::default();
+    let defaults = RouterConfig::default();
+    let config = RouterConfig {
+        front: ServerConfig {
+            addr: flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:7878".to_string()),
+            unix_socket: flags.get("uds").map(std::path::PathBuf::from),
+            // Forwarding workers block on backend round trips, so the
+            // front pool defaults wider than a compute daemon's.
+            workers: usize_flag(&flags, "workers", 8)?.max(1),
+            queue_capacity: usize_flag(&flags, "queue", front_defaults.queue_capacity)?.max(1),
+            allow_remote_shutdown: flags.contains_key("allow-remote-shutdown"),
+            backend: match flags.get("backend") {
+                Some(name) => am_service::ConnBackend::from_name(name)?,
+                None => front_defaults.backend,
+            },
+            json_only: flags.contains_key("json-only"),
+            node: flags.get("node").cloned().unwrap_or_default(),
+            ..front_defaults
+        },
+        backends,
+        conns_per_backend: usize_flag(&flags, "conns", defaults.conns_per_backend)?.max(1),
+        policy: match flags.get("policy") {
+            Some(name) => RoutePolicy::from_name(name)?,
+            None => defaults.policy,
+        },
+        fail_threshold: u64_flag(&flags, "fail-threshold")?
+            .map_or(defaults.fail_threshold, |n| n.clamp(1, u32::MAX as u64) as u32),
+        probe_every: u64_flag(&flags, "probe-every")?.unwrap_or(defaults.probe_every),
+        retry: am_service::RetryPolicy {
+            attempts: u64_flag(&flags, "retries")?
+                .map_or(defaults.retry.attempts, |n| n.min(64) as u32)
+                .max(1),
+            ..defaults.retry
+        },
+    };
+    let policy = config.policy.name();
+    let n = config.backends.len();
+    let workers = config.front.workers;
+    let uds = config.front.unix_socket.clone();
+    let router = Router::start(config).map_err(|e| format!("route: {e}"))?;
+    let addr = router.addr().to_string();
+    println!(
+        "obfuscade router listening on {addr}{} ({policy} routing over {n} backends, \
+         {workers} forwarding workers)",
+        match &uds {
+            Some(path) => format!(" and {}", path.display()),
+            None => String::new(),
+        }
+    );
+    if let Some(path) = flags.get("port-file") {
+        std::fs::write(path, &addr).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    router.join();
+    println!("router drained and stopped");
     Ok(())
 }
 
@@ -1170,6 +1326,105 @@ mod tests {
         submit(&with_addr(&["--kind", "shutdown"])).unwrap();
         daemon.join().unwrap().unwrap();
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn route_round_trips_jobs_through_backends() {
+        let dir = std::env::temp_dir().join(format!("obfuscade-route-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let poll_addr = |path: &str| -> String {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            loop {
+                if let Ok(addr) = std::fs::read_to_string(path) {
+                    if !addr.trim().is_empty() {
+                        return addr.trim().to_string();
+                    }
+                }
+                assert!(std::time::Instant::now() < deadline, "no address in {path}");
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+        };
+
+        // Two backend daemons on ephemeral ports…
+        let mut backend_files = Vec::new();
+        let mut backend_threads = Vec::new();
+        for i in 0..2 {
+            let file = dir.join(format!("backend{i}.addr")).to_string_lossy().to_string();
+            let args: Vec<String> = [
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "1",
+                "--node",
+                &format!("node{i}"),
+                "--port-file",
+                file.as_str(),
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            backend_threads.push(std::thread::spawn(move || serve(&args)));
+            backend_files.push(file);
+        }
+        let to =
+            backend_files.iter().map(|f| poll_addr(f)).collect::<Vec<_>>().join(",");
+
+        // …behind one router.
+        let router_file = dir.join("router.addr").to_string_lossy().to_string();
+        let route_args: Vec<String> = [
+            "--to",
+            to.as_str(),
+            "--addr",
+            "127.0.0.1:0",
+            "--port-file",
+            router_file.as_str(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let router_thread = std::thread::spawn(move || route(&route_args));
+
+        let with_front = |extra: &[&str]| -> Vec<String> {
+            ["--port-file", router_file.as_str()]
+                .iter()
+                .chain(extra)
+                .map(|s| s.to_string())
+                .collect()
+        };
+        // Jobs, a verdict, a byte-verified load, and the stats snapshot
+        // all flow through the router tier.
+        submit(&with_front(&["--kind", "run", "--seed", "3"])).unwrap();
+        submit(&with_front(&["--kind", "authenticate"])).unwrap();
+        submit(&with_front(&["--load", "6", "--concurrency", "2"])).unwrap();
+        submit(&with_front(&["--kind", "stats"])).unwrap();
+        submit(&with_front(&["--kind", "shutdown"])).unwrap();
+        router_thread.join().unwrap().unwrap();
+        for (file, thread) in backend_files.iter().zip(backend_threads) {
+            let args: Vec<String> =
+                ["--port-file", file.as_str(), "--kind", "shutdown"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect();
+            submit(&args).unwrap();
+            thread.join().unwrap().unwrap();
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn backend_endpoint_specs_parse() {
+        assert!(matches!(
+            backend_endpoint("127.0.0.1:7777"),
+            Ok(am_service::Endpoint::Tcp(_))
+        ));
+        assert!(matches!(
+            backend_endpoint("unix:/tmp/node.sock"),
+            Ok(am_service::Endpoint::Unix(_))
+        ));
+        assert!(backend_endpoint("justahost").is_err());
+        assert!(backend_endpoint("unix:").is_err());
+        assert!(route(&["--to".into(), ",".into()]).is_err());
+        assert!(route(&[]).is_err());
     }
 
     #[test]

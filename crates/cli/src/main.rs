@@ -12,7 +12,8 @@
 //! obfuscade report <experiment>|all
 //! obfuscade sweep [--threads N] [--seed N] [--cache-stats]
 //! obfuscade serve [--addr 127.0.0.1:7777] [--uds PATH] [--workers N] [--port-file FILE]
-//!                 [--allow-remote-shutdown]
+//!                 [--allow-remote-shutdown] [--node NAME]
+//! obfuscade route --to EP1,EP2,EP3 [--addr 127.0.0.1:7878] [--policy affinity|round-robin]
 //! obfuscade submit [--addr HOST:PORT] [--kind run|authenticate|stats|ping|shutdown]
 //! obfuscade submit --load 200 --concurrency 8
 //! obfuscade bench [--smoke] [--serve] [--threads N] [--out FILE.json] [--check FILE.json]
@@ -43,6 +44,7 @@ fn main() -> ExitCode {
         "report" => commands::report(rest),
         "sweep" => commands::sweep(rest),
         "serve" => commands::serve(rest),
+        "route" => commands::route(rest),
         "submit" => commands::submit(rest),
         "bench" => commands::bench(rest),
         "help" | "--help" | "-h" => {

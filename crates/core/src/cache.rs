@@ -164,6 +164,34 @@ impl fmt::Display for StageKey {
     }
 }
 
+/// The mesh→slice **prefix key** of one job: the [`StageKey`] under which
+/// the pipeline caches the job's slice artifact, derived purely from the
+/// job description — nothing is meshed or sliced to compute it.
+///
+/// Two jobs share this key exactly when they share the whole mesh→slice
+/// chain (same part recipe, resolution, orientation, slicer config,
+/// upstream faults, and deposition kernel mode), i.e. when running them on
+/// the same [`StageCache`] lets the second reuse the first's warm mesh and
+/// slice entries. That makes it the canonical *affinity* hash input for a
+/// router tier: sending same-prefix jobs to the same backend daemon
+/// preserves the shared-prefix warming of [`crate::run_pipeline_jobs`]
+/// across a fleet. The `prefix_key_is_the_slice_stage_cache_key` pin test
+/// in `crate::pipeline` proves this function returns byte-for-byte the key
+/// the pipeline actually computes at the slice stage, so router hashing
+/// can never drift from cache contents.
+///
+/// Note the key absorbs the process-global [`crate::kernel_mode`], exactly
+/// as the slice stage itself does; router and daemons agree as long as
+/// they run the same kernel mode (both default to
+/// [`crate::KernelMode::SpanPlan`]).
+pub fn prefix_key_for_job(
+    part: &am_cad::Part,
+    plan: &crate::ProcessPlan,
+    faults: &crate::FaultPlan,
+) -> StageKey {
+    crate::pipeline::plan_keys(part, plan, faults).slice
+}
+
 /// One immutable stage artifact, shared by reference.
 ///
 /// Crate-internal: callers interact with the cache through

@@ -79,7 +79,7 @@ pub use batch::{
     run_pipeline_batch, run_pipeline_batch_with, run_pipeline_jobs, run_pipeline_jobs_with,
     sweep_key_space, BatchJob,
 };
-pub use cache::{CacheStats, StageCache, StageHasher, StageKey};
+pub use cache::{prefix_key_for_job, CacheStats, StageCache, StageHasher, StageKey};
 pub use fault::{
     FaultParseError, FaultPlan, FirmwareFault, SlicerFault, StlFault, ToolpathFault,
 };

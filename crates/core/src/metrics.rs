@@ -84,8 +84,13 @@ impl LatencyHistogram {
 
 /// Service-side counters (queue, admission control, request latencies).
 /// Only present in snapshots taken by a running daemon.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ServiceStats {
+    /// Operator-chosen node name of the daemon that took the snapshot
+    /// (`serve --node`; empty when unnamed). Fleet tooling uses it to
+    /// tell the N backends of a routed deployment apart on the stats
+    /// wire.
+    pub node: String,
     /// Worker threads draining the job queue.
     pub workers: usize,
     /// Bounded job-queue capacity (admission-control limit).
@@ -125,8 +130,9 @@ pub struct ServiceStats {
 }
 
 /// One coherent snapshot of every stats surface, with a stable field
-/// order in its JSON form (`cache`, `solver_pool`, `solver`, `service`).
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+/// order in its JSON form (`cache`, `solver_pool`, `solver`, `service`,
+/// `fleet`).
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct MetricsSnapshot {
     /// Stage-cache traffic of the cache being observed.
     pub cache: CacheStats,
@@ -136,6 +142,11 @@ pub struct MetricsSnapshot {
     pub solver: SolverCounters,
     /// Service counters, when a daemon owns the observed cache.
     pub service: Option<ServiceStats>,
+    /// Routing-tier counters, when the observed daemon is a router front
+    /// end (`am-router` fills this with per-backend routing/health
+    /// state). `None` everywhere else; the JSON form keeps the field
+    /// present as `null` so parsers see a fixed shape.
+    pub fleet: Option<Json>,
 }
 
 impl MetricsSnapshot {
@@ -148,6 +159,7 @@ impl MetricsSnapshot {
             solver_pool: crate::pipeline::fea_solver_pool_stats(),
             solver: am_fea::solver_counters(),
             service: None,
+            fleet: None,
         }
     }
 
@@ -194,6 +206,7 @@ impl MetricsSnapshot {
                 ("worker_panics".into(), Json::u64(s.worker_panics)),
                 ("respawns".into(), Json::u64(s.respawns)),
                 ("backend".into(), Json::String(s.backend.to_string())),
+                ("node".into(), Json::String(s.node.clone())),
                 ("frames_json".into(), Json::u64(s.frames_json)),
                 ("frames_binary".into(), Json::u64(s.frames_binary)),
                 ("binary_negotiated".into(), Json::u64(s.binary_negotiated)),
@@ -204,11 +217,16 @@ impl MetricsSnapshot {
                 ("latency_p99_ms".into(), Json::Number(s.latency.quantile_ms(0.99))),
             ]),
         };
+        let fleet = match &self.fleet {
+            None => Json::Null,
+            Some(f) => f.clone(),
+        };
         Json::Object(vec![
             ("cache".into(), cache),
             ("solver_pool".into(), pool),
             ("solver".into(), solver),
             ("service".into(), service),
+            ("fleet".into(), fleet),
         ])
     }
 
@@ -254,6 +272,9 @@ impl MetricsSnapshot {
             self.solver.force_evals
         );
         if let Some(s) = &self.service {
+            if !s.node.is_empty() {
+                let _ = writeln!(out, "node:        {}", s.node);
+            }
             let _ = writeln!(
                 out,
                 "service:     {} workers, queue {}/{}; {} conns, {} accepted, {} completed, \
@@ -348,19 +369,44 @@ mod tests {
             solver_pool: SolverPoolStats { builds: 2, reuses: 5 },
             solver: SolverCounters::default(),
             service: Some(ServiceStats { workers: 2, queue_capacity: 8, ..Default::default() }),
+            fleet: None,
         };
         let json = snapshot.to_json().render();
         let cache_at = json.find("\"cache\"").expect("cache");
         let pool_at = json.find("\"solver_pool\"").expect("pool");
         let solver_at = json.find("\"solver\":").expect("solver");
         let service_at = json.find("\"service\"").expect("service");
+        let fleet_at = json.find("\"fleet\"").expect("fleet");
         assert!(cache_at < pool_at && pool_at < solver_at && solver_at < service_at);
+        assert!(service_at < fleet_at);
         assert!(json.contains("\"hits\":3"));
         assert!(json.contains("\"reuses\":5"));
         assert!(json.contains("\"workers\":2"));
-        // Absent service section renders as null, keeping the field present.
+        // Absent service and fleet sections render as null, keeping the
+        // fields present.
         let bare = MetricsSnapshot::default();
-        assert!(bare.to_json().render().contains("\"service\":null"));
+        let bare_json = bare.to_json().render();
+        assert!(bare_json.contains("\"service\":null"));
+        assert!(bare_json.contains("\"fleet\":null"));
+    }
+
+    #[test]
+    fn snapshot_json_carries_node_identity_and_fleet_section() {
+        let snapshot = MetricsSnapshot {
+            service: Some(ServiceStats { node: "node2".to_string(), ..Default::default() }),
+            fleet: Some(Json::Object(vec![("failovers".into(), Json::u64(3))])),
+            ..MetricsSnapshot::default()
+        };
+        let json = snapshot.to_json().render();
+        assert!(json.contains("\"node\":\"node2\""), "{json}");
+        assert!(json.contains("\"fleet\":{\"failovers\":3}"), "{json}");
+        // Node identity sits with the backend identity, before the
+        // latency block.
+        let backend_at = json.find("\"backend\"").expect("backend");
+        let node_at = json.find("\"node\"").expect("node");
+        let latency_at = json.find("\"latency_count\"").expect("latency_count");
+        assert!(backend_at < node_at && node_at < latency_at);
+        assert!(snapshot.render().contains("node2"));
     }
 
     #[test]

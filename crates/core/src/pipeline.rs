@@ -1420,6 +1420,40 @@ mod tests {
         plan_keys(part, plan, &FaultPlan::none())
     }
 
+    /// Pin for the router tier (PR 9): the public
+    /// [`crate::prefix_key_for_job`] must equal — byte for byte — the key
+    /// the pipeline actually caches the slice artifact under, for clean
+    /// and faulted plans alike. If the two ever drift, affinity routing
+    /// would hash jobs to a node whose cache files them elsewhere.
+    #[test]
+    fn prefix_key_is_the_slice_stage_cache_key() {
+        let _guard = crate::perf::KERNEL_MODE_TEST_LOCK.lock().unwrap();
+        crate::perf::set_kernel_mode(KernelMode::SpanPlan);
+        let part = base_part();
+        let plan = ProcessPlan::fdm(Resolution::Coarse, Orientation::Xy);
+        let faulted = "stl.degenerate=3"
+            .parse::<FaultPlan>()
+            .expect("fault plan")
+            .with_seed(7);
+        for faults in [FaultPlan::none(), faulted] {
+            let public = crate::cache::prefix_key_for_job(&part, &plan, &faults);
+            assert_eq!(
+                public,
+                plan_keys(&part, &plan, &faults).slice,
+                "public prefix key drifted from the slice-stage plan key"
+            );
+            let cache = StageCache::with_budget(64 << 20);
+            if run_pipeline_cached(&part, &plan, &faults, &cache).is_ok() {
+                let cached =
+                    cache.get(public).and_then(crate::cache::StageArtifact::into_slice);
+                assert!(
+                    cached.is_some(),
+                    "cached run left no slice artifact under the public prefix key"
+                );
+            }
+        }
+    }
+
     /// Each kernel mode must hash to its own key chain: the three modes
     /// produce bit-identical artifacts, but a cached entry records which
     /// implementation produced it, and the bench harness relies on a mode

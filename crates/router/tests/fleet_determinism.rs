@@ -1,0 +1,213 @@
+//! The router's headline gate: a job set routed across a fleet of
+//! {1, 2, 4} backends — under **either** routing policy — must be
+//! byte-identical to the same jobs run in-process, including when a
+//! backend dies mid-workload and its jobs fail over. Routing is a
+//! placement decision; it must never be observable in response bytes.
+
+use std::time::Duration;
+
+use am_router::{Router, RouterConfig, RoutePolicy};
+use am_service::{
+    expected_results_wire, Client, Codec, Endpoint, JobSpec, Response, RetryPolicy, Server,
+    ServerConfig,
+};
+use obfuscade::json::Json;
+use proptest::prelude::*;
+
+const NODE_COUNTS: &[usize] = &[1, 2, 4];
+const POLICIES: &[RoutePolicy] = &[RoutePolicy::Affinity, RoutePolicy::RoundRobin];
+
+/// Backends sized for tests: one worker, default cache.
+fn start_backends(n: usize) -> Vec<Server> {
+    (0..n)
+        .map(|i| {
+            Server::start(ServerConfig {
+                workers: 1,
+                node: format!("node{i}"),
+                ..ServerConfig::default()
+            })
+            .expect("backend boots")
+        })
+        .collect()
+}
+
+fn router_over(backends: &[Server], policy: RoutePolicy) -> Router {
+    Router::start(RouterConfig {
+        backends: backends
+            .iter()
+            .map(|b| Endpoint::Tcp(b.addr().to_string()))
+            .collect(),
+        policy,
+        retry: RetryPolicy {
+            attempts: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+            ..RetryPolicy::default()
+        },
+        ..RouterConfig::default()
+    })
+    .expect("router boots")
+}
+
+/// Four jobs spanning two prefix families (two orientations), half of
+/// them faulted — clean and erroring outcomes both cross the router.
+fn job_set(seed: u64, fault_seed: u64) -> Vec<JobSpec> {
+    ["xy", "xz", "xy", "xz"]
+        .iter()
+        .enumerate()
+        .map(|(i, orientation)| JobSpec {
+            orientation: match *orientation {
+                "xz" => am_slicer::Orientation::Xz,
+                _ => am_slicer::Orientation::Xy,
+            },
+            seed: seed + (i as u64) / 2,
+            faults: if i % 2 == 1 { "stl.degenerate=3".to_string() } else { String::new() },
+            fault_seed,
+            ..JobSpec::default()
+        })
+        .collect()
+}
+
+fn shut_down_fleet(router: Router, backends: Vec<Server>) {
+    router.begin_shutdown();
+    router.join();
+    for backend in backends {
+        backend.begin_shutdown();
+        backend.join();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn routed_jobs_are_byte_identical_to_in_process_runs(
+        seed in 1..1_000u64,
+        fault_seed in 1..10_000u64,
+        nodes_idx in 0..NODE_COUNTS.len(),
+        policy_idx in 0..POLICIES.len(),
+        codec_idx in 0..2usize,
+    ) {
+        let policy = POLICIES[policy_idx];
+        let codec = if codec_idx == 0 { Codec::Json } else { Codec::Binary };
+        let jobs = job_set(seed, fault_seed);
+        let expected = expected_results_wire(&jobs).expect("in-process reference run");
+
+        let backends = start_backends(NODE_COUNTS[nodes_idx]);
+        let router = router_over(&backends, policy);
+        let endpoint = Endpoint::Tcp(router.addr().to_string());
+
+        // Submit one job per request (the sweep shape the fleet routes),
+        // twice: round two rides whatever caches round one warmed,
+        // wherever the policy put them.
+        let expected_each: Vec<String> = jobs
+            .iter()
+            .map(|job| expected_results_wire(std::slice::from_ref(job)).expect("reference"))
+            .collect();
+        for round in 0..2 {
+            let mut client =
+                Client::connect_with_codec(&endpoint, None, codec).expect("connect");
+            for (job, want) in jobs.iter().zip(expected_each.iter()) {
+                let response =
+                    client.run(vec![job.clone()], Some(120_000)).expect("routed run");
+                let Response::Results { results, .. } = response else {
+                    panic!("round {round}: expected results, got {response:?}");
+                };
+                prop_assert_eq!(
+                    &Json::Array(results).render(),
+                    want,
+                    "routed bytes diverged (round {}, nodes {}, policy {}, codec {})",
+                    round,
+                    NODE_COUNTS[nodes_idx],
+                    policy.name(),
+                    codec.name()
+                );
+            }
+        }
+
+        // The whole set as one batch must match the batch oracle too.
+        let mut client = Client::connect_with_codec(&endpoint, None, codec).expect("connect");
+        let response = client.run(jobs.clone(), Some(120_000)).expect("routed batch");
+        let Response::Results { results, .. } = response else {
+            panic!("expected results, got {response:?}");
+        };
+        prop_assert_eq!(Json::Array(results).render(), expected);
+
+        let routed = router.fleet().routed();
+        prop_assert!(routed >= 9, "router dispatched {routed} of 9 requests");
+        shut_down_fleet(router, backends);
+    }
+}
+
+/// A backend dying mid-workload must cost placement, never bytes: kill
+/// one of two backends, submit a multi-prefix sweep, and every response
+/// still matches the in-process oracle while the fleet records the
+/// failovers.
+#[test]
+fn backend_death_fails_over_without_changing_bytes() {
+    let backends = start_backends(2);
+    let router = router_over(&backends, RoutePolicy::Affinity);
+    let endpoint = Endpoint::Tcp(router.addr().to_string());
+
+    // Warm both homes so the router has live pooled connections to the
+    // backend we are about to kill (exercising the stale-conn path, not
+    // just connect-refused).
+    let jobs = job_set(11, 77);
+    let mut client = Client::connect(&endpoint).expect("connect");
+    for job in &jobs {
+        let response = client.run(vec![job.clone()], Some(120_000)).expect("warm run");
+        assert!(matches!(response, Response::Results { .. }), "{response:?}");
+    }
+
+    // Kill the backend that served the most of the warmup — the home of
+    // at least one prefix family, guaranteed to have live pooled
+    // connections. (Which node that is varies run to run: endpoint
+    // names carry ephemeral ports, and placement hashes the name.)
+    let stats = router.fleet().stats_json();
+    let victim_name = stats
+        .get("per_backend")
+        .and_then(Json::as_array)
+        .expect("per_backend array")
+        .iter()
+        .max_by_key(|b| b.get("routed").and_then(Json::as_u64).unwrap_or(0))
+        .and_then(|b| b.get("endpoint"))
+        .and_then(Json::as_str)
+        .expect("victim endpoint")
+        .to_string();
+    let mut survivors = Vec::new();
+    let mut dead = None;
+    for backend in backends {
+        if format!("tcp:{}", backend.addr()) == victim_name {
+            dead = Some(backend);
+        } else {
+            survivors.push(backend);
+        }
+    }
+    let dead = dead.expect("the most-routed endpoint is one of ours");
+    // Drain keeps its state consistent; the socket then refuses
+    // connections like a kill -9 would.
+    dead.begin_shutdown();
+    dead.join();
+
+    for job in &jobs {
+        let want = expected_results_wire(std::slice::from_ref(job)).expect("reference");
+        let response = client.run(vec![job.clone()], Some(120_000)).expect("failover run");
+        let Response::Results { results, .. } = response else {
+            panic!("expected results after backend death, got {response:?}");
+        };
+        assert_eq!(
+            Json::Array(results).render(),
+            want,
+            "failover changed response bytes"
+        );
+    }
+
+    // With two backends and both orientations in the set, the dead node
+    // was home to at least one prefix — those jobs failed over.
+    let failovers = router.fleet().failovers();
+    assert!(failovers >= 1, "no failover recorded after killing a backend");
+    let fleet_json = router.fleet().stats_json().render();
+    assert!(fleet_json.contains("\"failovers\""), "{fleet_json}");
+
+    shut_down_fleet(router, survivors);
+}

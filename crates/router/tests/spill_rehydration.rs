@@ -1,0 +1,102 @@
+//! Satellite: the spill tier works **under routing**. A backend with a
+//! tiny cache and a persistent spill directory is swept through the
+//! router, restarted on the same socket + spill dir, and re-swept: the
+//! restarted daemon must serve warm-start spill hits (artifacts
+//! rehydrated from the segment files, not recomputed) and the routed
+//! responses must stay byte-identical across the restart.
+
+use std::time::Duration;
+
+use am_router::{Router, RouterConfig, RoutePolicy};
+use am_service::{
+    expected_results_wire, Client, Endpoint, JobSpec, Response, RetryPolicy, Server, ServerConfig,
+};
+use obfuscade::json::Json;
+
+fn backend_config(sock: &std::path::Path, spill: &std::path::Path) -> ServerConfig {
+    ServerConfig {
+        unix_socket: Some(sock.to_path_buf()),
+        workers: 1,
+        // 1 MiB: a few seeds' worth of artifacts overflow it, forcing
+        // eviction into the spill tier.
+        cache_budget: 1 << 20,
+        spill_dir: Some(spill.to_path_buf()),
+        node: "spill-node".to_string(),
+        ..ServerConfig::default()
+    }
+}
+
+fn sweep_jobs() -> Vec<JobSpec> {
+    (1..=6).map(|seed| JobSpec { seed, ..JobSpec::default() }).collect()
+}
+
+fn routed_sweep(endpoint: &Endpoint, jobs: &[JobSpec], expected: &[String]) {
+    let mut client = Client::connect(endpoint).expect("connect to router");
+    for (job, want) in jobs.iter().zip(expected.iter()) {
+        let response = client.run(vec![job.clone()], Some(120_000)).expect("routed run");
+        let Response::Results { results, .. } = response else {
+            panic!("expected results, got {response:?}");
+        };
+        assert_eq!(&Json::Array(results).render(), want, "routed sweep diverged");
+    }
+}
+
+#[test]
+fn restarted_backend_serves_spill_hits_through_the_router() {
+    let base = std::env::temp_dir().join(format!("obfuscade-router-spill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).expect("test dir");
+    let sock = base.join("backend.sock");
+    let spill = base.join("spill");
+
+    let jobs = sweep_jobs();
+    let expected: Vec<String> = jobs
+        .iter()
+        .map(|job| expected_results_wire(std::slice::from_ref(job)).expect("reference"))
+        .collect();
+
+    let backend = Server::start(backend_config(&sock, &spill)).expect("backend boots");
+    let router = Router::start(RouterConfig {
+        backends: vec![Endpoint::Unix(sock.clone())],
+        policy: RoutePolicy::Affinity,
+        retry: RetryPolicy {
+            attempts: 4,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(40),
+            ..RetryPolicy::default()
+        },
+        ..RouterConfig::default()
+    })
+    .expect("router boots");
+    let front = Endpoint::Tcp(router.addr().to_string());
+
+    // First routed sweep: warms the backend and overflows its 1 MiB
+    // budget, spilling the early seeds to disk.
+    routed_sweep(&front, &jobs, &expected);
+    let spilled = backend.metrics().cache.spill_writes;
+    assert!(spilled > 0, "the sweep never overflowed into the spill tier");
+
+    // Restart the backend on the same socket and spill directory. The
+    // router keeps running; its pooled connections to the old process
+    // die and reconnect lazily.
+    backend.begin_shutdown();
+    backend.join();
+    let backend = Server::start(backend_config(&sock, &spill)).expect("backend restarts");
+
+    // Second routed sweep: byte-identical, and served (partly) from the
+    // rehydrated spill segments rather than recomputed.
+    routed_sweep(&front, &jobs, &expected);
+    let cache = backend.metrics().cache;
+    assert!(
+        cache.spill_hits > 0,
+        "restarted backend recomputed everything instead of rehydrating \
+         (spill stats: {cache:?})"
+    );
+    assert_eq!(cache.spill_corrupt_dropped, 0, "recovery served corrupt segments");
+
+    router.begin_shutdown();
+    router.join();
+    backend.begin_shutdown();
+    backend.join();
+    let _ = std::fs::remove_dir_all(&base);
+}

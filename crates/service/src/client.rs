@@ -30,7 +30,7 @@ use std::time::{Duration, Instant};
 
 use am_par::Parallelism;
 use obfuscade::json::Json;
-use obfuscade::{run_pipeline_jobs, BatchJob, StageCache};
+use obfuscade::{run_pipeline_jobs, BatchJob, StageCache, StageHasher};
 
 use crate::codec::{decode_hello, encode_hello, is_binary_hello, Codec, BINARY_VERSION};
 use crate::protocol::{
@@ -304,9 +304,14 @@ impl Client {
 /// Timeout and bounded-exponential-backoff schedule for
 /// [`RetryingClient`].
 ///
-/// The backoff is deterministic — no jitter — so a retried run is
-/// reproducible: attempt *k* (zero-based) sleeps
-/// `min(base_backoff · 2^(k-1), max_backoff)` before running.
+/// The backoff is **deterministic including its jitter**: attempt *k*
+/// (zero-based) sleeps `min(base_backoff · 2^(k-1), max_backoff)` plus a
+/// jitter drawn as a pure hash of `(jitter_seed, k)`, bounded by
+/// `jitter`. Distinct seeds decorrelate the schedules of concurrent
+/// clients — without the jitter, every load worker that watched the same
+/// daemon die retries in lockstep and the reconnect burst arrives as one
+/// synchronized wave — while a fixed seed keeps any single schedule
+/// exactly reproducible.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total attempts per request, including the first (≥ 1).
@@ -316,8 +321,15 @@ pub struct RetryPolicy {
     pub timeout: Duration,
     /// Sleep before the first retry.
     pub base_backoff: Duration,
-    /// Backoff ceiling: doubling stops here.
+    /// Backoff ceiling: doubling stops here (jitter is added on top).
     pub max_backoff: Duration,
+    /// Upper bound on the deterministic jitter added to every backoff
+    /// sleep; `Duration::ZERO` disables jitter entirely.
+    pub jitter: Duration,
+    /// Seed the jitter is derived from. Give concurrent clients distinct
+    /// seeds (the load generator seeds each worker with its index) so
+    /// their retry bursts de-synchronize.
+    pub jitter_seed: u64,
 }
 
 impl Default for RetryPolicy {
@@ -327,19 +339,47 @@ impl Default for RetryPolicy {
             timeout: Duration::from_secs(30),
             base_backoff: Duration::from_millis(25),
             max_backoff: Duration::from_millis(400),
+            jitter: Duration::from_millis(25),
+            jitter_seed: 0,
         }
     }
 }
 
 impl RetryPolicy {
+    /// This policy with a different jitter seed — how the load generator
+    /// and the router hand each worker its own reproducible schedule.
+    #[must_use]
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
     /// The sleep before retry number `retry` (zero-based):
-    /// `base_backoff · 2^retry`, capped at `max_backoff`.
+    /// `base_backoff · 2^retry`, capped at `max_backoff`, plus the
+    /// seeded jitter for this retry (at most `jitter`).
     pub fn backoff(&self, retry: u32) -> Duration {
         let factor = 1u32.checked_shl(retry).unwrap_or(u32::MAX);
-        self.base_backoff
+        let base = self
+            .base_backoff
             .checked_mul(factor)
             .unwrap_or(self.max_backoff)
-            .min(self.max_backoff)
+            .min(self.max_backoff);
+        base + self.jitter_for(retry)
+    }
+
+    /// The deterministic jitter component of [`RetryPolicy::backoff`]:
+    /// a pure function of `(jitter_seed, retry)`, uniform over
+    /// `[0, jitter]` in whole nanoseconds.
+    fn jitter_for(&self, retry: u32) -> Duration {
+        let cap_ns = u64::try_from(self.jitter.as_nanos()).unwrap_or(u64::MAX);
+        if cap_ns == 0 {
+            return Duration::ZERO;
+        }
+        let mut h = StageHasher::new("obfuscade/backoff/v1");
+        h.write_u64(self.jitter_seed);
+        h.write_u64(u64::from(retry));
+        let draw = h.finish().to_words()[0] % (cap_ns + 1);
+        Duration::from_nanos(draw)
     }
 }
 
@@ -363,13 +403,21 @@ fn retryable(response: &Response) -> bool {
 /// idempotent: the pipeline is deterministic and content-addressed, so
 /// a duplicated execution produces byte-identical results. Requests
 /// with side effects (`shutdown`) are deliberately not offered here.
+///
+/// Built over **one or more** endpoints: when a connection cannot be
+/// established at the active endpoint, the client rotates to the next
+/// one (a `failover`) before retrying — the client-side analogue of the
+/// router tier's node failover, and safe for the same idempotency
+/// reason. Single-endpoint clients never fail over.
 pub struct RetryingClient {
-    endpoint: Endpoint,
+    endpoints: Vec<Endpoint>,
+    active: usize,
     policy: RetryPolicy,
     codec: Codec,
     conn: Option<Client>,
     retries: u64,
     connects: u64,
+    failovers: u64,
 }
 
 impl RetryingClient {
@@ -388,13 +436,31 @@ impl RetryingClient {
         policy: RetryPolicy,
         codec: Codec,
     ) -> RetryingClient {
+        RetryingClient::new_multi_with_codec(std::slice::from_ref(endpoint), policy, codec)
+    }
+
+    /// A client over several equivalent endpoints (e.g. the daemons of a
+    /// routed fleet, addressed directly): connection failures rotate to
+    /// the next endpoint instead of burning every attempt on a dead one.
+    ///
+    /// # Panics
+    ///
+    /// When `endpoints` is empty.
+    pub fn new_multi_with_codec(
+        endpoints: &[Endpoint],
+        policy: RetryPolicy,
+        codec: Codec,
+    ) -> RetryingClient {
+        assert!(!endpoints.is_empty(), "a RetryingClient needs at least one endpoint");
         RetryingClient {
-            endpoint: endpoint.clone(),
+            endpoints: endpoints.to_vec(),
+            active: 0,
             policy,
             codec,
             conn: None,
             retries: 0,
             connects: 0,
+            failovers: 0,
         }
     }
 
@@ -409,6 +475,31 @@ impl RetryingClient {
     /// each transport-failure reconnect adds one.
     pub fn connects(&self) -> u64 {
         self.connects
+    }
+
+    /// Connections established beyond the first — the chaos-forced
+    /// portion of [`RetryingClient::connects`]; 0 for a healthy run.
+    pub fn reconnects(&self) -> u64 {
+        self.connects.saturating_sub(1)
+    }
+
+    /// Times this client rotated to another endpoint after failing to
+    /// connect to the active one. Always 0 for single-endpoint clients.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// The endpoint the next connection attempt will target.
+    pub fn active_endpoint(&self) -> &Endpoint {
+        &self.endpoints[self.active]
+    }
+
+    /// Rotates to the next endpoint after a connect failure.
+    fn fail_over(&mut self) {
+        if self.endpoints.len() > 1 {
+            self.active = (self.active + 1) % self.endpoints.len();
+            self.failovers += 1;
+        }
     }
 
     /// Establishes the connection now, retrying with backoff per the
@@ -427,14 +518,17 @@ impl RetryingClient {
             if self.conn.is_some() {
                 return Ok(());
             }
-            match Client::connect_with_codec(&self.endpoint, Some(self.policy.timeout), self.codec)
-            {
+            let endpoint = &self.endpoints[self.active];
+            match Client::connect_with_codec(endpoint, Some(self.policy.timeout), self.codec) {
                 Ok(client) => {
                     self.connects += 1;
                     self.conn = Some(client);
                     return Ok(());
                 }
-                Err(err) => last = err.to_string(),
+                Err(err) => {
+                    last = err.to_string();
+                    self.fail_over();
+                }
             }
         }
         Err(format!(
@@ -499,8 +593,9 @@ impl RetryingClient {
             let client = match self.conn {
                 Some(ref mut client) => client,
                 None => {
+                    let endpoint = self.endpoints[self.active].clone();
                     match Client::connect_with_codec(
-                        &self.endpoint,
+                        &endpoint,
                         Some(self.policy.timeout),
                         self.codec,
                     ) {
@@ -510,6 +605,7 @@ impl RetryingClient {
                         }
                         Err(err) => {
                             last = format!("connect failed: {err}");
+                            self.fail_over();
                             continue;
                         }
                     }
@@ -560,6 +656,14 @@ pub struct LoadReport {
     /// exactly `concurrency`; anything above that is chaos-forced
     /// reconnects.
     pub connects: u64,
+    /// Connections established beyond each thread's first — the
+    /// chaos-forced portion of `connects`, summed across threads. 0 for
+    /// a healthy run regardless of concurrency.
+    pub reconnects: u64,
+    /// Times a worker's client rotated to another endpoint after a
+    /// connect failure. Always 0 for single-endpoint loads; nonzero only
+    /// when the load was pointed at several fleet endpoints directly.
+    pub failovers: u64,
     /// Per-request round-trip latencies, sorted ascending (ms).
     pub latencies_ms: Vec<f64>,
     /// Wall-clock duration of the whole run (s).
@@ -677,13 +781,16 @@ pub fn run_load_with(
             let report = &report;
             let jobs = jobs.to_vec();
             scope.spawn(move || {
-                let mut client = RetryingClient::new_with_codec(endpoint, *policy, codec);
+                // Each worker gets its own jitter seed, so the backoff
+                // schedules of workers that hit the same outage spread
+                // out instead of re-bursting in lockstep.
+                let policy = policy.with_jitter_seed(worker as u64 + 1);
+                let mut client = RetryingClient::new_with_codec(endpoint, policy, codec);
                 if client.connect().is_err() {
                     let mut r = report.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
                     r.dropped_connections += 1;
                     r.errors += share;
-                    r.retries += client.retries();
-                    r.connects += client.connects();
+                    merge_client_counters(&mut r, &client);
                     return;
                 }
                 let mut latencies = Vec::with_capacity(share as usize);
@@ -707,8 +814,98 @@ pub fn run_load_with(
                 r.latencies_ms.extend(latencies);
                 r.errors += errors;
                 r.mismatches += mismatches;
-                r.retries += client.retries();
-                r.connects += client.connects();
+                merge_client_counters(&mut r, &client);
+            });
+        }
+    });
+
+    let mut report = report.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
+    report.wall_s = started.elapsed().as_secs_f64();
+    report
+        .latencies_ms
+        .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    report
+}
+
+/// Folds one worker's client counters into the shared report.
+fn merge_client_counters(report: &mut LoadReport, client: &RetryingClient) {
+    report.retries += client.retries();
+    report.connects += client.connects();
+    report.reconnects += client.reconnects();
+    report.failovers += client.failovers();
+}
+
+/// One request of a mixed load run: a job batch plus (optionally) its
+/// expected results-array rendering from [`expected_results_wire`].
+#[derive(Debug, Clone)]
+pub struct LoadRequest {
+    /// Jobs submitted together in one `run` frame.
+    pub jobs: Vec<JobSpec>,
+    /// Expected wire rendering of the results array; responses that
+    /// differ count as mismatches.
+    pub expected: Option<String>,
+}
+
+/// Like [`run_load_with`], but every request can carry a *different*
+/// job batch — the shape fleet sweeps need, where the request stream
+/// interleaves several stage-key prefixes. Worker `w` takes requests
+/// `w, w + concurrency, w + 2·concurrency, …` in order, so a seed-major
+/// request grid spreads each wave of prefixes across the workers
+/// deterministically.
+pub fn run_load_mixed(
+    endpoint: &Endpoint,
+    requests: &[LoadRequest],
+    concurrency: usize,
+    policy: &RetryPolicy,
+    codec: Codec,
+) -> LoadReport {
+    let concurrency = concurrency.max(1);
+    let report = Mutex::new(LoadReport {
+        requests: requests.len() as u64,
+        concurrency,
+        ..LoadReport::default()
+    });
+    let started = Instant::now();
+
+    std::thread::scope(|scope| {
+        for worker in 0..concurrency {
+            if worker >= requests.len() {
+                continue;
+            }
+            let report = &report;
+            scope.spawn(move || {
+                let policy = policy.with_jitter_seed(worker as u64 + 1);
+                let mut client = RetryingClient::new_with_codec(endpoint, policy, codec);
+                let share = requests.iter().skip(worker).step_by(concurrency);
+                if client.connect().is_err() {
+                    let mut r = report.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                    r.dropped_connections += 1;
+                    r.errors += share.count() as u64;
+                    merge_client_counters(&mut r, &client);
+                    return;
+                }
+                let mut latencies = Vec::new();
+                let mut errors = 0u64;
+                let mut mismatches = 0u64;
+                for request in share {
+                    let sent = Instant::now();
+                    match client.run(&request.jobs, None) {
+                        Ok(Response::Results { results, .. }) => {
+                            latencies.push(sent.elapsed().as_secs_f64() * 1e3);
+                            if let Some(expected) = &request.expected {
+                                if Json::Array(results).render() != *expected {
+                                    mismatches += 1;
+                                }
+                            }
+                        }
+                        Ok(_) | Err(_) => errors += 1,
+                    }
+                }
+                let mut r = report.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                r.latencies_ms.extend(latencies);
+                r.errors += errors;
+                r.mismatches += mismatches;
+                merge_client_counters(&mut r, &client);
             });
         }
     });
@@ -727,7 +924,7 @@ mod tests {
 
     #[test]
     fn backoff_doubles_deterministically_and_caps() {
-        let policy = RetryPolicy::default();
+        let policy = RetryPolicy { jitter: Duration::ZERO, ..RetryPolicy::default() };
         assert_eq!(policy.backoff(0), Duration::from_millis(25));
         assert_eq!(policy.backoff(1), Duration::from_millis(50));
         assert_eq!(policy.backoff(2), Duration::from_millis(100));
@@ -735,6 +932,58 @@ mod tests {
         assert_eq!(policy.backoff(4), Duration::from_millis(400));
         assert_eq!(policy.backoff(5), Duration::from_millis(400));
         assert_eq!(policy.backoff(63), Duration::from_millis(400));
+    }
+
+    #[test]
+    fn backoff_jitter_is_bounded_seeded_and_reproducible() {
+        let policy = RetryPolicy::default();
+        for retry in 0..8 {
+            let pure =
+                RetryPolicy { jitter: Duration::ZERO, ..policy }.backoff(retry);
+            let jittered = policy.backoff(retry);
+            // Bounded: never below the doubling schedule, never more
+            // than the jitter cap above it.
+            assert!(jittered >= pure, "retry {retry}: {jittered:?} < {pure:?}");
+            assert!(
+                jittered <= pure + policy.jitter,
+                "retry {retry}: jitter exceeded its cap"
+            );
+            // Reproducible: the same seed always draws the same sleep.
+            assert_eq!(jittered, policy.backoff(retry));
+        }
+        // Seeded: distinct seeds decorrelate — across a handful of
+        // retries at least one sleep must differ (the fix for the
+        // synchronized dead-socket retry burst across load workers).
+        let other = policy.with_jitter_seed(7);
+        assert!(
+            (0..8).any(|r| policy.backoff(r) != other.backoff(r)),
+            "distinct jitter seeds produced identical schedules"
+        );
+    }
+
+    #[test]
+    fn multi_endpoint_client_fails_over_between_dead_endpoints() {
+        let policy = RetryPolicy {
+            attempts: 3,
+            timeout: Duration::from_millis(200),
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            jitter: Duration::from_millis(1),
+            jitter_seed: 1,
+        };
+        // Two ports from the low range nothing in the suite binds.
+        let endpoints =
+            [Endpoint::Tcp("127.0.0.1:1".to_string()), Endpoint::Tcp("127.0.0.1:2".to_string())];
+        let mut client = RetryingClient::new_multi_with_codec(&endpoints, policy, Codec::Json);
+        let err = client.run(&[JobSpec::default()], None).unwrap_err();
+        assert!(err.contains("gave up after 3 attempts"), "{err}");
+        // Every failed connect rotated to the other endpoint.
+        assert_eq!(client.failovers(), 3);
+        assert_eq!(client.reconnects(), 0);
+        // A single-endpoint client never fails over.
+        let mut single = RetryingClient::new(&endpoints[0], policy);
+        let _ = single.run(&[JobSpec::default()], None).unwrap_err();
+        assert_eq!(single.failovers(), 0);
     }
 
     #[test]
@@ -755,6 +1004,8 @@ mod tests {
             timeout: Duration::from_millis(200),
             base_backoff: Duration::from_millis(1),
             max_backoff: Duration::from_millis(2),
+            jitter: Duration::from_millis(1),
+            jitter_seed: 0,
         };
         // A port from the dynamic range nothing in the test suite binds.
         let endpoint = Endpoint::Tcp("127.0.0.1:1".to_string());

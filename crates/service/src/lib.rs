@@ -48,12 +48,12 @@ pub mod reactor;
 pub mod server;
 
 pub use client::{
-    expected_results_wire, run_load, run_load_with, Client, Endpoint, LoadReport, RetryPolicy,
-    RetryingClient,
+    expected_results_wire, run_load, run_load_mixed, run_load_with, Client, Endpoint, LoadReport,
+    LoadRequest, RetryPolicy, RetryingClient,
 };
 pub use codec::{decode_hello, encode_hello, is_binary_hello, Codec, BINARY_MAGIC, BINARY_VERSION};
 pub use protocol::{
     encode_outcome, read_frame, write_frame, JobSpec, Request, RequestBody, Response,
     ServiceError, MAX_FRAME,
 };
-pub use server::{ChaosPlan, ConnBackend, Server, ServerConfig};
+pub use server::{ChaosPlan, ConnBackend, Engine, Forwarder, Server, ServerConfig};

@@ -288,6 +288,23 @@ impl JobSpec {
             .map(|p| p.with_seed(self.fault_seed))
             .map_err(|e| e.to_string())
     }
+
+    /// The mesh→slice stage-key prefix this job would warm — the routing
+    /// key of the cache-affinity fleet. Pure: materialises the part and
+    /// plans without executing any pipeline stage, then delegates to
+    /// [`obfuscade::prefix_key_for_job`]. Two specs with equal prefix
+    /// keys share their expensive mesh/slice/toolpath work, so a router
+    /// that keeps them on one backend preserves the warm-cache hit rate.
+    ///
+    /// # Errors
+    ///
+    /// A malformed part name or fault spec, same as [`JobSpec::build_part`]
+    /// / [`JobSpec::fault_plan`].
+    pub fn prefix_key(&self) -> Result<obfuscade::StageKey, String> {
+        let part = self.build_part()?;
+        let faults = self.fault_plan()?;
+        Ok(obfuscade::prefix_key_for_job(&part, &self.plan(), &faults))
+    }
 }
 
 /// A decoded request frame: client-chosen correlation id plus the body.

@@ -55,6 +55,7 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use am_par::Parallelism;
+use obfuscade::json::Json;
 use obfuscade::metrics::{LatencyHistogram, MetricsSnapshot, ServiceStats};
 use obfuscade::{
     run_pipeline_jobs_with, BatchJob, Deadline, PipelineError, SpillStore, StageCache, StageHasher,
@@ -217,6 +218,49 @@ impl Default for ConnBackend {
     }
 }
 
+/// Where admitted jobs are executed: in-process (the daemon proper) or
+/// handed to a [`Forwarder`] (the router tier). Everything in front of
+/// the engine — both connection backends, both codecs, admission
+/// control, the queue, stats — is shared; only the execution step
+/// differs.
+#[derive(Clone, Default)]
+pub enum Engine {
+    /// Run jobs against this process's shared [`StageCache`] (default).
+    #[default]
+    Local,
+    /// Hand jobs to a forwarder — `am-router` plugs its rendezvous fleet
+    /// in here, turning the server into a routing front end.
+    Forward(Arc<dyn Forwarder>),
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Engine::Local => f.write_str("Engine::Local"),
+            Engine::Forward(_) => f.write_str("Engine::Forward(..)"),
+        }
+    }
+}
+
+/// Executes queued jobs somewhere other than the local pipeline. The
+/// implementation owns delivery (routing, retries, failover) and must
+/// return a [`Response`] carrying the **front** request id `id` — the
+/// one the waiting client correlates on — whatever ids it used upstream.
+pub trait Forwarder: Send + Sync {
+    /// Forwards one `run` batch; `deadline_ms` is the client's original
+    /// per-request budget, to be passed through untouched.
+    fn run(&self, id: u64, specs: &[JobSpec], deadline_ms: Option<u64>) -> Response;
+
+    /// Forwards one `authenticate` probe.
+    fn authenticate(&self, id: u64, spec: &JobSpec, deadline_ms: Option<u64>) -> Response;
+
+    /// Routing-tier counters for the stats wire (`fleet` section of the
+    /// metrics snapshot). `None` keeps the section `null`.
+    fn stats(&self) -> Option<Json> {
+        None
+    }
+}
+
 /// Everything needed to boot a [`Server`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -262,6 +306,12 @@ pub struct ServerConfig {
     /// slow-loris bound: a peer dribbling a partial frame must finish it
     /// within this window.
     pub idle_timeout: Duration,
+    /// Operator-chosen node name surfaced in stats snapshots (`serve
+    /// --node`). Empty (the default) means unnamed; fleet tooling names
+    /// each backend so routed deployments can tell the N daemons apart.
+    pub node: String,
+    /// Job execution engine: local pipeline (default) or a forwarder.
+    pub engine: Engine,
 }
 
 impl Default for ServerConfig {
@@ -279,6 +329,8 @@ impl Default for ServerConfig {
             backend: ConnBackend::default(),
             json_only: false,
             idle_timeout: Duration::from_secs(60),
+            node: String::new(),
+            engine: Engine::Local,
         }
     }
 }
@@ -325,6 +377,11 @@ struct QueuedJob {
     request_id: u64,
     work: Work,
     deadline: Deadline,
+    /// The client's original deadline in milliseconds, preserved so a
+    /// forwarding engine can pass the budget through to a backend
+    /// untouched (re-deriving it from `deadline` would shrink it by the
+    /// local queue wait).
+    deadline_ms: Option<u64>,
     reply: ReplySink,
     enqueued: Instant,
 }
@@ -344,6 +401,8 @@ pub(crate) struct Shared {
     allow_remote_shutdown: bool,
     backend: ConnBackend,
     json_only: bool,
+    node: String,
+    engine: Engine,
     pub(crate) idle_timeout: Duration,
     queue: Mutex<VecDeque<QueuedJob>>,
     /// Signalled when a job is enqueued or the phase changes.
@@ -410,7 +469,11 @@ impl Shared {
     /// One coherent metrics snapshot with the service section filled in.
     fn snapshot(&self) -> MetricsSnapshot {
         let mut snapshot = MetricsSnapshot::gather(&self.cache);
+        if let Engine::Forward(forwarder) = &self.engine {
+            snapshot.fleet = forwarder.stats();
+        }
         snapshot.service = Some(ServiceStats {
+            node: self.node.clone(),
             workers: self.workers,
             queue_capacity: self.queue_capacity,
             queue_depth: lock(&self.queue).len(),
@@ -479,6 +542,8 @@ impl Server {
             allow_remote_shutdown: config.allow_remote_shutdown,
             backend: config.backend,
             json_only: config.json_only,
+            node: config.node.clone(),
+            engine: config.engine.clone(),
             idle_timeout: config.idle_timeout,
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
@@ -659,7 +724,7 @@ fn worker_loop(shared: Arc<Shared>) {
                     panic!("chaos-injected worker panic");
                 }
             }
-            execute(&shared, id, job.work, job.deadline)
+            execute(&shared, id, job.work, job.deadline, job.deadline_ms)
         }));
         let (response, panicked) = match outcome {
             Ok(response) => (response, false),
@@ -694,8 +759,21 @@ fn worker_loop(shared: Arc<Shared>) {
     }
 }
 
-/// Runs one queued request against the shared cache.
-fn execute(shared: &Shared, id: u64, work: Work, deadline: Deadline) -> Response {
+/// Runs one queued request: through the engine's forwarder when this
+/// server is a routing front end, against the shared cache otherwise.
+fn execute(
+    shared: &Shared,
+    id: u64,
+    work: Work,
+    deadline: Deadline,
+    deadline_ms: Option<u64>,
+) -> Response {
+    if let Engine::Forward(forwarder) = &shared.engine {
+        return match work {
+            Work::Run(specs) => forwarder.run(id, &specs, deadline_ms),
+            Work::Authenticate(spec) => forwarder.authenticate(id, &spec, deadline_ms),
+        };
+    }
     match work {
         Work::Run(specs) => match run_specs(shared, &specs, deadline) {
             Ok(outcomes) => {
@@ -798,6 +876,7 @@ fn admit(shared: &Arc<Shared>, id: u64, work: Work, deadline_ms: Option<u64>, re
         request_id: id,
         work,
         deadline,
+        deadline_ms,
         reply: reply.clone(),
         enqueued: Instant::now(),
     });
