@@ -15,7 +15,14 @@
 #    `submit --port-file` (which polls for the daemon's address itself —
 #    the boot race the old external wait loop papered over), then a
 #    smoke `bench --serve` against its own daemon, then drain the first
-#    daemon with a `shutdown` request and wait for it
+#    daemon with a `shutdown` request and wait for it.
+#    The detect stage (PR 10) rides the same daemon: batch side-channel
+#    detection jobs (clean, faulted, and jammed captures) and a
+#    stego-sanitization job are served on BOTH wire codecs with
+#    `--verify`, which byte-compares every served report against an
+#    in-process `am-detect` run of the same spec — plus the smoke
+#    detection ROC bench (`bench --only detect`), schema-validated on
+#    write like every other report
 # 5. chaos stage (PR 6, hardened under the epoll reactor in PR 8): a
 #    daemon on a Unix socket — explicitly `--backend reactor` — with
 #    deterministic fault injection (`--chaos-seed`), a 1 MiB cache to
@@ -37,22 +44,28 @@
 #    record >= 1 failover. Also runs the smoke routed-fleet bench
 #    (`bench --only fleet`), which grids nodes × {affinity, round-robin}
 #    and validates the v8 schema on write.
-# 7. bench regression gate: the committed BENCH_PR9.json must parse
-#    against the obfuscade-bench/v8 schema — which adds the routed-fleet
-#    grid (mandatory `fleet` section: nodes × {affinity, round-robin}
-#    points with per-node cache-hit accounting, affinity strictly above
-#    round-robin at every N >= 2, and full-mode affinity within 5 points
-#    of single-node at the top node count) on top of the v7 serve sweep
-#    — with every kernel speedup >= 1.0x, the fea row's optimized wall
-#    clock within half of PR 3's committed 1157.7 ms, per-kernel speedup
-#    floors (printing >= 3.5x, slicing >= 5.7x — see DESIGN.md §13), a
-#    clean daemon load in the mandatory `serve` section, absolute serve
-#    floors (headline p99 <= 150 ms, throughput >= 4000 req/s), AND
-#    absolute fleet floors on the affinity headline at the top node
-#    count (warm hit rate + routed throughput; see DESIGN.md §15 for the
-#    measured numbers the floors sit under). Smoke reports are
-#    schema-validated on write but not speedup- or latency-gated — tiny
-#    workloads are too noisy to threshold.
+# 7. bench regression gate: the committed BENCH_PR10.json must parse
+#    against the obfuscade-bench/v9 schema — which adds the detection
+#    sweep (mandatory `detect` section: a ROC table covering the
+#    complete 15-entry fault catalog, the fused detector never below
+#    either single channel per capture setup, full-mode reports sweeping
+#    the jamming axis and >= 2 qualities, and headline worst-case fields
+#    restating the table) on top of the v8 routed-fleet grid (nodes ×
+#    {affinity, round-robin} points with per-node cache-hit accounting,
+#    affinity strictly above round-robin at every N >= 2, and full-mode
+#    affinity within 5 points of single-node at the top node count) and
+#    the v7 serve sweep — with every kernel speedup >= 1.0x, the fea
+#    row's optimized wall clock within half of PR 3's committed
+#    1157.7 ms, per-kernel speedup floors (printing >= 3.5x,
+#    slicing >= 5.7x — see DESIGN.md §13), a clean daemon load in the
+#    mandatory `serve` section, absolute serve floors (headline
+#    p99 <= 150 ms, throughput >= 4000 req/s), absolute fleet floors on
+#    the affinity headline at the top node count (warm hit rate + routed
+#    throughput; see DESIGN.md §15), AND absolute detection floors on
+#    the ROC headline (worst-setup fused catch rate and FPR; see
+#    DESIGN.md §16). Smoke reports are schema-validated on write but not
+#    speedup- or latency-gated — tiny workloads are too noisy to
+#    threshold.
 # 8. clippy as an error wall, with `clippy::unwrap_used` additionally
 #    enabled for library and binary code (test code may unwrap freely —
 #    a failing assertion *is* its error report)
@@ -77,6 +90,27 @@ SERVE_PID=$!
     --codec binary
 ./target/release/obfuscade bench --smoke --serve --only serve --threads 2 \
     --out target/bench_serve_smoke.json
+
+# --- detect stage ------------------------------------------------------
+# Side-channel detection and stego sanitization through the live daemon,
+# byte-verified against the in-process am-detect reference on both
+# codecs: a clean suspect, a faulted suspect under acoustic jamming, and
+# a sanitize job that embeds a seeded payload first.
+./target/release/obfuscade submit --port-file target/serve.addr --kind detect \
+    --verify >/dev/null
+./target/release/obfuscade submit --port-file target/serve.addr --kind detect \
+    --faults "toolpath.dup=0.5" --quality lab --jam 2.5 --trace-seed 7 \
+    --codec binary --verify >/dev/null
+./target/release/obfuscade submit --port-file target/serve.addr --kind sanitize \
+    --payload-seed 7 --payload-bits 3 --verify >/dev/null
+./target/release/obfuscade submit --port-file target/serve.addr --kind sanitize \
+    --codec binary --verify >/dev/null
+echo "ci: detect stage clean (served reports byte-identical on both codecs)"
+# The smoke detection ROC bench: full 15-fault catalog, one capture
+# setup, schema-validated on write.
+./target/release/obfuscade bench --smoke --only detect --threads 2 \
+    --out target/bench_detect_smoke.json
+
 ./target/release/obfuscade submit --port-file target/serve.addr --kind shutdown
 wait "$SERVE_PID"
 
@@ -220,9 +254,10 @@ wait "$B1_PID" 2>/dev/null || true
 wait "$B2_PID" 2>/dev/null || true
 wait "$B3_PID" 2>/dev/null || true
 
-./target/release/obfuscade bench --check BENCH_PR9.json --fea-budget-ms 578.9 --require-serve \
+./target/release/obfuscade bench --check BENCH_PR10.json --fea-budget-ms 578.9 --require-serve \
     --min-speedup printing=3.5,slicing=5.7 --serve-p99-ms 150 --serve-min-rps 4000 \
-    --fleet-min-hit-rate 80 --fleet-min-rps 250
+    --fleet-min-hit-rate 80 --fleet-min-rps 250 \
+    --detect-min-catch 0.9 --detect-max-fpr 0.4
 cargo clippy --workspace --all-targets -- -D warnings
 cargo clippy --workspace --lib --bins -- -D warnings -W clippy::unwrap_used
 

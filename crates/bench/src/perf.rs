@@ -20,9 +20,12 @@
 //! back and checks the schema (including the cache counters, the PR 4
 //! per-kernel solver-work counters, the PR 5 mandatory `serve` section,
 //! the PR 7 span-plan deposition counters + untimed serve warmup count,
-//! and the PR 9 routed-fleet grid — mandatory `fleet` section whose
-//! affinity points must beat round-robin at every N ≥ 2; schema
-//! `obfuscade-bench/v8`), so CI can verify the emitted file without a
+//! the PR 9 routed-fleet grid — mandatory `fleet` section whose
+//! affinity points must beat round-robin at every N ≥ 2 — and the PR 10
+//! detection sweep — mandatory `detect` section whose ROC table must
+//! cover the complete 15-entry fault catalog with the fused detector
+//! never below either single channel per setup; schema
+//! `obfuscade-bench/v9`), so CI can verify the emitted file without a
 //! JSON dependency.
 //!
 //! Since PR 5 the harness can also benchmark the **service daemon**
@@ -44,6 +47,7 @@ use std::time::Instant;
 
 use am_cad::parts::{prism_with_sphere, tensile_bar_with_spline, PrismDims, TensileBarDims};
 use am_cad::{BodyKind, MaterialRemoval};
+use am_detect::{run_roc_sweep, RocConfig, RocTable};
 use am_fea::{
     run_tensile_test_reference, run_tensile_test_with, solver_counters, FeaSolver, Lattice,
     TensileConfig,
@@ -59,7 +63,7 @@ use am_par::Parallelism;
 use obfuscade::json::{json_number, json_string, parse_json, Json};
 use obfuscade::metrics::cache_line;
 use obfuscade::{
-    run_pipeline, set_kernel_mode, sweep_key_space, CacheStats, CadRecipe, KernelMode,
+    run_pipeline, set_kernel_mode, sweep_key_space, CacheStats, CadRecipe, Deadline, KernelMode,
     PipelineError, PipelineOutput, ProcessKey, ProcessPlan, StageCache,
 };
 use std::fmt::Write as _;
@@ -321,6 +325,42 @@ pub struct FleetResult {
     pub points: Vec<FleetPoint>,
 }
 
+/// What the detection benchmark measured (the report's `detect`
+/// section, v9): the `am-detect` ROC sweep — the three-detector bank
+/// (audio signature, power envelope, fused) against the **complete**
+/// 15-entry single-fault catalog, per capture setup (quality preset ×
+/// NoiseEmitter jamming amplitude), with the measured false-positive
+/// rate over held-out genuine recaptures.
+///
+/// The headline fields restate the sweep's worst case: the minimum
+/// fused catch rate and the maximum measured fused FPR over every
+/// setup — the numbers the `--detect-min-catch` / `--detect-max-fpr`
+/// gates pin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectBenchResult {
+    /// Worst-case (minimum over setups) catalog-wide fused catch rate.
+    pub min_fused_catch: f64,
+    /// Worst-case (maximum over setups) measured fused FPR.
+    pub max_fused_fpr: f64,
+    /// Wall-clock of the whole sweep, milliseconds.
+    pub wall_ms: f64,
+    /// The full detector × fault × capture-setup table.
+    pub table: RocTable,
+}
+
+impl DetectBenchResult {
+    /// Canonical JSON value of the section (embedded verbatim in the
+    /// report document).
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("min_fused_catch".into(), Json::Number(self.min_fused_catch)),
+            ("max_fused_fpr".into(), Json::Number(self.max_fused_fpr)),
+            ("wall_ms".into(), Json::Number(self.wall_ms)),
+            ("table".into(), self.table.to_json()),
+        ])
+    }
+}
+
 /// The full benchmark report.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -339,9 +379,12 @@ pub struct BenchReport {
     /// [`BenchConfig::serve`] switch); `None` renders as `"fleet":
     /// null` — the field itself is mandatory in v8.
     pub fleet: Option<FleetResult>,
+    /// The detection ROC benchmark (v9); `None` renders as `"detect":
+    /// null` — the field itself is mandatory in v9.
+    pub detect: Option<DetectBenchResult>,
 }
 
-const SCHEMA: &str = "obfuscade-bench/v8";
+const SCHEMA: &str = "obfuscade-bench/v9";
 
 impl BenchReport {
     /// Renders the human-readable results table.
@@ -443,6 +486,33 @@ impl BenchReport {
                     p.throughput_rps,
                     p.failovers,
                     p.per_node_hits
+                );
+            }
+        }
+        if let Some(d) = &self.detect {
+            let _ = writeln!(
+                out,
+                "\ndetect (ROC sweep): {} faults covered over {} capture setups in {:.0} ms — \
+                 worst-case fused catch {:.2}, worst-case fused FPR {:.2}",
+                d.table.faults_covered,
+                d.table.setups.len(),
+                d.wall_ms,
+                d.min_fused_catch,
+                d.max_fused_fpr
+            );
+            for s in &d.table.setups {
+                let _ = writeln!(
+                    out,
+                    "  {:<11} jam={:<4} catch audio {:>5.2}  power {:>5.2}  fused {:>5.2}  \
+                     fpr audio {:>5.2}  power {:>5.2}  fused {:>5.2}",
+                    s.quality,
+                    s.jam_amplitude,
+                    s.audio_catch,
+                    s.power_catch,
+                    s.fused_catch,
+                    s.audio_fpr,
+                    s.power_fpr,
+                    s.fused_fpr
                 );
             }
         }
@@ -572,6 +642,15 @@ impl BenchReport {
                 }
                 out.push_str("    ]\n");
                 out.push_str("  },\n");
+            }
+        }
+        match &self.detect {
+            None => out.push_str("  \"detect\": null,\n"),
+            // The section is assembled as a `Json` value and embedded in
+            // its canonical rendering — the same bytes the CLI and the
+            // wire protocol produce for the ROC table.
+            Some(d) => {
+                let _ = writeln!(out, "  \"detect\": {},", d.to_json().render());
             }
         }
         out.push_str("  \"kernels\": [\n");
@@ -722,8 +801,19 @@ pub fn validate_report_json(text: &str) -> Result<Vec<(String, f64)>, String> {
         }
         other => return Err(format!("bad 'fleet' field: {other:?}")),
     };
+    // v9: the detection section is mandatory — `null` when the ROC sweep
+    // didn't run, otherwise the full-catalog detector table with the
+    // fused-beats-single-channel ordering the fused detector exists for.
+    let detected = match doc.get("detect").ok_or("missing 'detect' field")? {
+        Json::Null => false,
+        detect @ Json::Object(_) => {
+            validate_detect_section(detect, smoke)?;
+            true
+        }
+        other => return Err(format!("bad 'detect' field: {other:?}")),
+    };
     let kernels = match doc.get("kernels") {
-        Some(Json::Array(items)) if !items.is_empty() || served || routed => items,
+        Some(Json::Array(items)) if !items.is_empty() || served || routed || detected => items,
         _ => return Err("missing or empty 'kernels' array".to_string()),
     };
     let mut speedups = Vec::new();
@@ -1052,6 +1142,155 @@ fn validate_fleet_grid(fleet: &Json, smoke: bool) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Validates the v9 `detect` section: the ROC table must cover the
+/// **complete** 15-entry fault catalog (distinct names pinned cell by
+/// cell), every rate must be a probability, per setup the fused
+/// detector's catalog-wide catch rate must be at least each single
+/// channel's (the detectors share one calibration, so the comparison is
+/// at equal nominal FPR), and the headline worst-case fields must
+/// restate the table. Full (non-smoke) reports must additionally sweep
+/// the NoiseEmitter jamming axis (at least one setup with a nonzero
+/// amplitude) and more than one capture quality.
+fn validate_detect_section(detect: &Json, smoke: bool) -> Result<(), String> {
+    let get = |field: &str| {
+        detect
+            .get(field)
+            .and_then(Json::as_number)
+            .ok_or_else(|| format!("detect: missing numeric '{field}'"))
+    };
+    let min_catch = get("min_fused_catch")?;
+    let max_fpr = get("max_fused_fpr")?;
+    for (name, v) in [("min_fused_catch", min_catch), ("max_fused_fpr", max_fpr)] {
+        if !(0.0..=1.0).contains(&v) {
+            return Err(format!("detect: '{name}' {v} is not a probability"));
+        }
+    }
+    if get("wall_ms")? <= 0.0 {
+        return Err("detect: non-positive sweep wall clock".to_string());
+    }
+    let table = detect.get("table").ok_or("detect: missing 'table'")?;
+    let faults_covered = table
+        .get("faults_covered")
+        .and_then(Json::as_number)
+        .ok_or("detect: missing 'faults_covered'")?;
+    if faults_covered != 15.0 {
+        return Err(format!(
+            "detect: table covers {faults_covered} fault-catalog entries, not the full 15"
+        ));
+    }
+    let cells = match table.get("cells") {
+        Some(Json::Array(items)) if !items.is_empty() => items,
+        other => return Err(format!("detect: missing or empty 'cells' array: {other:?}")),
+    };
+    let mut fault_names: Vec<String> = Vec::new();
+    for (i, c) in cells.iter().enumerate() {
+        match c.get("fault") {
+            Some(Json::String(s)) if !s.is_empty() => {
+                if !fault_names.contains(s) {
+                    fault_names.push(s.clone());
+                }
+            }
+            other => return Err(format!("detect cell {i}: bad 'fault' name: {other:?}")),
+        }
+        for field in ["audio_catch", "power_catch", "fused_catch"] {
+            let v = c
+                .get(field)
+                .and_then(Json::as_number)
+                .ok_or_else(|| format!("detect cell {i}: missing numeric '{field}'"))?;
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("detect cell {i}: '{field}' {v} is not a probability"));
+            }
+        }
+    }
+    if fault_names.len() as f64 != faults_covered {
+        return Err(format!(
+            "detect: cells name {} distinct faults but the table claims {faults_covered}",
+            fault_names.len()
+        ));
+    }
+    let setups = match table.get("setups") {
+        Some(Json::Array(items)) if !items.is_empty() => items,
+        other => return Err(format!("detect: missing or empty 'setups' array: {other:?}")),
+    };
+    let (mut worst_catch, mut worst_fpr) = (f64::INFINITY, 0.0f64);
+    let (mut any_jam, mut qualities) = (false, Vec::new());
+    for (i, s) in setups.iter().enumerate() {
+        match s.get("quality") {
+            Some(Json::String(q)) if !q.is_empty() => {
+                if !qualities.contains(q) {
+                    qualities.push(q.clone());
+                }
+            }
+            other => return Err(format!("detect setup {i}: bad 'quality': {other:?}")),
+        }
+        let get = |field: &str| {
+            s.get(field)
+                .and_then(Json::as_number)
+                .ok_or_else(|| format!("detect setup {i}: missing numeric '{field}'"))
+        };
+        let jam = get("jam_amplitude")?;
+        if !(jam.is_finite() && jam >= 0.0) {
+            return Err(format!("detect setup {i}: bad jam amplitude {jam}"));
+        }
+        any_jam |= jam > 0.0;
+        for field in
+            ["audio_fpr", "power_fpr", "fused_fpr", "audio_catch", "power_catch", "fused_catch"]
+        {
+            let v = get(field)?;
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("detect setup {i}: '{field}' {v} is not a probability"));
+            }
+        }
+        let fused = get("fused_catch")?;
+        let single = get("audio_catch")?.max(get("power_catch")?);
+        if fused + 1e-9 < single {
+            return Err(format!(
+                "detect setup {i}: fused catch {fused} below a single channel's {single} — \
+                 fusion bought nothing"
+            ));
+        }
+        worst_catch = worst_catch.min(fused);
+        worst_fpr = worst_fpr.max(get("fused_fpr")?);
+    }
+    if (worst_catch - min_catch).abs() > 0.01 {
+        return Err(format!(
+            "detect: headline min_fused_catch {min_catch} does not restate the table's \
+             worst setup ({worst_catch})"
+        ));
+    }
+    if (worst_fpr - max_fpr).abs() > 0.01 {
+        return Err(format!(
+            "detect: headline max_fused_fpr {max_fpr} does not restate the table's worst \
+             setup ({worst_fpr})"
+        ));
+    }
+    if !smoke {
+        if !any_jam {
+            return Err("detect: full report never swept the jamming countermeasure".to_string());
+        }
+        if qualities.len() < 2 {
+            return Err("detect: full report swept only one capture quality".to_string());
+        }
+    }
+    Ok(())
+}
+
+/// Extracts one numeric field from the report's headline `detect`
+/// object (for the `--detect-min-catch` / `--detect-max-fpr` absolute
+/// gates layered on top of [`validate_report_json`]'s structural
+/// checks). Errors when the report carries no detect section at all.
+pub fn report_detect_number(text: &str, field: &str) -> Result<f64, String> {
+    let doc = parse_json(text)?;
+    let detect = match doc.get("detect") {
+        Some(d @ Json::Object(_)) => d,
+        _ => return Err("no detect section in the report".to_string()),
+    };
+    detect
+        .get(field)
+        .and_then(Json::as_number)
+        .ok_or_else(|| format!("detect: missing numeric '{field}'"))
 }
 
 /// Extracts one kernel row's `optimized_ms` from a `BENCH_*.json` document
@@ -1555,7 +1794,32 @@ pub fn run_selected_benchmarks(config: &BenchConfig, filter: Option<&str>) -> Be
     }
     let serve = if config.serve && wants("serve") { Some(bench_serve(config)) } else { None };
     let fleet = if config.serve && wants("fleet") { Some(bench_fleet(config)) } else { None };
-    BenchReport { config: *config, kernels, cache, serve, fleet }
+    let detect = if wants("detect") { Some(bench_detect(config)) } else { None };
+    BenchReport { config: *config, kernels, cache, serve, fleet, detect }
+}
+
+/// Detection ROC sweep (v9): runs the `am-detect` sweep — audio, power,
+/// and fused detectors × the **full 15-entry fault catalog** × capture
+/// qualities × NoiseEmitter jamming amplitudes — over the default prism
+/// workload, and commits the whole table plus the headline worst-case
+/// fused catch rate / false-positive rate into the report's `detect`
+/// section. Smoke mode shrinks the grid to one unjammed smartphone
+/// setup ([`RocConfig::smoke`]); the full run sweeps lab, smartphone,
+/// and room-mic captures with and without jamming.
+fn bench_detect(config: &BenchConfig) -> DetectBenchResult {
+    let part = prism_with_sphere(&PrismDims::default(), BodyKind::Solid, MaterialRemoval::Without)
+        .expect("detect bench: default prism workload");
+    let plan = ProcessPlan::fdm(Resolution::Coarse, Orientation::Xy);
+    let roc = if config.smoke { RocConfig::smoke() } else { RocConfig::default() };
+    let cache = StageCache::with_budget(StageCache::DEFAULT_BUDGET);
+    let start = Instant::now();
+    let table = run_roc_sweep(&part, &plan, &roc, &cache, Deadline::none())
+        .expect("detect bench: ROC sweep over the default workload");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let min_fused_catch =
+        table.setups.iter().map(|s| s.fused_catch).fold(f64::INFINITY, f64::min);
+    let max_fused_fpr = table.setups.iter().map(|s| s.fused_fpr).fold(0.0, f64::max);
+    DetectBenchResult { min_fused_catch, max_fused_fpr, wall_ms, table }
 }
 
 /// Serving benchmark (v7): sweeps the daemon over the connection
@@ -1883,6 +2147,7 @@ mod tests {
             cache: CacheStats { hits: 132, misses: 36, evictions: 2, ..CacheStats::default() },
             serve: None,
             fleet: None,
+            detect: None,
         }
     }
 
@@ -1990,6 +2255,60 @@ mod tests {
                 points,
             }),
             ..served_report()
+        }
+    }
+
+    /// A detect section whose ROC table covers 15 synthetic catalog
+    /// faults over two capture setups (one jammed, two qualities — the
+    /// minimum a full-mode report needs), with the fused detector
+    /// beating each single channel everywhere and headline fields that
+    /// restate the table's worst setup.
+    fn detect_report() -> BenchReport {
+        use am_detect::{RocCell, RocSetup};
+        let setups = vec![
+            RocSetup {
+                quality: "smartphone".to_string(),
+                jam_amplitude: 0.0,
+                audio_fpr: 0.05,
+                power_fpr: 0.05,
+                fused_fpr: 0.08,
+                audio_catch: 0.8,
+                power_catch: 0.7,
+                fused_catch: 0.9,
+            },
+            RocSetup {
+                quality: "lab".to_string(),
+                jam_amplitude: 2.5,
+                audio_fpr: 0.02,
+                power_fpr: 0.04,
+                fused_fpr: 0.05,
+                audio_catch: 0.85,
+                power_catch: 0.75,
+                fused_catch: 0.92,
+            },
+        ];
+        let mut cells = Vec::new();
+        for s in &setups {
+            for i in 0..15 {
+                cells.push(RocCell {
+                    fault: format!("fault-{i}"),
+                    quality: s.quality.clone(),
+                    jam_amplitude: s.jam_amplitude,
+                    blocked: i == 3,
+                    audio_catch: s.audio_catch,
+                    power_catch: s.power_catch,
+                    fused_catch: s.fused_catch,
+                });
+            }
+        }
+        BenchReport {
+            detect: Some(DetectBenchResult {
+                min_fused_catch: 0.9,
+                max_fused_fpr: 0.08,
+                wall_ms: 1234.5,
+                table: RocTable { cells, setups, faults_covered: 15 },
+            }),
+            ..fleet_report()
         }
     }
 
@@ -2249,6 +2568,84 @@ mod tests {
         let text = fleet_report().render();
         assert!(text.contains("fleet (4 nodes, affinity routing)"), "{text}");
         assert!(text.contains("round-robin"), "{text}");
+    }
+
+    #[test]
+    fn validator_enforces_the_v9_detect_section() {
+        // v9: the field itself is mandatory, even as an explicit null.
+        let no_detect = sample_report().to_json().replace("  \"detect\": null,\n", "");
+        assert!(validate_report_json(&no_detect).is_err());
+        assert!(validate_report_json(&sample_report().to_json()).is_ok());
+
+        // A clean detect section validates, in smoke and full mode alike.
+        let report = detect_report();
+        assert!(validate_report_json(&report.to_json()).is_ok());
+        let mut full = detect_report();
+        full.config.smoke = false;
+        assert!(validate_report_json(&full.to_json()).is_ok());
+
+        // The ROC table must cover the complete 15-entry fault catalog.
+        let mut partial = detect_report();
+        if let Some(d) = partial.detect.as_mut() {
+            d.table.cells.retain(|c| c.fault != "fault-7");
+            d.table.faults_covered = 14;
+        }
+        let err = validate_report_json(&partial.to_json()).expect_err("14 faults");
+        assert!(err.contains("full 15"), "{err}");
+        // ...and the claimed coverage must agree with the named cells.
+        let mut lying = detect_report();
+        if let Some(d) = lying.detect.as_mut() {
+            d.table.cells.retain(|c| c.fault != "fault-7");
+        }
+        assert!(validate_report_json(&lying.to_json()).is_err());
+
+        // Per setup, the fused detector may never fall below the best
+        // single channel — fusion that loses to a component is a bug.
+        let mut useless = detect_report();
+        if let Some(d) = useless.detect.as_mut() {
+            d.table.setups[1].fused_catch = 0.5;
+            d.min_fused_catch = 0.5;
+        }
+        let err = validate_report_json(&useless.to_json()).expect_err("fusion lost");
+        assert!(err.contains("fusion bought nothing"), "{err}");
+
+        // Rates must be probabilities and the headline must restate the
+        // table's worst setup.
+        let bad_rate =
+            detect_report().to_json().replace("\"fused_fpr\":0.08", "\"fused_fpr\":1.4");
+        assert!(validate_report_json(&bad_rate).is_err());
+        let inflated = detect_report()
+            .to_json()
+            .replace("\"min_fused_catch\":0.9,", "\"min_fused_catch\":0.99,");
+        let err = validate_report_json(&inflated).expect_err("inflated headline");
+        assert!(err.contains("restate"), "{err}");
+
+        // Full mode demands the jamming axis and a second quality;
+        // smoke accepts the reduced grid.
+        let mut unjammed = detect_report();
+        for setup in &mut unjammed.detect.as_mut().expect("detect").table.setups {
+            setup.jam_amplitude = 0.0;
+        }
+        for cell in &mut unjammed.detect.as_mut().expect("detect").table.cells {
+            cell.jam_amplitude = 0.0;
+        }
+        assert!(validate_report_json(&unjammed.to_json()).is_ok());
+        unjammed.config.smoke = false;
+        let err = validate_report_json(&unjammed.to_json()).expect_err("no jam sweep");
+        assert!(err.contains("jamming"), "{err}");
+
+        // The gate helper reads the committed headline numbers back.
+        let json = detect_report().to_json();
+        let catch = report_detect_number(&json, "min_fused_catch").expect("catch present");
+        assert!((catch - 0.9).abs() < 1e-9);
+        let fpr = report_detect_number(&json, "max_fused_fpr").expect("fpr present");
+        assert!((fpr - 0.08).abs() < 1e-9);
+        assert!(report_detect_number(&sample_report().to_json(), "min_fused_catch").is_err());
+
+        // The human-readable render summarizes the sweep.
+        let text = detect_report().render();
+        assert!(text.contains("detect (ROC sweep)"), "{text}");
+        assert!(text.contains("smartphone"), "{text}");
     }
 
     #[test]

@@ -56,7 +56,9 @@ COMMANDS:
     audit          print the AM supply-chain risk table (paper Table 1 / Fig. 2)
     report         regenerate a paper artifact:
                      table1|fig3|fig4|fig5|fig7|fig8|fig9|table2|table3|
-                     sidechannel|keyspace|multikey|sparse|repair|auth|all
+                     sidechannel|detect|keyspace|multikey|sparse|repair|auth|all
+                     (detect is the §16 ROC sweep; it runs on demand and
+                      is not part of `all`)
     sweep          evaluate the full process-key space (Table 3 recipes ×
                    resolutions × orientations) through the shared-prefix
                    batch engine and report each key's printed outcome
@@ -132,8 +134,8 @@ COMMANDS:
                      [--retries N]              total attempts per request (default 4):
                                                 transient failures reconnect and retry
                                                 with exponential backoff
-                     [--kind KIND]              ping|stats|run|authenticate|shutdown
-                                                (default run)
+                     [--kind KIND]              ping|stats|run|authenticate|detect|
+                                                sanitize|shutdown (default run)
                      [--codec json|binary]      wire codec (default json); binary is
                                                 negotiated per connection and falls
                                                 to an error if the daemon refuses
@@ -142,10 +144,37 @@ COMMANDS:
                        [--resolution coarse|fine|custom] [--orientation xy|xz]
                        [--tensile] [--solver SOLVER] [--layer MM]
                        [--faults PLAN] [--fault-seed N] [--deadline-ms MS]
+                     flags for --kind detect:
+                       [--quality lab|smartphone|room]  capture preset (default
+                                                smartphone)
+                       [--jam A]                NoiseEmitter jamming amplitude over
+                                                the acoustic capture (default 0 = off)
+                       [--trace-seed N]         capture-noise seed (default 1)
+                     flags for --kind sanitize:
+                       [--payload-seed N]       embed a seeded stego payload first
+                                                (default 0 = scan the clean path)
+                       [--payload-bits N]       channel width in bits (default 2)
+                     [--verify]                 with detect/sanitize: byte-compare the
+                                                served reports against an in-process
+                                                am-detect run of the same job
                      [--load N]                 load-generator mode: N run requests…
                      [--concurrency C]          …over C connections (default 4),
                                                 verified byte-for-byte against an
                                                 in-process run; prints p50/p95/p99
+    detect-roc     run the side-channel detection ROC sweep in-process: audio,
+                   power, and fused detectors × the full 15-entry fault catalog
+                   × capture qualities × NoiseEmitter jamming amplitudes
+                     [--quality LIST]           comma-separated capture presets
+                                                (default lab,smartphone,room)
+                     [--jam LIST]               comma-separated jamming amplitudes
+                                                (default 0,2.5; nonzero turns the
+                                                countermeasure on)
+                     [--replicates N]           seeded captures per cell (default 5)
+                     [--part bar|bracket|prism] (default prism)
+                     [--resolution coarse|fine|custom]  (default coarse)
+                     [--orientation xy|xz]      (default xy)
+                     [--json]                   print the full table as JSON instead
+                                                of the rendered summary
     bench          benchmark the reference kernels against the optimized ones
                    and write a BENCH_*.json report
                      [--smoke]                  tiny workloads (CI smoke stage)
@@ -162,8 +191,8 @@ COMMANDS:
                                                 router, per-node cache hits + warm hit
                                                 rate per point)
                      [--only KERNEL]            slicing|printing|fea|sweep|
-                                                all_experiments|serve|fleet
-                     [--out FILE.json]          (default BENCH_PR9.json)
+                                                all_experiments|serve|fleet|detect
+                     [--out FILE.json]          (default BENCH_PR10.json)
                      [--check FILE.json]        validate an existing report instead of
                                                 benchmarking; fail on any speedup < 1.0
                      [--fea-budget-ms MS]       with --check: also fail if the fea row's
@@ -180,6 +209,10 @@ COMMANDS:
                                                 headline warm hit rate is below P percent
                      [--fleet-min-rps R]        with --check: fail if the routed fleet's
                                                 headline throughput is below R req/s
+                     [--detect-min-catch F]     with --check: fail if the ROC sweep's
+                                                worst-setup fused catch rate is below F
+                     [--detect-max-fpr F]       with --check: fail if the ROC sweep's
+                                                worst-setup fused FPR exceeds F
     help           show this text
 ";
 
@@ -551,6 +584,9 @@ pub fn report(args: &[String]) -> CliResult {
         "table2" => vec![e::table2_tensile(replicates)],
         "table3" => vec![e::table3_printing()],
         "sidechannel" => vec![e::sidechannel_recon()],
+        // Not part of `all`: the full ROC sweep is deliberately outside
+        // the timed 15-section suite (see `bench_end_to_end`).
+        "detect" => vec![e::detection_roc()],
         "keyspace" => vec![e::ablation_keyspace()],
         "multikey" => vec![e::ablation_multikey()],
         "sparse" => vec![e::ablation_sparse_infill()],
@@ -806,6 +842,37 @@ pub fn bench(args: &[String]) -> CliResult {
             }
             println!("  fleet rps        {rps:>6.1}     >= {floor:.1} req/s floor");
         }
+        // PR 10: absolute gates on the committed detection-sweep headline
+        // (worst setup across the ROC grid). The fused-beats-each-channel
+        // ordering and full fault-catalog coverage were already enforced
+        // by the schema validation; these pin the absolute rates.
+        if let Some(floor) = flags.get("detect-min-catch") {
+            let floor: f64 = floor
+                .parse()
+                .map_err(|_| format!("bad --detect-min-catch value `{floor}`"))?;
+            let catch = obfuscade_bench::perf::report_detect_number(&text, "min_fused_catch")
+                .map_err(|e| format!("{path}: {e}"))?;
+            if catch < floor {
+                return Err(format!(
+                    "{path}: worst-setup fused catch rate {catch:.3} below the {floor:.3} floor"
+                ));
+            }
+            println!("  detect catch     {catch:>6.3}    >= {floor:.3} floor");
+        }
+        if let Some(ceiling) = flags.get("detect-max-fpr") {
+            let ceiling: f64 = ceiling
+                .parse()
+                .map_err(|_| format!("bad --detect-max-fpr value `{ceiling}`"))?;
+            let fpr = obfuscade_bench::perf::report_detect_number(&text, "max_fused_fpr")
+                .map_err(|e| format!("{path}: {e}"))?;
+            if fpr > ceiling {
+                return Err(format!(
+                    "{path}: worst-setup fused false-positive rate {fpr:.3} exceeds the \
+                     {ceiling:.3} ceiling"
+                ));
+            }
+            println!("  detect fpr       {fpr:>6.3}    <= {ceiling:.3} ceiling");
+        }
         println!("{path}: schema valid, {} kernels, all speedups >= 1.0x", speedups.len());
         return Ok(());
     }
@@ -824,10 +891,10 @@ pub fn bench(args: &[String]) -> CliResult {
         solver: solver_flag(&flags)?,
         serve: flags.contains_key("serve"),
     };
-    let out_path = flags.get("out").map(String::as_str).unwrap_or("BENCH_PR9.json");
+    let out_path = flags.get("out").map(String::as_str).unwrap_or("BENCH_PR10.json");
     let only = flags.get("only").map(String::as_str);
     if let Some(name) = only {
-        if !["slicing", "printing", "fea", "sweep", "all_experiments", "serve", "fleet"]
+        if !["slicing", "printing", "fea", "sweep", "all_experiments", "serve", "fleet", "detect"]
             .contains(&name)
         {
             return Err(format!("unknown kernel `{name}` for --only"));
@@ -933,6 +1000,16 @@ fn u64_flag(
     flags: &HashMap<String, String>,
     name: &str,
 ) -> Result<Option<u64>, String> {
+    flags
+        .get(name)
+        .map(|v| v.parse().map_err(|_| format!("bad --{name} value `{v}`")))
+        .transpose()
+}
+
+fn f64_flag(
+    flags: &HashMap<String, String>,
+    name: &str,
+) -> Result<Option<f64>, String> {
     flags
         .get(name)
         .map(|v| v.parse().map_err(|_| format!("bad --{name} value `{v}`")))
@@ -1225,11 +1302,180 @@ pub fn submit(args: &[String]) -> CliResult {
             }
             other => return Err(format!("unexpected response {other:?}")),
         },
+        // PR 10: side-channel detection and stego sanitization, served as
+        // batch jobs. `--verify` re-runs the job in-process through
+        // `am-detect` and byte-compares the served reports against it —
+        // the CI detect stage's contract check.
+        "detect" => {
+            let spec = am_service::DetectSpec {
+                job,
+                quality: flags
+                    .get("quality")
+                    .cloned()
+                    .unwrap_or_else(|| am_service::DetectSpec::default().quality),
+                jam_amplitude: f64_flag(&flags, "jam")?.unwrap_or(0.0),
+                trace_seed: u64_flag(&flags, "trace-seed")?.unwrap_or(1),
+            };
+            let jobs = vec![spec];
+            let expected = flags
+                .contains_key("verify")
+                .then(|| am_service::expected_detections_wire(&jobs))
+                .transpose()?;
+            match retrying.detect(&jobs, deadline_ms)? {
+                Response::Detections { reports, .. } => {
+                    let rendered = Json::Array(reports).render();
+                    verify_wire(&expected, &rendered, "detection reports")?;
+                    println!("{rendered}");
+                }
+                Response::Error { error, message, .. } => {
+                    return Err(format!("{}: {message}", error.name()))
+                }
+                other => return Err(format!("unexpected response {other:?}")),
+            }
+        }
+        "sanitize" => {
+            let defaults = am_service::SanitizeSpec::default();
+            let spec = am_service::SanitizeSpec {
+                job,
+                payload_seed: u64_flag(&flags, "payload-seed")?.unwrap_or(defaults.payload_seed),
+                payload_bits: u64_flag(&flags, "payload-bits")?.unwrap_or(defaults.payload_bits),
+            };
+            let jobs = vec![spec];
+            let expected = flags
+                .contains_key("verify")
+                .then(|| am_service::expected_sanitize_wire(&jobs))
+                .transpose()?;
+            match retrying.sanitize(&jobs, deadline_ms)? {
+                Response::Sanitized { reports, .. } => {
+                    let rendered = Json::Array(reports).render();
+                    verify_wire(&expected, &rendered, "sanitize reports")?;
+                    println!("{rendered}");
+                }
+                Response::Error { error, message, .. } => {
+                    return Err(format!("{}: {message}", error.name()))
+                }
+                other => return Err(format!("unexpected response {other:?}")),
+            }
+        }
         other => {
             return Err(format!(
-                "unknown request kind `{other}` (ping|stats|run|authenticate|shutdown)"
+                "unknown request kind `{other}` \
+                 (ping|stats|run|authenticate|detect|sanitize|shutdown)"
             ))
         }
+    }
+    Ok(())
+}
+
+/// Byte-compares a served wire rendering against the in-process
+/// reference (`None` when `--verify` wasn't requested).
+fn verify_wire(expected: &Option<String>, served: &str, what: &str) -> Result<(), String> {
+    match expected {
+        None => Ok(()),
+        Some(reference) if reference == served => {
+            eprintln!("verified: served {what} byte-identical to the in-process run");
+            Ok(())
+        }
+        Some(_) => Err(format!(
+            "served {what} diverged from the in-process reference run \
+             (the wire broke the determinism contract)"
+        )),
+    }
+}
+
+/// `obfuscade detect-roc` — the in-process detection ROC sweep: every
+/// detector × the full fault catalog × capture qualities × NoiseEmitter
+/// jamming amplitudes (the `--jam` axis is the countermeasure study:
+/// nonzero amplitudes turn the defender's acoustic jammer on).
+pub fn detect_roc(args: &[String]) -> CliResult {
+    use am_detect::{run_roc_sweep, RocConfig};
+    use obfuscade::{Deadline, StageCache};
+    let (positional, flags) = parse_flags(args);
+    if let Some(extra) = positional.first() {
+        return Err(format!("unexpected argument `{extra}`"));
+    }
+    let job = am_service::JobSpec {
+        part: flags.get("part").cloned().unwrap_or_else(|| "prism".to_string()),
+        resolution: match flags.contains_key("resolution") {
+            true => resolution_flag(&flags)?,
+            false => Resolution::Coarse,
+        },
+        orientation: orientation_flag(&flags)?,
+        ..am_service::JobSpec::default()
+    };
+    let part = job.build_part()?;
+    let plan = job.plan();
+
+    let mut config = RocConfig::default();
+    if let Some(list) = flags.get("quality") {
+        config.qualities = list.split(',').map(str::to_string).collect();
+        for q in &config.qualities {
+            am_detect::capture_quality(q)?;
+        }
+    }
+    if let Some(list) = flags.get("jam") {
+        config.jam_amplitudes = list
+            .split(',')
+            .map(|v| v.parse().map_err(|_| format!("bad --jam amplitude `{v}`")))
+            .collect::<Result<_, String>>()?;
+    }
+    if let Some(n) = u64_flag(&flags, "replicates")? {
+        config.replicates = (n as usize).max(1);
+    }
+
+    let cache = StageCache::with_budget(StageCache::DEFAULT_BUDGET);
+    let table = run_roc_sweep(&part, &plan, &config, &cache, Deadline::none())
+        .map_err(|e| e.to_string())?;
+    if flags.contains_key("json") {
+        println!("{}", table.to_json().render());
+        return Ok(());
+    }
+
+    println!(
+        "detection ROC sweep — {} faults × {} capture setups, {} replicates each",
+        table.faults_covered,
+        table.setups.len(),
+        config.replicates
+    );
+    println!(
+        "{:<12} {:>5}  {:>11} {:>11} {:>11}  {:>9} {:>9} {:>9}",
+        "quality", "jam", "audio catch", "power catch", "fused catch", "audio fpr", "power fpr",
+        "fused fpr"
+    );
+    for s in &table.setups {
+        println!(
+            "{:<12} {:>5.2}  {:>11.3} {:>11.3} {:>11.3}  {:>9.3} {:>9.3} {:>9.3}",
+            s.quality,
+            s.jam_amplitude,
+            s.audio_catch,
+            s.power_catch,
+            s.fused_catch,
+            s.audio_fpr,
+            s.power_fpr,
+            s.fused_fpr
+        );
+    }
+    // Per-fault worst case across all setups: which catalog attacks
+    // survive the fused detector under the least favorable capture.
+    println!("\nper-fault worst-case fused catch (min over setups):");
+    let mut faults: Vec<&str> = Vec::new();
+    for c in &table.cells {
+        if !faults.contains(&c.fault.as_str()) {
+            faults.push(&c.fault);
+        }
+    }
+    for fault in faults {
+        let worst = table
+            .cells
+            .iter()
+            .filter(|c| c.fault == fault)
+            .map(|c| c.fused_catch)
+            .fold(f64::INFINITY, f64::min);
+        let blocked = table.cells.iter().any(|c| c.fault == fault && c.blocked);
+        println!(
+            "  {fault:<24} {worst:>6.3}{}",
+            if blocked { "  (blocked upstream of the printer)" } else { "" }
+        );
     }
     Ok(())
 }
@@ -1320,12 +1566,42 @@ mod tests {
         submit(&with_addr(&["--kind", "authenticate"])).unwrap();
         submit(&with_addr(&["--kind", "stats"])).unwrap();
         submit(&with_addr(&["--load", "6", "--concurrency", "2"])).unwrap();
+        // PR 10: detection and sanitization, byte-verified against the
+        // in-process am-detect run, on both wire codecs.
+        submit(&with_addr(&[
+            "--kind", "detect", "--faults", "toolpath.dup=0.5", "--jam", "1.5", "--verify",
+        ]))
+        .unwrap();
+        submit(&with_addr(&[
+            "--kind", "sanitize", "--payload-seed", "7", "--codec", "binary", "--verify",
+        ]))
+        .unwrap();
         // Client-side validation catches bad job specs before any I/O.
         assert!(submit(&with_addr(&["--part", "teapot"])).is_err());
         assert!(submit(&with_addr(&["--kind", "warp"])).is_err());
         submit(&with_addr(&["--kind", "shutdown"])).unwrap();
         daemon.join().unwrap().unwrap();
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn detect_roc_sweeps_the_jamming_axis() {
+        // Smallest real sweep: one quality, jamming off vs on, one
+        // replicate — still covers the full 15-fault catalog.
+        detect_roc(&[
+            "--quality".into(),
+            "smartphone".into(),
+            "--jam".into(),
+            "0,2.5".into(),
+            "--replicates".into(),
+            "1".into(),
+            "--json".into(),
+        ])
+        .unwrap();
+        // Bad axes fail client-side with typed messages.
+        assert!(detect_roc(&["--quality".into(), "telepathy".into()]).is_err());
+        assert!(detect_roc(&["--jam".into(), "loud".into()]).is_err());
+        assert!(detect_roc(&["extra".into()]).is_err());
     }
 
     #[test]

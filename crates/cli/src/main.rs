@@ -16,6 +16,7 @@
 //! obfuscade route --to EP1,EP2,EP3 [--addr 127.0.0.1:7878] [--policy affinity|round-robin]
 //! obfuscade submit [--addr HOST:PORT] [--kind run|authenticate|stats|ping|shutdown]
 //! obfuscade submit --load 200 --concurrency 8
+//! obfuscade detect-roc [--quality lab,smartphone,room] [--jam 0,2.5] [--replicates N]
 //! obfuscade bench [--smoke] [--serve] [--threads N] [--out FILE.json] [--check FILE.json]
 //! ```
 
@@ -46,6 +47,7 @@ fn main() -> ExitCode {
         "serve" => commands::serve(rest),
         "route" => commands::route(rest),
         "submit" => commands::submit(rest),
+        "detect-roc" => commands::detect_roc(rest),
         "bench" => commands::bench(rest),
         "help" | "--help" | "-h" => {
             print!("{}", commands::USAGE);

@@ -55,6 +55,7 @@ use std::sync::{Arc, Mutex};
 
 use am_fea::TensileResult;
 
+use crate::detect::{DetectionReport, SanitizeReport};
 use crate::pipeline::{MeshArtifact, PrintArtifact, SliceArtifact, ToolpathArtifact};
 use crate::spill::SpillStore;
 
@@ -204,6 +205,8 @@ pub(crate) enum StageArtifact {
     Toolpath(Arc<ToolpathArtifact>),
     Print(Arc<PrintArtifact>),
     Tensile(Arc<TensileResult>),
+    Detection(Arc<DetectionReport>),
+    Sanitize(Arc<SanitizeReport>),
 }
 
 impl StageArtifact {
@@ -238,6 +241,20 @@ impl StageArtifact {
     pub(crate) fn into_tensile(self) -> Option<Arc<TensileResult>> {
         match self {
             StageArtifact::Tensile(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn into_detection(self) -> Option<Arc<DetectionReport>> {
+        match self {
+            StageArtifact::Detection(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn into_sanitize(self) -> Option<Arc<SanitizeReport>> {
+        match self {
+            StageArtifact::Sanitize(v) => Some(v),
             _ => None,
         }
     }
@@ -451,6 +468,33 @@ impl StageCache {
                 spill.put(k, &e.value, e.cost);
             }
         }
+    }
+
+    /// Looks up a cached [`DetectionReport`].
+    ///
+    /// Public (unlike the raw `get`/`insert`) because the detection
+    /// subsystem lives in the `am-detect` crate: its results are stage
+    /// artifacts — cached, spilled, and rehydrated exactly like pipeline
+    /// stages — but the code that computes them sits outside this crate.
+    pub fn get_detection(&self, key: StageKey) -> Option<Arc<DetectionReport>> {
+        self.get(key).and_then(StageArtifact::into_detection)
+    }
+
+    /// Caches a [`DetectionReport`] under its content-addressed key.
+    pub fn insert_detection(&self, key: StageKey, report: Arc<DetectionReport>) {
+        let cost = report.cost_bytes();
+        self.insert(key, StageArtifact::Detection(report), cost);
+    }
+
+    /// Looks up a cached [`SanitizeReport`] (see [`StageCache::get_detection`]).
+    pub fn get_sanitize(&self, key: StageKey) -> Option<Arc<SanitizeReport>> {
+        self.get(key).and_then(StageArtifact::into_sanitize)
+    }
+
+    /// Caches a [`SanitizeReport`] under its content-addressed key.
+    pub fn insert_sanitize(&self, key: StageKey, report: Arc<SanitizeReport>) {
+        let cost = report.cost_bytes();
+        self.insert(key, StageArtifact::Sanitize(report), cost);
     }
 
     /// Counter snapshot (the resident tier plus the spill tier, when one

@@ -59,6 +59,7 @@
 mod adversary;
 mod batch;
 mod cache;
+pub mod detect;
 mod fault;
 pub mod json;
 mod key;
@@ -80,6 +81,7 @@ pub use batch::{
     sweep_key_space, BatchJob,
 };
 pub use cache::{prefix_key_for_job, CacheStats, StageCache, StageHasher, StageKey};
+pub use detect::{DetectionReport, SanitizeReport};
 pub use fault::{
     FaultParseError, FaultPlan, FirmwareFault, SlicerFault, StlFault, ToolpathFault,
 };
@@ -88,9 +90,9 @@ pub use perf::{kernel_mode, set_kernel_mode, KernelMode};
 pub use multikey::MultiSphereScheme;
 pub use am_fea::{solver_counters, FeaSolver, SolverCounters, SolverPoolStats};
 pub use pipeline::{
-    fea_solver_pool_stats, run_pipeline, run_pipeline_cached, run_pipeline_cached_deadline,
-    run_pipeline_with_faults, Deadline, Diagnostic, PipelineError, PipelineOutput, ProcessPlan,
-    Stage, StageOutcome, StageStatus, ToolPathStats,
+    fea_solver_pool_stats, plan_toolpath, print_toolpath, run_pipeline, run_pipeline_cached,
+    run_pipeline_cached_deadline, run_pipeline_with_faults, Deadline, Diagnostic, PipelineError,
+    PipelineOutput, ProcessPlan, Stage, StageOutcome, StageStatus, ToolPathStats, ToolpathPlan,
 };
 pub use quality::{assess_quality, QualityReport, QualityThresholds, Verdict};
 pub use scheme::{Authenticity, EmbeddedSphereScheme, SplineSplitScheme};

@@ -24,6 +24,28 @@ const BASE_MS: f64 = 0.25;
 /// Geometric growth factor between bucket bounds.
 const GROWTH: f64 = 1.6;
 
+/// Exact order-statistic rank of the `q`-quantile over `n` samples:
+/// `⌈q·n⌉`, clamped to `[1, n]`. This is the **one** rank rule every
+/// quantile reader in the workspace shares — the service latency
+/// histogram, the load generator's exact client-side quantiles, and the
+/// detector score distributions in `am-detect` — so "p99" always means
+/// the same order statistic everywhere. Returns 0 when `n` is 0.
+pub fn quantile_rank(q: f64, n: usize) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    ((q * n as f64).ceil() as usize).clamp(1, n)
+}
+
+/// Exact sample quantile (0 < q ≤ 1) of an **ascending-sorted** slice:
+/// the [`quantile_rank`]-th smallest element. 0 when the slice is empty.
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    match quantile_rank(q, sorted.len()) {
+        0 => 0.0,
+        rank => sorted[rank - 1],
+    }
+}
+
 /// A fixed-bucket request-latency histogram (geometric bucket bounds).
 ///
 /// Quantiles read from it are bucket-upper-bound estimates — good enough
@@ -62,7 +84,7 @@ impl LatencyHistogram {
         if total == 0 {
             return 0.0;
         }
-        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let target = quantile_rank(q, total as usize) as u64;
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
@@ -474,5 +496,34 @@ mod tests {
         assert!(text.contains("stage cache"));
         assert!(text.contains("solver pool"));
         assert!(text.contains("solver work"));
+    }
+
+    #[test]
+    fn quantile_is_the_exact_order_statistic() {
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&sorted, 0.25), 1.0);
+        assert_eq!(quantile(&sorted, 0.5), 2.0);
+        assert_eq!(quantile(&sorted, 0.75), 3.0);
+        assert_eq!(quantile(&sorted, 0.99), 4.0);
+        assert_eq!(quantile(&sorted, 1.0), 4.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+        // The rank rule is shared with the histogram: ⌈q·n⌉ clamped.
+        assert_eq!(quantile_rank(0.5, 0), 0);
+        assert_eq!(quantile_rank(0.001, 10), 1);
+        assert_eq!(quantile_rank(1.0, 10), 10);
+        assert_eq!(quantile_rank(0.95, 20), 19);
+    }
+
+    #[test]
+    fn histogram_quantiles_follow_the_shared_rank_rule() {
+        let mut h = LatencyHistogram::default();
+        for _ in 0..99 {
+            h.record_ms(0.1);
+        }
+        h.record_ms(1e9);
+        // Rank ⌈0.99·100⌉ = 99 still sits in the fast bucket; only
+        // q = 1.0 reaches the outlier.
+        assert!(h.quantile_ms(0.99) < 1.0);
+        assert!(h.quantile_ms(1.0) > 1.0);
     }
 }

@@ -554,6 +554,113 @@ pub fn run_pipeline_cached_deadline(
     run_pipeline_inner(part, plan, faults, Some(cache), deadline)
 }
 
+/// The planned tool path of one `(part, plan, fault plan)` evaluation,
+/// with the content-addressed identity the chain assigned it.
+///
+/// This is the hand-off point to the detection subsystem (`am-detect`):
+/// side-channel trace synthesis consumes the planned tool path, and the
+/// detect/sanitize stage keys chain off [`ToolpathPlan::key`] exactly as
+/// the print key does — so detection results cache and route like
+/// pipeline stages.
+#[derive(Debug, Clone)]
+pub struct ToolpathPlan {
+    /// The planned (fault-injected, firmware-vetted) tool path.
+    pub toolpath: ToolPath,
+    /// Tool-path statistics (road lengths, layer count, time estimate).
+    pub stats: ToolPathStats,
+    /// The slice-stage build transform — what the deposition kernels need
+    /// to print this tool path (see [`print_toolpath`]).
+    pub to_build: am_geom::Transform3,
+    /// The tool-path stage key: chained mesh → slice → toolpath hash of
+    /// the complete input set, fault-poisoned at the striking stage.
+    pub key: StageKey,
+}
+
+/// Evaluates (and caches) the chain through the tool-path stage and
+/// returns the planned tool path plus its stage key.
+///
+/// Runs exactly the pipeline's own mesh → slice → tool-path stages
+/// against `cache` — a warm prefix is served without recomputation, and
+/// a cold one is warmed for every later caller (the batch engine, a
+/// `run` job for the same spec, another detect job).
+///
+/// # Errors
+///
+/// Any [`PipelineError`] the chain raises through the tool-path stage —
+/// including the typed process-guard rejections injected faults provoke
+/// (these are what the detection suite records as *blocked upstream*) —
+/// plus [`PipelineError::DeadlineExceeded`] between stages.
+pub fn plan_toolpath(
+    part: &Part,
+    plan: &ProcessPlan,
+    faults: &FaultPlan,
+    cache: &StageCache,
+    deadline: Deadline,
+) -> Result<ToolpathPlan, PipelineError> {
+    plan.slicer.validate().map_err(PipelineError::InvalidConfig)?;
+    plan.printer.validate().map_err(|e| PipelineError::Print(PrintError::Profile(e)))?;
+    let keys = plan_keys(part, plan, faults);
+    deadline.check(Stage::Cad)?;
+    let mesh = obtain_mesh(part, plan, faults, Some((cache, keys.mesh)))?;
+    deadline.check(Stage::Slice)?;
+    let slice = obtain_slice(&mesh, plan, faults, Some((cache, keys.slice)))?;
+    deadline.check(Stage::ToolPath)?;
+    let toolpath = obtain_toolpath(&slice, plan, faults, Some((cache, keys.toolpath)))?;
+    Ok(ToolpathPlan {
+        toolpath: toolpath.toolpath.clone(),
+        stats: toolpath.stats,
+        to_build: slice.to_build,
+        key: keys.toolpath,
+    })
+}
+
+/// Prints an arbitrary tool path under `plan`'s machine profile and
+/// process-noise seed, through the **same** kernel dispatch as the
+/// pipeline's print stage, and returns the deposited part with support
+/// dissolved.
+///
+/// This is the sanitizer's fingerprint oracle: printing the original and
+/// the sanitized tool path through one code path makes
+/// [`am_printer::PrintedPart::grid_digest`] equality a proof that the
+/// strip changed nothing the printer can see. Results are **not**
+/// cached — the tool path is caller-modified, so it has no stage key.
+///
+/// # Errors
+///
+/// [`PipelineError::Print`] when deposition fails (empty build, voxel
+/// caps).
+pub fn print_toolpath(
+    toolpath: &ToolPath,
+    plan: &ProcessPlan,
+    to_build: am_geom::Transform3,
+) -> Result<PrintedPart, PipelineError> {
+    let mut printed = match kernel_mode() {
+        KernelMode::SpanPlan => PrintedPart::try_from_toolpath_planned(
+            toolpath,
+            &plan.printer,
+            to_build,
+            plan.seed,
+            plan.parallelism,
+        ),
+        KernelMode::Optimized => PrintedPart::try_from_toolpath_with(
+            toolpath,
+            &plan.printer,
+            to_build,
+            plan.seed,
+            plan.parallelism,
+        ),
+        KernelMode::Reference => PrintedPart::try_from_toolpath_reference(
+            toolpath,
+            &plan.printer,
+            to_build,
+            plan.seed,
+        ),
+    }
+    .map_err(PipelineError::Print)?;
+    printed.dissolve_support();
+    Ok(printed)
+}
+
 // --- Stage artifacts ----------------------------------------------------
 
 /// CAD + STL export + integrity audit + repair, as one immutable artifact.

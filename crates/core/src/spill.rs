@@ -63,6 +63,7 @@ use am_slicer::{
 };
 
 use crate::cache::{StageArtifact, StageKey};
+use crate::detect::{DetectionReport, SanitizeReport};
 use crate::pipeline::{
     Diagnostic, MeshArtifact, PrintArtifact, SliceArtifact, Stage, StageOutcome, StageStatus,
     ToolPathStats, ToolpathArtifact,
@@ -812,6 +813,8 @@ const KIND_SLICE: u8 = 2;
 const KIND_TOOLPATH: u8 = 3;
 const KIND_PRINT: u8 = 4;
 const KIND_TENSILE: u8 = 5;
+const KIND_DETECTION: u8 = 6;
+const KIND_SANITIZE: u8 = 7;
 
 /// Serializes one stage artifact as `[kind u8][payload]`.
 pub(crate) fn encode_artifact(artifact: &StageArtifact) -> Vec<u8> {
@@ -866,6 +869,44 @@ pub(crate) fn encode_artifact(artifact: &StageArtifact) -> Vec<u8> {
         StageArtifact::Tensile(t) => {
             w.u8(KIND_TENSILE);
             enc_tensile(&mut w, t);
+        }
+        StageArtifact::Detection(d) => {
+            w.u8(KIND_DETECTION);
+            w.str(&d.fault_spec);
+            w.str(&d.quality);
+            w.f64(d.jam_amplitude);
+            w.u64(d.trace_seed);
+            match &d.blocked_by {
+                None => w.u8(0),
+                Some(stage) => {
+                    w.u8(1);
+                    w.str(stage);
+                }
+            }
+            w.f64(d.audio_score);
+            w.f64(d.power_score);
+            w.f64(d.fused_score);
+            w.f64(d.audio_threshold);
+            w.f64(d.power_threshold);
+            w.f64(d.fused_threshold);
+            w.bool(d.audio_flagged);
+            w.bool(d.power_flagged);
+            w.bool(d.fused_flagged);
+            w.u64(d.suspect_frames);
+            w.u64(d.golden_frames);
+        }
+        StageArtifact::Sanitize(s) => {
+            w.u8(KIND_SANITIZE);
+            w.u64(s.payload_seed);
+            w.u64(s.payload_bits);
+            w.u64(s.roads);
+            w.f64(s.suspicious_before);
+            w.f64(s.suspicious_after);
+            w.f64(s.quantum_mm);
+            w.f64(s.residual_mm);
+            w.bool(s.fingerprint_preserved);
+            w.str(&s.original_fingerprint);
+            w.str(&s.sanitized_fingerprint);
         }
     }
     w.buf
@@ -945,6 +986,47 @@ pub(crate) fn decode_artifact(bytes: &[u8]) -> Result<StageArtifact, String> {
             StageArtifact::Print(Arc::new(PrintArtifact { printed, scan, outcomes }))
         }
         KIND_TENSILE => StageArtifact::Tensile(Arc::new(dec_tensile(&mut r)?)),
+        KIND_DETECTION => {
+            let fault_spec = r.str()?;
+            let quality = r.str()?;
+            let jam_amplitude = r.f64()?;
+            let trace_seed = r.u64()?;
+            let blocked_by = match r.u8()? {
+                0 => None,
+                1 => Some(r.str()?),
+                other => return Err(format!("bad option tag {other}")),
+            };
+            StageArtifact::Detection(Arc::new(DetectionReport {
+                fault_spec,
+                quality,
+                jam_amplitude,
+                trace_seed,
+                blocked_by,
+                audio_score: r.f64()?,
+                power_score: r.f64()?,
+                fused_score: r.f64()?,
+                audio_threshold: r.f64()?,
+                power_threshold: r.f64()?,
+                fused_threshold: r.f64()?,
+                audio_flagged: r.bool()?,
+                power_flagged: r.bool()?,
+                fused_flagged: r.bool()?,
+                suspect_frames: r.u64()?,
+                golden_frames: r.u64()?,
+            }))
+        }
+        KIND_SANITIZE => StageArtifact::Sanitize(Arc::new(SanitizeReport {
+            payload_seed: r.u64()?,
+            payload_bits: r.u64()?,
+            roads: r.u64()?,
+            suspicious_before: r.f64()?,
+            suspicious_after: r.f64()?,
+            quantum_mm: r.f64()?,
+            residual_mm: r.f64()?,
+            fingerprint_preserved: r.bool()?,
+            original_fingerprint: r.str()?,
+            sanitized_fingerprint: r.str()?,
+        })),
         other => return Err(format!("unknown artifact kind {other}")),
     };
     r.finish()?;
@@ -1535,6 +1617,42 @@ mod tests {
         }))
     }
 
+    fn detection_artifact() -> StageArtifact {
+        StageArtifact::Detection(Arc::new(DetectionReport {
+            fault_spec: "toolpath.drop=0.2 firmware.feed=1.5".to_string(),
+            quality: "smartphone".to_string(),
+            jam_amplitude: 2.5,
+            trace_seed: 11,
+            blocked_by: Some("firmware — ünïcode too".to_string()),
+            audio_score: 4.25,
+            power_score: -0.0,
+            fused_score: f64::MIN_POSITIVE,
+            audio_threshold: 1.0,
+            power_threshold: 1.5,
+            fused_threshold: 1.0,
+            audio_flagged: true,
+            power_flagged: false,
+            fused_flagged: true,
+            suspect_frames: 0,
+            golden_frames: 812,
+        }))
+    }
+
+    fn sanitize_artifact() -> StageArtifact {
+        StageArtifact::Sanitize(Arc::new(SanitizeReport {
+            payload_seed: 5,
+            payload_bits: 2,
+            roads: 1024,
+            suspicious_before: 0.9375,
+            suspicious_after: 0.0,
+            quantum_mm: 1.0 / 1024.0,
+            residual_mm: 4.8e-4,
+            fingerprint_preserved: true,
+            original_fingerprint: "00112233445566778899aabbccddeeff".to_string(),
+            sanitized_fingerprint: "00112233445566778899aabbccddeeff".to_string(),
+        }))
+    }
+
     fn all_kinds() -> Vec<StageArtifact> {
         vec![
             mesh_artifact(),
@@ -1542,6 +1660,8 @@ mod tests {
             toolpath_artifact(),
             print_artifact(),
             tensile_artifact(33.0),
+            detection_artifact(),
+            sanitize_artifact(),
         ]
     }
 
@@ -1587,9 +1707,9 @@ mod tests {
             assert_eq!(cost, 1000 + i);
         }
         let stats = store.stats();
-        assert_eq!(stats.entries, 5);
-        assert_eq!(stats.writes, 5);
-        assert_eq!(stats.hits, 5);
+        assert_eq!(stats.entries, 7);
+        assert_eq!(stats.writes, 7);
+        assert_eq!(stats.hits, 7);
         assert_eq!(stats.corrupt_dropped, 0);
         let _ = fs::remove_dir_all(&dir);
     }

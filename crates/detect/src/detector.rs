@@ -1,0 +1,409 @@
+//! The three counterfeit detectors: audio signature, power envelope, and
+//! the fused score, each calibrated against a null distribution of
+//! genuine-print captures.
+//!
+//! Detection compares *distributions*, not frame sequences: an injected
+//! fault changes the road set, so the suspect trace has a different frame
+//! count than the golden master. Each trace is summarized by a feature
+//! vector of order-statistic quantiles (via [`obfuscade::metrics::quantile`]
+//! — the same rank rule the service latency histograms use) plus scalar
+//! invariants, and a detector score is the normalized distance between
+//! the suspect's features and the golden master's.
+//!
+//! Thresholds are not magic numbers: [`Calibration::calibrate`] replays
+//! the *golden* tool path through the capture channel at independent
+//! noise seeds (jamming included — the defender's own jammer degrades
+//! their monitoring too) and takes the `1 - fpr_target` quantile of those
+//! null scores. All three detectors therefore operate at the same nominal
+//! false-positive rate, which is what makes their catch rates comparable.
+
+use am_sidechannel::{record_emissions, CaptureQuality, EmissionFrame, NoiseEmitter};
+use am_slicer::ToolPath;
+use obfuscade::metrics::quantile;
+
+use crate::power::{record_power, PowerSample};
+
+/// Score reported for suspects that never reached tool-path planning (a
+/// typed process guard rejected them upstream). Far above any calibrated
+/// threshold: such jobs are trivially caught.
+pub const BLOCKED_SCORE: f64 = 1.0e6;
+
+/// Feature-vector quantile probes (deciles).
+const PROBES: [f64; 9] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+
+/// Salt mixed into the golden master's capture seed.
+const GOLDEN_SALT: u64 = 0x474f_4c44;
+/// Salt mixed into calibration-replicate capture seeds.
+const NULL_SALT: u64 = 0x4e55_4c4c;
+/// Salt mixed into the jammer's seed so jam noise is independent of
+/// capture noise.
+const JAM_SALT: u64 = 0x4a41_4d21;
+
+/// splitmix64 — the workspace's standard cheap seed mixer.
+pub(crate) fn mix(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Quantile feature vector of one scalar distribution.
+fn deciles(values: &mut [f64]) -> [f64; 9] {
+    values.sort_by(f64::total_cmp);
+    let mut q = [0.0; 9];
+    for (slot, p) in q.iter_mut().zip(PROBES) {
+        *slot = quantile(values, p);
+    }
+    q
+}
+
+/// Acoustic-trace features: stepper-tone quantiles per axis plus the
+/// scalar shape invariants of the capture.
+#[derive(Debug, Clone, PartialEq)]
+struct AudioFeatures {
+    frames: f64,
+    total_s: f64,
+    extrude_fraction: f64,
+    fx_q: [f64; 9],
+    fy_q: [f64; 9],
+}
+
+impl AudioFeatures {
+    fn of(trace: &[EmissionFrame]) -> AudioFeatures {
+        let mut fx: Vec<f64> = trace.iter().map(|f| f.fx_hz).collect();
+        let mut fy: Vec<f64> = trace.iter().map(|f| f.fy_hz).collect();
+        let total_s: f64 = trace.iter().map(|f| f.duration_s).sum();
+        let extruding = trace.iter().filter(|f| f.extruding).count();
+        AudioFeatures {
+            frames: trace.len() as f64,
+            total_s,
+            extrude_fraction: extruding as f64 / (trace.len().max(1)) as f64,
+            fx_q: deciles(&mut fx),
+            fy_q: deciles(&mut fy),
+        }
+    }
+
+    /// Normalized distance to another capture of (nominally) the same
+    /// print. Quantile terms are relative to the golden tone scale so
+    /// the score is unit-free.
+    fn distance(&self, other: &AudioFeatures) -> f64 {
+        let scale = self
+            .fx_q
+            .iter()
+            .chain(&self.fy_q)
+            .fold(0.0f64, |m, v| m.max(*v))
+            .max(1.0);
+        let mut d = 0.0;
+        for i in 0..PROBES.len() {
+            d += (self.fx_q[i] - other.fx_q[i]).abs() / scale;
+            d += (self.fy_q[i] - other.fy_q[i]).abs() / scale;
+        }
+        d /= (2 * PROBES.len()) as f64;
+        d += rel_gap(self.frames, other.frames);
+        d += rel_gap(self.total_s, other.total_s);
+        d += (self.extrude_fraction - other.extrude_fraction).abs();
+        d
+    }
+}
+
+/// Power-trace features: draw quantiles plus total energy and duration.
+#[derive(Debug, Clone, PartialEq)]
+struct PowerFeatures {
+    samples: f64,
+    total_s: f64,
+    energy_j: f64,
+    watts_q: [f64; 9],
+}
+
+impl PowerFeatures {
+    fn of(trace: &[PowerSample]) -> PowerFeatures {
+        let mut watts: Vec<f64> = trace.iter().map(|s| s.watts).collect();
+        PowerFeatures {
+            samples: trace.len() as f64,
+            total_s: trace.iter().map(|s| s.duration_s).sum(),
+            energy_j: trace.iter().map(|s| s.watts * s.duration_s).sum(),
+            watts_q: deciles(&mut watts),
+        }
+    }
+
+    fn distance(&self, other: &PowerFeatures) -> f64 {
+        let scale = self.watts_q.iter().fold(0.0f64, |m, v| m.max(*v)).max(1.0);
+        let mut d = 0.0;
+        for i in 0..PROBES.len() {
+            d += (self.watts_q[i] - other.watts_q[i]).abs() / scale;
+        }
+        d /= PROBES.len() as f64;
+        d += rel_gap(self.samples, other.samples);
+        d += rel_gap(self.total_s, other.total_s);
+        d += rel_gap(self.energy_j, other.energy_j);
+        d
+    }
+}
+
+/// Symmetric relative gap `|a-b| / max(|a|,|b|,1)` — bounded, unit-free.
+fn rel_gap(a: f64, b: f64) -> f64 {
+    (a - b).abs() / a.abs().max(b.abs()).max(1.0)
+}
+
+/// The three scores (and verdicts) of one suspect capture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelScores {
+    /// Audio-signature distance from the golden master.
+    pub audio: f64,
+    /// Power-envelope distance from the golden master.
+    pub power: f64,
+    /// Fused score: max of the per-channel scores, each normalized by
+    /// its calibrated threshold.
+    pub fused: f64,
+    /// Audio score above its calibrated threshold?
+    pub audio_flagged: bool,
+    /// Power score above its calibrated threshold?
+    pub power_flagged: bool,
+    /// Fused score above its calibrated threshold?
+    pub fused_flagged: bool,
+    /// Frames in the suspect's acoustic capture.
+    pub suspect_frames: u64,
+}
+
+/// A calibrated detector bank for one golden master under one capture
+/// setup (quality preset + optional defender jamming).
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    /// Audio decision threshold (null-distribution quantile).
+    pub audio_threshold: f64,
+    /// Power decision threshold.
+    pub power_threshold: f64,
+    /// Fused decision threshold.
+    pub fused_threshold: f64,
+    /// Frames in the golden master's acoustic capture.
+    pub golden_frames: u64,
+    golden_audio: AudioFeatures,
+    golden_power: PowerFeatures,
+    quality: CaptureQuality,
+    jam: Option<NoiseEmitter>,
+    feed_mm_per_s: f64,
+}
+
+impl Calibration {
+    /// Builds the detector bank: records the golden master trace, then
+    /// replays the same tool path through the (jammed) capture channel
+    /// `null_replicates` times at independent seeds and sets each
+    /// threshold to the `1 - fpr_target` quantile of the null scores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feed_mm_per_s` is not positive, if
+    /// `null_replicates == 0`, or if `fpr_target` is outside `(0, 1)`.
+    pub fn calibrate(
+        golden: &ToolPath,
+        feed_mm_per_s: f64,
+        quality: CaptureQuality,
+        jam_amplitude: f64,
+        trace_seed: u64,
+        null_replicates: usize,
+        fpr_target: f64,
+    ) -> Calibration {
+        assert!(null_replicates > 0, "calibration needs at least one null replicate");
+        assert!(
+            fpr_target > 0.0 && fpr_target < 1.0,
+            "fpr target must be in (0, 1), got {fpr_target}"
+        );
+        let jam = (jam_amplitude > 0.0)
+            .then_some(NoiseEmitter { relative_amplitude: jam_amplitude });
+        // The golden master is captured pre-deployment in a controlled
+        // setup: no jamming, but the same sensor quality.
+        let golden_trace =
+            record_emissions(golden, feed_mm_per_s, quality, mix(trace_seed, GOLDEN_SALT));
+        let golden_power_trace =
+            record_power(golden, feed_mm_per_s, quality, mix(trace_seed, GOLDEN_SALT));
+        let mut cal = Calibration {
+            audio_threshold: 0.0,
+            power_threshold: 0.0,
+            fused_threshold: 0.0,
+            golden_frames: golden_trace.len() as u64,
+            golden_audio: AudioFeatures::of(&golden_trace),
+            golden_power: PowerFeatures::of(&golden_power_trace),
+            quality,
+            jam,
+            feed_mm_per_s,
+        };
+        let mut audio_null = Vec::with_capacity(null_replicates);
+        let mut power_null = Vec::with_capacity(null_replicates);
+        for i in 0..null_replicates {
+            let seed = mix(trace_seed, NULL_SALT.wrapping_add(i as u64));
+            let (audio, power) = cal.raw_scores(golden, seed);
+            audio_null.push(audio);
+            power_null.push(power);
+        }
+        audio_null.sort_by(f64::total_cmp);
+        power_null.sort_by(f64::total_cmp);
+        let p = 1.0 - fpr_target;
+        cal.audio_threshold = quantile(&audio_null, p).max(f64::MIN_POSITIVE);
+        cal.power_threshold = quantile(&power_null, p).max(f64::MIN_POSITIVE);
+        let mut fused_null: Vec<f64> = audio_null
+            .iter()
+            .zip(&power_null)
+            .map(|(a, w)| (a / cal.audio_threshold).max(w / cal.power_threshold))
+            .collect();
+        fused_null.sort_by(f64::total_cmp);
+        cal.fused_threshold = quantile(&fused_null, p).max(f64::MIN_POSITIVE);
+        cal
+    }
+
+    /// Records a field capture of `suspect` at `capture_seed` and
+    /// returns the raw (audio, power) distances from the golden master.
+    fn raw_scores(&self, suspect: &ToolPath, capture_seed: u64) -> (f64, f64) {
+        let (audio, power) = self.capture(suspect, capture_seed);
+        (
+            self.golden_audio.distance(&AudioFeatures::of(&audio)),
+            self.golden_power.distance(&PowerFeatures::of(&power)),
+        )
+    }
+
+    fn capture(
+        &self,
+        suspect: &ToolPath,
+        capture_seed: u64,
+    ) -> (Vec<EmissionFrame>, Vec<PowerSample>) {
+        let mut audio =
+            record_emissions(suspect, self.feed_mm_per_s, self.quality, capture_seed);
+        if let Some(jam) = self.jam {
+            // The jammer pollutes the *acoustic* field capture — the
+            // defender's monitoring microphone hears its own decoys. The
+            // supply-side power clamp is immune.
+            audio = jam.apply(&audio, mix(capture_seed, JAM_SALT));
+        }
+        let power = record_power(suspect, self.feed_mm_per_s, self.quality, capture_seed);
+        (audio, power)
+    }
+
+    /// Scores one field capture of `suspect` (seeded by `capture_seed`)
+    /// against the golden master and the calibrated thresholds.
+    pub fn score(&self, suspect: &ToolPath, capture_seed: u64) -> ChannelScores {
+        let (audio_trace, power_trace) = self.capture(suspect, capture_seed);
+        let audio = self.golden_audio.distance(&AudioFeatures::of(&audio_trace));
+        let power = self.golden_power.distance(&PowerFeatures::of(&power_trace));
+        let fused = (audio / self.audio_threshold).max(power / self.power_threshold);
+        ChannelScores {
+            audio,
+            power,
+            fused,
+            audio_flagged: audio > self.audio_threshold,
+            power_flagged: power > self.power_threshold,
+            fused_flagged: fused > self.fused_threshold,
+            suspect_frames: audio_trace.len() as u64,
+        }
+    }
+
+    /// The saturated verdict for a suspect the process guards stopped
+    /// before tool-path planning: every detector flags it.
+    pub fn score_blocked(&self) -> ChannelScores {
+        ChannelScores {
+            audio: BLOCKED_SCORE,
+            power: BLOCKED_SCORE,
+            fused: BLOCKED_SCORE,
+            audio_flagged: true,
+            power_flagged: true,
+            fused_flagged: true,
+            suspect_frames: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use am_geom::Point2;
+    use am_slicer::{Road, RoadKind, ToolMaterial};
+
+    fn serpentine(rows: usize) -> ToolPath {
+        let mut roads = Vec::new();
+        for j in 0..rows {
+            let y = j as f64 * 0.5;
+            let (x0, x1) = if j % 2 == 0 { (0.0, 40.0) } else { (40.0, 0.0) };
+            roads.push(Road {
+                from: Point2::new(x0, y),
+                to: Point2::new(x1, y),
+                z: 0.2,
+                material: ToolMaterial::Model,
+                kind: RoadKind::Infill,
+                body: None,
+            });
+        }
+        ToolPath { roads, layer_height: 0.2, road_width: 0.5 }
+    }
+
+    fn dropped(tp: &ToolPath, keep_every: usize) -> ToolPath {
+        ToolPath {
+            roads: tp
+                .roads
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % keep_every != 0)
+                .map(|(_, r)| *r)
+                .collect(),
+            ..tp.clone()
+        }
+    }
+
+    fn cal(tp: &ToolPath, jam: f64) -> Calibration {
+        Calibration::calibrate(tp, 30.0, CaptureQuality::smartphone(), jam, 11, 16, 0.05)
+    }
+
+    #[test]
+    fn genuine_recaptures_mostly_pass() {
+        let tp = serpentine(80);
+        let c = cal(&tp, 0.0);
+        let flags = (0..20)
+            .filter(|i| c.score(&tp, mix(77, 300 + i)).fused_flagged)
+            .count();
+        assert!(flags <= 4, "null fused flags: {flags}/20");
+    }
+
+    #[test]
+    fn dropped_roads_are_caught_on_every_channel() {
+        let tp = serpentine(80);
+        let c = cal(&tp, 0.0);
+        let s = c.score(&dropped(&tp, 10), mix(77, 12345));
+        assert!(s.audio_flagged, "audio {} thr {}", s.audio, c.audio_threshold);
+        assert!(s.power_flagged, "power {} thr {}", s.power, c.power_threshold);
+        assert!(s.fused_flagged, "fused {} thr {}", s.fused, c.fused_threshold);
+    }
+
+    #[test]
+    fn jamming_raises_the_audio_threshold_but_not_the_power_one() {
+        let tp = serpentine(80);
+        let quiet = cal(&tp, 0.0);
+        let jammed = cal(&tp, 2.5);
+        assert!(
+            jammed.audio_threshold > 3.0 * quiet.audio_threshold,
+            "jammed {} vs quiet {}",
+            jammed.audio_threshold,
+            quiet.audio_threshold
+        );
+        let ratio = jammed.power_threshold / quiet.power_threshold;
+        assert!((0.5..2.0).contains(&ratio), "power thresholds drifted: {ratio}");
+    }
+
+    #[test]
+    fn calibration_is_deterministic() {
+        let tp = serpentine(20);
+        let a = cal(&tp, 0.8);
+        let b = cal(&tp, 0.8);
+        assert_eq!(a.audio_threshold, b.audio_threshold);
+        assert_eq!(a.power_threshold, b.power_threshold);
+        assert_eq!(a.fused_threshold, b.fused_threshold);
+        assert_eq!(a.score(&tp, 5), b.score(&tp, 5));
+    }
+
+    #[test]
+    fn blocked_scores_saturate() {
+        let tp = serpentine(10);
+        let c = cal(&tp, 0.0);
+        let s = c.score_blocked();
+        assert!(s.audio_flagged && s.power_flagged && s.fused_flagged);
+        assert_eq!(s.audio, BLOCKED_SCORE);
+        assert_eq!(s.suspect_frames, 0);
+    }
+}

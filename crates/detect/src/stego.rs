@@ -1,0 +1,220 @@
+//! Stego-channel scanning and sanitization of tool-path coordinates.
+//!
+//! A design exfiltration channel (Dolgavin et al.; ROADMAP "Defensive
+//! workload suite") hides payload bits in the low-order coordinate
+//! fraction of STL/G-code files: each x/y endpoint is snapped to a base
+//! quantization grid and a sub-quantum offset encodes `payload_bits`
+//! bits. The offsets are far below the printer's voxel size, so the
+//! carrier prints identically — which is exactly what the sanitizer
+//! exploits in reverse: re-quantizing every coordinate destroys the
+//! channel without changing the print.
+//!
+//! The scanner statistic is **lattice concentration**: the fraction of
+//! coordinates whose sub-quantum residue sits on the payload lattice
+//! `k / 2^bits`, weighted by the entropy of the lattice symbols. Clean
+//! tool paths score low (perimeter coordinates have smooth residues;
+//! raster coordinates are grid-aligned but carry a degenerate,
+//! zero-entropy symbol distribution), embedded ones score ≈ 1, and a
+//! sanitized path scores exactly 0 — the sanitizer parks every residue
+//! half a lattice bin away from every symbol.
+
+use am_sidechannel::STEPS_PER_MM;
+use am_slicer::ToolPath;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The base quantization grid of the stego channel (mm). A power of two
+/// so grid arithmetic on binary floats is exact.
+pub const BASE_QUANTUM_MM: f64 = 1.0 / 128.0;
+
+/// Default payload channel width (bits per coordinate).
+pub const DEFAULT_PAYLOAD_BITS: u32 = 2;
+
+/// Residues within this fraction of a lattice bin count as on-lattice.
+fn lattice_tolerance(bits: u32) -> f64 {
+    1.0 / f64::from(1u32 << (bits + 3))
+}
+
+/// Applies `f` to every payload-bearing coordinate (road endpoint x/y).
+fn map_coords(tp: &ToolPath, mut f: impl FnMut(f64) -> f64) -> ToolPath {
+    let mut out = tp.clone();
+    for road in &mut out.roads {
+        road.from.x = f(road.from.x);
+        road.from.y = f(road.from.y);
+        road.to.x = f(road.to.x);
+        road.to.y = f(road.to.y);
+    }
+    out
+}
+
+/// Embeds a seeded random payload into the tool path's low-order
+/// coordinate channel: each coordinate is snapped to the base grid and
+/// offset by one of `2^bits` sub-quantum lattice steps.
+///
+/// The worst displacement is one quantum (`quantum_mm`), orders of
+/// magnitude below the voxel size — the carrier prints identically.
+pub fn embed_payload(tp: &ToolPath, seed: u64, bits: u32, quantum_mm: f64) -> ToolPath {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5354_4547);
+    let symbols = 1u32 << bits;
+    map_coords(tp, |v| {
+        let symbol = rng.gen_range(0..symbols);
+        (v / quantum_mm).floor() * quantum_mm
+            + quantum_mm * f64::from(symbol) / f64::from(symbols)
+    })
+}
+
+/// The scanner: lattice concentration of the sub-quantum residues,
+/// weighted by the normalized entropy of the lattice symbols.
+///
+/// ≈ 1 for an embedded path (every coordinate on-lattice, symbols
+/// near-uniform), well below ½ for clean geometry, exactly 0 after
+/// [`sanitize_coords`].
+pub fn scan_channel(tp: &ToolPath, bits: u32, quantum_mm: f64) -> f64 {
+    let symbols = 1usize << bits;
+    let tol = lattice_tolerance(bits);
+    let mut counts = vec![0usize; symbols];
+    let mut total = 0usize;
+    let mut aligned = 0usize;
+    let mut visit = |v: f64| {
+        total += 1;
+        let residue = (v / quantum_mm).rem_euclid(1.0);
+        let scaled = residue * symbols as f64;
+        let symbol = scaled.round();
+        if (scaled - symbol).abs() < tol * symbols as f64 {
+            aligned += 1;
+            counts[(symbol as usize) % symbols] += 1;
+        }
+    };
+    for road in &tp.roads {
+        visit(road.from.x);
+        visit(road.from.y);
+        visit(road.to.x);
+        visit(road.to.y);
+    }
+    if total == 0 || aligned == 0 {
+        return 0.0;
+    }
+    let mut entropy = 0.0;
+    for &c in &counts {
+        if c > 0 {
+            let p = c as f64 / aligned as f64;
+            entropy -= p * p.log2();
+        }
+    }
+    let max_entropy = (symbols as f64).log2().max(1.0);
+    (aligned as f64 / total as f64) * (entropy / max_entropy)
+}
+
+/// Strips the channel: every coordinate is re-quantized to the nearest
+/// grid point **at or above it** whose sub-quantum residue sits half a
+/// lattice bin past the cell origin — off every payload symbol by the
+/// widest possible margin, so the post-sanitization scan is exactly 0
+/// and the channel capacity is zero (the offset is a constant: it
+/// carries no information).
+///
+/// The snap is upward-only (displacement in `[0, quantum_mm)`, exactly
+/// 0 for coordinates already on the offset grid): combined with the
+/// floor-convention of [`mechanical_quantize`], shrinking the quantum
+/// monotonically shrinks the set of coordinates whose mechanical step
+/// changes, which is what makes the sanitizer's fingerprint ladder
+/// converge.
+///
+/// Returns the sanitized path and the worst coordinate displacement (mm).
+pub fn sanitize_coords(tp: &ToolPath, bits: u32, quantum_mm: f64) -> (ToolPath, f64) {
+    let offset = quantum_mm / f64::from(1u32 << (bits + 1));
+    let mut worst = 0.0f64;
+    let out = map_coords(tp, |v| {
+        let snapped = ((v - offset) / quantum_mm).ceil() * quantum_mm + offset;
+        worst = worst.max(snapped - v);
+        snapped
+    });
+    (out, worst)
+}
+
+/// Rounds a tool path onto the machine's mechanical step grid
+/// (`1 / STEPS_PER_MM` mm per axis step, floor convention): the stepper
+/// cannot command sub-step positions, so two tool paths that agree
+/// after this map deposit identically. This is the normalization the
+/// sanitizer's fingerprint oracle prints — it makes "the payload is
+/// below the machine's resolution" a checkable property instead of an
+/// assumption.
+pub fn mechanical_quantize(tp: &ToolPath) -> ToolPath {
+    map_coords(tp, |v| (v * STEPS_PER_MM).floor() / STEPS_PER_MM)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use am_geom::Point2;
+    use am_slicer::{Road, RoadKind, ToolMaterial};
+
+    /// A mix of grid-aligned raster roads and irrational-offset
+    /// perimeter roads — both clean-geometry shapes the scanner must not
+    /// flag.
+    fn clean_path() -> ToolPath {
+        let mut roads = Vec::new();
+        for j in 0..40 {
+            let y = j as f64 * 0.5;
+            roads.push(Road {
+                from: Point2::new(0.0, y),
+                to: Point2::new(40.0, y),
+                z: 0.2,
+                material: ToolMaterial::Model,
+                kind: RoadKind::Infill,
+                body: None,
+            });
+            let t = j as f64 * 0.37;
+            roads.push(Road {
+                from: Point2::new(10.0 + t.sin() * 3.1, 20.0 + t.cos() * 3.1),
+                to: Point2::new(10.0 + (t + 0.1).sin() * 3.1, 20.0 + (t + 0.1).cos() * 3.1),
+                z: 0.2,
+                material: ToolMaterial::Model,
+                kind: RoadKind::Perimeter,
+                body: None,
+            });
+        }
+        ToolPath { roads, layer_height: 0.2, road_width: 0.5 }
+    }
+
+    #[test]
+    fn embedded_paths_score_high_and_clean_paths_low() {
+        let clean = clean_path();
+        let embedded = embed_payload(&clean, 42, DEFAULT_PAYLOAD_BITS, BASE_QUANTUM_MM);
+        let clean_score = scan_channel(&clean, DEFAULT_PAYLOAD_BITS, BASE_QUANTUM_MM);
+        let hot_score = scan_channel(&embedded, DEFAULT_PAYLOAD_BITS, BASE_QUANTUM_MM);
+        assert!(clean_score < 0.5, "clean path flagged: {clean_score}");
+        assert!(hot_score > 0.8, "payload missed: {hot_score}");
+    }
+
+    #[test]
+    fn sanitization_zeroes_the_channel_with_bounded_displacement() {
+        let embedded =
+            embed_payload(&clean_path(), 42, DEFAULT_PAYLOAD_BITS, BASE_QUANTUM_MM);
+        let (stripped, worst) =
+            sanitize_coords(&embedded, DEFAULT_PAYLOAD_BITS, BASE_QUANTUM_MM);
+        assert_eq!(scan_channel(&stripped, DEFAULT_PAYLOAD_BITS, BASE_QUANTUM_MM), 0.0);
+        assert!(worst <= BASE_QUANTUM_MM, "displacement {worst}");
+        // Sanitizing again is a fixed point (same grid, same offset).
+        let (again, drift) = sanitize_coords(&stripped, DEFAULT_PAYLOAD_BITS, BASE_QUANTUM_MM);
+        assert_eq!(again, stripped);
+        assert_eq!(drift, 0.0);
+    }
+
+    #[test]
+    fn embedding_is_deterministic_and_sub_voxel() {
+        let clean = clean_path();
+        let a = embed_payload(&clean, 7, DEFAULT_PAYLOAD_BITS, BASE_QUANTUM_MM);
+        let b = embed_payload(&clean, 7, DEFAULT_PAYLOAD_BITS, BASE_QUANTUM_MM);
+        assert_eq!(a, b);
+        for (ra, rc) in a.roads.iter().zip(&clean.roads) {
+            for (pa, pc) in [(ra.from, rc.from), (ra.to, rc.to)] {
+                assert!(pa.distance(pc) < 2.0 * BASE_QUANTUM_MM);
+            }
+        }
+        assert_ne!(
+            embed_payload(&clean, 8, DEFAULT_PAYLOAD_BITS, BASE_QUANTUM_MM),
+            a,
+            "different payload seeds must embed different payloads"
+        );
+    }
+}

@@ -23,7 +23,8 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::thread;
 
 use am_service::{
-    Endpoint, Forwarder, JobSpec, Request, RequestBody, Response, RetryPolicy, ServiceError,
+    DetectSpec, Endpoint, Forwarder, JobSpec, Request, RequestBody, Response, RetryPolicy,
+    SanitizeSpec, ServiceError,
 };
 use obfuscade::json::Json;
 use obfuscade::{StageHasher, StageKey};
@@ -346,6 +347,19 @@ impl Forwarder for Fleet {
         self.dispatch(id, RequestBody::Authenticate { job: spec.clone(), deadline_ms }, key)
     }
 
+    fn detect(&self, id: u64, specs: &[DetectSpec], deadline_ms: Option<u64>) -> Response {
+        // Detection jobs share their golden master's mesh→slice prefix
+        // with plain runs of the same part, so affinity routing lands
+        // them on the backend already holding that warm prefix.
+        let key = specs.first().and_then(|spec| spec.job.prefix_key().ok());
+        self.dispatch(id, RequestBody::Detect { jobs: specs.to_vec(), deadline_ms }, key)
+    }
+
+    fn sanitize(&self, id: u64, specs: &[SanitizeSpec], deadline_ms: Option<u64>) -> Response {
+        let key = specs.first().and_then(|spec| spec.job.prefix_key().ok());
+        self.dispatch(id, RequestBody::Sanitize { jobs: specs.to_vec(), deadline_ms }, key)
+    }
+
     fn stats(&self) -> Option<Json> {
         Some(self.stats_json())
     }
@@ -363,6 +377,8 @@ fn with_id(response: Response, id: u64) -> Response {
         Response::Verdict { verdict, cold_joint_mm2, void_mm3, .. } => {
             Response::Verdict { id, verdict, cold_joint_mm2, void_mm3 }
         }
+        Response::Detections { reports, .. } => Response::Detections { id, reports },
+        Response::Sanitized { reports, .. } => Response::Sanitized { id, reports },
         Response::Error { error, message, .. } => Response::Error { id, error, message },
     }
 }
@@ -491,6 +507,8 @@ mod tests {
                 cold_joint_mm2: 0.0,
                 void_mm3: 0.0,
             },
+            Response::Detections { id: 9, reports: vec![Json::Null] },
+            Response::Sanitized { id: 9, reports: vec![] },
             Response::Error { id: 9, error: ServiceError::Job, message: "x".into() },
         ];
         for case in cases {

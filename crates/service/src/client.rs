@@ -34,7 +34,8 @@ use obfuscade::{run_pipeline_jobs, BatchJob, StageCache, StageHasher};
 
 use crate::codec::{decode_hello, encode_hello, is_binary_hello, Codec, BINARY_VERSION};
 use crate::protocol::{
-    encode_outcome, read_frame, write_frame, JobSpec, Request, RequestBody, Response, ServiceError,
+    encode_detect_outcome, encode_outcome, encode_sanitize_outcome, read_frame, write_frame,
+    DetectSpec, JobSpec, Request, RequestBody, Response, SanitizeSpec, ServiceError,
 };
 
 /// Where the daemon listens.
@@ -298,6 +299,34 @@ impl Client {
         deadline_ms: Option<u64>,
     ) -> Result<Response, String> {
         self.call(RequestBody::Authenticate { job, deadline_ms })
+    }
+
+    /// Submits a batch of side-channel detection jobs.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures; the returned [`Response`] may itself be a
+    /// typed error.
+    pub fn detect(
+        &mut self,
+        jobs: Vec<DetectSpec>,
+        deadline_ms: Option<u64>,
+    ) -> Result<Response, String> {
+        self.call(RequestBody::Detect { jobs, deadline_ms })
+    }
+
+    /// Submits a batch of stego-sanitization jobs.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures; the returned [`Response`] may itself be a
+    /// typed error.
+    pub fn sanitize(
+        &mut self,
+        jobs: Vec<SanitizeSpec>,
+        deadline_ms: Option<u64>,
+    ) -> Result<Response, String> {
+        self.call(RequestBody::Sanitize { jobs, deadline_ms })
     }
 }
 
@@ -565,6 +594,35 @@ impl RetryingClient {
         self.call_with_retry(|client| client.authenticate(job.clone(), deadline_ms))
     }
 
+    /// Submits a `detect` batch, retrying transient failures — safe for
+    /// the same reason as `run`: detection is deterministic and
+    /// content-addressed, so a duplicate execution returns identical
+    /// reports.
+    ///
+    /// # Errors
+    ///
+    /// As for [`RetryingClient::run`].
+    pub fn detect(
+        &mut self,
+        jobs: &[DetectSpec],
+        deadline_ms: Option<u64>,
+    ) -> Result<Response, String> {
+        self.call_with_retry(|client| client.detect(jobs.to_vec(), deadline_ms))
+    }
+
+    /// Submits a `sanitize` batch, retrying transient failures.
+    ///
+    /// # Errors
+    ///
+    /// As for [`RetryingClient::run`].
+    pub fn sanitize(
+        &mut self,
+        jobs: &[SanitizeSpec],
+        deadline_ms: Option<u64>,
+    ) -> Result<Response, String> {
+        self.call_with_retry(|client| client.sanitize(jobs.to_vec(), deadline_ms))
+    }
+
     /// Fetches the daemon's metrics snapshot, retrying transient
     /// failures.
     ///
@@ -671,15 +729,11 @@ pub struct LoadReport {
 }
 
 impl LoadReport {
-    /// Exact sample quantile (0 < q ≤ 1): the ⌈q·n⌉-th smallest latency.
-    /// 0 when no request completed.
+    /// Exact sample quantile (0 < q ≤ 1): the ⌈q·n⌉-th smallest latency
+    /// per the workspace-wide rank rule
+    /// ([`obfuscade::metrics::quantile`]). 0 when no request completed.
     pub fn quantile_ms(&self, q: f64) -> f64 {
-        let n = self.latencies_ms.len();
-        if n == 0 {
-            return 0.0;
-        }
-        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
-        self.latencies_ms[rank - 1]
+        obfuscade::metrics::quantile(&self.latencies_ms, q)
     }
 
     /// Completed requests per wall-clock second.
@@ -722,6 +776,70 @@ pub fn expected_results_wire(jobs: &[JobSpec]) -> Result<String, String> {
     let cache = StageCache::with_budget(StageCache::DEFAULT_BUDGET);
     let outcomes = run_pipeline_jobs(&batch, &cache, Parallelism::serial());
     Ok(Json::Array(outcomes.iter().map(encode_outcome).collect()).render())
+}
+
+/// Computes, in-process, the exact wire encoding a `detect` request over
+/// `specs` must come back with — the same `am_detect::detect_counterfeit`
+/// calls the daemon makes, against a fresh cache, encoded with
+/// [`encode_detect_outcome`].
+///
+/// # Errors
+///
+/// An invalid part family, fault spec, or capture-quality preset.
+pub fn expected_detections_wire(specs: &[DetectSpec]) -> Result<String, String> {
+    let cache = StageCache::with_budget(StageCache::DEFAULT_BUDGET);
+    let mut reports = Vec::with_capacity(specs.len());
+    for spec in specs {
+        am_detect::capture_quality(&spec.quality)?;
+        let part = spec.job.build_part()?;
+        let faults = spec.job.fault_plan()?;
+        let config = am_detect::DetectConfig {
+            quality: spec.quality.clone(),
+            jam_amplitude: spec.jam_amplitude,
+            trace_seed: spec.trace_seed,
+            ..am_detect::DetectConfig::default()
+        };
+        let outcome = am_detect::detect_counterfeit(
+            &part,
+            &spec.job.plan(),
+            &faults,
+            &spec.job.faults,
+            &config,
+            &cache,
+            obfuscade::Deadline::none(),
+        );
+        reports.push(encode_detect_outcome(&outcome));
+    }
+    Ok(Json::Array(reports).render())
+}
+
+/// Computes, in-process, the exact wire encoding a `sanitize` request
+/// over `specs` must come back with (see [`expected_detections_wire`]).
+///
+/// # Errors
+///
+/// An invalid part family or fault spec.
+pub fn expected_sanitize_wire(specs: &[SanitizeSpec]) -> Result<String, String> {
+    let cache = StageCache::with_budget(StageCache::DEFAULT_BUDGET);
+    let mut reports = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let part = spec.job.build_part()?;
+        let faults = spec.job.fault_plan()?;
+        let config = am_detect::SanitizeConfig {
+            payload_seed: spec.payload_seed,
+            payload_bits: spec.payload_bits as u32,
+        };
+        let outcome = am_detect::sanitize_toolpath(
+            &part,
+            &spec.job.plan(),
+            &faults,
+            &config,
+            &cache,
+            obfuscade::Deadline::none(),
+        );
+        reports.push(encode_sanitize_outcome(&outcome));
+    }
+    Ok(Json::Array(reports).render())
 }
 
 /// Drives `total` identical `run` requests at the daemon from

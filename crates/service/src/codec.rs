@@ -39,7 +39,9 @@
 
 use obfuscade::json::Json;
 
-use crate::protocol::{JobSpec, Request, RequestBody, Response, ServiceError, MAX_FRAME};
+use crate::protocol::{
+    DetectSpec, JobSpec, Request, RequestBody, Response, SanitizeSpec, ServiceError, MAX_FRAME,
+};
 use am_mesh::Resolution;
 use am_slicer::Orientation;
 
@@ -467,6 +469,39 @@ fn read_job(r: &mut BinReader<'_>) -> Result<JobSpec, String> {
     })
 }
 
+fn put_detect_spec(out: &mut Vec<u8>, spec: &DetectSpec) {
+    put_job(out, &spec.job);
+    put_str(out, &spec.quality);
+    put_f64(out, spec.jam_amplitude);
+    put_u64(out, spec.trace_seed);
+}
+
+fn read_detect_spec(r: &mut BinReader<'_>) -> Result<DetectSpec, String> {
+    let job = read_job(r)?;
+    let quality = r.str_ref()?.to_string();
+    let jam_amplitude = r.f64()?;
+    if !(jam_amplitude.is_finite() && jam_amplitude >= 0.0) {
+        return Err("`jam_amplitude` must be a non-negative number".to_string());
+    }
+    Ok(DetectSpec { job, quality, jam_amplitude, trace_seed: r.u64()? })
+}
+
+fn put_sanitize_spec(out: &mut Vec<u8>, spec: &SanitizeSpec) {
+    put_job(out, &spec.job);
+    put_u64(out, spec.payload_seed);
+    out.push(spec.payload_bits as u8);
+}
+
+fn read_sanitize_spec(r: &mut BinReader<'_>) -> Result<SanitizeSpec, String> {
+    let job = read_job(r)?;
+    let payload_seed = r.u64()?;
+    let payload_bits = u64::from(r.u8()?);
+    if !(1..=8).contains(&payload_bits) {
+        return Err("`payload_bits` must be an integer in 1..=8".to_string());
+    }
+    Ok(SanitizeSpec { job, payload_seed, payload_bits })
+}
+
 // --- requests -----------------------------------------------------------
 
 const RQ_PING: u8 = 0;
@@ -474,6 +509,8 @@ const RQ_STATS: u8 = 1;
 const RQ_SHUTDOWN: u8 = 2;
 const RQ_RUN: u8 = 3;
 const RQ_AUTHENTICATE: u8 = 4;
+const RQ_DETECT: u8 = 5;
+const RQ_SANITIZE: u8 = 6;
 
 /// Binary request payload: kind tag, id, then the kind's fields.
 pub fn encode_request_binary(request: &Request) -> Vec<u8> {
@@ -484,6 +521,8 @@ pub fn encode_request_binary(request: &Request) -> Vec<u8> {
         RequestBody::Shutdown => out.push(RQ_SHUTDOWN),
         RequestBody::Run { .. } => out.push(RQ_RUN),
         RequestBody::Authenticate { .. } => out.push(RQ_AUTHENTICATE),
+        RequestBody::Detect { .. } => out.push(RQ_DETECT),
+        RequestBody::Sanitize { .. } => out.push(RQ_SANITIZE),
     }
     put_u64(&mut out, request.id);
     match &request.body {
@@ -497,6 +536,20 @@ pub fn encode_request_binary(request: &Request) -> Vec<u8> {
         }
         RequestBody::Authenticate { job, deadline_ms } => {
             put_job(&mut out, job);
+            put_opt_u64(&mut out, *deadline_ms);
+        }
+        RequestBody::Detect { jobs, deadline_ms } => {
+            put_u32(&mut out, jobs.len() as u32);
+            for spec in jobs {
+                put_detect_spec(&mut out, spec);
+            }
+            put_opt_u64(&mut out, *deadline_ms);
+        }
+        RequestBody::Sanitize { jobs, deadline_ms } => {
+            put_u32(&mut out, jobs.len() as u32);
+            for spec in jobs {
+                put_sanitize_spec(&mut out, spec);
+            }
             put_opt_u64(&mut out, *deadline_ms);
         }
     }
@@ -529,6 +582,23 @@ pub fn decode_request_binary(payload: &[u8]) -> Result<Request, String> {
         RQ_AUTHENTICATE => {
             RequestBody::Authenticate { job: read_job(&mut r)?, deadline_ms: r.opt_u64()? }
         }
+        RQ_DETECT => {
+            // A detect spec carries a job (≥ 40 bytes) plus its capture setup.
+            let n = r.seq_len(60)?;
+            let mut jobs = Vec::with_capacity(n);
+            for _ in 0..n {
+                jobs.push(read_detect_spec(&mut r)?);
+            }
+            RequestBody::Detect { jobs, deadline_ms: r.opt_u64()? }
+        }
+        RQ_SANITIZE => {
+            let n = r.seq_len(49)?;
+            let mut jobs = Vec::with_capacity(n);
+            for _ in 0..n {
+                jobs.push(read_sanitize_spec(&mut r)?);
+            }
+            RequestBody::Sanitize { jobs, deadline_ms: r.opt_u64()? }
+        }
         other => return Err(format!("unknown binary request kind {other}")),
     };
     r.finish()?;
@@ -543,6 +613,8 @@ const RS_BYE: u8 = 2;
 const RS_RESULTS: u8 = 3;
 const RS_VERDICT: u8 = 4;
 const RS_ERROR: u8 = 5;
+const RS_DETECTIONS: u8 = 6;
+const RS_SANITIZED: u8 = 7;
 
 fn error_tag(error: ServiceError) -> u8 {
     match error {
@@ -579,6 +651,8 @@ pub fn encode_response_binary(response: &Response) -> Vec<u8> {
         Response::Results { .. } => out.push(RS_RESULTS),
         Response::Verdict { .. } => out.push(RS_VERDICT),
         Response::Error { .. } => out.push(RS_ERROR),
+        Response::Detections { .. } => out.push(RS_DETECTIONS),
+        Response::Sanitized { .. } => out.push(RS_SANITIZED),
     }
     put_u64(&mut out, response.id());
     match response {
@@ -599,6 +673,12 @@ pub fn encode_response_binary(response: &Response) -> Vec<u8> {
         Response::Error { error, message, .. } => {
             out.push(error_tag(*error));
             put_str(&mut out, message);
+        }
+        Response::Detections { reports, .. } | Response::Sanitized { reports, .. } => {
+            put_u32(&mut out, reports.len() as u32);
+            for report in reports {
+                put_json(&mut out, report);
+            }
         }
     }
     out
@@ -634,6 +714,18 @@ pub fn decode_response_binary(payload: &[u8]) -> Result<Response, String> {
         RS_ERROR => {
             let error = error_from_tag(r.u8()?)?;
             Response::Error { id, error, message: r.str_ref()?.to_string() }
+        }
+        RS_DETECTIONS | RS_SANITIZED => {
+            let n = r.seq_len(1)?;
+            let mut reports = Vec::with_capacity(n);
+            for _ in 0..n {
+                reports.push(read_json(&mut r)?);
+            }
+            if kind == RS_DETECTIONS {
+                Response::Detections { id, reports }
+            } else {
+                Response::Sanitized { id, reports }
+            }
         }
         other => return Err(format!("unknown binary response kind {other}")),
     };
@@ -678,6 +770,22 @@ mod tests {
             RequestBody::Run { jobs: vec![job.clone(), JobSpec::default()], deadline_ms: Some(250) },
             RequestBody::Run { jobs: vec![], deadline_ms: None },
             RequestBody::Authenticate { job: job.clone(), deadline_ms: None },
+            RequestBody::Detect {
+                jobs: vec![
+                    DetectSpec {
+                        job: job.clone(),
+                        quality: "room".into(),
+                        jam_amplitude: 2.5,
+                        trace_seed: u64::MAX,
+                    },
+                    DetectSpec::default(),
+                ],
+                deadline_ms: Some(750),
+            },
+            RequestBody::Sanitize {
+                jobs: vec![SanitizeSpec { job: job.clone(), payload_seed: 99, payload_bits: 8 }],
+                deadline_ms: None,
+            },
         ] {
             let request = Request { id: 0xdead_beef, body };
             let payload = encode_request_binary(&request);
@@ -710,6 +818,14 @@ mod tests {
                 void_mm3: f64::EPSILON,
             },
             Response::Error { id: 6, error: ServiceError::BadCodec, message: "no".into() },
+            Response::Detections {
+                id: 7,
+                reports: vec![Json::Object(vec![(
+                    "ok".into(),
+                    Json::Object(vec![("fused_score".into(), Json::Number(0.1 + 0.2))]),
+                )])],
+            },
+            Response::Sanitized { id: 8, reports: vec![Json::Null, Json::Bool(false)] },
         ] {
             let payload = encode_response_binary(&response);
             let decoded = decode_response_binary(&payload).expect("decode");

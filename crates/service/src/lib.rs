@@ -48,12 +48,13 @@ pub mod reactor;
 pub mod server;
 
 pub use client::{
-    expected_results_wire, run_load, run_load_mixed, run_load_with, Client, Endpoint, LoadReport,
-    LoadRequest, RetryPolicy, RetryingClient,
+    expected_detections_wire, expected_results_wire, expected_sanitize_wire, run_load,
+    run_load_mixed, run_load_with, Client, Endpoint, LoadReport, LoadRequest, RetryPolicy,
+    RetryingClient,
 };
 pub use codec::{decode_hello, encode_hello, is_binary_hello, Codec, BINARY_MAGIC, BINARY_VERSION};
 pub use protocol::{
-    encode_outcome, read_frame, write_frame, JobSpec, Request, RequestBody, Response,
-    ServiceError, MAX_FRAME,
+    encode_detect_outcome, encode_outcome, encode_sanitize_outcome, read_frame, write_frame,
+    DetectSpec, JobSpec, Request, RequestBody, Response, SanitizeSpec, ServiceError, MAX_FRAME,
 };
 pub use server::{ChaosPlan, ConnBackend, Engine, Forwarder, Server, ServerConfig};

@@ -307,6 +307,148 @@ impl JobSpec {
     }
 }
 
+/// One side-channel detection job: a suspect manufacturing job plus the
+/// capture setup the daemon should judge it under. The wire analogue of
+/// `am_detect::detect_counterfeit`'s inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectSpec {
+    /// The suspect job (its `faults` field is the counterfeit hypothesis;
+    /// the golden master is the same job with an empty fault plan).
+    pub job: JobSpec,
+    /// Capture-quality preset: `lab`, `smartphone`, or `room`.
+    pub quality: String,
+    /// Relative amplitude of the defender's noise emitter over the
+    /// acoustic capture (0 = jamming off).
+    pub jam_amplitude: f64,
+    /// Seed of every capture-noise draw the job makes.
+    pub trace_seed: u64,
+}
+
+impl Default for DetectSpec {
+    fn default() -> Self {
+        DetectSpec {
+            job: JobSpec::default(),
+            quality: "smartphone".to_string(),
+            jam_amplitude: 0.0,
+            trace_seed: 1,
+        }
+    }
+}
+
+impl DetectSpec {
+    /// The spec as a JSON object (stable field order).
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("job".into(), self.job.to_json()),
+            ("quality".into(), Json::str(self.quality.clone())),
+            ("jam_amplitude".into(), Json::Number(self.jam_amplitude)),
+            ("trace_seed".into(), Json::u64(self.trace_seed)),
+        ])
+    }
+
+    /// Decodes a spec from a JSON object; absent fields keep defaults.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed field.
+    pub fn from_json(v: &Json) -> Result<DetectSpec, String> {
+        let Json::Object(fields) = v else {
+            return Err("detect spec must be a JSON object".to_string());
+        };
+        let mut spec = DetectSpec::default();
+        for (name, value) in fields {
+            match name.as_str() {
+                "job" => spec.job = JobSpec::from_json(value)?,
+                "quality" => {
+                    spec.quality =
+                        value.as_str().ok_or("`quality` must be a string")?.to_string();
+                }
+                "jam_amplitude" => {
+                    spec.jam_amplitude = match value {
+                        Json::Number(v) if v.is_finite() && *v >= 0.0 => *v,
+                        _ => {
+                            return Err(
+                                "`jam_amplitude` must be a non-negative number".to_string()
+                            )
+                        }
+                    };
+                }
+                "trace_seed" => {
+                    spec.trace_seed =
+                        value.as_u64().ok_or("`trace_seed` must be an integer")?;
+                }
+                other => return Err(format!("unknown detect field `{other}`")),
+            }
+        }
+        Ok(spec)
+    }
+}
+
+/// One stego-sanitization job: a manufacturing job whose planned tool
+/// path is scanned and stripped. The wire analogue of
+/// `am_detect::sanitize_toolpath`'s inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SanitizeSpec {
+    /// The job whose tool path is sanitized.
+    pub job: JobSpec,
+    /// Seed of a payload to embed before sanitizing (0 = none: scan and
+    /// strip the clean tool path).
+    pub payload_seed: u64,
+    /// Width of the scanned/stripped channel (bits per coordinate,
+    /// 1–8).
+    pub payload_bits: u64,
+}
+
+impl Default for SanitizeSpec {
+    fn default() -> Self {
+        SanitizeSpec { job: JobSpec::default(), payload_seed: 0, payload_bits: 2 }
+    }
+}
+
+impl SanitizeSpec {
+    /// The spec as a JSON object (stable field order).
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("job".into(), self.job.to_json()),
+            ("payload_seed".into(), Json::u64(self.payload_seed)),
+            ("payload_bits".into(), Json::u64(self.payload_bits)),
+        ])
+    }
+
+    /// Decodes a spec from a JSON object; absent fields keep defaults.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed field.
+    pub fn from_json(v: &Json) -> Result<SanitizeSpec, String> {
+        let Json::Object(fields) = v else {
+            return Err("sanitize spec must be a JSON object".to_string());
+        };
+        let mut spec = SanitizeSpec::default();
+        for (name, value) in fields {
+            match name.as_str() {
+                "job" => spec.job = JobSpec::from_json(value)?,
+                "payload_seed" => {
+                    spec.payload_seed =
+                        value.as_u64().ok_or("`payload_seed` must be an integer")?;
+                }
+                "payload_bits" => {
+                    spec.payload_bits = match value.as_u64() {
+                        Some(bits) if (1..=8).contains(&bits) => bits,
+                        _ => {
+                            return Err(
+                                "`payload_bits` must be an integer in 1..=8".to_string()
+                            )
+                        }
+                    };
+                }
+                other => return Err(format!("unknown sanitize field `{other}`")),
+            }
+        }
+        Ok(spec)
+    }
+}
+
 /// A decoded request frame: client-chosen correlation id plus the body.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {
@@ -339,6 +481,20 @@ pub enum RequestBody {
         /// The single job to judge.
         job: JobSpec,
         /// Optional budget (ms).
+        deadline_ms: Option<u64>,
+    },
+    /// A batch of side-channel detection jobs.
+    Detect {
+        /// The detection jobs, in response order.
+        jobs: Vec<DetectSpec>,
+        /// Optional budget (ms) for the whole batch.
+        deadline_ms: Option<u64>,
+    },
+    /// A batch of stego-sanitization jobs.
+    Sanitize {
+        /// The sanitization jobs, in response order.
+        jobs: Vec<SanitizeSpec>,
+        /// Optional budget (ms) for the whole batch.
         deadline_ms: Option<u64>,
     },
 }
@@ -381,6 +537,26 @@ impl Request {
                     fields.push(("deadline_ms".into(), Json::u64(*ms)));
                 }
             }
+            RequestBody::Detect { jobs, deadline_ms } => {
+                fields.push(("kind".into(), Json::str("detect")));
+                fields.push((
+                    "jobs".into(),
+                    Json::Array(jobs.iter().map(DetectSpec::to_json).collect()),
+                ));
+                if let Some(ms) = deadline_ms {
+                    fields.push(("deadline_ms".into(), Json::u64(*ms)));
+                }
+            }
+            RequestBody::Sanitize { jobs, deadline_ms } => {
+                fields.push(("kind".into(), Json::str("sanitize")));
+                fields.push((
+                    "jobs".into(),
+                    Json::Array(jobs.iter().map(SanitizeSpec::to_json).collect()),
+                ));
+                if let Some(ms) = deadline_ms {
+                    fields.push(("deadline_ms".into(), Json::u64(*ms)));
+                }
+            }
         }
         Json::Object(fields)
     }
@@ -416,6 +592,27 @@ impl Request {
                     None => JobSpec::default(),
                 };
                 RequestBody::Authenticate { job, deadline_ms: get_deadline(v)? }
+            }
+            "detect" => {
+                let jobs = match v.get("jobs") {
+                    Some(Json::Array(items)) => {
+                        items.iter().map(DetectSpec::from_json).collect::<Result<Vec<_>, _>>()?
+                    }
+                    Some(_) => return Err("`jobs` must be an array".to_string()),
+                    None => vec![DetectSpec::default()],
+                };
+                RequestBody::Detect { jobs, deadline_ms: get_deadline(v)? }
+            }
+            "sanitize" => {
+                let jobs = match v.get("jobs") {
+                    Some(Json::Array(items)) => items
+                        .iter()
+                        .map(SanitizeSpec::from_json)
+                        .collect::<Result<Vec<_>, _>>()?,
+                    Some(_) => return Err("`jobs` must be an array".to_string()),
+                    None => vec![SanitizeSpec::default()],
+                };
+                RequestBody::Sanitize { jobs, deadline_ms: get_deadline(v)? }
             }
             other => return Err(format!("unknown request kind `{other}`")),
         };
@@ -538,6 +735,23 @@ pub enum Response {
         /// Measured internal void volume (mm³).
         void_mm3: f64,
     },
+    /// Answer to `detect`: one encoded outcome per detection job, in
+    /// request order. Each entry is `{"ok": <DetectionReport JSON>}` or
+    /// `{"err": {...}}` ([`encode_detect_outcome`]).
+    Detections {
+        /// Echoed request id.
+        id: u64,
+        /// Encoded detection outcomes.
+        reports: Vec<Json>,
+    },
+    /// Answer to `sanitize`: one encoded outcome per job, in request
+    /// order ([`encode_sanitize_outcome`]).
+    Sanitized {
+        /// Echoed request id.
+        id: u64,
+        /// Encoded sanitize outcomes.
+        reports: Vec<Json>,
+    },
     /// Typed failure.
     Error {
         /// Echoed request id (0 when the request id was unreadable).
@@ -558,6 +772,8 @@ impl Response {
             | Response::Bye { id, .. }
             | Response::Results { id, .. }
             | Response::Verdict { id, .. }
+            | Response::Detections { id, .. }
+            | Response::Sanitized { id, .. }
             | Response::Error { id, .. } => *id,
         }
     }
@@ -584,6 +800,14 @@ impl Response {
                 fields.push(("verdict".into(), Json::str(verdict.clone())));
                 fields.push(("cold_joint_mm2".into(), Json::Number(*cold_joint_mm2)));
                 fields.push(("void_mm3".into(), Json::Number(*void_mm3)));
+            }
+            Response::Detections { reports, .. } => {
+                fields.push(("kind".into(), Json::str("detections")));
+                fields.push(("reports".into(), Json::Array(reports.clone())));
+            }
+            Response::Sanitized { reports, .. } => {
+                fields.push(("kind".into(), Json::str("sanitized")));
+                fields.push(("reports".into(), Json::Array(reports.clone())));
             }
             Response::Error { error, message, .. } => {
                 fields.push(("kind".into(), Json::str("error")));
@@ -639,6 +863,16 @@ impl Response {
                     .ok_or_else(|| "missing number `void_mm3`".to_string())?;
                 Ok(Response::Verdict { id, verdict, cold_joint_mm2: cold, void_mm3: voids })
             }
+            "detections" => match v.get("reports") {
+                Some(Json::Array(items)) => {
+                    Ok(Response::Detections { id, reports: items.clone() })
+                }
+                _ => Err("missing array `reports`".to_string()),
+            },
+            "sanitized" => match v.get("reports") {
+                Some(Json::Array(items)) => Ok(Response::Sanitized { id, reports: items.clone() }),
+                _ => Err("missing array `reports`".to_string()),
+            },
             "error" => {
                 let class = v
                     .get("error")
@@ -730,6 +964,44 @@ pub fn encode_outcome(outcome: &Result<PipelineOutput, PipelineError>) -> Json {
     }
 }
 
+/// Encodes one detection outcome as JSON — the same `{"ok": ...}` /
+/// `{"err": {stage, message}}` envelope as [`encode_outcome`], wrapping
+/// the report's canonical rendering, so byte equality of encodings is
+/// value equality of reports.
+pub fn encode_detect_outcome(
+    outcome: &Result<obfuscade::DetectionReport, am_detect::DetectError>,
+) -> Json {
+    match outcome {
+        Ok(report) => Json::Object(vec![("ok".into(), report.to_json())]),
+        Err(e) => encode_detect_error(e),
+    }
+}
+
+/// Encodes one sanitization outcome as JSON (see
+/// [`encode_detect_outcome`]).
+pub fn encode_sanitize_outcome(
+    outcome: &Result<obfuscade::SanitizeReport, am_detect::DetectError>,
+) -> Json {
+    match outcome {
+        Ok(report) => Json::Object(vec![("ok".into(), report.to_json())]),
+        Err(e) => encode_detect_error(e),
+    }
+}
+
+fn encode_detect_error(e: &am_detect::DetectError) -> Json {
+    let stage = match e {
+        am_detect::DetectError::Pipeline(p) => p.stage().name(),
+        am_detect::DetectError::Config(_) => "detect",
+    };
+    Json::Object(vec![(
+        "err".into(),
+        Json::Object(vec![
+            ("stage".into(), Json::str(stage)),
+            ("message".into(), Json::str(e.to_string())),
+        ]),
+    )])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -769,7 +1041,18 @@ mod tests {
             RequestBody::Stats,
             RequestBody::Shutdown,
             RequestBody::Run { jobs: vec![job.clone(), JobSpec::default()], deadline_ms: Some(250) },
-            RequestBody::Authenticate { job, deadline_ms: None },
+            RequestBody::Authenticate { job: job.clone(), deadline_ms: None },
+            RequestBody::Detect {
+                jobs: vec![
+                    DetectSpec { job: job.clone(), quality: "room".into(), ..DetectSpec::default() },
+                    DetectSpec::default(),
+                ],
+                deadline_ms: Some(900),
+            },
+            RequestBody::Sanitize {
+                jobs: vec![SanitizeSpec { job, payload_seed: 99, payload_bits: 3 }],
+                deadline_ms: None,
+            },
         ] {
             let request = Request { id: 7, body };
             let decoded = Request::decode(&request.encode()).expect("decode");
@@ -790,6 +1073,11 @@ mod tests {
                 cold_joint_mm2: 12.5,
                 void_mm3: 0.25,
             },
+            Response::Detections {
+                id: 7,
+                reports: vec![Json::Object(vec![("ok".into(), Json::Bool(true))])],
+            },
+            Response::Sanitized { id: 8, reports: vec![Json::Null] },
             Response::Error {
                 id: 6,
                 error: ServiceError::Overloaded,

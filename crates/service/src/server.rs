@@ -63,7 +63,8 @@ use obfuscade::{
 
 use crate::codec::{decode_hello, encode_hello, is_binary_hello, Codec, BINARY_VERSION};
 use crate::protocol::{
-    encode_outcome, read_frame, write_frame, JobSpec, RequestBody, Response, ServiceError,
+    encode_detect_outcome, encode_outcome, encode_sanitize_outcome, read_frame, write_frame,
+    DetectSpec, JobSpec, RequestBody, Response, SanitizeSpec, ServiceError,
 };
 use crate::reactor;
 
@@ -254,6 +255,12 @@ pub trait Forwarder: Send + Sync {
     /// Forwards one `authenticate` probe.
     fn authenticate(&self, id: u64, spec: &JobSpec, deadline_ms: Option<u64>) -> Response;
 
+    /// Forwards one `detect` batch.
+    fn detect(&self, id: u64, specs: &[DetectSpec], deadline_ms: Option<u64>) -> Response;
+
+    /// Forwards one `sanitize` batch.
+    fn sanitize(&self, id: u64, specs: &[SanitizeSpec], deadline_ms: Option<u64>) -> Response;
+
     /// Routing-tier counters for the stats wire (`fleet` section of the
     /// metrics snapshot). `None` keeps the section `null`.
     fn stats(&self) -> Option<Json> {
@@ -386,10 +393,12 @@ struct QueuedJob {
     enqueued: Instant,
 }
 
-/// The two queueable request kinds.
+/// The queueable request kinds.
 enum Work {
     Run(Vec<JobSpec>),
     Authenticate(JobSpec),
+    Detect(Vec<DetectSpec>),
+    Sanitize(Vec<SanitizeSpec>),
 }
 
 /// State shared by acceptors, connection readers and workers.
@@ -772,6 +781,8 @@ fn execute(
         return match work {
             Work::Run(specs) => forwarder.run(id, &specs, deadline_ms),
             Work::Authenticate(spec) => forwarder.authenticate(id, &spec, deadline_ms),
+            Work::Detect(specs) => forwarder.detect(id, &specs, deadline_ms),
+            Work::Sanitize(specs) => forwarder.sanitize(id, &specs, deadline_ms),
         };
     }
     match work {
@@ -814,6 +825,20 @@ fn execute(
                 Err(message) => Response::Error { id, error: ServiceError::Malformed, message },
             }
         }
+        Work::Detect(specs) => match detect_specs(shared, &specs, deadline) {
+            Ok(outcomes) => Response::Detections {
+                id,
+                reports: outcomes.iter().map(encode_detect_outcome).collect(),
+            },
+            Err(message) => Response::Error { id, error: ServiceError::Malformed, message },
+        },
+        Work::Sanitize(specs) => match sanitize_specs(shared, &specs, deadline) {
+            Ok(outcomes) => Response::Sanitized {
+                id,
+                reports: outcomes.iter().map(encode_sanitize_outcome).collect(),
+            },
+            Err(message) => Response::Error { id, error: ServiceError::Malformed, message },
+        },
     }
 }
 
@@ -844,6 +869,97 @@ fn run_specs(
         shared.expired.fetch_add(1, Ordering::SeqCst);
     }
     Ok(outcomes)
+}
+
+/// Materialises detect specs and runs each through `am-detect` against
+/// the shared cache. Detection jobs share the batch engine's error
+/// taxonomy: a malformed spec (bad part name, fault spec or quality
+/// preset) fails the whole batch as `malformed`; per-job pipeline
+/// failures are typed outcomes in the report list.
+#[allow(clippy::type_complexity)]
+fn detect_specs(
+    shared: &Shared,
+    specs: &[DetectSpec],
+    deadline: Deadline,
+) -> Result<Vec<Result<obfuscade::DetectionReport, am_detect::DetectError>>, String> {
+    let mut prepared = Vec::with_capacity(specs.len());
+    for spec in specs {
+        am_detect::capture_quality(&spec.quality)?;
+        let part = spec.job.build_part()?;
+        let faults = spec.job.fault_plan()?;
+        let config = am_detect::DetectConfig {
+            quality: spec.quality.clone(),
+            jam_amplitude: spec.jam_amplitude,
+            trace_seed: spec.trace_seed,
+            ..am_detect::DetectConfig::default()
+        };
+        prepared.push((part, faults, config));
+    }
+    let outcomes: Vec<_> = specs
+        .iter()
+        .zip(&prepared)
+        .map(|(spec, (part, faults, config))| {
+            am_detect::detect_counterfeit(
+                part,
+                &spec.job.plan(),
+                faults,
+                &spec.job.faults,
+                config,
+                &shared.cache,
+                deadline,
+            )
+        })
+        .collect();
+    note_expired_detect(shared, &outcomes);
+    Ok(outcomes)
+}
+
+/// Materialises sanitize specs and runs each through `am-detect`.
+#[allow(clippy::type_complexity)]
+fn sanitize_specs(
+    shared: &Shared,
+    specs: &[SanitizeSpec],
+    deadline: Deadline,
+) -> Result<Vec<Result<obfuscade::SanitizeReport, am_detect::DetectError>>, String> {
+    let mut prepared = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let part = spec.job.build_part()?;
+        let faults = spec.job.fault_plan()?;
+        let config = am_detect::SanitizeConfig {
+            payload_seed: spec.payload_seed,
+            payload_bits: spec.payload_bits as u32,
+        };
+        prepared.push((part, faults, config));
+    }
+    let outcomes: Vec<_> = specs
+        .iter()
+        .zip(&prepared)
+        .map(|(spec, (part, faults, config))| {
+            am_detect::sanitize_toolpath(
+                part,
+                &spec.job.plan(),
+                faults,
+                config,
+                &shared.cache,
+                deadline,
+            )
+        })
+        .collect();
+    note_expired_detect(shared, &outcomes);
+    Ok(outcomes)
+}
+
+/// Bumps the expired-deadline counter when any detect-subsystem outcome
+/// died to the request deadline (mirrors [`run_specs`]'s accounting).
+fn note_expired_detect<T>(shared: &Shared, outcomes: &[Result<T, am_detect::DetectError>]) {
+    if outcomes.iter().any(|o| {
+        matches!(
+            o,
+            Err(am_detect::DetectError::Pipeline(PipelineError::DeadlineExceeded { .. }))
+        )
+    }) {
+        shared.expired.fetch_add(1, Ordering::SeqCst);
+    }
 }
 
 /// Admission control for queueable requests. The phase check and the
@@ -993,6 +1109,14 @@ pub(crate) fn process_frame(
         }
         RequestBody::Authenticate { job, deadline_ms } => {
             admit(shared, id, Work::Authenticate(job), deadline_ms, &sink(codec));
+            return FrameOutcome::Queued;
+        }
+        RequestBody::Detect { jobs, deadline_ms } => {
+            admit(shared, id, Work::Detect(jobs), deadline_ms, &sink(codec));
+            return FrameOutcome::Queued;
+        }
+        RequestBody::Sanitize { jobs, deadline_ms } => {
+            admit(shared, id, Work::Sanitize(jobs), deadline_ms, &sink(codec));
             return FrameOutcome::Queued;
         }
     };

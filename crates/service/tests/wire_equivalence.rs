@@ -10,8 +10,9 @@
 //! carried them.
 
 use am_service::{
-    expected_results_wire, ChaosPlan, Client, Codec, ConnBackend, Endpoint, JobSpec, Response,
-    RetryPolicy, RetryingClient, Server, ServerConfig,
+    expected_detections_wire, expected_results_wire, expected_sanitize_wire, ChaosPlan, Client,
+    Codec, ConnBackend, DetectSpec, Endpoint, JobSpec, Response, RetryPolicy, RetryingClient,
+    SanitizeSpec, Server, ServerConfig,
 };
 use obfuscade::json::Json;
 use proptest::prelude::*;
@@ -120,6 +121,96 @@ proptest! {
             .expect("cache.hits");
         prop_assert!(hits > 0, "identical batches across connections produced no cache hits");
 
+        client.shutdown().expect("shutdown");
+        server.join();
+    }
+
+    /// PR 10: detection and sanitization batches served through the
+    /// daemon are byte-identical to the in-process `am-detect` reference
+    /// run — across the same backend × codec matrix, including a faulted
+    /// suspect, a jammed capture, and a blocked-upstream fault plan. The
+    /// second round must ride the stage cache the first round warmed
+    /// (detection reports cache exactly like pipeline stages).
+    #[test]
+    fn detect_and_sanitize_batches_are_byte_identical(
+        fault_idx in 0..FAULT_SPECS.len(),
+        trace_seed in 1..10_000u64,
+        payload_seed in 1..10_000u64,
+        matrix_idx in 0..MATRIX.len(),
+    ) {
+        let (backend, codec) = MATRIX[matrix_idx];
+        let detect_jobs = vec![
+            DetectSpec {
+                job: JobSpec {
+                    faults: FAULT_SPECS[fault_idx].to_string(),
+                    ..JobSpec::default()
+                },
+                quality: "smartphone".into(),
+                jam_amplitude: 0.0,
+                trace_seed,
+            },
+            DetectSpec {
+                job: JobSpec::default(),
+                quality: "lab".into(),
+                jam_amplitude: 1.5,
+                trace_seed: trace_seed + 1,
+            },
+        ];
+        let sanitize_jobs = vec![SanitizeSpec {
+            job: JobSpec::default(),
+            payload_seed,
+            payload_bits: 4,
+        }];
+        let expected_detect =
+            expected_detections_wire(&detect_jobs).expect("in-process detect reference");
+        let expected_sanitize =
+            expected_sanitize_wire(&sanitize_jobs).expect("in-process sanitize reference");
+
+        let server = Server::start(ServerConfig {
+            workers: 2,
+            backend,
+            ..ServerConfig::default()
+        })
+        .expect("server boots");
+        let endpoint = Endpoint::Tcp(server.addr().to_string());
+
+        for round in 0..2 {
+            let mut client =
+                Client::connect_with_codec(&endpoint, None, codec).expect("connect");
+            let response = client.detect(detect_jobs.clone(), None).expect("detect");
+            let Response::Detections { reports, .. } = response else {
+                panic!("round {round}: expected detections, got {response:?}");
+            };
+            prop_assert_eq!(
+                Json::Array(reports).render(),
+                expected_detect.clone(),
+                "served detection bytes diverged (round {}, backend {}, codec {})",
+                round,
+                backend.name(),
+                codec.name()
+            );
+            let response = client.sanitize(sanitize_jobs.clone(), None).expect("sanitize");
+            let Response::Sanitized { reports, .. } = response else {
+                panic!("round {round}: expected sanitized, got {response:?}");
+            };
+            prop_assert_eq!(
+                Json::Array(reports).render(),
+                expected_sanitize.clone(),
+                "served sanitize bytes diverged (round {}, backend {}, codec {})",
+                round,
+                backend.name(),
+                codec.name()
+            );
+        }
+
+        let mut client = Client::connect(&endpoint).expect("connect");
+        let metrics = client.stats().expect("stats");
+        let hits = metrics
+            .get("cache")
+            .and_then(|c| c.get("hits"))
+            .and_then(Json::as_u64)
+            .expect("cache.hits");
+        prop_assert!(hits > 0, "repeated detect/sanitize batches produced no cache hits");
         client.shutdown().expect("shutdown");
         server.join();
     }
